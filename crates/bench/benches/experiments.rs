@@ -1,0 +1,130 @@
+//! Criterion benches over the paper's experiment configurations.
+//!
+//! Each bench runs one (benchmark, configuration) cell at smoke scale and
+//! reports the *simulated* key statistic to stderr once, so `cargo bench`
+//! both measures simulator throughput and regenerates the experiment
+//! series at reduced size. The full-size tables come from the `repro`
+//! binary (`cargo run --release -p bench --bin repro -- all`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_cache::{CacheGeometry, OptColumn, OptMask, SystemConfig};
+use workloads::runner::run_pim;
+use workloads::{Bench, Scale};
+
+fn bench_table4_columns(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for col in OptColumn::ALL {
+        for bench in [Bench::Tri, Bench::Pascal] {
+            let id = BenchmarkId::new(bench.name(), col.header());
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let r = run_pim(
+                        bench,
+                        scale,
+                        SystemConfig {
+                            pes: 8,
+                            opt_mask: OptMask::column(col),
+                            ..SystemConfig::default()
+                        },
+                    );
+                    r.bus.total_cycles()
+                })
+            });
+            let r = run_pim(
+                bench,
+                scale,
+                SystemConfig {
+                    pes: 8,
+                    opt_mask: OptMask::column(col),
+                    ..SystemConfig::default()
+                },
+            );
+            eprintln!(
+                "[table4 smoke] {} {}: {} bus cycles",
+                bench.name(),
+                col.header(),
+                r.bus.total_cycles()
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig1_block_sizes(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut group = c.benchmark_group("fig1_block_size");
+    group.sample_size(10);
+    for block in [1u64, 2, 4, 8, 16] {
+        group.bench_function(BenchmarkId::new("pascal", block), |b| {
+            b.iter(|| {
+                let r = run_pim(
+                    Bench::Pascal,
+                    scale,
+                    SystemConfig {
+                        pes: 8,
+                        geometry: CacheGeometry::with_shape(4096, block, 4),
+                        ..SystemConfig::default()
+                    },
+                );
+                (r.access.miss_ratio(), r.bus.total_cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig2_capacities(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut group = c.benchmark_group("fig2_capacity");
+    group.sample_size(10);
+    for cap in [512u64, 2048, 8192] {
+        group.bench_function(BenchmarkId::new("tri", cap), |b| {
+            b.iter(|| {
+                let r = run_pim(
+                    Bench::Tri,
+                    scale,
+                    SystemConfig {
+                        pes: 8,
+                        geometry: CacheGeometry::with_capacity(cap),
+                        ..SystemConfig::default()
+                    },
+                );
+                r.bus.total_cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3_pe_counts(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut group = c.benchmark_group("fig3_pes");
+    group.sample_size(10);
+    for pes in [1u32, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("tri", pes), |b| {
+            b.iter(|| {
+                let r = run_pim(
+                    Bench::Tri,
+                    scale,
+                    SystemConfig {
+                        pes,
+                        ..SystemConfig::default()
+                    },
+                );
+                r.bus.total_cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table4_columns,
+    bench_fig1_block_sizes,
+    bench_fig2_capacities,
+    bench_fig3_pe_counts
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the protocol core on synthetic traces: raw
+//! simulator throughput per mechanism, plus the DW/ER traffic deltas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pim_cache::{OptMask, PimSystem, SystemConfig};
+use pim_sim::{Engine, Replayer};
+use pim_trace::Access;
+use workloads::synthetic;
+
+fn run_trace(trace: &[Access], pes: u32, mask: OptMask) -> PimSystem {
+    let mut replayer = Replayer::from_merged(trace, pes);
+    let system = PimSystem::new(SystemConfig {
+        pes,
+        opt_mask: mask,
+        ..SystemConfig::default()
+    });
+    let mut engine = Engine::new(system, pes);
+    let stats = engine.run(&mut replayer, u64::MAX);
+    assert!(stats.finished);
+    engine.into_system()
+}
+
+fn bench_producer_consumer(c: &mut Criterion) {
+    let trace = synthetic::producer_consumer(512, 8, 4);
+    let mut group = c.benchmark_group("producer_consumer");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (label, mask) in [("optimized", OptMask::all()), ("plain", OptMask::none())] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| run_trace(&trace, 2, mask).bus_stats().total_cycles())
+        });
+        let sys = run_trace(&trace, 2, mask);
+        eprintln!(
+            "[producer_consumer {label}] bus={} mem_busy={}",
+            sys.bus_stats().total_cycles(),
+            sys.bus_stats().memory_busy_cycles()
+        );
+    }
+    group.finish();
+}
+
+fn bench_shared_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_heap_mix");
+    for write_pct in [10u32, 50] {
+        let trace = synthetic::shared_heap_mix(4, 20_000, write_pct, 1 << 12, 99);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_function(BenchmarkId::from_parameter(write_pct), |b| {
+            b.iter(|| run_trace(&trace, 4, OptMask::all()).bus_stats().total_cycles())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lock_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_churn");
+    for contention in [0u32, 50] {
+        let trace = synthetic::lock_churn(4, 2_000, contention, 5);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_function(BenchmarkId::from_parameter(contention), |b| {
+            b.iter(|| {
+                let sys = run_trace(&trace, 4, OptMask::all());
+                sys.lock_stats().lr_total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_producer_consumer, bench_shared_heap, bench_lock_churn);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale smoke|small|paper] <experiment>...
+//! experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5
+//!              buswidth assoc ablation indexing aurora gc all
+//! ```
+
+use workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::paper();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = iter.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "smoke" => Scale::smoke(),
+                    "small" => Scale::small(),
+                    "paper" => Scale::paper(),
+                    other => {
+                        eprintln!("unknown scale `{other}` (smoke|small|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale smoke|small|paper] <experiment>...\n\
+                     experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5\n\
+                     \x20            buswidth assoc ablation all"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".into());
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    let run = |name: &str, f: &dyn Fn() -> String| {
+        if want(name) {
+            let t = std::time::Instant::now();
+            let rendered = f();
+            println!("{rendered}");
+            eprintln!("[{name}: {:.1?}]", t.elapsed());
+        }
+    };
+
+    run("table1", &|| bench::render_table1(&bench::table1(scale)));
+    if want("table2") || want("table3") {
+        let runs = bench::base_runs(scale);
+        if want("table2") {
+            println!("{}", bench::render_table2(&runs));
+        }
+        if want("table3") {
+            println!("{}", bench::render_table3(&runs));
+        }
+    }
+    run("fig1", &|| bench::render_fig1(&bench::fig1(scale)));
+    run("fig2", &|| bench::render_fig2(&bench::fig2(scale)));
+    run("fig3", &|| bench::render_fig3(&bench::fig3(scale)));
+    run("table4", &|| bench::render_table4(&bench::table4(scale)));
+    run("table5", &|| bench::render_table5(&bench::table5(scale)));
+    run("buswidth", &|| bench::render_buswidth(&bench::buswidth(scale)));
+    run("assoc", &|| bench::render_assoc(&bench::assoc(scale)));
+    run("ablation", &|| bench::render_ablation(&bench::ablation(scale)));
+    run("indexing", &|| bench::render_indexing(&bench::indexing(scale)));
+    run("aurora", &|| bench::render_aurora(&bench::aurora(scale)));
+    run("gc", &|| bench::render_gc(&bench::gc_pressure(scale)));
+}

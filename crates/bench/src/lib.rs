@@ -1,0 +1,16 @@
+//! Experiment harness for the PIM cache reproduction.
+//!
+//! Every table and figure of the paper's evaluation (Section 4) has a
+//! regenerator in [`experiments`]; the `repro` binary prints them, and
+//! the integration tests assert their qualitative *shape* against the
+//! published results (who wins, by roughly what factor, where the knees
+//! fall — absolute cycle counts differ because the workload generator is
+//! a reconstruction, not the original ICOT emulator).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::*;

@@ -1,0 +1,309 @@
+//! Shape tests: the qualitative claims of the paper's evaluation must
+//! hold in the reproduction (at smoke scale, so the suite stays fast).
+//!
+//! These are the acceptance criteria listed in DESIGN.md — who wins, in
+//! which direction curves move, where the free cases dominate. Absolute
+//! numbers are not compared (our workload generator is a reconstruction).
+
+use bench::*;
+use workloads::{Bench, Scale};
+
+fn scale() -> Scale {
+    Scale::smoke()
+}
+
+#[test]
+fn table1_all_benchmarks_speed_up_with_8_pes() {
+    for row in table1(scale()) {
+        // At smoke scale Semi's closure (mod 13) is too tiny to
+        // parallelize; everything else must show a real speedup, and
+        // nothing may slow down badly.
+        let floor = if row.bench == Bench::Semi { 0.8 } else { 1.2 };
+        assert!(
+            row.speedup > floor,
+            "{}: speedup {:.2} too low",
+            row.bench.name(),
+            row.speedup
+        );
+        assert!(row.reductions > 0 && row.refs > 0);
+    }
+}
+
+#[test]
+fn table2_heap_dominates_data_bus_cycles() {
+    let runs = base_runs(scale());
+    for r in &runs.reports {
+        let heap = r.bus.area_cycle_pct(pim_trace::StorageArea::Heap);
+        let inst = r.bus.area_cycle_pct(pim_trace::StorageArea::Instruction);
+        // The paper: instructions are 43% of refs but only ~5% of bus
+        // cycles — the cache absorbs instruction bandwidth.
+        let inst_ref_pct = r.refs.area_pct(pim_trace::StorageArea::Instruction);
+        assert!(
+            inst < inst_ref_pct,
+            "{}: inst bus {inst:.1}% should be far below inst ref {inst_ref_pct:.1}%",
+            r.bench.name()
+        );
+        assert!(heap > 10.0, "{}: heap bus {heap:.1}%", r.bench.name());
+    }
+}
+
+#[test]
+fn table3_write_frequency_is_logic_programming_high() {
+    let runs = base_runs(scale());
+    for r in &runs.reports {
+        let w = r.refs.data_class_total(pim_trace::OpClass::Write);
+        let total = r.refs.data_total();
+        let pct = 100.0 * w as f64 / total as f64;
+        // Paper: 36% average data writes, with high variance (Semi 7%).
+        assert!(
+            (3.0..60.0).contains(&pct),
+            "{}: data write % {pct:.1} out of plausible range",
+            r.bench.name()
+        );
+    }
+}
+
+#[test]
+fn fig1_miss_ratio_falls_with_block_size_but_traffic_grows_past_4() {
+    let points = fig1(scale());
+    for &bench in &Bench::ALL {
+        let series: Vec<_> = points.iter().filter(|p| p.bench == bench).collect();
+        let at = |block: u64| series.iter().find(|p| p.block_words == block).unwrap();
+        // Miss ratio monotone non-increasing from 1 to 16 words.
+        assert!(
+            at(16).miss_ratio < at(1).miss_ratio,
+            "{}: miss ratio should fall with block size",
+            bench.name()
+        );
+        // Bus traffic: 16-word blocks cost more than 4-word blocks.
+        assert!(
+            at(16).bus_cycles > at(4).bus_cycles,
+            "{}: big blocks should waste bus",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn fig2_bus_traffic_falls_with_capacity() {
+    let points = fig2(scale());
+    for &bench in &Bench::ALL {
+        let series: Vec<_> = points.iter().filter(|p| p.bench == bench).collect();
+        let at = |cap: u64| series.iter().find(|p| p.capacity_words == cap).unwrap();
+        assert!(
+            at(16384).bus_cycles <= at(512).bus_cycles,
+            "{}: bigger caches must not increase traffic",
+            bench.name()
+        );
+        assert!(
+            at(16384).miss_ratio <= at(512).miss_ratio,
+            "{}: bigger caches must not increase miss ratio",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn fig3_communication_share_grows_with_pes() {
+    let points = fig3(scale());
+    let avg_comm = |pes: u32| {
+        let sel: Vec<_> = points.iter().filter(|p| p.pes == pes).collect();
+        sel.iter().map(|p| p.comm_pct).sum::<f64>() / sel.len() as f64
+    };
+    let avg_heap = |pes: u32| {
+        let sel: Vec<_> = points.iter().filter(|p| p.pes == pes).collect();
+        sel.iter().map(|p| p.heap_pct).sum::<f64>() / sel.len() as f64
+    };
+    // Paper: comm share rises 0→29% from 1 to 8 PEs (heap's share falls
+    // correspondingly at full problem sizes; at smoke scale heap traffic
+    // is dominated by sharing misses rather than capacity misses, so only
+    // the communication claim is asserted here — the heap trend is
+    // checked at full scale in EXPERIMENTS.md).
+    assert_eq!(avg_comm(1), 0.0, "no communication on one PE");
+    assert!(avg_comm(8) > 5.0, "comm share at 8 PEs: {:.1}%", avg_comm(8));
+    let _ = avg_heap; // full-scale trend documented in EXPERIMENTS.md
+}
+
+#[test]
+fn table4_optimizations_reduce_traffic_and_dw_dominates() {
+    for row in table4(scale()) {
+        let [none, heap, goal, _comm, all] = row.rel;
+        assert!((none - 1.0).abs() < 1e-9);
+        // Paper: All = 0.51–0.62; DW contributes almost all of it.
+        assert!(
+            all < 0.9,
+            "{}: All column {all:.2} should show a clear win",
+            row.bench.name()
+        );
+        assert!(
+            heap < goal,
+            "{}: DW (heap) should dominate the other optimizations",
+            row.bench.name()
+        );
+        assert!(all <= heap + 0.05, "{}: All should be at least as good as Heap", row.bench.name());
+        // DW nearly eliminates heap swap-ins (paper: to 10–55%).
+        assert!(
+            row.heap_swap_in_ratio < 0.6,
+            "{}: heap swap-in ratio {:.2}",
+            row.bench.name(),
+            row.heap_swap_in_ratio
+        );
+        // RI avoids a solid fraction of invalidate commands (paper:
+        // 60–70% avoided).
+        assert!(
+            row.invalidate_ratio < 0.95,
+            "{}: I-command ratio {:.2}",
+            row.bench.name(),
+            row.invalidate_ratio
+        );
+    }
+}
+
+#[test]
+fn table5_lock_operations_are_nearly_free() {
+    for col in table5(scale()) {
+        assert!(
+            col.lr_hit > 0.9,
+            "{}: LR hit ratio {:.3}",
+            col.bench.name(),
+            col.lr_hit
+        );
+        assert!(
+            col.unlock_no_waiter > 0.9,
+            "{}: no-waiter ratio {:.3}",
+            col.bench.name(),
+            col.unlock_no_waiter
+        );
+        assert!(col.lr_hit_exclusive <= col.lr_hit);
+        assert!(col.lr_hit_exclusive > 0.2);
+    }
+}
+
+#[test]
+fn buswidth_two_word_bus_cuts_traffic_to_roughly_two_thirds() {
+    for row in buswidth(scale()) {
+        let ratio = row.ratio();
+        // Paper: 62–75% of the one-word traffic.
+        assert!(
+            (0.5..0.9).contains(&ratio),
+            "{}: two-word ratio {ratio:.2} outside plausible band",
+            row.bench.name()
+        );
+    }
+}
+
+#[test]
+fn assoc_direct_mapped_is_worst_and_4way_beats_2way_or_close() {
+    let points = assoc(scale());
+    for &bench in &Bench::EXTENDED {
+        let series: Vec<_> = points.iter().filter(|p| p.bench == bench).collect();
+        let at = |ways: u64| series.iter().find(|p| p.ways == ways).unwrap().bus_cycles;
+        assert!(
+            at(1) > at(4),
+            "{}: direct-mapped should trail 4-way",
+            bench.name()
+        );
+        // Paper: 2-way produced ~18% more traffic than 4-way (BUP).
+        assert!(
+            at(2) as f64 >= at(4) as f64 * 0.98,
+            "{}: 2-way should not beat 4-way meaningfully",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn ablation_pim_keeps_memory_idler_than_illinois() {
+    for row in ablation(scale()) {
+        assert!(
+            row.pim_mem_busy < row.illinois_mem_busy,
+            "{}: PIM mem busy {} vs Illinois {}",
+            row.bench.name(),
+            row.pim_mem_busy,
+            row.illinois_mem_busy
+        );
+        assert!(
+            row.pim_bus < row.illinois_bus,
+            "{}: PIM bus {} vs Illinois {}",
+            row.bench.name(),
+            row.pim_bus,
+            row.illinois_bus
+        );
+        assert!(row.pim_lr_free > 0.2);
+        assert!(row.pim_ul_free > 0.9);
+    }
+}
+
+#[test]
+fn aurora_optimizations_help_or_parallel_prolog_too() {
+    // Paper Sections 1/5: the cache optimizations are claimed to carry
+    // over to OR-parallel Prolog (Aurora).
+    let rows = aurora(scale());
+    let get = |label: &str| rows.iter().find(|r| r.label.contains(label)).unwrap();
+    let opt = get("optimized");
+    let plain = get("plain");
+    let ill = get("Illinois");
+    assert!(
+        opt.bus_cycles < plain.bus_cycles,
+        "optimized {} vs plain {}",
+        opt.bus_cycles,
+        plain.bus_cycles
+    );
+    assert!(
+        plain.bus_cycles <= ill.bus_cycles,
+        "PIM plain {} vs Illinois {}",
+        plain.bus_cycles,
+        ill.bus_cycles
+    );
+    assert!(opt.mem_busy < ill.mem_busy / 2, "SM state halves memory pressure");
+}
+
+#[test]
+fn indexing_ablation_reports_complete_rows() {
+    for row in indexing(scale()) {
+        assert!(row.instr_indexed > 0 && row.instr_linear > 0);
+        assert!(row.inst_refs_indexed > 0 && row.inst_refs_linear > 0);
+        // Both variants compute identical (oracle-checked) answers; the
+        // instruction volumes must be in the same ballpark.
+        let ratio = row.instr_indexed as f64 / row.instr_linear as f64;
+        assert!(
+            (0.5..1.5).contains(&ratio),
+            "{}: indexed/linear instruction ratio {ratio:.2}",
+            row.bench.name()
+        );
+    }
+}
+
+#[test]
+fn gc_pressure_grows_with_shrinking_semispaces() {
+    let rows = gc_pressure(scale());
+    assert!(rows[0].semispace.is_none());
+    assert_eq!(rows[0].collections, 0);
+    let last = rows.last().unwrap();
+    assert!(last.collections >= 1, "smallest semispace must collect");
+    // GC is real traffic: bus cycles must not fall as GC work is added.
+    assert!(last.bus_cycles >= rows[0].bus_cycles);
+    // More collections => monotonically non-decreasing heap traffic.
+    for w in rows.windows(2) {
+        assert!(
+            w[1].collections >= w[0].collections,
+            "collections should rise as semispaces shrink"
+        );
+    }
+}
+
+#[test]
+fn renderers_produce_full_tables() {
+    let scale = scale();
+    let t4 = table4(scale);
+    let rendered = render_table4(&t4);
+    assert!(rendered.contains("Table 4"));
+    for b in Bench::ALL {
+        assert!(rendered.contains(b.name()), "{}", b.name());
+    }
+    let t5 = render_table5(&table5(scale));
+    assert!(t5.contains("LR hit-to-Exclusive"));
+    let runs = base_runs(scale);
+    assert!(render_table2(&runs).contains("Table 2b"));
+    assert!(render_table3(&runs).contains("UW+U"));
+}

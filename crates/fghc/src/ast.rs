@@ -1,0 +1,289 @@
+//! Abstract syntax for FGHC programs.
+
+use std::fmt;
+
+/// A term of the language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A logic variable (`X`, `_Tail`; `_` is a fresh anonymous variable
+    /// renamed apart by the parser).
+    Var(String),
+    /// An atom (`foo`, `[]` is [`Term::Nil`], not an atom).
+    Atom(String),
+    /// An integer.
+    Int(i64),
+    /// The empty list `[]`.
+    Nil,
+    /// A cons cell `[H|T]`.
+    Cons(Box<Term>, Box<Term>),
+    /// A compound term `f(T1, …, Tn)`, n ≥ 1.
+    Struct(String, Vec<Term>),
+}
+
+impl Term {
+    /// Builds a proper list from elements and an optional tail.
+    pub fn list(items: Vec<Term>, tail: Option<Term>) -> Term {
+        let mut t = tail.unwrap_or(Term::Nil);
+        for item in items.into_iter().rev() {
+            t = Term::Cons(Box::new(item), Box::new(t));
+        }
+        t
+    }
+
+    /// Collects the variables of this term, in first-occurrence order.
+    pub fn variables(&self, out: &mut Vec<String>) {
+        match self {
+            Term::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Term::Cons(h, t) => {
+                h.variables(out);
+                t.variables(out);
+            }
+            Term::Struct(_, args) => {
+                for a in args {
+                    a.variables(out);
+                }
+            }
+            Term::Atom(_) | Term::Int(_) | Term::Nil => {}
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => f.write_str(v),
+            Term::Atom(a) => f.write_str(a),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Nil => f.write_str("[]"),
+            Term::Cons(h, t) => {
+                write!(f, "[{h}")?;
+                let mut tail: &Term = t;
+                loop {
+                    match tail {
+                        Term::Nil => break,
+                        Term::Cons(h2, t2) => {
+                            write!(f, ",{h2}")?;
+                            tail = t2;
+                        }
+                        other => {
+                            write!(f, "|{other}")?;
+                            break;
+                        }
+                    }
+                }
+                f.write_str("]")
+            }
+            Term::Struct(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// An arithmetic expression (guard comparisons and body `:=`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable reference (must be bound to an integer at evaluation).
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// A binary operation.
+    Bin(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Collects the variables of this expression, in first-occurrence
+    /// order.
+    pub fn variables(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Int(_) => {}
+            Expr::Bin(_, a, b) => {
+                a.variables(out);
+                b.variables(out);
+            }
+            Expr::Neg(a) => a.variables(out),
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating integer division)
+    Div,
+    /// `mod`
+    Mod,
+}
+
+/// Comparison operators usable in guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `=<`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=:=`
+    Eq,
+    /// `=\=`
+    Ne,
+}
+
+/// One guard goal (the passive part after the head).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Guard {
+    /// `true` — no test.
+    True,
+    /// Arithmetic comparison; suspends while any operand is unbound.
+    Cmp(CmpOp, Expr, Expr),
+    /// `integer(X)` — type test; suspends while `X` is unbound.
+    IsInteger(Term),
+    /// `atom(X)` — succeeds for atoms and `[]`.
+    IsAtom(Term),
+    /// `list(X)` — succeeds for cons cells.
+    IsList(Term),
+    /// `otherwise` — commits only when every earlier clause has truly
+    /// failed (suspends if any earlier clause suspended).
+    Otherwise,
+}
+
+/// One body goal (the active part after the commit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyGoal {
+    /// `true` — nothing.
+    True,
+    /// `T1 = T2` — active unification (may bind caller variables).
+    Unify(Term, Term),
+    /// `X := Expr` — arithmetic assignment; `X` is bound to the value.
+    Is(Term, Expr),
+    /// A user procedure call.
+    Call(String, Vec<Term>),
+}
+
+/// One clause `Head :- Guards | Body.`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Predicate name.
+    pub name: String,
+    /// Head argument terms.
+    pub args: Vec<Term>,
+    /// Guard goals (passive part).
+    pub guards: Vec<Guard>,
+    /// Body goals (active part).
+    pub body: Vec<BodyGoal>,
+    /// Source line of the head (diagnostics).
+    pub line: u32,
+}
+
+impl Clause {
+    /// The predicate arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+/// All clauses of one predicate, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Predicate name.
+    pub name: String,
+    /// Predicate arity.
+    pub arity: usize,
+    /// The clauses, tried in order.
+    pub clauses: Vec<Clause>,
+}
+
+/// A parsed program: procedures keyed by (name, arity), in source order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The procedures in first-definition order.
+    pub procedures: Vec<Procedure>,
+}
+
+impl Program {
+    /// Finds a procedure by name and arity.
+    pub fn procedure(&self, name: &str, arity: usize) -> Option<&Procedure> {
+        self.procedures
+            .iter()
+            .find(|p| p.name == name && p.arity == arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_builder_and_display() {
+        let t = Term::list(
+            vec![Term::Int(1), Term::Int(2)],
+            Some(Term::Var("T".into())),
+        );
+        assert_eq!(t.to_string(), "[1,2|T]");
+        let closed = Term::list(vec![Term::Atom("a".into())], None);
+        assert_eq!(closed.to_string(), "[a]");
+        assert_eq!(Term::Nil.to_string(), "[]");
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let t = Term::Struct(
+            "f".into(),
+            vec![
+                Term::Var("B".into()),
+                Term::Cons(
+                    Box::new(Term::Var("A".into())),
+                    Box::new(Term::Var("B".into())),
+                ),
+            ],
+        );
+        let mut vars = Vec::new();
+        t.variables(&mut vars);
+        assert_eq!(vars, vec!["B".to_string(), "A".to_string()]);
+    }
+
+    #[test]
+    fn expr_variables() {
+        let e = Expr::Bin(
+            ArithOp::Add,
+            Box::new(Expr::Var("X".into())),
+            Box::new(Expr::Neg(Box::new(Expr::Var("Y".into())))),
+        );
+        let mut vars = Vec::new();
+        e.variables(&mut vars);
+        assert_eq!(vars, vec!["X".to_string(), "Y".to_string()]);
+    }
+
+    #[test]
+    fn struct_display() {
+        let t = Term::Struct("f".into(), vec![Term::Int(1), Term::Atom("a".into())]);
+        assert_eq!(t.to_string(), "f(1,a)");
+    }
+}

@@ -1,0 +1,910 @@
+//! Clause-to-instruction compiler.
+//!
+//! Register convention: a goal's arguments arrive in `X0..arity`; each
+//! clause allocates temporaries above that, reset per clause. The passive
+//! part never mutates the argument registers, so soft-failing to the next
+//! clause needs no state restoration.
+
+use crate::ast::{BodyGoal, Clause, Expr, Guard, Procedure, Program, Term};
+use crate::instr::{
+    CodeAddr, CompiledProgram, Const, Instr, Operand, ProcId, Reg, SetOp, SymbolTable, TypeTest,
+};
+use crate::CompileError;
+use std::collections::HashMap;
+
+/// Compiler options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileOptions {
+    /// Emit a [`Instr::SwitchOnTag`] dispatch on the first argument when
+    /// profitable (two or more clauses, at least one non-variable first
+    /// pattern), so a call only fetches the clause attempts its argument
+    /// tag can match — KL1-B-style clause indexing.
+    ///
+    /// Off by default: the `indexing` ablation (`repro indexing`) shows
+    /// that tag-only dispatch does not pay on the committed-choice
+    /// benchmarks — their predicates average two clauses with one-word
+    /// soft-fail paths, so the switch/retry overhead slightly exceeds the
+    /// skipped clause attempts. Kept as an option because programs with
+    /// wide, constant-discriminated predicates benefit.
+    pub first_arg_indexing: bool,
+}
+
+/// The tag classes a first argument can dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArgPattern {
+    Any,
+    Int,
+    Atom,
+    Nil,
+    List,
+    Struct,
+}
+
+fn first_arg_pattern(clause: &Clause) -> ArgPattern {
+    match clause.args.first() {
+        None | Some(Term::Var(_)) => ArgPattern::Any,
+        Some(Term::Int(_)) => ArgPattern::Int,
+        Some(Term::Atom(_)) => ArgPattern::Atom,
+        Some(Term::Nil) => ArgPattern::Nil,
+        Some(Term::Cons(..)) => ArgPattern::List,
+        Some(Term::Struct(..)) => ArgPattern::Struct,
+    }
+}
+
+/// Compiles a parsed program with default options.
+///
+/// # Errors
+///
+/// Reports calls to undefined procedures, nonlinear clause heads (use an
+/// explicit guard instead), guard variables that do not appear in the
+/// head, and clauses needing more than 255 registers.
+pub fn compile_program(program: &Program) -> Result<CompiledProgram, CompileError> {
+    compile_program_with(program, CompileOptions::default())
+}
+
+/// Compiles a parsed program with explicit [`CompileOptions`].
+///
+/// # Errors
+///
+/// Same as [`compile_program`].
+pub fn compile_program_with(
+    program: &Program,
+    options: CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    let mut symbols = SymbolTable::new();
+    // Pass 1: assign procedure ids so forward calls resolve.
+    let mut proc_ids: HashMap<(String, u8), ProcId> = HashMap::new();
+    let mut proc_names = Vec::new();
+    for proc in &program.procedures {
+        let key = (proc.name.clone(), proc.arity as u8);
+        proc_ids.insert(key.clone(), proc_names.len() as ProcId);
+        proc_names.push(key);
+    }
+
+    let mut code = Vec::new();
+    let mut entries = Vec::new();
+    let mut max_regs: u16 = 0;
+    for proc in &program.procedures {
+        entries.push(code.len());
+        let indexable = options.first_arg_indexing
+            && proc.clauses.len() >= 2
+            && proc
+                .clauses
+                .iter()
+                .any(|c| first_arg_pattern(c) != ArgPattern::Any);
+        let used = if indexable {
+            compile_indexed_procedure(proc, &proc_ids, &mut symbols, &mut code)?
+        } else {
+            compile_procedure(proc, &proc_ids, &mut symbols, &mut code)?
+        };
+        max_regs = max_regs.max(used);
+    }
+
+    let mut word_offsets = Vec::with_capacity(code.len());
+    let mut offset = 0u64;
+    for instr in &code {
+        word_offsets.push(offset);
+        offset += instr.words();
+    }
+
+    Ok(CompiledProgram {
+        code,
+        entries,
+        proc_names,
+        symbols,
+        word_offsets,
+        total_words: offset,
+        max_regs,
+    })
+}
+
+/// Indexed layout: a [`Instr::SwitchOnTag`] entry, shared clause bodies
+/// (soft-failing through the dynamic `clause_fail` register), and one
+/// [`Instr::Retry`] chain per argument tag listing only the clauses that
+/// tag can match.
+fn compile_indexed_procedure(
+    proc: &Procedure,
+    proc_ids: &HashMap<(String, u8), ProcId>,
+    symbols: &mut SymbolTable,
+    code: &mut Vec<Instr>,
+) -> Result<u16, CompileError> {
+    let mut max_regs = proc.arity as u16;
+    let switch_at = code.len();
+    code.push(Instr::SwitchOnTag {
+        var: usize::MAX,
+        int: usize::MAX,
+        atom: usize::MAX,
+        nil: usize::MAX,
+        list: usize::MAX,
+        strct: usize::MAX,
+    });
+
+    // Shared clause bodies (no TryClause: the chain stubs set clause_fail).
+    let mut bodies = Vec::with_capacity(proc.clauses.len());
+    let mut patterns = Vec::with_capacity(proc.clauses.len());
+    for clause in &proc.clauses {
+        bodies.push(code.len());
+        patterns.push(first_arg_pattern(clause));
+        let mut ctx = ClauseCtx::new(proc.arity as u16, clause.line);
+        ctx.compile_head(clause, symbols, code)?;
+        ctx.compile_guards(clause, code)?;
+        code.push(Instr::Commit);
+        ctx.compile_body(clause, proc_ids, symbols, code)?;
+        max_regs = max_regs.max(ctx.high_water);
+    }
+
+    // One Retry chain per tag class; the var chain tries everything.
+    // Empty chains (no clause can match the tag) dispatch straight to
+    // NoMoreClauses, represented by `None` until its address is known.
+    let build_chain = |code: &mut Vec<Instr>, want: Option<ArgPattern>| -> Option<CodeAddr> {
+        let members: Vec<CodeAddr> = bodies
+            .iter()
+            .zip(&patterns)
+            .filter(|(_, &p)| match want {
+                None => true,
+                Some(tag) => p == ArgPattern::Any || p == tag,
+            })
+            .map(|(&b, _)| b)
+            .collect();
+        if members.is_empty() {
+            return None;
+        }
+        let start = code.len();
+        for (i, &body) in members.iter().enumerate() {
+            // `next` of the last entry is patched to NoMoreClauses below.
+            let next = if i + 1 < members.len() {
+                start + i + 1
+            } else {
+                usize::MAX
+            };
+            code.push(Instr::Retry { body, next });
+        }
+        Some(start)
+    };
+
+    let var = build_chain(code, None);
+    let int = build_chain(code, Some(ArgPattern::Int));
+    let atom = build_chain(code, Some(ArgPattern::Atom));
+    let nil = build_chain(code, Some(ArgPattern::Nil));
+    let list = build_chain(code, Some(ArgPattern::List));
+    let strct = build_chain(code, Some(ArgPattern::Struct));
+
+    let nomore = code.len();
+    code.push(Instr::NoMoreClauses);
+    // Patch chain tails and the switch.
+    for instr in code[switch_at..nomore].iter_mut() {
+        if let Instr::Retry { next, .. } = instr {
+            if *next == usize::MAX {
+                *next = nomore;
+            }
+        }
+    }
+    code[switch_at] = Instr::SwitchOnTag {
+        var: var.unwrap_or(nomore),
+        int: int.unwrap_or(nomore),
+        atom: atom.unwrap_or(nomore),
+        nil: nil.unwrap_or(nomore),
+        list: list.unwrap_or(nomore),
+        strct: strct.unwrap_or(nomore),
+    };
+    Ok(max_regs)
+}
+
+fn compile_procedure(
+    proc: &Procedure,
+    proc_ids: &HashMap<(String, u8), ProcId>,
+    symbols: &mut SymbolTable,
+    code: &mut Vec<Instr>,
+) -> Result<u16, CompileError> {
+    let mut max_regs = proc.arity as u16;
+    let mut pending_try: Option<CodeAddr> = None;
+    for clause in &proc.clauses {
+        // Patch the previous clause's TryClause to point here.
+        if let Some(at) = pending_try.take() {
+            let here = code.len();
+            match &mut code[at] {
+                Instr::TryClause { next } => *next = here,
+                other => unreachable!("patch target is {other:?}"),
+            }
+        }
+        pending_try = Some(code.len());
+        code.push(Instr::TryClause { next: usize::MAX });
+
+        let mut ctx = ClauseCtx::new(proc.arity as u16, clause.line);
+        ctx.compile_head(clause, symbols, code)?;
+        ctx.compile_guards(clause, code)?;
+        code.push(Instr::Commit);
+        ctx.compile_body(clause, proc_ids, symbols, code)?;
+        max_regs = max_regs.max(ctx.high_water);
+    }
+    // The fall-through target of the last clause.
+    if let Some(at) = pending_try {
+        let here = code.len();
+        match &mut code[at] {
+            Instr::TryClause { next } => *next = here,
+            other => unreachable!("patch target is {other:?}"),
+        }
+    }
+    code.push(Instr::NoMoreClauses);
+    Ok(max_regs)
+}
+
+/// Per-clause compilation state: the variable→register map and the
+/// temporary allocator.
+struct ClauseCtx {
+    vars: HashMap<String, Reg>,
+    next_temp: u16,
+    high_water: u16,
+    line: u32,
+}
+
+impl ClauseCtx {
+    fn new(arity: u16, line: u32) -> ClauseCtx {
+        ClauseCtx {
+            vars: HashMap::new(),
+            next_temp: arity,
+            high_water: arity,
+            line,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::new(self.line, 1, msg))
+    }
+
+    fn alloc(&mut self) -> Result<Reg, CompileError> {
+        let r = self.next_temp;
+        if r > u8::MAX as u16 {
+            return self.err("clause needs more than 255 registers");
+        }
+        self.next_temp += 1;
+        self.high_water = self.high_water.max(self.next_temp);
+        Ok(r as Reg)
+    }
+
+    fn const_of(&mut self, term: &Term, symbols: &mut SymbolTable) -> Option<Const> {
+        match term {
+            Term::Int(i) => Some(Const::Int(*i)),
+            Term::Atom(a) => Some(Const::Atom(symbols.intern_atom(a))),
+            Term::Nil => Some(Const::Nil),
+            _ => None,
+        }
+    }
+
+    // ---- passive part ----
+
+    fn compile_head(
+        &mut self,
+        clause: &Clause,
+        symbols: &mut SymbolTable,
+        code: &mut Vec<Instr>,
+    ) -> Result<(), CompileError> {
+        for (i, arg) in clause.args.iter().enumerate() {
+            self.match_term(arg, i as Reg, symbols, code)?;
+        }
+        Ok(())
+    }
+
+    /// Compiles the passive match of `term` against the value in `reg`.
+    fn match_term(
+        &mut self,
+        term: &Term,
+        reg: Reg,
+        symbols: &mut SymbolTable,
+        code: &mut Vec<Instr>,
+    ) -> Result<(), CompileError> {
+        match term {
+            Term::Var(v) => {
+                if self.vars.contains_key(v) {
+                    return self.err(format!(
+                        "nonlinear head variable `{v}` is not supported; \
+                         repeat the test in a guard instead"
+                    ));
+                }
+                self.vars.insert(v.clone(), reg);
+                Ok(())
+            }
+            Term::Int(_) | Term::Atom(_) | Term::Nil => {
+                let val = self.const_of(term, symbols).expect("constant term");
+                code.push(Instr::WaitConst { reg, val });
+                Ok(())
+            }
+            Term::Cons(h, t) => {
+                let car = self.alloc()?;
+                let cdr = self.alloc()?;
+                code.push(Instr::WaitList { reg, car, cdr });
+                self.match_term(h, car, symbols, code)?;
+                self.match_term(t, cdr, symbols, code)
+            }
+            Term::Struct(name, args) => {
+                let arity = args.len() as u8;
+                let functor = symbols.intern_functor(name, arity);
+                let dst = self.next_temp;
+                for _ in 0..args.len() {
+                    self.alloc()?;
+                }
+                code.push(Instr::WaitStruct {
+                    reg,
+                    functor,
+                    arity,
+                    dst: dst as Reg,
+                });
+                for (i, a) in args.iter().enumerate() {
+                    self.match_term(a, (dst as usize + i) as Reg, symbols, code)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn compile_guards(
+        &mut self,
+        clause: &Clause,
+        code: &mut Vec<Instr>,
+    ) -> Result<(), CompileError> {
+        for guard in &clause.guards {
+            match guard {
+                Guard::True => {}
+                Guard::Otherwise => code.push(Instr::Otherwise),
+                Guard::Cmp(op, a, b) => {
+                    let a = self.guard_operand(a, code)?;
+                    let b = self.guard_operand(b, code)?;
+                    code.push(Instr::GuardCmp { op: *op, a, b });
+                }
+                Guard::IsInteger(t) | Guard::IsAtom(t) | Guard::IsList(t) => {
+                    let reg = match t {
+                        Term::Var(v) => *self.vars.get(v).ok_or_else(|| {
+                            CompileError::new(
+                                self.line,
+                                1,
+                                format!("guard variable `{v}` does not appear in the head"),
+                            )
+                        })?,
+                        other => {
+                            return self.err(format!(
+                                "type-test guard needs a variable, found `{other}`"
+                            ))
+                        }
+                    };
+                    let test = match guard {
+                        Guard::IsInteger(_) => TypeTest::Integer,
+                        Guard::IsAtom(_) => TypeTest::Atom,
+                        _ => TypeTest::List,
+                    };
+                    code.push(Instr::GuardType { test, reg });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens a guard expression into an operand, emitting `GuardIs` for
+    /// compound subexpressions (which suspend on unbound inputs like every
+    /// other passive instruction).
+    fn guard_operand(
+        &mut self,
+        expr: &Expr,
+        code: &mut Vec<Instr>,
+    ) -> Result<Operand, CompileError> {
+        match expr {
+            Expr::Int(i) => Ok(Operand::Int(*i)),
+            Expr::Var(v) => {
+                let reg = self.vars.get(v).ok_or_else(|| {
+                    CompileError::new(
+                        self.line,
+                        1,
+                        format!("guard variable `{v}` does not appear in the head"),
+                    )
+                })?;
+                Ok(Operand::Reg(*reg))
+            }
+            Expr::Neg(inner) => {
+                let a = self.guard_operand(inner, code)?;
+                let dst = self.alloc()?;
+                code.push(Instr::GuardIs {
+                    dst,
+                    op: crate::ast::ArithOp::Sub,
+                    a: Operand::Int(0),
+                    b: a,
+                });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.guard_operand(a, code)?;
+                let b = self.guard_operand(b, code)?;
+                let dst = self.alloc()?;
+                code.push(Instr::GuardIs { dst, op: *op, a, b });
+                Ok(Operand::Reg(dst))
+            }
+        }
+    }
+
+    // ---- active part ----
+
+    fn compile_body(
+        &mut self,
+        clause: &Clause,
+        proc_ids: &HashMap<(String, u8), ProcId>,
+        symbols: &mut SymbolTable,
+        code: &mut Vec<Instr>,
+    ) -> Result<(), CompileError> {
+        // The final body goal becomes a tail call if (and only if) it is a
+        // user call — goals after a would-be tail call must still run, so
+        // a call in any other position is spawned.
+        let last_call = match clause.body.last() {
+            Some(BodyGoal::Call(name, _)) if name != "halt" => Some(clause.body.len() - 1),
+            _ => None,
+        };
+
+        for (i, goal) in clause.body.iter().enumerate() {
+            match goal {
+                BodyGoal::True => {}
+                BodyGoal::Unify(a, b) => {
+                    let ra = self.build_term(a, symbols, code)?;
+                    let rb = self.build_term(b, symbols, code)?;
+                    code.push(Instr::Unify { a: ra, b: rb });
+                }
+                BodyGoal::Is(var, expr) => {
+                    let result = self.body_expr(expr, code)?;
+                    let name = match var {
+                        Term::Var(v) => v.clone(),
+                        other => return self.err(format!("`:=` target `{other}` not a variable")),
+                    };
+                    match self.vars.get(&name) {
+                        None => {
+                            // Fresh variable: the result register *is* its value.
+                            let dst = self.operand_to_reg(result, code)?;
+                            self.vars.insert(name, dst);
+                        }
+                        Some(&reg) => {
+                            // Caller variable: unify it with the result.
+                            let dst = self.operand_to_reg(result, code)?;
+                            code.push(Instr::Unify { a: reg, b: dst });
+                        }
+                    }
+                }
+                BodyGoal::Call(name, args) => {
+                    if name == "halt" && args.is_empty() {
+                        code.push(Instr::Halt);
+                        continue;
+                    }
+                    let key = (name.clone(), args.len() as u8);
+                    let proc = *proc_ids.get(&key).ok_or_else(|| {
+                        CompileError::new(
+                            self.line,
+                            1,
+                            format!("call to undefined procedure {name}/{}", args.len()),
+                        )
+                    })?;
+                    let arg_regs: Vec<Reg> = args
+                        .iter()
+                        .map(|a| self.build_term(a, symbols, code))
+                        .collect::<Result<_, _>>()?;
+                    if Some(i) == last_call {
+                        // Tail call: stage into fresh contiguous temps, then
+                        // move down into X0.. (temps never alias X0..argc).
+                        let staged: Vec<Reg> = arg_regs
+                            .iter()
+                            .map(|&r| {
+                                let t = self.alloc()?;
+                                code.push(Instr::MoveReg { src: r, dst: t });
+                                Ok(t)
+                            })
+                            .collect::<Result<Vec<_>, CompileError>>()?;
+                        for (j, &t) in staged.iter().enumerate() {
+                            code.push(Instr::MoveReg {
+                                src: t,
+                                dst: j as Reg,
+                            });
+                        }
+                        code.push(Instr::Execute {
+                            proc,
+                            argc: args.len() as u8,
+                        });
+                        return Ok(());
+                    }
+                    code.push(Instr::Spawn {
+                        proc,
+                        args: arg_regs,
+                    });
+                }
+            }
+        }
+        code.push(Instr::Proceed);
+        Ok(())
+    }
+
+    /// Builds `term` into a register (allocating heap cells for compound
+    /// terms and fresh variables).
+    fn build_term(
+        &mut self,
+        term: &Term,
+        symbols: &mut SymbolTable,
+        code: &mut Vec<Instr>,
+    ) -> Result<Reg, CompileError> {
+        match term {
+            Term::Var(v) => match self.vars.get(v) {
+                Some(&r) => Ok(r),
+                None => {
+                    let r = self.alloc()?;
+                    code.push(Instr::PutVar { dst: r });
+                    self.vars.insert(v.clone(), r);
+                    Ok(r)
+                }
+            },
+            Term::Int(_) | Term::Atom(_) | Term::Nil => {
+                let val = self.const_of(term, symbols).expect("constant");
+                let r = self.alloc()?;
+                code.push(Instr::PutConst { dst: r, val });
+                Ok(r)
+            }
+            Term::Cons(h, t) => {
+                let car = self.set_op(h, symbols, code)?;
+                let cdr = self.set_op(t, symbols, code)?;
+                let dst = self.alloc()?;
+                code.push(Instr::PutList { dst, car, cdr });
+                Ok(dst)
+            }
+            Term::Struct(name, args) => {
+                let functor = symbols.intern_functor(name, args.len() as u8);
+                let ops: Vec<SetOp> = args
+                    .iter()
+                    .map(|a| self.set_op(a, symbols, code))
+                    .collect::<Result<_, _>>()?;
+                let dst = self.alloc()?;
+                code.push(Instr::PutStruct {
+                    dst,
+                    functor,
+                    args: ops,
+                });
+                Ok(dst)
+            }
+        }
+    }
+
+    fn set_op(
+        &mut self,
+        term: &Term,
+        symbols: &mut SymbolTable,
+        code: &mut Vec<Instr>,
+    ) -> Result<SetOp, CompileError> {
+        match term {
+            Term::Var(v) => match self.vars.get(v) {
+                Some(&r) => Ok(SetOp::Reg(r)),
+                None => {
+                    let r = self.alloc()?;
+                    self.vars.insert(v.clone(), r);
+                    Ok(SetOp::Fresh(r))
+                }
+            },
+            Term::Int(_) | Term::Atom(_) | Term::Nil => {
+                Ok(SetOp::Const(self.const_of(term, symbols).expect("constant")))
+            }
+            nested => {
+                let r = self.build_term(nested, symbols, code)?;
+                Ok(SetOp::Reg(r))
+            }
+        }
+    }
+
+    /// Flattens a body arithmetic expression, returning its operand.
+    fn body_expr(&mut self, expr: &Expr, code: &mut Vec<Instr>) -> Result<Operand, CompileError> {
+        match expr {
+            Expr::Int(i) => Ok(Operand::Int(*i)),
+            Expr::Var(v) => {
+                let reg = self.vars.get(v).ok_or_else(|| {
+                    CompileError::new(
+                        self.line,
+                        1,
+                        format!("`:=` uses unbound variable `{v}` (bind it first)"),
+                    )
+                })?;
+                Ok(Operand::Reg(*reg))
+            }
+            Expr::Neg(inner) => {
+                let a = self.body_expr(inner, code)?;
+                let dst = self.alloc()?;
+                code.push(Instr::BodyIs {
+                    dst,
+                    op: crate::ast::ArithOp::Sub,
+                    a: Operand::Int(0),
+                    b: a,
+                });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.body_expr(a, code)?;
+                let b = self.body_expr(b, code)?;
+                let dst = self.alloc()?;
+                code.push(Instr::BodyIs { dst, op: *op, a, b });
+                Ok(Operand::Reg(dst))
+            }
+        }
+    }
+
+    /// Materializes an operand into a register holding a tagged integer.
+    fn operand_to_reg(
+        &mut self,
+        operand: Operand,
+        code: &mut Vec<Instr>,
+    ) -> Result<Reg, CompileError> {
+        match operand {
+            Operand::Reg(r) => Ok(r),
+            Operand::Int(i) => {
+                let r = self.alloc()?;
+                code.push(Instr::PutConst {
+                    dst: r,
+                    val: Const::Int(i),
+                });
+                Ok(r)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn compile(src: &str) -> CompiledProgram {
+        compile_program(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn compile_indexed(src: &str) -> CompiledProgram {
+        compile_program_with(
+            &parse_program(src).unwrap(),
+            CompileOptions {
+                first_arg_indexing: true,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compiles_append_with_expected_shape() {
+        let p = compile_indexed(
+            "append([], Y, Z) :- true | Z = Y.\n\
+             append([H|T], Y, Z) :- true | Z = [H|W], append(T, Y, W).",
+        );
+        let id = p.lookup("append", 3).unwrap();
+        let entry = p.entry(id);
+        // Indexed: the entry dispatches on X0's tag.
+        assert!(matches!(p.code[entry], Instr::SwitchOnTag { .. }));
+        // The nil clause starts with WaitConst [] on X0.
+        assert!(p.code.iter().any(|i| matches!(
+            i,
+            Instr::WaitConst {
+                reg: 0,
+                val: Const::Nil
+            }
+        )));
+        // Second clause ends with a tail call to itself.
+        assert!(p
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Execute { proc, argc: 3 } if *proc == id)));
+        // Exactly one NoMoreClauses per procedure.
+        assert_eq!(
+            p.code
+                .iter()
+                .filter(|i| matches!(i, Instr::NoMoreClauses))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn switch_chains_are_tag_filtered() {
+        let p = compile_indexed(
+            "append([], Y, Z) :- true | Z = Y.\n\
+             append([H|T], Y, Z) :- true | Z = [H|W], append(T, Y, W).",
+        );
+        let entry = p.entry(p.lookup("append", 3).unwrap());
+        let Instr::SwitchOnTag {
+            var,
+            int,
+            nil,
+            list,
+            ..
+        } = p.code[entry]
+        else {
+            panic!("no switch at entry");
+        };
+        // No integer clause exists: the int chain is NoMoreClauses itself.
+        assert!(matches!(p.code[int], Instr::NoMoreClauses));
+        // Nil and list chains each retry exactly one clause.
+        assert!(matches!(p.code[nil], Instr::Retry { .. }));
+        assert!(matches!(p.code[list], Instr::Retry { .. }));
+        let Instr::Retry { next, .. } = p.code[nil] else { unreachable!() };
+        assert!(matches!(p.code[next], Instr::NoMoreClauses));
+        // The var chain retries both clauses in order.
+        let Instr::Retry { next: v2, body: b1 } = p.code[var] else {
+            panic!("var chain");
+        };
+        let Instr::Retry { next: vend, body: b2 } = p.code[v2] else {
+            panic!("var chain length");
+        };
+        assert_ne!(b1, b2);
+        assert!(matches!(p.code[vend], Instr::NoMoreClauses));
+    }
+
+    #[test]
+    fn try_clause_chain_is_patched_without_indexing() {
+        let p = compile(
+            "f(1) :- true | true.\nf(2) :- true | true.\nf(3) :- true | true.",
+        );
+        let mut nexts = Vec::new();
+        for (i, instr) in p.code.iter().enumerate() {
+            if let Instr::TryClause { next } = instr {
+                assert!(*next > i, "forward chain");
+                assert!(*next < p.code.len());
+                nexts.push(*next);
+            }
+        }
+        assert_eq!(nexts.len(), 3);
+        // The last TryClause points at NoMoreClauses.
+        assert!(matches!(p.code[*nexts.last().unwrap()], Instr::NoMoreClauses));
+        assert!(!p.code.iter().any(|i| matches!(i, Instr::SwitchOnTag { .. })));
+    }
+
+    #[test]
+    fn single_clause_and_all_var_procedures_stay_linear() {
+        // Not profitable even with indexing on: one clause, or no
+        // discriminating first argument.
+        let p = compile_indexed(
+            "only([X|Xs]) :- true | only(Xs).\n\
+             pass(X, Y) :- true | Y = X.\n\
+             pass(X, Y) :- otherwise | Y = X.",
+        );
+        let only = p.entry(p.lookup("only", 1).unwrap());
+        assert!(matches!(p.code[only], Instr::TryClause { .. }));
+        let pass = p.entry(p.lookup("pass", 2).unwrap());
+        assert!(matches!(p.code[pass], Instr::TryClause { .. }));
+    }
+
+    #[test]
+    fn call_followed_by_unification_is_spawned_not_tail_called() {
+        // Regression: `mv(M, B, NB), R = yes(NB)` must bind R — a tail
+        // call at the non-final position would drop the unification.
+        let p = compile(
+            "chk(M, B, R) :- true | mv(M, B, NB), R = yes(NB).\n\
+             mv(_, _, _) :- true | true.",
+        );
+        let chk = p.lookup("chk", 3).unwrap();
+        let start = p.entry(chk);
+        let end = p.entry(p.lookup("mv", 3).unwrap());
+        let body = &p.code[start..end];
+        assert!(body.iter().any(|i| matches!(i, Instr::Spawn { .. })));
+        assert!(!body.iter().any(|i| matches!(i, Instr::Execute { .. })));
+        // The unification after the call is still emitted.
+        assert!(body.iter().any(|i| matches!(i, Instr::Unify { .. })));
+    }
+
+    #[test]
+    fn nonlast_calls_spawn_last_call_executes() {
+        let p = compile(
+            "f(X) :- true | g(X), h(X), g(X).\n\
+             g(_) :- true | true.\n\
+             h(_) :- true | true.",
+        );
+        let spawns = p
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::Spawn { .. }))
+            .count();
+        let executes = p
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::Execute { .. }))
+            .count();
+        assert_eq!(spawns, 2);
+        assert_eq!(executes, 1);
+    }
+
+    #[test]
+    fn nested_head_structures_compile_to_waits() {
+        let p = compile("f(tree(L, v(X), R)) :- true | true.");
+        let waits = p
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::WaitStruct { .. }))
+            .count();
+        assert_eq!(waits, 2, "outer tree/3 and inner v/1");
+    }
+
+    #[test]
+    fn body_builds_nested_terms_bottom_up() {
+        let p = compile("f(Z) :- true | Z = pair([1], g(2)).\n");
+        // A PutList for [1], a PutStruct for g(2), then pair/2, then Unify.
+        let has_list = p.code.iter().any(|i| matches!(i, Instr::PutList { .. }));
+        let structs = p
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::PutStruct { .. }))
+            .count();
+        assert!(has_list);
+        assert_eq!(structs, 2);
+        assert!(p.code.iter().any(|i| matches!(i, Instr::Unify { .. })));
+    }
+
+    #[test]
+    fn halt_compiles_to_halt() {
+        let p = compile("main :- true | halt.");
+        assert!(p.code.iter().any(|i| matches!(i, Instr::Halt)));
+    }
+
+    #[test]
+    fn undefined_call_is_an_error() {
+        let err = compile_program(&parse_program("f :- true | nope(3).").unwrap()).unwrap_err();
+        assert!(err.message.contains("undefined procedure nope/1"), "{err}");
+    }
+
+    #[test]
+    fn nonlinear_head_is_an_error() {
+        let err = compile_program(&parse_program("f(X, X) :- true | true.").unwrap()).unwrap_err();
+        assert!(err.message.contains("nonlinear"), "{err}");
+    }
+
+    #[test]
+    fn guard_variable_must_come_from_head() {
+        let err =
+            compile_program(&parse_program("f(X) :- Y < 3 | true.").unwrap()).unwrap_err();
+        assert!(err.message.contains("does not appear in the head"), "{err}");
+    }
+
+    #[test]
+    fn word_offsets_are_monotonic() {
+        let p = compile(
+            "fib(N, F) :- N < 2 | F = N.\n\
+             fib(N, F) :- N >= 2 | N1 := N - 1, N2 := N - 2, \
+             fib(N1, F1), fib(N2, F2), add(F1, F2, F).\n\
+             add(A, B, C) :- integer(A), integer(B) | C := A + B.",
+        );
+        assert_eq!(p.word_offsets.len(), p.code.len());
+        for w in p.word_offsets.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(p.total_words >= p.code.len() as u64);
+        assert!(p.max_regs >= 3);
+    }
+
+    #[test]
+    fn assign_to_head_variable_unifies() {
+        // C is a caller variable: `C := A + B` must unify, not clobber.
+        let p = compile("add(A, B, C) :- true | C := A + B.");
+        assert!(p.code.iter().any(|i| matches!(i, Instr::Unify { .. })));
+    }
+
+    #[test]
+    fn guard_arithmetic_flattens_to_guard_is() {
+        let p = compile("f(X, Y) :- X + 1 < Y * 2 | true.");
+        let gis = p
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::GuardIs { .. }))
+            .count();
+        assert_eq!(gis, 2);
+        assert!(p.code.iter().any(|i| matches!(i, Instr::GuardCmp { .. })));
+    }
+}

@@ -1,0 +1,50 @@
+//! Compilation errors.
+
+use std::fmt;
+
+/// A syntax or semantic error found while compiling FGHC source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at a source position.
+    pub fn new(line: u32, column: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = CompileError::new(3, 7, "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<CompileError>();
+    }
+}

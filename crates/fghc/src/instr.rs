@@ -1,0 +1,437 @@
+//! The abstract instruction set (KL1-B flavoured).
+//!
+//! A procedure compiles to a sequence of clause blocks. Each block starts
+//! with [`Instr::TryClause`]; the *passive* instructions (`Wait*`,
+//! `Guard*`) either succeed, soft-fail to the next clause, or add a
+//! variable to the clause's suspension set and then soft-fail. After
+//! [`Instr::Commit`] come the *active* instructions that build terms,
+//! perform output unification, and spawn body goals. A goal's last body
+//! call is compiled to [`Instr::Execute`] (registers stay live — no goal
+//! record is written), matching the KL1 rule that goal records are written
+//! once and read once only when they pass through the goal list.
+//!
+//! Instructions carry a nominal word size ([`Instr::words`]) so the
+//! machine can charge instruction-area fetches like the paper's emulator.
+
+use crate::ast::{ArithOp, CmpOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an instruction in the code vector.
+pub type CodeAddr = usize;
+
+/// A machine register index (`X0`, `X1`, …). Goal arguments arrive in
+/// `X0..arity`.
+pub type Reg = u8;
+
+/// Interned atom id. Id 0 is always `[]` (nil's print name).
+pub type AtomId = u32;
+
+/// Interned functor id (name/arity pairs).
+pub type FunctorId = u32;
+
+/// Procedure id (index into [`CompiledProgram::entries`]).
+pub type ProcId = u32;
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Const {
+    /// An integer.
+    Int(i64),
+    /// An interned atom.
+    Atom(AtomId),
+    /// The empty list.
+    Nil,
+}
+
+/// A register or immediate integer operand of an arithmetic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Register contents (dereferenced at run time).
+    Reg(Reg),
+    /// Immediate integer.
+    Int(i64),
+}
+
+/// One slot of a structure/cons being built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Store a register's value.
+    Reg(Reg),
+    /// Store a constant.
+    Const(Const),
+    /// Allocate a fresh unbound variable, store it in the slot *and* in
+    /// the given register (for later use).
+    Fresh(Reg),
+}
+
+/// Type tests available in guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeTest {
+    /// `integer(X)`
+    Integer,
+    /// `atom(X)` (includes `[]`)
+    Atom,
+    /// `list(X)` — a cons cell
+    List,
+}
+
+/// One abstract machine instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    // ---- clause control ----
+    /// Begin a clause attempt; soft failure resumes at `next`.
+    TryClause {
+        /// Code address of the next clause block (or the procedure's
+        /// [`Instr::NoMoreClauses`]).
+        next: CodeAddr,
+    },
+    /// First-argument indexing: dereference `X0` (updating it to the
+    /// resolved value) and jump to the clause chain for its tag. An
+    /// unbound argument takes the `var` chain, which tries every clause
+    /// so each can register its suspension candidates.
+    SwitchOnTag {
+        /// Chain for an unbound first argument (all clauses).
+        var: CodeAddr,
+        /// Chain for integers.
+        int: CodeAddr,
+        /// Chain for atoms.
+        atom: CodeAddr,
+        /// Chain for `[]`.
+        nil: CodeAddr,
+        /// Chain for cons cells.
+        list: CodeAddr,
+        /// Chain for structures.
+        strct: CodeAddr,
+    },
+    /// One step of an indexed clause chain: set the soft-fail target to
+    /// `next` and enter the clause body at `body`.
+    Retry {
+        /// The shared clause body.
+        body: CodeAddr,
+        /// The next chain entry (or [`Instr::NoMoreClauses`]).
+        next: CodeAddr,
+    },
+    /// All clauses tried: fail the program, or suspend the goal if any
+    /// clause recorded a suspension variable.
+    NoMoreClauses,
+    /// Commit to this clause (end of the passive part).
+    Commit,
+    /// Reduction complete with no further body goal.
+    Proceed,
+    /// Tail call: continue with `proc`, arguments already in `X0..argc`.
+    Execute {
+        /// The procedure to continue with.
+        proc: ProcId,
+        /// Its arity.
+        argc: u8,
+    },
+    /// Create a goal record for `proc` with the listed argument registers
+    /// and push it on the front of this PE's goal list.
+    Spawn {
+        /// The procedure of the new goal.
+        proc: ProcId,
+        /// Argument registers, in order.
+        args: Vec<Reg>,
+    },
+    /// Stop the whole machine (successful program end).
+    Halt,
+
+    // ---- passive part ----
+    /// Dereference `reg`; succeed if equal to `val`, suspend-candidate if
+    /// unbound, else soft-fail.
+    WaitConst {
+        /// Register holding the term to test.
+        reg: Reg,
+        /// Expected constant.
+        val: Const,
+    },
+    /// Dereference `reg`; on a cons cell load car/cdr, on unbound
+    /// suspend-candidate, else soft-fail.
+    WaitList {
+        /// Register holding the term to test.
+        reg: Reg,
+        /// Destination for the head.
+        car: Reg,
+        /// Destination for the tail.
+        cdr: Reg,
+    },
+    /// Dereference `reg`; on a matching structure load its arguments into
+    /// `dst..dst+arity`, on unbound suspend-candidate, else soft-fail.
+    WaitStruct {
+        /// Register holding the term to test.
+        reg: Reg,
+        /// Expected functor.
+        functor: FunctorId,
+        /// Expected arity.
+        arity: u8,
+        /// First destination register for the arguments.
+        dst: Reg,
+    },
+    /// Arithmetic comparison; suspend-candidate while an operand is an
+    /// unbound variable, soft-fail on non-integers or a false comparison.
+    GuardCmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Guard arithmetic (for compound comparison expressions); suspends
+    /// like [`Instr::GuardCmp`], stores the result in `dst`.
+    GuardIs {
+        /// Result register.
+        dst: Reg,
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Type test; suspend-candidate on unbound.
+    GuardType {
+        /// The test.
+        test: TypeTest,
+        /// Register holding the term to test.
+        reg: Reg,
+    },
+    /// `otherwise`: succeed if no earlier clause suspended, else suspend.
+    Otherwise,
+
+    // ---- active part ----
+    /// Copy a register.
+    MoveReg {
+        /// Source.
+        src: Reg,
+        /// Destination.
+        dst: Reg,
+    },
+    /// Load a constant.
+    PutConst {
+        /// Destination register.
+        dst: Reg,
+        /// The constant.
+        val: Const,
+    },
+    /// Allocate a fresh unbound heap variable into `dst`.
+    PutVar {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Allocate a cons cell on the heap (direct-written) and load its
+    /// tagged pointer into `dst`.
+    PutList {
+        /// Destination register.
+        dst: Reg,
+        /// The head slot.
+        car: SetOp,
+        /// The tail slot.
+        cdr: SetOp,
+    },
+    /// Allocate a structure on the heap and load its pointer into `dst`.
+    PutStruct {
+        /// Destination register.
+        dst: Reg,
+        /// The functor.
+        functor: FunctorId,
+        /// The argument slots.
+        args: Vec<SetOp>,
+    },
+    /// Body arithmetic; operands must be bound integers.
+    BodyIs {
+        /// Result register.
+        dst: Reg,
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// General active unification of two registers (may bind variables,
+    /// with per-word locking; may resume suspended goals).
+    Unify {
+        /// One side.
+        a: Reg,
+        /// Other side.
+        b: Reg,
+    },
+}
+
+impl Instr {
+    /// Nominal encoded size in instruction-area words, charged as
+    /// instruction fetches by the machine.
+    pub fn words(&self) -> u64 {
+        match self {
+            Instr::Spawn { args, .. } => 1 + args.len().div_ceil(4) as u64,
+            Instr::PutStruct { args, .. } => 1 + args.len().div_ceil(4) as u64,
+            Instr::WaitStruct { .. }
+            | Instr::PutList { .. }
+            | Instr::TryClause { .. }
+            | Instr::SwitchOnTag { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Interned atoms and functors.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    atoms: Vec<String>,
+    atom_ids: HashMap<String, AtomId>,
+    functors: Vec<(String, u8)>,
+    functor_ids: HashMap<(String, u8), FunctorId>,
+}
+
+impl SymbolTable {
+    /// Creates a table with `[]` pre-interned as atom 0.
+    pub fn new() -> SymbolTable {
+        let mut t = SymbolTable::default();
+        t.intern_atom("[]");
+        t
+    }
+
+    /// Interns an atom, returning its id.
+    pub fn intern_atom(&mut self, name: &str) -> AtomId {
+        if let Some(&id) = self.atom_ids.get(name) {
+            return id;
+        }
+        let id = self.atoms.len() as AtomId;
+        self.atoms.push(name.to_string());
+        self.atom_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Interns a functor, returning its id.
+    pub fn intern_functor(&mut self, name: &str, arity: u8) -> FunctorId {
+        let key = (name.to_string(), arity);
+        if let Some(&id) = self.functor_ids.get(&key) {
+            return id;
+        }
+        let id = self.functors.len() as FunctorId;
+        self.functors.push(key.clone());
+        self.functor_ids.insert(key, id);
+        id
+    }
+
+    /// The print name of an atom.
+    pub fn atom_name(&self, id: AtomId) -> &str {
+        &self.atoms[id as usize]
+    }
+
+    /// The (name, arity) of a functor.
+    pub fn functor(&self, id: FunctorId) -> (&str, u8) {
+        let (n, a) = &self.functors[id as usize];
+        (n, *a)
+    }
+
+    /// Looks up an atom id without interning.
+    pub fn atom_id(&self, name: &str) -> Option<AtomId> {
+        self.atom_ids.get(name).copied()
+    }
+}
+
+/// A compiled program: the code vector, the procedure table, and symbols.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// All instructions, procedures laid out back to back.
+    pub code: Vec<Instr>,
+    /// Entry code address of each procedure, indexed by [`ProcId`].
+    pub entries: Vec<CodeAddr>,
+    /// `(name, arity)` of each procedure, indexed by [`ProcId`].
+    pub proc_names: Vec<(String, u8)>,
+    /// Interned symbols.
+    pub symbols: SymbolTable,
+    /// Simulated instruction-area word offset of each instruction.
+    pub word_offsets: Vec<u64>,
+    /// Total instruction-area words occupied.
+    pub total_words: u64,
+    /// Number of registers the largest clause needs.
+    pub max_regs: u16,
+}
+
+impl CompiledProgram {
+    /// Finds a procedure id by name and arity.
+    pub fn lookup(&self, name: &str, arity: u8) -> Option<ProcId> {
+        self.proc_names
+            .iter()
+            .position(|(n, a)| n == name && *a == arity)
+            .map(|i| i as ProcId)
+    }
+
+    /// The entry code address of `proc`.
+    pub fn entry(&self, proc: ProcId) -> CodeAddr {
+        self.entries[proc as usize]
+    }
+
+    /// Static source size proxy: number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+impl fmt::Display for CompiledProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, &entry) in self.entries.iter().enumerate() {
+            let (name, arity) = &self.proc_names[id];
+            writeln!(f, "{name}/{arity}: @{entry}")?;
+            let end = self
+                .entries
+                .get(id + 1)
+                .copied()
+                .unwrap_or(self.code.len());
+            for (pc, instr) in self.code[entry..end].iter().enumerate() {
+                writeln!(f, "  {:4}  {instr:?}", entry + pc)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_interning_is_stable() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.atom_id("[]"), Some(0));
+        let foo = t.intern_atom("foo");
+        assert_eq!(t.intern_atom("foo"), foo);
+        assert_eq!(t.atom_name(foo), "foo");
+        let f2 = t.intern_functor("f", 2);
+        let f3 = t.intern_functor("f", 3);
+        assert_ne!(f2, f3, "arity distinguishes functors");
+        assert_eq!(t.functor(f2), ("f", 2));
+    }
+
+    #[test]
+    fn instruction_word_sizes() {
+        assert_eq!(Instr::Commit.words(), 1);
+        assert_eq!(Instr::TryClause { next: 0 }.words(), 2);
+        assert_eq!(
+            Instr::Spawn {
+                proc: 0,
+                args: vec![0, 1, 2, 3, 4]
+            }
+            .words(),
+            3
+        );
+        assert_eq!(
+            Instr::PutStruct {
+                dst: 0,
+                functor: 0,
+                args: vec![SetOp::Reg(1)]
+            }
+            .words(),
+            2
+        );
+    }
+}

@@ -1,0 +1,427 @@
+//! Tokenizer for FGHC source.
+
+use crate::CompileError;
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+/// Token kinds of the FGHC surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Lowercase-initial identifier or quoted atom: `append`, `'Foo'`.
+    Atom(String),
+    /// Uppercase/underscore-initial identifier: `X`, `_Tail`, `_`.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `|` — commit bar or list tail separator, by context.
+    Bar,
+    /// `.` — clause terminator.
+    Dot,
+    /// `:-`
+    Neck,
+    /// `=`
+    Eq,
+    /// `:=`
+    Assign,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=<`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=:=`
+    ArithEq,
+    /// `=\=`
+    ArithNe,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Atom(a) => write!(f, "atom `{a}`"),
+            TokenKind::Var(v) => write!(f, "variable `{v}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Bar => f.write_str("`|`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Neck => f.write_str("`:-`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Assign => f.write_str("`:=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Le => f.write_str("`=<`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::ArithEq => f.write_str("`=:=`"),
+            TokenKind::ArithNe => f.write_str("`=\\=`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// Tokenizes FGHC source.
+///
+/// Supports `%` line comments and `/* */` block comments. The keyword
+/// `mod` lexes as an atom and is given meaning by the parser.
+///
+/// # Errors
+///
+/// Returns a positioned [`CompileError`] on an unrecognized character,
+/// unterminated quote/comment, or an out-of-range integer.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr, $l:expr, $c:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                line: $l,
+                column: $c,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let (l, c) = (line, col);
+        let ch = chars[i];
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+
+        match ch {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut col),
+            '%' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(CompileError::new(l, c, "unterminated block comment"));
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        advance(&mut i, &mut line, &mut col);
+                        advance(&mut i, &mut line, &mut col);
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '(' => {
+                push!(TokenKind::LParen, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ')' => {
+                push!(TokenKind::RParen, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '[' => {
+                push!(TokenKind::LBracket, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ']' => {
+                push!(TokenKind::RBracket, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ',' => {
+                push!(TokenKind::Comma, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '|' => {
+                push!(TokenKind::Bar, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '.' => {
+                push!(TokenKind::Dot, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '+' => {
+                push!(TokenKind::Plus, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '-' => {
+                push!(TokenKind::Minus, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '*' => {
+                push!(TokenKind::Star, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '/' => {
+                push!(TokenKind::Slash, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ':' => {
+                advance(&mut i, &mut line, &mut col);
+                match chars.get(i) {
+                    Some('-') => {
+                        push!(TokenKind::Neck, l, c);
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                    Some('=') => {
+                        push!(TokenKind::Assign, l, c);
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                    _ => return Err(CompileError::new(l, c, "expected `:-` or `:=`")),
+                }
+            }
+            '<' => {
+                push!(TokenKind::Lt, l, c);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '>' => {
+                advance(&mut i, &mut line, &mut col);
+                if chars.get(i) == Some(&'=') {
+                    push!(TokenKind::Ge, l, c);
+                    advance(&mut i, &mut line, &mut col);
+                } else {
+                    push!(TokenKind::Gt, l, c);
+                }
+            }
+            '=' => {
+                advance(&mut i, &mut line, &mut col);
+                match chars.get(i) {
+                    Some('<') => {
+                        push!(TokenKind::Le, l, c);
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                    Some(':') => {
+                        advance(&mut i, &mut line, &mut col);
+                        if chars.get(i) == Some(&'=') {
+                            push!(TokenKind::ArithEq, l, c);
+                            advance(&mut i, &mut line, &mut col);
+                        } else {
+                            return Err(CompileError::new(l, c, "expected `=:=`"));
+                        }
+                    }
+                    Some('\\') => {
+                        advance(&mut i, &mut line, &mut col);
+                        if chars.get(i) == Some(&'=') {
+                            push!(TokenKind::ArithNe, l, c);
+                            advance(&mut i, &mut line, &mut col);
+                        } else {
+                            return Err(CompileError::new(l, c, "expected `=\\=`"));
+                        }
+                    }
+                    _ => push!(TokenKind::Eq, l, c),
+                }
+            }
+            '\'' => {
+                advance(&mut i, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(CompileError::new(l, c, "unterminated quoted atom")),
+                        Some('\'') => {
+                            advance(&mut i, &mut line, &mut col);
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                    }
+                }
+                push!(TokenKind::Atom(s), l, c);
+            }
+            '0'..='9' => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.get(i) {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(i64::from(v)))
+                            .ok_or_else(|| {
+                                CompileError::new(l, c, "integer literal out of range")
+                            })?;
+                        advance(&mut i, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Int(n), l, c);
+            }
+            'a'..='z' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.get(i) {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        advance(&mut i, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Atom(s), l, c);
+            }
+            'A'..='Z' | '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.get(i) {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        advance(&mut i, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Var(s), l, c);
+            }
+            other => {
+                return Err(CompileError::new(l, c, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    push!(TokenKind::Eof, line, col);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_clause() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("app([],Y,Z) :- true | Z = Y."),
+            vec![
+                Atom("app".into()),
+                LParen,
+                LBracket,
+                RBracket,
+                Comma,
+                Var("Y".into()),
+                Comma,
+                Var("Z".into()),
+                RParen,
+                Neck,
+                Atom("true".into()),
+                Bar,
+                Var("Z".into()),
+                Eq,
+                Var("Y".into()),
+                Dot,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("X := Y + 1, A =< B, C =:= D, E =\\= F, G >= H"),
+            vec![
+                Var("X".into()),
+                Assign,
+                Var("Y".into()),
+                Plus,
+                Int(1),
+                Comma,
+                Var("A".into()),
+                Le,
+                Var("B".into()),
+                Comma,
+                Var("C".into()),
+                ArithEq,
+                Var("D".into()),
+                Comma,
+                Var("E".into()),
+                ArithNe,
+                Var("F".into()),
+                Comma,
+                Var("G".into()),
+                Ge,
+                Var("H".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_positions_tracked() {
+        let toks = tokenize("% header\n/* multi\nline */ foo").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Atom("foo".into()));
+        assert_eq!(toks[0].line, 3);
+        assert_eq!(toks[0].column, 9);
+    }
+
+    #[test]
+    fn quoted_atoms_keep_case() {
+        assert_eq!(kinds("'Hello'")[0], TokenKind::Atom("Hello".into()));
+    }
+
+    #[test]
+    fn underscore_is_a_variable() {
+        assert_eq!(kinds("_")[0], TokenKind::Var("_".into()));
+        assert_eq!(kinds("_Foo")[0], TokenKind::Var("_Foo".into()));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("foo\n  @").unwrap_err();
+        assert_eq!((err.line, err.column), (2, 3));
+        assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(tokenize("/* oops").is_err());
+        assert!(tokenize("'oops").is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Flat Guarded Horn Clauses (FGHC) front end.
+//!
+//! FGHC (Ueda 1987) is the committed-choice logic programming language
+//! underlying KL1, the language of ICOT's Parallel Inference Machine. A
+//! clause has the shape
+//!
+//! ```text
+//! Head :- Guard₁, …, Guardₘ | Body₁, …, Bodyₙ.
+//! ```
+//!
+//! where the *passive part* (head + guards) may only perform input
+//! unification and built-in tests — attempting to bind a caller's variable
+//! there suspends the call — and all output unification happens in the
+//! *body* after the commit bar `|`.
+//!
+//! This crate provides:
+//!
+//! * the surface syntax: [`lexer`], [`parser`] and [`ast`];
+//! * the KL1-B-flavoured abstract [`instr`]uction set;
+//! * the [`mod@compile`] module: the compiler from clauses to instructions.
+//!
+//! The companion crate `kl1-machine` executes the compiled form on a
+//! multiprocessor memory system.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//!     append([], Y, Z)    :- true | Z = Y.
+//!     append([H|T], Y, Z) :- true | Z = [H|W], append(T, Y, W).
+//! "#;
+//! let program = fghc::compile(src)?;
+//! assert!(program.lookup("append", 3).is_some());
+//! # Ok::<(), fghc::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod instr;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BodyGoal, Clause, Expr, Guard, Procedure, Program, Term};
+pub use compile::{compile_program, compile_program_with, CompileOptions};
+pub use error::CompileError;
+pub use instr::{CodeAddr, CompiledProgram, Instr, Operand, SymbolTable};
+
+/// Parses and compiles FGHC source text in one step.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first syntax or semantic
+/// problem, with line/column information.
+///
+/// # Examples
+///
+/// ```
+/// let p = fghc::compile("main :- true | true.")?;
+/// assert!(p.lookup("main", 0).is_some());
+/// # Ok::<(), fghc::CompileError>(())
+/// ```
+pub fn compile(source: &str) -> Result<CompiledProgram, CompileError> {
+    compile_with(source, CompileOptions::default())
+}
+
+/// Parses and compiles with explicit [`CompileOptions`] (e.g. to disable
+/// first-argument indexing for an ablation).
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with(
+    source: &str,
+    options: CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    let program = parser::parse_program(source)?;
+    compile::compile_program_with(&program, options)
+}

@@ -1,0 +1,518 @@
+//! Recursive-descent parser for FGHC.
+
+use crate::ast::{ArithOp, BodyGoal, Clause, CmpOp, Expr, Guard, Procedure, Program, Term};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::CompileError;
+
+/// Parses a whole program.
+///
+/// Clauses of the same predicate are grouped into [`Procedure`]s in source
+/// order. Guards must be flat (built-in tests only) — that is the F in
+/// FGHC.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its position.
+pub fn parse_program(source: &str) -> Result<Program, CompileError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        anon_counter: 0,
+    };
+    let mut program = Program::default();
+    while !p.at(&TokenKind::Eof) {
+        let clause = p.clause()?;
+        match program
+            .procedures
+            .iter_mut()
+            .find(|proc| proc.name == clause.name && proc.arity == clause.arity())
+        {
+            Some(proc) => proc.clauses.push(clause),
+            None => program.procedures.push(Procedure {
+                name: clause.name.clone(),
+                arity: clause.arity(),
+                clauses: vec![clause],
+            }),
+        }
+    }
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    anon_counter: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, CompileError> {
+        if self.at(&kind) {
+            Ok(self.advance())
+        } else {
+            let t = self.peek();
+            Err(CompileError::new(
+                t.line,
+                t.column,
+                format!("expected {kind}, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn error<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
+        let t = self.peek();
+        Err(CompileError::new(t.line, t.column, msg))
+    }
+
+    fn fresh_anon(&mut self) -> String {
+        self.anon_counter += 1;
+        format!("_G{}", self.anon_counter)
+    }
+
+    // clause := head [":-" rest] "."
+    fn clause(&mut self) -> Result<Clause, CompileError> {
+        let head_tok = self.peek().clone();
+        let line = head_tok.line;
+        let (name, args) = self.head()?;
+        let (guards, body) = if self.at(&TokenKind::Neck) {
+            self.advance();
+            self.guards_and_body()?
+        } else {
+            (vec![Guard::True], vec![BodyGoal::True])
+        };
+        self.expect(TokenKind::Dot)?;
+        Ok(Clause {
+            name,
+            args,
+            guards,
+            body,
+            line,
+        })
+    }
+
+    fn head(&mut self) -> Result<(String, Vec<Term>), CompileError> {
+        let tok = self.advance();
+        let name = match tok.kind {
+            TokenKind::Atom(a) => a,
+            other => {
+                return Err(CompileError::new(
+                    tok.line,
+                    tok.column,
+                    format!("expected clause head atom, found {other}"),
+                ))
+            }
+        };
+        let args = if self.at(&TokenKind::LParen) {
+            self.advance();
+            let mut args = vec![self.term()?];
+            while self.at(&TokenKind::Comma) {
+                self.advance();
+                args.push(self.term()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            args
+        } else {
+            Vec::new()
+        };
+        Ok((name, args))
+    }
+
+    // Goals up to `|` are guards; after it, body. Without a bar the guard
+    // defaults to `true` and everything is body.
+    fn guards_and_body(&mut self) -> Result<(Vec<Guard>, Vec<BodyGoal>), CompileError> {
+        if self.has_commit_bar() {
+            let guards = self.guard_seq()?;
+            self.expect(TokenKind::Bar)?;
+            let body = self.body_seq()?;
+            Ok((guards, body))
+        } else {
+            let body = self.body_seq()?;
+            Ok((vec![Guard::True], body))
+        }
+    }
+
+    /// Looks ahead to the clause terminator for a top-level commit bar
+    /// (a `|` inside `[...]` or `(...)` is a list tail, not a commit).
+    fn has_commit_bar(&self) -> bool {
+        let mut depth = 0usize;
+        for tok in &self.tokens[self.pos..] {
+            match tok.kind {
+                TokenKind::LBracket | TokenKind::LParen => depth += 1,
+                TokenKind::RBracket | TokenKind::RParen => depth = depth.saturating_sub(1),
+                TokenKind::Bar if depth == 0 => return true,
+                TokenKind::Dot | TokenKind::Eof => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn guard_seq(&mut self) -> Result<Vec<Guard>, CompileError> {
+        let mut guards = vec![self.guard()?];
+        while self.at(&TokenKind::Comma) {
+            self.advance();
+            guards.push(self.guard()?);
+        }
+        Ok(guards)
+    }
+
+    fn guard(&mut self) -> Result<Guard, CompileError> {
+        // Builtin guard atoms and type tests.
+        if let TokenKind::Atom(name) = &self.peek().kind {
+            let name = name.clone();
+            match name.as_str() {
+                "true" => {
+                    self.advance();
+                    return Ok(Guard::True);
+                }
+                "otherwise" => {
+                    self.advance();
+                    return Ok(Guard::Otherwise);
+                }
+                "integer" | "atom" | "list" => {
+                    self.advance();
+                    self.expect(TokenKind::LParen)?;
+                    let t = self.term()?;
+                    self.expect(TokenKind::RParen)?;
+                    return Ok(match name.as_str() {
+                        "integer" => Guard::IsInteger(t),
+                        "atom" => Guard::IsAtom(t),
+                        _ => Guard::IsList(t),
+                    });
+                }
+                other => {
+                    return self.error(format!(
+                        "`{other}` is not a builtin guard (FGHC guards are flat)"
+                    ));
+                }
+            }
+        }
+        // Arithmetic comparison.
+        let lhs = self.expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::ArithEq => CmpOp::Eq,
+            TokenKind::ArithNe => CmpOp::Ne,
+            _ => return self.error("expected a comparison operator in guard"),
+        };
+        self.advance();
+        let rhs = self.expr()?;
+        Ok(Guard::Cmp(op, lhs, rhs))
+    }
+
+    fn body_seq(&mut self) -> Result<Vec<BodyGoal>, CompileError> {
+        let mut goals = vec![self.body_goal()?];
+        while self.at(&TokenKind::Comma) {
+            self.advance();
+            goals.push(self.body_goal()?);
+        }
+        Ok(goals)
+    }
+
+    fn body_goal(&mut self) -> Result<BodyGoal, CompileError> {
+        let t = self.term()?;
+        match self.peek().kind {
+            TokenKind::Eq => {
+                self.advance();
+                let rhs = self.term()?;
+                Ok(BodyGoal::Unify(t, rhs))
+            }
+            TokenKind::Assign => {
+                self.advance();
+                if !matches!(t, Term::Var(_)) {
+                    return self.error("left side of `:=` must be a variable");
+                }
+                let e = self.expr()?;
+                Ok(BodyGoal::Is(t, e))
+            }
+            _ => match t {
+                Term::Atom(a) if a == "true" => Ok(BodyGoal::True),
+                Term::Atom(a) => Ok(BodyGoal::Call(a, Vec::new())),
+                Term::Struct(name, args) => Ok(BodyGoal::Call(name, args)),
+                other => self.error(format!("`{other}` is not a valid body goal")),
+            },
+        }
+    }
+
+    // term := var | int | -int | atom | atom(args) | list | (term)
+    fn term(&mut self) -> Result<Term, CompileError> {
+        let tok = self.advance();
+        match tok.kind {
+            TokenKind::Var(v) => {
+                if v == "_" {
+                    Ok(Term::Var(self.fresh_anon()))
+                } else {
+                    Ok(Term::Var(v))
+                }
+            }
+            TokenKind::Int(i) => Ok(Term::Int(i)),
+            TokenKind::Minus => {
+                let t = self.expect_int()?;
+                Ok(Term::Int(-t))
+            }
+            TokenKind::Atom(a) => {
+                if self.at(&TokenKind::LParen) {
+                    self.advance();
+                    let mut args = vec![self.term()?];
+                    while self.at(&TokenKind::Comma) {
+                        self.advance();
+                        args.push(self.term()?);
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Term::Struct(a, args))
+                } else {
+                    Ok(Term::Atom(a))
+                }
+            }
+            TokenKind::LBracket => {
+                if self.at(&TokenKind::RBracket) {
+                    self.advance();
+                    return Ok(Term::Nil);
+                }
+                let mut items = vec![self.term()?];
+                while self.at(&TokenKind::Comma) {
+                    self.advance();
+                    items.push(self.term()?);
+                }
+                let tail = if self.at(&TokenKind::Bar) {
+                    self.advance();
+                    Some(self.term()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::RBracket)?;
+                Ok(Term::list(items, tail))
+            }
+            TokenKind::LParen => {
+                let t = self.term()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(t)
+            }
+            other => Err(CompileError::new(
+                tok.line,
+                tok.column,
+                format!("expected a term, found {other}"),
+            )),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, CompileError> {
+        let tok = self.advance();
+        match tok.kind {
+            TokenKind::Int(i) => Ok(i),
+            other => Err(CompileError::new(
+                tok.line,
+                tok.column,
+                format!("expected an integer, found {other}"),
+            )),
+        }
+    }
+
+    // expr := mul (("+"|"-") mul)*
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    // mul := unary (("*"|"/"|mod) unary)*
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                TokenKind::Atom(a) if a == "mod" => ArithOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        match &self.peek().kind {
+            TokenKind::Minus => {
+                self.advance();
+                Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+            }
+            TokenKind::Int(i) => {
+                let i = *i;
+                self.advance();
+                Ok(Expr::Int(i))
+            }
+            TokenKind::Var(v) => {
+                let v = v.clone();
+                self.advance();
+                if v == "_" {
+                    self.error("`_` cannot appear in an arithmetic expression")
+                } else {
+                    Ok(Expr::Var(v))
+                }
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => self.error(format!("expected an arithmetic operand, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_append() {
+        let p = parse_program(
+            "append([], Y, Z) :- true | Z = Y.\n\
+             append([H|T], Y, Z) :- true | Z = [H|W], append(T, Y, W).",
+        )
+        .unwrap();
+        assert_eq!(p.procedures.len(), 1);
+        let app = p.procedure("append", 3).unwrap();
+        assert_eq!(app.clauses.len(), 2);
+        assert_eq!(app.clauses[1].body.len(), 2);
+        assert!(matches!(app.clauses[1].body[0], BodyGoal::Unify(..)));
+        assert!(matches!(&app.clauses[1].body[1], BodyGoal::Call(n, a) if n == "append" && a.len() == 3));
+    }
+
+    #[test]
+    fn parses_guards() {
+        let p = parse_program(
+            "max(X, Y, Z) :- X >= Y | Z = X.\n\
+             max(X, Y, Z) :- X < Y | Z = Y.\n\
+             t(X) :- integer(X), X =:= 3 | true.\n\
+             u(X) :- otherwise | true.",
+        )
+        .unwrap();
+        let max = p.procedure("max", 2 + 1).unwrap();
+        assert!(matches!(max.clauses[0].guards[0], Guard::Cmp(CmpOp::Ge, ..)));
+        let t = p.procedure("t", 1).unwrap();
+        assert_eq!(t.clauses[0].guards.len(), 2);
+        let u = p.procedure("u", 1).unwrap();
+        assert!(matches!(u.clauses[0].guards[0], Guard::Otherwise));
+    }
+
+    #[test]
+    fn neck_without_bar_means_true_guard() {
+        let p = parse_program("run(X) :- f(X), g(X).").unwrap();
+        let c = &p.procedure("run", 1).unwrap().clauses[0];
+        assert_eq!(c.guards, vec![Guard::True]);
+        assert_eq!(c.body.len(), 2);
+    }
+
+    #[test]
+    fn fact_clause_has_true_guard_and_body() {
+        let p = parse_program("unit.").unwrap();
+        let c = &p.procedure("unit", 0).unwrap().clauses[0];
+        assert_eq!(c.guards, vec![Guard::True]);
+        assert_eq!(c.body, vec![BodyGoal::True]);
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let p = parse_program("f(X, Y) :- true | Z := X + Y * 2 - 1, g(Z).").unwrap();
+        let c = &p.procedure("f", 2).unwrap().clauses[0];
+        match &c.body[0] {
+            BodyGoal::Is(Term::Var(z), Expr::Bin(ArithOp::Sub, lhs, _)) => {
+                assert_eq!(z, "Z");
+                assert!(matches!(**lhs, Expr::Bin(ArithOp::Add, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mod_and_parens() {
+        let p = parse_program("f(X) :- true | Y := (X + 1) mod 7, g(Y).").unwrap();
+        let c = &p.procedure("f", 1).unwrap().clauses[0];
+        assert!(matches!(
+            &c.body[0],
+            BodyGoal::Is(_, Expr::Bin(ArithOp::Mod, _, _))
+        ));
+    }
+
+    #[test]
+    fn anonymous_variables_are_renamed_apart() {
+        let p = parse_program("f(_, _) :- true | true.").unwrap();
+        let c = &p.procedure("f", 2).unwrap().clauses[0];
+        match (&c.args[0], &c.args[1]) {
+            (Term::Var(a), Term::Var(b)) => assert_ne!(a, b),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_structures_and_lists() {
+        let p = parse_program("f(tree(L, V, R), [a, b | T]) :- true | true.").unwrap();
+        let c = &p.procedure("f", 2).unwrap().clauses[0];
+        assert!(matches!(&c.args[0], Term::Struct(n, a) if n == "tree" && a.len() == 3));
+        assert_eq!(c.args[1].to_string(), "[a,b|T]");
+    }
+
+    #[test]
+    fn negative_integers() {
+        let p = parse_program("f(-3) :- true | X := -1 - -2, g(X).").unwrap();
+        let c = &p.procedure("f", 1).unwrap().clauses[0];
+        assert_eq!(c.args[0], Term::Int(-3));
+    }
+
+    #[test]
+    fn rejects_non_flat_guard() {
+        let err = parse_program("f(X) :- myguard(X) | true.").unwrap_err();
+        assert!(err.message.contains("not a builtin guard"), "{err}");
+    }
+
+    #[test]
+    fn rejects_assign_to_non_variable() {
+        let err = parse_program("f(X) :- true | 3 := X + 1.").unwrap_err();
+        assert!(err.message.contains("must be a variable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse_program("f(X) :- true | true").is_err());
+    }
+
+    #[test]
+    fn multiple_procedures_grouped_in_order() {
+        let p = parse_program("a. b. a. c(X).").unwrap();
+        let names: Vec<_> = p.procedures.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(p.procedure("a", 0).unwrap().clauses.len(), 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Property tests: pretty-printed programs parse back to the same AST,
+//! and arbitrary clause shapes compile without panicking.
+
+use fghc::ast::{ArithOp, BodyGoal, Clause, CmpOp, Expr, Guard, Term};
+use fghc::parser::parse_program;
+use proptest::prelude::*;
+
+// ---- generators ------------------------------------------------------
+
+fn atom_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("reserved words", |s| {
+        !matches!(s.as_str(), "true" | "otherwise" | "integer" | "atom" | "list" | "mod" | "halt")
+    })
+}
+
+fn var_name() -> impl Strategy<Value = String> {
+    "[A-Z][A-Za-z0-9_]{0,6}".prop_map(|s| s)
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        var_name().prop_map(Term::Var),
+        atom_name().prop_map(Term::Atom),
+        (-1000i64..1000).prop_map(Term::Int),
+        Just(Term::Nil),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(h, t)| Term::Cons(Box::new(h), Box::new(t))),
+            (atom_name(), proptest::collection::vec(inner, 1..4))
+                .prop_map(|(n, args)| Term::Struct(n, args)),
+        ]
+    })
+}
+
+fn expr_strategy(vars: Vec<String>) -> impl Strategy<Value = Expr> {
+    let leaf = if vars.is_empty() {
+        prop_oneof![1 => (0i64..100).prop_map(Expr::Int)].boxed()
+    } else {
+        prop_oneof![
+            (0i64..100).prop_map(Expr::Int),
+            proptest::sample::select(vars).prop_map(Expr::Var),
+        ]
+        .boxed()
+    };
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (
+            prop_oneof![
+                Just(ArithOp::Add),
+                Just(ArithOp::Sub),
+                Just(ArithOp::Mul),
+                Just(ArithOp::Div),
+                Just(ArithOp::Mod)
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+// ---- rendering (the inverse of the parser) ---------------------------
+
+fn show_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(i) if *i < 0 => format!("(0 - {})", -i),
+        Expr::Int(i) => i.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Neg(x) => format!("(0 - {})", show_expr(x)),
+        Expr::Bin(op, a, b) => {
+            let o = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+                ArithOp::Mod => " mod ",
+            };
+            format!("({}{}{})", show_expr(a), o, show_expr(b))
+        }
+    }
+}
+
+fn show_guard(g: &Guard) -> String {
+    match g {
+        Guard::True => "true".into(),
+        Guard::Otherwise => "otherwise".into(),
+        Guard::Cmp(op, a, b) => {
+            let o = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "=<",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "=:=",
+                CmpOp::Ne => "=\\=",
+            };
+            format!("{} {o} {}", show_expr(a), show_expr(b))
+        }
+        Guard::IsInteger(t) => format!("integer({t})"),
+        Guard::IsAtom(t) => format!("atom({t})"),
+        Guard::IsList(t) => format!("list({t})"),
+    }
+}
+
+fn show_goal(g: &BodyGoal) -> String {
+    match g {
+        BodyGoal::True => "true".into(),
+        BodyGoal::Unify(a, b) => format!("{a} = {b}"),
+        BodyGoal::Is(v, e) => format!("{v} := {}", show_expr(e)),
+        BodyGoal::Call(n, args) => {
+            if args.is_empty() {
+                n.clone()
+            } else {
+                format!(
+                    "{n}({})",
+                    args.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+                )
+            }
+        }
+    }
+}
+
+fn show_clause(c: &Clause) -> String {
+    let head = if c.args.is_empty() {
+        c.name.clone()
+    } else {
+        format!(
+            "{}({})",
+            c.name,
+            c.args.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+        )
+    };
+    format!(
+        "{head} :- {} | {}.",
+        c.guards.iter().map(show_guard).collect::<Vec<_>>().join(", "),
+        c.body.iter().map(show_goal).collect::<Vec<_>>().join(", "),
+    )
+}
+
+// ---- properties ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any term, rendered as a clause argument, parses back identically.
+    #[test]
+    fn terms_round_trip(t in term_strategy()) {
+        let src = format!("f({t}) :- true | true.");
+        let program = parse_program(&src).expect("renders must parse");
+        let clause = &program.procedures[0].clauses[0];
+        prop_assert_eq!(&clause.args[0], &t);
+    }
+
+    /// Full clauses (head + guards + body) round-trip through the pretty
+    /// printer and parser.
+    #[test]
+    fn clauses_round_trip(
+        args in proptest::collection::vec(term_strategy(), 0..3),
+        guard_vars in proptest::collection::vec(var_name(), 0..2),
+        body_terms in proptest::collection::vec(term_strategy(), 0..2),
+    ) {
+        // Build a guard over variables that occur in the head to keep the
+        // clause compilable as well as parseable.
+        let mut head_args = args.clone();
+        for v in &guard_vars {
+            head_args.push(Term::Var(v.clone()));
+        }
+        let guards = if guard_vars.is_empty() {
+            vec![Guard::True]
+        } else {
+            vec![Guard::Cmp(
+                CmpOp::Lt,
+                Expr::Var(guard_vars[0].clone()),
+                Expr::Int(10),
+            )]
+        };
+        let mut body = vec![BodyGoal::True];
+        for (i, t) in body_terms.iter().enumerate() {
+            body.push(BodyGoal::Unify(Term::Var(format!("Out{i}")), t.clone()));
+        }
+        let clause = Clause {
+            name: "p".into(),
+            args: head_args,
+            guards,
+            body,
+            line: 1,
+        };
+        let src = show_clause(&clause);
+        let parsed = parse_program(&src).expect("renders must parse");
+        let got = &parsed.procedures[0].clauses[0];
+        prop_assert_eq!(&got.args, &clause.args);
+        prop_assert_eq!(&got.guards, &clause.guards);
+        prop_assert_eq!(&got.body, &clause.body);
+    }
+
+    /// Guard expressions round-trip with explicit parentheses.
+    #[test]
+    fn guard_expressions_round_trip(e in expr_strategy(vec!["X".into()])) {
+        let src = format!("f(X) :- {} < 7 | true.", show_expr(&e));
+        let parsed = parse_program(&src).expect("renders must parse");
+        match &parsed.procedures[0].clauses[0].guards[0] {
+            Guard::Cmp(CmpOp::Lt, got, _) => prop_assert_eq!(got, &e),
+            other => prop_assert!(false, "unexpected guard {:?}", other),
+        }
+    }
+
+    /// Linear-headed rendered clauses also compile (both with and without
+    /// first-argument indexing) or fail with a proper error — never panic.
+    #[test]
+    fn rendered_programs_compile_or_error_cleanly(
+        t1 in term_strategy(),
+        t2 in term_strategy(),
+    ) {
+        let src = format!(
+            "p({t1}) :- true | true.\n\
+             p({t2}) :- otherwise | true.\n\
+             main :- true | true."
+        );
+        for indexing in [false, true] {
+            let _ = fghc::compile_with(
+                &src,
+                fghc::CompileOptions { first_arg_indexing: indexing },
+            );
+        }
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = fghc::lexer::tokenize(&s);
+    }
+
+    /// The parser never panics on arbitrary token soup.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "[a-zA-Z0-9_ ,()\\[\\]|.:=<>+*/-]{0,120}") {
+        let _ = parse_program(&s);
+    }
+}

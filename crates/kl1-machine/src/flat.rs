@@ -1,0 +1,185 @@
+//! A flat (cache-less) memory port for functional runs and raw reference
+//! counting.
+
+use pim_trace::{
+    Access, Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, RefStats, Word,
+};
+use std::collections::HashMap;
+
+const PAGE_WORDS: usize = 4096;
+
+/// A [`MemoryPort`] backed by a plain paged address space.
+///
+/// There is no cache model and no timing, but **lock mutual exclusion is
+/// still enforced**: an `LR` on a word locked by another PE stalls, since
+/// the machine holds variable locks across micro-steps (during goal
+/// suspension) and overwriting a concurrent binding would corrupt the
+/// program. References are tallied into a [`RefStats`]. This is the
+/// measurement mode behind the Table 1 reference columns and all
+/// functional tests of the machine.
+///
+/// # Examples
+///
+/// ```
+/// use kl1_machine::FlatPort;
+/// use pim_trace::{MemoryPort, PortValue, StorageArea};
+///
+/// let mut port = FlatPort::new(1);
+/// let heap = port.area_map().base(StorageArea::Heap);
+/// port.direct_write(heap, 7);
+/// assert_eq!(port.read(heap), PortValue::Value(7));
+/// assert_eq!(port.stats().total(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct FlatPort {
+    map: AreaMap,
+    pages: HashMap<u64, Box<[Word; PAGE_WORDS]>>,
+    /// Per-PE reference statistics (merged view via [`FlatPort::stats`]).
+    per_pe: Vec<RefStats>,
+    current_pe: PeId,
+    locks: HashMap<Addr, u32>,
+}
+
+impl FlatPort {
+    /// Creates a flat port over the standard area map for `pes` PEs.
+    pub fn new(pes: u32) -> FlatPort {
+        FlatPort {
+            map: AreaMap::standard(),
+            pages: HashMap::new(),
+            per_pe: vec![RefStats::new(); pes as usize],
+            current_pe: PeId(0),
+            locks: HashMap::new(),
+        }
+    }
+
+    /// Selects which PE subsequent operations are attributed to.
+    pub fn set_pe(&mut self, pe: PeId) {
+        assert!(pe.index() < self.per_pe.len(), "unknown {pe}");
+        self.current_pe = pe;
+    }
+
+    /// The merged reference statistics across PEs.
+    pub fn stats(&self) -> RefStats {
+        let mut out = RefStats::new();
+        for s in &self.per_pe {
+            out.merge(s);
+        }
+        out
+    }
+
+    /// Reference statistics of one PE.
+    pub fn pe_stats(&self, pe: PeId) -> &RefStats {
+        &self.per_pe[pe.index()]
+    }
+
+    fn slot(&mut self, addr: Addr) -> &mut Word {
+        let page = addr / PAGE_WORDS as u64;
+        let off = (addr % PAGE_WORDS as u64) as usize;
+        &mut self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[off]
+    }
+
+    fn load(&self, addr: Addr) -> Word {
+        let page = addr / PAGE_WORDS as u64;
+        let off = (addr % PAGE_WORDS as u64) as usize;
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+}
+
+impl MemoryPort for FlatPort {
+    fn op(&mut self, op: MemOp, addr: Addr, data: Option<Word>) -> PortValue {
+        let me = self.current_pe.0;
+        match op {
+            MemOp::LockRead => match self.locks.get(&addr) {
+                Some(&holder) if holder != me => return PortValue::Stall,
+                Some(_) => panic!("PE{me} relocked {addr:#x}"),
+                None => {
+                    self.locks.insert(addr, me);
+                }
+            },
+            MemOp::WriteUnlock | MemOp::Unlock => {
+                match self.locks.remove(&addr) {
+                    Some(holder) if holder == me => {}
+                    other => panic!("PE{me} unlocked {addr:#x} held by {other:?}"),
+                }
+            }
+            _ => {}
+        }
+        let area = self.map.area(addr);
+        self.per_pe[self.current_pe.index()].record(Access::new(self.current_pe, op, addr, area));
+        if op.is_write() {
+            let value = data.expect("write needs data");
+            *self.slot(addr) = value;
+            PortValue::Value(value)
+        } else {
+            PortValue::Value(self.load(addr))
+        }
+    }
+
+    fn peek(&self, addr: Addr) -> Word {
+        self.load(addr)
+    }
+
+    fn poke(&mut self, addr: Addr, value: Word) {
+        *self.slot(addr) = value;
+    }
+
+    fn area_map(&self) -> &AreaMap {
+        &self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::StorageArea;
+
+    #[test]
+    fn counts_per_pe_and_merges() {
+        let mut p = FlatPort::new(2);
+        let h = p.area_map().base(StorageArea::Heap);
+        p.set_pe(PeId(0));
+        p.write(h, 1);
+        p.set_pe(PeId(1));
+        p.read(h);
+        p.read(h + 1);
+        assert_eq!(p.pe_stats(PeId(0)).total(), 1);
+        assert_eq!(p.pe_stats(PeId(1)).total(), 2);
+        assert_eq!(p.stats().total(), 3);
+    }
+
+    #[test]
+    fn own_locks_succeed_and_release() {
+        let mut p = FlatPort::new(1);
+        let h = p.area_map().base(StorageArea::Heap);
+        assert_eq!(p.lock_read(h), PortValue::Value(0));
+        assert_eq!(p.write_unlock(h, 9), PortValue::Value(9));
+        assert_eq!(p.read(h), PortValue::Value(9));
+        assert_eq!(p.lock_read(h), PortValue::Value(9));
+        assert_eq!(p.unlock(h), PortValue::Value(9));
+    }
+
+    #[test]
+    fn cross_pe_lock_conflicts_stall() {
+        let mut p = FlatPort::new(2);
+        let h = p.area_map().base(StorageArea::Heap);
+        p.set_pe(PeId(0));
+        assert_eq!(p.lock_read(h), PortValue::Value(0));
+        p.set_pe(PeId(1));
+        assert_eq!(p.lock_read(h), PortValue::Stall);
+        p.set_pe(PeId(0));
+        assert_eq!(p.write_unlock(h, 5), PortValue::Value(5));
+        p.set_pe(PeId(1));
+        assert_eq!(p.lock_read(h), PortValue::Value(5));
+    }
+
+    #[test]
+    fn poke_and_peek_bypass_counting() {
+        let mut p = FlatPort::new(1);
+        p.poke(100, 5);
+        assert_eq!(p.peek(100), 5);
+        assert_eq!(p.stats().total(), 0);
+    }
+}

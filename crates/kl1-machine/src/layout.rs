@@ -1,0 +1,395 @@
+//! Per-PE partitioning of the shared storage areas, and allocators.
+//!
+//! Each PE allocates heap, goal and suspension records from its own
+//! contiguous slice of the corresponding shared area (as the real KL1
+//! system gives PEs private allocation chunks), so allocation itself needs
+//! no locking. Free-list *structure* is kept machine-side (the paper
+//! excludes area-management pointers from measurement); only record
+//! *contents* generate memory traffic.
+
+use pim_trace::{Addr, AreaMap, PeId, StorageArea};
+
+/// The per-PE slice boundaries for every area.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    map: AreaMap,
+    pes: u32,
+    /// Cache-block alignment for direct-write-friendly record placement.
+    pub align: u64,
+    /// Words per goal record (header + max arity), before alignment.
+    pub goal_record_words: u64,
+    /// Allocation stride between goal records (aligned).
+    pub goal_stride: u64,
+}
+
+/// Words per suspension record: `[goal pointer, next hook]`.
+pub const SUSP_RECORD_WORDS: u64 = 2;
+
+/// Words per load-balancing reply message: `[goal record addr, donor id]`.
+pub const REPLY_WORDS: u64 = 2;
+
+impl Layout {
+    /// Builds the layout for `pes` PEs over `map`, with goal records big
+    /// enough for `max_arity` arguments and blocks of `align` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or any area is too small for `pes`
+    /// slices.
+    pub fn new(map: AreaMap, pes: u32, max_arity: u8, align: u64) -> Layout {
+        assert!(align > 0, "alignment must be positive");
+        assert!(pes > 0, "need at least one PE");
+        let goal_record_words = 1 + u64::from(max_arity);
+        let goal_stride = goal_record_words.div_ceil(align) * align;
+        let l = Layout {
+            map,
+            pes,
+            align,
+            goal_record_words,
+            goal_stride,
+        };
+        for area in [StorageArea::Heap, StorageArea::Goal, StorageArea::Suspension] {
+            let (base, limit) = l.slice(area, PeId(pes - 1));
+            assert!(limit > base + goal_stride, "{area} area too small for {pes} PEs");
+        }
+        l
+    }
+
+    /// The `[base, limit)` slice of `area` belonging to `pe`, aligned to
+    /// block boundaries.
+    pub fn slice(&self, area: StorageArea, pe: PeId) -> (Addr, Addr) {
+        let base = self.map.base(area);
+        let size = self.map.size(area);
+        let per_pe = size / u64::from(self.pes) / self.align * self.align;
+        let lo = base + per_pe * u64::from(pe.0);
+        (lo, lo + per_pe)
+    }
+
+    /// The request/reply turnaround buffer for the ordered PE pair
+    /// `(requester, donor)`: the requester writes its work request there,
+    /// the donor reads it with `RI` and rewrites it in place with the
+    /// reply, which the requester reads with `RI` and rewrites with its
+    /// next request — the exact "data rewritten just after it is read
+    /// from other PE cache" pattern the `RI` command exists for.
+    pub fn pair_slot(&self, requester: PeId, donor: PeId) -> Addr {
+        // Slots must hold a whole message *and* stay block-aligned, so
+        // the stride is REPLY_WORDS rounded up to the block size (for
+        // one-word blocks the block size alone would make slots overlap).
+        let stride = REPLY_WORDS.div_ceil(self.align) * self.align;
+        self.map.base(StorageArea::Communication)
+            + (u64::from(requester.0) * u64::from(self.pes) + u64::from(donor.0)) * stride
+    }
+
+    /// The area map.
+    pub fn map(&self) -> &AreaMap {
+        &self.map
+    }
+}
+
+/// One PE's allocation state.
+#[derive(Debug, Clone)]
+pub struct PeAllocators {
+    /// Heap bump pointer (recycled only by stop-and-copy GC, like the
+    /// paper's ever-growing heap).
+    pub heap_next: Addr,
+    heap_limit: Addr,
+    // Semispace GC state: (slice base, semispace words, active-low flag).
+    // None = the whole slice is one space and GC never runs.
+    semi: Option<(Addr, u64, bool)>,
+    goal_next: Addr,
+    goal_limit: Addr,
+    goal_stride: u64,
+    /// Free-list of recycled goal records (machine-side bookkeeping).
+    pub goal_free: Vec<Addr>,
+    susp_next: Addr,
+    susp_limit: Addr,
+    // Suspension records are read-once with ER/RP, which purges their
+    // whole block without write-back — so records must never share a
+    // block with live data: one block-aligned stride per record.
+    susp_stride: u64,
+    /// Free-list of recycled suspension records.
+    pub susp_free: Vec<Addr>,
+}
+
+/// Snapshot of allocator bump positions, for aborting a stalled
+/// micro-step. Free-list state is deliberately *not* part of the mark: a
+/// record freed before the stall (by a committed binding's resumption)
+/// stays freed, and a record popped from a free list before the stall is
+/// leaked rather than double-allocated — stalls are rare, so the leak is
+/// negligible and always safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocMark {
+    heap_next: Addr,
+    goal_next: Addr,
+    susp_next: Addr,
+}
+
+impl PeAllocators {
+    /// Creates allocators over `pe`'s slices of `layout`. With
+    /// `semispace_words = Some(n)` the heap slice is split into two
+    /// `n`-word semispaces for stop-and-copy GC (rounded up to block
+    /// alignment); otherwise the whole slice is one space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two semispaces do not fit the heap slice.
+    pub fn with_semispace(
+        layout: &Layout,
+        pe: PeId,
+        semispace_words: Option<u64>,
+    ) -> PeAllocators {
+        let mut a = PeAllocators::new(layout, pe);
+        if let Some(n) = semispace_words {
+            let n = n.div_ceil(layout.align) * layout.align;
+            let (lo, hi) = layout.slice(StorageArea::Heap, pe);
+            assert!(lo + 2 * n <= hi, "two {n}-word semispaces exceed the heap slice");
+            a.heap_next = lo;
+            a.heap_limit = lo + n;
+            a.semi = Some((lo, n, true));
+        }
+        a
+    }
+
+    /// Creates allocators over `pe`'s slices of `layout`.
+    pub fn new(layout: &Layout, pe: PeId) -> PeAllocators {
+        let (heap_next, heap_limit) = layout.slice(StorageArea::Heap, pe);
+        let (goal_next, goal_limit) = layout.slice(StorageArea::Goal, pe);
+        let (susp_next, susp_limit) = layout.slice(StorageArea::Suspension, pe);
+        let susp_stride = SUSP_RECORD_WORDS.div_ceil(layout.align) * layout.align;
+        PeAllocators {
+            heap_next,
+            heap_limit,
+            semi: None,
+            goal_next,
+            goal_limit,
+            goal_stride: layout.goal_stride,
+            goal_free: Vec::new(),
+            susp_next,
+            susp_limit,
+            susp_stride,
+            susp_free: Vec::new(),
+        }
+    }
+
+    /// Allocates `n` heap words.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the PE's heap slice is exhausted (the reproduction
+    /// sizes slices so benchmarks never need the stop-and-copy GC of the
+    /// real system; see DESIGN.md).
+    pub fn heap(&mut self, n: u64) -> Addr {
+        let a = self.heap_next;
+        self.heap_next += n;
+        assert!(
+            self.heap_next <= self.heap_limit,
+            "heap slice exhausted at {a:#x} (+{n})"
+        );
+        a
+    }
+
+    /// Allocates a goal record (block-aligned for `DW`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the goal slice is exhausted.
+    pub fn goal_record(&mut self) -> Addr {
+        if let Some(a) = self.goal_free.pop() {
+            return a;
+        }
+        let a = self.goal_next;
+        self.goal_next += self.goal_stride;
+        assert!(self.goal_next <= self.goal_limit, "goal slice exhausted");
+        a
+    }
+
+    /// Returns a goal record to the free list.
+    pub fn free_goal_record(&mut self, addr: Addr) {
+        self.goal_free.push(addr);
+    }
+
+    /// Allocates a suspension record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the suspension slice is exhausted.
+    pub fn susp_record(&mut self) -> Addr {
+        if let Some(a) = self.susp_free.pop() {
+            return a;
+        }
+        let a = self.susp_next;
+        self.susp_next += self.susp_stride;
+        assert!(self.susp_next <= self.susp_limit, "suspension slice exhausted");
+        a
+    }
+
+    /// Returns a suspension record to the free list.
+    pub fn free_susp_record(&mut self, addr: Addr) {
+        self.susp_free.push(addr);
+    }
+
+    /// Heap words consumed so far (for Table-1-style reporting).
+    pub fn heap_used(&self, layout: &Layout, pe: PeId) -> u64 {
+        self.heap_next - layout.slice(StorageArea::Heap, pe).0
+    }
+
+    /// Words still available in the active (semi)space.
+    pub fn heap_remaining(&self) -> u64 {
+        self.heap_limit - self.heap_next
+    }
+
+    /// Base address of the inactive semispace (the GC copy target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if semispaces are not enabled.
+    pub fn heap_other_semispace(&self) -> Addr {
+        let (lo, n, active_low) = self.semi.expect("semispaces not enabled");
+        if active_low {
+            lo + n
+        } else {
+            lo
+        }
+    }
+
+    /// Words allocated in the active semispace so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if semispaces are not enabled.
+    pub fn heap_semispace_used(&self) -> u64 {
+        let (lo, n, active_low) = self.semi.expect("semispaces not enabled");
+        let base = if active_low { lo } else { lo + n };
+        self.heap_next - base
+    }
+
+    /// Makes the inactive semispace active, with allocation resuming at
+    /// `bump` (one past the last word the collector copied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if semispaces are not enabled or `bump` lies outside the
+    /// new active semispace.
+    pub fn flip_semispace(&mut self, bump: Addr) {
+        let (lo, n, active_low) = self.semi.expect("semispaces not enabled");
+        let new_base = if active_low { lo + n } else { lo };
+        assert!(
+            bump >= new_base && bump <= new_base + n,
+            "flip bump {bump:#x} outside semispace [{new_base:#x}, +{n})"
+        );
+        self.heap_next = bump;
+        self.heap_limit = new_base + n;
+        self.semi = Some((lo, n, !active_low));
+    }
+
+    /// Marks the current allocation state.
+    pub fn mark(&self) -> AllocMark {
+        AllocMark {
+            heap_next: self.heap_next,
+            goal_next: self.goal_next,
+            susp_next: self.susp_next,
+        }
+    }
+
+    /// Rolls bump allocations back to `mark` (after a stalled micro-step),
+    /// so the retried step writes the same addresses again.
+    pub fn rollback(&mut self, mark: AllocMark) {
+        self.heap_next = mark.heap_next;
+        self.goal_next = mark.goal_next;
+        self.susp_next = mark.susp_next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Layout {
+        Layout::new(AreaMap::standard(), 8, 5, 4)
+    }
+
+    #[test]
+    fn slices_are_disjoint_and_inside_the_area() {
+        let l = layout();
+        for area in [StorageArea::Heap, StorageArea::Goal, StorageArea::Suspension] {
+            let mut prev_end = l.map().base(area);
+            for pe in 0..8 {
+                let (lo, hi) = l.slice(area, PeId(pe));
+                assert!(lo >= prev_end, "{area} PE{pe}");
+                assert!(hi <= l.map().limit(area));
+                assert_eq!(lo % 4, 0, "block aligned");
+                prev_end = hi;
+            }
+        }
+    }
+
+    #[test]
+    fn goal_records_are_aligned_and_strided() {
+        let l = layout();
+        assert_eq!(l.goal_record_words, 6);
+        assert_eq!(l.goal_stride, 8);
+        let mut a = PeAllocators::new(&l, PeId(0));
+        let r1 = a.goal_record();
+        let r2 = a.goal_record();
+        assert_eq!(r2 - r1, 8);
+        assert_eq!(r1 % 4, 0);
+        a.free_goal_record(r1);
+        assert_eq!(a.goal_record(), r1, "free list recycles");
+    }
+
+    #[test]
+    fn heap_bump_allocates_sequentially() {
+        let l = layout();
+        let mut a = PeAllocators::new(&l, PeId(3));
+        let (base, _) = l.slice(StorageArea::Heap, PeId(3));
+        assert_eq!(a.heap(2), base);
+        assert_eq!(a.heap(1), base + 2);
+        assert_eq!(a.heap_used(&l, PeId(3)), 3);
+    }
+
+    #[test]
+    fn mark_rollback_restores_allocations() {
+        let l = layout();
+        let mut a = PeAllocators::new(&l, PeId(0));
+        let h0 = a.heap_next;
+        let mark = a.mark();
+        a.heap(10);
+        a.goal_record();
+        a.susp_record();
+        a.rollback(mark);
+        assert_eq!(a.heap_next, h0);
+        let h = a.heap(1);
+        assert_eq!(h, h0, "rolled-back heap words are reallocated");
+    }
+
+    #[test]
+    fn pair_slots_do_not_collide_at_any_block_size() {
+        for align in [1u64, 2, 4, 8, 16] {
+            let l = Layout::new(AreaMap::standard(), 8, 5, align);
+            let mut slots = Vec::new();
+            for q in 0..8 {
+                for p in 0..8 {
+                    let s = l.pair_slot(PeId(q), PeId(p));
+                    assert_eq!(l.map().area(s), StorageArea::Communication);
+                    slots.push(s);
+                }
+            }
+            slots.sort_unstable();
+            for w in slots.windows(2) {
+                assert!(
+                    w[1] - w[0] >= REPLY_WORDS,
+                    "align={align}: slots {w:?} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn susp_records_recycle() {
+        let l = layout();
+        let mut a = PeAllocators::new(&l, PeId(0));
+        let s = a.susp_record();
+        a.free_susp_record(s);
+        assert_eq!(a.susp_record(), s);
+    }
+}

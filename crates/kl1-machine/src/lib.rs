@@ -1,0 +1,95 @@
+//! A parallel KL1 abstract machine emulator — the workload generator of
+//! the ISCA'89 PIM cache evaluation.
+//!
+//! The machine executes FGHC programs compiled by the [`fghc`] crate,
+//! one micro-step per PE per scheduling slot, issuing every reference to
+//! the five KL1 storage areas (instruction, heap, goal, suspension,
+//! communication) through a [`pim_trace::MemoryPort`]:
+//!
+//! * over a [`FlatPort`] for functional runs and raw reference counting
+//!   (the paper's Table 1 and reference-mix tables);
+//! * over the `pim-sim` engine for full cache-simulation runs (every
+//!   other table and figure).
+//!
+//! The optimized memory commands are used exactly where the paper
+//! prescribes: new heap structures and goal records are **direct-written**
+//! (`DW`), goal and suspension records are read once with **exclusive
+//! read**/**read purge** (`ER`/`RP`), load-balancing reply messages are
+//! read with **read invalidate** (`RI`), and variable bindings go through
+//! the hardware lock (`LR`/`UW`/`U`).
+//!
+//! # Examples
+//!
+//! ```
+//! use kl1_machine::{Cluster, ClusterConfig, FlatPort};
+//! use pim_trace::{PeId, Process, StepOutcome};
+//!
+//! let program = fghc::compile(
+//!     "main(X) :- true | app([1,2], [3], X).
+//!      app([], Y, Z)    :- true | Z = Y.
+//!      app([H|T], Y, Z) :- true | Z = [H|W], app(T, Y, W).",
+//! )?;
+//! let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+//! cluster.set_query("main", vec![fghc::Term::Var("X".into())]);
+//!
+//! let mut port = FlatPort::new(1);
+//! loop {
+//!     match cluster.step(PeId(0), &mut port) {
+//!         StepOutcome::Finished => break,
+//!         _ => {}
+//!     }
+//! }
+//! let result = cluster.extract(&port, "X").unwrap();
+//! assert_eq!(result.to_string(), "[1,2,3]");
+//! # Ok::<(), fghc::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod flat;
+pub mod gc;
+pub mod layout;
+pub mod machine;
+pub mod term_io;
+pub mod unify;
+pub mod words;
+
+pub use flat::FlatPort;
+pub use gc::GcStats;
+pub use machine::{Cluster, ClusterConfig, MachineStats};
+pub use term_io::extract_term;
+pub use words::Tagged;
+
+use pim_trace::{PeId, Process, StepOutcome};
+
+/// Runs a cluster to completion on a flat port (functional mode),
+/// scheduling PEs round-robin. Returns the port for result extraction.
+///
+/// # Panics
+///
+/// Panics if the program does not finish within `max_steps` or fails.
+pub fn run_flat(cluster: &mut Cluster, max_steps: u64) -> FlatPort {
+    let pes = cluster.pe_count();
+    let mut port = FlatPort::new(pes);
+    let mut steps = 0u64;
+    'outer: loop {
+        for pe in 0..pes {
+            port.set_pe(PeId(pe));
+            match cluster.step(PeId(pe), &mut port) {
+                StepOutcome::Finished => break 'outer,
+                // A lock conflict on the flat port: the holder advances on
+                // its own round-robin turn, so simply retry next round.
+                StepOutcome::Stalled => {}
+                StepOutcome::Ran | StepOutcome::Idle => {}
+            }
+            steps += 1;
+            assert!(steps < max_steps, "program did not finish in {max_steps} steps");
+        }
+    }
+    if let Some(msg) = cluster.failure() {
+        panic!("program failed: {msg}");
+    }
+    port
+}

@@ -1,0 +1,152 @@
+//! Converting between `fghc::ast::Term` and heap representations.
+//!
+//! `build_term` injects a query's arguments into the heap with *uncounted*
+//! pokes (bootstrap is not part of the measured workload); `extract_term`
+//! reads results back with uncounted peeks after a run.
+
+use crate::layout::PeAllocators;
+use crate::words::Tagged;
+use fghc::instr::SymbolTable;
+use fghc::Term;
+use pim_trace::{Addr, MemoryPort, Word};
+
+/// Builds `term` into the heap (uncounted), returning its word. Variables
+/// are allocated as fresh cells and recorded in `vars` by name (shared
+/// across one query, so a repeated variable is one cell).
+pub(crate) fn build_term(
+    port: &mut dyn MemoryPort,
+    alloc: &mut PeAllocators,
+    term: &Term,
+    vars: &mut Vec<(String, Addr)>,
+    symbols: &mut SymbolTable,
+) -> Word {
+    match term {
+        Term::Var(name) => {
+            if let Some((_, a)) = vars.iter().find(|(n, _)| n == name) {
+                return Tagged::Ref(*a).encode();
+            }
+            let a = alloc.heap(1);
+            port.poke(a, Tagged::Ref(a).encode());
+            vars.push((name.clone(), a));
+            Tagged::Ref(a).encode()
+        }
+        Term::Int(i) => Tagged::Int(*i).encode(),
+        Term::Atom(s) => Tagged::Atom(symbols.intern_atom(s)).encode(),
+        Term::Nil => Tagged::Nil.encode(),
+        Term::Cons(h, t) => {
+            let hw = build_term(port, alloc, h, vars, symbols);
+            let tw = build_term(port, alloc, t, vars, symbols);
+            let a = alloc.heap(2);
+            port.poke(a, hw);
+            port.poke(a + 1, tw);
+            Tagged::List(a).encode()
+        }
+        Term::Struct(name, args) => {
+            let words: Vec<Word> = args
+                .iter()
+                .map(|t| build_term(port, alloc, t, vars, symbols))
+                .collect();
+            let a = alloc.heap(1 + words.len() as u64);
+            port.poke(a, Tagged::Functor(symbols.intern_functor(name, args.len() as u8), args.len() as u8).encode());
+            for (i, w) in words.iter().enumerate() {
+                port.poke(a + 1 + i as u64, *w);
+            }
+            Tagged::Struct(a).encode()
+        }
+    }
+}
+
+/// Decodes the term rooted at `word` with uncounted peeks. Unbound
+/// variables decode as `Var("_<addr>")`; cycles and very deep terms are
+/// cut off with a `Var("...")` placeholder.
+pub fn extract_term(port: &dyn MemoryPort, word: Word, symbols: &SymbolTable) -> Term {
+    extract(port, word, symbols, 0)
+}
+
+fn extract(port: &dyn MemoryPort, mut word: Word, symbols: &SymbolTable, depth: u32) -> Term {
+    if depth > 100_000 {
+        return Term::Var("...".into());
+    }
+    // Dereference.
+    loop {
+        match Tagged::decode(word) {
+            Tagged::Ref(a) => {
+                let w2 = port.peek(a);
+                match Tagged::decode(w2) {
+                    Tagged::Ref(b) if b == a => return Term::Var(format!("_{a}")),
+                    Tagged::Hook(_) => return Term::Var(format!("_{a}")),
+                    _ => word = w2,
+                }
+            }
+            Tagged::Hook(_) => return Term::Var("_hooked".into()),
+            Tagged::Int(i) => return Term::Int(i),
+            Tagged::Atom(id) => return Term::Atom(symbols.atom_name(id).to_string()),
+            Tagged::Nil => return Term::Nil,
+            Tagged::List(a) => {
+                let h = extract(port, port.peek(a), symbols, depth + 1);
+                let t = extract(port, port.peek(a + 1), symbols, depth + 1);
+                return Term::Cons(Box::new(h), Box::new(t));
+            }
+            Tagged::Struct(a) => {
+                let (fid, n) = match Tagged::decode(port.peek(a)) {
+                    Tagged::Functor(f, n) => (f, n),
+                    other => panic!("structure without functor: {other:?}"),
+                };
+                let (name, _) = symbols.functor(fid);
+                let name = name.to_string();
+                let args = (0..u64::from(n))
+                    .map(|i| extract(port, port.peek(a + 1 + i), symbols, depth + 1))
+                    .collect();
+                return Term::Struct(name, args);
+            }
+            Tagged::Functor(..) => panic!("bare functor word in term position"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatPort;
+    use crate::layout::Layout;
+    use pim_trace::{AreaMap, PeId};
+
+    #[test]
+    fn terms_round_trip_through_the_heap() {
+        let mut port = FlatPort::new(1);
+        let layout = Layout::new(AreaMap::standard(), 1, 4, 4);
+        let mut alloc = crate::layout::PeAllocators::new(&layout, PeId(0));
+        let mut symbols = SymbolTable::new();
+        let mut vars = Vec::new();
+
+        let term = Term::Struct(
+            "pair".into(),
+            vec![
+                Term::list(vec![Term::Int(1), Term::Int(2)], None),
+                Term::Struct("f".into(), vec![Term::Atom("ok".into()), Term::Var("X".into())]),
+            ],
+        );
+        let w = build_term(&mut port, &mut alloc, &term, &mut vars, &mut symbols);
+        let back = extract_term(&port, w, &symbols);
+        assert_eq!(back.to_string(), "pair([1,2],f(ok,_X))".replace("_X", {
+            let (_, a) = &vars[0];
+            &format!("_{a}")
+        }.as_str()));
+        assert_eq!(vars.len(), 1);
+    }
+
+    #[test]
+    fn repeated_variables_share_one_cell() {
+        let mut port = FlatPort::new(1);
+        let layout = Layout::new(AreaMap::standard(), 1, 4, 4);
+        let mut alloc = crate::layout::PeAllocators::new(&layout, PeId(0));
+        let mut symbols = SymbolTable::new();
+        let mut vars = Vec::new();
+        let term = Term::Cons(
+            Box::new(Term::Var("X".into())),
+            Box::new(Term::Var("X".into())),
+        );
+        build_term(&mut port, &mut alloc, &term, &mut vars, &mut symbols);
+        assert_eq!(vars.len(), 1, "X allocated once");
+    }
+}

@@ -1,0 +1,161 @@
+//! Tagged-word encoding of KL1 terms.
+//!
+//! Every cell of the simulated shared memory holds one 64-bit word with an
+//! 8-bit tag in the top byte. An *unbound variable* is a cell containing a
+//! self-referencing [`Tagged::Ref`]; an unbound variable with suspended
+//! goals hooked to it holds a [`Tagged::Hook`] pointing at its suspension
+//! record chain. (The paper's PIM used 40-bit words; the width only
+//! matters for directory-size accounting, which is parameterized in
+//! `pim-cache`.)
+
+use fghc::instr::{AtomId, FunctorId};
+use pim_trace::{Addr, Word};
+
+const TAG_SHIFT: u32 = 56;
+const VAL_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+const TAG_REF: u64 = 1;
+const TAG_HOOK: u64 = 2;
+const TAG_INT: u64 = 3;
+const TAG_ATOM: u64 = 4;
+const TAG_NIL: u64 = 5;
+const TAG_LIST: u64 = 6;
+const TAG_STRUCT: u64 = 7;
+const TAG_FUNCTOR: u64 = 8;
+
+/// A decoded KL1 word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tagged {
+    /// Reference to a heap cell; a cell referencing itself is an unbound
+    /// variable.
+    Ref(Addr),
+    /// Unbound variable with a suspension-record chain at the address.
+    Hook(Addr),
+    /// A (56-bit) integer.
+    Int(i64),
+    /// An atom.
+    Atom(AtomId),
+    /// The empty list.
+    Nil,
+    /// Pointer to a cons cell (car at the address, cdr right after).
+    List(Addr),
+    /// Pointer to a structure (functor word at the address, then args).
+    Struct(Addr),
+    /// A functor descriptor (only inside structures).
+    Functor(FunctorId, u8),
+}
+
+impl Tagged {
+    /// Encodes to a raw memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an address or integer exceeds the 56-bit payload.
+    pub fn encode(self) -> Word {
+        let (tag, val) = match self {
+            Tagged::Ref(a) => (TAG_REF, a),
+            Tagged::Hook(a) => (TAG_HOOK, a),
+            Tagged::Int(i) => {
+                let encoded = (i as u64) & VAL_MASK;
+                // Round-trip check: the value must fit in 56 signed bits.
+                let back = ((encoded << 8) as i64) >> 8;
+                assert_eq!(back, i, "integer {i} exceeds 56-bit payload");
+                (TAG_INT, encoded)
+            }
+            Tagged::Atom(a) => (TAG_ATOM, u64::from(a)),
+            Tagged::Nil => (TAG_NIL, 0),
+            Tagged::List(a) => (TAG_LIST, a),
+            Tagged::Struct(a) => (TAG_STRUCT, a),
+            Tagged::Functor(f, n) => (TAG_FUNCTOR, (u64::from(f) << 8) | u64::from(n)),
+        };
+        assert!(val <= VAL_MASK, "payload {val:#x} exceeds 56 bits");
+        (tag << TAG_SHIFT) | val
+    }
+
+    /// Decodes a raw memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tag — reading a word that was never written as
+    /// a term (a machine bug or a violated `DW` contract).
+    pub fn decode(word: Word) -> Tagged {
+        let tag = word >> TAG_SHIFT;
+        let val = word & VAL_MASK;
+        match tag {
+            TAG_REF => Tagged::Ref(val),
+            TAG_HOOK => Tagged::Hook(val),
+            TAG_INT => Tagged::Int(((val << 8) as i64) >> 8),
+            TAG_ATOM => Tagged::Atom(val as AtomId),
+            TAG_NIL => Tagged::Nil,
+            TAG_LIST => Tagged::List(val),
+            TAG_STRUCT => Tagged::Struct(val),
+            TAG_FUNCTOR => Tagged::Functor((val >> 8) as FunctorId, (val & 0xff) as u8),
+            other => panic!("cannot decode word {word:#x}: unknown tag {other}"),
+        }
+    }
+
+    /// Whether this word can sit in an argument register (everything
+    /// except a bare functor descriptor).
+    pub fn is_value(self) -> bool {
+        !matches!(self, Tagged::Functor(..))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for t in [
+            Tagged::Ref(0),
+            Tagged::Ref(123_456_789),
+            Tagged::Hook(42),
+            Tagged::Int(0),
+            Tagged::Int(1),
+            Tagged::Int(-1),
+            Tagged::Int((1 << 55) - 1),
+            Tagged::Int(-(1 << 55)),
+            Tagged::Atom(0),
+            Tagged::Atom(77),
+            Tagged::Nil,
+            Tagged::List(4096),
+            Tagged::Struct(8192),
+            Tagged::Functor(3, 2),
+        ] {
+            assert_eq!(Tagged::decode(t.encode()), t, "{t:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 56-bit payload")]
+    fn oversized_int_rejected() {
+        Tagged::Int(1 << 56).encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tag")]
+    fn garbage_word_rejected() {
+        Tagged::decode(0);
+    }
+
+    #[test]
+    fn distinct_terms_encode_distinctly() {
+        let words = [
+            Tagged::Ref(5).encode(),
+            Tagged::Hook(5).encode(),
+            Tagged::Int(5).encode(),
+            Tagged::Atom(5).encode(),
+            Tagged::List(5).encode(),
+            Tagged::Struct(5).encode(),
+            Tagged::Nil.encode(),
+        ];
+        for (i, a) in words.iter().enumerate() {
+            for (j, b) in words.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Stop-and-copy GC tests: programs that exhaust small semispaces must
+//! trigger collections, survive them, and still compute correct answers —
+//! on the flat port and through the full PIM cache simulation.
+
+use fghc::Term;
+use kl1_machine::{run_flat, Cluster, ClusterConfig};
+use pim_cache::{PimSystem, SystemConfig};
+use pim_sim::Engine;
+use pim_trace::PeId;
+
+/// Allocates heavily (naive reverse keeps only the latest list alive, so
+/// almost everything is garbage at every collection).
+const CHURN: &str = "
+    main(X) :- true | loop(40, X).
+    loop(0, X) :- true | X = done.
+    loop(N, X) :- N > 0 |
+        build(60, L), rev(L, [], R), use(R, Ok),
+        next(Ok, N, X).
+    next(ok, N, X) :- true | N1 := N - 1, loop(N1, X).
+    build(0, L) :- true | L = [].
+    build(K, L) :- K > 0 | L = [K|T], K1 := K - 1, build(K1, T).
+    rev([], A, R) :- true | R = A.
+    rev([H|T], A, R) :- true | rev(T, [H|A], R).
+    use([H|_], Ok) :- integer(H) | Ok = ok.
+";
+
+/// Keeps a long-lived structure alive across collections while churning.
+const KEEPER: &str = "
+    main(X) :- true | build(50, Keep), churn(30, Keep, X).
+    churn(0, Keep, X) :- true | sum(Keep, 0, X).
+    churn(N, Keep, X) :- N > 0 |
+        build(40, Junk), use(Junk, Ok),
+        step(Ok, N, Keep, X).
+    step(ok, N, Keep, X) :- true | N1 := N - 1, churn(N1, Keep, X).
+    build(0, L) :- true | L = [].
+    build(K, L) :- K > 0 | L = [K|T], K1 := K - 1, build(K1, T).
+    use([H|_], Ok) :- integer(H) | Ok = ok.
+    sum([], A, S) :- true | S = A.
+    sum([H|T], A, S) :- true | A1 := A + H, sum(T, A1, S).
+";
+
+fn cluster(src: &str, pes: u32, semispace: u64) -> Cluster {
+    let program = fghc::compile(src).unwrap();
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes,
+            heap_semispace_words: Some(semispace),
+            ..Default::default()
+        },
+    );
+    cluster.set_query("main", vec![Term::Var("X".into())]);
+    cluster
+}
+
+#[test]
+fn churn_survives_many_collections_flat() {
+    let mut c = cluster(CHURN, 1, 2048);
+    let port = run_flat(&mut c, 100_000_000);
+    assert_eq!(c.extract(&port, "X").unwrap(), Term::Atom("done".into()));
+    let gc = c.stats().gc;
+    assert!(gc.collections >= 2, "expected collections, got {gc:?}");
+    assert!(gc.words_reclaimed > gc.words_copied, "mostly garbage: {gc:?}");
+}
+
+#[test]
+fn long_lived_data_survives_collections() {
+    let mut c = cluster(KEEPER, 1, 2048);
+    let port = run_flat(&mut c, 100_000_000);
+    // sum(1..=50) = 1275 — the kept list must be intact after every GC.
+    assert_eq!(c.extract(&port, "X").unwrap(), Term::Int(1275));
+    assert!(c.stats().gc.collections >= 1, "{:?}", c.stats().gc);
+}
+
+#[test]
+fn gc_works_under_the_full_cache_simulation() {
+    let mut c = cluster(CHURN, 2, 2048);
+    let system = PimSystem::new(SystemConfig {
+        pes: 2,
+        ..Default::default()
+    });
+    let mut engine = Engine::new(system, 2);
+    let stats = engine.run(&mut c, 1_000_000_000);
+    assert!(stats.finished, "did not finish");
+    assert!(c.failure().is_none(), "{:?}", c.failure());
+    let answer = engine.with_port(PeId(0), |p| c.extract(p, "X").unwrap());
+    assert_eq!(answer, Term::Atom("done".into()));
+    assert!(c.stats().gc.collections >= 2);
+    engine.system().check_coherence_invariants().unwrap();
+    // GC traffic is real traffic: heap reads/writes went through the bus.
+    assert!(engine.system().bus_stats().total_cycles() > 0);
+}
+
+#[test]
+fn gc_with_multiple_pes_and_migration() {
+    let mut c = cluster(KEEPER, 4, 4096);
+    let system = PimSystem::new(SystemConfig {
+        pes: 4,
+        ..Default::default()
+    });
+    let mut engine = Engine::new(system, 4);
+    let stats = engine.run(&mut c, 1_000_000_000);
+    assert!(stats.finished && c.failure().is_none(), "{:?}", c.failure());
+    let answer = engine.with_port(PeId(0), |p| c.extract(p, "X").unwrap());
+    assert_eq!(answer, Term::Int(1275));
+}
+
+#[test]
+fn too_small_semispace_fails_gracefully() {
+    // The kept structure alone exceeds the semispace: the machine must
+    // report heap exhaustion, not corrupt memory or hang.
+    let mut c = cluster(KEEPER, 1, 64);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_flat(&mut c, 100_000_000)
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn disabled_gc_never_collects() {
+    let program = fghc::compile(CHURN).unwrap();
+    let mut c = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    c.set_query("main", vec![Term::Var("X".into())]);
+    let port = run_flat(&mut c, 100_000_000);
+    assert_eq!(c.extract(&port, "X").unwrap(), Term::Atom("done".into()));
+    assert_eq!(c.stats().gc.collections, 0);
+}
+
+#[test]
+fn benchmarks_compute_correct_answers_under_gc_pressure() {
+    use workloads::{Bench, Scale};
+    // Run the real benchmarks with semispaces small enough to force
+    // collections; the oracle validation is the correctness check.
+    for bench in [Bench::Pascal, Bench::Tri] {
+        let program = fghc::compile(bench.source()).unwrap();
+        let mut c = Cluster::new(
+            program,
+            ClusterConfig {
+                pes: 2,
+                heap_semispace_words: Some(16 * 1024),
+                ..Default::default()
+            },
+        );
+        let (proc, args) = bench.query(Scale::smoke());
+        c.set_query(proc, args);
+        let port = run_flat(&mut c, 500_000_000);
+        let answer = c.extract(&port, "R").unwrap();
+        assert_eq!(
+            answer,
+            workloads::reference::expected(bench, Scale::smoke()),
+            "{} under GC pressure",
+            bench.name()
+        );
+    }
+}

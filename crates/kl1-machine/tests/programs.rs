@@ -1,0 +1,291 @@
+//! Functional tests: FGHC programs run to completion and compute the
+//! right answers, on a flat port (round-robin over PEs).
+
+use fghc::Term;
+use kl1_machine::{run_flat, Cluster, ClusterConfig};
+
+fn run(src: &str, pes: u32, query: &str, args: Vec<Term>) -> (Cluster, kl1_machine::FlatPort) {
+    let program = fghc::compile(src).expect("compiles");
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes,
+            ..ClusterConfig::default()
+        },
+    );
+    cluster.set_query(query, args);
+    let port = run_flat(&mut cluster, 50_000_000);
+    (cluster, port)
+}
+
+fn var(name: &str) -> Term {
+    Term::Var(name.into())
+}
+
+#[test]
+fn append_concatenates() {
+    let src = "
+        main(X) :- true | app([1,2,3], [4,5], X).
+        app([], Y, Z)    :- true | Z = Y.
+        app([H|T], Y, Z) :- true | Z = [H|W], app(T, Y, W).
+    ";
+    let (c, port) = run(src, 1, "main", vec![var("X")]);
+    assert_eq!(c.extract(&port, "X").unwrap().to_string(), "[1,2,3,4,5]");
+    assert!(c.stats().reductions >= 4);
+}
+
+#[test]
+fn naive_reverse() {
+    let src = "
+        main(X) :- true | rev([1,2,3,4,5,6], X).
+        rev([], Z)    :- true | Z = [].
+        rev([H|T], Z) :- true | rev(T, R), app(R, [H], Z).
+        app([], Y, Z)    :- true | Z = Y.
+        app([H|T], Y, Z) :- true | Z = [H|W], app(T, Y, W).
+    ";
+    let (c, port) = run(src, 1, "main", vec![var("X")]);
+    assert_eq!(c.extract(&port, "X").unwrap().to_string(), "[6,5,4,3,2,1]");
+}
+
+#[test]
+fn fibonacci_with_guards_and_arithmetic() {
+    let src = "
+        main(F) :- true | fib(15, F).
+        fib(N, F) :- N < 2 | F = N.
+        fib(N, F) :- N >= 2 |
+            N1 := N - 1, N2 := N - 2,
+            fib(N1, F1), fib(N2, F2), add(F1, F2, F).
+        add(A, B, C) :- integer(A), integer(B) | C := A + B.
+    ";
+    let (c, port) = run(src, 1, "main", vec![var("F")]);
+    assert_eq!(c.extract(&port, "F").unwrap(), Term::Int(610));
+    // add/3 suspends until both fib results arrive.
+    assert!(c.stats().suspensions > 0, "expected suspensions");
+}
+
+#[test]
+fn fibonacci_parallel_matches_sequential() {
+    let src = "
+        main(F) :- true | fib(14, F).
+        fib(N, F) :- N < 2 | F = N.
+        fib(N, F) :- N >= 2 |
+            N1 := N - 1, N2 := N - 2,
+            fib(N1, F1), fib(N2, F2), add(F1, F2, F).
+        add(A, B, C) :- integer(A), integer(B) | C := A + B.
+    ";
+    for pes in [2, 4, 8] {
+        let (c, port) = run(src, pes, "main", vec![var("F")]);
+        assert_eq!(
+            c.extract(&port, "F").unwrap(),
+            Term::Int(377),
+            "wrong answer on {pes} PEs"
+        );
+        assert!(c.stats().goals_migrated > 0, "no load balancing on {pes} PEs");
+    }
+}
+
+#[test]
+fn stream_producer_consumer_suspends_and_resumes() {
+    // The canonical FGHC stream pattern of paper Section 2.1: the consumer
+    // chases the producer down an incomplete list.
+    let src = "
+        main(S) :- true | gen(20, L), sum(L, 0, S).
+        gen(0, L) :- true | L = [].
+        gen(N, L) :- N > 0 | L = [N|T], N1 := N - 1, gen(N1, T).
+        sum([], A, S) :- true | S = A.
+        sum([H|T], A, S) :- true | A1 := A + H, sum(T, A1, S).
+    ";
+    let (c, port) = run(src, 2, "main", vec![var("S")]);
+    assert_eq!(c.extract(&port, "S").unwrap(), Term::Int(210));
+}
+
+#[test]
+fn bounded_buffer_pipeline_three_stages() {
+    let src = "
+        main(Out) :- true | nats(10, N), doubles(N, D), sum(D, 0, Out).
+        nats(0, L) :- true | L = [].
+        nats(K, L) :- K > 0 | L = [K|T], K1 := K - 1, nats(K1, T).
+        doubles([], D) :- true | D = [].
+        doubles([H|T], D) :- true | H2 := H * 2, D = [H2|DT], doubles(T, DT).
+        sum([], A, S) :- true | S = A.
+        sum([H|T], A, S) :- true | A1 := A + H, sum(T, A1, S).
+    ";
+    let (c, port) = run(src, 4, "main", vec![var("Out")]);
+    assert_eq!(c.extract(&port, "Out").unwrap(), Term::Int(110));
+}
+
+#[test]
+fn otherwise_commits_only_after_failures() {
+    let src = "
+        main(R) :- true | classify(7, R).
+        classify(0, R) :- true | R = zero.
+        classify(N, R) :- N < 0 | R = negative.
+        classify(_, R) :- otherwise | R = positive.
+    ";
+    let (c, port) = run(src, 1, "main", vec![var("R")]);
+    assert_eq!(c.extract(&port, "R").unwrap(), Term::Atom("positive".into()));
+}
+
+#[test]
+fn structures_unify_across_goals() {
+    let src = "
+        main(R) :- true | mk(P), use(P, R).
+        mk(P) :- true | P = point(3, 4).
+        use(Q, R) :- true | get(Q, R).
+        get(point(X, Y), R) :- true | R := X * X + Y * Y.
+    ";
+    let (c, port) = run(src, 2, "main", vec![var("R")]);
+    assert_eq!(c.extract(&port, "R").unwrap(), Term::Int(25));
+}
+
+#[test]
+fn ground_query_arguments_flow_in() {
+    let src = "
+        main(L, X) :- true | app(L, [9], X).
+        app([], Y, Z)    :- true | Z = Y.
+        app([H|T], Y, Z) :- true | Z = [H|W], app(T, Y, W).
+    ";
+    let (c, port) = run(
+        src,
+        1,
+        "main",
+        vec![Term::list(vec![Term::Int(7), Term::Int(8)], None), var("X")],
+    );
+    assert_eq!(c.extract(&port, "X").unwrap().to_string(), "[7,8,9]");
+}
+
+#[test]
+fn deep_recursion_with_tail_calls_stays_flat() {
+    let src = "
+        main(X) :- true | count(100000, X).
+        count(0, X) :- true | X = done.
+        count(N, X) :- N > 0 | N1 := N - 1, count(N1, X).
+    ";
+    let (c, port) = run(src, 1, "main", vec![var("X")]);
+    assert_eq!(c.extract(&port, "X").unwrap(), Term::Atom("done".into()));
+    assert!(c.stats().reductions >= 100_000);
+}
+
+#[test]
+fn failing_program_reports_failure() {
+    let src = "
+        main(X) :- true | eq(1, 2, X).
+        eq(A, A2, X) :- A =:= A2 | X = yes.
+    ";
+    let program = fghc::compile(src).unwrap();
+    let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    cluster.set_query("main", vec![var("X")]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_flat(&mut cluster, 1_000_000)
+    }));
+    assert!(result.is_err(), "program failure must surface");
+}
+
+#[test]
+fn division_by_zero_is_a_program_failure() {
+    let src = "main(X) :- true | X := 1 / 0.";
+    let program = fghc::compile(src).unwrap();
+    let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    cluster.set_query("main", vec![var("X")]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_flat(&mut cluster, 1_000_000)
+    }));
+    assert!(result.is_err(), "division by zero must fail the program");
+}
+
+#[test]
+fn arithmetic_overflow_is_a_program_failure() {
+    let src = "
+        main(X) :- true | blow(1, X).
+        blow(N, X) :- N > 0 | N1 := N * 16384, blow(N1, X).
+    ";
+    let program = fghc::compile(src).unwrap();
+    let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    cluster.set_query("main", vec![var("X")]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_flat(&mut cluster, 10_000_000)
+    }));
+    assert!(result.is_err(), "56-bit overflow must fail, not wrap silently");
+}
+
+#[test]
+fn body_unification_mismatch_fails_the_program() {
+    let src = "main(X) :- true | X = a, X = b.";
+    let program = fghc::compile(src).unwrap();
+    let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    cluster.set_query("main", vec![var("X")]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_flat(&mut cluster, 1_000_000)
+    }));
+    assert!(result.is_err(), "a = b must fail in committed-choice code");
+}
+
+#[test]
+fn deep_structures_unify_without_stack_issues() {
+    // Build and compare two deep, identical nested structures.
+    let src = "
+        main(X) :- true | mk(400, A), mk(400, B), eq(A, B, X).
+        mk(0, T) :- true | T = leaf.
+        mk(N, T) :- N > 0 | N1 := N - 1, mk(N1, S), T = node(S).
+        eq(A, B, X) :- true | A = B, X = same.
+    ";
+    let (c, port) = run(src, 1, "main", vec![var("X")]);
+    assert_eq!(c.extract(&port, "X").unwrap(), Term::Atom("same".into()));
+}
+
+#[test]
+fn perpetual_suspension_is_detected() {
+    let src = "
+        main(X) :- true | wait(Y, X).
+        wait(Y, X) :- integer(Y) | X = Y.
+    ";
+    let program = fghc::compile(src).unwrap();
+    let mut cluster = Cluster::new(program, ClusterConfig { pes: 2, ..Default::default() });
+    cluster.set_query("main", vec![var("X")]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_flat(&mut cluster, 1_000_000)
+    }));
+    assert!(result.is_err(), "perpetual suspension must surface");
+}
+
+#[test]
+fn reference_stats_cover_all_areas() {
+    use pim_trace::StorageArea;
+    let src = "
+        main(S) :- true | gen(30, L), sum(L, 0, S).
+        gen(0, L) :- true | L = [].
+        gen(N, L) :- N > 0 | L = [N|T], N1 := N - 1, gen(N1, T).
+        sum([], A, S) :- true | S = A.
+        sum([H|T], A, S) :- true | A1 := A + H, sum(T, A1, S).
+    ";
+    let (_c, port) = run(src, 2, "main", vec![var("S")]);
+    let stats = port.stats();
+    assert!(stats.area_total(StorageArea::Instruction) > 0, "inst refs");
+    assert!(stats.area_total(StorageArea::Heap) > 0, "heap refs");
+    assert!(stats.area_total(StorageArea::Goal) > 0, "goal refs");
+    // The stream consumer suspends at least once in a 2-PE interleave.
+    // (Suspension refs can be zero if scheduling aligns, so only check
+    // that the total splits across instruction + data sensibly.)
+    assert!(stats.data_total() > 0);
+    assert!(stats.total() > stats.data_total());
+}
+
+#[test]
+fn goal_records_are_written_once_and_read_once() {
+    use pim_trace::{MemOp, StorageArea};
+    let src = "
+        main :- true | a, b, c.
+        a :- true | true.
+        b :- true | true.
+        c :- true | true.
+    ";
+    let (_c, port) = run(src, 1, "main", vec![]);
+    let s = port.stats();
+    let goal_writes = s.count(StorageArea::Goal, MemOp::DirectWrite)
+        + s.count(StorageArea::Goal, MemOp::Write);
+    let goal_reads = s.count(StorageArea::Goal, MemOp::ExclusiveRead)
+        + s.count(StorageArea::Goal, MemOp::ReadPurge)
+        + s.count(StorageArea::Goal, MemOp::Read);
+    assert_eq!(goal_writes, goal_reads, "write-once read-once");
+    assert!(goal_writes > 0);
+}

@@ -1,0 +1,311 @@
+//! The per-PE set-associative cache array (tags, states, data, LRU).
+
+use crate::{BlockState, CacheGeometry};
+use pim_trace::{Addr, Word};
+
+/// One cache line: tag, state, data words, and an LRU timestamp.
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    state: BlockState,
+    data: Box<[Word]>,
+    last_used: u64,
+}
+
+/// Fill pattern for words of a direct-written block that were never
+/// written. Reading one back indicates a violated `DW` software contract,
+/// which the protocol layer surfaces as a statistic.
+pub const DW_POISON: Word = 0xDEAD_BEEF_DEAD_BEEF;
+
+/// A single PE's set-associative cache array.
+///
+/// The array is a passive structure: it answers lookups, installs and
+/// evicts blocks, and tracks LRU — all *decisions* (what to fetch, whom to
+/// invalidate, what a transaction costs) live in
+/// [`crate::protocol::PimSystem`].
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    geometry: CacheGeometry,
+    lines: Vec<Line>,
+    clock: u64,
+}
+
+/// Result of choosing a victim for a fill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction {
+    /// Base address of the evicted block.
+    pub base: Addr,
+    /// Its state at eviction (dirty states require a swap-out).
+    pub state: BlockState,
+    /// The evicted data (valid if `state.is_dirty()`).
+    pub data: Vec<Word>,
+}
+
+impl CacheArray {
+    /// Creates an empty (all-invalid) cache of the given geometry.
+    pub fn new(geometry: CacheGeometry) -> CacheArray {
+        let count = (geometry.sets * geometry.ways) as usize;
+        let lines = (0..count)
+            .map(|_| Line {
+                tag: 0,
+                state: BlockState::Inv,
+                data: vec![0; geometry.block_words as usize].into_boxed_slice(),
+                last_used: 0,
+            })
+            .collect();
+        CacheArray {
+            geometry,
+            lines,
+            clock: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
+        let start = (set * self.geometry.ways) as usize;
+        start..start + self.geometry.ways as usize
+    }
+
+    fn find(&self, addr: Addr) -> Option<usize> {
+        let (tag, set, _) = self.geometry.decompose(addr);
+        self.set_range(set)
+            .find(|&i| self.lines[i].state.is_valid() && self.lines[i].tag == tag)
+    }
+
+    /// The state of the block containing `addr` ([`BlockState::Inv`] if
+    /// absent).
+    pub fn state_of(&self, addr: Addr) -> BlockState {
+        self.find(addr).map_or(BlockState::Inv, |i| self.lines[i].state)
+    }
+
+    /// Whether the block containing `addr` is resident.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Reads the word at `addr` if resident, bumping LRU.
+    pub fn read(&mut self, addr: Addr) -> Option<Word> {
+        let i = self.find(addr)?;
+        self.touch(i);
+        let (_, _, offset) = self.geometry.decompose(addr);
+        Some(self.lines[i].data[offset as usize])
+    }
+
+    /// Writes the word at `addr` if resident, bumping LRU and moving the
+    /// state to `new_state` (the protocol decides the state).
+    pub fn write(&mut self, addr: Addr, value: Word, new_state: BlockState) -> bool {
+        match self.find(addr) {
+            Some(i) => {
+                self.touch(i);
+                let (_, _, offset) = self.geometry.decompose(addr);
+                self.lines[i].data[offset as usize] = value;
+                self.lines[i].state = new_state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets the state of a resident block without touching data or LRU
+    /// (snoop-induced transitions).
+    pub fn set_state(&mut self, addr: Addr, state: BlockState) -> bool {
+        match self.find(addr) {
+            Some(i) => {
+                self.lines[i].state = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates the block containing `addr`, returning its old state and
+    /// data (for cache-to-cache supply followed by invalidation).
+    pub fn invalidate(&mut self, addr: Addr) -> Option<(BlockState, Vec<Word>)> {
+        let i = self.find(addr)?;
+        let state = self.lines[i].state;
+        let data = self.lines[i].data.to_vec();
+        self.lines[i].state = BlockState::Inv;
+        Some((state, data))
+    }
+
+    /// Copies a resident block's data out without changing anything
+    /// (cache-to-cache supply).
+    pub fn snapshot(&self, addr: Addr) -> Option<Vec<Word>> {
+        let i = self.find(addr)?;
+        Some(self.lines[i].data.to_vec())
+    }
+
+    /// Reads one resident word without touching LRU state (inspection).
+    pub fn snapshot_word(&self, addr: Addr) -> Option<Word> {
+        let i = self.find(addr)?;
+        let (_, _, offset) = self.geometry.decompose(addr);
+        Some(self.lines[i].data[offset as usize])
+    }
+
+    /// Installs a block (fetched or direct-written) over the LRU victim of
+    /// its set. Returns the victim if one had to be displaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one block, or the block is already
+    /// resident (the protocol must not double-install).
+    pub fn install(&mut self, base: Addr, data: Vec<Word>, state: BlockState) -> Option<Eviction> {
+        assert_eq!(data.len() as u64, self.geometry.block_words, "bad block");
+        assert_eq!(base % self.geometry.block_words, 0, "unaligned block");
+        assert!(self.find(base).is_none(), "block {base:#x} already resident");
+
+        let (tag, set, _) = self.geometry.decompose(base);
+        // Prefer an invalid way; otherwise evict the least recently used.
+        let victim = self
+            .set_range(set)
+            .min_by_key(|&i| (self.lines[i].state.is_valid(), self.lines[i].last_used))
+            .expect("ways >= 1");
+
+        let evicted = if self.lines[victim].state.is_valid() {
+            let old = &self.lines[victim];
+            Some(Eviction {
+                base: self.geometry.recompose(old.tag, set),
+                state: old.state,
+                data: old.data.to_vec(),
+            })
+        } else {
+            None
+        };
+
+        let line = &mut self.lines[victim];
+        line.tag = tag;
+        line.state = state;
+        line.data.copy_from_slice(&data);
+        self.touch(victim);
+        evicted
+    }
+
+    /// Whether installing a block for `addr` would displace a valid line,
+    /// and if so which one — without performing the eviction. The protocol
+    /// uses this to price the swap-out into the fill transaction.
+    pub fn peek_victim(&self, addr: Addr) -> Option<(Addr, BlockState)> {
+        let (_, set, _) = self.geometry.decompose(addr);
+        let victim = self
+            .set_range(set)
+            .min_by_key(|&i| (self.lines[i].state.is_valid(), self.lines[i].last_used))?;
+        let line = &self.lines[victim];
+        if line.state.is_valid() {
+            Some((self.geometry.recompose(line.tag, set), line.state))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all valid blocks as `(base address, state)` — used by
+    /// invariant checks in tests.
+    pub fn valid_blocks(&self) -> impl Iterator<Item = (Addr, BlockState)> + '_ {
+        self.lines.iter().enumerate().filter_map(move |(i, line)| {
+            if line.state.is_valid() {
+                let set = i as u64 / self.geometry.ways;
+                Some((self.geometry.recompose(line.tag, set), line.state))
+            } else {
+                None
+            }
+        })
+    }
+
+    fn touch(&mut self, i: usize) {
+        self.clock += 1;
+        self.lines[i].last_used = self.clock;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 2 sets × 2 ways × 4-word blocks = 16 words.
+        CacheArray::new(CacheGeometry::with_shape(16, 4, 2))
+    }
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.read(5), None);
+        assert!(c.install(4, vec![10, 11, 12, 13], BlockState::Ec).is_none());
+        assert_eq!(c.read(5), Some(11));
+        assert_eq!(c.state_of(5), BlockState::Ec);
+    }
+
+    #[test]
+    fn write_updates_data_and_state() {
+        let mut c = tiny();
+        c.install(0, vec![0; 4], BlockState::Ec);
+        assert!(c.write(2, 99, BlockState::Em));
+        assert_eq!(c.read(2), Some(99));
+        assert_eq!(c.state_of(2), BlockState::Em);
+        assert!(!c.write(100, 1, BlockState::Em), "miss writes fail");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds blocks whose (block index % 2 == 0): bases 0, 8, 16…
+        c.install(0, vec![1; 4], BlockState::Ec);
+        c.install(8, vec![2; 4], BlockState::Ec);
+        c.read(0); // make base 0 most recent
+        let ev = c.install(16, vec![3; 4], BlockState::Ec).expect("eviction");
+        assert_eq!(ev.base, 8);
+        assert!(c.contains(0) && c.contains(16) && !c.contains(8));
+    }
+
+    #[test]
+    fn dirty_eviction_carries_data() {
+        let mut c = tiny();
+        c.install(0, vec![7; 4], BlockState::Em);
+        c.install(8, vec![0; 4], BlockState::Ec);
+        let ev = c.install(16, vec![0; 4], BlockState::Ec).expect("eviction");
+        // base 0 was older than base 8.
+        assert_eq!(ev.base, 0);
+        assert_eq!(ev.state, BlockState::Em);
+        assert_eq!(ev.data, vec![7; 4]);
+    }
+
+    #[test]
+    fn invalidate_returns_contents() {
+        let mut c = tiny();
+        c.install(4, vec![1, 2, 3, 4], BlockState::Sm);
+        let (state, data) = c.invalidate(6).expect("present");
+        assert_eq!(state, BlockState::Sm);
+        assert_eq!(data, vec![1, 2, 3, 4]);
+        assert!(!c.contains(4));
+        assert_eq!(c.invalidate(6), None);
+    }
+
+    #[test]
+    fn peek_victim_matches_install() {
+        let mut c = tiny();
+        assert_eq!(c.peek_victim(0), None);
+        c.install(0, vec![0; 4], BlockState::Em);
+        c.install(8, vec![0; 4], BlockState::Ec);
+        assert_eq!(c.peek_victim(16), Some((0, BlockState::Em)));
+    }
+
+    #[test]
+    fn valid_blocks_enumerates() {
+        let mut c = tiny();
+        c.install(0, vec![0; 4], BlockState::Ec);
+        c.install(4, vec![0; 4], BlockState::Em);
+        let mut blocks: Vec<_> = c.valid_blocks().collect();
+        blocks.sort();
+        assert_eq!(blocks, vec![(0, BlockState::Ec), (4, BlockState::Em)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_install_panics() {
+        let mut c = tiny();
+        c.install(0, vec![0; 4], BlockState::Ec);
+        c.install(0, vec![0; 4], BlockState::Ec);
+    }
+}

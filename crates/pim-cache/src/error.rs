@@ -1,0 +1,69 @@
+//! Protocol misuse errors.
+
+use pim_trace::Addr;
+use std::fmt;
+
+/// An error signalling *misuse* of the cache/lock protocol by the abstract
+/// machine — these are bugs in the issuing software, never recoverable
+/// hardware conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A PE issued `LR` on a word it already holds locked.
+    AlreadyLocked {
+        /// The doubly locked address.
+        addr: Addr,
+    },
+    /// A PE issued `UW`/`U` on a word it does not hold locked.
+    NotLocked {
+        /// The address that was not locked.
+        addr: Addr,
+    },
+    /// A PE tried to hold more simultaneous locks than its directory has
+    /// entries.
+    LockDirectoryFull {
+        /// The address that could not be registered.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::AlreadyLocked { addr } => {
+                write!(f, "address {addr:#x} is already locked by this PE")
+            }
+            ProtocolError::NotLocked { addr } => {
+                write!(f, "address {addr:#x} is not locked by this PE")
+            }
+            ProtocolError::LockDirectoryFull { addr } => {
+                write!(f, "lock directory full; cannot lock {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_nonempty() {
+        for e in [
+            ProtocolError::AlreadyLocked { addr: 1 },
+            ProtocolError::NotLocked { addr: 2 },
+            ProtocolError::LockDirectoryFull { addr: 3 },
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.starts_with(|c: char| c.is_lowercase()));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

@@ -1,0 +1,924 @@
+//! The PIM coherence engine: N per-PE caches and lock directories around a
+//! snooping bus and one shared memory.
+//!
+//! [`PimSystem`] is driven one memory operation at a time and is fully
+//! deterministic. It plays three roles at once:
+//!
+//! * a **functional memory**: every read returns the value of the latest
+//!   write to that address (assuming the software contracts of the
+//!   optimized commands are respected);
+//! * a **coherence state machine** implementing Section 3 of the paper:
+//!   five block states, the separate lock directory, the `DW`/`ER`/`RP`/
+//!   `RI` command special cases with their automatic downgrades;
+//! * a **traffic meter** recording bus cycles, transaction patterns, bus
+//!   commands, reference mixes, hit ratios and lock ratios for the paper's
+//!   tables and figures.
+//!
+//! # Locking and the `LH` response
+//!
+//! A PE's lock directory snoops the bus and refuses (responds `LH` to) any
+//! remote command targeting a block that contains one of its locked words.
+//! The check is **block-granular** by design: if only exact word matches
+//! were refused, another PE could acquire the block exclusively by touching
+//! a neighbouring word and then satisfy a later `LR` *from its own cache
+//! with no bus command* — silently breaking mutual exclusion. Refusing
+//! exclusivity on the whole locked block keeps the zero-cost
+//! `LR`-hit-to-exclusive optimization sound. Lock hold times in KL1 are a
+//! handful of cycles, so the extra refusals are negligible (Table 5).
+//!
+//! On a refusal the requester receives [`Outcome::LockBusy`] and must retry
+//! after the holder's `UL` broadcast — the woken PEs are reported in
+//! [`Outcome::Done::woken`] of the unlocking operation.
+
+use crate::array::{CacheArray, DW_POISON};
+use crate::{
+    AccessStats, BlockState, CacheGeometry, LockDirectory, LockStats, OptMask, ProtocolError,
+};
+use pim_bus::{BusCommand, BusStats, BusTiming, SharedMemory, Transaction};
+use pim_trace::{Access, Addr, AreaMap, MemOp, PeId, RefStats, StorageArea, Word};
+
+/// Configuration of a [`PimSystem`].
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of processing elements on the bus (paper default: 8).
+    pub pes: u32,
+    /// Per-PE cache geometry.
+    pub geometry: CacheGeometry,
+    /// Bus/memory timing.
+    pub timing: BusTiming,
+    /// Which optimized commands are honoured where.
+    pub opt_mask: OptMask,
+    /// Lock-directory entries per PE.
+    pub lock_entries: usize,
+    /// The storage-area partition of the address space.
+    pub area_map: AreaMap,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            pes: 8,
+            geometry: CacheGeometry::paper_default(),
+            timing: BusTiming::paper_default(),
+            opt_mask: OptMask::all(),
+            lock_entries: 4,
+            area_map: AreaMap::standard(),
+        }
+    }
+}
+
+/// Result of one memory operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The operation completed.
+    Done {
+        /// The word read (for reads) or written (for writes); 0 for `U`.
+        value: Word,
+        /// Bus cycles this operation consumed (0 for local hits).
+        bus_cycles: u64,
+        /// Whether the cache lookup hit a resident block.
+        hit: bool,
+        /// PEs woken by an `UL` broadcast (only ever non-empty for
+        /// `UW`/`U` on an `LWAIT` entry).
+        woken: Vec<PeId>,
+    },
+    /// The operation hit a word locked by `holder` and received an `LH`
+    /// response; the issuer must busy-wait and retry after `holder`
+    /// broadcasts `UL`.
+    LockBusy {
+        /// The PE whose lock directory refused the request.
+        holder: PeId,
+    },
+}
+
+impl Outcome {
+    /// The value of a completed operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is [`Outcome::LockBusy`].
+    pub fn value(&self) -> Word {
+        match self {
+            Outcome::Done { value, .. } => *value,
+            Outcome::LockBusy { holder } => panic!("operation refused by {holder}"),
+        }
+    }
+
+    /// The bus cycles of a completed operation (0 if refused).
+    pub fn bus_cycles(&self) -> u64 {
+        match self {
+            Outcome::Done { bus_cycles, .. } => *bus_cycles,
+            Outcome::LockBusy { .. } => 0,
+        }
+    }
+}
+
+/// How a fill acquired its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FillSource {
+    /// Supplied cache-to-cache by this PE; `true` if the copy was dirty.
+    Cache(PeId, bool),
+    /// Fetched from shared global memory.
+    Memory,
+}
+
+struct Filled {
+    data: Vec<Word>,
+    cycles: u64,
+    source: FillSource,
+}
+
+enum FillOutcome {
+    Filled(Filled),
+    Refused { holder: PeId },
+}
+
+/// The PIM multiprocessor memory system (Section 3 of the paper).
+#[derive(Debug)]
+pub struct PimSystem {
+    config: SystemConfig,
+    caches: Vec<CacheArray>,
+    lockdirs: Vec<LockDirectory>,
+    memory: SharedMemory,
+    bus: BusStats,
+    refs: RefStats,
+    access_stats: AccessStats,
+    lock_stats: LockStats,
+}
+
+impl PimSystem {
+    /// Builds a system with all caches empty and memory zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.pes` is zero.
+    pub fn new(config: SystemConfig) -> PimSystem {
+        assert!(config.pes > 0, "need at least one PE");
+        let caches = (0..config.pes)
+            .map(|_| CacheArray::new(config.geometry))
+            .collect();
+        let lockdirs = (0..config.pes)
+            .map(|_| LockDirectory::new(config.lock_entries))
+            .collect();
+        PimSystem {
+            config,
+            caches,
+            lockdirs,
+            memory: SharedMemory::new(),
+            bus: BusStats::new(),
+            refs: RefStats::new(),
+            access_stats: AccessStats::new(),
+            lock_stats: LockStats::new(),
+        }
+    }
+
+    /// The configured area map.
+    pub fn area_map(&self) -> &AreaMap {
+        &self.config.area_map
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Accumulated bus statistics.
+    pub fn bus_stats(&self) -> &BusStats {
+        &self.bus
+    }
+
+    /// Accumulated reference statistics (by area and effective operation).
+    pub fn ref_stats(&self) -> &RefStats {
+        &self.refs
+    }
+
+    /// Accumulated hit/miss and purge statistics.
+    pub fn access_stats(&self) -> &AccessStats {
+        &self.access_stats
+    }
+
+    /// Accumulated lock-protocol statistics (Table 5).
+    pub fn lock_stats(&self) -> &LockStats {
+        &self.lock_stats
+    }
+
+    /// Initializes memory without touching caches or statistics — used to
+    /// load program text and boot images before measurement starts.
+    pub fn poke(&mut self, addr: Addr, value: Word) {
+        debug_assert!(
+            !self.caches.iter().any(|c| c.contains(addr)),
+            "poke under a cached block"
+        );
+        self.memory.write(addr, value);
+    }
+
+    /// Reads memory bypassing caches and statistics — for result
+    /// inspection after a run. Prefers a cached copy (the freshest data)
+    /// over memory.
+    pub fn peek(&self, addr: Addr) -> Word {
+        for cache in &self.caches {
+            if let Some(v) = cache.snapshot_word(addr) {
+                return v;
+            }
+        }
+        self.memory.read(addr)
+    }
+
+    /// Performs one memory operation for `pe`.
+    ///
+    /// `data` must be `Some` for `W`, `DW` and `UW`, and is ignored
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on lock misuse (double lock, unlock of
+    /// an unheld word, lock-directory overflow) — always a bug in the
+    /// issuing abstract machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range, `addr` is outside the area map, or
+    /// `data` is `None` for a write operation.
+    pub fn access(
+        &mut self,
+        pe: PeId,
+        op: MemOp,
+        addr: Addr,
+        data: Option<Word>,
+    ) -> Result<Outcome, ProtocolError> {
+        assert!((pe.index()) < self.caches.len(), "unknown {pe}");
+        let area = self.config.area_map.area(addr);
+        let eff = self.config.opt_mask.effective(area, op);
+
+        let outcome = match eff {
+            MemOp::Read => self.read(pe, addr, area),
+            MemOp::Write => self.write(pe, addr, expect_data(eff, data), area),
+            MemOp::DirectWrite => self.direct_write(pe, addr, expect_data(eff, data), area),
+            MemOp::DirectWriteDown => {
+                self.direct_write_down(pe, addr, expect_data(eff, data), area)
+            }
+            MemOp::ExclusiveRead => self.exclusive_read(pe, addr, area),
+            MemOp::ReadPurge => self.read_purge(pe, addr, area),
+            MemOp::ReadInvalidate => self.read_invalidate(pe, addr, area),
+            MemOp::LockRead => self.lock_read(pe, addr, area)?,
+            MemOp::WriteUnlock => self.write_unlock(pe, addr, expect_data(eff, data), area)?,
+            MemOp::Unlock => self.unlock(pe, addr, area)?,
+        };
+
+        if matches!(outcome, Outcome::Done { .. }) {
+            self.refs.record(Access::new(pe, eff, addr, area));
+        }
+        Ok(outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // Snooping helpers
+    // ------------------------------------------------------------------
+
+    /// A remote lock directory holding a word inside `base`'s block, if
+    /// any: `(holder, locked word)`.
+    fn lock_conflict(&self, requester: PeId, base: Addr) -> Option<(PeId, Addr)> {
+        let bw = self.config.geometry.block_words;
+        self.lockdirs.iter().enumerate().find_map(|(i, dir)| {
+            if i == requester.index() {
+                return None;
+            }
+            dir.locked_word_in_block(base, bw)
+                .map(|w| (PeId(i as u32), w))
+        })
+    }
+
+    /// Registers `requester` as a busy-waiter on `holder`'s lock and
+    /// charges the refused bus request.
+    fn refuse(
+        &mut self,
+        requester: PeId,
+        holder: PeId,
+        locked_word: Addr,
+        area: StorageArea,
+    ) -> Outcome {
+        self.lockdirs[holder.index()].register_waiter(locked_word, requester);
+        self.lock_stats.lr_refused += 1;
+        self.bus.record_refusal(area);
+        Outcome::LockBusy { holder }
+    }
+
+    /// The PE that will supply a block cache-to-cache: prefers the dirty
+    /// owner, falls back to the lowest-numbered valid holder.
+    fn find_supplier(&self, requester: PeId, base: Addr) -> Option<(PeId, BlockState)> {
+        let mut clean = None;
+        for (i, cache) in self.caches.iter().enumerate() {
+            if i == requester.index() {
+                continue;
+            }
+            let state = cache.state_of(base);
+            if state.is_dirty() {
+                return Some((PeId(i as u32), state));
+            }
+            if state.is_valid() && clean.is_none() {
+                clean = Some((PeId(i as u32), state));
+            }
+        }
+        clean
+    }
+
+    /// Whether any other cache holds `base` (the `DW` contract check).
+    fn held_remotely(&self, requester: PeId, base: Addr) -> bool {
+        self.caches
+            .iter()
+            .enumerate()
+            .any(|(i, c)| i != requester.index() && c.contains(base))
+    }
+
+    // ------------------------------------------------------------------
+    // The fill engine (F / FI bus transactions)
+    // ------------------------------------------------------------------
+
+    /// Acquires the block containing `addr` for `pe` via the bus.
+    ///
+    /// `exclusive` selects `FI` (invalidate all other copies, no memory
+    /// copy-back of dirty data — the `SM`-state optimization) over `F`
+    /// (supplier keeps a shared copy). `install` controls whether the
+    /// block enters `pe`'s cache (false for the `RP` bypass). `with_lock`
+    /// adds an `LK` broadcast riding on the command.
+    fn fill(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        exclusive: bool,
+        install: bool,
+        with_lock: bool,
+        area: StorageArea,
+    ) -> FillOutcome {
+        let geom = self.config.geometry;
+        let base = geom.block_base(addr);
+        let bw = geom.block_words;
+
+        if let Some((holder, word)) = self.lock_conflict(pe, base) {
+            return FillOutcome::Refused {
+                holder: self.refuse_holder(pe, holder, word, area),
+            };
+        }
+
+        self.bus.record_cmd(if exclusive {
+            BusCommand::FetchInvalidate
+        } else {
+            BusCommand::Fetch
+        });
+        if with_lock {
+            self.bus.record_cmd(BusCommand::Lock);
+        }
+
+        let supplier = self.find_supplier(pe, base);
+        let (data, state, source) = match supplier {
+            Some((sup, sup_state)) => {
+                let dirty = sup_state.is_dirty();
+                let data = if exclusive {
+                    // FI: every other copy dies; dirty data migrates to the
+                    // requester without updating memory.
+                    let mut data = None;
+                    for i in 0..self.caches.len() {
+                        if i == pe.index() {
+                            continue;
+                        }
+                        if let Some((st, d)) = self.caches[i].invalidate(base) {
+                            if i == sup.index() || (st.is_dirty() && data.is_none()) {
+                                data = Some(d);
+                            }
+                        }
+                    }
+                    data.expect("supplier had the block")
+                } else {
+                    // F: the supplier keeps the data; a dirty supplier
+                    // becomes the SM owner, a clean exclusive one drops
+                    // to S. Memory is not updated (unlike Illinois).
+                    let data = self.caches[sup.index()]
+                        .snapshot(base)
+                        .expect("supplier had the block");
+                    let new_state = if dirty { BlockState::Sm } else { BlockState::Shared };
+                    self.caches[sup.index()].set_state(base, new_state);
+                    data
+                };
+                let state = match (exclusive, dirty) {
+                    (true, true) => BlockState::Em,
+                    (true, false) => BlockState::Ec,
+                    (false, _) => BlockState::Shared,
+                };
+                (data, state, FillSource::Cache(sup, dirty))
+            }
+            None => {
+                let mut data = vec![0; bw as usize];
+                self.memory.read_block(base, &mut data);
+                (data, BlockState::Ec, FillSource::Memory)
+            }
+        };
+
+        let mut swap_out = false;
+        if install {
+            if let Some(ev) = self.caches[pe.index()].install(base, data.clone(), state) {
+                if ev.state.is_dirty() {
+                    self.memory.write_block(ev.base, &ev.data);
+                    swap_out = true;
+                }
+            }
+        }
+
+        let tx = match source {
+            FillSource::Cache(..) => Transaction::CacheToCache { swap_out },
+            FillSource::Memory => Transaction::MemoryFetch { swap_out },
+        };
+        self.bus.record_tx(tx, area, &self.config.timing, bw);
+        let cycles = self.config.timing.cycles(tx, bw);
+
+        FillOutcome::Filled(Filled {
+            data,
+            cycles,
+            source,
+        })
+    }
+
+    /// Like [`PimSystem::refuse`] but usable from `fill` (returns just the
+    /// holder id for plumbing through [`FillOutcome`]).
+    fn refuse_holder(
+        &mut self,
+        requester: PeId,
+        holder: PeId,
+        locked_word: Addr,
+        area: StorageArea,
+    ) -> PeId {
+        match self.refuse(requester, holder, locked_word, area) {
+            Outcome::LockBusy { holder } => holder,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Invalidates every other copy of `addr`'s block via an `I` broadcast
+    /// (a write/lock upgrade on a shared block). Returns `Err(holder)` on
+    /// an `LH` refusal, otherwise the bus cycles consumed and whether a
+    /// *dirty* remote copy was dropped — in that case the upgrader's copy
+    /// (bit-identical, by the coherence invariant) inherits the write-back
+    /// obligation and must end in `EM`, never `EC`.
+    fn upgrade(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        with_lock: bool,
+        area: StorageArea,
+    ) -> Result<(u64, bool), PeId> {
+        let geom = self.config.geometry;
+        let base = geom.block_base(addr);
+        if let Some((holder, word)) = self.lock_conflict(pe, base) {
+            return Err(self.refuse_holder(pe, holder, word, area));
+        }
+        self.bus.record_cmd(BusCommand::Invalidate);
+        if with_lock {
+            self.bus.record_cmd(BusCommand::Lock);
+        }
+        let mut dropped_dirty = false;
+        for i in 0..self.caches.len() {
+            if i != pe.index() {
+                if let Some((state, _)) = self.caches[i].invalidate(base) {
+                    dropped_dirty |= state.is_dirty();
+                }
+            }
+        }
+        self.bus.record_tx(
+            Transaction::Invalidate,
+            area,
+            &self.config.timing,
+            geom.block_words,
+        );
+        Ok((
+            self.config
+                .timing
+                .cycles(Transaction::Invalidate, geom.block_words),
+            dropped_dirty,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Memory operations (Section 3.2)
+    // ------------------------------------------------------------------
+
+    fn read(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Outcome {
+        self.access_stats.lookups += 1;
+        if let Some(value) = self.caches[pe.index()].read(addr) {
+            self.access_stats.hits += 1;
+            return done(value, 0, true);
+        }
+        match self.fill(pe, addr, false, true, false, area) {
+            FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
+            FillOutcome::Filled(f) => {
+                let value = self.caches[pe.index()].read(addr).expect("just installed");
+                done(value, f.cycles, false)
+            }
+        }
+    }
+
+    fn write(&mut self, pe: PeId, addr: Addr, value: Word, area: StorageArea) -> Outcome {
+        self.access_stats.lookups += 1;
+        match self.caches[pe.index()].state_of(addr) {
+            BlockState::Em | BlockState::Ec => {
+                self.access_stats.hits += 1;
+                self.caches[pe.index()].write(addr, value, BlockState::Em);
+                done(value, 0, true)
+            }
+            BlockState::Sm | BlockState::Shared => {
+                self.access_stats.hits += 1;
+                match self.upgrade(pe, addr, false, area) {
+                    Err(holder) => Outcome::LockBusy { holder },
+                    Ok((cycles, _)) => {
+                        self.caches[pe.index()].write(addr, value, BlockState::Em);
+                        done(value, cycles, true)
+                    }
+                }
+            }
+            BlockState::Inv => match self.fill(pe, addr, true, true, false, area) {
+                FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
+                FillOutcome::Filled(f) => {
+                    self.caches[pe.index()].write(addr, value, BlockState::Em);
+                    done(value, f.cycles, false)
+                }
+            },
+        }
+    }
+
+    /// `DW` (Section 3.2 (1)): on a block-boundary miss with no remote
+    /// copies, allocate without fetching; otherwise behave as `W`.
+    /// Optimizes *upward*-growing allocation (heap, records).
+    fn direct_write(&mut self, pe: PeId, addr: Addr, value: Word, area: StorageArea) -> Outcome {
+        let geom = self.config.geometry;
+        if !geom.is_block_boundary(addr) || self.caches[pe.index()].contains(addr) {
+            // Case (ii): not a boundary (or already resident): plain write.
+            return self.write(pe, addr, value, area);
+        }
+        self.direct_allocate(pe, addr, value, area)
+    }
+
+    /// `DWD`: the downward-growing mirror of `DW` — the paper notes that
+    /// depending on the block-boundary definition `DW` serves one stack
+    /// direction only, and "to optimize both, two commands are necessary".
+    /// A downward stack touches the *last* word of each new block first.
+    fn direct_write_down(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        value: Word,
+        area: StorageArea,
+    ) -> Outcome {
+        let geom = self.config.geometry;
+        if !geom.is_last_word(addr) || self.caches[pe.index()].contains(addr) {
+            return self.write(pe, addr, value, area);
+        }
+        self.direct_allocate(pe, addr, value, area)
+    }
+
+    /// The shared allocate-without-fetch path of `DW`/`DWD`.
+    fn direct_allocate(&mut self, pe: PeId, addr: Addr, value: Word, area: StorageArea) -> Outcome {
+        let geom = self.config.geometry;
+        if self.held_remotely(pe, addr) {
+            // The software contract ("remote caches do not have a
+            // corresponding cache block") is violated; fall back to W and
+            // count it so workloads can be audited.
+            self.access_stats.dw_contract_violations += 1;
+            return self.write(pe, addr, value, area);
+        }
+
+        self.access_stats.lookups += 1;
+        self.access_stats.dw_allocations += 1;
+        let base = geom.block_base(addr);
+        let mut data = vec![DW_POISON; geom.block_words as usize];
+        data[(addr - base) as usize] = value;
+        let mut cycles = 0;
+        if let Some(ev) = self.caches[pe.index()].install(base, data, BlockState::Em) {
+            if ev.state.is_dirty() {
+                // The only swap-out-only bus pattern in the protocol.
+                self.memory.write_block(ev.base, &ev.data);
+                self.bus.record_tx(
+                    Transaction::SwapOutOnly,
+                    area,
+                    &self.config.timing,
+                    geom.block_words,
+                );
+                cycles = self
+                    .config
+                    .timing
+                    .cycles(Transaction::SwapOutOnly, geom.block_words);
+            }
+        }
+        done(value, cycles, false)
+    }
+
+    /// `ER` (Section 3.2 (2)): read-invalidate on a remote miss that is
+    /// not the last word; read-purge on a hit to the last word; plain read
+    /// otherwise.
+    fn exclusive_read(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Outcome {
+        let geom = self.config.geometry;
+        let resident = self.caches[pe.index()].contains(addr);
+        if resident {
+            if geom.is_last_word(addr) {
+                // Case (ii): read, then forcibly purge the local block —
+                // dead data is discarded without a swap-out.
+                self.access_stats.lookups += 1;
+                self.access_stats.hits += 1;
+                let value = self.caches[pe.index()].read(addr).expect("resident");
+                self.purge_local(pe, addr);
+                return done(value, 0, true);
+            }
+            return self.read(pe, addr, area);
+        }
+        if self.find_supplier(pe, addr).is_some() && !geom.is_last_word(addr) {
+            // Case (i): fetch with invalidation of the supplier (RI).
+            self.access_stats.lookups += 1;
+            return match self.fill(pe, addr, true, true, false, area) {
+                FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
+                FillOutcome::Filled(f) => {
+                    let value = self.caches[pe.index()].read(addr).expect("installed");
+                    done(value, f.cycles, false)
+                }
+            };
+        }
+        // Case (iii): automatic downgrade to R.
+        self.read(pe, addr, area)
+    }
+
+    /// `RP` (Section 3.2 (3)): read and forcibly purge; on a miss the
+    /// supplier is invalidated and the transferred block bypasses the
+    /// local cache entirely (it would be purged immediately anyway).
+    fn read_purge(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Outcome {
+        self.access_stats.lookups += 1;
+        if self.caches[pe.index()].contains(addr) {
+            self.access_stats.hits += 1;
+            let value = self.caches[pe.index()].read(addr).expect("resident");
+            self.purge_local(pe, addr);
+            return done(value, 0, true);
+        }
+        match self.fill(pe, addr, true, false, false, area) {
+            FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
+            FillOutcome::Filled(f) => {
+                let offset = (addr % self.config.geometry.block_words) as usize;
+                self.access_stats.purges += 1;
+                if matches!(f.source, FillSource::Cache(_, true)) {
+                    self.access_stats.dirty_purges += 1;
+                }
+                done(f.data[offset], f.cycles, false)
+            }
+        }
+    }
+
+    /// `RI` (Section 3.2 (4)): read with intent to rewrite — a miss
+    /// fetches exclusively (`FI`) so the later write needs no `I`.
+    fn read_invalidate(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Outcome {
+        if self.caches[pe.index()].contains(addr) {
+            return self.read(pe, addr, area);
+        }
+        self.access_stats.lookups += 1;
+        match self.fill(pe, addr, true, true, false, area) {
+            FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
+            FillOutcome::Filled(f) => {
+                let value = self.caches[pe.index()].read(addr).expect("installed");
+                done(value, f.cycles, false)
+            }
+        }
+    }
+
+    fn purge_local(&mut self, pe: PeId, addr: Addr) {
+        if let Some((state, _)) = self.caches[pe.index()].invalidate(addr) {
+            self.access_stats.purges += 1;
+            if state.is_dirty() {
+                self.access_stats.dirty_purges += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lock operations (Sections 3.1, 3.3)
+    // ------------------------------------------------------------------
+
+    /// `LR`: lock a word and read it. Free when the block is already held
+    /// exclusively; otherwise `LK` rides on the `I`/`FI` that acquires
+    /// exclusivity.
+    fn lock_read(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        area: StorageArea,
+    ) -> Result<Outcome, ProtocolError> {
+        if self.lockdirs[pe.index()].holds(addr) {
+            return Err(ProtocolError::AlreadyLocked { addr });
+        }
+        let base = self.config.geometry.block_base(addr);
+        if let Some((holder, word)) = self.lock_conflict(pe, base) {
+            return Ok(self.refuse(pe, holder, word, area));
+        }
+
+        self.access_stats.lookups += 1;
+        let state = self.caches[pe.index()].state_of(addr);
+        let outcome = match state {
+            BlockState::Em | BlockState::Ec => {
+                // The bus-free case the hardware lock exists for: no other
+                // cache can hold the block, so registering locally is safe.
+                self.lockdirs[pe.index()].lock(addr)?;
+                self.note_lock_depth(pe);
+                self.lock_stats.lr_total += 1;
+                self.lock_stats.lr_hits += 1;
+                self.lock_stats.lr_hits_exclusive += 1;
+                self.access_stats.hits += 1;
+                let value = self.caches[pe.index()].read(addr).expect("resident");
+                done(value, 0, true)
+            }
+            BlockState::Sm | BlockState::Shared => {
+                let (cycles, dropped_dirty) = match self.upgrade(pe, addr, true, area) {
+                    Err(holder) => return Ok(Outcome::LockBusy { holder }),
+                    Ok(c) => c,
+                };
+                // If we were SM, or we dropped the SM owner's copy, the
+                // data differs from memory: keep the dirty obligation.
+                let upgraded = if state == BlockState::Sm || dropped_dirty {
+                    BlockState::Em
+                } else {
+                    BlockState::Ec
+                };
+                self.caches[pe.index()].set_state(addr, upgraded);
+                self.lockdirs[pe.index()].lock(addr)?;
+                self.note_lock_depth(pe);
+                self.lock_stats.lr_total += 1;
+                self.lock_stats.lr_hits += 1;
+                self.access_stats.hits += 1;
+                let value = self.caches[pe.index()].read(addr).expect("resident");
+                done(value, cycles, true)
+            }
+            BlockState::Inv => match self.fill(pe, addr, true, true, true, area) {
+                FillOutcome::Refused { holder } => return Ok(Outcome::LockBusy { holder }),
+                FillOutcome::Filled(f) => {
+                    self.lockdirs[pe.index()].lock(addr)?;
+                    self.note_lock_depth(pe);
+                    self.lock_stats.lr_total += 1;
+                    let value = self.caches[pe.index()].read(addr).expect("installed");
+                    done(value, f.cycles, false)
+                }
+            },
+        };
+        Ok(outcome)
+    }
+
+    /// `UW`: write the locked word, then unlock it. The write is always
+    /// exclusive (the lock directory kept other PEs away), except after a
+    /// self-eviction, which refetches from memory.
+    fn write_unlock(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        value: Word,
+        area: StorageArea,
+    ) -> Result<Outcome, ProtocolError> {
+        if !self.lockdirs[pe.index()].holds(addr) {
+            return Err(ProtocolError::NotLocked { addr });
+        }
+        let write_outcome = self.write(pe, addr, value, area);
+        let (mut cycles, hit) = match write_outcome {
+            Outcome::Done {
+                bus_cycles, hit, ..
+            } => (bus_cycles, hit),
+            Outcome::LockBusy { .. } => {
+                unreachable!("a held lock keeps other PEs off the block")
+            }
+        };
+        let (ul_cycles, woken) = self.release(pe, addr, area)?;
+        cycles += ul_cycles;
+        Ok(Outcome::Done {
+            value,
+            bus_cycles: cycles,
+            hit,
+            woken,
+        })
+    }
+
+    /// `U`: unlock without writing.
+    fn unlock(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        area: StorageArea,
+    ) -> Result<Outcome, ProtocolError> {
+        if !self.lockdirs[pe.index()].holds(addr) {
+            return Err(ProtocolError::NotLocked { addr });
+        }
+        let (cycles, woken) = self.release(pe, addr, area)?;
+        Ok(Outcome::Done {
+            value: 0,
+            bus_cycles: cycles,
+            hit: true,
+            woken,
+        })
+    }
+
+    /// Records the lock-directory occupancy high-water mark.
+    fn note_lock_depth(&mut self, pe: PeId) {
+        let depth = self.lockdirs[pe.index()].len() as u64;
+        if depth > self.lock_stats.max_simultaneous_locks {
+            self.lock_stats.max_simultaneous_locks = depth;
+        }
+    }
+
+    /// Removes the lock entry; broadcasts `UL` only when someone waits.
+    fn release(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        area: StorageArea,
+    ) -> Result<(u64, Vec<PeId>), ProtocolError> {
+        let woken = self.lockdirs[pe.index()].unlock(addr)?;
+        self.lock_stats.unlock_total += 1;
+        if woken.is_empty() {
+            self.lock_stats.unlock_no_waiter += 1;
+            return Ok((0, woken));
+        }
+        self.bus.record_cmd(BusCommand::Unlock);
+        self.bus.record_tx(
+            Transaction::Unlock,
+            area,
+            &self.config.timing,
+            self.config.geometry.block_words,
+        );
+        let cycles = self
+            .config
+            .timing
+            .cycles(Transaction::Unlock, self.config.geometry.block_words);
+        Ok((cycles, woken))
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests, property tests)
+    // ------------------------------------------------------------------
+
+    /// Verifies the coherence invariants across all caches:
+    ///
+    /// 1. an exclusive (`EM`/`EC`) copy is the only valid copy;
+    /// 2. at most one dirty (`EM`/`SM`) copy exists per block;
+    /// 3. when a block is multiply held, every holder is `S` except at
+    ///    most one `SM` owner;
+    /// 4. all valid copies of a block are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_coherence_invariants(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut holders: HashMap<Addr, Vec<(PeId, BlockState)>> = HashMap::new();
+        for (i, cache) in self.caches.iter().enumerate() {
+            for (base, state) in cache.valid_blocks() {
+                holders.entry(base).or_default().push((PeId(i as u32), state));
+            }
+        }
+        for (base, list) in holders {
+            let exclusive = list.iter().filter(|(_, s)| s.is_exclusive()).count();
+            let dirty = list.iter().filter(|(_, s)| s.is_dirty()).count();
+            if exclusive > 0 && list.len() > 1 {
+                return Err(format!("block {base:#x}: exclusive copy not alone: {list:?}"));
+            }
+            if dirty > 1 {
+                return Err(format!("block {base:#x}: {dirty} dirty copies: {list:?}"));
+            }
+            if list.len() > 1 {
+                for (pe, s) in &list {
+                    if !matches!(s, BlockState::Shared | BlockState::Sm) {
+                        return Err(format!(
+                            "block {base:#x}: {pe} holds {s} while shared: {list:?}"
+                        ));
+                    }
+                }
+            }
+            let first = self.caches[list[0].0.index()].snapshot(base);
+            for (pe, _) in &list[1..] {
+                if self.caches[pe.index()].snapshot(base) != first {
+                    return Err(format!("block {base:#x}: copies diverge"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The cache state of `addr` in `pe`'s cache (testing hook).
+    pub fn cache_state(&self, pe: PeId, addr: Addr) -> BlockState {
+        self.caches[pe.index()].state_of(addr)
+    }
+
+    /// Whether `pe` currently holds a lock on `addr` (testing hook).
+    pub fn holds_lock(&self, pe: PeId, addr: Addr) -> bool {
+        self.lockdirs[pe.index()].holds(addr)
+    }
+}
+
+fn done(value: Word, bus_cycles: u64, hit: bool) -> Outcome {
+    Outcome::Done {
+        value,
+        bus_cycles,
+        hit,
+        woken: Vec::new(),
+    }
+}
+
+fn expect_data(op: MemOp, data: Option<Word>) -> Word {
+    data.unwrap_or_else(|| panic!("{op} requires a data word"))
+}

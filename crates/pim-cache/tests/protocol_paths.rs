@@ -1,0 +1,612 @@
+//! Scenario tests exercising every protocol path of paper Section 3.
+//!
+//! The system under test is a small two-to-four PE `PimSystem`; addresses
+//! are chosen inside the heap/goal/communication areas of the standard map
+//! so the optimized commands are honoured by the default `OptMask::all()`.
+
+use pim_cache::{
+    BlockState, CacheGeometry, OptMask, Outcome, PimSystem, ProtocolError, SystemConfig,
+};
+use pim_trace::{MemOp, PeId, StorageArea};
+
+const P0: PeId = PeId(0);
+const P1: PeId = PeId(1);
+const P2: PeId = PeId(2);
+
+fn system(pes: u32) -> PimSystem {
+    PimSystem::new(SystemConfig {
+        pes,
+        ..SystemConfig::default()
+    })
+}
+
+fn heap(sys: &PimSystem, offset: u64) -> u64 {
+    sys.area_map().base(StorageArea::Heap) + offset
+}
+
+fn done(outcome: Outcome) -> (u64, u64, bool) {
+    match outcome {
+        Outcome::Done {
+            value,
+            bus_cycles,
+            hit,
+            ..
+        } => (value, bus_cycles, hit),
+        Outcome::LockBusy { holder } => panic!("unexpectedly refused by {holder}"),
+    }
+}
+
+#[test]
+fn read_miss_fetches_from_memory_as_exclusive_clean() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.poke(a, 77);
+    let (value, cycles, hit) = done(sys.access(P0, MemOp::Read, a, None).unwrap());
+    assert_eq!(value, 77);
+    assert_eq!(cycles, 13, "swap-in from memory");
+    assert!(!hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Ec);
+    sys.check_coherence_invariants().unwrap();
+}
+
+#[test]
+fn read_hit_is_free_and_preserves_state() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Read, a, None).unwrap();
+    let (_, cycles, hit) = done(sys.access(P0, MemOp::Read, a + 1, None).unwrap());
+    assert_eq!(cycles, 0);
+    assert!(hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Ec);
+}
+
+#[test]
+fn write_miss_fetches_exclusive_modified() {
+    let mut sys = system(2);
+    let a = heap(&sys, 4);
+    let (_, cycles, hit) = done(sys.access(P0, MemOp::Write, a, Some(5)).unwrap());
+    assert_eq!(cycles, 13);
+    assert!(!hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Em);
+    assert_eq!(done(sys.access(P0, MemOp::Read, a, None).unwrap()).0, 5);
+}
+
+#[test]
+fn write_hit_on_exclusive_clean_upgrades_silently() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Read, a, None).unwrap();
+    assert_eq!(sys.cache_state(P0, a), BlockState::Ec);
+    let (_, cycles, hit) = done(sys.access(P0, MemOp::Write, a, Some(9)).unwrap());
+    assert_eq!(cycles, 0, "EC→EM needs no bus");
+    assert!(hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Em);
+}
+
+#[test]
+fn dirty_read_sharing_creates_sm_owner_without_memory_update() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a, Some(42)).unwrap(); // P0: EM
+    let busy_before = sys.bus_stats().memory_busy_cycles();
+    let (value, cycles, _) = done(sys.access(P1, MemOp::Read, a, None).unwrap());
+    assert_eq!(value, 42);
+    assert_eq!(cycles, 7, "cache-to-cache without swap-out");
+    // The PIM point of difference from Illinois: the dirty data is NOT
+    // copied back; the supplier keeps ownership in SM.
+    assert_eq!(sys.cache_state(P0, a), BlockState::Sm);
+    assert_eq!(sys.cache_state(P1, a), BlockState::Shared);
+    assert_eq!(
+        sys.bus_stats().memory_busy_cycles(),
+        busy_before,
+        "the transfer left memory untouched"
+    );
+    sys.check_coherence_invariants().unwrap();
+}
+
+#[test]
+fn clean_read_sharing_downgrades_supplier_to_shared() {
+    let mut sys = system(3);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Read, a, None).unwrap(); // P0: EC (from memory)
+    let (_, cycles, _) = done(sys.access(P1, MemOp::Read, a, None).unwrap());
+    assert_eq!(cycles, 7, "clean cache-to-cache");
+    assert_eq!(sys.cache_state(P0, a), BlockState::Shared);
+    assert_eq!(sys.cache_state(P1, a), BlockState::Shared);
+    // A third reader picks any shared holder.
+    done(sys.access(P2, MemOp::Read, a, None).unwrap());
+    assert_eq!(sys.cache_state(P2, a), BlockState::Shared);
+    sys.check_coherence_invariants().unwrap();
+}
+
+#[test]
+fn write_to_shared_invalidates_others() {
+    let mut sys = system(3);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a, Some(1)).unwrap();
+    sys.access(P1, MemOp::Read, a, None).unwrap();
+    sys.access(P2, MemOp::Read, a, None).unwrap();
+    let (_, cycles, hit) = done(sys.access(P1, MemOp::Write, a, Some(2)).unwrap());
+    assert_eq!(cycles, 2, "invalidate broadcast");
+    assert!(hit);
+    assert_eq!(sys.cache_state(P1, a), BlockState::Em);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv);
+    assert_eq!(sys.cache_state(P2, a), BlockState::Inv);
+    assert_eq!(done(sys.access(P0, MemOp::Read, a, None).unwrap()).0, 2);
+    sys.check_coherence_invariants().unwrap();
+}
+
+#[test]
+fn direct_write_on_boundary_miss_is_free() {
+    let mut sys = system(2);
+    let a = heap(&sys, 8); // block boundary
+    let (_, cycles, hit) = done(sys.access(P0, MemOp::DirectWrite, a, Some(3)).unwrap());
+    assert_eq!(cycles, 0, "no fetch, no victim: zero bus cycles");
+    assert!(!hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Em);
+    assert_eq!(sys.access_stats().dw_allocations, 1);
+    assert_eq!(done(sys.access(P0, MemOp::Read, a, None).unwrap()).0, 3);
+}
+
+#[test]
+fn direct_write_off_boundary_degrades_to_write() {
+    let mut sys = system(2);
+    let a = heap(&sys, 9); // not a boundary
+    let (_, cycles, _) = done(sys.access(P0, MemOp::DirectWrite, a, Some(3)).unwrap());
+    assert_eq!(cycles, 13, "fetch-on-write as a plain W");
+    assert_eq!(sys.access_stats().dw_allocations, 0);
+}
+
+#[test]
+fn direct_write_with_remote_copy_counts_contract_violation() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P1, MemOp::Read, a, None).unwrap(); // remote copy exists
+    done(sys.access(P0, MemOp::DirectWrite, a, Some(3)).unwrap());
+    assert_eq!(sys.access_stats().dw_contract_violations, 1);
+    assert_eq!(sys.cache_state(P1, a), BlockState::Inv, "fell back to FI");
+    sys.check_coherence_invariants().unwrap();
+}
+
+#[test]
+fn direct_write_evicting_dirty_victim_pays_swap_out_only() {
+    // Geometry with 1 set × 1 way so every install evicts.
+    let mut sys = PimSystem::new(SystemConfig {
+        pes: 1,
+        geometry: CacheGeometry::with_shape(4, 4, 1),
+        ..SystemConfig::default()
+    });
+    let a = heap(&sys, 0);
+    let b = heap(&sys, 4); // same (only) set
+    sys.access(P0, MemOp::Write, a, Some(1)).unwrap(); // dirty victim-to-be
+    let (_, cycles, _) = done(sys.access(P0, MemOp::DirectWrite, b, Some(2)).unwrap());
+    assert_eq!(cycles, 5, "the swap-out-only pattern, unique to DW");
+    // The victim's dirty data reached memory.
+    sys.access(P0, MemOp::DirectWrite, heap(&sys, 8), Some(0)).unwrap(); // evict b
+    assert_eq!(done(sys.access(P0, MemOp::Read, a, None).unwrap()).0, 1);
+}
+
+#[test]
+fn downward_direct_write_mirrors_dw_for_descending_stacks() {
+    let mut sys = system(2);
+    let a = heap(&sys, 7); // last word of block [4..8)
+    // A downward-growing stack touches the top (last) word of a fresh
+    // block first: DWD allocates it without fetching.
+    let (_, cycles, hit) = done(sys.access(P0, MemOp::DirectWriteDown, a, Some(1)).unwrap());
+    assert_eq!(cycles, 0, "no fetch on the downward boundary");
+    assert!(!hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Em);
+    assert_eq!(sys.access_stats().dw_allocations, 1);
+    // Pushing further down within the block: ordinary write hits.
+    let (_, cycles, hit) = done(sys.access(P0, MemOp::DirectWriteDown, a - 1, Some(2)).unwrap());
+    assert_eq!(cycles, 0);
+    assert!(hit, "mid-block DWD degrades to a plain write");
+    // Crossing into the next lower block: a fresh DWD allocation again.
+    let (_, cycles, _) = done(sys.access(P0, MemOp::DirectWriteDown, a - 4, Some(3)).unwrap());
+    assert_eq!(cycles, 0);
+    assert_eq!(sys.access_stats().dw_allocations, 2);
+    // Values read back correctly.
+    assert_eq!(done(sys.access(P0, MemOp::Read, a, None).unwrap()).0, 1);
+    assert_eq!(done(sys.access(P0, MemOp::Read, a - 1, None).unwrap()).0, 2);
+    assert_eq!(done(sys.access(P0, MemOp::Read, a - 4, None).unwrap()).0, 3);
+    sys.check_coherence_invariants().unwrap();
+}
+
+#[test]
+fn dwd_on_an_upward_boundary_degrades_to_write() {
+    let mut sys = system(2);
+    let a = heap(&sys, 8); // block *start*: DW's case, not DWD's
+    let (_, cycles, _) = done(sys.access(P0, MemOp::DirectWriteDown, a, Some(1)).unwrap());
+    assert_eq!(cycles, 13, "fetch-on-write as a plain W");
+    assert_eq!(sys.access_stats().dw_allocations, 0);
+}
+
+#[test]
+fn exclusive_read_miss_invalidates_supplier() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a, Some(11)).unwrap(); // P0 dirty
+    let (value, cycles, _) = done(sys.access(P1, MemOp::ExclusiveRead, a, None).unwrap());
+    assert_eq!(value, 11);
+    assert_eq!(cycles, 7, "cache-to-cache; no copy-back");
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv, "supplier invalidated");
+    assert_eq!(sys.cache_state(P1, a), BlockState::Em, "dirty data migrated");
+    sys.check_coherence_invariants().unwrap();
+}
+
+#[test]
+fn exclusive_read_hit_on_last_word_purges_without_swap_out() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    for i in 0..4 {
+        sys.access(P0, MemOp::Write, a + i, Some(i)).unwrap();
+    }
+    let before = sys.bus_stats().total_cycles();
+    // Read words 0..2 (hits), then the last word with ER.
+    for i in 0..3 {
+        let (v, c, _) = done(sys.access(P0, MemOp::ExclusiveRead, a + i, None).unwrap());
+        assert_eq!(v, i);
+        assert_eq!(c, 0);
+    }
+    let (v, c, hit) = done(sys.access(P0, MemOp::ExclusiveRead, a + 3, None).unwrap());
+    assert_eq!(v, 3);
+    assert_eq!(c, 0);
+    assert!(hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv, "purged");
+    assert_eq!(sys.bus_stats().total_cycles(), before, "dead dirty block: no traffic");
+    assert_eq!(sys.access_stats().purges, 1);
+    assert_eq!(sys.access_stats().dirty_purges, 1);
+}
+
+#[test]
+fn exclusive_read_miss_on_last_word_downgrades_to_read() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a + 3, Some(7)).unwrap();
+    // P1 ER on the last word of a remote block: case (iii), plain R.
+    let (v, _, _) = done(sys.access(P1, MemOp::ExclusiveRead, a + 3, None).unwrap());
+    assert_eq!(v, 7);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Sm, "supplier kept (plain F)");
+    assert_eq!(sys.cache_state(P1, a), BlockState::Shared);
+}
+
+#[test]
+fn full_block_exclusive_read_sequence_moves_then_purges() {
+    // The paper's goal-record pattern: sender DWs a record, receiver ERs it.
+    let mut sys = system(2);
+    let a = heap(&sys, 16);
+    sys.access(P0, MemOp::DirectWrite, a, Some(100)).unwrap();
+    for i in 1..4 {
+        sys.access(P0, MemOp::Write, a + i, Some(100 + i)).unwrap();
+    }
+    // Receiver reads the whole block with ER.
+    let (v0, c0, _) = done(sys.access(P1, MemOp::ExclusiveRead, a, None).unwrap());
+    assert_eq!(v0, 100);
+    assert_eq!(c0, 7, "read-invalidate transfer");
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv, "sender invalidated");
+    for i in 1..3 {
+        let (v, c, _) = done(sys.access(P1, MemOp::ExclusiveRead, a + i, None).unwrap());
+        assert_eq!(v, 100 + i);
+        assert_eq!(c, 0, "middle words are plain hits");
+    }
+    let (v3, c3, _) = done(sys.access(P1, MemOp::ExclusiveRead, a + 3, None).unwrap());
+    assert_eq!(v3, 103);
+    assert_eq!(c3, 0);
+    assert_eq!(sys.cache_state(P1, a), BlockState::Inv, "receiver purged");
+    // Total: one 7-cycle transfer for a write-once/read-once block; an
+    // unoptimized protocol would also have swapped it in and out of memory.
+    sys.check_coherence_invariants().unwrap();
+}
+
+#[test]
+fn read_purge_hit_discards_dirty_block() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a + 1, Some(5)).unwrap();
+    let (v, c, hit) = done(sys.access(P0, MemOp::ReadPurge, a + 1, None).unwrap());
+    assert_eq!(v, 5);
+    assert_eq!(c, 0);
+    assert!(hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv);
+    assert_eq!(sys.access_stats().dirty_purges, 1);
+}
+
+#[test]
+fn read_purge_miss_bypasses_the_cache_and_invalidates_supplier() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a + 2, Some(9)).unwrap();
+    let (v, c, hit) = done(sys.access(P1, MemOp::ReadPurge, a + 2, None).unwrap());
+    assert_eq!(v, 9);
+    assert_eq!(c, 7);
+    assert!(!hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv, "supplier invalidated");
+    assert_eq!(sys.cache_state(P1, a), BlockState::Inv, "nothing installed");
+    assert_eq!(sys.access_stats().purges, 1);
+}
+
+#[test]
+fn read_purge_miss_from_memory_does_not_install() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.poke(a, 33);
+    let (v, c, _) = done(sys.access(P0, MemOp::ReadPurge, a, None).unwrap());
+    assert_eq!(v, 33);
+    assert_eq!(c, 13);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv);
+}
+
+#[test]
+fn read_invalidate_makes_later_write_free() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a, Some(1)).unwrap();
+    // P1 reads with RI instead of R…
+    let (_, c, _) = done(sys.access(P1, MemOp::ReadInvalidate, a, None).unwrap());
+    assert_eq!(c, 7);
+    assert_eq!(sys.cache_state(P1, a), BlockState::Em, "exclusive, dirty source");
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv);
+    // …so rewriting needs no invalidate command.
+    let inv_before = sys.bus_stats().cmd_count(pim_bus::BusCommand::Invalidate);
+    let (_, c, _) = done(sys.access(P1, MemOp::Write, a, Some(2)).unwrap());
+    assert_eq!(c, 0);
+    assert_eq!(
+        sys.bus_stats().cmd_count(pim_bus::BusCommand::Invalidate),
+        inv_before
+    );
+}
+
+#[test]
+fn read_invalidate_from_memory_is_exclusive_clean() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.poke(a, 4);
+    let (v, _, _) = done(sys.access(P0, MemOp::ReadInvalidate, a, None).unwrap());
+    assert_eq!(v, 4);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Ec);
+}
+
+#[test]
+fn optimizations_disabled_downgrade_to_plain_ops() {
+    let mut sys = PimSystem::new(SystemConfig {
+        pes: 2,
+        opt_mask: OptMask::none(),
+        ..SystemConfig::default()
+    });
+    let a = heap(&sys, 0);
+    // DW behaves as W: full 13-cycle fetch-on-write.
+    let (_, c, _) = done(sys.access(P0, MemOp::DirectWrite, a, Some(1)).unwrap());
+    assert_eq!(c, 13);
+    // ER behaves as R: the supplier keeps a copy.
+    done(sys.access(P1, MemOp::ExclusiveRead, a, None).unwrap());
+    assert_eq!(sys.cache_state(P0, a), BlockState::Sm);
+    assert_eq!(sys.cache_state(P1, a), BlockState::Shared);
+    // Reference stats record the downgraded ops.
+    assert_eq!(sys.ref_stats().count(StorageArea::Heap, MemOp::DirectWrite), 0);
+    assert_eq!(sys.ref_stats().count(StorageArea::Heap, MemOp::Write), 1);
+}
+
+// ----------------------------------------------------------------------
+// Lock protocol
+// ----------------------------------------------------------------------
+
+#[test]
+fn lock_read_hit_exclusive_uses_no_bus() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a, Some(8)).unwrap(); // EM
+    let before = sys.bus_stats().total_cycles();
+    let (v, c, _) = done(sys.access(P0, MemOp::LockRead, a, None).unwrap());
+    assert_eq!(v, 8);
+    assert_eq!(c, 0);
+    assert_eq!(sys.bus_stats().total_cycles(), before);
+    assert!(sys.holds_lock(P0, a));
+    assert_eq!(sys.lock_stats().lr_hits_exclusive, 1);
+}
+
+#[test]
+fn lock_read_miss_fetches_exclusively_with_lk() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P1, MemOp::Write, a, Some(3)).unwrap();
+    let (v, c, hit) = done(sys.access(P0, MemOp::LockRead, a, None).unwrap());
+    assert_eq!(v, 3);
+    assert_eq!(c, 7);
+    assert!(!hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Em);
+    assert_eq!(sys.cache_state(P1, a), BlockState::Inv);
+    assert_eq!(sys.bus_stats().cmd_count(pim_bus::BusCommand::Lock), 1);
+}
+
+#[test]
+fn lock_read_hit_shared_upgrades_with_lk_and_i() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Read, a, None).unwrap();
+    sys.access(P1, MemOp::Read, a, None).unwrap(); // both S
+    let (_, c, hit) = done(sys.access(P0, MemOp::LockRead, a, None).unwrap());
+    assert_eq!(c, 2, "invalidate broadcast");
+    assert!(hit);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Ec, "clean upgrade");
+    assert_eq!(sys.cache_state(P1, a), BlockState::Inv);
+}
+
+#[test]
+fn write_unlock_without_waiters_uses_no_bus() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a, Some(0)).unwrap();
+    sys.access(P0, MemOp::LockRead, a, None).unwrap();
+    let (v, c, _) = done(sys.access(P0, MemOp::WriteUnlock, a, Some(9)).unwrap());
+    assert_eq!(v, 9);
+    assert_eq!(c, 0, "no waiter → no UL broadcast");
+    assert!(!sys.holds_lock(P0, a));
+    assert_eq!(sys.lock_stats().unlock_no_waiter, 1);
+    assert_eq!(done(sys.access(P0, MemOp::Read, a, None).unwrap()).0, 9);
+}
+
+#[test]
+fn lock_conflict_refuses_and_unlock_wakes() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a, Some(1)).unwrap();
+    sys.access(P0, MemOp::LockRead, a, None).unwrap();
+
+    // P1 tries to lock the same word: LH response.
+    match sys.access(P1, MemOp::LockRead, a, None).unwrap() {
+        Outcome::LockBusy { holder } => assert_eq!(holder, P0),
+        other => panic!("expected LockBusy, got {other:?}"),
+    }
+    assert_eq!(sys.lock_stats().lr_refused, 1);
+
+    // The holder's unlock now broadcasts UL and names the waiter.
+    match sys.access(P0, MemOp::WriteUnlock, a, Some(2)).unwrap() {
+        Outcome::Done { woken, bus_cycles, .. } => {
+            assert_eq!(woken, vec![P1]);
+            assert_eq!(bus_cycles, 2, "UL broadcast");
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(sys.lock_stats().unlock_no_waiter, 0);
+
+    // P1's retry succeeds and sees the value written under the lock.
+    let (v, _, _) = done(sys.access(P1, MemOp::LockRead, a, None).unwrap());
+    assert_eq!(v, 2);
+    done(sys.access(P1, MemOp::Unlock, a, None).unwrap());
+}
+
+#[test]
+fn plain_reads_of_a_locked_block_are_refused_block_granularly() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::Write, a, Some(1)).unwrap();
+    sys.access(P0, MemOp::LockRead, a, None).unwrap();
+    // Even a neighbouring word in the same block is refused while locked:
+    // granting the block to P1 could break the silent LR-hit-exclusive case.
+    match sys.access(P1, MemOp::Read, a + 1, None).unwrap() {
+        Outcome::LockBusy { holder } => assert_eq!(holder, P0),
+        other => panic!("{other:?}"),
+    }
+    // A different block is unaffected.
+    done(sys.access(P1, MemOp::Read, a + 4, None).unwrap());
+}
+
+#[test]
+fn lock_survives_self_eviction() {
+    // 1-way, 1-set cache: the locked block is evicted by the next fill.
+    let mut sys = PimSystem::new(SystemConfig {
+        pes: 2,
+        geometry: CacheGeometry::with_shape(4, 4, 1),
+        ..SystemConfig::default()
+    });
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::LockRead, a, None).unwrap();
+    sys.access(P0, MemOp::Read, heap(&sys, 4), None).unwrap(); // evicts a's block
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv);
+    assert!(sys.holds_lock(P0, a), "lock directory is separate from tags");
+    // Remote access still refused even though the block is swapped out.
+    match sys.access(P1, MemOp::Read, a, None).unwrap() {
+        Outcome::LockBusy { holder } => assert_eq!(holder, P0),
+        other => panic!("{other:?}"),
+    }
+    // UW refetches, writes, unlocks, and wakes P1.
+    match sys.access(P0, MemOp::WriteUnlock, a, Some(5)).unwrap() {
+        Outcome::Done { woken, .. } => assert_eq!(woken, vec![P1]),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(done(sys.access(P1, MemOp::Read, a, None).unwrap()).0, 5);
+}
+
+#[test]
+fn lock_upgrade_over_a_dirty_owner_keeps_the_writeback_obligation() {
+    // Regression: P1 writes (EM). P0 reads (P1 → SM owner, P0 → S; memory
+    // stale). P0's LR upgrades, invalidating the SM owner — P0's copy is
+    // now the *only* copy of dirty data and must be EM, or a silent
+    // eviction would lose the value forever.
+    let mut sys = PimSystem::new(SystemConfig {
+        pes: 2,
+        geometry: CacheGeometry::with_shape(16, 4, 1), // 1-way: easy eviction
+        ..SystemConfig::default()
+    });
+    let a = heap(&sys, 0);
+    sys.access(P1, MemOp::Write, a, Some(77)).unwrap();
+    sys.access(P0, MemOp::Read, a, None).unwrap();
+    assert_eq!(sys.cache_state(P1, a), BlockState::Sm);
+    assert_eq!(sys.cache_state(P0, a), BlockState::Shared);
+    done(sys.access(P0, MemOp::LockRead, a, None).unwrap());
+    assert_eq!(
+        sys.cache_state(P0, a),
+        BlockState::Em,
+        "the upgrader inherits the dropped SM owner's dirtiness"
+    );
+    done(sys.access(P0, MemOp::Unlock, a, None).unwrap());
+    // Evict P0's block (1-way set: a conflicting fill displaces it),
+    // then read the value back from memory via P1.
+    done(sys.access(P0, MemOp::Read, heap(&sys, 16), None).unwrap());
+    assert_eq!(sys.cache_state(P0, a), BlockState::Inv);
+    let (v, _, _) = done(sys.access(P1, MemOp::Read, a, None).unwrap());
+    assert_eq!(v, 77, "dirty data must survive the eviction");
+}
+
+#[test]
+fn lock_misuse_is_reported() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    sys.access(P0, MemOp::LockRead, a, None).unwrap();
+    assert_eq!(
+        sys.access(P0, MemOp::LockRead, a, None).unwrap_err(),
+        ProtocolError::AlreadyLocked { addr: a }
+    );
+    assert_eq!(
+        sys.access(P1, MemOp::Unlock, a, None).unwrap_err(),
+        ProtocolError::NotLocked { addr: a }
+    );
+    done(sys.access(P0, MemOp::Unlock, a, None).unwrap());
+}
+
+#[test]
+fn lock_directory_capacity_is_enforced() {
+    let mut sys = PimSystem::new(SystemConfig {
+        pes: 1,
+        lock_entries: 2,
+        ..SystemConfig::default()
+    });
+    let h = sys.area_map().base(StorageArea::Heap);
+    sys.access(P0, MemOp::LockRead, h, None).unwrap();
+    sys.access(P0, MemOp::LockRead, h + 16, None).unwrap();
+    assert!(matches!(
+        sys.access(P0, MemOp::LockRead, h + 32, None),
+        Err(ProtocolError::LockDirectoryFull { .. })
+    ));
+}
+
+#[test]
+fn two_pes_lock_different_blocks_concurrently() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    let b = heap(&sys, 4);
+    done(sys.access(P0, MemOp::LockRead, a, None).unwrap());
+    done(sys.access(P1, MemOp::LockRead, b, None).unwrap());
+    done(sys.access(P0, MemOp::WriteUnlock, a, Some(1)).unwrap());
+    done(sys.access(P1, MemOp::WriteUnlock, b, Some(2)).unwrap());
+    assert_eq!(sys.lock_stats().unlock_no_waiter, 2);
+    sys.check_coherence_invariants().unwrap();
+}
+
+#[test]
+fn table5_ratios_reflect_the_free_lock_cases() {
+    let mut sys = system(2);
+    let a = heap(&sys, 0);
+    // Typical KL1 pattern: bind a fresh variable this PE just created.
+    sys.access(P0, MemOp::DirectWrite, a, Some(0)).unwrap();
+    for _ in 0..10 {
+        sys.access(P0, MemOp::LockRead, a, None).unwrap();
+        sys.access(P0, MemOp::WriteUnlock, a, Some(1)).unwrap();
+    }
+    let ls = sys.lock_stats();
+    assert_eq!(ls.lr_hit_ratio(), 1.0);
+    assert_eq!(ls.lr_hit_exclusive_ratio(), 1.0);
+    assert_eq!(ls.unlock_no_waiter_ratio(), 1.0);
+    // And zero bus cycles were spent on any of it.
+    assert_eq!(sys.bus_stats().cmd_count(pim_bus::BusCommand::Unlock), 0);
+}

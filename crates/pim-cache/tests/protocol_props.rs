@@ -1,0 +1,225 @@
+//! Property-based tests of the PIM protocol.
+//!
+//! Two harnesses:
+//!
+//! * a **shadow-model** harness restricted to operations with plain
+//!   load/store semantics (`R`, `W`, `DW`, `RI`, `LR`/`UW`/`U`): every
+//!   read must return the latest write to that address. `DW` marks the
+//!   rest of its block *undefined* in the shadow (the hardware allocates
+//!   without fetching, so old contents are legitimately destroyed).
+//! * a **chaos** harness over the full operation set (including the
+//!   purge-flavoured `ER`/`RP`, whose contracts the random driver
+//!   deliberately violates): no panics, no protocol errors, and the
+//!   coherence invariants must hold after every step.
+
+use pim_cache::{CacheGeometry, Outcome, PimSystem, SystemConfig};
+use pim_trace::{Addr, MemOp, PeId, StorageArea, Word};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// A scripted operation from the generator.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Read { pe: u32, slot: u64 },
+    Write { pe: u32, slot: u64, value: Word },
+    DirectWrite { pe: u32, slot: u64, value: Word },
+    ReadInvalidate { pe: u32, slot: u64 },
+    ExclusiveRead { pe: u32, slot: u64 },
+    ReadPurge { pe: u32, slot: u64 },
+    LockWrite { pe: u32, slot: u64, value: Word },
+}
+
+const PES: u32 = 4;
+const SLOTS: u64 = 48; // small space → heavy block contention
+
+fn tiny_system() -> PimSystem {
+    PimSystem::new(SystemConfig {
+        pes: PES,
+        // 2 sets × 2 ways × 4-word blocks = 32 words: constant evictions.
+        geometry: CacheGeometry::with_shape(32, 4, 2),
+        ..SystemConfig::default()
+    })
+}
+
+fn heap_addr(sys: &PimSystem, slot: u64) -> Addr {
+    sys.area_map().base(StorageArea::Heap) + slot
+}
+
+fn step_strategy(ops: &'static [&'static str]) -> impl Strategy<Value = Step> {
+    (
+        0..PES,
+        0..SLOTS,
+        any::<u16>(),
+        proptest::sample::select(ops.to_vec()),
+    )
+        .prop_map(|(pe, slot, v, op)| {
+            let value = Word::from(v) + 1;
+            match op {
+                "r" => Step::Read { pe, slot },
+                "w" => Step::Write { pe, slot, value },
+                "dw" => Step::DirectWrite { pe, slot, value },
+                "ri" => Step::ReadInvalidate { pe, slot },
+                "er" => Step::ExclusiveRead { pe, slot },
+                "rp" => Step::ReadPurge { pe, slot },
+                "lw" => Step::LockWrite { pe, slot, value },
+                _ => unreachable!(),
+            }
+        })
+}
+
+/// Runs `op` for `pe`, retrying through `LockBusy` by immediately having
+/// the holder release (single-threaded stand-in for the busy wait).
+fn run_to_completion(
+    sys: &mut PimSystem,
+    pe: PeId,
+    op: MemOp,
+    addr: Addr,
+    data: Option<Word>,
+    held: &mut HashMap<u32, HashSet<Addr>>,
+) -> Word {
+    for _ in 0..8 {
+        match sys.access(pe, op, addr, data).expect("no protocol misuse") {
+            Outcome::Done { value, .. } => return value,
+            Outcome::LockBusy { holder } => {
+                // Drain every lock the holder has so progress is possible.
+                let locks: Vec<Addr> = held
+                    .get(&holder.0)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                assert!(!locks.is_empty(), "refused by a PE holding no locks");
+                for l in locks {
+                    sys.access(holder, MemOp::Unlock, l, None)
+                        .expect("holder can unlock");
+                    held.get_mut(&holder.0).unwrap().remove(&l);
+                }
+            }
+        }
+    }
+    panic!("lock retry did not converge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shadow-model check: loads observe the latest store.
+    #[test]
+    fn reads_return_latest_writes(steps in proptest::collection::vec(
+        step_strategy(&["r", "w", "dw", "ri", "lw"]), 1..200))
+    {
+        let mut sys = tiny_system();
+        // shadow: None = undefined (destroyed by a DW allocation).
+        let mut shadow: HashMap<Addr, Option<Word>> = HashMap::new();
+        let mut held: HashMap<u32, HashSet<Addr>> = HashMap::new();
+        let block = sys.config().geometry.block_words;
+
+        for step in steps {
+            match step {
+                Step::Read { pe, slot } | Step::ReadInvalidate { pe, slot } => {
+                    let addr = heap_addr(&sys, slot);
+                    let op = if matches!(step, Step::Read { .. }) {
+                        MemOp::Read
+                    } else {
+                        MemOp::ReadInvalidate
+                    };
+                    let got = run_to_completion(&mut sys, PeId(pe), op, addr, None, &mut held);
+                    match shadow.get(&addr) {
+                        Some(Some(expect)) => prop_assert_eq!(got, *expect),
+                        Some(None) => {} // undefined after DW allocation
+                        None => prop_assert_eq!(got, 0, "untouched memory reads 0"),
+                    }
+                }
+                Step::Write { pe, slot, value } => {
+                    let addr = heap_addr(&sys, slot);
+                    run_to_completion(&mut sys, PeId(pe), MemOp::Write, addr, Some(value), &mut held);
+                    shadow.insert(addr, Some(value));
+                }
+                Step::DirectWrite { pe, slot, value } => {
+                    let addr = heap_addr(&sys, slot);
+                    run_to_completion(&mut sys, PeId(pe), MemOp::DirectWrite, addr, Some(value), &mut held);
+                    shadow.insert(addr, Some(value));
+                    // A boundary-miss DW allocates without fetching: the
+                    // other words of the block become undefined unless the
+                    // controller degraded to W (hit or off-boundary), which
+                    // we conservatively treat as undefined too only when on
+                    // a boundary. Off-boundary DW is exactly W.
+                    if addr.is_multiple_of(block) {
+                        for w in 1..block {
+                            shadow.entry(addr + w).or_insert(Some(0));
+                            // only mark undefined if the allocation could
+                            // have happened (we cannot see hit/miss from
+                            // here, so be conservative):
+                            shadow.insert(addr + w, None);
+                        }
+                    }
+                }
+                Step::LockWrite { pe, slot, value } => {
+                    let addr = heap_addr(&sys, slot);
+                    if held.values().any(|s| s.contains(&addr)) {
+                        // Another (or this) PE holds it in our script;
+                        // skip to keep the script race-free.
+                        continue;
+                    }
+                    let got = run_to_completion(&mut sys, PeId(pe), MemOp::LockRead, addr, None, &mut held);
+                    match shadow.get(&addr) {
+                        Some(Some(expect)) => prop_assert_eq!(got, *expect),
+                        Some(None) => {}
+                        None => prop_assert_eq!(got, 0),
+                    }
+                    held.entry(pe).or_default().insert(addr);
+                    // Write-unlock immediately (short KL1-style hold).
+                    sys.access(PeId(pe), MemOp::WriteUnlock, addr, Some(value))
+                        .expect("uw after lr");
+                    held.get_mut(&pe).unwrap().remove(&addr);
+                    shadow.insert(addr, Some(value));
+                }
+                Step::ExclusiveRead { .. } | Step::ReadPurge { .. } => unreachable!(),
+            }
+            sys.check_coherence_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant violated: {e}"))
+            })?;
+        }
+    }
+
+    /// Chaos check: arbitrary command mixes (purge contracts violated on
+    /// purpose) never break coherence invariants or panic.
+    #[test]
+    fn invariants_survive_arbitrary_command_mixes(steps in proptest::collection::vec(
+        step_strategy(&["r", "w", "dw", "ri", "er", "rp", "lw"]), 1..300))
+    {
+        let mut sys = tiny_system();
+        let mut held: HashMap<u32, HashSet<Addr>> = HashMap::new();
+
+        for step in steps {
+            let (pe, op, slot, data) = match step {
+                Step::Read { pe, slot } => (pe, MemOp::Read, slot, None),
+                Step::Write { pe, slot, value } => (pe, MemOp::Write, slot, Some(value)),
+                Step::DirectWrite { pe, slot, value } => (pe, MemOp::DirectWrite, slot, Some(value)),
+                Step::ReadInvalidate { pe, slot } => (pe, MemOp::ReadInvalidate, slot, None),
+                Step::ExclusiveRead { pe, slot } => (pe, MemOp::ExclusiveRead, slot, None),
+                Step::ReadPurge { pe, slot } => (pe, MemOp::ReadPurge, slot, None),
+                Step::LockWrite { pe, slot, value } => (pe, MemOp::LockRead, slot, Some(value)),
+            };
+            let addr = heap_addr(&sys, slot);
+            if op == MemOp::LockRead {
+                if held.values().any(|s| s.contains(&addr)) {
+                    continue;
+                }
+                run_to_completion(&mut sys, PeId(pe), MemOp::LockRead, addr, None, &mut held);
+                held.entry(pe).or_default().insert(addr);
+                sys.access(PeId(pe), MemOp::WriteUnlock, addr, data).unwrap();
+                held.get_mut(&pe).unwrap().remove(&addr);
+            } else {
+                run_to_completion(&mut sys, PeId(pe), op, addr, data, &mut held);
+            }
+            sys.check_coherence_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant violated: {e}"))
+            })?;
+        }
+
+        // Lock accounting is self-consistent at the end.
+        let ls = sys.lock_stats();
+        prop_assert!(ls.lr_hits >= ls.lr_hits_exclusive);
+        prop_assert!(ls.lr_total >= ls.lr_hits);
+        prop_assert_eq!(ls.lr_total, ls.unlock_total, "every LR was UW'd");
+    }
+}

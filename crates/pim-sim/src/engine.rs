@@ -1,0 +1,423 @@
+//! The deterministic multiprocessor engine.
+//!
+//! Each PE carries a local cycle clock. The scheduler always steps the
+//! runnable PE with the lowest clock (ties broken by PE id), so the
+//! interleaving is a legal serialization in simulated-time order — the
+//! deterministic equivalent of the paper's "cache simulators artificially
+//! synchronize among themselves at each simulated bus request".
+//!
+//! Timing model per memory operation:
+//!
+//! * cache hit: one PE cycle, no bus;
+//! * miss / upgrade / broadcast: the PE arbitrates for the bus
+//!   (`start = max(pe clock, bus-free time)`) and holds it for the
+//!   transaction's cycles (the paper's non-preemptive bus);
+//! * `LH` refusal: the PE blocks (bus-free busy wait) until the holder's
+//!   `UL` broadcast, then retries the whole micro-step.
+
+use crate::MemorySystem;
+use pim_cache::Outcome;
+use pim_trace::{Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, Word};
+pub use pim_trace::{Process, StepOutcome};
+
+/// Summary of one engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Micro-steps executed across all PEs.
+    pub steps: u64,
+    /// Final per-PE clocks (cycles).
+    pub pe_clocks: Vec<u64>,
+    /// Simulated completion time: the maximum PE clock.
+    pub makespan: u64,
+    /// Whether the process reported [`StepOutcome::Finished`] (as opposed
+    /// to hitting the step limit).
+    pub finished: bool,
+}
+
+/// The engine: a [`MemorySystem`] plus PE clocks and the shared bus clock.
+///
+/// # Examples
+///
+/// Replaying a two-access trace through the PIM cache:
+///
+/// ```
+/// use pim_cache::{PimSystem, SystemConfig};
+/// use pim_sim::{Engine, MemorySystem, Replayer};
+/// use pim_trace::{Access, AreaMap, MemOp, PeId, StorageArea};
+///
+/// let map = AreaMap::standard();
+/// let heap = map.base(StorageArea::Heap);
+/// let trace = vec![
+///     Access::new(PeId(0), MemOp::DirectWrite, heap, StorageArea::Heap),
+///     Access::new(PeId(1), MemOp::Read, heap, StorageArea::Heap),
+/// ];
+/// let mut replayer = Replayer::from_merged(&trace, 2);
+/// let mut engine = Engine::new(
+///     PimSystem::new(SystemConfig { pes: 2, ..Default::default() }),
+///     2,
+/// );
+/// let stats = engine.run(&mut replayer, 1_000);
+/// assert!(stats.finished);
+/// assert_eq!(engine.system().ref_stats().total(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Engine<S> {
+    system: S,
+    clocks: Vec<u64>,
+    bus_free: u64,
+    blocked: Vec<bool>,
+    idle_poll_cycles: u64,
+}
+
+impl<S: MemorySystem> Engine<S> {
+    /// Wraps a memory system for `pes` processing elements.
+    pub fn new(system: S, pes: u32) -> Engine<S> {
+        Engine {
+            system,
+            clocks: vec![0; pes as usize],
+            bus_free: 0,
+            blocked: vec![false; pes as usize],
+            idle_poll_cycles: 16,
+        }
+    }
+
+    /// Sets how far an idle PE's clock advances per empty poll.
+    pub fn set_idle_poll_cycles(&mut self, cycles: u64) {
+        self.idle_poll_cycles = cycles.max(1);
+    }
+
+    /// The wrapped memory system.
+    pub fn system(&self) -> &S {
+        &self.system
+    }
+
+    /// Consumes the engine, returning the memory system and final stats.
+    pub fn into_system(self) -> S {
+        self.system
+    }
+
+    /// Current clock of `pe`.
+    pub fn clock(&self, pe: PeId) -> u64 {
+        self.clocks[pe.index()]
+    }
+
+    /// Runs `f` with a port for `pe` outside the scheduling loop — for
+    /// bootstrap pokes and post-run inspection. Counted operations issued
+    /// here still advance `pe`'s clock and the bus normally.
+    pub fn with_port<R>(&mut self, pe: PeId, f: impl FnOnce(&mut dyn MemoryPort) -> R) -> R {
+        let mut port = EnginePort {
+            system: &mut self.system,
+            clock: &mut self.clocks[pe.index()],
+            bus_free: &mut self.bus_free,
+            pe,
+            stalled: false,
+            woken: Vec::new(),
+        };
+        f(&mut port)
+    }
+
+    /// Runs `process` to completion (or until `max_steps`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol error (lock misuse — a bug in the process) or
+    /// on deadlock (every PE blocked on a lock).
+    pub fn run(&mut self, process: &mut impl Process, max_steps: u64) -> RunStats {
+        assert_eq!(
+            process.pe_count() as usize,
+            self.clocks.len(),
+            "process/engine PE count mismatch"
+        );
+        let mut steps = 0;
+        let mut finished = false;
+        while steps < max_steps {
+            // The runnable PE with the lowest clock, ties to lowest id.
+            let Some(pe) = self
+                .clocks
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !self.blocked[i])
+                .min_by_key(|&(i, &c)| (c, i))
+                .map(|(i, _)| PeId(i as u32))
+            else {
+                panic!("deadlock: every PE is blocked on a lock");
+            };
+
+            let mut port = EnginePort {
+                system: &mut self.system,
+                clock: &mut self.clocks[pe.index()],
+                bus_free: &mut self.bus_free,
+                pe,
+                stalled: false,
+                woken: Vec::new(),
+            };
+            let outcome = process.step(pe, &mut port);
+            let stalled = port.stalled;
+            let woken = std::mem::take(&mut port.woken);
+            let pe_clock_now = self.clocks[pe.index()];
+            for w in woken {
+                if w != pe {
+                    self.blocked[w.index()] = false;
+                    // The waiter busy-waited until the UL broadcast.
+                    let c = &mut self.clocks[w.index()];
+                    *c = (*c).max(pe_clock_now);
+                }
+            }
+            steps += 1;
+            match outcome {
+                StepOutcome::Ran => {
+                    debug_assert!(!stalled, "process ignored a stall");
+                }
+                StepOutcome::Idle => {
+                    self.clocks[pe.index()] += self.idle_poll_cycles;
+                }
+                StepOutcome::Stalled => {
+                    assert!(stalled, "process reported a stall the port did not see");
+                    self.blocked[pe.index()] = true;
+                }
+                StepOutcome::Finished => {
+                    finished = true;
+                    break;
+                }
+            }
+        }
+        RunStats {
+            steps,
+            pe_clocks: self.clocks.clone(),
+            makespan: self.clocks.iter().copied().max().unwrap_or(0),
+            finished,
+        }
+    }
+}
+
+/// The engine-backed [`MemoryPort`] handed to a process step.
+struct EnginePort<'a, S> {
+    system: &'a mut S,
+    clock: &'a mut u64,
+    bus_free: &'a mut u64,
+    pe: PeId,
+    stalled: bool,
+    woken: Vec<PeId>,
+}
+
+impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
+    fn op(&mut self, op: MemOp, addr: Addr, data: Option<Word>) -> PortValue {
+        if self.stalled {
+            // The step is poisoned; refuse further work so the process
+            // aborts cleanly and re-runs after the wake-up.
+            return PortValue::Stall;
+        }
+        *self.clock += 1;
+        match self
+            .system
+            .access(self.pe, op, addr, data)
+            .unwrap_or_else(|e| panic!("{} protocol misuse at {addr:#x}: {e}", self.pe))
+        {
+            Outcome::Done {
+                value,
+                bus_cycles,
+                woken,
+                ..
+            } => {
+                if bus_cycles > 0 {
+                    let start = (*self.clock).max(*self.bus_free);
+                    *self.clock = start + bus_cycles;
+                    *self.bus_free = start + bus_cycles;
+                }
+                self.woken.extend(woken);
+                PortValue::Value(value)
+            }
+            Outcome::LockBusy { .. } => {
+                self.stalled = true;
+                PortValue::Stall
+            }
+        }
+    }
+
+    fn peek(&self, addr: Addr) -> Word {
+        self.system.peek(addr)
+    }
+
+    fn poke(&mut self, addr: Addr, value: Word) {
+        self.system.poke(addr, value);
+    }
+
+    fn area_map(&self) -> &AreaMap {
+        self.system.area_map()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_cache::{PimSystem, SystemConfig};
+    use pim_trace::StorageArea;
+
+    /// Two PEs ping-ponging a counter under locks until it reaches a
+    /// limit; exercises stalls, wake-ups and bus arbitration end to end.
+    struct LockPingPong {
+        addr: Addr,
+        limit: Word,
+        holding: [bool; 2],
+    }
+
+    impl Process for LockPingPong {
+        fn pe_count(&self) -> u32 {
+            2
+        }
+
+        fn step(&mut self, pe: PeId, port: &mut dyn MemoryPort) -> StepOutcome {
+            let i = pe.index();
+            if self.holding[i] {
+                // Second half of the split critical section: increment.
+                let v = port.peek(self.addr);
+                port.write_unlock(self.addr, v + 1)
+                    .expect_value("uw under held lock");
+                self.holding[i] = false;
+                return StepOutcome::Ran;
+            }
+            match port.lock_read(self.addr) {
+                PortValue::Stall => StepOutcome::Stalled,
+                PortValue::Value(v) if v >= self.limit => {
+                    port.unlock(self.addr).expect_value("unlock");
+                    StepOutcome::Finished
+                }
+                PortValue::Value(_) => {
+                    // Hold the lock across a step boundary on purpose to
+                    // manufacture LWAIT conflicts.
+                    self.holding[i] = true;
+                    StepOutcome::Ran
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lock_ping_pong_terminates_and_counts_conflicts() {
+        let system = PimSystem::new(SystemConfig {
+            pes: 2,
+            ..SystemConfig::default()
+        });
+        let addr = system.area_map().base(StorageArea::Heap);
+        let mut engine = Engine::new(system, 2);
+        let mut proc = LockPingPong {
+            addr,
+            limit: 50,
+            holding: [false, false],
+        };
+        let stats = engine.run(&mut proc, 100_000);
+        assert!(stats.finished, "ping-pong must terminate");
+        let sys = engine.system();
+        assert_eq!(sys.peek(addr), 50);
+        // Cross-step lock holds make conflicts and LWAIT wake-ups happen.
+        assert!(sys.lock_stats().lr_refused > 0, "expected lock conflicts");
+        assert!(
+            sys.lock_stats().unlock_no_waiter < sys.lock_stats().unlock_total,
+            "some unlocks must have had waiters"
+        );
+        assert!(stats.makespan > 0);
+    }
+
+    /// A process that idles until an external flag appears, then finishes.
+    struct Idler {
+        flag_addr: Addr,
+        polls: u32,
+    }
+
+    impl Process for Idler {
+        fn pe_count(&self) -> u32 {
+            1
+        }
+        fn step(&mut self, _pe: PeId, port: &mut dyn MemoryPort) -> StepOutcome {
+            self.polls += 1;
+            if self.polls == 5 {
+                port.poke(self.flag_addr, 1);
+            }
+            if port.peek(self.flag_addr) == 1 {
+                StepOutcome::Finished
+            } else {
+                StepOutcome::Idle
+            }
+        }
+    }
+
+    #[test]
+    fn idle_steps_advance_the_clock() {
+        let system = PimSystem::new(SystemConfig {
+            pes: 1,
+            ..SystemConfig::default()
+        });
+        let flag = system.area_map().base(StorageArea::Communication);
+        let mut engine = Engine::new(system, 1);
+        engine.set_idle_poll_cycles(10);
+        let stats = engine.run(&mut Idler { flag_addr: flag, polls: 0 }, 1_000);
+        assert!(stats.finished);
+        assert_eq!(stats.makespan, 40, "four idle polls × 10 cycles");
+    }
+
+    #[test]
+    fn bus_serializes_across_pes() {
+        // Both PEs miss on different blocks: the second transaction must
+        // start after the first releases the bus.
+        struct TwoMisses {
+            a: Addr,
+            b: Addr,
+            done: [bool; 2],
+        }
+        impl Process for TwoMisses {
+            fn pe_count(&self) -> u32 {
+                2
+            }
+            fn step(&mut self, pe: PeId, port: &mut dyn MemoryPort) -> StepOutcome {
+                if self.done.iter().all(|&d| d) {
+                    return StepOutcome::Finished;
+                }
+                if self.done[pe.index()] {
+                    return StepOutcome::Idle;
+                }
+                let addr = if pe.index() == 0 { self.a } else { self.b };
+                port.read(addr).expect_value("read");
+                self.done[pe.index()] = true;
+                StepOutcome::Ran
+            }
+        }
+        let system = PimSystem::new(SystemConfig {
+            pes: 2,
+            ..SystemConfig::default()
+        });
+        let h = system.area_map().base(StorageArea::Heap);
+        let mut engine = Engine::new(system, 2);
+        let stats = engine.run(
+            &mut TwoMisses {
+                a: h,
+                b: h + 64,
+                done: [false, false],
+            },
+            100,
+        );
+        assert!(stats.finished);
+        // Each miss is 13 bus cycles; serialized they end at ≥ 26.
+        assert!(stats.makespan >= 26, "makespan {} too small", stats.makespan);
+    }
+
+    #[test]
+    fn step_limit_reports_unfinished() {
+        struct Forever;
+        impl Process for Forever {
+            fn pe_count(&self) -> u32 {
+                1
+            }
+            fn step(&mut self, _pe: PeId, _port: &mut dyn MemoryPort) -> StepOutcome {
+                StepOutcome::Idle
+            }
+        }
+        let system = PimSystem::new(SystemConfig {
+            pes: 1,
+            ..SystemConfig::default()
+        });
+        let mut engine = Engine::new(system, 1);
+        let stats = engine.run(&mut Forever, 10);
+        assert!(!stats.finished);
+        assert_eq!(stats.steps, 10);
+    }
+}

@@ -1,0 +1,179 @@
+//! The memory port: the interface between an abstract machine and
+//! whatever memory system it runs on.
+//!
+//! The KL1 emulator issues every reference to the five storage areas
+//! through a [`MemoryPort`]. Three implementations exist in the workspace:
+//!
+//! * `FlatPort` (in `kl1-machine`) — a plain address space with reference
+//!   counting but no cache model, for functional tests and the Table 1
+//!   reference columns;
+//! * the engine port (in `pim-sim`) — routes through the full PIM cache
+//!   simulation, advancing the PE's clock and the shared bus;
+//! * test doubles.
+
+use crate::{Addr, AreaMap, MemOp, Word};
+
+/// Result of one port operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortValue {
+    /// The operation completed; the word read (or written back as issued).
+    Value(Word),
+    /// The operation hit a remotely locked word (`LH` response). The
+    /// machine must abort the current micro-step without further side
+    /// effects and re-run it after the scheduler wakes this PE.
+    Stall,
+}
+
+impl PortValue {
+    /// Unwraps the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`PortValue::Stall`] — use only where a stall is
+    /// impossible (e.g. on a flat port or under a held lock).
+    pub fn expect_value(self, what: &str) -> Word {
+        match self {
+            PortValue::Value(w) => w,
+            PortValue::Stall => panic!("unexpected lock stall during {what}"),
+        }
+    }
+}
+
+/// One PE's window onto the memory system.
+///
+/// A stalled operation has no side effects, so a machine that issues its
+/// stall-able operation *early* in a micro-step can simply re-run the step
+/// verbatim after being woken.
+pub trait MemoryPort {
+    /// Issues one memory operation. `data` is required for `W`, `DW`, `UW`.
+    fn op(&mut self, op: MemOp, addr: Addr, data: Option<Word>) -> PortValue;
+
+    /// Reads without counting or caching — for machine-internal state the
+    /// paper excludes from measurement (goal-queue pointers, processor
+    /// status words, and result inspection).
+    fn peek(&self, addr: Addr) -> Word;
+
+    /// Writes without counting or caching — for program loading and
+    /// machine-internal state.
+    fn poke(&mut self, addr: Addr, value: Word);
+
+    /// The storage-area partition in effect.
+    fn area_map(&self) -> &AreaMap;
+
+    /// Convenience: ordinary read.
+    fn read(&mut self, addr: Addr) -> PortValue {
+        self.op(MemOp::Read, addr, None)
+    }
+
+    /// Convenience: ordinary write.
+    fn write(&mut self, addr: Addr, value: Word) -> PortValue {
+        self.op(MemOp::Write, addr, Some(value))
+    }
+
+    /// Convenience: direct write (allocation without fetch).
+    fn direct_write(&mut self, addr: Addr, value: Word) -> PortValue {
+        self.op(MemOp::DirectWrite, addr, Some(value))
+    }
+
+    /// Convenience: downward direct write (for downward-growing stacks).
+    fn direct_write_down(&mut self, addr: Addr, value: Word) -> PortValue {
+        self.op(MemOp::DirectWriteDown, addr, Some(value))
+    }
+
+    /// Convenience: exclusive read (read-once data).
+    fn exclusive_read(&mut self, addr: Addr) -> PortValue {
+        self.op(MemOp::ExclusiveRead, addr, None)
+    }
+
+    /// Convenience: read purge.
+    fn read_purge(&mut self, addr: Addr) -> PortValue {
+        self.op(MemOp::ReadPurge, addr, None)
+    }
+
+    /// Convenience: read invalidate (read with intent to rewrite).
+    fn read_invalidate(&mut self, addr: Addr) -> PortValue {
+        self.op(MemOp::ReadInvalidate, addr, None)
+    }
+
+    /// Convenience: lock-and-read.
+    fn lock_read(&mut self, addr: Addr) -> PortValue {
+        self.op(MemOp::LockRead, addr, None)
+    }
+
+    /// Convenience: write-and-unlock.
+    fn write_unlock(&mut self, addr: Addr, value: Word) -> PortValue {
+        self.op(MemOp::WriteUnlock, addr, Some(value))
+    }
+
+    /// Convenience: unlock without writing.
+    fn unlock(&mut self, addr: Addr) -> PortValue {
+        self.op(MemOp::Unlock, addr, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Access, PeId, RefStats, StorageArea};
+    use std::collections::HashMap;
+
+    /// Minimal flat port used to exercise the default methods.
+    struct TestPort {
+        map: AreaMap,
+        mem: HashMap<Addr, Word>,
+        stats: RefStats,
+    }
+
+    impl MemoryPort for TestPort {
+        fn op(&mut self, op: MemOp, addr: Addr, data: Option<Word>) -> PortValue {
+            let area = self.map.area(addr);
+            self.stats.record(Access::new(PeId(0), op, addr, area));
+            if op.is_write() {
+                self.mem.insert(addr, data.expect("write data"));
+            }
+            PortValue::Value(self.mem.get(&addr).copied().unwrap_or(0))
+        }
+        fn peek(&self, addr: Addr) -> Word {
+            self.mem.get(&addr).copied().unwrap_or(0)
+        }
+        fn poke(&mut self, addr: Addr, value: Word) {
+            self.mem.insert(addr, value);
+        }
+        fn area_map(&self) -> &AreaMap {
+            &self.map
+        }
+    }
+
+    #[test]
+    fn default_helpers_route_the_right_ops() {
+        let mut port = TestPort {
+            map: AreaMap::standard(),
+            mem: HashMap::new(),
+            stats: RefStats::new(),
+        };
+        let h = port.area_map().base(StorageArea::Heap);
+        port.direct_write(h, 9);
+        assert_eq!(port.read(h), PortValue::Value(9));
+        port.lock_read(h);
+        port.write_unlock(h, 10);
+        port.unlock(h); // (test port has no lock semantics)
+        port.exclusive_read(h);
+        port.read_purge(h);
+        port.read_invalidate(h);
+        let s = &port.stats;
+        assert_eq!(s.count(StorageArea::Heap, MemOp::DirectWrite), 1);
+        assert_eq!(s.count(StorageArea::Heap, MemOp::Read), 1);
+        assert_eq!(s.count(StorageArea::Heap, MemOp::LockRead), 1);
+        assert_eq!(s.count(StorageArea::Heap, MemOp::WriteUnlock), 1);
+        assert_eq!(s.count(StorageArea::Heap, MemOp::Unlock), 1);
+        assert_eq!(s.count(StorageArea::Heap, MemOp::ExclusiveRead), 1);
+        assert_eq!(s.count(StorageArea::Heap, MemOp::ReadPurge), 1);
+        assert_eq!(s.count(StorageArea::Heap, MemOp::ReadInvalidate), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected lock stall")]
+    fn expect_value_panics_on_stall() {
+        PortValue::Stall.expect_value("test");
+    }
+}

@@ -1,0 +1,47 @@
+//! The process abstraction: a steppable multiprocessor workload.
+
+use crate::{MemoryPort, PeId};
+
+/// What a process did with one scheduling slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Useful work was performed.
+    Ran,
+    /// Nothing to do right now (e.g. waiting for a goal to arrive); the
+    /// scheduler advances this PE's clock by its idle-poll interval.
+    Idle,
+    /// The step aborted on a lock stall; it will be re-run verbatim after
+    /// the lock holder's unlock broadcast.
+    Stalled,
+    /// Global termination: the whole workload is complete.
+    Finished,
+}
+
+/// A multiprocessor workload: anything that can advance one PE by one
+/// micro-step against a [`MemoryPort`].
+///
+/// The KL1 abstract machine (`kl1-machine`) and the trace replayer
+/// (`pim-sim`) both implement this; the engine in `pim-sim` schedules
+/// implementations in simulated-time order.
+pub trait Process {
+    /// Number of PEs this process uses.
+    fn pe_count(&self) -> u32;
+
+    /// Advances `pe` by one micro-step, issuing memory operations through
+    /// `port`. If any operation returns [`crate::PortValue::Stall`], the
+    /// step must abort with no further side effects and return
+    /// [`StepOutcome::Stalled`]; the scheduler re-invokes it identically
+    /// after the holder unlocks.
+    fn step(&mut self, pe: PeId, port: &mut dyn MemoryPort) -> StepOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_outcome_is_comparable() {
+        assert_eq!(StepOutcome::Ran, StepOutcome::Ran);
+        assert_ne!(StepOutcome::Idle, StepOutcome::Finished);
+    }
+}

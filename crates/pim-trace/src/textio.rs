@@ -1,0 +1,176 @@
+//! Plain-text trace serialization.
+//!
+//! One access per line: `PE OP ADDR AREA`, e.g. `3 DW 0x11000000 goal`.
+//! The format is diff-friendly and stable, so captured traces can be
+//! checked into a repository, replayed with [`crate::Process`]
+//! implementations, or inspected with ordinary text tools.
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_trace::{read_trace, write_trace, Access, MemOp, PeId, StorageArea};
+//!
+//! let trace = vec![Access::new(PeId(0), MemOp::DirectWrite, 64, StorageArea::Goal)];
+//! let mut text = Vec::new();
+//! write_trace(&mut text, &trace)?;
+//! assert_eq!(std::str::from_utf8(&text).unwrap(), "0 DW 0x40 goal\n");
+//! assert_eq!(read_trace(std::io::Cursor::new(text)).unwrap(), trace);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crate::{Access, Addr, MemOp, PeId, StorageArea};
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+/// An error while parsing a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes accesses, one per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_trace<W: Write>(out: &mut W, trace: &[Access]) -> std::io::Result<()> {
+    let mut buf = String::new();
+    for a in trace {
+        buf.clear();
+        let _ = writeln!(buf, "{} {} {:#x} {}", a.pe.0, a.op, a.addr, a.area);
+        out.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn parse_op(s: &str) -> Option<MemOp> {
+    MemOp::ALL.into_iter().find(|op| op.mnemonic() == s)
+}
+
+fn parse_area(s: &str) -> Option<StorageArea> {
+    StorageArea::ALL.into_iter().find(|a| a.label() == s)
+}
+
+/// Parses a trace written by [`write_trace`]. Empty lines and lines
+/// starting with `#` are skipped.
+///
+/// # Errors
+///
+/// Returns a positioned [`ParseTraceError`] on malformed lines, and wraps
+/// I/O errors in the same type.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<Access>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| ParseTraceError {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |message: &str| ParseTraceError {
+            line: lineno,
+            message: message.to_string(),
+        };
+        let pe: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad PE id"))?;
+        let op = parts
+            .next()
+            .and_then(parse_op)
+            .ok_or_else(|| err("bad operation mnemonic"))?;
+        let addr_str = parts.next().ok_or_else(|| err("missing address"))?;
+        let addr: Addr = if let Some(hex) = addr_str.strip_prefix("0x") {
+            Addr::from_str_radix(hex, 16).map_err(|_| err("bad hex address"))?
+        } else {
+            addr_str.parse().map_err(|_| err("bad address"))?
+        };
+        let area = parts
+            .next()
+            .and_then(parse_area)
+            .ok_or_else(|| err("bad storage area"))?;
+        if parts.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        out.push(Access::new(PeId(pe), op, addr, area));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Vec<Access> {
+        vec![
+            Access::new(PeId(0), MemOp::DirectWrite, 0x11000000, StorageArea::Goal),
+            Access::new(PeId(3), MemOp::ExclusiveRead, 0x1000000, StorageArea::Heap),
+            Access::new(PeId(7), MemOp::WriteUnlock, 42, StorageArea::Heap),
+            Access::new(PeId(1), MemOp::DirectWriteDown, 7, StorageArea::Instruction),
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(Cursor::new(buf)).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n0 R 0x10 heap\n  # indented comment\n1 W 17 goal\n";
+        let back = read_trace(Cursor::new(text)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].addr, 17);
+        assert_eq!(back[1].op, MemOp::Write);
+    }
+
+    #[test]
+    fn every_op_and_area_round_trips() {
+        let mut trace = Vec::new();
+        for op in MemOp::ALL {
+            for area in StorageArea::ALL {
+                trace.push(Access::new(PeId(2), op, 0x100, area));
+            }
+        }
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert_eq!(read_trace(Cursor::new(buf)).unwrap(), trace);
+    }
+
+    #[test]
+    fn malformed_lines_are_positioned_errors() {
+        for (text, needle) in [
+            ("x R 0x10 heap", "bad PE id"),
+            ("0 ZZ 0x10 heap", "bad operation"),
+            ("0 R zz heap", "bad address"),
+            ("0 R 0xzz heap", "bad hex address"),
+            ("0 R 0x10 nowhere", "bad storage area"),
+            ("0 R 0x10 heap extra", "trailing"),
+            ("0 R", "missing address"),
+        ] {
+            let err = read_trace(Cursor::new(format!("# one\n{text}\n"))).unwrap_err();
+            assert_eq!(err.line, 2, "{text}");
+            assert!(err.message.contains(needle), "{text}: {err}");
+        }
+    }
+}

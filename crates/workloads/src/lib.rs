@@ -1,0 +1,221 @@
+//! The benchmark suite of the PIM cache evaluation.
+//!
+//! Four KL1 programs written in pure FGHC, reconstructed from the paper's
+//! descriptions (the original ICOT sources are lost — see DESIGN.md):
+//!
+//! * **Tri** — triangle peg-solitaire all-solutions search: fine-grained
+//!   tree parallelism whose load balancing dominates bus traffic;
+//! * **Semi** — semigroup closure: read-dominated, small working set;
+//! * **Puzzle** — exact-cover packing search: large structures, heavy
+//!   heap writes;
+//! * **Pascal** — Pascal's-triangle rows through a stream pipeline:
+//!   suspension-rich producer/consumer parallelism.
+//!
+//! Each benchmark has a Rust *reference oracle* ([`mod@reference`]) so every
+//! simulated run is checked for functional correctness, plus scalable
+//! problem sizes ([`Scale`]). The [`runner`] module drives a benchmark
+//! through the flat port or the full cache simulation and collects every
+//! statistic the paper's tables need. [`synthetic`] generates cache-only
+//! access patterns for microbenchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::{Bench, Scale};
+//! let report = workloads::runner::run_flat(Bench::Pascal, Scale::smoke(), 2);
+//! assert_eq!(report.answer, workloads::reference::expected(Bench::Pascal, Scale::smoke()));
+//! assert!(report.machine.suspensions > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reference;
+pub mod runner;
+pub mod synthetic;
+
+use fghc::Term;
+
+/// One of the paper's four KL1 benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bench {
+    /// Triangle peg solitaire (search + load balancing).
+    Tri,
+    /// Semigroup closure (read-dominated).
+    Semi,
+    /// Packing puzzle (large structures, write-heavy).
+    Puzzle,
+    /// Pascal's triangle pipeline (suspension-rich).
+    Pascal,
+    /// Bottom-up chart parser (the Section 4.3 benchmark; not part of the
+    /// paper's four-benchmark tables, see [`Bench::EXTENDED`]).
+    Bup,
+}
+
+impl Bench {
+    /// The paper's four table benchmarks, in its row order.
+    pub const ALL: [Bench; 4] = [Bench::Tri, Bench::Semi, Bench::Puzzle, Bench::Pascal];
+
+    /// The four table benchmarks plus BUP, the bottom-up parser the
+    /// paper's Section 4.3 block-size/associativity findings cite.
+    pub const EXTENDED: [Bench; 5] = [
+        Bench::Tri,
+        Bench::Semi,
+        Bench::Puzzle,
+        Bench::Pascal,
+        Bench::Bup,
+    ];
+
+    /// The benchmark's FGHC source text.
+    pub fn source(self) -> &'static str {
+        match self {
+            Bench::Tri => include_str!("../programs/tri.fghc"),
+            Bench::Semi => include_str!("../programs/semi.fghc"),
+            Bench::Puzzle => include_str!("../programs/puzzle.fghc"),
+            Bench::Pascal => include_str!("../programs/pascal.fghc"),
+            Bench::Bup => include_str!("../programs/bup.fghc"),
+        }
+    }
+
+    /// The paper's name for the benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bench::Tri => "Tri",
+            Bench::Semi => "Semi",
+            Bench::Puzzle => "Puzzle",
+            Bench::Pascal => "Pascal",
+            Bench::Bup => "BUP",
+        }
+    }
+
+    /// Lines of FGHC source (the paper's Table 1 "lines" column).
+    pub fn source_lines(self) -> usize {
+        self.source().lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// The query `(procedure, arguments)` for `scale`. The answer is
+    /// always bound to the variable named `R`.
+    pub fn query(self, scale: Scale) -> (&'static str, Vec<Term>) {
+        let r = Term::Var("R".into());
+        match self {
+            Bench::Tri => ("main", vec![Term::Int(scale.tri_depth), r]),
+            Bench::Semi => (
+                "main",
+                vec![
+                    Term::Int(scale.semi_modulus),
+                    Term::Int(2),
+                    Term::Int(3),
+                    r,
+                ],
+            ),
+            Bench::Puzzle => {
+                if scale.puzzle_large {
+                    ("main", vec![r])
+                } else {
+                    ("main_small", vec![r])
+                }
+            }
+            Bench::Pascal => ("main", vec![Term::Int(scale.pascal_rows), r]),
+            Bench::Bup => {
+                let tokens = crate::reference::bup_tokens(scale.bup_tokens);
+                let list = Term::list(tokens.iter().map(|&t| Term::Int(t)).collect(), None);
+                ("main", vec![list, Term::Int(scale.bup_tokens), r])
+            }
+        }
+    }
+}
+
+/// Problem sizes for the four benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Tri: search depth bound.
+    pub tri_depth: i64,
+    /// Semi: the modulus of the ground set Z_M.
+    pub semi_modulus: i64,
+    /// Puzzle: 5x4/5-piece board instead of 4x4/4-piece.
+    pub puzzle_large: bool,
+    /// Pascal: number of triangle rows.
+    pub pascal_rows: i64,
+    /// BUP: input sentence length in tokens.
+    pub bup_tokens: i64,
+}
+
+impl Scale {
+    /// Tiny sizes for unit tests (sub-second even under the simulator).
+    pub fn smoke() -> Scale {
+        Scale {
+            tri_depth: 3,
+            semi_modulus: 13,
+            puzzle_large: false,
+            pascal_rows: 30,
+            bup_tokens: 8,
+        }
+    }
+
+    /// Small sizes for quick experiment runs.
+    pub fn small() -> Scale {
+        Scale {
+            tri_depth: 5,
+            semi_modulus: 61,
+            puzzle_large: true,
+            pascal_rows: 150,
+            bup_tokens: 16,
+        }
+    }
+
+    /// The default experiment scale: large enough that cache and bus
+    /// behaviour is firmly in steady state (hundreds of thousands to a
+    /// few million references per benchmark), small enough that the full
+    /// sweep suite completes in minutes.
+    pub fn paper() -> Scale {
+        Scale {
+            tri_depth: 6,
+            semi_modulus: 127,
+            puzzle_large: true,
+            pascal_rows: 500,
+            bup_tokens: 24,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_compile() {
+        for bench in Bench::EXTENDED {
+            let compiled = fghc::compile(bench.source());
+            assert!(compiled.is_ok(), "{}: {:?}", bench.name(), compiled.err());
+        }
+    }
+
+    #[test]
+    fn queries_reference_existing_procedures() {
+        for bench in Bench::EXTENDED {
+            let program = fghc::compile(bench.source()).unwrap();
+            for scale in [Scale::smoke(), Scale::small(), Scale::paper()] {
+                let (name, args) = bench.query(scale);
+                assert!(
+                    program.lookup(name, args.len() as u8).is_some(),
+                    "{}: {name}/{} missing",
+                    bench.name(),
+                    args.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn source_lines_are_nontrivial() {
+        for bench in Bench::EXTENDED {
+            assert!(bench.source_lines() > 20, "{}", bench.name());
+        }
+    }
+}

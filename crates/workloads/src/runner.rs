@@ -1,0 +1,325 @@
+//! Benchmark run harness: drives a benchmark on the flat port or through
+//! the full cache simulation and gathers every statistic the paper's
+//! tables and figures consume.
+
+use crate::{reference, Bench, Scale};
+use fghc::Term;
+use kl1_machine::{Cluster, ClusterConfig, FlatPort};
+use pim_cache::{AccessStats, LockStats, PimSystem, SystemConfig};
+use pim_bus::BusStats;
+use pim_sim::{Engine, IllinoisSystem, MemorySystem};
+use pim_trace::{PeId, RefStats};
+
+/// Everything measured in one benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which benchmark ran.
+    pub bench: Bench,
+    /// At which scale.
+    pub scale: Scale,
+    /// PE count.
+    pub pes: u32,
+    /// Reductions / suspensions / instructions / migrations / heap use.
+    pub machine: kl1_machine::MachineStats,
+    /// Per-area, per-operation reference counts.
+    pub refs: RefStats,
+    /// Bus statistics (zeroed for flat runs).
+    pub bus: BusStats,
+    /// Cache hit/miss statistics (zeroed for flat runs).
+    pub access: AccessStats,
+    /// Lock-protocol statistics (zeroed for flat runs).
+    pub locks: LockStats,
+    /// Simulated completion time in cycles (0 for flat runs).
+    pub makespan: u64,
+    /// The computed answer (already validated against the oracle).
+    pub answer: Term,
+}
+
+const MAX_STEPS: u64 = 4_000_000_000;
+
+fn build_cluster(bench: Bench, scale: Scale, pes: u32, block_words: u64) -> Cluster {
+    build_cluster_with(bench, scale, pes, block_words, fghc::CompileOptions::default())
+}
+
+fn build_cluster_with(
+    bench: Bench,
+    scale: Scale,
+    pes: u32,
+    block_words: u64,
+    options: fghc::CompileOptions,
+) -> Cluster {
+    let program = fghc::compile_with(bench.source(), options)
+        .unwrap_or_else(|e| panic!("{} does not compile: {e}", bench.name()));
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes,
+            block_words,
+            ..ClusterConfig::default()
+        },
+    );
+    let (proc, args) = bench.query(scale);
+    cluster.set_query(proc, args);
+    cluster
+}
+
+/// Runs `bench` on the PIM cache with stop-and-copy GC enabled over
+/// `semispace_words`-word semispaces per PE (for the GC experiment).
+pub fn run_pim_gc(
+    bench: Bench,
+    scale: Scale,
+    config: SystemConfig,
+    semispace_words: u64,
+) -> (RunReport, kl1_machine::GcStats) {
+    let pes = config.pes;
+    let block = config.geometry.block_words;
+    let program = fghc::compile(bench.source())
+        .unwrap_or_else(|e| panic!("{} does not compile: {e}", bench.name()));
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes,
+            block_words: block,
+            heap_semispace_words: Some(semispace_words),
+            ..ClusterConfig::default()
+        },
+    );
+    let (proc, args) = bench.query(scale);
+    cluster.set_query(proc, args);
+    let mut engine = Engine::new(PimSystem::new(config), pes);
+    let stats = engine.run(&mut cluster, MAX_STEPS);
+    assert!(stats.finished, "{} exceeded the step budget", bench.name());
+    if let Some(msg) = cluster.failure() {
+        panic!("{} failed: {msg}", bench.name());
+    }
+    let answer = engine.with_port(PeId(0), |port| {
+        cluster.extract(port, "R").expect("query var R")
+    });
+    validate(bench, scale, &answer);
+    let system = engine.into_system();
+    let gc = cluster.stats().gc;
+    let report = RunReport {
+        bench,
+        scale,
+        pes,
+        machine: cluster.stats(),
+        refs: system.ref_stats().clone(),
+        bus: system.bus_stats().clone(),
+        access: *system.access_stats(),
+        locks: *system.lock_stats(),
+        makespan: stats.makespan,
+        answer,
+    };
+    (report, gc)
+}
+
+/// Runs `bench` on the PIM cache with explicit compiler options (for the
+/// clause-indexing ablation).
+pub fn run_pim_compiled(
+    bench: Bench,
+    scale: Scale,
+    config: SystemConfig,
+    options: fghc::CompileOptions,
+) -> RunReport {
+    let pes = config.pes;
+    let block = config.geometry.block_words;
+    let mut cluster = build_cluster_with(bench, scale, pes, block, options);
+    let mut engine = Engine::new(PimSystem::new(config), pes);
+    let stats = engine.run(&mut cluster, MAX_STEPS);
+    assert!(stats.finished, "{} exceeded the step budget", bench.name());
+    if let Some(msg) = cluster.failure() {
+        panic!("{} failed: {msg}", bench.name());
+    }
+    let answer = engine.with_port(PeId(0), |port| {
+        cluster.extract(port, "R").expect("query var R")
+    });
+    validate(bench, scale, &answer);
+    let system = engine.into_system();
+    RunReport {
+        bench,
+        scale,
+        pes,
+        machine: cluster.stats(),
+        refs: system.ref_stats().clone(),
+        bus: system.bus_stats().clone(),
+        access: *system.access_stats(),
+        locks: *system.lock_stats(),
+        makespan: stats.makespan,
+        answer,
+    }
+}
+
+fn validate(bench: Bench, scale: Scale, answer: &Term) {
+    let want = reference::expected(bench, scale);
+    assert_eq!(
+        answer,
+        &want,
+        "{} computed a wrong answer (got {answer}, want {want})",
+        bench.name()
+    );
+}
+
+/// Runs `bench` on the flat (cache-less) port — the mode behind the
+/// reference-count columns of Tables 1–3.
+///
+/// # Panics
+///
+/// Panics if the program fails or computes a wrong answer.
+pub fn run_flat(bench: Bench, scale: Scale, pes: u32) -> RunReport {
+    let mut cluster = build_cluster(bench, scale, pes, 4);
+    let port = kl1_machine::run_flat(&mut cluster, MAX_STEPS);
+    let answer = cluster.extract(&port, "R").expect("query var R");
+    validate(bench, scale, &answer);
+    RunReport {
+        bench,
+        scale,
+        pes,
+        machine: cluster.stats(),
+        refs: port.stats(),
+        bus: BusStats::new(),
+        access: AccessStats::new(),
+        locks: LockStats::new(),
+        makespan: 0,
+        answer,
+    }
+}
+
+/// Runs `bench` through the engine on an arbitrary memory system.
+///
+/// # Panics
+///
+/// Panics if the program fails, exceeds the step budget, or computes a
+/// wrong answer.
+pub fn run_on<S>(bench: Bench, scale: Scale, pes: u32, system: S) -> (RunReport, S)
+where
+    S: MemorySystem + 'static,
+{
+    let block_words = 4; // record alignment; geometry-specific runs override below
+    run_on_aligned(bench, scale, pes, system, block_words)
+}
+
+/// Like [`run_on`], with an explicit record alignment (use the cache's
+/// block size so `DW`/`ER` hit their special cases — the paper's software
+/// is compiled for its cache line size).
+pub fn run_on_aligned<S: MemorySystem>(
+    bench: Bench,
+    scale: Scale,
+    pes: u32,
+    system: S,
+    block_words: u64,
+) -> (RunReport, S) {
+    let mut cluster = build_cluster(bench, scale, pes, block_words);
+    let mut engine = Engine::new(system, pes);
+    let stats = engine.run(&mut cluster, MAX_STEPS);
+    assert!(stats.finished, "{} exceeded the step budget", bench.name());
+    if let Some(msg) = cluster.failure() {
+        panic!("{} failed: {msg}", bench.name());
+    }
+    let answer = engine.with_port(PeId(0), |port| {
+        cluster.extract(port, "R").expect("query var R")
+    });
+    validate(bench, scale, &answer);
+    let system = engine.into_system();
+    let report = RunReport {
+        bench,
+        scale,
+        pes,
+        machine: cluster.stats(),
+        refs: system.ref_stats().clone(),
+        bus: system.bus_stats().clone(),
+        access: *system.access_stats(),
+        locks: *system.lock_stats(),
+        makespan: stats.makespan,
+        answer,
+    };
+    (report, system)
+}
+
+/// Runs `bench` on the PIM cache with the given configuration.
+pub fn run_pim(bench: Bench, scale: Scale, config: SystemConfig) -> RunReport {
+    let pes = config.pes;
+    let block = config.geometry.block_words;
+    let system = PimSystem::new(config);
+    let (report, system) = run_on_aligned(bench, scale, pes, system, block);
+    system
+        .check_coherence_invariants()
+        .expect("coherence invariants after run");
+    report
+}
+
+/// Runs `bench` on the Illinois baseline with the given configuration.
+pub fn run_illinois(bench: Bench, scale: Scale, config: SystemConfig) -> RunReport {
+    let pes = config.pes;
+    let block = config.geometry.block_words;
+    let system = IllinoisSystem::new(config);
+    run_on_aligned(bench, scale, pes, system, block).0
+}
+
+/// Convenience: flat-port run returning only the raw port (for tests
+/// needing per-PE reference stats).
+pub fn flat_port_of(bench: Bench, scale: Scale, pes: u32) -> (Cluster, FlatPort) {
+    let mut cluster = build_cluster(bench, scale, pes, 4);
+    let port = kl1_machine::run_flat(&mut cluster, MAX_STEPS);
+    (cluster, port)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_compute_correct_answers_flat() {
+        for bench in Bench::ALL {
+            let report = run_flat(bench, Scale::smoke(), 2);
+            assert!(report.machine.reductions > 0, "{}", bench.name());
+            assert!(report.refs.total() > 0, "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_run_on_the_pim_cache() {
+        for bench in Bench::ALL {
+            let report = run_pim(
+                bench,
+                Scale::smoke(),
+                SystemConfig {
+                    pes: 2,
+                    ..SystemConfig::default()
+                },
+            );
+            assert!(report.bus.total_cycles() > 0, "{}", bench.name());
+            assert!(report.makespan > 0, "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_run_on_illinois() {
+        for bench in Bench::ALL {
+            let report = run_illinois(
+                bench,
+                Scale::smoke(),
+                SystemConfig {
+                    pes: 2,
+                    ..SystemConfig::default()
+                },
+            );
+            assert!(report.bus.total_cycles() > 0, "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn pascal_is_the_suspension_heavy_benchmark() {
+        let report = run_flat(Bench::Pascal, Scale::smoke(), 2);
+        assert!(
+            report.machine.suspensions > 0,
+            "pipeline should suspend often, got {}",
+            report.machine.suspensions
+        );
+    }
+
+    #[test]
+    fn tri_migrates_goals_under_parallelism() {
+        let report = run_flat(Bench::Tri, Scale::smoke(), 4);
+        assert!(report.machine.goals_migrated > 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Synthetic access-pattern generators for cache-only microbenchmarks.
+//!
+//! These drive the memory system directly (via [`pim_sim::Replayer`])
+//! without the KL1 machine — useful for isolating one protocol mechanism
+//! at a time in tests and Criterion benches.
+
+use pim_trace::{Access, Addr, AreaMap, MemOp, PeId, StorageArea};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A write-once/read-once producer→consumer record stream: PE 0 creates
+/// `records` block-aligned records with `DW`+`W`, PE 1 reads each with
+/// `ER` — the paper's goal-distribution pattern.
+///
+/// # Examples
+///
+/// ```
+/// let trace = workloads::synthetic::producer_consumer(4, 8, 4);
+/// assert_eq!(trace.len(), 4 * 16); // 8 writes + 8 reads per record
+/// assert!(trace.iter().any(|a| a.op == pim_trace::MemOp::ExclusiveRead));
+/// ```
+pub fn producer_consumer(records: u64, record_words: u64, block_words: u64) -> Vec<Access> {
+    let map = AreaMap::standard();
+    let base = map.base(StorageArea::Goal);
+    let stride = record_words.div_ceil(block_words) * block_words;
+    let mut trace = Vec::new();
+    for r in 0..records {
+        let rec = base + r * stride;
+        for w in 0..record_words {
+            let op = if (rec + w).is_multiple_of(block_words) {
+                MemOp::DirectWrite
+            } else {
+                MemOp::Write
+            };
+            trace.push(Access::new(PeId(0), op, rec + w, StorageArea::Goal));
+        }
+        for w in 0..record_words {
+            let a = rec + w;
+            let last = w == record_words - 1;
+            let op = if last && a % block_words != block_words - 1 {
+                MemOp::ReadPurge
+            } else {
+                MemOp::ExclusiveRead
+            };
+            trace.push(Access::new(PeId(1), op, a, StorageArea::Goal));
+        }
+    }
+    trace
+}
+
+/// Random heap reads/writes with a configurable write fraction and
+/// sharing degree, across `pes` PEs — the generic coherence stressor.
+pub fn shared_heap_mix(
+    pes: u32,
+    accesses: u64,
+    write_percent: u32,
+    footprint_words: u64,
+    seed: u64,
+) -> Vec<Access> {
+    assert!(write_percent <= 100);
+    let map = AreaMap::standard();
+    let base = map.base(StorageArea::Heap);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..accesses)
+        .map(|_| {
+            let pe = PeId(rng.gen_range(0..pes));
+            let addr: Addr = base + rng.gen_range(0..footprint_words);
+            let op = if rng.gen_range(0..100) < write_percent {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
+            Access::new(pe, op, addr, StorageArea::Heap)
+        })
+        .collect()
+}
+
+/// Lock/unlock pairs on a small set of hot words — the Table 5 stressor.
+/// Each PE repeatedly locks a word (usually its own, occasionally a
+/// shared one) and write-unlocks it.
+pub fn lock_churn(pes: u32, pairs_per_pe: u64, contention_percent: u32, seed: u64) -> Vec<Access> {
+    assert!(contention_percent <= 100);
+    let map = AreaMap::standard();
+    let base = map.base(StorageArea::Heap);
+    let shared = base; // one hot shared word
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trace = Vec::new();
+    for round in 0..pairs_per_pe {
+        for pe in 0..pes {
+            let own = base + 64 + u64::from(pe) * 16;
+            let addr = if rng.gen_range(0..100) < contention_percent {
+                shared
+            } else {
+                own
+            };
+            let _ = round;
+            trace.push(Access::new(PeId(pe), MemOp::LockRead, addr, StorageArea::Heap));
+            trace.push(Access::new(
+                PeId(pe),
+                MemOp::WriteUnlock,
+                addr,
+                StorageArea::Heap,
+            ));
+        }
+    }
+    trace
+}
+
+/// An Aurora-like OR-parallel Prolog workload (paper Sections 1 and 5:
+/// "we believe these optimizations will prove effective on other parallel
+/// logic programming architectures as well", citing Tick's study of the
+/// Aurora system on the PIM cache).
+///
+/// Each worker runs a WAM-flavoured engine:
+///
+/// * **global stack** (heap area): structure creation with `DW`/`W`,
+///   rewound on backtracking and re-direct-written — Prolog's 47 % write
+///   bandwidth;
+/// * **environment/choice-point stack** (goal area): grows *downward*,
+///   pushed with `DWD` — the mirrored direct-write command the paper says
+///   a second stack direction needs;
+/// * **trail** (suspension area): conditional-binding log, written on
+///   binding and read back (then dead — `ER`) to reset cells on
+///   backtracking;
+/// * **OR-parallel task stealing** (communication area): a worker
+///   periodically adopts an alternative from another worker's choice
+///   point — locking the choice point (`LR`/`UW`) and reading a window of
+///   the owner's stacks (cache-to-cache sharing traffic).
+pub fn aurora_like(workers: u32, ops_per_worker: u64, seed: u64) -> Vec<Access> {
+    let map = AreaMap::standard();
+    let block = 4u64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trace = Vec::new();
+
+    struct Worker {
+        heap_base: Addr,
+        heap_top: u64,
+        stack_base: Addr, // grows downward from here
+        stack_top: u64,
+        trail_base: Addr,
+        trail_top: u64,
+        choice_points: Vec<(u64, u64)>, // (heap mark, trail mark)
+    }
+    let slice = 1 << 16;
+    let mut ws: Vec<Worker> = (0..workers)
+        .map(|i| Worker {
+            heap_base: map.base(StorageArea::Heap) + u64::from(i) * slice,
+            heap_top: 0,
+            stack_base: map.base(StorageArea::Goal) + u64::from(i + 1) * slice - block,
+            stack_top: 0,
+            trail_base: map.base(StorageArea::Suspension) + u64::from(i) * slice,
+            trail_top: 0,
+            choice_points: Vec::new(),
+        })
+        .collect();
+
+    for _ in 0..ops_per_worker {
+        for w in 0..workers {
+            let pe = PeId(w);
+            let wk = &mut ws[w as usize];
+            match rng.gen_range(0..100) {
+                // Structure creation on the global stack (upward, DW).
+                0..=39 => {
+                    for k in 0..3 {
+                        let a = wk.heap_base + wk.heap_top + k;
+                        let op = if a.is_multiple_of(block) {
+                            MemOp::DirectWrite
+                        } else {
+                            MemOp::Write
+                        };
+                        trace.push(Access::new(pe, op, a, StorageArea::Heap));
+                    }
+                    wk.heap_top += 3;
+                }
+                // Environment push on the downward local stack (DWD).
+                40..=59 => {
+                    for _ in 0..2 {
+                        wk.stack_top += 1;
+                        let a = wk.stack_base - wk.stack_top;
+                        let op = if a % block == block - 1 {
+                            MemOp::DirectWriteDown
+                        } else {
+                            MemOp::Write
+                        };
+                        trace.push(Access::new(pe, op, a, StorageArea::Goal));
+                    }
+                }
+                // Dereference chains: global-stack reads.
+                60..=79 => {
+                    for _ in 0..3 {
+                        let top = wk.heap_top.max(1);
+                        let a = wk.heap_base + rng.gen_range(0..top);
+                        trace.push(Access::new(pe, MemOp::Read, a, StorageArea::Heap));
+                    }
+                }
+                // Conditional binding: write a cell, log it on the trail.
+                80..=88 => {
+                    let top = wk.heap_top.max(1);
+                    let a = wk.heap_base + rng.gen_range(0..top);
+                    trace.push(Access::new(pe, MemOp::Write, a, StorageArea::Heap));
+                    let t = wk.trail_base + wk.trail_top;
+                    let op = if t.is_multiple_of(block) {
+                        MemOp::DirectWrite
+                    } else {
+                        MemOp::Write
+                    };
+                    trace.push(Access::new(pe, op, t, StorageArea::Suspension));
+                    wk.trail_top += 1;
+                }
+                // Choice point creation / backtracking.
+                89..=95 => {
+                    if wk.choice_points.len() < 8 && rng.gen_bool(0.6) {
+                        wk.choice_points.push((wk.heap_top, wk.trail_top));
+                    } else if let Some((hm, tm)) = wk.choice_points.pop() {
+                        // Unwind the trail (read-once: ER) and reset the
+                        // logged cells; rewind both stack tops.
+                        for t in (tm..wk.trail_top).rev() {
+                            let ta = wk.trail_base + t;
+                            trace.push(Access::new(
+                                pe,
+                                MemOp::ExclusiveRead,
+                                ta,
+                                StorageArea::Suspension,
+                            ));
+                            let top = wk.heap_top.max(1);
+                            let cell = wk.heap_base + rng.gen_range(0..top);
+                            trace.push(Access::new(pe, MemOp::Write, cell, StorageArea::Heap));
+                        }
+                        wk.heap_top = hm;
+                        wk.trail_top = tm;
+                    }
+                }
+                // OR-parallel task steal: lock a victim's choice point,
+                // read a window of its global stack.
+                _ => {
+                    if workers > 1 {
+                        let victim = (w + rng.gen_range(1..workers)) % workers;
+                        let cp = map.base(StorageArea::Communication)
+                            + u64::from(victim) * block * 8
+                            + u64::from(w) % block;
+                        trace.push(Access::new(pe, MemOp::LockRead, cp, StorageArea::Communication));
+                        trace.push(Access::new(
+                            pe,
+                            MemOp::WriteUnlock,
+                            cp,
+                            StorageArea::Communication,
+                        ));
+                        let vb = ws[victim as usize].heap_base;
+                        let vtop = ws[victim as usize].heap_top.max(8);
+                        let start = rng.gen_range(0..vtop);
+                        for k in 0..8 {
+                            trace.push(Access::new(
+                                PeId(w),
+                                MemOp::Read,
+                                vb + (start + k) % vtop,
+                                StorageArea::Heap,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// Sequential structure creation: a single PE bump-allocating and
+/// direct-writing fresh heap blocks (the `DW` best case).
+pub fn sequential_allocation(words: u64, block_words: u64) -> Vec<Access> {
+    let map = AreaMap::standard();
+    let base = map.base(StorageArea::Heap);
+    (0..words)
+        .map(|w| {
+            let op = if (base + w).is_multiple_of(block_words) {
+                MemOp::DirectWrite
+            } else {
+                MemOp::Write
+            };
+            Access::new(PeId(0), op, base + w, StorageArea::Heap)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_cache::{PimSystem, SystemConfig};
+    use pim_sim::{Engine, Replayer};
+
+    fn run(trace: &[Access], pes: u32) -> PimSystem {
+        let mut replayer = Replayer::from_merged(trace, pes);
+        let system = PimSystem::new(SystemConfig {
+            pes,
+            ..SystemConfig::default()
+        });
+        let mut engine = Engine::new(system, pes);
+        let stats = engine.run(&mut replayer, 10_000_000);
+        assert!(stats.finished);
+        engine.into_system()
+    }
+
+    #[test]
+    fn producer_consumer_stays_off_memory() {
+        let trace = producer_consumer(64, 4, 4);
+        let sys = run(&trace, 2);
+        // Fresh DW allocation plus ER consumption: nothing should ever be
+        // fetched from or written back to shared memory.
+        assert_eq!(sys.bus_stats().memory_busy_cycles(), 0);
+        assert!(sys.bus_stats().cache_to_cache(StorageArea::Goal) > 0);
+        sys.check_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn shared_heap_mix_is_deterministic_per_seed() {
+        let a = shared_heap_mix(4, 500, 30, 1 << 12, 42);
+        let b = shared_heap_mix(4, 500, 30, 1 << 12, 42);
+        let c = shared_heap_mix(4, 500, 30, 1 << 12, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let sys = run(&a, 4);
+        sys.check_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn uncontended_lock_churn_is_bus_free_after_warmup() {
+        let trace = lock_churn(4, 100, 0, 7);
+        let sys = run(&trace, 4);
+        let ls = sys.lock_stats();
+        assert_eq!(ls.unlock_no_waiter_ratio(), 1.0);
+        // After each PE owns its word exclusively, LRs are free.
+        assert!(ls.lr_hit_exclusive_ratio() > 0.95);
+    }
+
+    #[test]
+    fn contended_lock_churn_still_completes() {
+        let trace = lock_churn(4, 50, 100, 7);
+        let sys = run(&trace, 4);
+        assert_eq!(sys.lock_stats().lr_total, 4 * 50);
+        sys.check_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn sequential_allocation_needs_no_bus_until_capacity() {
+        // 512 words in a 4096-word cache: every DW allocates silently.
+        let trace = sequential_allocation(512, 4);
+        let sys = run(&trace, 1);
+        assert_eq!(sys.bus_stats().total_cycles(), 0);
+        assert_eq!(sys.access_stats().dw_allocations, 128);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: compile an FGHC program, run it on the PIM cache
+//! multiprocessor, and read back the answer and the traffic statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use kl1_machine::{Cluster, ClusterConfig};
+use pim_cache::{PimSystem, SystemConfig};
+use pim_sim::Engine;
+use pim_trace::PeId;
+
+const PROGRAM: &str = "
+    main(X) :- true | qsort([3,1,4,1,5,9,2,6,5,3,5], X).
+
+    qsort([], S)    :- true | S = [].
+    qsort([P|T], S) :- true |
+        part(P, T, Lo, Hi),
+        qsort(Lo, SL), qsort(Hi, SH),
+        app(SL, [P|SH2], S), SH2 = SH.
+
+    part(_, [], Lo, Hi) :- true | Lo = [], Hi = [].
+    part(P, [X|Xs], Lo, Hi) :- X < P  | Lo = [X|L1], part(P, Xs, L1, Hi).
+    part(P, [X|Xs], Lo, Hi) :- X >= P | Hi = [X|H1], part(P, Xs, Lo, H1).
+
+    app([], Ys, Zs) :- true | Zs = Ys.
+    app([X|Xs], Ys, Zs) :- true | Zs = [X|Zt], app(Xs, Ys, Zt).
+";
+
+fn main() {
+    // 1. Compile FGHC source to the abstract instruction set.
+    let program = fghc::compile(PROGRAM).expect("program compiles");
+    println!("compiled {} instructions", program.len());
+
+    // 2. Build a 4-PE KL1 machine with the query `main(X)`.
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 4,
+            ..ClusterConfig::default()
+        },
+    );
+    cluster.set_query("main", vec![fghc::Term::Var("X".into())]);
+
+    // 3. Build the PIM cache system (8 PEs by default; match the machine)
+    //    and run the machine through the timing engine.
+    let system = PimSystem::new(SystemConfig {
+        pes: 4,
+        ..SystemConfig::default()
+    });
+    let mut engine = Engine::new(system, 4);
+    let stats = engine.run(&mut cluster, 1_000_000_000);
+    assert!(stats.finished, "program should terminate");
+    assert!(cluster.failure().is_none(), "{:?}", cluster.failure());
+
+    // 4. Extract the answer and the measurements.
+    let answer = engine.with_port(PeId(0), |port| cluster.extract(port, "X").unwrap());
+    println!("qsort result: {answer}");
+
+    let m = cluster.stats();
+    let sys = engine.system();
+    println!("reductions:    {}", m.reductions);
+    println!("suspensions:   {}", m.suspensions);
+    println!("memory refs:   {}", sys.ref_stats().total());
+    println!("bus cycles:    {}", sys.bus_stats().total_cycles());
+    println!("miss ratio:    {:.3}", sys.access_stats().miss_ratio());
+    println!("simulated cycles: {}", stats.makespan);
+    println!(
+        "lock ops free of bus traffic: {:.1}%",
+        100.0 * sys.lock_stats().unlock_no_waiter_ratio()
+    );
+}

@@ -1,0 +1,222 @@
+//! `kl1run` — run an FGHC program file on the simulated PIM machine.
+//!
+//! ```text
+//! kl1run [options] <program.fghc> [goal]
+//!
+//! options:
+//!   --pes N           processing elements (default 8)
+//!   --flat            skip the cache simulation (functional run)
+//!   --illinois        use the Illinois baseline protocol
+//!   --no-opt          disable the DW/ER/RP/RI optimized commands
+//!   --gc WORDS        enable stop-and-copy GC with WORDS-word semispaces
+//!   --indexed         compile with first-argument clause indexing
+//!   --stats           print machine and memory statistics
+//!   --code            dump the compiled abstract code and exit
+//!
+//! The goal defaults to `main/1` called as `main(X)`; pass a name to call
+//! `<name>(X)` instead. The binding of X is printed as the result.
+//! ```
+
+use kl1_machine::{Cluster, ClusterConfig};
+use pim_cache::{OptMask, PimSystem, SystemConfig};
+use pim_sim::{Engine, IllinoisSystem, MemorySystem};
+use pim_trace::{PeId, StorageArea};
+
+struct Options {
+    pes: u32,
+    flat: bool,
+    illinois: bool,
+    no_opt: bool,
+    gc: Option<u64>,
+    indexed: bool,
+    stats: bool,
+    code: bool,
+    file: String,
+    goal: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kl1run [--pes N] [--flat] [--illinois] [--no-opt] [--gc WORDS] \
+         [--indexed] [--stats] [--code] <program.fghc> [goal]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        pes: 8,
+        flat: false,
+        illinois: false,
+        no_opt: false,
+        gc: None,
+        indexed: false,
+        stats: false,
+        code: false,
+        file: String::new(),
+        goal: "main".into(),
+    };
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pes" => {
+                opts.pes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--flat" => opts.flat = true,
+            "--illinois" => opts.illinois = true,
+            "--no-opt" => opts.no_opt = true,
+            "--gc" => {
+                opts.gc = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--indexed" => opts.indexed = true,
+            "--stats" => opts.stats = true,
+            "--code" => opts.code = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.len() {
+        1 => opts.file = positional.remove(0),
+        2 => {
+            opts.file = positional.remove(0);
+            opts.goal = positional.remove(0);
+        }
+        _ => usage(),
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("kl1run: cannot read {}: {e}", opts.file);
+            std::process::exit(1);
+        }
+    };
+    let program = match fghc::compile_with(
+        &source,
+        fghc::CompileOptions {
+            first_arg_indexing: opts.indexed,
+        },
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            std::process::exit(1);
+        }
+    };
+    if opts.code {
+        print!("{program}");
+        return;
+    }
+
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: opts.pes,
+            heap_semispace_words: opts.gc,
+            ..Default::default()
+        },
+    );
+    // Prefer goal/1 with a result variable; fall back to goal/0.
+    let arity1 = cluster.program().lookup(&opts.goal, 1).is_some();
+    if arity1 {
+        cluster.set_query(&opts.goal, vec![fghc::Term::Var("X".into())]);
+    } else if cluster.program().lookup(&opts.goal, 0).is_some() {
+        cluster.set_query(&opts.goal, vec![]);
+    } else {
+        eprintln!("kl1run: no {}/1 or {}/0 in {}", opts.goal, opts.goal, opts.file);
+        std::process::exit(1);
+    }
+
+    let started = std::time::Instant::now();
+    let mask = if opts.no_opt { OptMask::none() } else { OptMask::all() };
+    let config = SystemConfig {
+        pes: opts.pes,
+        opt_mask: mask,
+        ..Default::default()
+    };
+
+    let print_result = |cluster: &Cluster, result: Option<fghc::Term>| {
+        if let Some(msg) = cluster.failure() {
+            eprintln!("kl1run: program failed: {msg}");
+            std::process::exit(1);
+        }
+        match result {
+            Some(term) => println!("X = {term}"),
+            None => println!("ok"),
+        }
+    };
+
+    let print_stats = |cluster: &Cluster, sys: Option<&dyn MemorySystem>, makespan: u64| {
+        if !opts.stats {
+            return;
+        }
+        let m = cluster.stats();
+        eprintln!("--- machine ---");
+        eprintln!("reductions:     {}", m.reductions);
+        eprintln!("suspensions:    {}", m.suspensions);
+        eprintln!("instructions:   {}", m.instructions);
+        eprintln!("goal migrations:{}", m.goals_migrated);
+        eprintln!("heap words:     {}", m.heap_words);
+        if m.gc.collections > 0 {
+            eprintln!(
+                "gc:             {} collections, {} copied, {} reclaimed",
+                m.gc.collections, m.gc.words_copied, m.gc.words_reclaimed
+            );
+        }
+        if let Some(sys) = sys {
+            eprintln!("--- memory system ---");
+            eprintln!("references:     {}", sys.ref_stats().total());
+            eprintln!("bus cycles:     {}", sys.bus_stats().total_cycles());
+            for area in StorageArea::ALL {
+                eprintln!(
+                    "  {:5}         {:5.1}%",
+                    area.label(),
+                    sys.bus_stats().area_cycle_pct(area)
+                );
+            }
+            eprintln!("miss ratio:     {:.4}", sys.access_stats().miss_ratio());
+            eprintln!(
+                "locks:          {} LR, {:.1}% free, {:.1}% unlocks silent",
+                sys.lock_stats().lr_total,
+                100.0 * sys.lock_stats().lr_hit_exclusive_ratio(),
+                100.0 * sys.lock_stats().unlock_no_waiter_ratio(),
+            );
+            eprintln!("simulated time: {makespan} cycles");
+        }
+        eprintln!("wall time:      {:.2?}", started.elapsed());
+    };
+
+    const MAX_STEPS: u64 = u64::MAX;
+    if opts.flat {
+        let port = kl1_machine::run_flat(&mut cluster, MAX_STEPS);
+        let result = if arity1 { cluster.extract(&port, "X") } else { None };
+        print_result(&cluster, result);
+        print_stats(&cluster, None, 0);
+    } else if opts.illinois {
+        let mut engine = Engine::new(IllinoisSystem::new(config), opts.pes);
+        let run = engine.run(&mut cluster, MAX_STEPS);
+        let result = if arity1 {
+            engine.with_port(PeId(0), |p| cluster.extract(p, "X"))
+        } else {
+            None
+        };
+        print_result(&cluster, result);
+        print_stats(&cluster, Some(engine.system()), run.makespan);
+    } else {
+        let mut engine = Engine::new(PimSystem::new(config), opts.pes);
+        let run = engine.run(&mut cluster, MAX_STEPS);
+        let result = if arity1 {
+            engine.with_port(PeId(0), |p| cluster.extract(p, "X"))
+        } else {
+            None
+        };
+        print_result(&cluster, result);
+        print_stats(&cluster, Some(engine.system()), run.makespan);
+    }
+}

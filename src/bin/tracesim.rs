@@ -1,0 +1,161 @@
+//! `tracesim` — replay a memory-access trace file through the PIM cache
+//! (or the Illinois baseline) and print the traffic report.
+//!
+//! ```text
+//! tracesim [options] <trace.txt>
+//!
+//! options:
+//!   --pes N          processing elements (default: 1 + max PE in trace)
+//!   --illinois       Illinois baseline instead of the PIM protocol
+//!   --no-opt         downgrade DW/DWD/ER/RP/RI to plain R/W
+//!   --block W        cache block words (default 4)
+//!   --capacity W     cache data words per PE (default 4096)
+//!   --ways N         associativity (default 4)
+//!   --bus-width W    bus width in words (default 1)
+//!   --gen NAME       ignore the file; generate a built-in synthetic trace
+//!                    (producer-consumer | heap-mix | lock-churn | aurora)
+//! ```
+//!
+//! Trace lines are `PE OP ADDR AREA`, e.g. `0 DW 0x11000000 goal` — see
+//! `pim_trace::textio`. Use `--gen` to try the tool without a file:
+//!
+//! ```sh
+//! tracesim --gen aurora --pes 8
+//! ```
+
+use pim_bus::BusTiming;
+use pim_cache::{CacheGeometry, OptMask, PimSystem, SystemConfig};
+use pim_sim::{Engine, IllinoisSystem, MemorySystem, Replayer};
+use pim_trace::{Access, StorageArea};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracesim [--pes N] [--illinois] [--no-opt] [--block W] \
+         [--capacity W] [--ways N] [--bus-width W] (<trace.txt> | --gen NAME)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut pes: Option<u32> = None;
+    let mut illinois = false;
+    let mut no_opt = false;
+    let mut block = 4u64;
+    let mut capacity = 4096u64;
+    let mut ways = 4u64;
+    let mut bus_width = 1u64;
+    let mut generator: Option<String> = None;
+    let mut file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next_u64 = |_name: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--pes" => pes = Some(next_u64("pes") as u32),
+            "--illinois" => illinois = true,
+            "--no-opt" => no_opt = true,
+            "--block" => block = next_u64("block"),
+            "--capacity" => capacity = next_u64("capacity"),
+            "--ways" => ways = next_u64("ways"),
+            "--bus-width" => bus_width = next_u64("bus-width"),
+            "--gen" => generator = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            other => file = Some(other.to_string()),
+        }
+    }
+
+    let trace: Vec<Access> = if let Some(name) = generator {
+        let workers = pes.unwrap_or(4);
+        match name.as_str() {
+            "producer-consumer" => workloads::synthetic::producer_consumer(512, 8, block),
+            "heap-mix" => workloads::synthetic::shared_heap_mix(workers, 50_000, 30, 1 << 14, 7),
+            "lock-churn" => workloads::synthetic::lock_churn(workers, 5_000, 10, 7),
+            "aurora" => workloads::synthetic::aurora_like(workers, 10_000, 1989),
+            other => {
+                eprintln!("tracesim: unknown generator `{other}`");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        let Some(path) = file else { usage() };
+        let f = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("tracesim: cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match pim_trace::read_trace(std::io::BufReader::new(f)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tracesim: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if trace.is_empty() {
+        eprintln!("tracesim: empty trace");
+        std::process::exit(1);
+    }
+
+    let needed = 1 + trace.iter().map(|a| a.pe.0).max().unwrap_or(0);
+    let pes = pes.unwrap_or(needed).max(needed);
+    let config = SystemConfig {
+        pes,
+        geometry: CacheGeometry::with_shape(capacity, block, ways),
+        timing: BusTiming {
+            bus_width_words: bus_width,
+            memory_cycles: 8,
+        },
+        opt_mask: if no_opt { OptMask::none() } else { OptMask::all() },
+        ..SystemConfig::default()
+    };
+
+    let mut replayer = Replayer::from_merged(&trace, pes);
+    let (label, report) = if illinois {
+        let mut engine = Engine::new(IllinoisSystem::new(config), pes);
+        let run = engine.run(&mut replayer, u64::MAX);
+        ("Illinois", summarize(engine.system(), run.makespan, trace.len()))
+    } else {
+        let mut engine = Engine::new(PimSystem::new(config), pes);
+        let run = engine.run(&mut replayer, u64::MAX);
+        ("PIM", summarize(engine.system(), run.makespan, trace.len()))
+    };
+    println!("protocol: {label}  ({pes} PEs, {capacity}w {ways}-way, {block}-word blocks, {bus_width}-word bus)");
+    print!("{report}");
+}
+
+fn summarize(sys: &dyn MemorySystem, makespan: u64, accesses: usize) -> String {
+    let mut out = String::new();
+    let bus = sys.bus_stats();
+    out += &format!("accesses:       {accesses}\n");
+    out += &format!("bus cycles:     {}\n", bus.total_cycles());
+    for area in StorageArea::ALL {
+        let cycles = bus.area_cycles(area);
+        if cycles > 0 {
+            out += &format!("  {:5}         {:>10}  ({:.1}%)\n", area.label(), cycles, bus.area_cycle_pct(area));
+        }
+    }
+    out += &format!("memory busy:    {} cycles\n", bus.memory_busy_cycles());
+    out += &format!("miss ratio:     {:.4}\n", sys.access_stats().miss_ratio());
+    let locks = sys.lock_stats();
+    if locks.lr_total > 0 {
+        out += &format!(
+            "locks:          {} LR ({:.1}% exclusive hits), {:.1}% unlocks silent\n",
+            locks.lr_total,
+            100.0 * locks.lr_hit_exclusive_ratio(),
+            100.0 * locks.unlock_no_waiter_ratio()
+        );
+    }
+    out += &format!("simulated time: {makespan} cycles\n");
+    if makespan > 0 {
+        out += &format!(
+            "bus utilization:{:.1}%\n",
+            100.0 * bus.total_cycles() as f64 / makespan as f64
+        );
+    }
+    out
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the two command-line tools.
+
+use std::process::Command;
+
+fn kl1run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kl1run"))
+}
+
+fn tracesim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tracesim"))
+}
+
+#[test]
+fn kl1run_executes_a_program_and_prints_the_answer() {
+    let out = kl1run()
+        .args(["--pes", "4", "examples/fghc/quicksort.fghc"])
+        .output()
+        .expect("kl1run runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.trim(), "X = [1,2,3,5,9,9,10,14,27,27,30,63,82]");
+}
+
+#[test]
+fn kl1run_stats_and_gc_options_work() {
+    let out = kl1run()
+        .args(["--pes", "2", "--gc", "2048", "--stats", "examples/fghc/hanoi.fghc"])
+        .output()
+        .expect("kl1run runs");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "X = 1023");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("reductions:"), "{stderr}");
+    assert!(stderr.contains("bus cycles:"), "{stderr}");
+}
+
+#[test]
+fn kl1run_flat_and_illinois_modes_agree() {
+    let run = |extra: &[&str]| {
+        let mut cmd = kl1run();
+        cmd.args(extra).arg("examples/fghc/primes.fghc");
+        let out = cmd.output().expect("kl1run runs");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).trim().to_string()
+    };
+    let pim = run(&[]);
+    let flat = run(&["--flat"]);
+    let illinois = run(&["--illinois"]);
+    assert_eq!(pim, flat);
+    assert_eq!(pim, illinois);
+    assert!(pim.starts_with("X = [2,3,5,7,11"));
+}
+
+#[test]
+fn kl1run_dumps_compiled_code() {
+    let out = kl1run()
+        .args(["--code", "examples/fghc/hanoi.fghc"])
+        .output()
+        .expect("kl1run runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hanoi/2"), "{text}");
+    assert!(text.contains("Commit"), "{text}");
+}
+
+#[test]
+fn kl1run_reports_compile_errors_with_position() {
+    let dir = std::env::temp_dir().join("kl1run_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.fghc");
+    std::fs::write(&bad, "main :- true | nope(1).\n").unwrap();
+    let out = kl1run().arg(bad.to_str().unwrap()).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("undefined procedure nope/1"), "{stderr}");
+}
+
+#[test]
+fn tracesim_replays_a_generated_workload() {
+    let out = tracesim()
+        .args(["--gen", "producer-consumer", "--pes", "2"])
+        .output()
+        .expect("tracesim runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("protocol: PIM"), "{stdout}");
+    assert!(stdout.contains("bus cycles:"), "{stdout}");
+}
+
+#[test]
+fn tracesim_replays_a_trace_file() {
+    let dir = std::env::temp_dir().join("tracesim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.txt");
+    // A DW-created goal record consumed with ER by another PE.
+    let map = pim_trace::AreaMap::standard();
+    let g = map.base(pim_trace::StorageArea::Goal);
+    let text = format!(
+        "# tiny trace\n0 DW {g:#x} goal\n0 W {:#x} goal\n1 ER {g:#x} goal\n1 ER {:#x} goal\n",
+        g + 1,
+        g + 1
+    );
+    std::fs::write(&path, text).unwrap();
+    let out = tracesim().arg(path.to_str().unwrap()).output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("accesses:       4"), "{stdout}");
+}
+
+#[test]
+fn tracesim_rejects_malformed_traces() {
+    let dir = std::env::temp_dir().join("tracesim_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.txt");
+    std::fs::write(&path, "0 ZZ 0x10 heap\n").unwrap();
+    let out = tracesim().arg(path.to_str().unwrap()).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad operation"));
+}

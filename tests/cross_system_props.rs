@@ -1,0 +1,140 @@
+//! Property tests across the whole stack: for randomized inputs, the
+//! flat port, the PIM cache (optimized and plain), and the Illinois
+//! baseline must all compute identical answers — and the simulated
+//! protocol must stay coherent throughout.
+
+use kl1_machine::{Cluster, ClusterConfig};
+use pim_cache::{OptMask, PimSystem, SystemConfig};
+use pim_sim::{Engine, IllinoisSystem, MemorySystem};
+use pim_trace::PeId;
+use proptest::prelude::*;
+
+const LIST_OPS: &str = "
+    main(Xs, Ys, R) :- true |
+        app(Xs, Ys, Zs), rev(Zs, [], Rz), len(Rz, 0, N),
+        sum(Zs, 0, S), R = result(N, S, Rz).
+    app([], Y, Z) :- true | Z = Y.
+    app([H|T], Y, Z) :- true | Z = [H|W], app(T, Y, W).
+    rev([], A, R) :- true | R = A.
+    rev([H|T], A, R) :- true | rev(T, [H|A], R).
+    len([], A, R) :- true | R = A.
+    len([_|T], A, R) :- true | A1 := A + 1, len(T, A1, R).
+    sum([], A, S) :- true | S = A.
+    sum([H|T], A, S) :- integer(H) | A1 := A + H, sum(T, A1, S).
+";
+
+fn int_list(items: &[i64]) -> fghc::Term {
+    fghc::Term::list(items.iter().map(|&i| fghc::Term::Int(i)).collect(), None)
+}
+
+fn run_flat_answer(xs: &[i64], ys: &[i64], pes: u32) -> fghc::Term {
+    let program = fghc::compile(LIST_OPS).unwrap();
+    let mut c = Cluster::new(program, ClusterConfig { pes, ..Default::default() });
+    c.set_query(
+        "main",
+        vec![int_list(xs), int_list(ys), fghc::Term::Var("R".into())],
+    );
+    let port = kl1_machine::run_flat(&mut c, 500_000_000);
+    c.extract(&port, "R").unwrap()
+}
+
+fn run_sys_answer<S: MemorySystem + 'static>(
+    xs: &[i64],
+    ys: &[i64],
+    pes: u32,
+    system: S,
+) -> fghc::Term {
+    let program = fghc::compile(LIST_OPS).unwrap();
+    let mut c = Cluster::new(program, ClusterConfig { pes, ..Default::default() });
+    c.set_query(
+        "main",
+        vec![int_list(xs), int_list(ys), fghc::Term::Var("R".into())],
+    );
+    let mut engine = Engine::new(system, pes);
+    let stats = engine.run(&mut c, 500_000_000);
+    assert!(stats.finished);
+    assert!(c.failure().is_none(), "{:?}", c.failure());
+    engine.with_port(PeId(0), |p| c.extract(p, "R").unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_memory_systems_agree_on_random_inputs(
+        xs in proptest::collection::vec(-50i64..50, 0..12),
+        ys in proptest::collection::vec(-50i64..50, 0..12),
+        pes in 1u32..5,
+    ) {
+        // Reference semantics from plain Rust.
+        let mut zs: Vec<i64> = xs.clone();
+        zs.extend(&ys);
+        let n = zs.len() as i64;
+        let s: i64 = zs.iter().sum();
+        let want_rev: Vec<i64> = zs.iter().rev().copied().collect();
+
+        let flat = run_flat_answer(&xs, &ys, pes);
+        let expected = fghc::Term::Struct(
+            "result".into(),
+            vec![
+                fghc::Term::Int(n),
+                fghc::Term::Int(s),
+                int_list(&want_rev),
+            ],
+        );
+        prop_assert_eq!(&flat, &expected);
+
+        let pim = run_sys_answer(
+            &xs,
+            &ys,
+            pes,
+            PimSystem::new(SystemConfig { pes, ..Default::default() }),
+        );
+        prop_assert_eq!(&pim, &expected);
+
+        let plain = run_sys_answer(
+            &xs,
+            &ys,
+            pes,
+            PimSystem::new(SystemConfig {
+                pes,
+                opt_mask: OptMask::none(),
+                ..Default::default()
+            }),
+        );
+        prop_assert_eq!(&plain, &expected);
+
+        let illinois = run_sys_answer(
+            &xs,
+            &ys,
+            pes,
+            IllinoisSystem::new(SystemConfig { pes, ..Default::default() }),
+        );
+        prop_assert_eq!(&illinois, &expected);
+    }
+
+    #[test]
+    fn gc_preserves_answers_on_random_inputs(
+        xs in proptest::collection::vec(0i64..50, 0..10),
+        ys in proptest::collection::vec(0i64..50, 0..10),
+    ) {
+        let program = fghc::compile(LIST_OPS).unwrap();
+        let mut c = Cluster::new(
+            program,
+            ClusterConfig {
+                pes: 2,
+                // Tiny semispaces: collections happen constantly.
+                heap_semispace_words: Some(512),
+                ..Default::default()
+            },
+        );
+        c.set_query(
+            "main",
+            vec![int_list(&xs), int_list(&ys), fghc::Term::Var("R".into())],
+        );
+        let port = kl1_machine::run_flat(&mut c, 500_000_000);
+        let got = c.extract(&port, "R").unwrap();
+        let baseline = run_flat_answer(&xs, &ys, 2);
+        prop_assert_eq!(got, baseline);
+    }
+}
