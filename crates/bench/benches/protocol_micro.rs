@@ -44,7 +44,11 @@ fn bench_shared_heap(c: &mut Criterion) {
         let trace = synthetic::shared_heap_mix(4, 20_000, write_pct, 1 << 12, 99);
         group.throughput(Throughput::Elements(trace.len() as u64));
         group.bench_function(BenchmarkId::from_parameter(write_pct), |b| {
-            b.iter(|| run_trace(&trace, 4, OptMask::all()).bus_stats().total_cycles())
+            b.iter(|| {
+                run_trace(&trace, 4, OptMask::all())
+                    .bus_stats()
+                    .total_cycles()
+            })
         });
     }
     group.finish();
@@ -65,5 +69,10 @@ fn bench_lock_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_producer_consumer, bench_shared_heap, bench_lock_churn);
+criterion_group!(
+    benches,
+    bench_producer_consumer,
+    bench_shared_heap,
+    bench_lock_churn
+);
 criterion_main!(benches);

@@ -1,16 +1,23 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|small|paper] <experiment>...
+//! repro [--scale smoke|small|paper] [--json DIR] <experiment>...
 //! experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5
 //!              buswidth assoc ablation indexing aurora gc all
 //! ```
+//!
+//! With `--json DIR`, each experiment additionally writes
+//! `DIR/<experiment>.json` — the same cells in the stable
+//! machine-readable schema, byte-identical across invocations.
 
+use pim_obs::Json;
+use std::path::PathBuf;
 use workloads::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::paper();
+    let mut json_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -27,11 +34,18 @@ fn main() {
                     }
                 };
             }
+            "--json" => match iter.next() {
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("repro: --json needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale smoke|small|paper] <experiment>...\n\
+                    "usage: repro [--scale smoke|small|paper] [--json DIR] <experiment>...\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5\n\
-                     \x20            buswidth assoc ablation all"
+                     \x20            buswidth assoc ablation indexing aurora gc all"
                 );
                 return;
             }
@@ -41,37 +55,113 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".into());
     }
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
 
-    let run = |name: &str, f: &dyn Fn() -> String| {
+    let write_json = |name: &str, doc: &Json| {
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("{name}.json"));
+            if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
+                eprintln!("repro: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let run = |name: &str, f: &dyn Fn() -> (String, Json)| {
         if want(name) {
             let t = std::time::Instant::now();
-            let rendered = f();
+            let (rendered, doc) = f();
             println!("{rendered}");
+            write_json(name, &doc);
             eprintln!("[{name}: {:.1?}]", t.elapsed());
         }
     };
 
-    run("table1", &|| bench::render_table1(&bench::table1(scale)));
+    run("table1", &|| {
+        let rows = bench::table1(scale);
+        (
+            bench::render_table1(&rows),
+            bench::table1_json(scale, &rows),
+        )
+    });
     if want("table2") || want("table3") {
         let runs = bench::base_runs(scale);
         if want("table2") {
             println!("{}", bench::render_table2(&runs));
+            write_json("table2", &bench::table2_json(scale, &runs));
         }
         if want("table3") {
             println!("{}", bench::render_table3(&runs));
+            write_json("table3", &bench::table3_json(scale, &runs));
         }
     }
-    run("fig1", &|| bench::render_fig1(&bench::fig1(scale)));
-    run("fig2", &|| bench::render_fig2(&bench::fig2(scale)));
-    run("fig3", &|| bench::render_fig3(&bench::fig3(scale)));
-    run("table4", &|| bench::render_table4(&bench::table4(scale)));
-    run("table5", &|| bench::render_table5(&bench::table5(scale)));
-    run("buswidth", &|| bench::render_buswidth(&bench::buswidth(scale)));
-    run("assoc", &|| bench::render_assoc(&bench::assoc(scale)));
-    run("ablation", &|| bench::render_ablation(&bench::ablation(scale)));
-    run("indexing", &|| bench::render_indexing(&bench::indexing(scale)));
-    run("aurora", &|| bench::render_aurora(&bench::aurora(scale)));
-    run("gc", &|| bench::render_gc(&bench::gc_pressure(scale)));
+    run("fig1", &|| {
+        let pts = bench::fig1(scale);
+        (bench::render_fig1(&pts), bench::fig1_json(scale, &pts))
+    });
+    run("fig2", &|| {
+        let pts = bench::fig2(scale);
+        (bench::render_fig2(&pts), bench::fig2_json(scale, &pts))
+    });
+    run("fig3", &|| {
+        let pts = bench::fig3(scale);
+        (bench::render_fig3(&pts), bench::fig3_json(scale, &pts))
+    });
+    run("table4", &|| {
+        let rows = bench::table4(scale);
+        (
+            bench::render_table4(&rows),
+            bench::table4_json(scale, &rows),
+        )
+    });
+    run("table5", &|| {
+        let cols = bench::table5(scale);
+        (
+            bench::render_table5(&cols),
+            bench::table5_json(scale, &cols),
+        )
+    });
+    run("buswidth", &|| {
+        let rows = bench::buswidth(scale);
+        (
+            bench::render_buswidth(&rows),
+            bench::buswidth_json(scale, &rows),
+        )
+    });
+    run("assoc", &|| {
+        let pts = bench::assoc(scale);
+        (bench::render_assoc(&pts), bench::assoc_json(scale, &pts))
+    });
+    run("ablation", &|| {
+        let rows = bench::ablation(scale);
+        (
+            bench::render_ablation(&rows),
+            bench::ablation_json(scale, &rows),
+        )
+    });
+    run("indexing", &|| {
+        let rows = bench::indexing(scale);
+        (
+            bench::render_indexing(&rows),
+            bench::indexing_json(scale, &rows),
+        )
+    });
+    run("aurora", &|| {
+        let rows = bench::aurora(scale);
+        (
+            bench::render_aurora(&rows),
+            bench::aurora_json(scale, &rows),
+        )
+    });
+    run("gc", &|| {
+        let rows = bench::gc_pressure(scale);
+        (bench::render_gc(&rows), bench::gc_json(scale, &rows))
+    });
 }

@@ -3,8 +3,9 @@
 use crate::format::{f2, f3, millions, Table};
 use pim_bus::{BusCommand, BusTiming};
 use pim_cache::{CacheGeometry, OptColumn, OptMask, SystemConfig};
+use pim_obs::{Histogram, PeCycles};
 use pim_trace::{OpClass, StorageArea};
-use workloads::runner::{run_illinois, run_pim, RunReport};
+use workloads::runner::{run_illinois, run_pim, run_pim_profiled, RunReport};
 use workloads::{Bench, Scale};
 
 /// The paper's base system: 8 PEs, 4-Kword 4-way caches with 4-word
@@ -78,24 +79,31 @@ pub struct Table1Row {
     pub instructions: u64,
     /// Memory references (instruction + data).
     pub refs: u64,
+    /// Per-PE busy / bus-wait / lock-wait / idle accounting of the
+    /// 8-PE run (not rendered in the text table; the JSON report
+    /// carries it).
+    pub pe_cycles: Vec<PeCycles>,
+    /// Bus-acquisition wait distribution of the 8-PE run.
+    pub bus_wait: Histogram,
 }
 
 /// Regenerates Table 1 (benchmark summary on eight PEs).
 pub fn table1(scale: Scale) -> Vec<Table1Row> {
     par_map(Bench::ALL.to_vec(), |bench| {
-        {
-            let r8 = run_pim(bench, scale, base_config(8, OptMask::all()));
-            let r1 = run_pim(bench, scale, base_config(1, OptMask::all()));
-            Table1Row {
-                bench,
-                lines: bench.source_lines(),
-                cycles_8pe: r8.makespan,
-                speedup: r1.makespan as f64 / r8.makespan as f64,
-                reductions: r8.machine.reductions,
-                suspensions: r8.machine.suspensions,
-                instructions: r8.machine.instructions,
-                refs: r8.refs.total(),
-            }
+        let mut r8 = run_pim_profiled(bench, scale, base_config(8, OptMask::all()));
+        let r1 = run_pim(bench, scale, base_config(1, OptMask::all()));
+        let metrics = r8.metrics.take().expect("profiled run collects metrics");
+        Table1Row {
+            bench,
+            lines: bench.source_lines(),
+            cycles_8pe: r8.makespan,
+            speedup: r1.makespan as f64 / r8.makespan as f64,
+            reductions: r8.machine.reductions,
+            suspensions: r8.machine.suspensions,
+            instructions: r8.machine.instructions,
+            refs: r8.refs.total(),
+            pe_cycles: r8.pe_cycles,
+            bus_wait: metrics.bus_wait,
         }
     })
 }
@@ -104,7 +112,9 @@ pub fn table1(scale: Scale) -> Vec<Table1Row> {
 pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut t = Table::new(
         "Table 1: Short Summary of Benchmarks on Eight PEs",
-        &["bench", "lines", "cycles", "su", "reduct", "susp", "instr", "ref"],
+        &[
+            "bench", "lines", "cycles", "su", "reduct", "susp", "instr", "ref",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -353,7 +363,14 @@ pub fn render_fig1(points: &[Fig1Point]) -> String {
     render_series(
         "Figure 1: Cache Block Size vs Miss Ratio and Bus Traffic",
         "block",
-        points.iter().map(|p| (p.bench, p.block_words.to_string(), p.miss_ratio, p.bus_cycles)),
+        points.iter().map(|p| {
+            (
+                p.bench,
+                p.block_words.to_string(),
+                p.miss_ratio,
+                p.bus_cycles,
+            )
+        }),
     )
 }
 
@@ -445,11 +462,19 @@ pub fn render_fig2(points: &[Fig2Point]) -> String {
     let mut out = render_series(
         "Figure 2: Cache Capacity vs Miss Ratio and Bus Traffic",
         "words",
-        points
-            .iter()
-            .map(|p| (p.bench, p.capacity_words.to_string(), p.miss_ratio, p.bus_cycles)),
+        points.iter().map(|p| {
+            (
+                p.bench,
+                p.capacity_words.to_string(),
+                p.miss_ratio,
+                p.bus_cycles,
+            )
+        }),
     );
-    let mut t = Table::new("Figure 2 x-axis: directory-inclusive size", &["words", "bits"]);
+    let mut t = Table::new(
+        "Figure 2 x-axis: directory-inclusive size",
+        &["words", "bits"],
+    );
     let mut seen = Vec::new();
     for p in points {
         if !seen.contains(&p.capacity_words) {
@@ -568,29 +593,27 @@ pub struct Table4Row {
 /// relative to the unoptimized cache.
 pub fn table4(scale: Scale) -> Vec<Table4Row> {
     par_map(Bench::ALL.to_vec(), |bench| {
-        {
-            let reports: Vec<RunReport> = par_map(OptColumn::ALL.to_vec(), |col| {
-                run_pim(bench, scale, base_config(8, OptMask::column(col)))
-            });
-            let none = &reports[0];
-            let base = none.bus.total_cycles() as f64;
-            let mut rel = [0.0; 5];
-            for (i, r) in reports.iter().enumerate() {
-                rel[i] = r.bus.total_cycles() as f64 / base;
-            }
-            let heap_col = &reports[1];
-            let goal_col = &reports[2];
-            let comm_col = &reports[3];
-            Table4Row {
-                bench,
-                rel,
-                heap_swap_in_ratio: heap_col.bus.swap_ins(StorageArea::Heap) as f64
-                    / none.bus.swap_ins(StorageArea::Heap).max(1) as f64,
-                goal_swap_out_ratio: goal_col.bus.swap_outs(StorageArea::Goal) as f64
-                    / none.bus.swap_outs(StorageArea::Goal).max(1) as f64,
-                invalidate_ratio: comm_col.bus.cmd_count(BusCommand::Invalidate) as f64
-                    / none.bus.cmd_count(BusCommand::Invalidate).max(1) as f64,
-            }
+        let reports: Vec<RunReport> = par_map(OptColumn::ALL.to_vec(), |col| {
+            run_pim(bench, scale, base_config(8, OptMask::column(col)))
+        });
+        let none = &reports[0];
+        let base = none.bus.total_cycles() as f64;
+        let mut rel = [0.0; 5];
+        for (i, r) in reports.iter().enumerate() {
+            rel[i] = r.bus.total_cycles() as f64 / base;
+        }
+        let heap_col = &reports[1];
+        let goal_col = &reports[2];
+        let comm_col = &reports[3];
+        Table4Row {
+            bench,
+            rel,
+            heap_swap_in_ratio: heap_col.bus.swap_ins(StorageArea::Heap) as f64
+                / none.bus.swap_ins(StorageArea::Heap).max(1) as f64,
+            goal_swap_out_ratio: goal_col.bus.swap_outs(StorageArea::Goal) as f64
+                / none.bus.swap_outs(StorageArea::Goal).max(1) as f64,
+            invalidate_ratio: comm_col.bus.cmd_count(BusCommand::Invalidate) as f64
+                / none.bus.cmd_count(BusCommand::Invalidate).max(1) as f64,
         }
     })
 }
@@ -609,7 +632,12 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
     let mut out = t.render();
     let mut t = Table::new(
         "Section 4.6 detail: per-command effectiveness",
-        &["bench", "heap swap-in (DW)", "goal swap-out (ER/RP/DW)", "I cmds (RI)"],
+        &[
+            "bench",
+            "heap swap-in (DW)",
+            "goal swap-out (ER/RP/DW)",
+            "I cmds (RI)",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -697,21 +725,19 @@ impl BusWidthRow {
 /// Regenerates the Section 4.4 bus-width comparison.
 pub fn buswidth(scale: Scale) -> Vec<BusWidthRow> {
     par_map(Bench::ALL.to_vec(), |bench| {
-        {
-            let one = run_pim(bench, scale, base_config(8, OptMask::all()));
-            let two = run_pim(
-                bench,
-                scale,
-                SystemConfig {
-                    timing: BusTiming::two_word_bus(),
-                    ..base_config(8, OptMask::all())
-                },
-            );
-            BusWidthRow {
-                bench,
-                one_word: one.bus.total_cycles(),
-                two_word: two.bus.total_cycles(),
-            }
+        let one = run_pim(bench, scale, base_config(8, OptMask::all()));
+        let two = run_pim(
+            bench,
+            scale,
+            SystemConfig {
+                timing: BusTiming::two_word_bus(),
+                ..base_config(8, OptMask::all())
+            },
+        );
+        BusWidthRow {
+            bench,
+            one_word: one.bus.total_cycles(),
+            two_word: two.bus.total_cycles(),
         }
     })
 }
@@ -775,7 +801,10 @@ pub fn assoc(scale: Scale) -> Vec<AssocPoint> {
 pub fn render_assoc(points: &[AssocPoint]) -> String {
     let mut header = vec!["ways"];
     header.extend(Bench::EXTENDED.iter().map(|b| b.name()));
-    let mut t = Table::new("Section 4.3: associativity vs bus traffic (cycles)", &header);
+    let mut t = Table::new(
+        "Section 4.3: associativity vs bus traffic (cycles)",
+        &header,
+    );
     for &ways in &[1u64, 2, 4, 8] {
         let mut row = vec![ways.to_string()];
         for &bench in &Bench::EXTENDED {
@@ -818,18 +847,16 @@ pub struct AblationRow {
 /// operations), against the Illinois baseline.
 pub fn ablation(scale: Scale) -> Vec<AblationRow> {
     par_map(Bench::ALL.to_vec(), |bench| {
-        {
-            let pim = run_pim(bench, scale, base_config(8, OptMask::all()));
-            let ill = run_illinois(bench, scale, base_config(8, OptMask::all()));
-            AblationRow {
-                bench,
-                pim_bus: pim.bus.total_cycles(),
-                illinois_bus: ill.bus.total_cycles(),
-                pim_mem_busy: pim.bus.memory_busy_cycles(),
-                illinois_mem_busy: ill.bus.memory_busy_cycles(),
-                pim_lr_free: pim.locks.lr_hit_exclusive_ratio(),
-                pim_ul_free: pim.locks.unlock_no_waiter_ratio(),
-            }
+        let pim = run_pim(bench, scale, base_config(8, OptMask::all()));
+        let ill = run_illinois(bench, scale, base_config(8, OptMask::all()));
+        AblationRow {
+            bench,
+            pim_bus: pim.bus.total_cycles(),
+            illinois_bus: ill.bus.total_cycles(),
+            pim_mem_busy: pim.bus.memory_busy_cycles(),
+            illinois_mem_busy: ill.bus.memory_busy_cycles(),
+            pim_lr_free: pim.locks.lr_hit_exclusive_ratio(),
+            pim_ul_free: pim.locks.unlock_no_waiter_ratio(),
         }
     })
 }
@@ -877,8 +904,7 @@ pub fn gc_pressure(scale: Scale) -> Vec<GcRow> {
         [64 * 1024, 16 * 1024, 4 * 1024]
     };
     for semi in semis {
-        let (report, gc) =
-            run_pim_gc(Bench::Pascal, scale, base_config(pes, OptMask::all()), semi);
+        let (report, gc) = run_pim_gc(Bench::Pascal, scale, base_config(pes, OptMask::all()), semi);
         rows.push(GcRow {
             semispace: Some(semi),
             collections: gc.collections,
@@ -894,7 +920,13 @@ pub fn gc_pressure(scale: Scale) -> Vec<GcRow> {
 pub fn render_gc(rows: &[GcRow]) -> String {
     let mut t = Table::new(
         "Stop-and-copy GC pressure (Pascal, 2 PEs, all optimizations)",
-        &["semispace", "collections", "words copied", "bus cycles", "heap cycles"],
+        &[
+            "semispace",
+            "collections",
+            "words copied",
+            "bus cycles",
+            "heap cycles",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -931,7 +963,11 @@ pub fn aurora(scale: Scale) -> Vec<AuroraRow> {
     use pim_cache::PimSystem;
     use pim_sim::{Engine, IllinoisSystem, MemorySystem, Replayer};
 
-    let ops = if scale == Scale::smoke() { 2_000 } else { 20_000 };
+    let ops = if scale == Scale::smoke() {
+        2_000
+    } else {
+        20_000
+    };
     let trace = workloads::synthetic::aurora_like(8, ops, 1989);
 
     fn run_replay<S: MemorySystem>(trace: &[pim_trace::Access], system: S) -> S {
@@ -1010,32 +1046,30 @@ pub struct IndexingRow {
 pub fn indexing(scale: Scale) -> Vec<IndexingRow> {
     use workloads::runner::run_pim_compiled;
     par_map(Bench::ALL.to_vec(), |bench| {
-        {
-            let on = run_pim_compiled(
-                bench,
-                scale,
-                base_config(8, OptMask::all()),
-                fghc::CompileOptions {
-                    first_arg_indexing: true,
-                },
-            );
-            let off = run_pim_compiled(
-                bench,
-                scale,
-                base_config(8, OptMask::all()),
-                fghc::CompileOptions {
-                    first_arg_indexing: false,
-                },
-            );
-            IndexingRow {
-                bench,
-                instr_indexed: on.machine.instructions,
-                instr_linear: off.machine.instructions,
-                inst_refs_indexed: on.refs.area_total(StorageArea::Instruction),
-                inst_refs_linear: off.refs.area_total(StorageArea::Instruction),
-                makespan_indexed: on.makespan,
-                makespan_linear: off.makespan,
-            }
+        let on = run_pim_compiled(
+            bench,
+            scale,
+            base_config(8, OptMask::all()),
+            fghc::CompileOptions {
+                first_arg_indexing: true,
+            },
+        );
+        let off = run_pim_compiled(
+            bench,
+            scale,
+            base_config(8, OptMask::all()),
+            fghc::CompileOptions {
+                first_arg_indexing: false,
+            },
+        );
+        IndexingRow {
+            bench,
+            instr_indexed: on.machine.instructions,
+            instr_linear: off.machine.instructions,
+            inst_refs_indexed: on.refs.area_total(StorageArea::Instruction),
+            inst_refs_linear: off.refs.area_total(StorageArea::Instruction),
+            makespan_indexed: on.makespan,
+            makespan_linear: off.makespan,
         }
     })
 }

@@ -1,0 +1,403 @@
+//! Machine-readable report emitters: one JSON document per experiment.
+//!
+//! Every document shares the same envelope —
+//! `{"schema": "pim-repro/v1", "experiment": ..., "scale": ..., ...}` —
+//! and is built from the exact row values the text renderers print, so
+//! the two outputs can never drift apart. Serialization is the
+//! deterministic writer of [`pim_obs::Json`]: identical invocations
+//! produce byte-identical files.
+
+use crate::experiments::{
+    AblationRow, AssocPoint, AuroraRow, BaseRuns, BusWidthRow, Fig1Point, Fig2Point, Fig3Point,
+    GcRow, IndexingRow, Table1Row, Table4Row, Table5Col,
+};
+use pim_obs::{histogram_json, pe_cycles_json, Json};
+use pim_trace::{OpClass, StorageArea};
+use workloads::runner::RunReport;
+use workloads::Scale;
+
+/// The schema identifier stamped into every report document.
+pub const SCHEMA: &str = "pim-repro/v1";
+
+/// The shared envelope: schema, experiment name, scale.
+fn envelope(experiment: &str, scale: Scale) -> Json {
+    Json::obj([
+        ("schema", Json::from(SCHEMA)),
+        ("experiment", Json::from(experiment)),
+        ("scale", Json::from(scale.name())),
+    ])
+}
+
+fn area_pcts(f: impl Fn(StorageArea) -> f64) -> Json {
+    Json::obj(StorageArea::ALL.map(|a| (a.label(), Json::from(f(a)))))
+}
+
+fn class_pcts(f: impl Fn(OpClass) -> f64) -> Json {
+    Json::obj(OpClass::ALL.map(|c| (c.header(), Json::from(f(c)))))
+}
+
+/// Table 1 document: the summary row per benchmark plus the per-PE
+/// cycle accounts and the bus-acquisition latency distribution of the
+/// 8-PE run.
+pub fn table1_json(scale: Scale, rows: &[Table1Row]) -> Json {
+    let mut doc = envelope("table1", scale);
+    doc.push(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("bench", Json::from(r.bench.name())),
+                ("lines", Json::from(r.lines)),
+                ("cycles_8pe", Json::from(r.cycles_8pe)),
+                ("speedup", Json::from(r.speedup)),
+                ("reductions", Json::from(r.reductions)),
+                ("suspensions", Json::from(r.suspensions)),
+                ("instructions", Json::from(r.instructions)),
+                ("refs", Json::from(r.refs)),
+                ("pe_cycles", pe_cycles_json(&r.pe_cycles)),
+                ("bus_acquisition_wait_cycles", histogram_json(&r.bus_wait)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Table 2 document: per-benchmark reference and bus-cycle percentages
+/// by storage area (the cells Table 2a/2b average over).
+pub fn table2_json(scale: Scale, runs: &BaseRuns) -> Json {
+    let mut doc = envelope("table2", scale);
+    doc.push(
+        "rows",
+        Json::arr(runs.reports.iter().map(|r| {
+            Json::obj([
+                ("bench", Json::from(r.bench.name())),
+                ("refs_pct_by_area", area_pcts(|a| r.refs.area_pct(a))),
+                (
+                    "data_refs_pct_by_area",
+                    area_pcts(|a| r.refs.data_area_pct(a)),
+                ),
+                (
+                    "bus_cycles_pct_by_area",
+                    area_pcts(|a| r.bus.area_cycle_pct(a)),
+                ),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Table 3 document: per-benchmark reference percentages by operation
+/// class, over all references, data references, and heap references.
+pub fn table3_json(scale: Scale, runs: &BaseRuns) -> Json {
+    fn pct(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    }
+    let mut doc = envelope("table3", scale);
+    doc.push(
+        "rows",
+        Json::arr(runs.reports.iter().map(|r| {
+            Json::obj([
+                ("bench", Json::from(r.bench.name())),
+                (
+                    "all_pct_by_class",
+                    class_pcts(|c| pct(r.refs.class_total(c), r.refs.total())),
+                ),
+                (
+                    "data_pct_by_class",
+                    class_pcts(|c| pct(r.refs.data_class_total(c), r.refs.data_total())),
+                ),
+                (
+                    "heap_pct_by_class",
+                    class_pcts(|c| {
+                        pct(
+                            r.refs.area_class_total(StorageArea::Heap, c),
+                            r.refs.area_total(StorageArea::Heap),
+                        )
+                    }),
+                ),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Figure 1 document: (benchmark, block size) → miss ratio, bus cycles.
+pub fn fig1_json(scale: Scale, points: &[Fig1Point]) -> Json {
+    let mut doc = envelope("fig1", scale);
+    doc.push(
+        "rows",
+        Json::arr(points.iter().map(|p| {
+            Json::obj([
+                ("bench", Json::from(p.bench.name())),
+                ("block_words", Json::from(p.block_words)),
+                ("miss_ratio", Json::from(p.miss_ratio)),
+                ("bus_cycles", Json::from(p.bus_cycles)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Figure 2 document: (benchmark, capacity) → miss ratio, bus cycles.
+pub fn fig2_json(scale: Scale, points: &[Fig2Point]) -> Json {
+    let mut doc = envelope("fig2", scale);
+    doc.push(
+        "rows",
+        Json::arr(points.iter().map(|p| {
+            Json::obj([
+                ("bench", Json::from(p.bench.name())),
+                ("capacity_words", Json::from(p.capacity_words)),
+                ("total_bits", Json::from(p.total_bits)),
+                ("miss_ratio", Json::from(p.miss_ratio)),
+                ("bus_cycles", Json::from(p.bus_cycles)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Figure 3 document: (benchmark, PEs) → bus cycles and area shares.
+pub fn fig3_json(scale: Scale, points: &[Fig3Point]) -> Json {
+    let mut doc = envelope("fig3", scale);
+    doc.push(
+        "rows",
+        Json::arr(points.iter().map(|p| {
+            Json::obj([
+                ("bench", Json::from(p.bench.name())),
+                ("pes", Json::from(p.pes)),
+                ("bus_cycles", Json::from(p.bus_cycles)),
+                ("heap_pct", Json::from(p.heap_pct)),
+                ("comm_pct", Json::from(p.comm_pct)),
+                ("susp_pct", Json::from(p.susp_pct)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Table 4 document: relative bus cycles per optimization column plus
+/// the Section 4.6 per-command detail ratios.
+pub fn table4_json(scale: Scale, rows: &[Table4Row]) -> Json {
+    const COLUMNS: [&str; 5] = ["none", "heap", "goal", "comm", "all"];
+    let mut doc = envelope("table4", scale);
+    doc.push(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("bench", Json::from(r.bench.name())),
+                (
+                    "bus_cycles_rel",
+                    Json::obj(
+                        COLUMNS
+                            .iter()
+                            .zip(r.rel.iter())
+                            .map(|(&col, &x)| (col, Json::from(x)))
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+                ("heap_swap_in_ratio", Json::from(r.heap_swap_in_ratio)),
+                ("goal_swap_out_ratio", Json::from(r.goal_swap_out_ratio)),
+                ("invalidate_ratio", Json::from(r.invalidate_ratio)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Table 5 document: no-cost lock-operation hit ratios per benchmark.
+pub fn table5_json(scale: Scale, cols: &[Table5Col]) -> Json {
+    let mut doc = envelope("table5", scale);
+    doc.push(
+        "rows",
+        Json::arr(cols.iter().map(|c| {
+            Json::obj([
+                ("bench", Json::from(c.bench.name())),
+                ("lr_hit", Json::from(c.lr_hit)),
+                ("lr_hit_exclusive", Json::from(c.lr_hit_exclusive)),
+                ("unlock_no_waiter", Json::from(c.unlock_no_waiter)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Bus-width document (Section 4.4).
+pub fn buswidth_json(scale: Scale, rows: &[BusWidthRow]) -> Json {
+    let mut doc = envelope("buswidth", scale);
+    doc.push(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("bench", Json::from(r.bench.name())),
+                ("one_word_cycles", Json::from(r.one_word)),
+                ("two_word_cycles", Json::from(r.two_word)),
+                ("ratio", Json::from(r.ratio())),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Associativity document (Section 4.3).
+pub fn assoc_json(scale: Scale, points: &[AssocPoint]) -> Json {
+    let mut doc = envelope("assoc", scale);
+    doc.push(
+        "rows",
+        Json::arr(points.iter().map(|p| {
+            Json::obj([
+                ("bench", Json::from(p.bench.name())),
+                ("ways", Json::from(p.ways)),
+                ("bus_cycles", Json::from(p.bus_cycles)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// PIM-vs-Illinois ablation document.
+pub fn ablation_json(scale: Scale, rows: &[AblationRow]) -> Json {
+    let mut doc = envelope("ablation", scale);
+    doc.push(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("bench", Json::from(r.bench.name())),
+                ("pim_bus_cycles", Json::from(r.pim_bus)),
+                ("illinois_bus_cycles", Json::from(r.illinois_bus)),
+                ("pim_memory_busy_cycles", Json::from(r.pim_mem_busy)),
+                (
+                    "illinois_memory_busy_cycles",
+                    Json::from(r.illinois_mem_busy),
+                ),
+                ("pim_lr_bus_free", Json::from(r.pim_lr_free)),
+                ("pim_unlock_broadcast_free", Json::from(r.pim_ul_free)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Clause-indexing ablation document.
+pub fn indexing_json(scale: Scale, rows: &[IndexingRow]) -> Json {
+    let mut doc = envelope("indexing", scale);
+    doc.push(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("bench", Json::from(r.bench.name())),
+                ("instructions_indexed", Json::from(r.instr_indexed)),
+                ("instructions_linear", Json::from(r.instr_linear)),
+                ("inst_refs_indexed", Json::from(r.inst_refs_indexed)),
+                ("inst_refs_linear", Json::from(r.inst_refs_linear)),
+                ("makespan_indexed", Json::from(r.makespan_indexed)),
+                ("makespan_linear", Json::from(r.makespan_linear)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Aurora-workload document.
+pub fn aurora_json(scale: Scale, rows: &[AuroraRow]) -> Json {
+    let mut doc = envelope("aurora", scale);
+    doc.push(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("configuration", Json::from(r.label)),
+                ("bus_cycles", Json::from(r.bus_cycles)),
+                ("memory_busy_cycles", Json::from(r.mem_busy)),
+                ("lr_bus_free", Json::from(r.lr_free)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// GC-pressure document.
+pub fn gc_json(scale: Scale, rows: &[GcRow]) -> Json {
+    let mut doc = envelope("gc", scale);
+    doc.push(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                (
+                    "semispace_words",
+                    r.semispace.map_or(Json::Null, Json::from),
+                ),
+                ("collections", Json::from(r.collections)),
+                ("words_copied", Json::from(r.words_copied)),
+                ("bus_cycles", Json::from(r.bus_cycles)),
+                ("heap_cycles", Json::from(r.heap_cycles)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// One full run's statistics in wire form — the building block shared
+/// with the `kl1run --profile` and `tracesim --report` outputs.
+pub fn run_report_json(r: &RunReport) -> Json {
+    Json::obj([
+        ("bench", Json::from(r.bench.name())),
+        ("scale", Json::from(r.scale.name())),
+        ("pes", Json::from(r.pes)),
+        ("makespan_cycles", Json::from(r.makespan)),
+        ("reductions", Json::from(r.machine.reductions)),
+        ("suspensions", Json::from(r.machine.suspensions)),
+        ("instructions", Json::from(r.machine.instructions)),
+        ("refs_total", Json::from(r.refs.total())),
+        ("bus_cycles_total", Json::from(r.bus.total_cycles())),
+        ("miss_ratio", Json::from(r.access.miss_ratio())),
+        ("pe_cycles", pe_cycles_json(&r.pe_cycles)),
+        (
+            "metrics",
+            r.metrics.as_ref().map_or(Json::Null, |m| m.to_json()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{base_config, base_runs, table1};
+    use pim_cache::OptMask;
+    use workloads::runner::run_pim_profiled;
+    use workloads::Bench;
+
+    #[test]
+    fn documents_are_deterministic() {
+        let scale = Scale::smoke();
+        let runs = base_runs(scale);
+        let a = table2_json(scale, &runs).to_string_pretty();
+        let b = table2_json(scale, &runs).to_string_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"pim-repro/v1\""));
+    }
+
+    #[test]
+    fn table1_document_carries_cycle_accounts() {
+        let rows = table1(Scale::smoke());
+        let doc = table1_json(Scale::smoke(), &rows).to_string_pretty();
+        for key in [
+            "\"busy\"",
+            "\"bus_wait\"",
+            "\"lock_wait\"",
+            "\"idle\"",
+            "\"p99\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in table1 document");
+        }
+    }
+
+    #[test]
+    fn run_report_embeds_metrics_when_profiled() {
+        let r = run_pim_profiled(Bench::Semi, Scale::smoke(), base_config(2, OptMask::all()));
+        let doc = run_report_json(&r).to_string_pretty();
+        assert!(doc.contains("\"state_transitions\""));
+        assert!(doc.contains("\"goal_queue_depth\""));
+    }
+}

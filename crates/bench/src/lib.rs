@@ -12,5 +12,7 @@
 
 pub mod experiments;
 pub mod format;
+pub mod json;
 
 pub use experiments::*;
+pub use json::*;

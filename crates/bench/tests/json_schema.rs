@@ -1,0 +1,185 @@
+//! Snapshot test pinning the machine-readable report schema.
+//!
+//! The JSON reports are a public interface: downstream tooling parses
+//! them by field name. This test runs one small deterministic simulation
+//! and asserts the exact set of key paths in the document, so any field
+//! rename, removal, or nesting change fails loudly here — bump the
+//! schema string in `bench::json` when changing the format on purpose.
+
+use bench::{base_config, run_report_json, table5_json};
+use pim_cache::OptMask;
+use pim_obs::Json;
+use workloads::runner::run_pim_profiled;
+use workloads::{Bench, Scale};
+
+/// Collects every key path in a document. Array elements all share one
+/// `[]` segment; only the first element is descended (rows are
+/// homogeneous by construction).
+fn key_paths(doc: &Json, prefix: &str, out: &mut Vec<String>) {
+    match doc {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                out.push(path.clone());
+                key_paths(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            if let Some(first) = items.first() {
+                key_paths(first, &format!("{prefix}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn paths_of(doc: &Json) -> Vec<String> {
+    let mut out = Vec::new();
+    key_paths(doc, "", &mut out);
+    out
+}
+
+const RUN_REPORT_PATHS: &[&str] = &[
+    "bench",
+    "scale",
+    "pes",
+    "makespan_cycles",
+    "reductions",
+    "suspensions",
+    "instructions",
+    "refs_total",
+    "bus_cycles_total",
+    "miss_ratio",
+    "pe_cycles",
+    "pe_cycles[].pe",
+    "pe_cycles[].busy",
+    "pe_cycles[].bus_wait",
+    "pe_cycles[].lock_wait",
+    "pe_cycles[].idle",
+    "pe_cycles[].total",
+    "metrics",
+    "metrics.state_transitions",
+    "metrics.state_transitions.states",
+    "metrics.state_transitions.total",
+    "metrics.state_transitions.all_areas",
+    "metrics.state_transitions.by_area",
+    "metrics.state_transitions.by_area.inst",
+    "metrics.state_transitions.by_area.heap",
+    "metrics.state_transitions.by_area.goal",
+    "metrics.state_transitions.by_area.susp",
+    "metrics.state_transitions.by_area.comm",
+    "metrics.bus",
+    "metrics.bus.grants",
+    "metrics.bus.acquisition_wait_cycles",
+    "metrics.bus.acquisition_wait_cycles.count",
+    "metrics.bus.acquisition_wait_cycles.sum",
+    "metrics.bus.acquisition_wait_cycles.min",
+    "metrics.bus.acquisition_wait_cycles.max",
+    "metrics.bus.acquisition_wait_cycles.mean",
+    "metrics.bus.acquisition_wait_cycles.p50",
+    "metrics.bus.acquisition_wait_cycles.p90",
+    "metrics.bus.acquisition_wait_cycles.p99",
+    "metrics.bus.acquisition_wait_cycles.log2_buckets",
+    "metrics.bus.hold_cycles",
+    "metrics.bus.hold_cycles.count",
+    "metrics.bus.hold_cycles.sum",
+    "metrics.bus.hold_cycles.min",
+    "metrics.bus.hold_cycles.max",
+    "metrics.bus.hold_cycles.mean",
+    "metrics.bus.hold_cycles.p50",
+    "metrics.bus.hold_cycles.p90",
+    "metrics.bus.hold_cycles.p99",
+    "metrics.bus.hold_cycles.log2_buckets",
+    "metrics.bus.wait_cycles_by_area",
+    "metrics.bus.wait_cycles_by_area.inst",
+    "metrics.bus.wait_cycles_by_area.heap",
+    "metrics.bus.wait_cycles_by_area.goal",
+    "metrics.bus.wait_cycles_by_area.susp",
+    "metrics.bus.wait_cycles_by_area.comm",
+    "metrics.bus.hold_cycles_by_area",
+    "metrics.bus.hold_cycles_by_area.inst",
+    "metrics.bus.hold_cycles_by_area.heap",
+    "metrics.bus.hold_cycles_by_area.goal",
+    "metrics.bus.hold_cycles_by_area.susp",
+    "metrics.bus.hold_cycles_by_area.comm",
+    "metrics.bus.grants_by_op",
+    "metrics.bus.grants_by_op.R",
+    "metrics.bus.grants_by_op.W",
+    "metrics.bus.grants_by_op.DW",
+    "metrics.bus.grants_by_op.DWD",
+    "metrics.bus.grants_by_op.ER",
+    "metrics.bus.grants_by_op.RP",
+    "metrics.bus.grants_by_op.RI",
+    "metrics.bus.grants_by_op.LR",
+    "metrics.bus.grants_by_op.UW",
+    "metrics.bus.grants_by_op.U",
+    "metrics.lock_wait_cycles",
+    "metrics.lock_wait_cycles.count",
+    "metrics.lock_wait_cycles.sum",
+    "metrics.lock_wait_cycles.min",
+    "metrics.lock_wait_cycles.max",
+    "metrics.lock_wait_cycles.mean",
+    "metrics.lock_wait_cycles.p50",
+    "metrics.lock_wait_cycles.p90",
+    "metrics.lock_wait_cycles.p99",
+    "metrics.lock_wait_cycles.log2_buckets",
+    "metrics.kl1",
+    "metrics.kl1.reductions_by_pe",
+    "metrics.kl1.suspensions_by_pe",
+    "metrics.kl1.resumptions_by_pe",
+    "metrics.kl1.gc",
+    "metrics.kl1.gc.collections",
+    "metrics.kl1.gc.words_copied",
+    "metrics.kl1.gc.words_copied.count",
+    "metrics.kl1.gc.words_copied.sum",
+    "metrics.kl1.gc.words_copied.min",
+    "metrics.kl1.gc.words_copied.max",
+    "metrics.kl1.gc.words_copied.mean",
+    "metrics.kl1.gc.words_copied.p50",
+    "metrics.kl1.gc.words_copied.p90",
+    "metrics.kl1.gc.words_copied.p99",
+    "metrics.kl1.gc.words_copied.log2_buckets",
+    "metrics.kl1.goal_queue_depth",
+    "metrics.kl1.goal_queue_depth.interval_cycles",
+    "metrics.kl1.goal_queue_depth.samples",
+    "metrics.kl1.goal_queue_depth.windows",
+];
+
+const TABLE5_PATHS: &[&str] = &[
+    "schema",
+    "experiment",
+    "scale",
+    "rows",
+    "rows[].bench",
+    "rows[].lr_hit",
+    "rows[].lr_hit_exclusive",
+    "rows[].unlock_no_waiter",
+];
+
+fn assert_paths(doc: &Json, expected: &[&str], what: &str) {
+    let actual = paths_of(doc);
+    let expected: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        actual, expected,
+        "{what} schema drifted — if intentional, update this snapshot \
+         and bump bench::json::SCHEMA"
+    );
+}
+
+#[test]
+fn run_report_schema_is_pinned() {
+    let report = run_pim_profiled(Bench::Semi, Scale::smoke(), base_config(2, OptMask::all()));
+    let doc = run_report_json(&report);
+    assert_paths(&doc, RUN_REPORT_PATHS, "run report");
+}
+
+#[test]
+fn experiment_document_schema_is_pinned() {
+    let cols = bench::table5(Scale::smoke());
+    let doc = table5_json(Scale::smoke(), &cols);
+    assert_paths(&doc, TABLE5_PATHS, "table5 document");
+}

@@ -120,7 +120,11 @@ fn fig3_communication_share_grows_with_pes() {
     // the communication claim is asserted here — the heap trend is
     // checked at full scale in EXPERIMENTS.md).
     assert_eq!(avg_comm(1), 0.0, "no communication on one PE");
-    assert!(avg_comm(8) > 5.0, "comm share at 8 PEs: {:.1}%", avg_comm(8));
+    assert!(
+        avg_comm(8) > 5.0,
+        "comm share at 8 PEs: {:.1}%",
+        avg_comm(8)
+    );
     let _ = avg_heap; // full-scale trend documented in EXPERIMENTS.md
 }
 
@@ -140,7 +144,11 @@ fn table4_optimizations_reduce_traffic_and_dw_dominates() {
             "{}: DW (heap) should dominate the other optimizations",
             row.bench.name()
         );
-        assert!(all <= heap + 0.05, "{}: All should be at least as good as Heap", row.bench.name());
+        assert!(
+            all <= heap + 0.05,
+            "{}: All should be at least as good as Heap",
+            row.bench.name()
+        );
         // DW nearly eliminates heap swap-ins (paper: to 10–55%).
         assert!(
             row.heap_swap_in_ratio < 0.6,
@@ -255,7 +263,10 @@ fn aurora_optimizations_help_or_parallel_prolog_too() {
         plain.bus_cycles,
         ill.bus_cycles
     );
-    assert!(opt.mem_busy < ill.mem_busy / 2, "SM state halves memory pressure");
+    assert!(
+        opt.mem_busy < ill.mem_busy / 2,
+        "SM state halves memory pressure"
+    );
 }
 
 #[test]

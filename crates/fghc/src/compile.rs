@@ -381,9 +381,8 @@ impl ClauseCtx {
                             )
                         })?,
                         other => {
-                            return self.err(format!(
-                                "type-test guard needs a variable, found `{other}`"
-                            ))
+                            return self
+                                .err(format!("type-test guard needs a variable, found `{other}`"))
                         }
                     };
                     let test = match guard {
@@ -597,9 +596,9 @@ impl ClauseCtx {
                     Ok(SetOp::Fresh(r))
                 }
             },
-            Term::Int(_) | Term::Atom(_) | Term::Nil => {
-                Ok(SetOp::Const(self.const_of(term, symbols).expect("constant")))
-            }
+            Term::Int(_) | Term::Atom(_) | Term::Nil => Ok(SetOp::Const(
+                self.const_of(term, symbols).expect("constant"),
+            )),
             nested => {
                 let r = self.build_term(nested, symbols, code)?;
                 Ok(SetOp::Reg(r))
@@ -736,13 +735,19 @@ mod tests {
         // Nil and list chains each retry exactly one clause.
         assert!(matches!(p.code[nil], Instr::Retry { .. }));
         assert!(matches!(p.code[list], Instr::Retry { .. }));
-        let Instr::Retry { next, .. } = p.code[nil] else { unreachable!() };
+        let Instr::Retry { next, .. } = p.code[nil] else {
+            unreachable!()
+        };
         assert!(matches!(p.code[next], Instr::NoMoreClauses));
         // The var chain retries both clauses in order.
         let Instr::Retry { next: v2, body: b1 } = p.code[var] else {
             panic!("var chain");
         };
-        let Instr::Retry { next: vend, body: b2 } = p.code[v2] else {
+        let Instr::Retry {
+            next: vend,
+            body: b2,
+        } = p.code[v2]
+        else {
             panic!("var chain length");
         };
         assert_ne!(b1, b2);
@@ -751,9 +756,7 @@ mod tests {
 
     #[test]
     fn try_clause_chain_is_patched_without_indexing() {
-        let p = compile(
-            "f(1) :- true | true.\nf(2) :- true | true.\nf(3) :- true | true.",
-        );
+        let p = compile("f(1) :- true | true.\nf(2) :- true | true.\nf(3) :- true | true.");
         let mut nexts = Vec::new();
         for (i, instr) in p.code.iter().enumerate() {
             if let Instr::TryClause { next } = instr {
@@ -764,8 +767,14 @@ mod tests {
         }
         assert_eq!(nexts.len(), 3);
         // The last TryClause points at NoMoreClauses.
-        assert!(matches!(p.code[*nexts.last().unwrap()], Instr::NoMoreClauses));
-        assert!(!p.code.iter().any(|i| matches!(i, Instr::SwitchOnTag { .. })));
+        assert!(matches!(
+            p.code[*nexts.last().unwrap()],
+            Instr::NoMoreClauses
+        ));
+        assert!(!p
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::SwitchOnTag { .. })));
     }
 
     #[test]
@@ -868,8 +877,7 @@ mod tests {
 
     #[test]
     fn guard_variable_must_come_from_head() {
-        let err =
-            compile_program(&parse_program("f(X) :- Y < 3 | true.").unwrap()).unwrap_err();
+        let err = compile_program(&parse_program("f(X) :- Y < 3 | true.").unwrap()).unwrap_err();
         assert!(err.message.contains("does not appear in the head"), "{err}");
     }
 

@@ -382,11 +382,7 @@ impl fmt::Display for CompiledProgram {
         for (id, &entry) in self.entries.iter().enumerate() {
             let (name, arity) = &self.proc_names[id];
             writeln!(f, "{name}/{arity}: @{entry}")?;
-            let end = self
-                .entries
-                .get(id + 1)
-                .copied()
-                .unwrap_or(self.code.len());
+            let end = self.entries.get(id + 1).copied().unwrap_or(self.code.len());
             for (pc, instr) in self.code[entry..end].iter().enumerate() {
                 writeln!(f, "  {:4}  {instr:?}", entry + pc)?;
             }

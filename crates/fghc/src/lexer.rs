@@ -318,7 +318,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, CompileError> {
                 push!(TokenKind::Var(s), l, c);
             }
             other => {
-                return Err(CompileError::new(l, c, format!("unexpected character `{other}`")));
+                return Err(CompileError::new(
+                    l,
+                    c,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }

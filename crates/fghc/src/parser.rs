@@ -407,7 +407,9 @@ mod tests {
         assert_eq!(app.clauses.len(), 2);
         assert_eq!(app.clauses[1].body.len(), 2);
         assert!(matches!(app.clauses[1].body[0], BodyGoal::Unify(..)));
-        assert!(matches!(&app.clauses[1].body[1], BodyGoal::Call(n, a) if n == "append" && a.len() == 3));
+        assert!(
+            matches!(&app.clauses[1].body[1], BodyGoal::Call(n, a) if n == "append" && a.len() == 3)
+        );
     }
 
     #[test]
@@ -420,7 +422,10 @@ mod tests {
         )
         .unwrap();
         let max = p.procedure("max", 2 + 1).unwrap();
-        assert!(matches!(max.clauses[0].guards[0], Guard::Cmp(CmpOp::Ge, ..)));
+        assert!(matches!(
+            max.clauses[0].guards[0],
+            Guard::Cmp(CmpOp::Ge, ..)
+        ));
         let t = p.procedure("t", 1).unwrap();
         assert_eq!(t.clauses[0].guards.len(), 2);
         let u = p.procedure("u", 1).unwrap();

@@ -9,7 +9,10 @@ use proptest::prelude::*;
 
 fn atom_name() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("reserved words", |s| {
-        !matches!(s.as_str(), "true" | "otherwise" | "integer" | "atom" | "list" | "mod" | "halt")
+        !matches!(
+            s.as_str(),
+            "true" | "otherwise" | "integer" | "atom" | "list" | "mod" | "halt"
+        )
     })
 }
 
@@ -26,8 +29,7 @@ fn term_strategy() -> impl Strategy<Value = Term> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(h, t)| Term::Cons(Box::new(h), Box::new(t))),
+            (inner.clone(), inner.clone()).prop_map(|(h, t)| Term::Cons(Box::new(h), Box::new(t))),
             (atom_name(), proptest::collection::vec(inner, 1..4))
                 .prop_map(|(n, args)| Term::Struct(n, args)),
         ]
@@ -113,7 +115,10 @@ fn show_goal(g: &BodyGoal) -> String {
             } else {
                 format!(
                     "{n}({})",
-                    args.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+                    args.iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             }
         }
@@ -127,12 +132,20 @@ fn show_clause(c: &Clause) -> String {
         format!(
             "{}({})",
             c.name,
-            c.args.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+            c.args
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     };
     format!(
         "{head} :- {} | {}.",
-        c.guards.iter().map(show_guard).collect::<Vec<_>>().join(", "),
+        c.guards
+            .iter()
+            .map(show_guard)
+            .collect::<Vec<_>>()
+            .join(", "),
         c.body.iter().map(show_goal).collect::<Vec<_>>().join(", "),
     )
 }

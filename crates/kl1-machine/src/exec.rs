@@ -55,12 +55,7 @@ impl Cluster {
         self.write_heap(port, slot_addr, w)
     }
 
-    fn num_operand(
-        &mut self,
-        pe: usize,
-        port: &mut dyn MemoryPort,
-        op: Operand,
-    ) -> Mres<NumVal> {
+    fn num_operand(&mut self, pe: usize, port: &mut dyn MemoryPort, op: Operand) -> Mres<NumVal> {
         let w = match op {
             Operand::Int(i) => return Ok(NumVal::Int(i)),
             Operand::Reg(r) => self.pes[pe].regs[r as usize],
@@ -157,7 +152,10 @@ impl Cluster {
                     }
                 }
             }
-            Instr::Retry { body, next: fail_to } => {
+            Instr::Retry {
+                body,
+                next: fail_to,
+            } => {
                 self.pes[pe].clause_fail = fail_to;
                 self.pes[pe].pc = body;
             }
@@ -174,6 +172,9 @@ impl Cluster {
             Instr::Commit => {
                 self.pes[pe].susp_vars.clear();
                 self.pes[pe].reductions += 1;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.reduction(pim_trace::PeId(pe as u32), port.now());
+                }
                 self.pes[pe].pc = next;
             }
             Instr::Proceed => {

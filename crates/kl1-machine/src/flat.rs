@@ -1,9 +1,7 @@
 //! A flat (cache-less) memory port for functional runs and raw reference
 //! counting.
 
-use pim_trace::{
-    Access, Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, RefStats, Word,
-};
+use pim_trace::{Access, Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, RefStats, Word};
 use std::collections::HashMap;
 
 const PAGE_WORDS: usize = 4096;
@@ -99,12 +97,10 @@ impl MemoryPort for FlatPort {
                     self.locks.insert(addr, me);
                 }
             },
-            MemOp::WriteUnlock | MemOp::Unlock => {
-                match self.locks.remove(&addr) {
-                    Some(holder) if holder == me => {}
-                    other => panic!("PE{me} unlocked {addr:#x} held by {other:?}"),
-                }
-            }
+            MemOp::WriteUnlock | MemOp::Unlock => match self.locks.remove(&addr) {
+                Some(holder) if holder == me => {}
+                other => panic!("PE{me} unlocked {addr:#x} held by {other:?}"),
+            },
             _ => {}
         }
         let area = self.map.area(addr);

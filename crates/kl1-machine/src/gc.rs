@@ -94,10 +94,7 @@ impl Cluster {
             return false;
         };
         let margin = gc_margin(semi);
-        let due = self
-            .pes
-            .iter()
-            .any(|p| p.alloc.heap_remaining() < margin);
+        let due = self.pes.iter().any(|p| p.alloc.heap_remaining() < margin);
         if !due {
             return false;
         }
@@ -163,29 +160,26 @@ impl Cluster {
         };
         while let Some(w) = worklist.pop_front() {
             match Tagged::decode(w) {
-                Tagged::Ref(a) if in_heap(a)
-                    && visited.insert(a) => {
-                        intervals.push((a, 1));
-                        worklist.push_back(pv(port.read(a))?);
+                Tagged::Ref(a) if in_heap(a) && visited.insert(a) => {
+                    intervals.push((a, 1));
+                    worklist.push_back(pv(port.read(a))?);
+                }
+                Tagged::List(a) if visited.insert(a) => {
+                    intervals.push((a, 2));
+                    worklist.push_back(pv(port.read(a))?);
+                    worklist.push_back(pv(port.read(a + 1))?);
+                }
+                Tagged::Struct(a) if visited.insert(a) => {
+                    let f = pv(port.read(a))?;
+                    let n = match Tagged::decode(f) {
+                        Tagged::Functor(_, n) => u64::from(n),
+                        other => panic!("structure {a:#x} functor {other:?}"),
+                    };
+                    intervals.push((a, 1 + n));
+                    for i in 0..n {
+                        worklist.push_back(pv(port.read(a + 1 + i))?);
                     }
-                Tagged::List(a)
-                    if visited.insert(a) => {
-                        intervals.push((a, 2));
-                        worklist.push_back(pv(port.read(a))?);
-                        worklist.push_back(pv(port.read(a + 1))?);
-                    }
-                Tagged::Struct(a)
-                    if visited.insert(a) => {
-                        let f = pv(port.read(a))?;
-                        let n = match Tagged::decode(f) {
-                            Tagged::Functor(_, n) => u64::from(n),
-                            other => panic!("structure {a:#x} functor {other:?}"),
-                        };
-                        intervals.push((a, 1 + n));
-                        for i in 0..n {
-                            worklist.push_back(pv(port.read(a + 1 + i))?);
-                        }
-                    }
+                }
                 _ => {}
             }
         }

@@ -48,9 +48,16 @@ impl Layout {
             goal_record_words,
             goal_stride,
         };
-        for area in [StorageArea::Heap, StorageArea::Goal, StorageArea::Suspension] {
+        for area in [
+            StorageArea::Heap,
+            StorageArea::Goal,
+            StorageArea::Suspension,
+        ] {
             let (base, limit) = l.slice(area, PeId(pes - 1));
-            assert!(limit > base + goal_stride, "{area} area too small for {pes} PEs");
+            assert!(
+                limit > base + goal_stride,
+                "{area} area too small for {pes} PEs"
+            );
         }
         l
     }
@@ -133,16 +140,15 @@ impl PeAllocators {
     /// # Panics
     ///
     /// Panics if two semispaces do not fit the heap slice.
-    pub fn with_semispace(
-        layout: &Layout,
-        pe: PeId,
-        semispace_words: Option<u64>,
-    ) -> PeAllocators {
+    pub fn with_semispace(layout: &Layout, pe: PeId, semispace_words: Option<u64>) -> PeAllocators {
         let mut a = PeAllocators::new(layout, pe);
         if let Some(n) = semispace_words {
             let n = n.div_ceil(layout.align) * layout.align;
             let (lo, hi) = layout.slice(StorageArea::Heap, pe);
-            assert!(lo + 2 * n <= hi, "two {n}-word semispaces exceed the heap slice");
+            assert!(
+                lo + 2 * n <= hi,
+                "two {n}-word semispaces exceed the heap slice"
+            );
             a.heap_next = lo;
             a.heap_limit = lo + n;
             a.semi = Some((lo, n, true));
@@ -219,7 +225,10 @@ impl PeAllocators {
         }
         let a = self.susp_next;
         self.susp_next += self.susp_stride;
-        assert!(self.susp_next <= self.susp_limit, "suspension slice exhausted");
+        assert!(
+            self.susp_next <= self.susp_limit,
+            "suspension slice exhausted"
+        );
         a
     }
 
@@ -311,7 +320,11 @@ mod tests {
     #[test]
     fn slices_are_disjoint_and_inside_the_area() {
         let l = layout();
-        for area in [StorageArea::Heap, StorageArea::Goal, StorageArea::Suspension] {
+        for area in [
+            StorageArea::Heap,
+            StorageArea::Goal,
+            StorageArea::Suspension,
+        ] {
             let mut prev_end = l.map().base(area);
             for pe in 0..8 {
                 let (lo, hi) = l.slice(area, PeId(pe));

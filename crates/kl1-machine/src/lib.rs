@@ -85,7 +85,10 @@ pub fn run_flat(cluster: &mut Cluster, max_steps: u64) -> FlatPort {
                 StepOutcome::Ran | StepOutcome::Idle => {}
             }
             steps += 1;
-            assert!(steps < max_steps, "program did not finish in {max_steps} steps");
+            assert!(
+                steps < max_steps,
+                "program did not finish in {max_steps} steps"
+            );
         }
     }
     if let Some(msg) = cluster.failure() {

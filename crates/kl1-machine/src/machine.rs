@@ -18,9 +18,8 @@ use crate::layout::{Layout, PeAllocators};
 use crate::words::Tagged;
 use fghc::instr::{CodeAddr, CompiledProgram, ProcId};
 use fghc::Term;
-use pim_trace::{
-    Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, Process, StepOutcome, Word,
-};
+use pim_obs::Observer;
+use pim_trace::{Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, Process, StepOutcome, Word};
 use std::collections::{HashSet, VecDeque};
 
 /// Why a micro-step could not complete.
@@ -156,6 +155,7 @@ pub struct Cluster {
     pub(crate) floating: HashSet<Addr>,
     pub(crate) goals_migrated: u64,
     pub(crate) gc_stats: crate::gc::GcStats,
+    pub(crate) observer: Option<Box<dyn Observer>>,
     query: Option<(ProcId, Vec<Term>)>,
     pub(crate) query_vars: Vec<(String, Addr)>,
 }
@@ -196,11 +196,7 @@ impl Cluster {
                 phase: Phase::Fetch,
                 current: None,
                 deque: VecDeque::new(),
-                alloc: PeAllocators::with_semispace(
-                    &layout,
-                    PeId(i),
-                    config.heap_semispace_words,
-                ),
+                alloc: PeAllocators::with_semispace(&layout, PeId(i), config.heap_semispace_words),
                 outstanding_target: None,
                 incoming_requests: VecDeque::new(),
                 reply_ready: false,
@@ -223,9 +219,18 @@ impl Cluster {
             floating: HashSet::new(),
             goals_migrated: 0,
             gc_stats: crate::gc::GcStats::default(),
+            observer: None,
             query: None,
             query_vars: Vec::new(),
         }
+    }
+
+    /// Attaches an observer receiving KL1 machine events (reductions,
+    /// suspensions, resumptions, GC pauses, goal-queue depth), stamped
+    /// with the port's simulated cycle. With no observer attached (the
+    /// default) the machine does no extra work.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
     }
 
     /// Sets the initial query: `name(args…)` starts on PE 0. Variables in
@@ -510,7 +515,9 @@ impl Cluster {
         }
         // A donated goal arrived?
         if self.pes[pe].reply_ready {
-            let donor = self.pes[pe].outstanding_target.expect("reply without request");
+            let donor = self.pes[pe]
+                .outstanding_target
+                .expect("reply without request");
             let slot = self.layout.pair_slot(PeId(pe as u32), PeId(donor));
             // Read the reply with RI — this buffer is rewritten in place
             // by our next request to the same donor.
@@ -550,9 +557,10 @@ impl Cluster {
             }
         }
         // Nothing anywhere: terminal?
-        let quiescent = self.pes.iter().all(|p| {
-            matches!(p.phase, Phase::Fetch) && p.deque.is_empty() && !p.reply_ready
-        });
+        let quiescent = self
+            .pes
+            .iter()
+            .all(|p| matches!(p.phase, Phase::Fetch) && p.deque.is_empty() && !p.reply_ready);
         if quiescent {
             if self.live_goals == 0 {
                 self.halted = true;
@@ -647,6 +655,9 @@ impl Cluster {
                 pv(port.unlock(v))?;
                 if self.floating.remove(&st.rec) {
                     self.pes[pe].deque.push_front(st.rec);
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.resumption(PeId(pe as u32), port.now());
+                    }
                 }
                 self.pes[pe].phase = Phase::Fetch;
             }
@@ -656,11 +667,7 @@ impl Cluster {
 
     /// Enters the suspension phase from `NoMoreClauses` (same step):
     /// writes the floating goal record and queues the variable hooks.
-    pub(crate) fn start_suspension(
-        &mut self,
-        pe: usize,
-        port: &mut dyn MemoryPort,
-    ) -> Mres<()> {
+    pub(crate) fn start_suspension(&mut self, pe: usize, port: &mut dyn MemoryPort) -> Mres<()> {
         let (proc, argc) = self.pes[pe].current.expect("suspending without a goal");
         let mut vars = std::mem::take(&mut self.pes[pe].susp_vars);
         vars.sort_unstable();
@@ -670,6 +677,9 @@ impl Cluster {
         let rec = self.make_goal_record(pe, port, proc, &args)?;
         self.floating.insert(rec);
         self.pes[pe].suspensions += 1;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.suspension(PeId(pe as u32), port.now());
+        }
         self.pes[pe].current = None;
         self.pes[pe].phase = Phase::Suspend(SuspendState {
             rec,
@@ -736,7 +746,12 @@ impl Process for Cluster {
             // Stop-and-copy GC runs between micro-steps, when no PE holds
             // a cross-step variable lock.
             if self.gc_due() {
+                let copied_before = self.gc_stats.words_copied;
                 self.collect_garbage(port)?;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    let copied = self.gc_stats.words_copied - copied_before;
+                    obs.gc(PeId(pe as u32), port.now(), copied);
+                }
                 return Ok(StepOutcome::Ran);
             }
             // Donor side of the load balancer runs between any two
@@ -753,6 +768,10 @@ impl Process for Cluster {
                 Phase::Suspend(_) => self.suspend_step(pe, port),
             }
         })();
+
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.goal_queue_depth(PeId(pe as u32), port.now(), self.pes[pe].deque.len() as u64);
+        }
 
         match result {
             Ok(outcome) => outcome,

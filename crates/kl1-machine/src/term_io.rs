@@ -47,7 +47,14 @@ pub(crate) fn build_term(
                 .map(|t| build_term(port, alloc, t, vars, symbols))
                 .collect();
             let a = alloc.heap(1 + words.len() as u64);
-            port.poke(a, Tagged::Functor(symbols.intern_functor(name, args.len() as u8), args.len() as u8).encode());
+            port.poke(
+                a,
+                Tagged::Functor(
+                    symbols.intern_functor(name, args.len() as u8),
+                    args.len() as u8,
+                )
+                .encode(),
+            );
             for (i, w) in words.iter().enumerate() {
                 port.poke(a + 1 + i as u64, *w);
             }
@@ -123,15 +130,25 @@ mod tests {
             "pair".into(),
             vec![
                 Term::list(vec![Term::Int(1), Term::Int(2)], None),
-                Term::Struct("f".into(), vec![Term::Atom("ok".into()), Term::Var("X".into())]),
+                Term::Struct(
+                    "f".into(),
+                    vec![Term::Atom("ok".into()), Term::Var("X".into())],
+                ),
             ],
         );
         let w = build_term(&mut port, &mut alloc, &term, &mut vars, &mut symbols);
         let back = extract_term(&port, w, &symbols);
-        assert_eq!(back.to_string(), "pair([1,2],f(ok,_X))".replace("_X", {
-            let (_, a) = &vars[0];
-            &format!("_{a}")
-        }.as_str()));
+        assert_eq!(
+            back.to_string(),
+            "pair([1,2],f(ok,_X))".replace(
+                "_X",
+                {
+                    let (_, a) = &vars[0];
+                    &format!("_{a}")
+                }
+                .as_str()
+            )
+        );
         assert_eq!(vars.len(), 1);
     }
 

@@ -23,7 +23,10 @@ pub(crate) fn deref(port: &mut dyn MemoryPort, mut w: Word) -> Mres<Deref> {
             Tagged::Ref(a) => {
                 let w2 = pv(port.read(a))?;
                 if w2 == 0 {
-                    panic!("cell {a:#x} reads zero (area {:?})", port.area_map().try_area(a));
+                    panic!(
+                        "cell {a:#x} reads zero (area {:?})",
+                        port.area_map().try_area(a)
+                    );
                 }
                 match Tagged::decode(w2) {
                     Tagged::Ref(b) if b == a => return Ok(Deref::Unbound(a)),
@@ -44,7 +47,10 @@ pub(crate) fn deref(port: &mut dyn MemoryPort, mut w: Word) -> Mres<Deref> {
 pub(crate) fn read_cell(port: &mut dyn MemoryPort, addr: Addr) -> Mres<Word> {
     let w = pv(port.read(addr))?;
     if w == 0 {
-        panic!("cell {addr:#x} reads zero (area {:?})", port.area_map().try_area(addr));
+        panic!(
+            "cell {addr:#x} reads zero (area {:?})",
+            port.area_map().try_area(addr)
+        );
     }
     Ok(match Tagged::decode(w) {
         Tagged::Hook(_) => Tagged::Ref(addr).encode(),
@@ -215,6 +221,9 @@ impl Cluster {
             // earlier suspensions of a reused record are skipped.
             if self.floating.remove(&goal_rec) {
                 self.pes[pe].deque.push_front(goal_rec);
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.resumption(pim_trace::PeId(pe as u32), port.now());
+                }
             }
             let owner = self.susp_owner(c);
             self.pes[owner].alloc.free_susp_record(c);

@@ -70,7 +70,13 @@ fn fib_computes_correctly_on_the_pim_cache_with_8_pes() {
 #[test]
 fn answers_agree_between_flat_and_cached_and_across_masks() {
     let program = fghc::compile(FIB).unwrap();
-    let mut flat_cluster = Cluster::new(program, ClusterConfig { pes: 2, ..Default::default() });
+    let mut flat_cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 2,
+            ..Default::default()
+        },
+    );
     flat_cluster.set_query("main", vec![Term::Var("R".into())]);
     let flat_port = kl1_machine::run_flat(&mut flat_cluster, 50_000_000);
     let flat_answer = flat_cluster.extract(&flat_port, "R").unwrap();
@@ -122,9 +128,18 @@ fn same_answer_and_traffic_is_deterministic() {
 #[test]
 fn illinois_baseline_runs_the_same_program() {
     let program = fghc::compile(FIB).unwrap();
-    let mut cluster = Cluster::new(program, ClusterConfig { pes: 4, ..Default::default() });
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 4,
+            ..Default::default()
+        },
+    );
     cluster.set_query("main", vec![Term::Var("R".into())]);
-    let system = IllinoisSystem::new(SystemConfig { pes: 4, ..Default::default() });
+    let system = IllinoisSystem::new(SystemConfig {
+        pes: 4,
+        ..Default::default()
+    });
     let mut engine = Engine::new(system, 4);
     let stats = engine.run(&mut cluster, 500_000_000);
     assert!(stats.finished);
@@ -139,18 +154,36 @@ fn pim_touches_memory_less_than_illinois() {
     // keeps shared-memory modules idler than a copyback-on-transfer
     // protocol.
     let program = fghc::compile(STREAM).unwrap();
-    let mut c1 = Cluster::new(program.clone(), ClusterConfig { pes: 4, ..Default::default() });
+    let mut c1 = Cluster::new(
+        program.clone(),
+        ClusterConfig {
+            pes: 4,
+            ..Default::default()
+        },
+    );
     c1.set_query("main", vec![Term::Var("R".into())]);
     let mut pim_engine = Engine::new(
-        PimSystem::new(SystemConfig { pes: 4, ..Default::default() }),
+        PimSystem::new(SystemConfig {
+            pes: 4,
+            ..Default::default()
+        }),
         4,
     );
     assert!(pim_engine.run(&mut c1, 500_000_000).finished);
 
-    let mut c2 = Cluster::new(program, ClusterConfig { pes: 4, ..Default::default() });
+    let mut c2 = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 4,
+            ..Default::default()
+        },
+    );
     c2.set_query("main", vec![Term::Var("R".into())]);
     let mut ill_engine = Engine::new(
-        IllinoisSystem::new(SystemConfig { pes: 4, ..Default::default() }),
+        IllinoisSystem::new(SystemConfig {
+            pes: 4,
+            ..Default::default()
+        }),
         4,
     );
     assert!(ill_engine.run(&mut c2, 500_000_000).finished);
@@ -172,10 +205,19 @@ fn one_or_two_lock_entries_suffice_as_the_paper_claims() {
     for src in [FIB, STREAM] {
         let (_c, engine) = {
             let program = fghc::compile(src).unwrap();
-            let mut cluster = Cluster::new(program, ClusterConfig { pes: 4, ..Default::default() });
+            let mut cluster = Cluster::new(
+                program,
+                ClusterConfig {
+                    pes: 4,
+                    ..Default::default()
+                },
+            );
             cluster.set_query("main", vec![Term::Var("R".into())]);
             let mut engine = Engine::new(
-                PimSystem::new(SystemConfig { pes: 4, ..SystemConfig::default() }),
+                PimSystem::new(SystemConfig {
+                    pes: 4,
+                    ..SystemConfig::default()
+                }),
                 4,
             );
             let stats = engine.run(&mut cluster, 500_000_000);

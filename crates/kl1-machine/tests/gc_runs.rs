@@ -60,7 +60,10 @@ fn churn_survives_many_collections_flat() {
     assert_eq!(c.extract(&port, "X").unwrap(), Term::Atom("done".into()));
     let gc = c.stats().gc;
     assert!(gc.collections >= 2, "expected collections, got {gc:?}");
-    assert!(gc.words_reclaimed > gc.words_copied, "mostly garbage: {gc:?}");
+    assert!(
+        gc.words_reclaimed > gc.words_copied,
+        "mostly garbage: {gc:?}"
+    );
 }
 
 #[test]
@@ -119,7 +122,13 @@ fn too_small_semispace_fails_gracefully() {
 #[test]
 fn disabled_gc_never_collects() {
     let program = fghc::compile(CHURN).unwrap();
-    let mut c = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    let mut c = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 1,
+            ..Default::default()
+        },
+    );
     c.set_query("main", vec![Term::Var("X".into())]);
     let port = run_flat(&mut c, 100_000_000);
     assert_eq!(c.extract(&port, "X").unwrap(), Term::Atom("done".into()));

@@ -80,7 +80,10 @@ fn fibonacci_parallel_matches_sequential() {
             Term::Int(377),
             "wrong answer on {pes} PEs"
         );
-        assert!(c.stats().goals_migrated > 0, "no load balancing on {pes} PEs");
+        assert!(
+            c.stats().goals_migrated > 0,
+            "no load balancing on {pes} PEs"
+        );
     }
 }
 
@@ -123,7 +126,10 @@ fn otherwise_commits_only_after_failures() {
         classify(_, R) :- otherwise | R = positive.
     ";
     let (c, port) = run(src, 1, "main", vec![var("R")]);
-    assert_eq!(c.extract(&port, "R").unwrap(), Term::Atom("positive".into()));
+    assert_eq!(
+        c.extract(&port, "R").unwrap(),
+        Term::Atom("positive".into())
+    );
 }
 
 #[test]
@@ -173,7 +179,13 @@ fn failing_program_reports_failure() {
         eq(A, A2, X) :- A =:= A2 | X = yes.
     ";
     let program = fghc::compile(src).unwrap();
-    let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 1,
+            ..Default::default()
+        },
+    );
     cluster.set_query("main", vec![var("X")]);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 1_000_000)
@@ -185,7 +197,13 @@ fn failing_program_reports_failure() {
 fn division_by_zero_is_a_program_failure() {
     let src = "main(X) :- true | X := 1 / 0.";
     let program = fghc::compile(src).unwrap();
-    let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 1,
+            ..Default::default()
+        },
+    );
     cluster.set_query("main", vec![var("X")]);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 1_000_000)
@@ -200,19 +218,34 @@ fn arithmetic_overflow_is_a_program_failure() {
         blow(N, X) :- N > 0 | N1 := N * 16384, blow(N1, X).
     ";
     let program = fghc::compile(src).unwrap();
-    let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 1,
+            ..Default::default()
+        },
+    );
     cluster.set_query("main", vec![var("X")]);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 10_000_000)
     }));
-    assert!(result.is_err(), "56-bit overflow must fail, not wrap silently");
+    assert!(
+        result.is_err(),
+        "56-bit overflow must fail, not wrap silently"
+    );
 }
 
 #[test]
 fn body_unification_mismatch_fails_the_program() {
     let src = "main(X) :- true | X = a, X = b.";
     let program = fghc::compile(src).unwrap();
-    let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 1,
+            ..Default::default()
+        },
+    );
     cluster.set_query("main", vec![var("X")]);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 1_000_000)
@@ -240,7 +273,13 @@ fn perpetual_suspension_is_detected() {
         wait(Y, X) :- integer(Y) | X = Y.
     ";
     let program = fghc::compile(src).unwrap();
-    let mut cluster = Cluster::new(program, ClusterConfig { pes: 2, ..Default::default() });
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 2,
+            ..Default::default()
+        },
+    );
     cluster.set_query("main", vec![var("X")]);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 1_000_000)
@@ -281,8 +320,8 @@ fn goal_records_are_written_once_and_read_once() {
     ";
     let (_c, port) = run(src, 1, "main", vec![]);
     let s = port.stats();
-    let goal_writes = s.count(StorageArea::Goal, MemOp::DirectWrite)
-        + s.count(StorageArea::Goal, MemOp::Write);
+    let goal_writes =
+        s.count(StorageArea::Goal, MemOp::DirectWrite) + s.count(StorageArea::Goal, MemOp::Write);
     let goal_reads = s.count(StorageArea::Goal, MemOp::ExclusiveRead)
         + s.count(StorageArea::Goal, MemOp::ReadPurge)
         + s.count(StorageArea::Goal, MemOp::Read);

@@ -243,7 +243,12 @@ mod tests {
             &timing,
             4,
         );
-        s.record_tx(Transaction::Invalidate, StorageArea::Communication, &timing, 4);
+        s.record_tx(
+            Transaction::Invalidate,
+            StorageArea::Communication,
+            &timing,
+            4,
+        );
         assert_eq!(s.area_cycles(StorageArea::Heap), 13);
         assert_eq!(s.area_cycles(StorageArea::Communication), 2);
         assert_eq!(s.total_cycles(), 15);

@@ -170,9 +170,18 @@ mod tests {
     fn paper_pattern_costs() {
         let t = BusTiming::paper_default();
         assert_eq!(t.cycles(Transaction::MemoryFetch { swap_out: true }, 4), 13);
-        assert_eq!(t.cycles(Transaction::MemoryFetch { swap_out: false }, 4), 13);
-        assert_eq!(t.cycles(Transaction::CacheToCache { swap_out: true }, 4), 10);
-        assert_eq!(t.cycles(Transaction::CacheToCache { swap_out: false }, 4), 7);
+        assert_eq!(
+            t.cycles(Transaction::MemoryFetch { swap_out: false }, 4),
+            13
+        );
+        assert_eq!(
+            t.cycles(Transaction::CacheToCache { swap_out: true }, 4),
+            10
+        );
+        assert_eq!(
+            t.cycles(Transaction::CacheToCache { swap_out: false }, 4),
+            7
+        );
         assert_eq!(t.cycles(Transaction::SwapOutOnly, 4), 5);
         assert_eq!(t.cycles(Transaction::Invalidate, 4), 2);
     }

@@ -79,7 +79,8 @@ impl CacheArray {
     /// The state of the block containing `addr` ([`BlockState::Inv`] if
     /// absent).
     pub fn state_of(&self, addr: Addr) -> BlockState {
-        self.find(addr).map_or(BlockState::Inv, |i| self.lines[i].state)
+        self.find(addr)
+            .map_or(BlockState::Inv, |i| self.lines[i].state)
     }
 
     /// Whether the block containing `addr` is resident.
@@ -156,7 +157,10 @@ impl CacheArray {
     pub fn install(&mut self, base: Addr, data: Vec<Word>, state: BlockState) -> Option<Eviction> {
         assert_eq!(data.len() as u64, self.geometry.block_words, "bad block");
         assert_eq!(base % self.geometry.block_words, 0, "unaligned block");
-        assert!(self.find(base).is_none(), "block {base:#x} already resident");
+        assert!(
+            self.find(base).is_none(),
+            "block {base:#x} already resident"
+        );
 
         let (tag, set, _) = self.geometry.decompose(base);
         // Prefer an invalid way; otherwise evict the least recently used.

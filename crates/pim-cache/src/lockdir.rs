@@ -115,7 +115,10 @@ impl LockDirectory {
 
     /// The state of the entry for `addr`, if held.
     pub fn state_of(&self, addr: Addr) -> Option<LockState> {
-        self.entries.iter().find(|e| e.addr == addr).map(|e| e.state)
+        self.entries
+            .iter()
+            .find(|e| e.addr == addr)
+            .map(|e| e.state)
     }
 
     /// Snoop check: does this directory hold a lock on any word of the
@@ -205,7 +208,10 @@ mod tests {
     #[test]
     fn unlock_unheld_rejected() {
         let mut d = LockDirectory::new(1);
-        assert!(matches!(d.unlock(3), Err(ProtocolError::NotLocked { addr: 3 })));
+        assert!(matches!(
+            d.unlock(3),
+            Err(ProtocolError::NotLocked { addr: 3 })
+        ));
     }
 
     #[test]

@@ -197,8 +197,14 @@ mod tests {
             m.effective(StorageArea::Heap, MemOp::DirectWrite),
             MemOp::DirectWrite
         );
-        assert_eq!(m.effective(StorageArea::Goal, MemOp::DirectWrite), MemOp::Write);
-        assert_eq!(m.effective(StorageArea::Heap, MemOp::ExclusiveRead), MemOp::Read);
+        assert_eq!(
+            m.effective(StorageArea::Goal, MemOp::DirectWrite),
+            MemOp::Write
+        );
+        assert_eq!(
+            m.effective(StorageArea::Heap, MemOp::ExclusiveRead),
+            MemOp::Read
+        );
     }
 
     #[test]
@@ -207,8 +213,14 @@ mod tests {
         for op in [MemOp::DirectWrite, MemOp::ExclusiveRead, MemOp::ReadPurge] {
             assert_eq!(m.effective(StorageArea::Goal, op), op);
         }
-        assert_eq!(m.effective(StorageArea::Goal, MemOp::ReadInvalidate), MemOp::Read);
-        assert_eq!(m.effective(StorageArea::Heap, MemOp::DirectWrite), MemOp::Write);
+        assert_eq!(
+            m.effective(StorageArea::Goal, MemOp::ReadInvalidate),
+            MemOp::Read
+        );
+        assert_eq!(
+            m.effective(StorageArea::Heap, MemOp::DirectWrite),
+            MemOp::Write
+        );
     }
 
     #[test]
@@ -218,7 +230,10 @@ mod tests {
             m.effective(StorageArea::Communication, MemOp::ReadInvalidate),
             MemOp::ReadInvalidate
         );
-        assert_eq!(m.effective(StorageArea::Heap, MemOp::ReadInvalidate), MemOp::Read);
+        assert_eq!(
+            m.effective(StorageArea::Heap, MemOp::ReadInvalidate),
+            MemOp::Read
+        );
         assert_eq!(
             m.effective(StorageArea::Communication, MemOp::DirectWrite),
             MemOp::Write
@@ -234,7 +249,10 @@ mod tests {
             MemOp::ReadPurge
         );
         m.disable(StorageArea::Suspension, MemOp::ReadPurge);
-        assert_eq!(m.effective(StorageArea::Suspension, MemOp::ReadPurge), MemOp::Read);
+        assert_eq!(
+            m.effective(StorageArea::Suspension, MemOp::ReadPurge),
+            MemOp::Read
+        );
     }
 
     #[test]

@@ -30,11 +30,12 @@
 //! after the holder's `UL` broadcast — the woken PEs are reported in
 //! [`Outcome::Done::woken`] of the unlocking operation.
 
-use crate::array::{CacheArray, DW_POISON};
+use crate::array::{CacheArray, Eviction, DW_POISON};
 use crate::{
     AccessStats, BlockState, CacheGeometry, LockDirectory, LockStats, OptMask, ProtocolError,
 };
 use pim_bus::{BusCommand, BusStats, BusTiming, SharedMemory, Transaction};
+use pim_obs::Observer;
 use pim_trace::{Access, Addr, AreaMap, MemOp, PeId, RefStats, StorageArea, Word};
 
 /// Configuration of a [`PimSystem`].
@@ -144,6 +145,7 @@ pub struct PimSystem {
     refs: RefStats,
     access_stats: AccessStats,
     lock_stats: LockStats,
+    observer: Option<Box<dyn Observer>>,
 }
 
 impl PimSystem {
@@ -169,7 +171,15 @@ impl PimSystem {
             refs: RefStats::new(),
             access_stats: AccessStats::new(),
             lock_stats: LockStats::new(),
+            observer: None,
         }
+    }
+
+    /// Attaches an observer receiving a [`pim_obs::Observer::state_transition`]
+    /// event for every cache-block state change in any PE's cache. With no
+    /// observer attached (the default) the protocol does no extra work.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
     }
 
     /// The configured area map.
@@ -269,6 +279,70 @@ impl PimSystem {
             self.refs.record(Access::new(pe, eff, addr, area));
         }
         Ok(outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // Observer-aware cache mutation (every state change funnels through
+    // these four wrappers; with no observer they are plain forwards)
+    // ------------------------------------------------------------------
+
+    fn emit_transition(&mut self, pe: PeId, addr: Addr, from: BlockState, to: BlockState) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            let area = self.config.area_map.area(addr);
+            obs.state_transition(pe, area, from.into(), to.into());
+        }
+    }
+
+    fn cache_write(&mut self, pe: PeId, addr: Addr, value: Word, state: BlockState) -> bool {
+        if self.observer.is_none() {
+            return self.caches[pe.index()].write(addr, value, state);
+        }
+        let from = self.caches[pe.index()].state_of(addr);
+        let wrote = self.caches[pe.index()].write(addr, value, state);
+        if wrote && from != state {
+            self.emit_transition(pe, addr, from, state);
+        }
+        wrote
+    }
+
+    fn cache_set_state(&mut self, pe: PeId, addr: Addr, state: BlockState) -> bool {
+        if self.observer.is_none() {
+            return self.caches[pe.index()].set_state(addr, state);
+        }
+        let from = self.caches[pe.index()].state_of(addr);
+        let changed = self.caches[pe.index()].set_state(addr, state);
+        if changed && from != state {
+            self.emit_transition(pe, addr, from, state);
+        }
+        changed
+    }
+
+    fn cache_invalidate(&mut self, pe: PeId, addr: Addr) -> Option<(BlockState, Vec<Word>)> {
+        let dropped = self.caches[pe.index()].invalidate(addr);
+        if self.observer.is_some() {
+            if let Some((from, _)) = &dropped {
+                self.emit_transition(pe, addr, *from, BlockState::Inv);
+            }
+        }
+        dropped
+    }
+
+    fn cache_install(
+        &mut self,
+        pe: PeId,
+        base: Addr,
+        data: Vec<Word>,
+        state: BlockState,
+    ) -> Option<Eviction> {
+        let evicted = self.caches[pe.index()].install(base, data, state);
+        if self.observer.is_some() {
+            if let Some(ev) = &evicted {
+                let (ev_base, ev_state) = (ev.base, ev.state);
+                self.emit_transition(pe, ev_base, ev_state, BlockState::Inv);
+            }
+            self.emit_transition(pe, base, BlockState::Inv, state);
+        }
+        evicted
     }
 
     // ------------------------------------------------------------------
@@ -381,7 +455,7 @@ impl PimSystem {
                         if i == pe.index() {
                             continue;
                         }
-                        if let Some((st, d)) = self.caches[i].invalidate(base) {
+                        if let Some((st, d)) = self.cache_invalidate(PeId(i as u32), base) {
                             if i == sup.index() || (st.is_dirty() && data.is_none()) {
                                 data = Some(d);
                             }
@@ -395,8 +469,12 @@ impl PimSystem {
                     let data = self.caches[sup.index()]
                         .snapshot(base)
                         .expect("supplier had the block");
-                    let new_state = if dirty { BlockState::Sm } else { BlockState::Shared };
-                    self.caches[sup.index()].set_state(base, new_state);
+                    let new_state = if dirty {
+                        BlockState::Sm
+                    } else {
+                        BlockState::Shared
+                    };
+                    self.cache_set_state(sup, base, new_state);
                     data
                 };
                 let state = match (exclusive, dirty) {
@@ -415,7 +493,7 @@ impl PimSystem {
 
         let mut swap_out = false;
         if install {
-            if let Some(ev) = self.caches[pe.index()].install(base, data.clone(), state) {
+            if let Some(ev) = self.cache_install(pe, base, data.clone(), state) {
                 if ev.state.is_dirty() {
                     self.memory.write_block(ev.base, &ev.data);
                     swap_out = true;
@@ -477,7 +555,7 @@ impl PimSystem {
         let mut dropped_dirty = false;
         for i in 0..self.caches.len() {
             if i != pe.index() {
-                if let Some((state, _)) = self.caches[i].invalidate(base) {
+                if let Some((state, _)) = self.cache_invalidate(PeId(i as u32), base) {
                     dropped_dirty |= state.is_dirty();
                 }
             }
@@ -520,7 +598,7 @@ impl PimSystem {
         match self.caches[pe.index()].state_of(addr) {
             BlockState::Em | BlockState::Ec => {
                 self.access_stats.hits += 1;
-                self.caches[pe.index()].write(addr, value, BlockState::Em);
+                self.cache_write(pe, addr, value, BlockState::Em);
                 done(value, 0, true)
             }
             BlockState::Sm | BlockState::Shared => {
@@ -528,7 +606,7 @@ impl PimSystem {
                 match self.upgrade(pe, addr, false, area) {
                     Err(holder) => Outcome::LockBusy { holder },
                     Ok((cycles, _)) => {
-                        self.caches[pe.index()].write(addr, value, BlockState::Em);
+                        self.cache_write(pe, addr, value, BlockState::Em);
                         done(value, cycles, true)
                     }
                 }
@@ -536,7 +614,7 @@ impl PimSystem {
             BlockState::Inv => match self.fill(pe, addr, true, true, false, area) {
                 FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
                 FillOutcome::Filled(f) => {
-                    self.caches[pe.index()].write(addr, value, BlockState::Em);
+                    self.cache_write(pe, addr, value, BlockState::Em);
                     done(value, f.cycles, false)
                 }
             },
@@ -590,7 +668,7 @@ impl PimSystem {
         let mut data = vec![DW_POISON; geom.block_words as usize];
         data[(addr - base) as usize] = value;
         let mut cycles = 0;
-        if let Some(ev) = self.caches[pe.index()].install(base, data, BlockState::Em) {
+        if let Some(ev) = self.cache_install(pe, base, data, BlockState::Em) {
             if ev.state.is_dirty() {
                 // The only swap-out-only bus pattern in the protocol.
                 self.memory.write_block(ev.base, &ev.data);
@@ -683,7 +761,7 @@ impl PimSystem {
     }
 
     fn purge_local(&mut self, pe: PeId, addr: Addr) {
-        if let Some((state, _)) = self.caches[pe.index()].invalidate(addr) {
+        if let Some((state, _)) = self.cache_invalidate(pe, addr) {
             self.access_stats.purges += 1;
             if state.is_dirty() {
                 self.access_stats.dirty_purges += 1;
@@ -739,7 +817,7 @@ impl PimSystem {
                 } else {
                     BlockState::Ec
                 };
-                self.caches[pe.index()].set_state(addr, upgraded);
+                self.cache_set_state(pe, addr, upgraded);
                 self.lockdirs[pe.index()].lock(addr)?;
                 self.note_lock_depth(pe);
                 self.lock_stats.lr_total += 1;
@@ -868,14 +946,19 @@ impl PimSystem {
         let mut holders: HashMap<Addr, Vec<(PeId, BlockState)>> = HashMap::new();
         for (i, cache) in self.caches.iter().enumerate() {
             for (base, state) in cache.valid_blocks() {
-                holders.entry(base).or_default().push((PeId(i as u32), state));
+                holders
+                    .entry(base)
+                    .or_default()
+                    .push((PeId(i as u32), state));
             }
         }
         for (base, list) in holders {
             let exclusive = list.iter().filter(|(_, s)| s.is_exclusive()).count();
             let dirty = list.iter().filter(|(_, s)| s.is_dirty()).count();
             if exclusive > 0 && list.len() > 1 {
-                return Err(format!("block {base:#x}: exclusive copy not alone: {list:?}"));
+                return Err(format!(
+                    "block {base:#x}: exclusive copy not alone: {list:?}"
+                ));
             }
             if dirty > 1 {
                 return Err(format!("block {base:#x}: {dirty} dirty copies: {list:?}"));

@@ -68,6 +68,18 @@ impl fmt::Display for BlockState {
     }
 }
 
+impl From<BlockState> for pim_obs::CohState {
+    fn from(state: BlockState) -> pim_obs::CohState {
+        match state {
+            BlockState::Em => pim_obs::CohState::Em,
+            BlockState::Ec => pim_obs::CohState::Ec,
+            BlockState::Sm => pim_obs::CohState::Sm,
+            BlockState::Shared => pim_obs::CohState::Sh,
+            BlockState::Inv => pim_obs::CohState::Inv,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -98,7 +98,9 @@ impl LockStats {
         self.unlock_total += other.unlock_total;
         self.unlock_no_waiter += other.unlock_no_waiter;
         self.lr_refused += other.lr_refused;
-        self.max_simultaneous_locks = self.max_simultaneous_locks.max(other.max_simultaneous_locks);
+        self.max_simultaneous_locks = self
+            .max_simultaneous_locks
+            .max(other.max_simultaneous_locks);
     }
 }
 

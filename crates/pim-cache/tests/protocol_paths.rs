@@ -182,7 +182,8 @@ fn direct_write_evicting_dirty_victim_pays_swap_out_only() {
     let (_, cycles, _) = done(sys.access(P0, MemOp::DirectWrite, b, Some(2)).unwrap());
     assert_eq!(cycles, 5, "the swap-out-only pattern, unique to DW");
     // The victim's dirty data reached memory.
-    sys.access(P0, MemOp::DirectWrite, heap(&sys, 8), Some(0)).unwrap(); // evict b
+    sys.access(P0, MemOp::DirectWrite, heap(&sys, 8), Some(0))
+        .unwrap(); // evict b
     assert_eq!(done(sys.access(P0, MemOp::Read, a, None).unwrap()).0, 1);
 }
 
@@ -190,19 +191,25 @@ fn direct_write_evicting_dirty_victim_pays_swap_out_only() {
 fn downward_direct_write_mirrors_dw_for_descending_stacks() {
     let mut sys = system(2);
     let a = heap(&sys, 7); // last word of block [4..8)
-    // A downward-growing stack touches the top (last) word of a fresh
-    // block first: DWD allocates it without fetching.
+                           // A downward-growing stack touches the top (last) word of a fresh
+                           // block first: DWD allocates it without fetching.
     let (_, cycles, hit) = done(sys.access(P0, MemOp::DirectWriteDown, a, Some(1)).unwrap());
     assert_eq!(cycles, 0, "no fetch on the downward boundary");
     assert!(!hit);
     assert_eq!(sys.cache_state(P0, a), BlockState::Em);
     assert_eq!(sys.access_stats().dw_allocations, 1);
     // Pushing further down within the block: ordinary write hits.
-    let (_, cycles, hit) = done(sys.access(P0, MemOp::DirectWriteDown, a - 1, Some(2)).unwrap());
+    let (_, cycles, hit) = done(
+        sys.access(P0, MemOp::DirectWriteDown, a - 1, Some(2))
+            .unwrap(),
+    );
     assert_eq!(cycles, 0);
     assert!(hit, "mid-block DWD degrades to a plain write");
     // Crossing into the next lower block: a fresh DWD allocation again.
-    let (_, cycles, _) = done(sys.access(P0, MemOp::DirectWriteDown, a - 4, Some(3)).unwrap());
+    let (_, cycles, _) = done(
+        sys.access(P0, MemOp::DirectWriteDown, a - 4, Some(3))
+            .unwrap(),
+    );
     assert_eq!(cycles, 0);
     assert_eq!(sys.access_stats().dw_allocations, 2);
     // Values read back correctly.
@@ -229,8 +236,16 @@ fn exclusive_read_miss_invalidates_supplier() {
     let (value, cycles, _) = done(sys.access(P1, MemOp::ExclusiveRead, a, None).unwrap());
     assert_eq!(value, 11);
     assert_eq!(cycles, 7, "cache-to-cache; no copy-back");
-    assert_eq!(sys.cache_state(P0, a), BlockState::Inv, "supplier invalidated");
-    assert_eq!(sys.cache_state(P1, a), BlockState::Em, "dirty data migrated");
+    assert_eq!(
+        sys.cache_state(P0, a),
+        BlockState::Inv,
+        "supplier invalidated"
+    );
+    assert_eq!(
+        sys.cache_state(P1, a),
+        BlockState::Em,
+        "dirty data migrated"
+    );
     sys.check_coherence_invariants().unwrap();
 }
 
@@ -253,7 +268,11 @@ fn exclusive_read_hit_on_last_word_purges_without_swap_out() {
     assert_eq!(c, 0);
     assert!(hit);
     assert_eq!(sys.cache_state(P0, a), BlockState::Inv, "purged");
-    assert_eq!(sys.bus_stats().total_cycles(), before, "dead dirty block: no traffic");
+    assert_eq!(
+        sys.bus_stats().total_cycles(),
+        before,
+        "dead dirty block: no traffic"
+    );
     assert_eq!(sys.access_stats().purges, 1);
     assert_eq!(sys.access_stats().dirty_purges, 1);
 }
@@ -266,7 +285,11 @@ fn exclusive_read_miss_on_last_word_downgrades_to_read() {
     // P1 ER on the last word of a remote block: case (iii), plain R.
     let (v, _, _) = done(sys.access(P1, MemOp::ExclusiveRead, a + 3, None).unwrap());
     assert_eq!(v, 7);
-    assert_eq!(sys.cache_state(P0, a), BlockState::Sm, "supplier kept (plain F)");
+    assert_eq!(
+        sys.cache_state(P0, a),
+        BlockState::Sm,
+        "supplier kept (plain F)"
+    );
     assert_eq!(sys.cache_state(P1, a), BlockState::Shared);
 }
 
@@ -283,7 +306,11 @@ fn full_block_exclusive_read_sequence_moves_then_purges() {
     let (v0, c0, _) = done(sys.access(P1, MemOp::ExclusiveRead, a, None).unwrap());
     assert_eq!(v0, 100);
     assert_eq!(c0, 7, "read-invalidate transfer");
-    assert_eq!(sys.cache_state(P0, a), BlockState::Inv, "sender invalidated");
+    assert_eq!(
+        sys.cache_state(P0, a),
+        BlockState::Inv,
+        "sender invalidated"
+    );
     for i in 1..3 {
         let (v, c, _) = done(sys.access(P1, MemOp::ExclusiveRead, a + i, None).unwrap());
         assert_eq!(v, 100 + i);
@@ -320,7 +347,11 @@ fn read_purge_miss_bypasses_the_cache_and_invalidates_supplier() {
     assert_eq!(v, 9);
     assert_eq!(c, 7);
     assert!(!hit);
-    assert_eq!(sys.cache_state(P0, a), BlockState::Inv, "supplier invalidated");
+    assert_eq!(
+        sys.cache_state(P0, a),
+        BlockState::Inv,
+        "supplier invalidated"
+    );
     assert_eq!(sys.cache_state(P1, a), BlockState::Inv, "nothing installed");
     assert_eq!(sys.access_stats().purges, 1);
 }
@@ -344,7 +375,11 @@ fn read_invalidate_makes_later_write_free() {
     // P1 reads with RI instead of R…
     let (_, c, _) = done(sys.access(P1, MemOp::ReadInvalidate, a, None).unwrap());
     assert_eq!(c, 7);
-    assert_eq!(sys.cache_state(P1, a), BlockState::Em, "exclusive, dirty source");
+    assert_eq!(
+        sys.cache_state(P1, a),
+        BlockState::Em,
+        "exclusive, dirty source"
+    );
     assert_eq!(sys.cache_state(P0, a), BlockState::Inv);
     // …so rewriting needs no invalidate command.
     let inv_before = sys.bus_stats().cmd_count(pim_bus::BusCommand::Invalidate);
@@ -382,7 +417,10 @@ fn optimizations_disabled_downgrade_to_plain_ops() {
     assert_eq!(sys.cache_state(P0, a), BlockState::Sm);
     assert_eq!(sys.cache_state(P1, a), BlockState::Shared);
     // Reference stats record the downgraded ops.
-    assert_eq!(sys.ref_stats().count(StorageArea::Heap, MemOp::DirectWrite), 0);
+    assert_eq!(
+        sys.ref_stats().count(StorageArea::Heap, MemOp::DirectWrite),
+        0
+    );
     assert_eq!(sys.ref_stats().count(StorageArea::Heap, MemOp::Write), 1);
 }
 
@@ -461,7 +499,9 @@ fn lock_conflict_refuses_and_unlock_wakes() {
 
     // The holder's unlock now broadcasts UL and names the waiter.
     match sys.access(P0, MemOp::WriteUnlock, a, Some(2)).unwrap() {
-        Outcome::Done { woken, bus_cycles, .. } => {
+        Outcome::Done {
+            woken, bus_cycles, ..
+        } => {
             assert_eq!(woken, vec![P1]);
             assert_eq!(bus_cycles, 2, "UL broadcast");
         }
@@ -503,7 +543,10 @@ fn lock_survives_self_eviction() {
     sys.access(P0, MemOp::LockRead, a, None).unwrap();
     sys.access(P0, MemOp::Read, heap(&sys, 4), None).unwrap(); // evicts a's block
     assert_eq!(sys.cache_state(P0, a), BlockState::Inv);
-    assert!(sys.holds_lock(P0, a), "lock directory is separate from tags");
+    assert!(
+        sys.holds_lock(P0, a),
+        "lock directory is separate from tags"
+    );
     // Remote access still refused even though the block is swapped out.
     match sys.access(P1, MemOp::Read, a, None).unwrap() {
         Outcome::LockBusy { holder } => assert_eq!(holder, P0),

@@ -138,15 +138,79 @@ use BlockState::{Ec, Em, Inv, Shared, Sm};
 fn read_transitions() {
     for row in [
         // R misses: memory fetch 13, clean c2c 7, dirty c2c 7 (no copyback).
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::Read, offset: 0, cycles: 13, end_local: Ec, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::Ec, op: MemOp::Read, offset: 0, cycles: 7, end_local: Shared, end_p1: Shared },
-        Row { local: Local::Inv, remote: Remote::Em, op: MemOp::Read, offset: 0, cycles: 7, end_local: Shared, end_p1: Sm },
-        Row { local: Local::Inv, remote: Remote::SmS, op: MemOp::Read, offset: 0, cycles: 7, end_local: Shared, end_p1: Sm },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::Read,
+            offset: 0,
+            cycles: 13,
+            end_local: Ec,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Ec,
+            op: MemOp::Read,
+            offset: 0,
+            cycles: 7,
+            end_local: Shared,
+            end_p1: Shared,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Em,
+            op: MemOp::Read,
+            offset: 0,
+            cycles: 7,
+            end_local: Shared,
+            end_p1: Sm,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::SmS,
+            op: MemOp::Read,
+            offset: 0,
+            cycles: 7,
+            end_local: Shared,
+            end_p1: Sm,
+        },
         // R hits: free, state preserved.
-        Row { local: Local::Ec, remote: Remote::None, op: MemOp::Read, offset: 0, cycles: 0, end_local: Ec, end_p1: Inv },
-        Row { local: Local::Em, remote: Remote::None, op: MemOp::Read, offset: 0, cycles: 0, end_local: Em, end_p1: Inv },
-        Row { local: Local::S, remote: Remote::SmS, op: MemOp::Read, offset: 0, cycles: 0, end_local: Shared, end_p1: Sm },
-        Row { local: Local::Sm, remote: Remote::SmS, op: MemOp::Read, offset: 0, cycles: 0, end_local: Sm, end_p1: Shared },
+        Row {
+            local: Local::Ec,
+            remote: Remote::None,
+            op: MemOp::Read,
+            offset: 0,
+            cycles: 0,
+            end_local: Ec,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Em,
+            remote: Remote::None,
+            op: MemOp::Read,
+            offset: 0,
+            cycles: 0,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::S,
+            remote: Remote::SmS,
+            op: MemOp::Read,
+            offset: 0,
+            cycles: 0,
+            end_local: Shared,
+            end_p1: Sm,
+        },
+        Row {
+            local: Local::Sm,
+            remote: Remote::SmS,
+            op: MemOp::Read,
+            offset: 0,
+            cycles: 0,
+            end_local: Sm,
+            end_p1: Shared,
+        },
     ] {
         check(&row);
     }
@@ -156,15 +220,79 @@ fn read_transitions() {
 fn write_transitions() {
     for row in [
         // W misses: fetch-invalidate; dirty source migrates, no copyback.
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::Write, offset: 0, cycles: 13, end_local: Em, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::Ec, op: MemOp::Write, offset: 0, cycles: 7, end_local: Em, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::Em, op: MemOp::Write, offset: 0, cycles: 7, end_local: Em, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::SmS, op: MemOp::Write, offset: 0, cycles: 7, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::Write,
+            offset: 0,
+            cycles: 13,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Ec,
+            op: MemOp::Write,
+            offset: 0,
+            cycles: 7,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Em,
+            op: MemOp::Write,
+            offset: 0,
+            cycles: 7,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::SmS,
+            op: MemOp::Write,
+            offset: 0,
+            cycles: 7,
+            end_local: Em,
+            end_p1: Inv,
+        },
         // W hits: silent on exclusive, invalidate broadcast on shared.
-        Row { local: Local::Ec, remote: Remote::None, op: MemOp::Write, offset: 0, cycles: 0, end_local: Em, end_p1: Inv },
-        Row { local: Local::Em, remote: Remote::None, op: MemOp::Write, offset: 0, cycles: 0, end_local: Em, end_p1: Inv },
-        Row { local: Local::S, remote: Remote::SmS, op: MemOp::Write, offset: 0, cycles: 2, end_local: Em, end_p1: Inv },
-        Row { local: Local::Sm, remote: Remote::SmS, op: MemOp::Write, offset: 0, cycles: 2, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::Ec,
+            remote: Remote::None,
+            op: MemOp::Write,
+            offset: 0,
+            cycles: 0,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Em,
+            remote: Remote::None,
+            op: MemOp::Write,
+            offset: 0,
+            cycles: 0,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::S,
+            remote: Remote::SmS,
+            op: MemOp::Write,
+            offset: 0,
+            cycles: 2,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Sm,
+            remote: Remote::SmS,
+            op: MemOp::Write,
+            offset: 0,
+            cycles: 2,
+            end_local: Em,
+            end_p1: Inv,
+        },
     ] {
         check(&row);
     }
@@ -174,16 +302,64 @@ fn write_transitions() {
 fn direct_write_transitions() {
     for row in [
         // Boundary miss, no remote copies: free allocation.
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::DirectWrite, offset: 0, cycles: 0, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::DirectWrite,
+            offset: 0,
+            cycles: 0,
+            end_local: Em,
+            end_p1: Inv,
+        },
         // Off-boundary: behaves as W.
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::DirectWrite, offset: 1, cycles: 13, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::DirectWrite,
+            offset: 1,
+            cycles: 13,
+            end_local: Em,
+            end_p1: Inv,
+        },
         // Contract violation (remote copy exists): falls back to W.
-        Row { local: Local::Inv, remote: Remote::Em, op: MemOp::DirectWrite, offset: 0, cycles: 7, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Em,
+            op: MemOp::DirectWrite,
+            offset: 0,
+            cycles: 7,
+            end_local: Em,
+            end_p1: Inv,
+        },
         // Hit: plain write.
-        Row { local: Local::Em, remote: Remote::None, op: MemOp::DirectWrite, offset: 0, cycles: 0, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::Em,
+            remote: Remote::None,
+            op: MemOp::DirectWrite,
+            offset: 0,
+            cycles: 0,
+            end_local: Em,
+            end_p1: Inv,
+        },
         // The downward twin allocates at the block's last word.
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::DirectWriteDown, offset: 3, cycles: 0, end_local: Em, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::DirectWriteDown, offset: 0, cycles: 13, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::DirectWriteDown,
+            offset: 3,
+            cycles: 0,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::DirectWriteDown,
+            offset: 0,
+            cycles: 13,
+            end_local: Em,
+            end_p1: Inv,
+        },
     ] {
         check(&row);
     }
@@ -193,18 +369,82 @@ fn direct_write_transitions() {
 fn exclusive_read_transitions() {
     for row in [
         // Miss, remote holder, not last word: read-invalidate (case i).
-        Row { local: Local::Inv, remote: Remote::Em, op: MemOp::ExclusiveRead, offset: 0, cycles: 7, end_local: Em, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::Ec, op: MemOp::ExclusiveRead, offset: 0, cycles: 7, end_local: Ec, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::SmS, op: MemOp::ExclusiveRead, offset: 0, cycles: 7, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Em,
+            op: MemOp::ExclusiveRead,
+            offset: 0,
+            cycles: 7,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Ec,
+            op: MemOp::ExclusiveRead,
+            offset: 0,
+            cycles: 7,
+            end_local: Ec,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::SmS,
+            op: MemOp::ExclusiveRead,
+            offset: 0,
+            cycles: 7,
+            end_local: Em,
+            end_p1: Inv,
+        },
         // Hit on the last word: read then self-purge (case ii).
-        Row { local: Local::Em, remote: Remote::None, op: MemOp::ExclusiveRead, offset: 3, cycles: 0, end_local: Inv, end_p1: Inv },
-        Row { local: Local::Ec, remote: Remote::None, op: MemOp::ExclusiveRead, offset: 3, cycles: 0, end_local: Inv, end_p1: Inv },
+        Row {
+            local: Local::Em,
+            remote: Remote::None,
+            op: MemOp::ExclusiveRead,
+            offset: 3,
+            cycles: 0,
+            end_local: Inv,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Ec,
+            remote: Remote::None,
+            op: MemOp::ExclusiveRead,
+            offset: 3,
+            cycles: 0,
+            end_local: Inv,
+            end_p1: Inv,
+        },
         // Hit, not last word: plain read (case iii).
-        Row { local: Local::Em, remote: Remote::None, op: MemOp::ExclusiveRead, offset: 1, cycles: 0, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::Em,
+            remote: Remote::None,
+            op: MemOp::ExclusiveRead,
+            offset: 1,
+            cycles: 0,
+            end_local: Em,
+            end_p1: Inv,
+        },
         // Miss on the last word: plain read (case iii).
-        Row { local: Local::Inv, remote: Remote::Em, op: MemOp::ExclusiveRead, offset: 3, cycles: 7, end_local: Shared, end_p1: Sm },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Em,
+            op: MemOp::ExclusiveRead,
+            offset: 3,
+            cycles: 7,
+            end_local: Shared,
+            end_p1: Sm,
+        },
         // Miss with no holder: plain read from memory.
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::ExclusiveRead, offset: 0, cycles: 13, end_local: Ec, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::ExclusiveRead,
+            offset: 0,
+            cycles: 13,
+            end_local: Ec,
+            end_p1: Inv,
+        },
     ] {
         check(&row);
     }
@@ -214,12 +454,44 @@ fn exclusive_read_transitions() {
 fn read_purge_transitions() {
     for row in [
         // Hit: read then purge, discarding even dirty data.
-        Row { local: Local::Em, remote: Remote::None, op: MemOp::ReadPurge, offset: 1, cycles: 0, end_local: Inv, end_p1: Inv },
-        Row { local: Local::Ec, remote: Remote::None, op: MemOp::ReadPurge, offset: 1, cycles: 0, end_local: Inv, end_p1: Inv },
+        Row {
+            local: Local::Em,
+            remote: Remote::None,
+            op: MemOp::ReadPurge,
+            offset: 1,
+            cycles: 0,
+            end_local: Inv,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Ec,
+            remote: Remote::None,
+            op: MemOp::ReadPurge,
+            offset: 1,
+            cycles: 0,
+            end_local: Inv,
+            end_p1: Inv,
+        },
         // Miss with a holder: supplier invalidated, nothing installed.
-        Row { local: Local::Inv, remote: Remote::Em, op: MemOp::ReadPurge, offset: 1, cycles: 7, end_local: Inv, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Em,
+            op: MemOp::ReadPurge,
+            offset: 1,
+            cycles: 7,
+            end_local: Inv,
+            end_p1: Inv,
+        },
         // Miss from memory: fetch bypasses the cache.
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::ReadPurge, offset: 1, cycles: 13, end_local: Inv, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::ReadPurge,
+            offset: 1,
+            cycles: 13,
+            end_local: Inv,
+            end_p1: Inv,
+        },
     ] {
         check(&row);
     }
@@ -229,12 +501,52 @@ fn read_purge_transitions() {
 fn read_invalidate_transitions() {
     for row in [
         // Miss: fetch exclusively so the coming rewrite is free.
-        Row { local: Local::Inv, remote: Remote::Em, op: MemOp::ReadInvalidate, offset: 0, cycles: 7, end_local: Em, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::Ec, op: MemOp::ReadInvalidate, offset: 0, cycles: 7, end_local: Ec, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::ReadInvalidate, offset: 0, cycles: 13, end_local: Ec, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Em,
+            op: MemOp::ReadInvalidate,
+            offset: 0,
+            cycles: 7,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Ec,
+            op: MemOp::ReadInvalidate,
+            offset: 0,
+            cycles: 7,
+            end_local: Ec,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::ReadInvalidate,
+            offset: 0,
+            cycles: 13,
+            end_local: Ec,
+            end_p1: Inv,
+        },
         // Hit: plain read.
-        Row { local: Local::Em, remote: Remote::None, op: MemOp::ReadInvalidate, offset: 0, cycles: 0, end_local: Em, end_p1: Inv },
-        Row { local: Local::S, remote: Remote::SmS, op: MemOp::ReadInvalidate, offset: 0, cycles: 0, end_local: Shared, end_p1: Sm },
+        Row {
+            local: Local::Em,
+            remote: Remote::None,
+            op: MemOp::ReadInvalidate,
+            offset: 0,
+            cycles: 0,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::S,
+            remote: Remote::SmS,
+            op: MemOp::ReadInvalidate,
+            offset: 0,
+            cycles: 0,
+            end_local: Shared,
+            end_p1: Sm,
+        },
     ] {
         check(&row);
     }
@@ -244,15 +556,63 @@ fn read_invalidate_transitions() {
 fn lock_read_transitions() {
     for row in [
         // Exclusive hits are the zero-cost case.
-        Row { local: Local::Em, remote: Remote::None, op: MemOp::LockRead, offset: 0, cycles: 0, end_local: Em, end_p1: Inv },
-        Row { local: Local::Ec, remote: Remote::None, op: MemOp::LockRead, offset: 0, cycles: 0, end_local: Ec, end_p1: Inv },
+        Row {
+            local: Local::Em,
+            remote: Remote::None,
+            op: MemOp::LockRead,
+            offset: 0,
+            cycles: 0,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Ec,
+            remote: Remote::None,
+            op: MemOp::LockRead,
+            offset: 0,
+            cycles: 0,
+            end_local: Ec,
+            end_p1: Inv,
+        },
         // Shared hits upgrade with LK+I; a dropped dirty owner's data
         // obligation transfers (S → EM, not EC).
-        Row { local: Local::S, remote: Remote::SmS, op: MemOp::LockRead, offset: 0, cycles: 2, end_local: Em, end_p1: Inv },
-        Row { local: Local::Sm, remote: Remote::SmS, op: MemOp::LockRead, offset: 0, cycles: 2, end_local: Em, end_p1: Inv },
+        Row {
+            local: Local::S,
+            remote: Remote::SmS,
+            op: MemOp::LockRead,
+            offset: 0,
+            cycles: 2,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Sm,
+            remote: Remote::SmS,
+            op: MemOp::LockRead,
+            offset: 0,
+            cycles: 2,
+            end_local: Em,
+            end_p1: Inv,
+        },
         // Misses fetch exclusively with LK riding along.
-        Row { local: Local::Inv, remote: Remote::Em, op: MemOp::LockRead, offset: 0, cycles: 7, end_local: Em, end_p1: Inv },
-        Row { local: Local::Inv, remote: Remote::None, op: MemOp::LockRead, offset: 0, cycles: 13, end_local: Ec, end_p1: Inv },
+        Row {
+            local: Local::Inv,
+            remote: Remote::Em,
+            op: MemOp::LockRead,
+            offset: 0,
+            cycles: 7,
+            end_local: Em,
+            end_p1: Inv,
+        },
+        Row {
+            local: Local::Inv,
+            remote: Remote::None,
+            op: MemOp::LockRead,
+            offset: 0,
+            cycles: 13,
+            end_local: Ec,
+            end_p1: Inv,
+        },
     ] {
         check(&row);
     }

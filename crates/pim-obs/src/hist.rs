@@ -1,0 +1,267 @@
+//! Log2-bucketed latency histograms.
+//!
+//! Latencies in the simulator span five orders of magnitude (a 2-cycle
+//! unlock to a multi-thousand-cycle lock convoy), so the histogram uses
+//! one bucket per power of two: exact at the small end, ~2x relative
+//! error at the large end, 65 fixed buckets, no allocation beyond the
+//! struct itself. Percentile queries resolve to the upper bound of the
+//! bucket containing the requested rank, clamped to the observed
+//! minimum/maximum so `p100 == max` exactly.
+
+/// Number of buckets: one for zero plus one per possible bit width.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (cycle counts).
+///
+/// # Examples
+///
+/// ```
+/// use pim_obs::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), Some(100));
+/// assert_eq!(h.percentile(100.0), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for a value: 0 stays in bucket 0, otherwise the bit
+/// width (1 → 1, 2..=3 → 2, 4..=7 → 3, ...).
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Largest value the bucket can hold: `2^b - 1` (bucket 0 holds only 0).
+fn bucket_limit(bucket: usize) -> u64 {
+    if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The value at or below which `p` percent of samples fall
+    /// (`0.0 ..= 100.0`). Resolution is the containing bucket's upper
+    /// bound, clamped to the observed min/max; an empty histogram
+    /// reports 0.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the sample we want, 1-based; p=0 asks for the first.
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_limit(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Accumulates another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, in increasing
+    /// order — the stable wire form used by the JSON reports.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (bucket_limit(b), n))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_limit(0), 0);
+        assert_eq!(bucket_limit(1), 1);
+        assert_eq!(bucket_limit(2), 3);
+        assert_eq!(bucket_limit(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(37);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 37, "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentiles_walk_bucket_ranks() {
+        let mut h = Histogram::new();
+        // 100 samples: 50 in bucket(1)=1, 40 in bucket(4..=7)=3,
+        // 10 in bucket(100..=127)=7.
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..40 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(100);
+        }
+        assert_eq!(h.percentile(50.0), 1);
+        // p90 lands on the last of the 40 mid samples: bucket limit 7.
+        assert_eq!(h.percentile(90.0), 7);
+        // p99 lands in the 100s bucket; limit 127 clamps to max 100.
+        assert_eq!(h.percentile(99.0), 100);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [0u64, 1, 3, 8, 9, 1024] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 4, 4096, u64::MAX] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = Histogram::new();
+        h.record(12);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    fn nonzero_buckets_are_sorted_and_complete() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(900);
+        let got: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(got, vec![(0, 1), (3, 2), (1023, 1)]);
+        assert_eq!(got.iter().map(|&(_, n)| n).sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn saturating_sum_does_not_wrap() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+}

@@ -1,0 +1,290 @@
+//! A hand-rolled, dependency-free JSON value and writer.
+//!
+//! The reports must be byte-identical across invocations, so the writer
+//! is deliberately boring: object keys keep insertion order, integers
+//! print exactly, floats use Rust's shortest-roundtrip formatting, and
+//! non-finite floats become `null` (JSON has no NaN/Infinity). Nothing
+//! here reads clocks or environment.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered objects.
+///
+/// # Examples
+///
+/// ```
+/// use pim_obs::Json;
+/// let v = Json::obj([
+///     ("name", Json::from("tri")),
+///     ("cycles", Json::from(61234u64)),
+///     ("ratio", Json::from(0.25)),
+/// ]);
+/// assert_eq!(v.to_string_compact(), r#"{"name":"tri","cycles":61234,"ratio":0.25}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, printed exactly.
+    U64(u64),
+    /// A signed integer, printed exactly.
+    I64(i64),
+    /// A float; NaN and infinities serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; pairs keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Appends a pair to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn push(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline —
+    /// the stable on-disk form of every report file.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Serializes without any whitespace.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Floats must be valid JSON (no NaN/inf) and deterministic. Rust's
+/// `{}` for f64 is shortest-roundtrip and stable across platforms;
+/// integral floats get a ".0" suffix so they stay float-typed on read.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{x}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::U64(n.into())
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::I64(n)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::F64(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize_exactly() {
+        assert_eq!(Json::Null.to_string_compact(), "null");
+        assert_eq!(Json::from(true).to_string_compact(), "true");
+        assert_eq!(
+            Json::U64(u64::MAX).to_string_compact(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::I64(-42).to_string_compact(), "-42");
+        assert_eq!(Json::from(0.25).to_string_compact(), "0.25");
+        assert_eq!(Json::from(3.0).to_string_compact(), "3.0");
+        assert_eq!(Json::F64(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{1}").to_string_compact(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let mut v = Json::obj([("z", Json::from(1u64))]);
+        v.push("a", Json::from(2u64));
+        assert_eq!(v.to_string_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_form_is_stable() {
+        let v = Json::obj([
+            ("rows", Json::arr([Json::from(1u64), Json::from(2u64)])),
+            ("empty", Json::arr([])),
+            ("nested", Json::obj([("k", Json::Null)])),
+        ]);
+        assert_eq!(
+            v.to_string_pretty(),
+            "{\n  \"rows\": [\n    1,\n    2\n  ],\n  \"empty\": [],\n  \"nested\": {\n    \"k\": null\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let v = Json::obj([("x", Json::from(0.1)), ("y", Json::from(12345u64))]);
+        assert_eq!(v.to_string_pretty(), v.to_string_pretty());
+    }
+}

@@ -1,0 +1,273 @@
+//! The observer interface: structured events emitted by the simulator.
+//!
+//! Every layer of the stack (engine, memory system, KL1 machine) holds an
+//! `Option<Box<dyn Observer>>`. With `None` — the [`NullObserver`]
+//! configuration — the instrumented sites cost one branch on an
+//! already-loaded option and emit nothing; with an observer attached they
+//! deliver structured events carrying simulated-cycle timestamps.
+
+use pim_trace::{MemOp, PeId, StorageArea};
+
+/// Cache-block coherence state, mirrored from `pim-cache`'s `BlockState`
+/// so that observers need no dependency on the protocol crate.
+///
+/// The five states of the paper's Figure 5 protocol: exclusive-modified,
+/// exclusive-clean, shared-modified, shared, and invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CohState {
+    /// `EM` — exclusive, dirty.
+    Em,
+    /// `EC` — exclusive, clean.
+    Ec,
+    /// `SM` — shared, this cache owns the dirty copy.
+    Sm,
+    /// `S` — shared, clean.
+    Sh,
+    /// `INV` — invalid.
+    Inv,
+}
+
+impl CohState {
+    /// All five states in display order.
+    pub const ALL: [CohState; 5] = [
+        CohState::Em,
+        CohState::Ec,
+        CohState::Sm,
+        CohState::Sh,
+        CohState::Inv,
+    ];
+
+    /// Dense index for the 5x5 transition matrix.
+    pub fn index(self) -> usize {
+        match self {
+            CohState::Em => 0,
+            CohState::Ec => 1,
+            CohState::Sm => 2,
+            CohState::Sh => 3,
+            CohState::Inv => 4,
+        }
+    }
+
+    /// The paper's state mnemonic.
+    pub fn label(self) -> &'static str {
+        match self {
+            CohState::Em => "EM",
+            CohState::Ec => "EC",
+            CohState::Sm => "SM",
+            CohState::Sh => "S",
+            CohState::Inv => "INV",
+        }
+    }
+}
+
+impl std::fmt::Display for CohState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The full 5x5 matrix of coherence state transitions, indexed
+/// `[from][to]`. Self-transitions are recorded too (e.g. a write hit on
+/// an already-`EM` block), so row sums count every state-machine event.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransitionMatrix {
+    counts: [[u64; 5]; 5],
+}
+
+impl TransitionMatrix {
+    /// An all-zero matrix.
+    pub fn new() -> TransitionMatrix {
+        TransitionMatrix::default()
+    }
+
+    /// Records one `from → to` transition.
+    pub fn record(&mut self, from: CohState, to: CohState) {
+        self.counts[from.index()][to.index()] += 1;
+    }
+
+    /// The count for one cell.
+    pub fn count(&self, from: CohState, to: CohState) -> u64 {
+        self.counts[from.index()][to.index()]
+    }
+
+    /// Total transitions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Accumulates another matrix into this one.
+    pub fn merge(&mut self, other: &TransitionMatrix) {
+        for (row, orow) in self.counts.iter_mut().zip(other.counts.iter()) {
+            for (cell, ocell) in row.iter_mut().zip(orow.iter()) {
+                *cell += ocell;
+            }
+        }
+    }
+
+    /// All cells in row-major `ALL` order as `(from, to, count)`.
+    pub fn cells(&self) -> impl Iterator<Item = (CohState, CohState, u64)> + '_ {
+        CohState::ALL.into_iter().flat_map(move |from| {
+            CohState::ALL
+                .into_iter()
+                .map(move |to| (from, to, self.count(from, to)))
+        })
+    }
+}
+
+/// Where one PE's cycles went, per the four-way accounting of the
+/// observability layer: doing work, waiting for the bus (arbitration +
+/// its own transactions), stalled on a remote lock, or idling with an
+/// empty goal queue. The four categories are exhaustive and disjoint, so
+/// they sum to the PE's final clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeCycles {
+    /// Cycles spent executing (the remainder after the other three).
+    pub busy: u64,
+    /// Cycles waiting for bus arbitration plus holding the bus.
+    pub bus_wait: u64,
+    /// Cycles stalled on a remotely locked word (`LH` refusals).
+    pub lock_wait: u64,
+    /// Cycles spent polling an empty goal queue.
+    pub idle: u64,
+}
+
+impl PeCycles {
+    /// Sum of all four categories — equals the PE's final clock.
+    pub fn total(&self) -> u64 {
+        self.busy + self.bus_wait + self.lock_wait + self.idle
+    }
+
+    /// Accumulates another accounting into this one.
+    pub fn merge(&mut self, other: &PeCycles) {
+        self.busy += other.busy;
+        self.bus_wait += other.bus_wait;
+        self.lock_wait += other.lock_wait;
+        self.idle += other.idle;
+    }
+}
+
+/// Receiver for structured simulator events.
+///
+/// Every method has a no-op default, so observers implement only what
+/// they consume. All timestamps are simulated cycles, never wall time.
+/// `Debug` is a supertrait so that components holding a boxed observer
+/// can keep deriving `Debug`.
+pub trait Observer: std::fmt::Debug {
+    /// A cache block in `pe`'s cache moved `from → to` for an access in
+    /// `area`. Self-transitions are reported too.
+    fn state_transition(&mut self, pe: PeId, area: StorageArea, from: CohState, to: CohState) {
+        let _ = (pe, area, from, to);
+    }
+
+    /// `pe` won bus arbitration for `op` in `area` after waiting `wait`
+    /// cycles, then held the bus for `tx_cycles`.
+    fn bus_grant(&mut self, pe: PeId, op: MemOp, area: StorageArea, wait: u64, tx_cycles: u64) {
+        let _ = (pe, op, area, wait, tx_cycles);
+    }
+
+    /// `pe` resumed after `wait` cycles stalled on a remotely locked
+    /// word (an `LWAIT` entry in the lock directory).
+    fn lock_wait(&mut self, pe: PeId, wait: u64) {
+        let _ = (pe, wait);
+    }
+
+    /// `pe` committed one goal reduction at `cycle`.
+    fn reduction(&mut self, pe: PeId, cycle: u64) {
+        let _ = (pe, cycle);
+    }
+
+    /// `pe` suspended a goal on an unbound variable at `cycle`.
+    fn suspension(&mut self, pe: PeId, cycle: u64) {
+        let _ = (pe, cycle);
+    }
+
+    /// `pe` resumed a previously suspended goal at `cycle`.
+    fn resumption(&mut self, pe: PeId, cycle: u64) {
+        let _ = (pe, cycle);
+    }
+
+    /// `pe` finished a garbage collection at `cycle`, having copied
+    /// `words_copied` live words.
+    fn gc(&mut self, pe: PeId, cycle: u64, words_copied: u64) {
+        let _ = (pe, cycle, words_copied);
+    }
+
+    /// The shared goal queue's depth observed at `cycle` (sampled at
+    /// enqueue/dequeue events on `pe`).
+    fn goal_queue_depth(&mut self, pe: PeId, cycle: u64, depth: u64) {
+        let _ = (pe, cycle, depth);
+    }
+}
+
+/// The zero-cost default observer: every hook is the inherited no-op.
+/// Simulations configured with `NullObserver` (i.e. no observer attached)
+/// must produce bit-identical results to an uninstrumented build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_records_all_cells() {
+        let mut m = TransitionMatrix::new();
+        for from in CohState::ALL {
+            for to in CohState::ALL {
+                m.record(from, to);
+                m.record(from, to);
+            }
+        }
+        assert_eq!(m.total(), 50);
+        assert!(m.cells().all(|(_, _, n)| n == 2));
+    }
+
+    #[test]
+    fn matrix_merge_adds_cellwise() {
+        let mut a = TransitionMatrix::new();
+        a.record(CohState::Inv, CohState::Ec);
+        let mut b = TransitionMatrix::new();
+        b.record(CohState::Inv, CohState::Ec);
+        b.record(CohState::Ec, CohState::Em);
+        a.merge(&b);
+        assert_eq!(a.count(CohState::Inv, CohState::Ec), 2);
+        assert_eq!(a.count(CohState::Ec, CohState::Em), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn pe_cycles_total_is_sum() {
+        let c = PeCycles {
+            busy: 10,
+            bus_wait: 4,
+            lock_wait: 3,
+            idle: 2,
+        };
+        assert_eq!(c.total(), 19);
+        let mut d = c;
+        d.merge(&c);
+        assert_eq!(d.total(), 38);
+    }
+
+    #[test]
+    fn null_observer_accepts_every_event() {
+        let mut obs = NullObserver;
+        let pe = PeId(0);
+        obs.state_transition(pe, StorageArea::Heap, CohState::Inv, CohState::Ec);
+        obs.bus_grant(pe, MemOp::Read, StorageArea::Heap, 3, 13);
+        obs.lock_wait(pe, 40);
+        obs.reduction(pe, 1);
+        obs.suspension(pe, 2);
+        obs.resumption(pe, 3);
+        obs.gc(pe, 4, 100);
+        obs.goal_queue_depth(pe, 5, 7);
+    }
+
+    #[test]
+    fn state_labels_match_paper() {
+        let labels: Vec<_> = CohState::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["EM", "EC", "SM", "S", "INV"]);
+    }
+}

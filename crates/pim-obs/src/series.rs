@@ -1,0 +1,232 @@
+//! Fixed-interval time series keyed to simulated cycles.
+//!
+//! A [`TimeSeries`] divides simulated time into equal windows of
+//! `interval` cycles and aggregates every sample that falls into a
+//! window (count / sum / min / max). This keeps memory proportional to
+//! simulated time regardless of how often a quantity is sampled, which
+//! is what makes it safe to sample the goal-queue depth at every
+//! scheduling event.
+
+/// Aggregate of the samples recorded within one interval window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeriesWindow {
+    /// Number of samples in the window.
+    pub count: u64,
+    /// Sum of the samples.
+    pub sum: u64,
+    /// Smallest sample (meaningful only when `count > 0`).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl SeriesWindow {
+    /// Mean of the window's samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A series of [`SeriesWindow`]s at a fixed cycle interval.
+///
+/// # Examples
+///
+/// ```
+/// use pim_obs::TimeSeries;
+/// let mut ts = TimeSeries::new(100);
+/// ts.record(5, 2);
+/// ts.record(50, 4);
+/// ts.record(250, 9);
+/// let windows: Vec<_> = ts.windows().collect();
+/// assert_eq!(windows.len(), 3);        // cycles 0..100, 100..200, 200..300
+/// assert_eq!(windows[0].1.count, 2);
+/// assert_eq!(windows[1].1.count, 0);   // empty gap window
+/// assert_eq!(windows[2].1.max, 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    interval: u64,
+    windows: Vec<SeriesWindow>,
+}
+
+impl TimeSeries {
+    /// An empty series with the given window width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> TimeSeries {
+        assert!(interval > 0, "time series interval must be positive");
+        TimeSeries {
+            interval,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The window width in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Records `value` at simulated time `cycle`.
+    pub fn record(&mut self, cycle: u64, value: u64) {
+        let idx = (cycle / self.interval) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, SeriesWindow::default());
+        }
+        let w = &mut self.windows[idx];
+        if w.count == 0 {
+            w.min = value;
+            w.max = value;
+        } else {
+            w.min = w.min.min(value);
+            w.max = w.max.max(value);
+        }
+        w.count += 1;
+        w.sum = w.sum.saturating_add(value);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.windows.iter().map(|w| w.count).sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The windows in time order as `(window_start_cycle, aggregate)`.
+    /// Gap windows with no samples are included (count 0) so consumers
+    /// see uniform spacing.
+    pub fn windows(&self) -> impl Iterator<Item = (u64, SeriesWindow)> + '_ {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as u64 * self.interval, w))
+    }
+
+    /// Accumulates another series into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the intervals differ — merging series on different
+    /// clocks silently misattributes samples, so it is rejected.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.interval, other.interval,
+            "cannot merge time series with different intervals"
+        );
+        if other.windows.len() > self.windows.len() {
+            self.windows
+                .resize(other.windows.len(), SeriesWindow::default());
+        }
+        for (a, b) in self.windows.iter_mut().zip(other.windows.iter()) {
+            if b.count == 0 {
+                continue;
+            }
+            if a.count == 0 {
+                *a = *b;
+            } else {
+                a.count += b.count;
+                a.sum = a.sum.saturating_add(b.sum);
+                a.min = a.min.min(b.min);
+                a.max = a.max.max(b.max);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_boundaries() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(0, 1);
+        ts.record(9, 2);
+        ts.record(10, 3);
+        let w: Vec<_> = ts.windows().collect();
+        assert_eq!(w.len(), 2);
+        assert_eq!(
+            w[0],
+            (
+                0,
+                SeriesWindow {
+                    count: 2,
+                    sum: 3,
+                    min: 1,
+                    max: 2
+                }
+            )
+        );
+        assert_eq!(
+            w[1],
+            (
+                10,
+                SeriesWindow {
+                    count: 1,
+                    sum: 3,
+                    min: 3,
+                    max: 3
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn gaps_are_materialized_as_empty_windows() {
+        let mut ts = TimeSeries::new(5);
+        ts.record(22, 7);
+        assert_eq!(ts.windows().count(), 5);
+        assert_eq!(ts.count(), 1);
+        assert_eq!(ts.windows().nth(4).unwrap().1.max, 7);
+    }
+
+    #[test]
+    fn merge_combines_and_extends() {
+        let mut a = TimeSeries::new(10);
+        a.record(1, 4);
+        let mut b = TimeSeries::new(10);
+        b.record(1, 2);
+        b.record(25, 6);
+        a.merge(&b);
+        let w: Vec<_> = a.windows().collect();
+        assert_eq!(
+            w[0].1,
+            SeriesWindow {
+                count: 2,
+                sum: 6,
+                min: 2,
+                max: 4
+            }
+        );
+        assert_eq!(
+            w[2].1,
+            SeriesWindow {
+                count: 1,
+                sum: 6,
+                min: 6,
+                max: 6
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different intervals")]
+    fn merge_rejects_mismatched_intervals() {
+        let mut a = TimeSeries::new(10);
+        a.merge(&TimeSeries::new(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_rejected() {
+        let _ = TimeSeries::new(0);
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::MemorySystem;
 use pim_cache::Outcome;
+use pim_obs::{Observer, PeCycles};
 use pim_trace::{Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, Word};
 pub use pim_trace::{Process, StepOutcome};
 
@@ -27,6 +28,9 @@ pub struct RunStats {
     pub steps: u64,
     /// Final per-PE clocks (cycles).
     pub pe_clocks: Vec<u64>,
+    /// Where each PE's cycles went: busy, bus wait, lock wait, idle.
+    /// Each entry's total equals the corresponding `pe_clocks` value.
+    pub pe_cycles: Vec<PeCycles>,
     /// Simulated completion time: the maximum PE clock.
     pub makespan: u64,
     /// Whether the process reported [`StepOutcome::Finished`] (as opposed
@@ -67,6 +71,10 @@ pub struct Engine<S> {
     bus_free: u64,
     blocked: Vec<bool>,
     idle_poll_cycles: u64,
+    // Per-PE bus-wait/lock-wait/idle accumulators; `busy` stays zero
+    // here and is derived from the clocks when stats are reported.
+    accounts: Vec<PeCycles>,
+    observer: Option<Box<dyn Observer>>,
 }
 
 impl<S: MemorySystem> Engine<S> {
@@ -78,12 +86,35 @@ impl<S: MemorySystem> Engine<S> {
             bus_free: 0,
             blocked: vec![false; pes as usize],
             idle_poll_cycles: 16,
+            accounts: vec![PeCycles::default(); pes as usize],
+            observer: None,
         }
     }
 
     /// Sets how far an idle PE's clock advances per empty poll.
     pub fn set_idle_poll_cycles(&mut self, cycles: u64) {
         self.idle_poll_cycles = cycles.max(1);
+    }
+
+    /// Attaches an observer receiving bus-grant and lock-wait events.
+    /// Without one (the `NullObserver` configuration) the instrumented
+    /// sites cost a single branch and the simulation is bit-identical.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// The per-PE cycle accounting so far. `busy` is the remainder of
+    /// each PE's clock after bus-wait, lock-wait, and idle cycles, so
+    /// every entry's total equals the PE's current clock.
+    pub fn pe_cycles(&self) -> Vec<PeCycles> {
+        self.accounts
+            .iter()
+            .zip(self.clocks.iter())
+            .map(|(acct, &clock)| PeCycles {
+                busy: clock - acct.bus_wait - acct.lock_wait - acct.idle,
+                ..*acct
+            })
+            .collect()
     }
 
     /// The wrapped memory system.
@@ -112,6 +143,8 @@ impl<S: MemorySystem> Engine<S> {
             pe,
             stalled: false,
             woken: Vec::new(),
+            account: &mut self.accounts[pe.index()],
+            observer: &mut self.observer,
         };
         f(&mut port)
     }
@@ -150,6 +183,8 @@ impl<S: MemorySystem> Engine<S> {
                 pe,
                 stalled: false,
                 woken: Vec::new(),
+                account: &mut self.accounts[pe.index()],
+                observer: &mut self.observer,
             };
             let outcome = process.step(pe, &mut port);
             let stalled = port.stalled;
@@ -158,9 +193,16 @@ impl<S: MemorySystem> Engine<S> {
             for w in woken {
                 if w != pe {
                     self.blocked[w.index()] = false;
-                    // The waiter busy-waited until the UL broadcast.
+                    // The waiter busy-waited until the UL broadcast. Its
+                    // clock stood still while blocked, so the bump is
+                    // exactly the stall duration.
                     let c = &mut self.clocks[w.index()];
+                    let waited = pe_clock_now.saturating_sub(*c);
                     *c = (*c).max(pe_clock_now);
+                    self.accounts[w.index()].lock_wait += waited;
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.lock_wait(w, waited);
+                    }
                 }
             }
             steps += 1;
@@ -170,6 +212,7 @@ impl<S: MemorySystem> Engine<S> {
                 }
                 StepOutcome::Idle => {
                     self.clocks[pe.index()] += self.idle_poll_cycles;
+                    self.accounts[pe.index()].idle += self.idle_poll_cycles;
                 }
                 StepOutcome::Stalled => {
                     assert!(stalled, "process reported a stall the port did not see");
@@ -184,6 +227,7 @@ impl<S: MemorySystem> Engine<S> {
         RunStats {
             steps,
             pe_clocks: self.clocks.clone(),
+            pe_cycles: self.pe_cycles(),
             makespan: self.clocks.iter().copied().max().unwrap_or(0),
             finished,
         }
@@ -198,6 +242,8 @@ struct EnginePort<'a, S> {
     pe: PeId,
     stalled: bool,
     woken: Vec<PeId>,
+    account: &'a mut PeCycles,
+    observer: &'a mut Option<Box<dyn Observer>>,
 }
 
 impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
@@ -221,8 +267,14 @@ impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
             } => {
                 if bus_cycles > 0 {
                     let start = (*self.clock).max(*self.bus_free);
+                    let wait = start - *self.clock;
                     *self.clock = start + bus_cycles;
                     *self.bus_free = start + bus_cycles;
+                    self.account.bus_wait += wait + bus_cycles;
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        let area = self.system.area_map().area(addr);
+                        obs.bus_grant(self.pe, op, area, wait, bus_cycles);
+                    }
                 }
                 self.woken.extend(woken);
                 PortValue::Value(value)
@@ -244,6 +296,10 @@ impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
 
     fn area_map(&self) -> &AreaMap {
         self.system.area_map()
+    }
+
+    fn now(&self) -> u64 {
+        *self.clock
     }
 }
 
@@ -350,7 +406,13 @@ mod tests {
         let flag = system.area_map().base(StorageArea::Communication);
         let mut engine = Engine::new(system, 1);
         engine.set_idle_poll_cycles(10);
-        let stats = engine.run(&mut Idler { flag_addr: flag, polls: 0 }, 1_000);
+        let stats = engine.run(
+            &mut Idler {
+                flag_addr: flag,
+                polls: 0,
+            },
+            1_000,
+        );
         assert!(stats.finished);
         assert_eq!(stats.makespan, 40, "four idle polls × 10 cycles");
     }
@@ -397,7 +459,11 @@ mod tests {
         );
         assert!(stats.finished);
         // Each miss is 13 bus cycles; serialized they end at ≥ 26.
-        assert!(stats.makespan >= 26, "makespan {} too small", stats.makespan);
+        assert!(
+            stats.makespan >= 26,
+            "makespan {} too small",
+            stats.makespan
+        );
     }
 
     #[test]

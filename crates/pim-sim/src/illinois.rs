@@ -22,10 +22,11 @@
 
 use crate::MemorySystem;
 use pim_bus::{BusCommand, BusStats, SharedMemory, Transaction};
-use pim_cache::array::CacheArray;
+use pim_cache::array::{CacheArray, Eviction};
 use pim_cache::{
     AccessStats, BlockState, LockDirectory, LockStats, Outcome, ProtocolError, SystemConfig,
 };
+use pim_obs::Observer;
 use pim_trace::{Access, Addr, AreaMap, MemOp, PeId, RefStats, StorageArea, Word};
 
 /// The Illinois baseline multiprocessor memory system.
@@ -43,6 +44,7 @@ pub struct IllinoisSystem {
     refs: RefStats,
     access_stats: AccessStats,
     lock_stats: LockStats,
+    observer: Option<Box<dyn Observer>>,
 }
 
 impl IllinoisSystem {
@@ -68,12 +70,75 @@ impl IllinoisSystem {
             refs: RefStats::new(),
             access_stats: AccessStats::new(),
             lock_stats: LockStats::new(),
+            observer: None,
         }
     }
 
     /// The cache state of `addr` in `pe`'s cache (testing hook).
     pub fn cache_state(&self, pe: PeId, addr: Addr) -> BlockState {
         self.caches[pe.index()].state_of(addr)
+    }
+
+    // Observer-aware cache mutation — same funnel as `PimSystem`; plain
+    // forwards when no observer is attached.
+
+    fn emit_transition(&mut self, pe: PeId, addr: Addr, from: BlockState, to: BlockState) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            let area = self.config.area_map.area(addr);
+            obs.state_transition(pe, area, from.into(), to.into());
+        }
+    }
+
+    fn cache_write(&mut self, pe: PeId, addr: Addr, value: Word, state: BlockState) -> bool {
+        if self.observer.is_none() {
+            return self.caches[pe.index()].write(addr, value, state);
+        }
+        let from = self.caches[pe.index()].state_of(addr);
+        let wrote = self.caches[pe.index()].write(addr, value, state);
+        if wrote && from != state {
+            self.emit_transition(pe, addr, from, state);
+        }
+        wrote
+    }
+
+    fn cache_set_state(&mut self, pe: PeId, addr: Addr, state: BlockState) -> bool {
+        if self.observer.is_none() {
+            return self.caches[pe.index()].set_state(addr, state);
+        }
+        let from = self.caches[pe.index()].state_of(addr);
+        let changed = self.caches[pe.index()].set_state(addr, state);
+        if changed && from != state {
+            self.emit_transition(pe, addr, from, state);
+        }
+        changed
+    }
+
+    fn cache_invalidate(&mut self, pe: PeId, addr: Addr) -> Option<(BlockState, Vec<Word>)> {
+        let dropped = self.caches[pe.index()].invalidate(addr);
+        if self.observer.is_some() {
+            if let Some((from, _)) = &dropped {
+                self.emit_transition(pe, addr, *from, BlockState::Inv);
+            }
+        }
+        dropped
+    }
+
+    fn cache_install(
+        &mut self,
+        pe: PeId,
+        base: Addr,
+        data: Vec<Word>,
+        state: BlockState,
+    ) -> Option<Eviction> {
+        let evicted = self.caches[pe.index()].install(base, data, state);
+        if self.observer.is_some() {
+            if let Some(ev) = &evicted {
+                let (ev_base, ev_state) = (ev.base, ev.state);
+                self.emit_transition(pe, ev_base, ev_state, BlockState::Inv);
+            }
+            self.emit_transition(pe, base, BlockState::Inv, state);
+        }
+        evicted
     }
 
     fn lock_conflict(&self, requester: PeId, base: Addr) -> Option<(PeId, Addr)> {
@@ -114,7 +179,13 @@ impl IllinoisSystem {
     /// Fetch via the bus. Illinois semantics: a dirty supplier always
     /// copies back to memory during the transfer; shared blocks are
     /// therefore always clean.
-    fn fill(&mut self, pe: PeId, addr: Addr, exclusive: bool, area: StorageArea) -> Result<u64, PeId> {
+    fn fill(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        exclusive: bool,
+        area: StorageArea,
+    ) -> Result<u64, PeId> {
         let geom = self.config.geometry;
         let base = geom.block_base(addr);
         let bw = geom.block_words;
@@ -141,19 +212,24 @@ impl IllinoisSystem {
                     // it crosses the bus — the block becomes clean.
                     let block = self.caches[sup.index()].snapshot(base).expect("supplier");
                     self.memory.write_block(base, &block);
-                    self.bus.record_reflective_copyback(area, &self.config.timing);
+                    self.bus
+                        .record_reflective_copyback(area, &self.config.timing);
                 }
                 let data = self.caches[sup.index()].snapshot(base).expect("supplier");
                 if exclusive {
                     for i in 0..self.caches.len() {
                         if i != pe.index() {
-                            self.caches[i].invalidate(base);
+                            self.cache_invalidate(PeId(i as u32), base);
                         }
                     }
                 } else {
-                    self.caches[sup.index()].set_state(base, BlockState::Shared);
+                    self.cache_set_state(sup, base, BlockState::Shared);
                 }
-                let state = if exclusive { BlockState::Ec } else { BlockState::Shared };
+                let state = if exclusive {
+                    BlockState::Ec
+                } else {
+                    BlockState::Shared
+                };
                 (data, state, true)
             }
             None => {
@@ -164,7 +240,7 @@ impl IllinoisSystem {
         };
 
         let mut swap_out = false;
-        if let Some(ev) = self.caches[pe.index()].install(base, data, state) {
+        if let Some(ev) = self.cache_install(pe, base, data, state) {
             if ev.state.is_dirty() {
                 self.memory.write_block(ev.base, &ev.data);
                 swap_out = true;
@@ -192,11 +268,15 @@ impl IllinoisSystem {
         self.bus.record_cmd(BusCommand::Invalidate);
         for i in 0..self.caches.len() {
             if i != pe.index() {
-                self.caches[i].invalidate(base);
+                self.cache_invalidate(PeId(i as u32), base);
             }
         }
-        self.bus
-            .record_tx(Transaction::Invalidate, area, &self.config.timing, geom.block_words);
+        self.bus.record_tx(
+            Transaction::Invalidate,
+            area,
+            &self.config.timing,
+            geom.block_words,
+        );
         Ok(self
             .config
             .timing
@@ -223,7 +303,7 @@ impl IllinoisSystem {
         match self.caches[pe.index()].state_of(addr) {
             BlockState::Em | BlockState::Ec => {
                 self.access_stats.hits += 1;
-                self.caches[pe.index()].write(addr, value, BlockState::Em);
+                self.cache_write(pe, addr, value, BlockState::Em);
                 done(value, 0, true)
             }
             BlockState::Shared => {
@@ -231,7 +311,7 @@ impl IllinoisSystem {
                 match self.upgrade(pe, addr, area) {
                     Err(holder) => Outcome::LockBusy { holder },
                     Ok(cycles) => {
-                        self.caches[pe.index()].write(addr, value, BlockState::Em);
+                        self.cache_write(pe, addr, value, BlockState::Em);
                         done(value, cycles, true)
                     }
                 }
@@ -240,7 +320,7 @@ impl IllinoisSystem {
             BlockState::Inv => match self.fill(pe, addr, true, area) {
                 Err(holder) => Outcome::LockBusy { holder },
                 Ok(cycles) => {
-                    self.caches[pe.index()].write(addr, value, BlockState::Em);
+                    self.cache_write(pe, addr, value, BlockState::Em);
                     done(value, cycles, false)
                 }
             },
@@ -249,7 +329,12 @@ impl IllinoisSystem {
 
     /// A conventional bus-locked read: always one bus command, even on an
     /// exclusive hit.
-    fn lock_read(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Result<Outcome, ProtocolError> {
+    fn lock_read(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        area: StorageArea,
+    ) -> Result<Outcome, ProtocolError> {
         if self.lockdirs[pe.index()].holds(addr) {
             return Err(ProtocolError::AlreadyLocked { addr });
         }
@@ -264,7 +349,7 @@ impl IllinoisSystem {
             BlockState::Shared => match self.upgrade(pe, addr, area) {
                 Err(holder) => return Ok(Outcome::LockBusy { holder }),
                 Ok(c) => {
-                    self.caches[pe.index()].set_state(addr, BlockState::Ec);
+                    self.cache_set_state(pe, addr, BlockState::Ec);
                     c
                 }
             },
@@ -299,7 +384,12 @@ impl IllinoisSystem {
         Ok(done(value, fetch_cycles + lock_cycles, hit))
     }
 
-    fn release(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Result<(u64, Vec<PeId>), ProtocolError> {
+    fn release(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        area: StorageArea,
+    ) -> Result<(u64, Vec<PeId>), ProtocolError> {
         let woken = self.lockdirs[pe.index()].unlock(addr)?;
         self.lock_stats.unlock_total += 1;
         // Conventional locks always broadcast the release.
@@ -344,7 +434,9 @@ impl MemorySystem for IllinoisSystem {
                 let value = data.expect("uw data");
                 let w = self.write(pe, addr, value, area);
                 let (mut cycles, hit) = match w {
-                    Outcome::Done { bus_cycles, hit, .. } => (bus_cycles, hit),
+                    Outcome::Done {
+                        bus_cycles, hit, ..
+                    } => (bus_cycles, hit),
                     Outcome::LockBusy { .. } => unreachable!("held lock keeps others away"),
                 };
                 let (ul, woken) = self.release(pe, addr, area)?;
@@ -407,6 +499,10 @@ impl MemorySystem for IllinoisSystem {
 
     fn lock_stats(&self) -> &LockStats {
         &self.lock_stats
+    }
+
+    fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
     }
 }
 

@@ -1,7 +1,8 @@
 //! The memory-system abstraction the engine drives.
 
-use pim_cache::{AccessStats, LockStats, Outcome, PimSystem, ProtocolError};
 use pim_bus::BusStats;
+use pim_cache::{AccessStats, LockStats, Outcome, PimSystem, ProtocolError};
+use pim_obs::Observer;
 use pim_trace::{Addr, AreaMap, MemOp, PeId, RefStats, Word};
 
 /// A coherent multiprocessor memory system: the PIM protocol, the Illinois
@@ -43,6 +44,13 @@ pub trait MemorySystem {
 
     /// Accumulated lock-protocol statistics.
     fn lock_stats(&self) -> &LockStats;
+
+    /// Attaches an observer receiving coherence state-transition events.
+    /// The default discards it — implementations without instrumentation
+    /// simply stay silent.
+    fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        let _ = observer;
+    }
 }
 
 impl MemorySystem for PimSystem {
@@ -83,6 +91,10 @@ impl MemorySystem for PimSystem {
     fn lock_stats(&self) -> &LockStats {
         PimSystem::lock_stats(self)
     }
+
+    fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        PimSystem::set_observer(self, observer)
+    }
 }
 
 #[cfg(test)]
@@ -93,8 +105,7 @@ mod tests {
 
     #[test]
     fn pim_system_implements_the_trait() {
-        let mut sys: Box<dyn MemorySystem> =
-            Box::new(PimSystem::new(SystemConfig::default()));
+        let mut sys: Box<dyn MemorySystem> = Box::new(PimSystem::new(SystemConfig::default()));
         let h = sys.area_map().base(StorageArea::Heap);
         sys.poke(h, 3);
         let out = sys.access(PeId(0), MemOp::Read, h, None).unwrap();

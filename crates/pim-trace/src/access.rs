@@ -48,7 +48,11 @@ impl Access {
 
 impl fmt::Display for Access {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {:#x} [{}]", self.pe, self.op, self.addr, self.area)
+        write!(
+            f,
+            "{} {} {:#x} [{}]",
+            self.pe, self.op, self.addr, self.area
+        )
     }
 }
 

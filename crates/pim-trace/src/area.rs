@@ -152,7 +152,10 @@ impl AreaMap {
     /// Panics if `addr` lies outside every area — that is always a bug in
     /// the abstract machine, not a recoverable condition.
     pub fn area(&self, addr: Addr) -> StorageArea {
-        assert!(addr < self.end, "address {addr:#x} outside the mapped space");
+        assert!(
+            addr < self.end,
+            "address {addr:#x} outside the mapped space"
+        );
         // Linear scan over five segments beats binary search at this size.
         let mut found = StorageArea::Instruction;
         for area in StorageArea::ALL {

@@ -78,10 +78,7 @@ impl MemOp {
     pub fn is_write(self) -> bool {
         matches!(
             self,
-            MemOp::Write
-                | MemOp::DirectWrite
-                | MemOp::DirectWriteDown
-                | MemOp::WriteUnlock
+            MemOp::Write | MemOp::DirectWrite | MemOp::DirectWriteDown | MemOp::WriteUnlock
         )
     }
 

@@ -60,6 +60,13 @@ pub trait MemoryPort {
     /// The storage-area partition in effect.
     fn area_map(&self) -> &AreaMap;
 
+    /// The issuing PE's current simulated cycle, when the port models
+    /// time. Untimed ports (flat memory, test doubles) report 0, so the
+    /// value is suitable for event timestamps but not for control flow.
+    fn now(&self) -> u64 {
+        0
+    }
+
     /// Convenience: ordinary read.
     fn read(&mut self, addr: Addr) -> PortValue {
         self.op(MemOp::Read, addr, None)

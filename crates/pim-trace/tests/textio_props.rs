@@ -1,0 +1,51 @@
+//! Round-trip property tests of the plain-text trace format:
+//! `read_trace ∘ write_trace` is the identity on arbitrary traces, and
+//! the written form itself is a fixed point (format ∘ parse ∘ format =
+//! format ∘ parse).
+
+use pim_trace::{read_trace, write_trace, Access, MemOp, PeId, StorageArea};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (
+        0u32..64,
+        proptest::sample::select(MemOp::ALL.to_vec()),
+        any::<u64>(),
+        proptest::sample::select(StorageArea::ALL.to_vec()),
+    )
+        .prop_map(|(pe, op, addr, area)| Access::new(PeId(pe), op, addr, area))
+}
+
+proptest! {
+    #[test]
+    fn parse_inverts_format(trace in proptest::collection::vec(access_strategy(), 0..200)) {
+        let mut text = Vec::new();
+        write_trace(&mut text, &trace).expect("write to Vec");
+        let parsed = read_trace(Cursor::new(&text)).expect("parse own output");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn formatting_is_a_fixed_point(trace in proptest::collection::vec(access_strategy(), 0..50)) {
+        let mut once = Vec::new();
+        write_trace(&mut once, &trace).expect("write to Vec");
+        let parsed = read_trace(Cursor::new(&once)).expect("parse own output");
+        let mut twice = Vec::new();
+        write_trace(&mut twice, &parsed).expect("write to Vec");
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped(trace in proptest::collection::vec(access_strategy(), 1..20)) {
+        let mut text = Vec::new();
+        write_trace(&mut text, &trace).expect("write to Vec");
+        let mut noisy = String::from("# header comment\n\n");
+        for line in std::str::from_utf8(&text).unwrap().lines() {
+            noisy.push_str(line);
+            noisy.push_str("\n\n# trailing comment\n");
+        }
+        let parsed = read_trace(Cursor::new(noisy.as_bytes())).expect("parse noisy trace");
+        prop_assert_eq!(parsed, trace);
+    }
+}

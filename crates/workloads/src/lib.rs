@@ -90,7 +90,10 @@ impl Bench {
 
     /// Lines of FGHC source (the paper's Table 1 "lines" column).
     pub fn source_lines(self) -> usize {
-        self.source().lines().filter(|l| !l.trim().is_empty()).count()
+        self.source()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
     }
 
     /// The query `(procedure, arguments)` for `scale`. The answer is
@@ -101,12 +104,7 @@ impl Bench {
             Bench::Tri => ("main", vec![Term::Int(scale.tri_depth), r]),
             Bench::Semi => (
                 "main",
-                vec![
-                    Term::Int(scale.semi_modulus),
-                    Term::Int(2),
-                    Term::Int(3),
-                    r,
-                ],
+                vec![Term::Int(scale.semi_modulus), Term::Int(2), Term::Int(3), r],
             ),
             Bench::Puzzle => {
                 if scale.puzzle_large {
@@ -174,6 +172,20 @@ impl Scale {
             puzzle_large: true,
             pascal_rows: 500,
             bup_tokens: 24,
+        }
+    }
+
+    /// The scale's name in reports: one of the three presets, or
+    /// `"custom"` for hand-built sizes.
+    pub fn name(self) -> &'static str {
+        if self == Scale::smoke() {
+            "smoke"
+        } else if self == Scale::small() {
+            "small"
+        } else if self == Scale::paper() {
+            "paper"
+        } else {
+            "custom"
         }
     }
 }

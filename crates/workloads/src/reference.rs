@@ -184,10 +184,7 @@ pub fn semi_closure_size(m: i64) -> i64 {
 /// Identical to the tables in `puzzle.fghc`.
 fn puzzle_pieces(large: bool) -> Vec<Vec<Vec<(i64, i64)>>> {
     let o = vec![vec![(0, 1), (1, 0), (1, 1)]];
-    let i = vec![
-        vec![(0, 1), (0, 2), (0, 3)],
-        vec![(1, 0), (2, 0), (3, 0)],
-    ];
+    let i = vec![vec![(0, 1), (0, 2), (0, 3)], vec![(1, 0), (2, 0), (3, 0)]];
     let l = vec![
         vec![(1, 0), (2, 0), (2, 1)],
         vec![(0, 1), (0, 2), (1, 0)],

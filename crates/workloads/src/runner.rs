@@ -5,8 +5,9 @@
 use crate::{reference, Bench, Scale};
 use fghc::Term;
 use kl1_machine::{Cluster, ClusterConfig, FlatPort};
-use pim_cache::{AccessStats, LockStats, PimSystem, SystemConfig};
 use pim_bus::BusStats;
+use pim_cache::{AccessStats, LockStats, PimSystem, SystemConfig};
+use pim_obs::{Metrics, PeCycles, SharedMetrics};
 use pim_sim::{Engine, IllinoisSystem, MemorySystem};
 use pim_trace::{PeId, RefStats};
 
@@ -31,6 +32,12 @@ pub struct RunReport {
     pub locks: LockStats,
     /// Simulated completion time in cycles (0 for flat runs).
     pub makespan: u64,
+    /// Per-PE busy / bus-wait / lock-wait / idle cycle accounting
+    /// (empty for flat runs).
+    pub pe_cycles: Vec<PeCycles>,
+    /// Event-level metrics, present only for profiled runs
+    /// ([`run_pim_profiled`] and friends).
+    pub metrics: Option<Metrics>,
     /// The computed answer (already validated against the oracle).
     pub answer: Term,
 }
@@ -38,7 +45,13 @@ pub struct RunReport {
 const MAX_STEPS: u64 = 4_000_000_000;
 
 fn build_cluster(bench: Bench, scale: Scale, pes: u32, block_words: u64) -> Cluster {
-    build_cluster_with(bench, scale, pes, block_words, fghc::CompileOptions::default())
+    build_cluster_with(
+        bench,
+        scale,
+        pes,
+        block_words,
+        fghc::CompileOptions::default(),
+    )
 }
 
 fn build_cluster_with(
@@ -108,6 +121,8 @@ pub fn run_pim_gc(
         access: *system.access_stats(),
         locks: *system.lock_stats(),
         makespan: stats.makespan,
+        pe_cycles: stats.pe_cycles,
+        metrics: None,
         answer,
     };
     (report, gc)
@@ -145,6 +160,8 @@ pub fn run_pim_compiled(
         access: *system.access_stats(),
         locks: *system.lock_stats(),
         makespan: stats.makespan,
+        pe_cycles: stats.pe_cycles,
+        metrics: None,
         answer,
     }
 }
@@ -180,6 +197,8 @@ pub fn run_flat(bench: Bench, scale: Scale, pes: u32) -> RunReport {
         access: AccessStats::new(),
         locks: LockStats::new(),
         makespan: 0,
+        pe_cycles: Vec::new(),
+        metrics: None,
         answer,
     }
 }
@@ -208,8 +227,40 @@ pub fn run_on_aligned<S: MemorySystem>(
     system: S,
     block_words: u64,
 ) -> (RunReport, S) {
+    run_on_observed(bench, scale, pes, system, block_words, None)
+}
+
+/// Like [`run_on_aligned`], with event-level metrics collection: the
+/// shared sink is attached to the machine, the memory system, and the
+/// engine, and the aggregate lands in [`RunReport::metrics`].
+pub fn run_on_profiled<S: MemorySystem>(
+    bench: Bench,
+    scale: Scale,
+    pes: u32,
+    system: S,
+    block_words: u64,
+) -> (RunReport, S) {
+    let shared = SharedMetrics::new();
+    run_on_observed(bench, scale, pes, system, block_words, Some(&shared))
+}
+
+fn run_on_observed<S: MemorySystem>(
+    bench: Bench,
+    scale: Scale,
+    pes: u32,
+    mut system: S,
+    block_words: u64,
+    profile: Option<&SharedMetrics>,
+) -> (RunReport, S) {
     let mut cluster = build_cluster(bench, scale, pes, block_words);
+    if let Some(shared) = profile {
+        cluster.set_observer(shared.observer());
+        system.set_observer(shared.observer());
+    }
     let mut engine = Engine::new(system, pes);
+    if let Some(shared) = profile {
+        engine.set_observer(shared.observer());
+    }
     let stats = engine.run(&mut cluster, MAX_STEPS);
     assert!(stats.finished, "{} exceeded the step budget", bench.name());
     if let Some(msg) = cluster.failure() {
@@ -230,6 +281,8 @@ pub fn run_on_aligned<S: MemorySystem>(
         access: *system.access_stats(),
         locks: *system.lock_stats(),
         makespan: stats.makespan,
+        pe_cycles: stats.pe_cycles,
+        metrics: profile.map(SharedMetrics::take),
         answer,
     };
     (report, system)
@@ -241,6 +294,20 @@ pub fn run_pim(bench: Bench, scale: Scale, config: SystemConfig) -> RunReport {
     let block = config.geometry.block_words;
     let system = PimSystem::new(config);
     let (report, system) = run_on_aligned(bench, scale, pes, system, block);
+    system
+        .check_coherence_invariants()
+        .expect("coherence invariants after run");
+    report
+}
+
+/// Runs `bench` on the PIM cache with event-level metrics collection
+/// ([`RunReport::metrics`] is `Some`). Observation is passive: the
+/// simulated results are identical to [`run_pim`]'s.
+pub fn run_pim_profiled(bench: Bench, scale: Scale, config: SystemConfig) -> RunReport {
+    let pes = config.pes;
+    let block = config.geometry.block_words;
+    let system = PimSystem::new(config);
+    let (report, system) = run_on_profiled(bench, scale, pes, system, block);
     system
         .check_coherence_invariants()
         .expect("coherence invariants after run");
@@ -305,6 +372,28 @@ mod tests {
             );
             assert!(report.bus.total_cycles() > 0, "{}", bench.name());
         }
+    }
+
+    #[test]
+    fn profiling_is_passive() {
+        let config = SystemConfig {
+            pes: 2,
+            ..SystemConfig::default()
+        };
+        let plain = run_pim(Bench::Semi, Scale::smoke(), config.clone());
+        let profiled = run_pim_profiled(Bench::Semi, Scale::smoke(), config);
+        assert_eq!(plain.makespan, profiled.makespan);
+        assert_eq!(plain.bus.total_cycles(), profiled.bus.total_cycles());
+        assert_eq!(plain.refs, profiled.refs);
+        let metrics = profiled.metrics.expect("profiled run collects metrics");
+        assert!(metrics.transitions_total().total() > 0);
+        assert!(metrics.bus_wait.count() > 0);
+        assert!(metrics.reductions_by_pe.iter().sum::<u64>() > 0);
+        assert_eq!(profiled.pe_cycles.len(), 2);
+        // Each PE's account sums to its final clock; the makespan is the
+        // latest of those clocks.
+        let max_total = profiled.pe_cycles.iter().map(PeCycles::total).max();
+        assert_eq!(max_total, Some(profiled.makespan));
     }
 
     #[test]

@@ -94,7 +94,12 @@ pub fn lock_churn(pes: u32, pairs_per_pe: u64, contention_percent: u32, seed: u6
                 own
             };
             let _ = round;
-            trace.push(Access::new(PeId(pe), MemOp::LockRead, addr, StorageArea::Heap));
+            trace.push(Access::new(
+                PeId(pe),
+                MemOp::LockRead,
+                addr,
+                StorageArea::Heap,
+            ));
             trace.push(Access::new(
                 PeId(pe),
                 MemOp::WriteUnlock,
@@ -238,7 +243,12 @@ pub fn aurora_like(workers: u32, ops_per_worker: u64, seed: u64) -> Vec<Access> 
                         let cp = map.base(StorageArea::Communication)
                             + u64::from(victim) * block * 8
                             + u64::from(w) % block;
-                        trace.push(Access::new(pe, MemOp::LockRead, cp, StorageArea::Communication));
+                        trace.push(Access::new(
+                            pe,
+                            MemOp::LockRead,
+                            cp,
+                            StorageArea::Communication,
+                        ));
                         trace.push(Access::new(
                             pe,
                             MemOp::WriteUnlock,

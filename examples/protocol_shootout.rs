@@ -13,7 +13,11 @@ use workloads::{Bench, Scale};
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let scale = if paper { Scale::paper() } else { Scale::small() };
+    let scale = if paper {
+        Scale::paper()
+    } else {
+        Scale::small()
+    };
 
     println!(
         "{:8} {:>12} {:>12} {:>7}  {:>12} {:>12} {:>7}",
@@ -27,7 +31,8 @@ fn main() {
         };
         let pim = run_pim(bench, scale, config.clone());
         let ill = run_illinois(bench, scale, config);
-        let bus_save = 100.0 - 100.0 * pim.bus.total_cycles() as f64 / ill.bus.total_cycles() as f64;
+        let bus_save =
+            100.0 - 100.0 * pim.bus.total_cycles() as f64 / ill.bus.total_cycles() as f64;
         let mem_save = 100.0
             - 100.0 * pim.bus.memory_busy_cycles() as f64 / ill.bus.memory_busy_cycles() as f64;
         println!(

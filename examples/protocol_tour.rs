@@ -37,33 +37,98 @@ fn main() {
     println!("cache states shown as [PE0 / PE1 / PE2]\n");
 
     println!("-- direct write: structure creation without fetch-on-write --");
-    show(&mut sys, 0, MemOp::DirectWrite, heap, Some(1), "block-boundary miss: 0 cycles!");
-    show(&mut sys, 0, MemOp::Write, heap + 1, Some(2), "rest of the block: ordinary hits");
+    show(
+        &mut sys,
+        0,
+        MemOp::DirectWrite,
+        heap,
+        Some(1),
+        "block-boundary miss: 0 cycles!",
+    );
+    show(
+        &mut sys,
+        0,
+        MemOp::Write,
+        heap + 1,
+        Some(2),
+        "rest of the block: ordinary hits",
+    );
     show(&mut sys, 0, MemOp::Write, heap + 2, Some(3), "");
     show(&mut sys, 0, MemOp::Write, heap + 3, Some(4), "");
 
     println!("\n-- dirty sharing: the SM state (no copy-back on transfer) --");
-    show(&mut sys, 1, MemOp::Read, heap, None, "cache-to-cache; PE0 keeps ownership as SM");
+    show(
+        &mut sys,
+        1,
+        MemOp::Read,
+        heap,
+        None,
+        "cache-to-cache; PE0 keeps ownership as SM",
+    );
     show(&mut sys, 2, MemOp::Read, heap, None, "third sharer");
-    println!("   memory busy so far: {} cycles (the dirty block never went to memory)",
-        sys.bus_stats().memory_busy_cycles());
+    println!(
+        "   memory busy so far: {} cycles (the dirty block never went to memory)",
+        sys.bus_stats().memory_busy_cycles()
+    );
 
     println!("\n-- write to shared: invalidation --");
-    show(&mut sys, 1, MemOp::Write, heap, Some(9), "I broadcast, others die");
+    show(
+        &mut sys,
+        1,
+        MemOp::Write,
+        heap,
+        Some(9),
+        "I broadcast, others die",
+    );
 
     println!("\n-- the goal-record pattern: DW create, ER consume --");
-    show(&mut sys, 0, MemOp::DirectWrite, goal, Some(10), "sender creates the record");
+    show(
+        &mut sys,
+        0,
+        MemOp::DirectWrite,
+        goal,
+        Some(10),
+        "sender creates the record",
+    );
     show(&mut sys, 0, MemOp::Write, goal + 1, Some(11), "");
-    show(&mut sys, 1, MemOp::ExclusiveRead, goal, None, "receiver: read-invalidate, sender purged");
+    show(
+        &mut sys,
+        1,
+        MemOp::ExclusiveRead,
+        goal,
+        None,
+        "receiver: read-invalidate, sender purged",
+    );
     show(&mut sys, 1, MemOp::ExclusiveRead, goal + 1, None, "");
     show(&mut sys, 1, MemOp::ExclusiveRead, goal + 2, None, "");
-    show(&mut sys, 1, MemOp::ExclusiveRead, goal + 3, None, "last word: receiver self-purges");
+    show(
+        &mut sys,
+        1,
+        MemOp::ExclusiveRead,
+        goal + 3,
+        None,
+        "last word: receiver self-purges",
+    );
     assert_eq!(sys.cache_state(PeId(1), goal), BlockState::Inv);
     println!("   the record crossed PEs in one bus transaction and is cached nowhere");
 
     println!("\n-- hardware locks: free when exclusive --");
-    show(&mut sys, 1, MemOp::LockRead, heap, None, "LR on an exclusive block: no bus");
-    show(&mut sys, 1, MemOp::WriteUnlock, heap, Some(42), "UW, no waiter: no bus");
+    show(
+        &mut sys,
+        1,
+        MemOp::LockRead,
+        heap,
+        None,
+        "LR on an exclusive block: no bus",
+    );
+    show(
+        &mut sys,
+        1,
+        MemOp::WriteUnlock,
+        heap,
+        Some(42),
+        "UW, no waiter: no bus",
+    );
 
     let ls = sys.lock_stats();
     println!(

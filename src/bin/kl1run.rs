@@ -12,6 +12,8 @@
 //!   --indexed         compile with first-argument clause indexing
 //!   --stats           print machine and memory statistics
 //!   --code            dump the compiled abstract code and exit
+//!   --profile FILE    write a JSON profile (cycle accounts, latency
+//!                     histograms, coherence transitions) to FILE
 //!
 //! The goal defaults to `main/1` called as `main(X)`; pass a name to call
 //! `<name>(X)` instead. The binding of X is printed as the result.
@@ -19,6 +21,8 @@
 
 use kl1_machine::{Cluster, ClusterConfig};
 use pim_cache::{OptMask, PimSystem, SystemConfig};
+use pim_obs::{Json, SharedMetrics};
+use pim_repro::report;
 use pim_sim::{Engine, IllinoisSystem, MemorySystem};
 use pim_trace::{PeId, StorageArea};
 
@@ -31,6 +35,7 @@ struct Options {
     indexed: bool,
     stats: bool,
     code: bool,
+    profile: Option<String>,
     file: String,
     goal: String,
 }
@@ -38,9 +43,22 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: kl1run [--pes N] [--flat] [--illinois] [--no-opt] [--gc WORDS] \
-         [--indexed] [--stats] [--code] <program.fghc> [goal]"
+         [--indexed] [--stats] [--code] [--profile FILE] <program.fghc> [goal]"
     );
     std::process::exit(2);
+}
+
+/// Parses a numeric flag value, naming the flag and the offending value
+/// on failure (exit 2, like every other bad invocation).
+fn numeric_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("kl1run: {flag} needs a numeric argument");
+        std::process::exit(2);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("kl1run: invalid value `{v}` for {flag} (expected a number)");
+        std::process::exit(2);
+    })
 }
 
 fn parse_args() -> Options {
@@ -53,6 +71,7 @@ fn parse_args() -> Options {
         indexed: false,
         stats: false,
         code: false,
+        profile: None,
         file: String::new(),
         goal: "main".into(),
     };
@@ -60,20 +79,26 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--pes" => {
-                opts.pes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
+            "--pes" => opts.pes = numeric_flag("--pes", args.next()),
             "--flat" => opts.flat = true,
             "--illinois" => opts.illinois = true,
             "--no-opt" => opts.no_opt = true,
-            "--gc" => {
-                opts.gc = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
-            }
+            "--gc" => opts.gc = Some(numeric_flag("--gc", args.next())),
             "--indexed" => opts.indexed = true,
             "--stats" => opts.stats = true,
             "--code" => opts.code = true,
+            "--profile" => match args.next() {
+                Some(path) => opts.profile = Some(path),
+                None => {
+                    eprintln!("kl1run: --profile needs a file argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => usage(),
-            other if other.starts_with("--") => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("kl1run: unknown flag `{other}`");
+                usage()
+            }
             other => positional.push(other.to_string()),
         }
     }
@@ -129,12 +154,19 @@ fn main() {
     } else if cluster.program().lookup(&opts.goal, 0).is_some() {
         cluster.set_query(&opts.goal, vec![]);
     } else {
-        eprintln!("kl1run: no {}/1 or {}/0 in {}", opts.goal, opts.goal, opts.file);
+        eprintln!(
+            "kl1run: no {}/1 or {}/0 in {}",
+            opts.goal, opts.goal, opts.file
+        );
         std::process::exit(1);
     }
 
     let started = std::time::Instant::now();
-    let mask = if opts.no_opt { OptMask::none() } else { OptMask::all() };
+    let mask = if opts.no_opt {
+        OptMask::none()
+    } else {
+        OptMask::all()
+    };
     let config = SystemConfig {
         pes: opts.pes,
         opt_mask: mask,
@@ -193,13 +225,50 @@ fn main() {
     };
 
     const MAX_STEPS: u64 = u64::MAX;
+    let shared = opts.profile.as_ref().map(|_| SharedMetrics::new());
+    if let Some(s) = &shared {
+        cluster.set_observer(s.observer());
+    }
+
+    // Builds and writes the JSON profile; a no-op without `--profile`.
+    let write_profile =
+        |protocol: &str, cluster: &Cluster, memory: Json, pe_cycles: &[pim_obs::PeCycles]| {
+            let (Some(path), Some(s)) = (&opts.profile, &shared) else {
+                return;
+            };
+            let mut doc = report::envelope("kl1run");
+            doc.push("program", Json::from(opts.file.as_str()));
+            doc.push("goal", Json::from(opts.goal.as_str()));
+            doc.push("pes", Json::from(opts.pes));
+            doc.push("protocol", Json::from(protocol));
+            doc.push("machine", report::machine_json(&cluster.stats()));
+            doc.push("memory", memory);
+            report::push_instrumentation(&mut doc, pe_cycles, &s.take());
+            if let Err(e) = report::write_report(path, &doc) {
+                eprintln!("kl1run: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+
     if opts.flat {
         let port = kl1_machine::run_flat(&mut cluster, MAX_STEPS);
-        let result = if arity1 { cluster.extract(&port, "X") } else { None };
+        let result = if arity1 {
+            cluster.extract(&port, "X")
+        } else {
+            None
+        };
         print_result(&cluster, result);
         print_stats(&cluster, None, 0);
+        write_profile("flat", &cluster, Json::Null, &[]);
     } else if opts.illinois {
-        let mut engine = Engine::new(IllinoisSystem::new(config), opts.pes);
+        let mut system = IllinoisSystem::new(config);
+        if let Some(s) = &shared {
+            system.set_observer(s.observer());
+        }
+        let mut engine = Engine::new(system, opts.pes);
+        if let Some(s) = &shared {
+            engine.set_observer(s.observer());
+        }
         let run = engine.run(&mut cluster, MAX_STEPS);
         let result = if arity1 {
             engine.with_port(PeId(0), |p| cluster.extract(p, "X"))
@@ -208,8 +277,17 @@ fn main() {
         };
         print_result(&cluster, result);
         print_stats(&cluster, Some(engine.system()), run.makespan);
+        let memory = report::memory_json(engine.system(), run.makespan);
+        write_profile("illinois", &cluster, memory, &run.pe_cycles);
     } else {
-        let mut engine = Engine::new(PimSystem::new(config), opts.pes);
+        let mut system = PimSystem::new(config);
+        if let Some(s) = &shared {
+            system.set_observer(s.observer());
+        }
+        let mut engine = Engine::new(system, opts.pes);
+        if let Some(s) = &shared {
+            engine.set_observer(s.observer());
+        }
         let run = engine.run(&mut cluster, MAX_STEPS);
         let result = if arity1 {
             engine.with_port(PeId(0), |p| cluster.extract(p, "X"))
@@ -218,5 +296,7 @@ fn main() {
         };
         print_result(&cluster, result);
         print_stats(&cluster, Some(engine.system()), run.makespan);
+        let memory = report::memory_json(engine.system(), run.makespan);
+        write_profile("pim", &cluster, memory, &run.pe_cycles);
     }
 }

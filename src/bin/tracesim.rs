@@ -14,6 +14,8 @@
 //!   --bus-width W    bus width in words (default 1)
 //!   --gen NAME       ignore the file; generate a built-in synthetic trace
 //!                    (producer-consumer | heap-mix | lock-churn | aurora)
+//!   --report FILE    write a JSON report (traffic, cycle accounts,
+//!                    latency histograms, coherence transitions) to FILE
 //! ```
 //!
 //! Trace lines are `PE OP ADDR AREA`, e.g. `0 DW 0x11000000 goal` — see
@@ -25,13 +27,16 @@
 
 use pim_bus::BusTiming;
 use pim_cache::{CacheGeometry, OptMask, PimSystem, SystemConfig};
+use pim_obs::{Json, SharedMetrics};
+use pim_repro::report;
 use pim_sim::{Engine, IllinoisSystem, MemorySystem, Replayer};
 use pim_trace::{Access, StorageArea};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tracesim [--pes N] [--illinois] [--no-opt] [--block W] \
-         [--capacity W] [--ways N] [--bus-width W] (<trace.txt> | --gen NAME)"
+         [--capacity W] [--ways N] [--bus-width W] [--report FILE] \
+         (<trace.txt> | --gen NAME)"
     );
     std::process::exit(2);
 }
@@ -45,12 +50,21 @@ fn main() {
     let mut ways = 4u64;
     let mut bus_width = 1u64;
     let mut generator: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut next_u64 = |_name: &str| -> u64 {
-            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+        // Numeric flag values fail loudly: name the flag and the value.
+        let mut next_u64 = |name: &str| -> u64 {
+            let Some(v) = args.next() else {
+                eprintln!("tracesim: --{name} needs a numeric argument");
+                std::process::exit(2);
+            };
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("tracesim: invalid value `{v}` for --{name} (expected a number)");
+                std::process::exit(2);
+            })
         };
         match a.as_str() {
             "--pes" => pes = Some(next_u64("pes") as u32),
@@ -61,8 +75,18 @@ fn main() {
             "--ways" => ways = next_u64("ways"),
             "--bus-width" => bus_width = next_u64("bus-width"),
             "--gen" => generator = Some(args.next().unwrap_or_else(|| usage())),
+            "--report" => match args.next() {
+                Some(path) => report_path = Some(path),
+                None => {
+                    eprintln!("tracesim: --report needs a file argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => usage(),
-            other if other.starts_with("--") => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("tracesim: unknown flag `{other}`");
+                usage()
+            }
             other => file = Some(other.to_string()),
         }
     }
@@ -110,18 +134,70 @@ fn main() {
             bus_width_words: bus_width,
             memory_cycles: 8,
         },
-        opt_mask: if no_opt { OptMask::none() } else { OptMask::all() },
+        opt_mask: if no_opt {
+            OptMask::none()
+        } else {
+            OptMask::all()
+        },
         ..SystemConfig::default()
     };
 
+    let shared = report_path.as_ref().map(|_| SharedMetrics::new());
+
+    // Builds and writes the JSON report; a no-op without `--report`.
+    let write_report =
+        |label: &str, sys: &dyn MemorySystem, makespan: u64, pe_cycles: &[pim_obs::PeCycles]| {
+            let (Some(path), Some(s)) = (&report_path, &shared) else {
+                return;
+            };
+            let mut doc = report::envelope("tracesim");
+            doc.push("protocol", Json::from(label));
+            doc.push(
+                "config",
+                Json::obj([
+                    ("pes", Json::from(pes)),
+                    ("capacity_words", Json::from(capacity)),
+                    ("ways", Json::from(ways)),
+                    ("block_words", Json::from(block)),
+                    ("bus_width_words", Json::from(bus_width)),
+                ]),
+            );
+            doc.push("accesses", Json::from(trace.len()));
+            doc.push("memory", report::memory_json(sys, makespan));
+            report::push_instrumentation(&mut doc, pe_cycles, &s.take());
+            if let Err(e) = report::write_report(path, &doc) {
+                eprintln!("tracesim: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+
     let mut replayer = Replayer::from_merged(&trace, pes);
     let (label, report) = if illinois {
-        let mut engine = Engine::new(IllinoisSystem::new(config), pes);
+        let mut system = IllinoisSystem::new(config);
+        if let Some(s) = &shared {
+            system.set_observer(s.observer());
+        }
+        let mut engine = Engine::new(system, pes);
+        if let Some(s) = &shared {
+            engine.set_observer(s.observer());
+        }
         let run = engine.run(&mut replayer, u64::MAX);
-        ("Illinois", summarize(engine.system(), run.makespan, trace.len()))
+        write_report("Illinois", engine.system(), run.makespan, &run.pe_cycles);
+        (
+            "Illinois",
+            summarize(engine.system(), run.makespan, trace.len()),
+        )
     } else {
-        let mut engine = Engine::new(PimSystem::new(config), pes);
+        let mut system = PimSystem::new(config);
+        if let Some(s) = &shared {
+            system.set_observer(s.observer());
+        }
+        let mut engine = Engine::new(system, pes);
+        if let Some(s) = &shared {
+            engine.set_observer(s.observer());
+        }
         let run = engine.run(&mut replayer, u64::MAX);
+        write_report("PIM", engine.system(), run.makespan, &run.pe_cycles);
         ("PIM", summarize(engine.system(), run.makespan, trace.len()))
     };
     println!("protocol: {label}  ({pes} PEs, {capacity}w {ways}-way, {block}-word blocks, {bus_width}-word bus)");
@@ -136,7 +212,12 @@ fn summarize(sys: &dyn MemorySystem, makespan: u64, accesses: usize) -> String {
     for area in StorageArea::ALL {
         let cycles = bus.area_cycles(area);
         if cycles > 0 {
-            out += &format!("  {:5}         {:>10}  ({:.1}%)\n", area.label(), cycles, bus.area_cycle_pct(area));
+            out += &format!(
+                "  {:5}         {:>10}  ({:.1}%)\n",
+                area.label(),
+                cycles,
+                bus.area_cycle_pct(area)
+            );
         }
     }
     out += &format!("memory busy:    {} cycles\n", bus.memory_busy_cycles());

@@ -11,6 +11,9 @@
 //! * [`pim_cache`] — **the paper's contribution**: the five-state
 //!   copy-back protocol, the separate lock directory, and the `DW`/`ER`/
 //!   `RP`/`RI` optimized memory commands;
+//! * [`pim_obs`] — the observability layer: latency histograms,
+//!   coherence-transition matrices, per-PE cycle accounting, and the
+//!   deterministic JSON report writer;
 //! * [`pim_sim`] — the deterministic multiprocessor engine and the
 //!   Illinois baseline protocol;
 //! * [`fghc`] — the Flat Guarded Horn Clauses front end (lexer, parser,
@@ -26,10 +29,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 pub use fghc;
 pub use kl1_machine;
 pub use pim_bus;
 pub use pim_cache;
+pub use pim_obs;
 pub use pim_sim;
 pub use pim_trace;
 pub use workloads;

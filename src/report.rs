@@ -1,0 +1,108 @@
+//! Shared assembly of the machine-readable run reports written by
+//! `kl1run --profile` and `tracesim --report`.
+//!
+//! Both tools emit one JSON document with the same envelope as the
+//! `repro --json` experiment files (`"schema": "pim-repro/v1"`) and the
+//! same wire forms for histograms, transition matrices, and per-PE
+//! cycle accounts, so downstream consumers parse all three sources with
+//! one reader. Serialization is deterministic: identical runs produce
+//! byte-identical files.
+
+use kl1_machine::MachineStats;
+use pim_obs::{pe_cycles_json, Json, Metrics, PeCycles};
+use pim_sim::MemorySystem;
+use pim_trace::StorageArea;
+
+/// The schema identifier shared with the `repro --json` documents.
+pub const SCHEMA: &str = "pim-repro/v1";
+
+/// The report envelope: schema plus the emitting tool's name.
+pub fn envelope(tool: &str) -> Json {
+    Json::obj([("schema", Json::from(SCHEMA)), ("tool", Json::from(tool))])
+}
+
+/// KL1 machine statistics in wire form.
+pub fn machine_json(m: &MachineStats) -> Json {
+    Json::obj([
+        ("reductions", Json::from(m.reductions)),
+        ("suspensions", Json::from(m.suspensions)),
+        ("instructions", Json::from(m.instructions)),
+        ("goals_migrated", Json::from(m.goals_migrated)),
+        ("heap_words", Json::from(m.heap_words)),
+        (
+            "gc",
+            Json::obj([
+                ("collections", Json::from(m.gc.collections)),
+                ("words_copied", Json::from(m.gc.words_copied)),
+                ("words_reclaimed", Json::from(m.gc.words_reclaimed)),
+            ]),
+        ),
+    ])
+}
+
+/// Memory-system statistics in wire form: references, bus cycles per
+/// area, hit/miss, locks, and the simulated makespan.
+pub fn memory_json(sys: &dyn MemorySystem, makespan: u64) -> Json {
+    let bus = sys.bus_stats();
+    let locks = sys.lock_stats();
+    Json::obj([
+        ("references", Json::from(sys.ref_stats().total())),
+        ("bus_cycles_total", Json::from(bus.total_cycles())),
+        (
+            "bus_cycles_by_area",
+            Json::obj(StorageArea::ALL.map(|a| (a.label(), Json::from(bus.area_cycles(a))))),
+        ),
+        ("memory_busy_cycles", Json::from(bus.memory_busy_cycles())),
+        ("miss_ratio", Json::from(sys.access_stats().miss_ratio())),
+        (
+            "locks",
+            Json::obj([
+                ("lr_total", Json::from(locks.lr_total)),
+                ("lr_hit_ratio", Json::from(locks.lr_hit_ratio())),
+                (
+                    "lr_hit_exclusive_ratio",
+                    Json::from(locks.lr_hit_exclusive_ratio()),
+                ),
+                (
+                    "unlock_no_waiter_ratio",
+                    Json::from(locks.unlock_no_waiter_ratio()),
+                ),
+            ]),
+        ),
+        ("makespan_cycles", Json::from(makespan)),
+    ])
+}
+
+/// Appends the instrumentation sections — per-PE cycle accounts and the
+/// event-level metrics aggregate — to a report document.
+pub fn push_instrumentation(doc: &mut Json, pe_cycles: &[PeCycles], metrics: &Metrics) {
+    doc.push("pe_cycles", pe_cycles_json(pe_cycles));
+    doc.push("metrics", metrics.to_json());
+}
+
+/// Writes a report document to `path` in the stable pretty form.
+pub fn write_report(path: &str, doc: &Json) -> std::io::Result<()> {
+    std::fs::write(path, doc.to_string_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_has_schema_and_tool() {
+        let doc = envelope("kl1run");
+        assert_eq!(
+            doc.to_string_compact(),
+            r#"{"schema":"pim-repro/v1","tool":"kl1run"}"#
+        );
+    }
+
+    #[test]
+    fn machine_json_covers_gc() {
+        let doc = machine_json(&MachineStats::default());
+        let s = doc.to_string_compact();
+        assert!(s.contains("\"gc\""));
+        assert!(s.contains("\"words_reclaimed\""));
+    }
+}

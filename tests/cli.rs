@@ -16,7 +16,11 @@ fn kl1run_executes_a_program_and_prints_the_answer() {
         .args(["--pes", "4", "examples/fghc/quicksort.fghc"])
         .output()
         .expect("kl1run runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.trim(), "X = [1,2,3,5,9,9,10,14,27,27,30,63,82]");
 }
@@ -24,7 +28,14 @@ fn kl1run_executes_a_program_and_prints_the_answer() {
 #[test]
 fn kl1run_stats_and_gc_options_work() {
     let out = kl1run()
-        .args(["--pes", "2", "--gc", "2048", "--stats", "examples/fghc/hanoi.fghc"])
+        .args([
+            "--pes",
+            "2",
+            "--gc",
+            "2048",
+            "--stats",
+            "examples/fghc/hanoi.fghc",
+        ])
         .output()
         .expect("kl1run runs");
     assert!(out.status.success());
@@ -81,7 +92,11 @@ fn tracesim_replays_a_generated_workload() {
         .args(["--gen", "producer-consumer", "--pes", "2"])
         .output()
         .expect("tracesim runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("protocol: PIM"), "{stdout}");
     assert!(stdout.contains("bus cycles:"), "{stdout}");
@@ -101,8 +116,15 @@ fn tracesim_replays_a_trace_file() {
         g + 1
     );
     std::fs::write(&path, text).unwrap();
-    let out = tracesim().arg(path.to_str().unwrap()).output().expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = tracesim()
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("accesses:       4"), "{stdout}");
 }
@@ -113,7 +135,10 @@ fn tracesim_rejects_malformed_traces() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bad.txt");
     std::fs::write(&path, "0 ZZ 0x10 heap\n").unwrap();
-    let out = tracesim().arg(path.to_str().unwrap()).output().expect("runs");
+    let out = tracesim()
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad operation"));
 }

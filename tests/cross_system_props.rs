@@ -29,7 +29,13 @@ fn int_list(items: &[i64]) -> fghc::Term {
 
 fn run_flat_answer(xs: &[i64], ys: &[i64], pes: u32) -> fghc::Term {
     let program = fghc::compile(LIST_OPS).unwrap();
-    let mut c = Cluster::new(program, ClusterConfig { pes, ..Default::default() });
+    let mut c = Cluster::new(
+        program,
+        ClusterConfig {
+            pes,
+            ..Default::default()
+        },
+    );
     c.set_query(
         "main",
         vec![int_list(xs), int_list(ys), fghc::Term::Var("R".into())],
@@ -45,7 +51,13 @@ fn run_sys_answer<S: MemorySystem + 'static>(
     system: S,
 ) -> fghc::Term {
     let program = fghc::compile(LIST_OPS).unwrap();
-    let mut c = Cluster::new(program, ClusterConfig { pes, ..Default::default() });
+    let mut c = Cluster::new(
+        program,
+        ClusterConfig {
+            pes,
+            ..Default::default()
+        },
+    );
     c.set_query(
         "main",
         vec![int_list(xs), int_list(ys), fghc::Term::Var("R".into())],

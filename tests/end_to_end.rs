@@ -15,9 +15,18 @@ fn readme_quickstart_flow_works() {
          app([H|T], Y, Z) :- true | Z = [H|W], app(T, Y, W).",
     )
     .expect("compiles");
-    let mut cluster = Cluster::new(program, ClusterConfig { pes: 2, ..Default::default() });
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 2,
+            ..Default::default()
+        },
+    );
     cluster.set_query("main", vec![fghc::Term::Var("X".into())]);
-    let system = PimSystem::new(SystemConfig { pes: 2, ..Default::default() });
+    let system = PimSystem::new(SystemConfig {
+        pes: 2,
+        ..Default::default()
+    });
     let mut engine = Engine::new(system, 2);
     let stats = engine.run(&mut cluster, 10_000_000);
     assert!(stats.finished);
@@ -36,12 +45,20 @@ fn the_headline_claim_holds_end_to_end() {
         let a = workloads::runner::run_pim(
             bench,
             Scale::smoke(),
-            SystemConfig { pes: 8, opt_mask: OptMask::all(), ..Default::default() },
+            SystemConfig {
+                pes: 8,
+                opt_mask: OptMask::all(),
+                ..Default::default()
+            },
         );
         let b = workloads::runner::run_pim(
             bench,
             Scale::smoke(),
-            SystemConfig { pes: 8, opt_mask: OptMask::none(), ..Default::default() },
+            SystemConfig {
+                pes: 8,
+                opt_mask: OptMask::none(),
+                ..Default::default()
+            },
         );
         with_opt += a.bus.total_cycles();
         without += b.bus.total_cycles();
@@ -58,7 +75,10 @@ fn every_storage_area_sees_its_designated_commands() {
     let report = workloads::runner::run_pim(
         Bench::Tri,
         Scale::smoke(),
-        SystemConfig { pes: 8, ..Default::default() },
+        SystemConfig {
+            pes: 8,
+            ..Default::default()
+        },
     );
     let refs = &report.refs;
     // DW creates heap structures and goal records.
@@ -80,12 +100,18 @@ fn pim_and_illinois_agree_functionally_for_every_benchmark() {
         let a = workloads::runner::run_pim(
             bench,
             Scale::smoke(),
-            SystemConfig { pes: 4, ..Default::default() },
+            SystemConfig {
+                pes: 4,
+                ..Default::default()
+            },
         );
         let b = workloads::runner::run_illinois(
             bench,
             Scale::smoke(),
-            SystemConfig { pes: 4, ..Default::default() },
+            SystemConfig {
+                pes: 4,
+                ..Default::default()
+            },
         );
         // Both validated against the oracle inside the runner; assert the
         // cross-protocol agreement explicitly anyway.
@@ -96,9 +122,18 @@ fn pim_and_illinois_agree_functionally_for_every_benchmark() {
 #[test]
 fn illinois_system_is_also_a_memory_system_for_the_engine() {
     let program = fghc::compile("main :- true | halt.").unwrap();
-    let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 1,
+            ..Default::default()
+        },
+    );
     cluster.set_query("main", vec![]);
-    let system = IllinoisSystem::new(SystemConfig { pes: 1, ..Default::default() });
+    let system = IllinoisSystem::new(SystemConfig {
+        pes: 1,
+        ..Default::default()
+    });
     let mut engine = Engine::new(system, 1);
     let stats = engine.run(&mut cluster, 100_000);
     assert!(stats.finished);
@@ -111,7 +146,10 @@ fn simulated_time_is_bit_deterministic_across_runs() {
         workloads::runner::run_pim(
             Bench::Pascal,
             Scale::smoke(),
-            SystemConfig { pes: 8, ..Default::default() },
+            SystemConfig {
+                pes: 8,
+                ..Default::default()
+            },
         )
     };
     let (a, b) = (run(), run());
@@ -128,9 +166,6 @@ fn umbrella_crate_reexports_compose() {
     let g = pim_repro::pim_cache::CacheGeometry::paper_default();
     assert_eq!(g.data_words(), 4096);
     let t = pim_repro::pim_bus::BusTiming::paper_default();
-    assert_eq!(
-        t.cycles(pim_repro::pim_bus::Transaction::SwapOutOnly, 4),
-        5
-    );
+    assert_eq!(t.cycles(pim_repro::pim_bus::Transaction::SwapOutOnly, 4), 5);
     assert_eq!(pim_repro::workloads::Bench::ALL.len(), 4);
 }

@@ -8,9 +8,18 @@ use pim_trace::PeId;
 
 fn run(source: &str, pes: u32) -> (Cluster, fghc::Term) {
     let program = fghc::compile(source).expect("sample compiles");
-    let mut cluster = Cluster::new(program, ClusterConfig { pes, ..Default::default() });
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes,
+            ..Default::default()
+        },
+    );
     cluster.set_query("main", vec![fghc::Term::Var("X".into())]);
-    let system = PimSystem::new(SystemConfig { pes, ..Default::default() });
+    let system = PimSystem::new(SystemConfig {
+        pes,
+        ..Default::default()
+    });
     let mut engine = Engine::new(system, pes);
     let stats = engine.run(&mut cluster, 500_000_000);
     assert!(stats.finished, "sample did not finish");
@@ -40,8 +49,5 @@ fn hanoi_counts_moves() {
 #[test]
 fn quicksort_sorts() {
     let (_, answer) = run(include_str!("../examples/fghc/quicksort.fghc"), 4);
-    assert_eq!(
-        answer.to_string(),
-        "[1,2,3,5,9,9,10,14,27,27,30,63,82]"
-    );
+    assert_eq!(answer.to_string(), "[1,2,3,5,9,9,10,14,27,27,30,63,82]");
 }
