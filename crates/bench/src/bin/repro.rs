@@ -1,10 +1,15 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|small|paper] [--json DIR] <experiment>...
+//! repro [--scale smoke|small|paper] [--threads N] [--json DIR] <experiment>...
 //! experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5
 //!              buswidth assoc ablation indexing aurora gc all
 //! ```
+//!
+//! `--threads N` caps the worker budget of the experiment fan-out
+//! (default: the host's available parallelism). Every simulation is
+//! deterministic, so the thread count changes wall time only — all
+//! rendered tables and `--json` files are byte-identical at any value.
 //!
 //! With `--json DIR`, each experiment additionally writes
 //! `DIR/<experiment>.json` — the same cells in the stable
@@ -34,6 +39,16 @@ fn main() {
                     }
                 };
             }
+            "--threads" => {
+                let v = iter.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => bench::pool::set_threads(n),
+                    _ => {
+                        eprintln!("repro: invalid value `{v}` for --threads (expected >= 1)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--json" => match iter.next() {
                 Some(dir) => json_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -43,7 +58,7 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale smoke|small|paper] [--json DIR] <experiment>...\n\
+                    "usage: repro [--scale smoke|small|paper] [--threads N] [--json DIR] <experiment>...\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5\n\
                      \x20            buswidth assoc ablation indexing aurora gc all"
                 );

@@ -35,26 +35,10 @@ fn mean_sigma(xs: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-/// Runs one independent simulation per item on its own thread. Each cell
-/// is a self-contained deterministic simulation, so host parallelism —
-/// like the paper's Sequent host — changes nothing but wall time.
-fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .map(|item| scope.spawn(|| f(item)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment cell panicked"))
-            .collect()
-    })
-}
+// Experiment cells run through the bounded fork-join pool: each cell is
+// a self-contained deterministic simulation, so host parallelism — like
+// the paper's Sequent host — changes nothing but wall time.
+use crate::pool::par_map;
 
 // ----------------------------------------------------------------------
 // Table 1 — benchmark summary

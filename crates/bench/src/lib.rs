@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod format;
 pub mod json;
+pub mod pool;
 
 pub use experiments::*;
 pub use json::*;

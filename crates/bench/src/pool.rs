@@ -1,0 +1,99 @@
+//! A bounded, deterministic fork-join pool for experiment cells.
+//!
+//! Every experiment cell is a self-contained deterministic simulation, so
+//! host parallelism changes nothing but wall time. Earlier versions
+//! spawned one thread per cell; this module caps the fan-out at a
+//! process-wide worker budget (default: the host's available parallelism,
+//! overridable with `repro --threads`), which keeps big sweeps from
+//! oversubscribing small hosts without changing a single output byte.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// 0 means "not set": fall back to the host's available parallelism.
+static CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker budget for every subsequent [`par_map`] call. Each
+/// call's fan-out is capped at this many threads (nested calls each get
+/// their own budget — the cap bounds one fan-out, not the transitive
+/// total).
+pub fn set_threads(n: usize) {
+    CAP.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current worker budget.
+pub fn threads() -> usize {
+    match CAP.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    }
+}
+
+/// Runs `f` over `items` on up to [`threads`] workers and returns the
+/// results in item order — scheduling never reorders output, so a
+/// deterministic `f` yields byte-identical results at any thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the experiment cell's own panic
+/// message is preserved by the unwind).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let item = cell.lock().unwrap().take().expect("cell claimed twice");
+                    *results[i].lock().unwrap() = Some(f(item));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("experiment cell panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.into_inner().unwrap().expect("cell never ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let out = par_map((0..64).collect(), |i: i32| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_items_run_inline() {
+        assert_eq!(par_map(Vec::<i32>::new(), |i| i), Vec::<i32>::new());
+        assert_eq!(par_map(vec![7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn respects_an_explicit_budget() {
+        set_threads(2);
+        let out = par_map((0..16).collect(), |i: i32| i + 1);
+        assert_eq!(out.len(), 16);
+        assert_eq!(threads(), 2);
+        // Restore the default so other tests see the host budget.
+        CAP.store(0, Ordering::Relaxed);
+    }
+}

@@ -20,7 +20,7 @@ use fghc::instr::{CodeAddr, CompiledProgram, ProcId};
 use fghc::Term;
 use pim_obs::Observer;
 use pim_trace::{Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, Process, StepOutcome, Word};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Why a micro-step could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,7 +152,10 @@ pub struct Cluster {
     pub(crate) failed: Option<String>,
     pub(crate) booted: bool,
     pub(crate) live_goals: u64,
-    pub(crate) floating: HashSet<Addr>,
+    // BTreeSet, not HashSet: the GC seeds its root worklist from this set,
+    // so iteration order must be deterministic or copy order (and thus bus
+    // traffic) varies run to run.
+    pub(crate) floating: BTreeSet<Addr>,
     pub(crate) goals_migrated: u64,
     pub(crate) gc_stats: crate::gc::GcStats,
     pub(crate) observer: Option<Box<dyn Observer>>,
@@ -216,7 +219,7 @@ impl Cluster {
             failed: None,
             booted: false,
             live_goals: 0,
-            floating: HashSet::new(),
+            floating: BTreeSet::new(),
             goals_migrated: 0,
             gc_stats: crate::gc::GcStats::default(),
             observer: None,

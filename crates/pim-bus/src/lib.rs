@@ -31,10 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod memory;
 pub mod stats;
 pub mod timing;
 
+pub use arbiter::{arbitrate, arbitrate_queue, grant_order, BusRequest, Grant};
 pub use memory::SharedMemory;
 pub use stats::{BusCommand, BusStats};
 pub use timing::{BusTiming, Transaction};

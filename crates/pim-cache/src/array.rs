@@ -28,6 +28,36 @@ pub struct CacheArray {
     geometry: CacheGeometry,
     lines: Vec<Line>,
     clock: u64,
+    /// When set, hit-path mutations append reversal records to `log` so a
+    /// speculative run can be rolled back (parallel-engine support). The
+    /// speculative paths never install or evict, so records only ever
+    /// reference existing lines.
+    speculative: bool,
+    log: Vec<UndoRec>,
+}
+
+/// Reversal record for one speculative hit-path mutation, applied LIFO by
+/// [`CacheArray::rollback_to`].
+#[derive(Debug, Clone)]
+enum UndoRec {
+    /// A read hit: restore the LRU timestamp and the array clock.
+    Touch {
+        line: u32,
+        last_used: u64,
+        clock: u64,
+    },
+    /// A write hit: restore word, state, LRU timestamp and array clock.
+    Write {
+        line: u32,
+        offset: u32,
+        word: Word,
+        state: BlockState,
+        last_used: u64,
+        clock: u64,
+    },
+    /// An invalidation (local purge): data and LRU stay in place, so
+    /// restoring the state resurrects the line exactly.
+    StateOnly { line: u32, state: BlockState },
 }
 
 /// Result of choosing a victim for a fill.
@@ -57,7 +87,60 @@ impl CacheArray {
             geometry,
             lines,
             clock: 0,
+            speculative: false,
+            log: Vec::new(),
         }
+    }
+
+    /// Turns speculative undo logging on or off. The flag is toggled by
+    /// the parallel engine: on while a shard speculates, briefly off while
+    /// a committed global operation mutates the array.
+    pub fn set_speculative(&mut self, on: bool) {
+        self.speculative = on;
+    }
+
+    /// Number of undo records currently held.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Undoes every speculative mutation past the first `len` records,
+    /// newest first, restoring the array bit-exactly.
+    pub fn rollback_to(&mut self, len: usize) {
+        while self.log.len() > len {
+            match self.log.pop().expect("len checked") {
+                UndoRec::Touch {
+                    line,
+                    last_used,
+                    clock,
+                } => {
+                    self.lines[line as usize].last_used = last_used;
+                    self.clock = clock;
+                }
+                UndoRec::Write {
+                    line,
+                    offset,
+                    word,
+                    state,
+                    last_used,
+                    clock,
+                } => {
+                    let l = &mut self.lines[line as usize];
+                    l.data[offset as usize] = word;
+                    l.state = state;
+                    l.last_used = last_used;
+                    self.clock = clock;
+                }
+                UndoRec::StateOnly { line, state } => {
+                    self.lines[line as usize].state = state;
+                }
+            }
+        }
+    }
+
+    /// Discards all undo records, making the speculated mutations final.
+    pub fn commit_log(&mut self) {
+        self.log.clear();
     }
 
     /// The cache's geometry.
@@ -91,6 +174,13 @@ impl CacheArray {
     /// Reads the word at `addr` if resident, bumping LRU.
     pub fn read(&mut self, addr: Addr) -> Option<Word> {
         let i = self.find(addr)?;
+        if self.speculative {
+            self.log.push(UndoRec::Touch {
+                line: i as u32,
+                last_used: self.lines[i].last_used,
+                clock: self.clock,
+            });
+        }
         self.touch(i);
         let (_, _, offset) = self.geometry.decompose(addr);
         Some(self.lines[i].data[offset as usize])
@@ -101,8 +191,18 @@ impl CacheArray {
     pub fn write(&mut self, addr: Addr, value: Word, new_state: BlockState) -> bool {
         match self.find(addr) {
             Some(i) => {
-                self.touch(i);
                 let (_, _, offset) = self.geometry.decompose(addr);
+                if self.speculative {
+                    self.log.push(UndoRec::Write {
+                        line: i as u32,
+                        offset: offset as u32,
+                        word: self.lines[i].data[offset as usize],
+                        state: self.lines[i].state,
+                        last_used: self.lines[i].last_used,
+                        clock: self.clock,
+                    });
+                }
+                self.touch(i);
                 self.lines[i].data[offset as usize] = value;
                 self.lines[i].state = new_state;
                 true
@@ -114,6 +214,7 @@ impl CacheArray {
     /// Sets the state of a resident block without touching data or LRU
     /// (snoop-induced transitions).
     pub fn set_state(&mut self, addr: Addr, state: BlockState) -> bool {
+        debug_assert!(!self.speculative, "set_state is not a speculative path");
         match self.find(addr) {
             Some(i) => {
                 self.lines[i].state = state;
@@ -128,6 +229,12 @@ impl CacheArray {
     pub fn invalidate(&mut self, addr: Addr) -> Option<(BlockState, Vec<Word>)> {
         let i = self.find(addr)?;
         let state = self.lines[i].state;
+        if self.speculative {
+            self.log.push(UndoRec::StateOnly {
+                line: i as u32,
+                state,
+            });
+        }
         let data = self.lines[i].data.to_vec();
         self.lines[i].state = BlockState::Inv;
         Some((state, data))
@@ -155,6 +262,7 @@ impl CacheArray {
     /// Panics if `data` is not exactly one block, or the block is already
     /// resident (the protocol must not double-install).
     pub fn install(&mut self, base: Addr, data: Vec<Word>, state: BlockState) -> Option<Eviction> {
+        debug_assert!(!self.speculative, "install is not a speculative path");
         assert_eq!(data.len() as u64, self.geometry.block_words, "bad block");
         assert_eq!(base % self.geometry.block_words, 0, "unaligned block");
         assert!(
@@ -303,6 +411,44 @@ mod tests {
         let mut blocks: Vec<_> = c.valid_blocks().collect();
         blocks.sort();
         assert_eq!(blocks, vec![(0, BlockState::Ec), (4, BlockState::Em)]);
+    }
+
+    #[test]
+    fn speculative_rollback_restores_bit_exact_state() {
+        let mut c = tiny();
+        c.install(0, vec![1, 2, 3, 4], BlockState::Ec);
+        c.install(4, vec![5, 6, 7, 8], BlockState::Em);
+        c.read(1); // fix distinct LRU timestamps before speculation
+        let reference = c.clone();
+
+        c.set_speculative(true);
+        let mark = c.log_len();
+        assert_eq!(c.read(2), Some(3));
+        assert!(c.write(5, 99, BlockState::Em));
+        assert!(c.write(0, 42, BlockState::Em));
+        c.invalidate(4);
+        assert!(!c.contains(4));
+        c.rollback_to(mark);
+        c.set_speculative(false);
+
+        assert_eq!(format!("{c:?}"), format!("{reference:?}"));
+        assert_eq!(c.read(5), Some(6));
+        assert_eq!(c.state_of(0), BlockState::Ec);
+    }
+
+    #[test]
+    fn speculative_partial_rollback_keeps_committed_prefix() {
+        let mut c = tiny();
+        c.install(0, vec![0; 4], BlockState::Ec);
+        c.set_speculative(true);
+        c.write(1, 11, BlockState::Em);
+        let mid = c.log_len();
+        c.write(2, 22, BlockState::Em);
+        c.rollback_to(mid);
+        assert_eq!(c.read(1), Some(11), "pre-mark write survives");
+        assert_eq!(c.read(2), Some(0), "post-mark write undone");
+        c.commit_log();
+        assert_eq!(c.log_len(), 0);
     }
 
     #[test]

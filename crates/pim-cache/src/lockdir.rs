@@ -167,6 +167,16 @@ impl LockDirectory {
     pub fn held_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
         self.entries.iter().map(|e| e.addr)
     }
+
+    /// The PEs registered as busy-waiters on `addr` (empty if the word is
+    /// unheld or uncontended) — inspection hook for invariant checks.
+    pub fn waiters(&self, addr: Addr) -> Vec<PeId> {
+        self.entries
+            .iter()
+            .find(|e| e.addr == addr)
+            .map(|e| e.waiters.clone())
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]

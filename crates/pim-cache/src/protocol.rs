@@ -32,7 +32,8 @@
 
 use crate::array::{CacheArray, Eviction, DW_POISON};
 use crate::{
-    AccessStats, BlockState, CacheGeometry, LockDirectory, LockStats, OptMask, ProtocolError,
+    AccessStats, BlockState, CacheGeometry, LockDirectory, LockState, LockStats, OptMask,
+    ProtocolError,
 };
 use pim_bus::{BusCommand, BusStats, BusTiming, SharedMemory, Transaction};
 use pim_obs::Observer;
@@ -134,18 +135,243 @@ enum FillOutcome {
     Refused { holder: PeId },
 }
 
+/// One PE's private slice of the system: its cache array and lock
+/// directory, plus shard-local statistics buffers filled by the parallel
+/// engine's speculative hit path ([`PeShard::try_local`]) and folded back
+/// into the system totals by [`PimSystem::fold_shard_stats`].
+///
+/// The shard owns *copies* of the (immutable) geometry, opt-mask and area
+/// map so the hit path needs no access to shared state — that is what
+/// makes `&mut PeShard` safe to hand to a worker thread while other
+/// shards run concurrently.
+#[derive(Debug, Clone)]
+pub struct PeShard {
+    pe: PeId,
+    cache: CacheArray,
+    lockdir: LockDirectory,
+    geometry: CacheGeometry,
+    opt_mask: OptMask,
+    area_map: AreaMap,
+    // Shard-local accumulators (speculative path only; the sequential
+    // engine records straight into the PimSystem totals).
+    refs: RefStats,
+    access: AccessStats,
+    transitions: Vec<(StorageArea, BlockState, BlockState)>,
+    record_transitions: bool,
+    // Stat/transition effects of each uncommitted speculative operation,
+    // index-aligned with the parallel engine's journal for this shard.
+    pending: Vec<LocalEffect>,
+}
+
+/// The deferred stat effects of one speculative local operation. Every
+/// local operation is a hit (one lookup, one hit); purges and state
+/// transitions vary.
+#[derive(Debug, Clone)]
+struct LocalEffect {
+    /// `cache.log_len()` before the operation — the rollback mark.
+    cache_mark: u32,
+    /// The effective (post-`OptMask`) operation, as `RefStats` records it.
+    op: MemOp,
+    addr: Addr,
+    area: StorageArea,
+    /// `Some(dirty)` if the operation purged the local block.
+    purged: Option<bool>,
+    transition: Option<(BlockState, BlockState)>,
+}
+
+impl PeShard {
+    fn new(pe: PeId, config: &SystemConfig) -> PeShard {
+        PeShard {
+            pe,
+            cache: CacheArray::new(config.geometry),
+            lockdir: LockDirectory::new(config.lock_entries),
+            geometry: config.geometry,
+            opt_mask: config.opt_mask,
+            area_map: config.area_map.clone(),
+            refs: RefStats::new(),
+            access: AccessStats::new(),
+            transitions: Vec::new(),
+            record_transitions: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// This shard's PE id.
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// The base address of the block containing `addr`.
+    pub fn block_base(&self, addr: Addr) -> Addr {
+        self.geometry.block_base(addr)
+    }
+
+    /// Speculatively executes `op` if it is *provably local*: it touches
+    /// only this shard (a resident hit with no bus transaction) and so
+    /// commutes with every other PE's concurrent local work. Returns the
+    /// operation's value, or `None` when the operation needs the bus,
+    /// remote shards, or the lock protocol — the caller must then route it
+    /// through [`PimSystem::access`] at a barrier.
+    ///
+    /// Mirrors the corresponding hit arms of the `PimSystem` operation
+    /// methods exactly; `tests/` pins the equivalence differentially.
+    pub fn try_local(&mut self, op: MemOp, addr: Addr, data: Option<Word>) -> Option<Word> {
+        let area = self.area_map.area(addr);
+        let eff = self.opt_mask.effective(area, op);
+        let cache_mark = self.cache.log_len() as u32;
+        let mut purged = None;
+        let mut transition = None;
+        let value = match eff {
+            MemOp::Read => self.cache.read(addr)?,
+            MemOp::Write => self.local_write(addr, data, &mut transition)?,
+            MemOp::DirectWrite => {
+                if self.geometry.is_block_boundary(addr) && !self.cache.contains(addr) {
+                    return None; // the allocate path checks remote caches
+                }
+                self.local_write(addr, data, &mut transition)?
+            }
+            MemOp::DirectWriteDown => {
+                if self.geometry.is_last_word(addr) && !self.cache.contains(addr) {
+                    return None;
+                }
+                self.local_write(addr, data, &mut transition)?
+            }
+            MemOp::ExclusiveRead => {
+                let value = self.cache.read(addr)?;
+                if self.geometry.is_last_word(addr) {
+                    self.local_purge(addr, &mut purged, &mut transition);
+                }
+                value
+            }
+            MemOp::ReadPurge => {
+                let value = self.cache.read(addr)?;
+                self.local_purge(addr, &mut purged, &mut transition);
+                value
+            }
+            MemOp::ReadInvalidate => self.cache.read(addr)?,
+            // Lock traffic always goes through the global protocol: even a
+            // bus-free LR hit consults every remote lock directory.
+            MemOp::LockRead | MemOp::WriteUnlock | MemOp::Unlock => return None,
+        };
+        self.pending.push(LocalEffect {
+            cache_mark,
+            op: eff,
+            addr,
+            area,
+            purged,
+            transition,
+        });
+        Some(value)
+    }
+
+    /// The `W` hit arm: exclusive states write locally; anything else
+    /// needs an upgrade broadcast or a fill.
+    fn local_write(
+        &mut self,
+        addr: Addr,
+        data: Option<Word>,
+        transition: &mut Option<(BlockState, BlockState)>,
+    ) -> Option<Word> {
+        let from = self.cache.state_of(addr);
+        match from {
+            BlockState::Em | BlockState::Ec => {
+                let value = data.expect("write requires a data word");
+                self.cache.write(addr, value, BlockState::Em);
+                if from == BlockState::Ec {
+                    *transition = Some((BlockState::Ec, BlockState::Em));
+                }
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    fn local_purge(
+        &mut self,
+        addr: Addr,
+        purged: &mut Option<bool>,
+        transition: &mut Option<(BlockState, BlockState)>,
+    ) {
+        if let Some((state, _)) = self.cache.invalidate(addr) {
+            *purged = Some(state.is_dirty());
+            *transition = Some((state, BlockState::Inv));
+        }
+    }
+
+    /// Number of uncommitted speculative operations.
+    pub fn spec_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Rolls back every speculative operation from index `len` on,
+    /// restoring the cache bit-exactly and dropping their stat effects.
+    pub fn rollback_to(&mut self, len: usize) {
+        if len >= self.pending.len() {
+            return;
+        }
+        self.cache
+            .rollback_to(self.pending[len].cache_mark as usize);
+        self.pending.truncate(len);
+    }
+
+    /// Commits all speculative operations: folds their stat effects into
+    /// the shard accumulators and discards the undo log.
+    pub fn commit_speculation(&mut self) {
+        for e in self.pending.drain(..) {
+            self.access.lookups += 1;
+            self.access.hits += 1;
+            if let Some(dirty) = e.purged {
+                self.access.purges += 1;
+                if dirty {
+                    self.access.dirty_purges += 1;
+                }
+            }
+            self.refs.record(Access::new(self.pe, e.op, e.addr, e.area));
+            if self.record_transitions {
+                if let Some((from, to)) = e.transition {
+                    self.transitions.push((e.area, from, to));
+                }
+            }
+        }
+        self.cache.commit_log();
+    }
+
+    /// Toggles undo logging on the cache array. On while the shard
+    /// speculates; off while a committed global operation runs.
+    pub fn set_speculating(&mut self, on: bool) {
+        self.cache.set_speculative(on);
+    }
+}
+
 /// The PIM multiprocessor memory system (Section 3 of the paper).
 #[derive(Debug)]
 pub struct PimSystem {
     config: SystemConfig,
-    caches: Vec<CacheArray>,
-    lockdirs: Vec<LockDirectory>,
+    shards: Vec<PeShard>,
     memory: SharedMemory,
     bus: BusStats,
     refs: RefStats,
     access_stats: AccessStats,
     lock_stats: LockStats,
     observer: Option<Box<dyn Observer>>,
+}
+
+impl Clone for PimSystem {
+    /// Clones the full simulation state. The observer (not clonable) is
+    /// dropped — clones observe nothing until [`PimSystem::set_observer`]
+    /// is called on them. Used by state-space exploration tests.
+    fn clone(&self) -> PimSystem {
+        PimSystem {
+            config: self.config.clone(),
+            shards: self.shards.clone(),
+            memory: self.memory.clone(),
+            bus: self.bus.clone(),
+            refs: self.refs.clone(),
+            access_stats: self.access_stats,
+            lock_stats: self.lock_stats,
+            observer: None,
+        }
+    }
 }
 
 impl PimSystem {
@@ -156,16 +382,12 @@ impl PimSystem {
     /// Panics if `config.pes` is zero.
     pub fn new(config: SystemConfig) -> PimSystem {
         assert!(config.pes > 0, "need at least one PE");
-        let caches = (0..config.pes)
-            .map(|_| CacheArray::new(config.geometry))
-            .collect();
-        let lockdirs = (0..config.pes)
-            .map(|_| LockDirectory::new(config.lock_entries))
+        let shards = (0..config.pes)
+            .map(|pe| PeShard::new(PeId(pe), &config))
             .collect();
         PimSystem {
             config,
-            caches,
-            lockdirs,
+            shards,
             memory: SharedMemory::new(),
             bus: BusStats::new(),
             refs: RefStats::new(),
@@ -173,6 +395,114 @@ impl PimSystem {
             lock_stats: LockStats::new(),
             observer: None,
         }
+    }
+
+    /// Mutable access to the per-PE shards, for the parallel engine: the
+    /// slice can be split and each `&mut PeShard` driven from a worker
+    /// thread via [`PeShard::try_local`] while the shared core is left
+    /// alone.
+    pub fn shards_mut(&mut self) -> &mut [PeShard] {
+        &mut self.shards
+    }
+
+    /// Moves the per-PE shards out of the system so worker threads can own
+    /// them between barriers. While taken, [`PimSystem::access`] must not
+    /// be called; give them back with [`PimSystem::put_shards`] first.
+    pub fn take_shards(&mut self) -> Vec<PeShard> {
+        std::mem::take(&mut self.shards)
+    }
+
+    /// Returns shards previously removed with [`PimSystem::take_shards`].
+    /// The vector must contain the same shards in PE order.
+    pub fn put_shards(&mut self, shards: Vec<PeShard>) {
+        debug_assert!(self.shards.is_empty(), "put_shards over resident shards");
+        debug_assert_eq!(shards.len(), self.config.pes as usize);
+        self.shards = shards;
+    }
+
+    /// Prepares every shard for a parallel run: arms the speculative undo
+    /// logs and enables transition buffering iff an observer is attached.
+    pub fn begin_sharded_run(&mut self) {
+        let record = self.observer.is_some();
+        for shard in &mut self.shards {
+            shard.record_transitions = record;
+            shard.set_speculating(true);
+        }
+    }
+
+    /// Suspends speculative undo logging on every shard while a committed
+    /// global operation mutates remote shards (its effects must not be
+    /// rolled back with the speculation).
+    pub fn pause_speculation(&mut self) {
+        for shard in &mut self.shards {
+            shard.set_speculating(false);
+        }
+    }
+
+    /// Re-arms speculative undo logging after [`PimSystem::pause_speculation`].
+    pub fn resume_speculation(&mut self) {
+        for shard in &mut self.shards {
+            shard.set_speculating(true);
+        }
+    }
+
+    /// Commits all outstanding speculation and folds every shard-local
+    /// accumulator into the system totals, forwarding buffered state
+    /// transitions to the observer (grouped by PE; the transition counts
+    /// are commutative, so reports are bit-identical to sequential runs).
+    /// After this the shard buffers are empty and logging is off.
+    pub fn fold_shard_stats(&mut self) {
+        for i in 0..self.shards.len() {
+            self.shards[i].commit_speculation();
+            let refs = std::mem::take(&mut self.shards[i].refs);
+            self.refs.merge(&refs);
+            let access = std::mem::take(&mut self.shards[i].access);
+            self.access_stats.merge(&access);
+            let transitions = std::mem::take(&mut self.shards[i].transitions);
+            if let Some(obs) = self.observer.as_deref_mut() {
+                let pe = PeId(i as u32);
+                for (area, from, to) in transitions {
+                    obs.state_transition(pe, area, from.into(), to.into());
+                }
+            }
+            self.shards[i].record_transitions = false;
+            self.shards[i].set_speculating(false);
+        }
+    }
+
+    /// Reads a word from shared memory itself, ignoring caches — exposes
+    /// the "is memory current?" side of the coherence invariants to tests.
+    pub fn memory_word(&self, addr: Addr) -> Word {
+        self.memory.read(addr)
+    }
+
+    /// The lock-directory view of `addr` across all PEs: the holding PE
+    /// and its registered waiters, if any PE holds a lock on that word
+    /// (testing hook for lock-invariant checks).
+    pub fn lock_holder(&self, addr: Addr) -> Option<(PeId, Vec<PeId>)> {
+        self.shards.iter().enumerate().find_map(|(i, s)| {
+            s.lockdir
+                .holds(addr)
+                .then(|| (PeId(i as u32), s.lockdir.waiters(addr)))
+        })
+    }
+
+    /// The cache-side view of `addr`'s block in `pe`'s cache: its protocol
+    /// state and data words, or `None` when not resident (testing hook for
+    /// model checking — excludes replacement bookkeeping on purpose, so two
+    /// systems with equal views are behaviorally equivalent on one block).
+    pub fn cache_view(&self, pe: PeId, addr: Addr) -> Option<(BlockState, Vec<Word>)> {
+        let shard = &self.shards[pe.index()];
+        let snapshot = shard.cache.snapshot(addr)?;
+        Some((shard.cache.state_of(addr), snapshot))
+    }
+
+    /// The lock-directory view of `addr` in `pe`'s own directory: its entry
+    /// state and registered waiters, or `None` when absent (testing hook).
+    pub fn lock_view(&self, pe: PeId, addr: Addr) -> Option<(LockState, Vec<PeId>)> {
+        let shard = &self.shards[pe.index()];
+        let state = shard.lockdir.state_of(addr)?;
+        Some((state, shard.lockdir.waiters(addr)))
     }
 
     /// Attaches an observer receiving a [`pim_obs::Observer::state_transition`]
@@ -216,7 +546,7 @@ impl PimSystem {
     /// load program text and boot images before measurement starts.
     pub fn poke(&mut self, addr: Addr, value: Word) {
         debug_assert!(
-            !self.caches.iter().any(|c| c.contains(addr)),
+            !self.shards.iter().any(|s| s.cache.contains(addr)),
             "poke under a cached block"
         );
         self.memory.write(addr, value);
@@ -226,8 +556,8 @@ impl PimSystem {
     /// inspection after a run. Prefers a cached copy (the freshest data)
     /// over memory.
     pub fn peek(&self, addr: Addr) -> Word {
-        for cache in &self.caches {
-            if let Some(v) = cache.snapshot_word(addr) {
+        for shard in &self.shards {
+            if let Some(v) = shard.cache.snapshot_word(addr) {
                 return v;
             }
         }
@@ -256,7 +586,7 @@ impl PimSystem {
         addr: Addr,
         data: Option<Word>,
     ) -> Result<Outcome, ProtocolError> {
-        assert!((pe.index()) < self.caches.len(), "unknown {pe}");
+        assert!((pe.index()) < self.shards.len(), "unknown {pe}");
         let area = self.config.area_map.area(addr);
         let eff = self.config.opt_mask.effective(area, op);
 
@@ -295,10 +625,10 @@ impl PimSystem {
 
     fn cache_write(&mut self, pe: PeId, addr: Addr, value: Word, state: BlockState) -> bool {
         if self.observer.is_none() {
-            return self.caches[pe.index()].write(addr, value, state);
+            return self.shards[pe.index()].cache.write(addr, value, state);
         }
-        let from = self.caches[pe.index()].state_of(addr);
-        let wrote = self.caches[pe.index()].write(addr, value, state);
+        let from = self.shards[pe.index()].cache.state_of(addr);
+        let wrote = self.shards[pe.index()].cache.write(addr, value, state);
         if wrote && from != state {
             self.emit_transition(pe, addr, from, state);
         }
@@ -307,10 +637,10 @@ impl PimSystem {
 
     fn cache_set_state(&mut self, pe: PeId, addr: Addr, state: BlockState) -> bool {
         if self.observer.is_none() {
-            return self.caches[pe.index()].set_state(addr, state);
+            return self.shards[pe.index()].cache.set_state(addr, state);
         }
-        let from = self.caches[pe.index()].state_of(addr);
-        let changed = self.caches[pe.index()].set_state(addr, state);
+        let from = self.shards[pe.index()].cache.state_of(addr);
+        let changed = self.shards[pe.index()].cache.set_state(addr, state);
         if changed && from != state {
             self.emit_transition(pe, addr, from, state);
         }
@@ -318,7 +648,7 @@ impl PimSystem {
     }
 
     fn cache_invalidate(&mut self, pe: PeId, addr: Addr) -> Option<(BlockState, Vec<Word>)> {
-        let dropped = self.caches[pe.index()].invalidate(addr);
+        let dropped = self.shards[pe.index()].cache.invalidate(addr);
         if self.observer.is_some() {
             if let Some((from, _)) = &dropped {
                 self.emit_transition(pe, addr, *from, BlockState::Inv);
@@ -334,7 +664,7 @@ impl PimSystem {
         data: Vec<Word>,
         state: BlockState,
     ) -> Option<Eviction> {
-        let evicted = self.caches[pe.index()].install(base, data, state);
+        let evicted = self.shards[pe.index()].cache.install(base, data, state);
         if self.observer.is_some() {
             if let Some(ev) = &evicted {
                 let (ev_base, ev_state) = (ev.base, ev.state);
@@ -353,11 +683,13 @@ impl PimSystem {
     /// any: `(holder, locked word)`.
     fn lock_conflict(&self, requester: PeId, base: Addr) -> Option<(PeId, Addr)> {
         let bw = self.config.geometry.block_words;
-        self.lockdirs.iter().enumerate().find_map(|(i, dir)| {
+        self.shards.iter().enumerate().find_map(|(i, shard)| {
             if i == requester.index() {
                 return None;
             }
-            dir.locked_word_in_block(base, bw)
+            shard
+                .lockdir
+                .locked_word_in_block(base, bw)
                 .map(|w| (PeId(i as u32), w))
         })
     }
@@ -371,7 +703,9 @@ impl PimSystem {
         locked_word: Addr,
         area: StorageArea,
     ) -> Outcome {
-        self.lockdirs[holder.index()].register_waiter(locked_word, requester);
+        self.shards[holder.index()]
+            .lockdir
+            .register_waiter(locked_word, requester);
         self.lock_stats.lr_refused += 1;
         self.bus.record_refusal(area);
         Outcome::LockBusy { holder }
@@ -381,11 +715,11 @@ impl PimSystem {
     /// owner, falls back to the lowest-numbered valid holder.
     fn find_supplier(&self, requester: PeId, base: Addr) -> Option<(PeId, BlockState)> {
         let mut clean = None;
-        for (i, cache) in self.caches.iter().enumerate() {
+        for (i, shard) in self.shards.iter().enumerate() {
             if i == requester.index() {
                 continue;
             }
-            let state = cache.state_of(base);
+            let state = shard.cache.state_of(base);
             if state.is_dirty() {
                 return Some((PeId(i as u32), state));
             }
@@ -398,10 +732,10 @@ impl PimSystem {
 
     /// Whether any other cache holds `base` (the `DW` contract check).
     fn held_remotely(&self, requester: PeId, base: Addr) -> bool {
-        self.caches
+        self.shards
             .iter()
             .enumerate()
-            .any(|(i, c)| i != requester.index() && c.contains(base))
+            .any(|(i, s)| i != requester.index() && s.cache.contains(base))
     }
 
     // ------------------------------------------------------------------
@@ -451,7 +785,7 @@ impl PimSystem {
                     // FI: every other copy dies; dirty data migrates to the
                     // requester without updating memory.
                     let mut data = None;
-                    for i in 0..self.caches.len() {
+                    for i in 0..self.shards.len() {
                         if i == pe.index() {
                             continue;
                         }
@@ -466,7 +800,8 @@ impl PimSystem {
                     // F: the supplier keeps the data; a dirty supplier
                     // becomes the SM owner, a clean exclusive one drops
                     // to S. Memory is not updated (unlike Illinois).
-                    let data = self.caches[sup.index()]
+                    let data = self.shards[sup.index()]
+                        .cache
                         .snapshot(base)
                         .expect("supplier had the block");
                     let new_state = if dirty {
@@ -553,7 +888,7 @@ impl PimSystem {
             self.bus.record_cmd(BusCommand::Lock);
         }
         let mut dropped_dirty = false;
-        for i in 0..self.caches.len() {
+        for i in 0..self.shards.len() {
             if i != pe.index() {
                 if let Some((state, _)) = self.cache_invalidate(PeId(i as u32), base) {
                     dropped_dirty |= state.is_dirty();
@@ -580,14 +915,17 @@ impl PimSystem {
 
     fn read(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Outcome {
         self.access_stats.lookups += 1;
-        if let Some(value) = self.caches[pe.index()].read(addr) {
+        if let Some(value) = self.shards[pe.index()].cache.read(addr) {
             self.access_stats.hits += 1;
             return done(value, 0, true);
         }
         match self.fill(pe, addr, false, true, false, area) {
             FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
             FillOutcome::Filled(f) => {
-                let value = self.caches[pe.index()].read(addr).expect("just installed");
+                let value = self.shards[pe.index()]
+                    .cache
+                    .read(addr)
+                    .expect("just installed");
                 done(value, f.cycles, false)
             }
         }
@@ -595,7 +933,7 @@ impl PimSystem {
 
     fn write(&mut self, pe: PeId, addr: Addr, value: Word, area: StorageArea) -> Outcome {
         self.access_stats.lookups += 1;
-        match self.caches[pe.index()].state_of(addr) {
+        match self.shards[pe.index()].cache.state_of(addr) {
             BlockState::Em | BlockState::Ec => {
                 self.access_stats.hits += 1;
                 self.cache_write(pe, addr, value, BlockState::Em);
@@ -626,7 +964,7 @@ impl PimSystem {
     /// Optimizes *upward*-growing allocation (heap, records).
     fn direct_write(&mut self, pe: PeId, addr: Addr, value: Word, area: StorageArea) -> Outcome {
         let geom = self.config.geometry;
-        if !geom.is_block_boundary(addr) || self.caches[pe.index()].contains(addr) {
+        if !geom.is_block_boundary(addr) || self.shards[pe.index()].cache.contains(addr) {
             // Case (ii): not a boundary (or already resident): plain write.
             return self.write(pe, addr, value, area);
         }
@@ -645,7 +983,7 @@ impl PimSystem {
         area: StorageArea,
     ) -> Outcome {
         let geom = self.config.geometry;
-        if !geom.is_last_word(addr) || self.caches[pe.index()].contains(addr) {
+        if !geom.is_last_word(addr) || self.shards[pe.index()].cache.contains(addr) {
             return self.write(pe, addr, value, area);
         }
         self.direct_allocate(pe, addr, value, area)
@@ -692,14 +1030,14 @@ impl PimSystem {
     /// otherwise.
     fn exclusive_read(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Outcome {
         let geom = self.config.geometry;
-        let resident = self.caches[pe.index()].contains(addr);
+        let resident = self.shards[pe.index()].cache.contains(addr);
         if resident {
             if geom.is_last_word(addr) {
                 // Case (ii): read, then forcibly purge the local block —
                 // dead data is discarded without a swap-out.
                 self.access_stats.lookups += 1;
                 self.access_stats.hits += 1;
-                let value = self.caches[pe.index()].read(addr).expect("resident");
+                let value = self.shards[pe.index()].cache.read(addr).expect("resident");
                 self.purge_local(pe, addr);
                 return done(value, 0, true);
             }
@@ -711,7 +1049,7 @@ impl PimSystem {
             return match self.fill(pe, addr, true, true, false, area) {
                 FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
                 FillOutcome::Filled(f) => {
-                    let value = self.caches[pe.index()].read(addr).expect("installed");
+                    let value = self.shards[pe.index()].cache.read(addr).expect("installed");
                     done(value, f.cycles, false)
                 }
             };
@@ -725,9 +1063,9 @@ impl PimSystem {
     /// local cache entirely (it would be purged immediately anyway).
     fn read_purge(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Outcome {
         self.access_stats.lookups += 1;
-        if self.caches[pe.index()].contains(addr) {
+        if self.shards[pe.index()].cache.contains(addr) {
             self.access_stats.hits += 1;
-            let value = self.caches[pe.index()].read(addr).expect("resident");
+            let value = self.shards[pe.index()].cache.read(addr).expect("resident");
             self.purge_local(pe, addr);
             return done(value, 0, true);
         }
@@ -747,14 +1085,14 @@ impl PimSystem {
     /// `RI` (Section 3.2 (4)): read with intent to rewrite — a miss
     /// fetches exclusively (`FI`) so the later write needs no `I`.
     fn read_invalidate(&mut self, pe: PeId, addr: Addr, area: StorageArea) -> Outcome {
-        if self.caches[pe.index()].contains(addr) {
+        if self.shards[pe.index()].cache.contains(addr) {
             return self.read(pe, addr, area);
         }
         self.access_stats.lookups += 1;
         match self.fill(pe, addr, true, true, false, area) {
             FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
             FillOutcome::Filled(f) => {
-                let value = self.caches[pe.index()].read(addr).expect("installed");
+                let value = self.shards[pe.index()].cache.read(addr).expect("installed");
                 done(value, f.cycles, false)
             }
         }
@@ -782,7 +1120,7 @@ impl PimSystem {
         addr: Addr,
         area: StorageArea,
     ) -> Result<Outcome, ProtocolError> {
-        if self.lockdirs[pe.index()].holds(addr) {
+        if self.shards[pe.index()].lockdir.holds(addr) {
             return Err(ProtocolError::AlreadyLocked { addr });
         }
         let base = self.config.geometry.block_base(addr);
@@ -791,18 +1129,18 @@ impl PimSystem {
         }
 
         self.access_stats.lookups += 1;
-        let state = self.caches[pe.index()].state_of(addr);
+        let state = self.shards[pe.index()].cache.state_of(addr);
         let outcome = match state {
             BlockState::Em | BlockState::Ec => {
                 // The bus-free case the hardware lock exists for: no other
                 // cache can hold the block, so registering locally is safe.
-                self.lockdirs[pe.index()].lock(addr)?;
+                self.shards[pe.index()].lockdir.lock(addr)?;
                 self.note_lock_depth(pe);
                 self.lock_stats.lr_total += 1;
                 self.lock_stats.lr_hits += 1;
                 self.lock_stats.lr_hits_exclusive += 1;
                 self.access_stats.hits += 1;
-                let value = self.caches[pe.index()].read(addr).expect("resident");
+                let value = self.shards[pe.index()].cache.read(addr).expect("resident");
                 done(value, 0, true)
             }
             BlockState::Sm | BlockState::Shared => {
@@ -818,21 +1156,21 @@ impl PimSystem {
                     BlockState::Ec
                 };
                 self.cache_set_state(pe, addr, upgraded);
-                self.lockdirs[pe.index()].lock(addr)?;
+                self.shards[pe.index()].lockdir.lock(addr)?;
                 self.note_lock_depth(pe);
                 self.lock_stats.lr_total += 1;
                 self.lock_stats.lr_hits += 1;
                 self.access_stats.hits += 1;
-                let value = self.caches[pe.index()].read(addr).expect("resident");
+                let value = self.shards[pe.index()].cache.read(addr).expect("resident");
                 done(value, cycles, true)
             }
             BlockState::Inv => match self.fill(pe, addr, true, true, true, area) {
                 FillOutcome::Refused { holder } => return Ok(Outcome::LockBusy { holder }),
                 FillOutcome::Filled(f) => {
-                    self.lockdirs[pe.index()].lock(addr)?;
+                    self.shards[pe.index()].lockdir.lock(addr)?;
                     self.note_lock_depth(pe);
                     self.lock_stats.lr_total += 1;
-                    let value = self.caches[pe.index()].read(addr).expect("installed");
+                    let value = self.shards[pe.index()].cache.read(addr).expect("installed");
                     done(value, f.cycles, false)
                 }
             },
@@ -850,7 +1188,7 @@ impl PimSystem {
         value: Word,
         area: StorageArea,
     ) -> Result<Outcome, ProtocolError> {
-        if !self.lockdirs[pe.index()].holds(addr) {
+        if !self.shards[pe.index()].lockdir.holds(addr) {
             return Err(ProtocolError::NotLocked { addr });
         }
         let write_outcome = self.write(pe, addr, value, area);
@@ -879,7 +1217,7 @@ impl PimSystem {
         addr: Addr,
         area: StorageArea,
     ) -> Result<Outcome, ProtocolError> {
-        if !self.lockdirs[pe.index()].holds(addr) {
+        if !self.shards[pe.index()].lockdir.holds(addr) {
             return Err(ProtocolError::NotLocked { addr });
         }
         let (cycles, woken) = self.release(pe, addr, area)?;
@@ -893,7 +1231,7 @@ impl PimSystem {
 
     /// Records the lock-directory occupancy high-water mark.
     fn note_lock_depth(&mut self, pe: PeId) {
-        let depth = self.lockdirs[pe.index()].len() as u64;
+        let depth = self.shards[pe.index()].lockdir.len() as u64;
         if depth > self.lock_stats.max_simultaneous_locks {
             self.lock_stats.max_simultaneous_locks = depth;
         }
@@ -906,7 +1244,7 @@ impl PimSystem {
         addr: Addr,
         area: StorageArea,
     ) -> Result<(u64, Vec<PeId>), ProtocolError> {
-        let woken = self.lockdirs[pe.index()].unlock(addr)?;
+        let woken = self.shards[pe.index()].lockdir.unlock(addr)?;
         self.lock_stats.unlock_total += 1;
         if woken.is_empty() {
             self.lock_stats.unlock_no_waiter += 1;
@@ -944,8 +1282,8 @@ impl PimSystem {
     pub fn check_coherence_invariants(&self) -> Result<(), String> {
         use std::collections::HashMap;
         let mut holders: HashMap<Addr, Vec<(PeId, BlockState)>> = HashMap::new();
-        for (i, cache) in self.caches.iter().enumerate() {
-            for (base, state) in cache.valid_blocks() {
+        for (i, shard) in self.shards.iter().enumerate() {
+            for (base, state) in shard.cache.valid_blocks() {
                 holders
                     .entry(base)
                     .or_default()
@@ -972,9 +1310,9 @@ impl PimSystem {
                     }
                 }
             }
-            let first = self.caches[list[0].0.index()].snapshot(base);
+            let first = self.shards[list[0].0.index()].cache.snapshot(base);
             for (pe, _) in &list[1..] {
-                if self.caches[pe.index()].snapshot(base) != first {
+                if self.shards[pe.index()].cache.snapshot(base) != first {
                     return Err(format!("block {base:#x}: copies diverge"));
                 }
             }
@@ -984,12 +1322,12 @@ impl PimSystem {
 
     /// The cache state of `addr` in `pe`'s cache (testing hook).
     pub fn cache_state(&self, pe: PeId, addr: Addr) -> BlockState {
-        self.caches[pe.index()].state_of(addr)
+        self.shards[pe.index()].cache.state_of(addr)
     }
 
     /// Whether `pe` currently holds a lock on `addr` (testing hook).
     pub fn holds_lock(&self, pe: PeId, addr: Addr) -> bool {
-        self.lockdirs[pe.index()].holds(addr)
+        self.shards[pe.index()].lockdir.holds(addr)
     }
 }
 

@@ -1,0 +1,321 @@
+//! Exhaustive protocol model check: breadth-first enumeration of every
+//! reachable (cache-state × lock-directory × memory) configuration of a
+//! small PIM system driven by all legal operations on a single block,
+//! asserting the paper's coherence and lock invariants in each state.
+//!
+//! The state abstraction is sound for this workload: with one block, one
+//! set and one way there is no replacement choice, so two systems with
+//! equal [`PimSystem::cache_view`]/[`PimSystem::lock_view`]/memory views
+//! are behaviorally indistinguishable. Statistics counters are excluded
+//! from the fingerprint on purpose (they grow without bound and never
+//! feed back into protocol decisions).
+
+use std::collections::{HashMap, VecDeque};
+
+use pim_cache::{BlockState, CacheGeometry, LockState, PimSystem, SystemConfig};
+use pim_trace::{Addr, MemOp, PeId, StorageArea, Word};
+
+/// Fixed write payload: keeps the data component of the state space finite
+/// ({initial, WRITTEN, DW poison} per word) without hiding any protocol
+/// behavior — the protocol never branches on data values.
+const WRITTEN: Word = 7;
+
+fn tiny_system(pes: u32) -> PimSystem {
+    PimSystem::new(SystemConfig {
+        pes,
+        geometry: CacheGeometry {
+            block_words: 2,
+            sets: 1,
+            ways: 1,
+        },
+        ..SystemConfig::default()
+    })
+}
+
+fn block_words(sys: &PimSystem) -> Vec<Addr> {
+    let base = sys.area_map().base(StorageArea::Heap);
+    (0..sys.config().geometry.block_words)
+        .map(|w| base + w * 4)
+        .collect()
+}
+
+/// Canonical state key: per-PE block view, per-PE per-word lock view, and
+/// the shared-memory words. Everything the protocol can branch on.
+fn fingerprint(sys: &PimSystem, words: &[Addr]) -> String {
+    let base = words[0];
+    let mut key = String::new();
+    for pe in 0..sys.config().pes {
+        key.push_str(&format!("{:?};", sys.cache_view(PeId(pe), base)));
+        for &w in words {
+            key.push_str(&format!("{:?};", sys.lock_view(PeId(pe), w)));
+        }
+    }
+    for &w in words {
+        key.push_str(&format!("{};", sys.memory_word(w)));
+    }
+    key
+}
+
+/// Every operation a PE may legally attempt in some state. Unlock variants
+/// are filtered at expansion time (only the holder may issue them); every
+/// other op is always legal — `LockBusy` refusals are transitions too.
+const ALL_OPS: [MemOp; 9] = [
+    MemOp::Read,
+    MemOp::Write,
+    MemOp::DirectWrite,
+    MemOp::ExclusiveRead,
+    MemOp::ReadPurge,
+    MemOp::ReadInvalidate,
+    MemOp::LockRead,
+    MemOp::WriteUnlock,
+    MemOp::Unlock,
+];
+
+/// The contract-free subset: plain reads/writes and the lock protocol.
+/// The optimized commands (`DW`/`ER`/`RP`/`RI`) carry *software contracts*
+/// (single-reader, initialize-before-share, …); driven adversarially they
+/// may leave memory stale behind a clean copy by design, so the
+/// memory-currency invariant is only asserted over this subset.
+const PLAIN_OPS: [MemOp; 5] = [
+    MemOp::Read,
+    MemOp::Write,
+    MemOp::LockRead,
+    MemOp::WriteUnlock,
+    MemOp::Unlock,
+];
+
+/// Invariants checked in every reachable state, on top of
+/// [`PimSystem::check_coherence_invariants`] (exclusive-copy-alone, at most
+/// one dirty copy, shared copies bit-identical). `memory_currency` is only
+/// sound when the exploration respects the optimized commands' software
+/// contracts (i.e. uses [`PLAIN_OPS`]).
+fn assert_state_invariants(sys: &PimSystem, words: &[Addr], memory_currency: bool, key: &str) {
+    sys.check_coherence_invariants()
+        .unwrap_or_else(|e| panic!("coherence violated: {e}\nstate: {key}"));
+
+    let pes = sys.config().pes;
+    let base = words[0];
+    let views: Vec<_> = (0..pes)
+        .filter_map(|pe| sys.cache_view(PeId(pe), base))
+        .collect();
+
+    // Paper invariant: an EM/EC copy is the *only* copy.
+    let exclusive = views
+        .iter()
+        .filter(|(s, _)| matches!(s, BlockState::Em | BlockState::Ec))
+        .count();
+    assert!(
+        exclusive <= 1 && (exclusive == 0 || views.len() == 1),
+        "exclusive copy coexists with others\nstate: {key}"
+    );
+
+    // Paper invariant: S copies without an SM owner mean memory is current
+    // — i.e. "S implies a clean copy exists" (the block's latest data is
+    // either in a dirty owner's cache or in memory itself).
+    let dirty_owner = views
+        .iter()
+        .any(|(s, _)| matches!(s, BlockState::Em | BlockState::Sm));
+    if memory_currency && !dirty_owner {
+        for (_, data) in &views {
+            for (i, &w) in words.iter().enumerate() {
+                assert_eq!(
+                    data[i],
+                    sys.memory_word(w),
+                    "clean copy diverges from memory\nstate: {key}"
+                );
+            }
+        }
+    }
+
+    // Lock invariants: at most one holder per word; LWAIT iff waiters
+    // exist; waiters are distinct remote PEs.
+    for &w in words {
+        let holders: Vec<_> = (0..pes)
+            .filter_map(|pe| sys.lock_view(PeId(pe), w).map(|v| (pe, v)))
+            .collect();
+        assert!(
+            holders.len() <= 1,
+            "word {w:#x} has {} lock holders\nstate: {key}",
+            holders.len()
+        );
+        if let Some((pe, (state, waiters))) = holders.first() {
+            assert_eq!(
+                *state == LockState::Lwait,
+                !waiters.is_empty(),
+                "LWAIT/waiter-list mismatch on {w:#x}\nstate: {key}"
+            );
+            let mut seen = waiters.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), waiters.len(), "duplicate waiters\nstate: {key}");
+            assert!(
+                !waiters.contains(&PeId(*pe)),
+                "holder waits on itself\nstate: {key}"
+            );
+        }
+    }
+}
+
+/// LWAIT chains drain: from any reachable state, releasing every held lock
+/// (holder issues `U`) wakes exactly the registered waiters and leaves no
+/// lock-directory entries anywhere.
+fn assert_lwait_drains(sys: &PimSystem, words: &[Addr], key: &str) {
+    let mut sys = sys.clone();
+    let pes = sys.config().pes;
+    for &w in words {
+        let holder = (0..pes).find(|&pe| sys.lock_view(PeId(pe), w).is_some());
+        if let Some(pe) = holder {
+            let (_, waiters) = sys.lock_view(PeId(pe), w).unwrap();
+            let out = sys
+                .access(PeId(pe), MemOp::Unlock, w, None)
+                .unwrap_or_else(|e| panic!("holder cannot unlock: {e}\nstate: {key}"));
+            let woken = match out {
+                pim_cache::Outcome::Done { woken, .. } => woken,
+                refused => panic!("unlock refused: {refused:?}\nstate: {key}"),
+            };
+            assert_eq!(woken, waiters, "UL woke wrong set\nstate: {key}");
+        }
+    }
+    for &w in words {
+        for pe in 0..pes {
+            assert!(
+                sys.lock_view(PeId(pe), w).is_none(),
+                "lock survived full release\nstate: {key}"
+            );
+        }
+    }
+    sys.check_coherence_invariants()
+        .unwrap_or_else(|e| panic!("coherence violated after drain: {e}\nstate: {key}"));
+}
+
+/// Exhaustive BFS over reachable protocol states. Returns the number of
+/// distinct states and transitions explored.
+fn explore(pes: u32, ops: &[MemOp], memory_currency: bool, state_cap: usize) -> (usize, u64) {
+    let root = tiny_system(pes);
+    let words = block_words(&root);
+    let root_key = fingerprint(&root, &words);
+
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut queue: VecDeque<PimSystem> = VecDeque::new();
+    seen.insert(root_key, ());
+    queue.push_back(root);
+    let mut transitions = 0u64;
+
+    while let Some(sys) = queue.pop_front() {
+        for pe in 0..pes {
+            for &op in ops {
+                for &addr in &words {
+                    // Only the holder may issue UW/U; everything else is
+                    // always legal to *attempt*.
+                    if matches!(op, MemOp::WriteUnlock | MemOp::Unlock)
+                        && sys.lock_view(PeId(pe), addr).is_none()
+                    {
+                        continue;
+                    }
+                    let data = op.is_write().then_some(WRITTEN);
+                    let mut next = sys.clone();
+                    // Illegal attempts (e.g. re-locking a held word) are
+                    // rejected without a transition.
+                    if next.access(PeId(pe), op, addr, data).is_err() {
+                        continue;
+                    }
+                    transitions += 1;
+                    let key = fingerprint(&next, &words);
+                    if seen.contains_key(&key) {
+                        continue;
+                    }
+                    assert_state_invariants(&next, &words, memory_currency, &key);
+                    assert_lwait_drains(&next, &words, &key);
+                    seen.insert(key, ());
+                    assert!(
+                        seen.len() <= state_cap,
+                        "state space exceeded {state_cap} states — abstraction leak?"
+                    );
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    (seen.len(), transitions)
+}
+
+#[test]
+fn two_caches_one_block_exhaustive() {
+    let (states, transitions) = explore(2, &ALL_OPS, false, 50_000);
+    // The space must be non-trivial (all five block states reachable in
+    // combination with lock entries) yet closed under every operation.
+    assert!(states > 100, "suspiciously small space: {states}");
+    assert!(transitions > states as u64);
+}
+
+#[test]
+fn three_caches_one_block_exhaustive() {
+    let (states, transitions) = explore(3, &ALL_OPS, false, 500_000);
+    assert!(states > 1_000, "suspiciously small space: {states}");
+    assert!(transitions > states as u64);
+}
+
+#[test]
+fn two_caches_plain_ops_memory_current() {
+    let (states, _) = explore(2, &PLAIN_OPS, true, 50_000);
+    assert!(states > 50, "suspiciously small space: {states}");
+}
+
+#[test]
+fn three_caches_plain_ops_memory_current() {
+    let (states, _) = explore(3, &PLAIN_OPS, true, 200_000);
+    assert!(states > 200, "suspiciously small space: {states}");
+}
+
+/// Every one of the five paper states is actually exercised by the
+/// exploration driver (guards against a driver that never leaves S/INV).
+#[test]
+fn all_block_states_reachable() {
+    let pes = 2;
+    let root = tiny_system(pes);
+    let words = block_words(&root);
+    let mut seen_states = std::collections::HashSet::new();
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut queue: VecDeque<PimSystem> = VecDeque::new();
+    seen.insert(fingerprint(&root, &words), ());
+    queue.push_back(root);
+    while let Some(sys) = queue.pop_front() {
+        for pe in 0..pes {
+            seen_states.insert(
+                sys.cache_view(PeId(pe), words[0])
+                    .map_or(BlockState::Inv, |(s, _)| s),
+            );
+        }
+        for pe in 0..pes {
+            for op in ALL_OPS {
+                for &addr in &words {
+                    if matches!(op, MemOp::WriteUnlock | MemOp::Unlock)
+                        && sys.lock_view(PeId(pe), addr).is_none()
+                    {
+                        continue;
+                    }
+                    let data = op.is_write().then_some(WRITTEN);
+                    let mut next = sys.clone();
+                    if next.access(PeId(pe), op, addr, data).is_err() {
+                        continue;
+                    }
+                    let key = fingerprint(&next, &words);
+                    if seen.contains_key(&key) {
+                        continue;
+                    }
+                    seen.insert(key, ());
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    for state in [
+        BlockState::Em,
+        BlockState::Ec,
+        BlockState::Sm,
+        BlockState::Shared,
+        BlockState::Inv,
+    ] {
+        assert!(seen_states.contains(&state), "{state:?} never reached");
+    }
+}

@@ -18,7 +18,7 @@
 use crate::MemorySystem;
 use pim_cache::Outcome;
 use pim_obs::{Observer, PeCycles};
-use pim_trace::{Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, Word};
+use pim_trace::{Access, Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, Word};
 pub use pim_trace::{Process, StepOutcome};
 
 /// Summary of one engine run.
@@ -75,6 +75,7 @@ pub struct Engine<S> {
     // here and is derived from the clocks when stats are reported.
     accounts: Vec<PeCycles>,
     observer: Option<Box<dyn Observer>>,
+    trace: Option<Vec<Access>>,
 }
 
 impl<S: MemorySystem> Engine<S> {
@@ -88,7 +89,23 @@ impl<S: MemorySystem> Engine<S> {
             idle_poll_cycles: 16,
             accounts: vec![PeCycles::default(); pes as usize],
             observer: None,
+            trace: None,
         }
+    }
+
+    /// Starts recording every *completed* memory operation as a replayable
+    /// [`Access`] trace. Refused (stalled) attempts are excluded on
+    /// purpose: a replay regenerates its own stalls from the protocol
+    /// state, so recording only the committed operations makes the trace
+    /// replay-faithful through [`crate::Replayer`].
+    pub fn record_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the trace recorded since [`Engine::record_trace`] (empty if
+    /// recording was never enabled), in global issue order.
+    pub fn take_trace(&mut self) -> Vec<Access> {
+        self.trace.take().unwrap_or_default()
     }
 
     /// Sets how far an idle PE's clock advances per empty poll.
@@ -145,6 +162,7 @@ impl<S: MemorySystem> Engine<S> {
             woken: Vec::new(),
             account: &mut self.accounts[pe.index()],
             observer: &mut self.observer,
+            trace: &mut self.trace,
         };
         f(&mut port)
     }
@@ -185,6 +203,7 @@ impl<S: MemorySystem> Engine<S> {
                 woken: Vec::new(),
                 account: &mut self.accounts[pe.index()],
                 observer: &mut self.observer,
+                trace: &mut self.trace,
             };
             let outcome = process.step(pe, &mut port);
             let stalled = port.stalled;
@@ -244,6 +263,7 @@ struct EnginePort<'a, S> {
     woken: Vec<PeId>,
     account: &'a mut PeCycles,
     observer: &'a mut Option<Box<dyn Observer>>,
+    trace: &'a mut Option<Vec<Access>>,
 }
 
 impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
@@ -266,17 +286,27 @@ impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
                 ..
             } => {
                 if bus_cycles > 0 {
-                    let start = (*self.clock).max(*self.bus_free);
-                    let wait = start - *self.clock;
-                    *self.clock = start + bus_cycles;
-                    *self.bus_free = start + bus_cycles;
-                    self.account.bus_wait += wait + bus_cycles;
+                    // The same pure arbitration the parallel engine applies
+                    // at its epoch barriers — sharing it is what makes the
+                    // two engines bit-identical.
+                    let grant = pim_bus::arbitrate(*self.bus_free, *self.clock, bus_cycles);
+                    *self.clock = grant.bus_free;
+                    *self.bus_free = grant.bus_free;
+                    self.account.bus_wait += grant.wait;
                     if let Some(obs) = self.observer.as_deref_mut() {
                         let area = self.system.area_map().area(addr);
-                        obs.bus_grant(self.pe, op, area, wait, bus_cycles);
+                        obs.bus_grant(self.pe, op, area, grant.wait - bus_cycles, bus_cycles);
                     }
                 }
                 self.woken.extend(woken);
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.push(Access::new(
+                        self.pe,
+                        op,
+                        addr,
+                        self.system.area_map().area(addr),
+                    ));
+                }
                 PortValue::Value(value)
             }
             Outcome::LockBusy { .. } => {

@@ -22,10 +22,12 @@
 
 pub mod engine;
 pub mod illinois;
+pub mod parallel;
 pub mod replay;
 pub mod system;
 
 pub use engine::{Engine, Process, RunStats, StepOutcome};
 pub use illinois::IllinoisSystem;
-pub use replay::Replayer;
-pub use system::MemorySystem;
+pub use parallel::{ParallelEngine, ProcessShard, ShardableProcess};
+pub use replay::{ReplayShard, Replayer};
+pub use system::{MemorySystem, ShardedSystem, SystemShard};

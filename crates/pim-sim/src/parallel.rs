@@ -1,0 +1,941 @@
+//! The deterministic parallel engine.
+//!
+//! Shards the per-PE cache simulators across worker threads and
+//! synchronizes them in fixed-length epochs, with every bus transaction
+//! resolved by the same pure `(cycle, PE id)` arbitration the sequential
+//! engine uses — so the result is bit-identical to [`crate::Engine`] at
+//! any thread count.
+//!
+//! # How it stays bit-identical
+//!
+//! The sequential engine executes one legal serialization: the runnable
+//! PE with the lowest `(clock, id)` steps next. Observe that a **local**
+//! operation — a resident cache hit with no bus transaction — touches
+//! only its own PE's shard, so it commutes with every other PE's
+//! concurrent local work. Only **global** operations (misses, upgrades,
+//! DW allocations, every lock operation) read or write shared state.
+//!
+//! So the engine runs in epochs:
+//!
+//! 1. **Speculate** — worker threads run each PE forward through its own
+//!    shard ([`SystemShard::try_local`]) for up to an epoch's worth of
+//!    operations, journaling one block address per op in an undo log.
+//!    A PE stops early at its first global operation.
+//! 2. **Barrier** — the coordinator repeatedly takes the *frontier
+//!    minimum*: the pending global with the lowest `(cycle, PE id)`
+//!    among all lanes, provided every other lane has already speculated
+//!    past that position (otherwise it speculates them further first).
+//!    The global runs through the shared system exactly as the
+//!    sequential engine would have run it, with bus arbitration from
+//!    [`pim_bus::arbitrate`].
+//! 3. **Truncate** — if a global at position `(g, p)` touches a block
+//!    that another lane speculatively accessed at a position *after*
+//!    `(g, p)`, that lane's journal is rolled back (bit-exactly, via the
+//!    cache undo log) to just before the first such access and re-run
+//!    later. Accesses *before* `(g, p)` are unaffected: the global
+//!    correctly observes them.
+//! 4. **Commit** — journal entries below the minimum frontier over all
+//!    lanes can never be truncated again (processed globals are strictly
+//!    increasing in `(cycle, id)` order) and are folded into the
+//!    shard-local statistics.
+//!
+//! Idle polls of exhausted PEs never touch memory, so they are
+//! reconstructed in closed form at the end of the run instead of being
+//! interleaved, and the finishing step is charged exactly like the
+//! sequential scheduler would have.
+//!
+//! Determinism: nothing in the result depends on thread scheduling —
+//! workers only ever mutate their own lane, and the coordinator's merge
+//! order is a pure function of the simulated clocks. `--threads 8` and
+//! `--threads 2` produce byte-identical reports.
+//!
+//! # Divergence caveats
+//!
+//! * `max_steps` is a safety valve: a run that exceeds it stops with
+//!   `finished == false`, but its partial clocks are not comparable to
+//!   the sequential engine's partial state (completed runs are).
+//! * A replay in which blocked PEs can never be woken (a lock held by an
+//!   exhausted stream) panics instead of idling up to the step budget.
+
+use crate::system::{ShardedSystem, SystemShard};
+use crate::{Process, RunStats};
+use pim_cache::Outcome;
+use pim_obs::{Observer, PeCycles};
+use pim_trace::{Addr, MemOp, PeId, Word};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// One PE's private slice of a [`ShardableProcess`]: a rewindable stream
+/// of operations, owned by a worker thread between barriers.
+pub trait ProcessShard: Send {
+    /// The next operation, without consuming it. `None` when exhausted.
+    fn peek(&self) -> Option<(MemOp, Addr, Option<Word>)>;
+
+    /// Consumes the operation returned by [`ProcessShard::peek`].
+    fn advance(&mut self);
+
+    /// Current stream position (monotone under [`ProcessShard::advance`]).
+    fn position(&self) -> usize;
+
+    /// Rewinds to an earlier [`ProcessShard::position`] after a
+    /// speculation rollback; the replayed operations must be identical.
+    fn rewind(&mut self, position: usize);
+}
+
+/// A [`Process`] whose per-PE streams can be split into owned
+/// [`ProcessShard`]s for the parallel engine, then reassembled.
+pub trait ShardableProcess: Process {
+    /// The owned per-PE stream type.
+    type Shard: ProcessShard;
+
+    /// Moves the per-PE streams out, in PE order.
+    fn take_shards(&mut self) -> Vec<Self::Shard>;
+
+    /// Restores streams previously taken, in the same PE order.
+    fn put_shards(&mut self, shards: Vec<Self::Shard>);
+}
+
+/// Journal cap per speculation phase: the epoch length.
+const DEFAULT_EPOCH_OPS: usize = 1024;
+/// Soft cap on any lane's uncommitted journal; the frontier-minimum lane
+/// may exceed it (progress requires it), everyone else parks.
+const MAX_JOURNAL: usize = 1 << 16;
+
+/// What a lane is doing, as seen at a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Can speculate further.
+    Ready,
+    /// Hit the epoch or journal cap; can speculate further when asked.
+    Capped,
+    /// Parked at a global operation to run at `(clock, pe)`.
+    Global(MemOp, Addr, Option<Word>),
+    /// Stalled on a refused lock; retries the stored op when woken.
+    Blocked(MemOp, Addr, Option<Word>),
+    /// Stream fully replayed (as of the current speculation).
+    Exhausted,
+}
+
+/// One PE's complete runtime state: its system shard, its stream shard,
+/// and the speculation journal tying them together.
+struct Lane<SS, PS> {
+    pe: usize,
+    shard: Option<SS>,
+    proc: Option<PS>,
+    /// Block base touched by each uncommitted local op. Entry `i` was
+    /// issued at cycle `start_clock + i` (local ops are 1 cycle each).
+    journal: Vec<Addr>,
+    /// Block base → ascending journal indices touching it.
+    touched: HashMap<Addr, Vec<u32>>,
+    start_clock: u64,
+    clock: u64,
+    /// Stream position at `journal[0]`.
+    proc_base: usize,
+    status: Status,
+    /// Clock at stream exhaustion (valid while `status == Exhausted`).
+    exhausted_at: u64,
+    /// Issue position of the lane's latest op (journal or committed).
+    last_issue: Option<(u64, u32)>,
+    /// `last_issue` as of the journal start, for rollback to empty.
+    base_issue: Option<(u64, u32)>,
+    account: PeCycles,
+    /// Per-phase journal cap (raised for the frontier-minimum lane).
+    cap: usize,
+}
+
+impl<SS: SystemShard, PS: ProcessShard> Lane<SS, PS> {
+    /// Issue position of the next operation this lane could run.
+    fn frontier(&self) -> (u64, u32) {
+        (self.clock, self.pe as u32)
+    }
+
+    /// Commits the whole journal into the shard-local stats.
+    fn commit(&mut self, committed_steps: &mut u64) {
+        self.shard.as_mut().unwrap().commit_speculation();
+        *committed_steps += self.journal.len() as u64;
+        self.journal.clear();
+        self.touched.clear();
+        self.start_clock = self.clock;
+        self.proc_base = self.proc.as_ref().unwrap().position();
+        self.base_issue = self.last_issue;
+    }
+
+    /// Rolls everything from journal index `k` on back out of the shard
+    /// and the stream, bit-exactly.
+    fn truncate(&mut self, k: usize) {
+        debug_assert!(k < self.journal.len());
+        for idx in k..self.journal.len() {
+            let b = self.journal[idx];
+            if let Some(v) = self.touched.get_mut(&b) {
+                while v.last().is_some_and(|&x| x as usize >= k) {
+                    v.pop();
+                }
+                if v.is_empty() {
+                    self.touched.remove(&b);
+                }
+            }
+        }
+        self.shard.as_mut().unwrap().rollback_to(k);
+        self.proc.as_mut().unwrap().rewind(self.proc_base + k);
+        self.journal.truncate(k);
+        self.clock = self.start_clock + k as u64;
+        self.last_issue = if k > 0 {
+            Some((self.start_clock + k as u64 - 1, self.pe as u32))
+        } else {
+            self.base_issue
+        };
+        self.status = Status::Ready;
+    }
+
+    /// First journal index on `block` issued lexicographically after the
+    /// global at `(g, p)`, if any.
+    fn first_conflict(&self, block: Addr, g: u64, p: u32) -> Option<usize> {
+        let v = self.touched.get(&block)?;
+        // (start + idx, pe) > (g, p)  ⇔  start + idx >= threshold.
+        let threshold = if (self.pe as u32) > p { g } else { g + 1 };
+        let idx_min = threshold.saturating_sub(self.start_clock);
+        let at = v.partition_point(|&x| (x as u64) < idx_min);
+        v.get(at).map(|&x| x as usize)
+    }
+}
+
+/// Runs one lane forward through purely local operations. Worker-side:
+/// touches nothing but the lane.
+fn speculate<SS: SystemShard, PS: ProcessShard>(lane: &mut Lane<SS, PS>, epoch_ops: usize) {
+    let shard = lane.shard.as_mut().unwrap();
+    let mut done = 0;
+    loop {
+        if lane.journal.len() >= lane.cap || done >= epoch_ops {
+            lane.status = Status::Capped;
+            return;
+        }
+        match lane.proc.as_ref().unwrap().peek() {
+            None => {
+                lane.status = Status::Exhausted;
+                lane.exhausted_at = lane.clock;
+                return;
+            }
+            Some((op, addr, data)) => match shard.try_local(op, addr, data) {
+                Some(_) => {
+                    let b = shard.block_base(addr);
+                    let i = lane.journal.len() as u32;
+                    lane.journal.push(b);
+                    lane.touched.entry(b).or_default().push(i);
+                    lane.last_issue = Some((lane.clock, lane.pe as u32));
+                    lane.clock += 1;
+                    lane.proc.as_mut().unwrap().advance();
+                    done += 1;
+                }
+                None => {
+                    lane.status = Status::Global(op, addr, data);
+                    return;
+                }
+            },
+        }
+    }
+}
+
+/// The parallel engine: a [`ShardedSystem`] plus PE clocks, the shared
+/// bus clock, and a worker pool. Drop-in for [`crate::Engine`] on
+/// processes that implement [`ShardableProcess`]; produces bit-identical
+/// [`RunStats`] and system statistics at any `threads` value.
+///
+/// # Examples
+///
+/// ```
+/// use pim_cache::{PimSystem, SystemConfig};
+/// use pim_sim::{ParallelEngine, Replayer};
+/// use pim_trace::{Access, AreaMap, MemOp, PeId, StorageArea};
+///
+/// let map = AreaMap::standard();
+/// let heap = map.base(StorageArea::Heap);
+/// let trace = vec![
+///     Access::new(PeId(0), MemOp::DirectWrite, heap, StorageArea::Heap),
+///     Access::new(PeId(1), MemOp::Read, heap, StorageArea::Heap),
+/// ];
+/// let mut replayer = Replayer::from_merged(&trace, 2);
+/// let mut engine = ParallelEngine::new(
+///     PimSystem::new(SystemConfig { pes: 2, ..Default::default() }),
+///     2,
+/// );
+/// engine.set_threads(2);
+/// let stats = engine.run(&mut replayer, 1_000);
+/// assert!(stats.finished);
+/// assert_eq!(engine.system().ref_stats().total(), 2);
+/// ```
+pub struct ParallelEngine<S> {
+    system: S,
+    clocks: Vec<u64>,
+    bus_free: u64,
+    idle_poll_cycles: u64,
+    accounts: Vec<PeCycles>,
+    observer: Option<Box<dyn Observer>>,
+    threads: usize,
+    epoch_ops: usize,
+}
+
+impl<S: ShardedSystem> ParallelEngine<S> {
+    /// Wraps a sharded memory system for `pes` processing elements.
+    /// Defaults to one worker per available hardware thread.
+    pub fn new(system: S, pes: u32) -> ParallelEngine<S> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ParallelEngine {
+            system,
+            clocks: vec![0; pes as usize],
+            bus_free: 0,
+            idle_poll_cycles: 16,
+            accounts: vec![PeCycles::default(); pes as usize],
+            observer: None,
+            threads,
+            epoch_ops: DEFAULT_EPOCH_OPS,
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). With one
+    /// thread the same algorithm runs inline on the coordinator — the
+    /// result is identical either way, by construction.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Sets the epoch length: how many local operations one lane may
+    /// speculate per phase. Purely a scheduling knob — results are
+    /// independent of it.
+    pub fn set_epoch_ops(&mut self, ops: usize) {
+        self.epoch_ops = ops.max(1);
+    }
+
+    /// Sets how far an idle PE's clock advances per empty poll.
+    pub fn set_idle_poll_cycles(&mut self, cycles: u64) {
+        self.idle_poll_cycles = cycles.max(1);
+    }
+
+    /// Attaches an observer receiving bus-grant and lock-wait events, in
+    /// the exact order the sequential engine would emit them.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// The wrapped memory system.
+    pub fn system(&self) -> &S {
+        &self.system
+    }
+
+    /// Consumes the engine, returning the memory system.
+    pub fn into_system(self) -> S {
+        self.system
+    }
+
+    /// The per-PE cycle accounting so far; same derivation as
+    /// [`crate::Engine::pe_cycles`].
+    pub fn pe_cycles(&self) -> Vec<PeCycles> {
+        self.accounts
+            .iter()
+            .zip(self.clocks.iter())
+            .map(|(acct, &clock)| PeCycles {
+                busy: clock - acct.bus_wait - acct.lock_wait - acct.idle,
+                ..*acct
+            })
+            .collect()
+    }
+
+    /// Runs `process` to completion (or until `max_steps`), bit-identical
+    /// to [`crate::Engine::run`] on the same system and process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol error, on deadlock (every PE blocked on a
+    /// lock), or if a blocked PE can never be woken.
+    pub fn run<P: ShardableProcess>(&mut self, process: &mut P, max_steps: u64) -> RunStats {
+        assert_eq!(
+            process.pe_count() as usize,
+            self.clocks.len(),
+            "process/engine PE count mismatch"
+        );
+        let pes = self.clocks.len();
+        self.system.begin_sharded_run();
+        let sys_shards = self.system.take_shards();
+        let proc_shards = process.take_shards();
+        assert_eq!(sys_shards.len(), pes, "system shard count mismatch");
+        assert_eq!(proc_shards.len(), pes, "process shard count mismatch");
+
+        let mut lanes: Vec<Lane<S::Shard, P::Shard>> = sys_shards
+            .into_iter()
+            .zip(proc_shards)
+            .enumerate()
+            .map(|(pe, (shard, proc))| Lane {
+                pe,
+                shard: Some(shard),
+                proc_base: proc.position(),
+                proc: Some(proc),
+                journal: Vec::new(),
+                touched: HashMap::new(),
+                start_clock: self.clocks[pe],
+                clock: self.clocks[pe],
+                status: Status::Ready,
+                exhausted_at: 0,
+                last_issue: None,
+                base_issue: None,
+                account: self.accounts[pe],
+                cap: MAX_JOURNAL,
+            })
+            .collect();
+
+        let (steps, finished) = self.drive(&mut lanes, max_steps);
+
+        let mut sys_back = Vec::with_capacity(pes);
+        let mut proc_back = Vec::with_capacity(pes);
+        for lane in lanes {
+            self.clocks[lane.pe] = lane.clock;
+            self.accounts[lane.pe] = lane.account;
+            sys_back.push(lane.shard.unwrap());
+            proc_back.push(lane.proc.unwrap());
+        }
+        self.system.put_shards(sys_back);
+        self.system.fold_shard_stats();
+        process.put_shards(proc_back);
+
+        RunStats {
+            steps,
+            pe_clocks: self.clocks.clone(),
+            pe_cycles: self.pe_cycles(),
+            makespan: self.clocks.iter().copied().max().unwrap_or(0),
+            finished,
+        }
+    }
+
+    /// The coordinator loop, with the worker pool in scope.
+    fn drive<PS: ProcessShard>(
+        &mut self,
+        lanes: &mut [Lane<S::Shard, PS>],
+        max_steps: u64,
+    ) -> (u64, bool) {
+        let epoch_ops = self.epoch_ops;
+        let workers = if self.threads > 1 {
+            self.threads.min(lanes.len())
+        } else {
+            0
+        };
+        let (job_tx, job_rx) = mpsc::channel::<Lane<S::Shard, PS>>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = mpsc::channel::<Lane<S::Shard, PS>>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&job_rx);
+                let tx = done_tx.clone();
+                scope.spawn(move || loop {
+                    // Workers block in recv (holding the mutex only while
+                    // idle — no spinning); a closed channel ends them.
+                    let job = rx.lock().unwrap().recv();
+                    let Ok(mut lane) = job else { break };
+                    speculate(&mut lane, epoch_ops);
+                    if tx.send(lane).is_err() {
+                        break;
+                    }
+                });
+            }
+
+            // Committed-step counters; locals count on journal commit.
+            let mut steps_ops = 0u64;
+            let mut steps_stalls = 0u64;
+            let mut steps_locals = 0u64;
+            let finished;
+
+            // Lanes are moved out for worker phases; `slots` tracks them.
+            let mut slots: Vec<Option<Lane<S::Shard, PS>>> =
+                (0..lanes.len()).map(|_| None).collect();
+            // `lanes` stays the single source of truth outside phases.
+
+            loop {
+                // Commit every journal wholly below the minimum frontier
+                // over *actionable* lanes: every future global runs at or
+                // above that bound (a blocked lane's retry lands strictly
+                // after the global that wakes it), so nothing can truncate
+                // those entries any more.
+                let commit_min = lanes
+                    .iter()
+                    .filter(|l| {
+                        matches!(
+                            l.status,
+                            Status::Ready | Status::Capped | Status::Global(..)
+                        )
+                    })
+                    .map(Lane::frontier)
+                    .min();
+                for lane in lanes.iter_mut() {
+                    if lane.journal.is_empty() {
+                        continue;
+                    }
+                    let last = (lane.clock - 1, lane.pe as u32);
+                    if commit_min.is_none_or(|m| last < m) {
+                        lane.commit(&mut steps_locals);
+                    }
+                }
+
+                // Safety budget (approximate while speculation is in
+                // flight; exact on completed runs).
+                let in_flight: u64 = lanes.iter().map(|l| l.journal.len() as u64).sum();
+                if steps_ops + steps_stalls + steps_locals + in_flight >= max_steps {
+                    finished = false;
+                    break;
+                }
+
+                // The actionable minimum: the lowest-position pending
+                // global, or the lowest extendable lane if it is lower.
+                let next_global = lanes
+                    .iter()
+                    .filter(|l| matches!(l.status, Status::Global(..)))
+                    .map(Lane::frontier)
+                    .min();
+                let next_ext = lanes
+                    .iter()
+                    .filter(|l| matches!(l.status, Status::Ready | Status::Capped))
+                    .map(Lane::frontier)
+                    .min();
+
+                match (next_ext, next_global) {
+                    (None, None) => {
+                        let blocked = lanes
+                            .iter()
+                            .filter(|l| matches!(l.status, Status::Blocked(..)))
+                            .count();
+                        if blocked == lanes.len() {
+                            panic!("deadlock: every PE is blocked on a lock");
+                        }
+                        assert!(
+                            blocked == 0,
+                            "replay stuck: {blocked} PE(s) blocked on locks that are \
+                             never released"
+                        );
+                        finished = true;
+                        break;
+                    }
+                    (Some(e), g) if g.is_none_or(|g| e < g) => {
+                        // Speculation phase: extend every willing lane;
+                        // the frontier-minimum lane may exceed the soft
+                        // journal cap so the run always progresses.
+                        let mut spec: Vec<usize> = Vec::new();
+                        for lane in lanes.iter_mut() {
+                            let eligible = match lane.status {
+                                Status::Ready => true,
+                                Status::Capped => {
+                                    lane.journal.len() < MAX_JOURNAL || lane.frontier() == e
+                                }
+                                _ => false,
+                            };
+                            if eligible {
+                                lane.cap = if lane.frontier() == e {
+                                    lane.journal.len().saturating_add(epoch_ops)
+                                } else {
+                                    MAX_JOURNAL
+                                };
+                                spec.push(lane.pe);
+                            }
+                        }
+                        if workers == 0 || spec.len() == 1 {
+                            for &i in &spec {
+                                speculate(&mut lanes[i], epoch_ops);
+                            }
+                        } else {
+                            for &i in &spec {
+                                let lane = std::mem::replace(
+                                    &mut lanes[i],
+                                    // An empty shell parks in the slot
+                                    // until the worker returns the lane;
+                                    // nothing reads it in between.
+                                    Lane {
+                                        pe: i,
+                                        shard: None,
+                                        proc: None,
+                                        journal: Vec::new(),
+                                        touched: HashMap::new(),
+                                        start_clock: 0,
+                                        clock: 0,
+                                        proc_base: 0,
+                                        status: Status::Exhausted,
+                                        exhausted_at: 0,
+                                        last_issue: None,
+                                        base_issue: None,
+                                        account: PeCycles::default(),
+                                        cap: 0,
+                                    },
+                                );
+                                job_tx.send(lane).unwrap();
+                            }
+                            for _ in 0..spec.len() {
+                                let lane = done_rx.recv().unwrap();
+                                let pe = lane.pe;
+                                slots[pe] = Some(lane);
+                            }
+                            for &i in &spec {
+                                lanes[i] = slots[i].take().unwrap();
+                            }
+                        }
+                    }
+                    (_, Some((g, p))) => {
+                        self.process_global(
+                            lanes,
+                            p as usize,
+                            g,
+                            &mut steps_ops,
+                            &mut steps_stalls,
+                        );
+                    }
+                    (Some(_), None) => unreachable!("guard covers this arm"),
+                }
+            }
+
+            drop(job_tx);
+            let mut steps = steps_ops + steps_stalls + steps_locals;
+            if finished {
+                steps += self.settle_idle(lanes);
+                steps += 1; // the scheduling step that observed Finished
+            } else {
+                steps = steps.min(max_steps);
+            }
+            (steps, finished)
+        })
+    }
+
+    /// Runs the pending global of lane `p`, exactly as the sequential
+    /// engine would at schedule position `(g, p)`.
+    fn process_global<PS: ProcessShard>(
+        &mut self,
+        lanes: &mut [Lane<S::Shard, PS>],
+        p: usize,
+        g: u64,
+        steps_ops: &mut u64,
+        steps_stalls: &mut u64,
+    ) {
+        let Status::Global(op, addr, data) = lanes[p].status else {
+            unreachable!("process_global on a non-global lane");
+        };
+        debug_assert!(
+            lanes[p].journal.is_empty(),
+            "requester journal must be committed before its global"
+        );
+        let block = lanes[p].shard.as_ref().unwrap().block_base(addr);
+
+        // Roll back any speculation the global would have reordered with:
+        // journal entries on the same block issued after (g, p).
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            if j == p || lane.journal.is_empty() {
+                continue;
+            }
+            if let Some(k) = lane.first_conflict(block, g, p as u32) {
+                lane.truncate(k);
+            }
+        }
+
+        // Execute through the shared system with all shards home and the
+        // undo logs paused: a committed global must never roll back.
+        let shards: Vec<S::Shard> = lanes.iter_mut().map(|l| l.shard.take().unwrap()).collect();
+        self.system.put_shards(shards);
+        self.system.pause_speculation();
+        lanes[p].clock += 1;
+        let outcome = self
+            .system
+            .access(PeId(p as u32), op, addr, data)
+            .unwrap_or_else(|e| panic!("{} protocol misuse at {addr:#x}: {e}", PeId(p as u32)));
+        let area = self.system.area_map().area(addr);
+        self.system.resume_speculation();
+        for (lane, shard) in lanes.iter_mut().zip(self.system.take_shards()) {
+            lane.shard = Some(shard);
+        }
+
+        match outcome {
+            Outcome::Done {
+                bus_cycles, woken, ..
+            } => {
+                if bus_cycles > 0 {
+                    let grant = pim_bus::arbitrate(self.bus_free, lanes[p].clock, bus_cycles);
+                    lanes[p].clock = grant.bus_free;
+                    self.bus_free = grant.bus_free;
+                    lanes[p].account.bus_wait += grant.wait;
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.bus_grant(
+                            PeId(p as u32),
+                            op,
+                            area,
+                            grant.wait - bus_cycles,
+                            bus_cycles,
+                        );
+                    }
+                }
+                lanes[p].proc.as_mut().unwrap().advance();
+                lanes[p].last_issue = Some((g, p as u32));
+                *steps_ops += 1;
+
+                let now = lanes[p].clock;
+                for w in woken {
+                    let w = w.index();
+                    if w == p {
+                        continue;
+                    }
+                    let lane = &mut lanes[w];
+                    let Status::Blocked(rop, raddr, rdata) = lane.status else {
+                        debug_assert!(false, "woke a PE that was not blocked");
+                        continue;
+                    };
+                    // The waiter busy-waited until the UL broadcast; the
+                    // bump is exactly the stall duration.
+                    let waited = now.saturating_sub(lane.clock);
+                    lane.clock = lane.clock.max(now);
+                    lane.account.lock_wait += waited;
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.lock_wait(PeId(w as u32), waited);
+                    }
+                    lane.status = Status::Global(rop, raddr, rdata);
+                    lane.start_clock = lane.clock;
+                    lane.base_issue = lane.last_issue;
+                }
+
+                let lane = &mut lanes[p];
+                lane.status = if lane.proc.as_ref().unwrap().peek().is_none() {
+                    lane.exhausted_at = lane.clock;
+                    Status::Exhausted
+                } else {
+                    Status::Ready
+                };
+                lane.start_clock = lane.clock;
+                lane.proc_base = lane.proc.as_ref().unwrap().position();
+                lane.base_issue = lane.last_issue;
+            }
+            Outcome::LockBusy { .. } => {
+                *steps_stalls += 1;
+                let lane = &mut lanes[p];
+                lane.status = Status::Blocked(op, addr, data);
+                lane.start_clock = lane.clock;
+                lane.base_issue = lane.last_issue;
+            }
+        }
+    }
+
+    /// Closed-form replay of the idle polls the sequential scheduler
+    /// interleaves once a PE's stream is exhausted: PE `j` polls at
+    /// positions `(e_j + k·poll, j)` for `k = 0, 1, …` as long as that
+    /// precedes the issue position of the run's last operation. Returns
+    /// the number of poll steps charged.
+    fn settle_idle<PS: ProcessShard>(&mut self, lanes: &mut [Lane<S::Shard, PS>]) -> u64 {
+        let Some((t, p)) = lanes.iter().filter_map(|l| l.last_issue).max() else {
+            return 0; // nothing ever ran: the first poll sees Finished
+        };
+        let poll = self.idle_poll_cycles;
+        let mut steps = 0;
+        for lane in lanes.iter_mut() {
+            debug_assert_eq!(lane.status, Status::Exhausted);
+            let e = lane.exhausted_at;
+            let pe = lane.pe as u32;
+            if (e, pe) >= (t, p) {
+                continue;
+            }
+            // Count k ≥ 0 with (e + k·poll, pe) < (t, p) lexicographically.
+            let polls = if pe < p {
+                (t - e) / poll + 1
+            } else {
+                (t - e).div_ceil(poll)
+            };
+            lane.clock += polls * poll;
+            lane.account.idle += polls * poll;
+            steps += polls;
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Replayer};
+    use pim_cache::{PimSystem, SystemConfig};
+    use pim_trace::{Access, AreaMap, StorageArea};
+
+    fn heap(pe: u32, op: MemOp, off: u64) -> Access {
+        let map = AreaMap::standard();
+        Access::new(
+            PeId(pe),
+            op,
+            map.base(StorageArea::Heap) + off,
+            StorageArea::Heap,
+        )
+    }
+
+    /// Deterministic xorshift so the test needs no external crates here.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn mixed_trace(pes: u32, len: usize, seed: u64) -> Vec<Access> {
+        let mut s = seed;
+        let mut trace = Vec::with_capacity(len);
+        for _ in 0..len {
+            let r = xorshift(&mut s);
+            let pe = (r % pes as u64) as u32;
+            // Skewed toward reads/writes with enough sharing to force
+            // misses, transfers, invalidations and purges.
+            let op = match (r >> 8) % 10 {
+                0..=3 => MemOp::Read,
+                4..=6 => MemOp::Write,
+                7 => MemOp::DirectWrite,
+                8 => MemOp::ExclusiveRead,
+                _ => MemOp::ReadPurge,
+            };
+            let off = ((r >> 16) % 96) * 4; // 24 words: heavy block overlap
+            trace.push(heap(pe, op, off));
+        }
+        trace
+    }
+
+    fn run_sequential(trace: &[Access], pes: u32) -> (RunStats, String) {
+        let mut replayer = Replayer::from_merged(trace, pes);
+        let mut engine = Engine::new(
+            PimSystem::new(SystemConfig {
+                pes,
+                ..SystemConfig::default()
+            }),
+            pes,
+        );
+        let stats = engine.run(&mut replayer, 1_000_000);
+        let sys = engine.system();
+        let fingerprint = format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            sys.ref_stats(),
+            sys.access_stats(),
+            sys.lock_stats(),
+            sys.bus_stats()
+        );
+        (stats, fingerprint)
+    }
+
+    fn run_parallel(trace: &[Access], pes: u32, threads: usize) -> (RunStats, String) {
+        let mut replayer = Replayer::from_merged(trace, pes);
+        let mut engine = ParallelEngine::new(
+            PimSystem::new(SystemConfig {
+                pes,
+                ..SystemConfig::default()
+            }),
+            pes,
+        );
+        engine.set_threads(threads);
+        let stats = engine.run(&mut replayer, 1_000_000);
+        assert_eq!(replayer.remaining(), 0);
+        let sys = engine.system();
+        let fingerprint = format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            sys.ref_stats(),
+            sys.access_stats(),
+            sys.lock_stats(),
+            sys.bus_stats()
+        );
+        (stats, fingerprint)
+    }
+
+    #[test]
+    fn matches_sequential_on_mixed_traces() {
+        for (pes, len, seed) in [(2, 200, 1), (4, 600, 2), (8, 1200, 3)] {
+            let trace = mixed_trace(pes, len, seed);
+            let (seq_stats, seq_fp) = run_sequential(&trace, pes);
+            assert!(seq_stats.finished);
+            for threads in [1, 2, 4] {
+                let (par_stats, par_fp) = run_parallel(&trace, pes, threads);
+                assert_eq!(
+                    par_stats, seq_stats,
+                    "run stats diverged: pes={pes} seed={seed} threads={threads}"
+                );
+                assert_eq!(
+                    par_fp, seq_fp,
+                    "system stats diverged: pes={pes} seed={seed} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_with_uneven_streams() {
+        // PE0 gets a long stream, PE1 a single op, PE2 nothing: exercises
+        // the closed-form idle-poll replay and the finisher step.
+        let mut trace = Vec::new();
+        for i in 0..40 {
+            trace.push(heap(0, MemOp::Write, (i % 16) * 4));
+        }
+        trace.push(heap(1, MemOp::Read, 0));
+        let (seq_stats, seq_fp) = run_sequential(&trace, 3);
+        for threads in [1, 2] {
+            let (par_stats, par_fp) = run_parallel(&trace, 3, threads);
+            assert_eq!(par_stats, seq_stats, "threads={threads}");
+            assert_eq!(par_fp, seq_fp, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_under_lock_contention() {
+        // All PEs hammer the same lock word: LockRead then WriteUnlock,
+        // forcing LH refusals, LWAIT registration and UL wake-ups.
+        let mut trace = Vec::new();
+        for round in 0..30u64 {
+            for pe in 0..4u32 {
+                trace.push(heap(pe, MemOp::LockRead, 0));
+                trace.push(heap(pe, MemOp::Write, 4 + ((round + pe as u64) % 8) * 4));
+                trace.push(heap(pe, MemOp::WriteUnlock, 0));
+            }
+        }
+        let (seq_stats, seq_fp) = run_sequential(&trace, 4);
+        assert!(seq_stats.finished);
+        let sys_has_conflicts = seq_fp.contains("lr_refused: 0");
+        assert!(!sys_has_conflicts, "trace must manufacture lock conflicts");
+        for threads in [1, 2, 4, 8] {
+            let (par_stats, par_fp) = run_parallel(&trace, 4, threads);
+            assert_eq!(par_stats, seq_stats, "threads={threads}");
+            assert_eq!(par_fp, seq_fp, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_epochs_change_nothing() {
+        let trace = mixed_trace(4, 400, 7);
+        let (seq_stats, seq_fp) = run_sequential(&trace, 4);
+        let mut replayer = Replayer::from_merged(&trace, 4);
+        let mut engine = ParallelEngine::new(
+            PimSystem::new(SystemConfig {
+                pes: 4,
+                ..SystemConfig::default()
+            }),
+            4,
+        );
+        engine.set_threads(2);
+        engine.set_epoch_ops(3); // pathological epoch length
+        let stats = engine.run(&mut replayer, 1_000_000);
+        let sys = engine.system();
+        let fp = format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            sys.ref_stats(),
+            sys.access_stats(),
+            sys.lock_stats(),
+            sys.bus_stats()
+        );
+        assert_eq!(stats, seq_stats);
+        assert_eq!(fp, seq_fp);
+    }
+
+    #[test]
+    fn step_budget_reports_unfinished() {
+        let trace = mixed_trace(2, 300, 11);
+        let mut replayer = Replayer::from_merged(&trace, 2);
+        let mut engine = ParallelEngine::new(
+            PimSystem::new(SystemConfig {
+                pes: 2,
+                ..SystemConfig::default()
+            }),
+            2,
+        );
+        engine.set_threads(1);
+        let stats = engine.run(&mut replayer, 10);
+        assert!(!stats.finished);
+        assert!(stats.steps <= 10);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests pinning the parallel engine bit-identical to the
+//! sequential engine on randomized, lock-disciplined traces — and the
+//! per-PE cycle accounts to the makespan identity
+//! `busy + bus_wait + lock_wait + idle == clock`.
+
+use pim_cache::{PimSystem, SystemConfig};
+use pim_sim::{Engine, ParallelEngine, Replayer, RunStats};
+use pim_trace::{Access, AreaMap, MemOp, PeId, StorageArea};
+use proptest::prelude::*;
+
+/// Builds a lock-disciplined trace: a PE holds at most one lock at a
+/// time, never blocks while holding one, and releases everything before
+/// its stream ends — so replays always terminate, sequential or parallel.
+fn disciplined_trace(pes: u32, items: Vec<(u32, u8, u64)>) -> Vec<Access> {
+    let map = AreaMap::standard();
+    let heap = map.base(StorageArea::Heap);
+    let mut held: Vec<Option<u64>> = vec![None; pes as usize];
+    let mut streams: Vec<Vec<Access>> = vec![Vec::new(); pes as usize];
+    let push = |streams: &mut Vec<Vec<Access>>, pe: u32, op: MemOp, addr: u64| {
+        streams[pe as usize].push(Access::new(PeId(pe), op, addr, StorageArea::Heap));
+    };
+    for (pe, kind, word) in items {
+        let i = pe as usize;
+        // Data words live in blocks 1+; lock words stay in block 0. A
+        // plain op that misses on a block holding a remote lock is also
+        // refused (block-granular), so keeping them apart guarantees a
+        // lock holder can never block — no deadlock by construction.
+        let addr = heap + (4 + word % 64) * 4;
+        // Contend on a handful of lock words so refusals actually happen.
+        let lock_addr = heap + (word % 3) * 4;
+        match kind {
+            0..=3 => push(&mut streams, pe, MemOp::Read, addr),
+            4..=6 => push(&mut streams, pe, MemOp::Write, addr),
+            7 => push(&mut streams, pe, MemOp::DirectWrite, addr),
+            8 => push(&mut streams, pe, MemOp::ExclusiveRead, addr),
+            9 => push(&mut streams, pe, MemOp::ReadPurge, addr),
+            10 | 11 => match held[i] {
+                // Acquire only while holding nothing (no hold-and-wait,
+                // hence no deadlock); release the held word otherwise.
+                None => {
+                    push(&mut streams, pe, MemOp::LockRead, lock_addr);
+                    held[i] = Some(lock_addr);
+                }
+                Some(l) => {
+                    let op = if kind == 10 {
+                        MemOp::WriteUnlock
+                    } else {
+                        MemOp::Unlock
+                    };
+                    push(&mut streams, pe, op, l);
+                    held[i] = None;
+                }
+            },
+            _ => push(&mut streams, pe, MemOp::ReadInvalidate, addr),
+        }
+    }
+    for (i, h) in held.iter().enumerate() {
+        if let Some(l) = *h {
+            push(&mut streams, i as u32, MemOp::Unlock, l);
+        }
+    }
+    streams.concat()
+}
+
+fn fingerprint(sys: &PimSystem) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}",
+        sys.ref_stats(),
+        sys.access_stats(),
+        sys.lock_stats(),
+        sys.bus_stats()
+    )
+}
+
+fn run_sequential(trace: &[Access], pes: u32) -> (RunStats, String) {
+    let mut replayer = Replayer::from_merged(trace, pes);
+    let mut engine = Engine::new(
+        PimSystem::new(SystemConfig {
+            pes,
+            ..SystemConfig::default()
+        }),
+        pes,
+    );
+    let stats = engine.run(&mut replayer, 10_000_000);
+    (stats, fingerprint(engine.system()))
+}
+
+fn run_parallel(trace: &[Access], pes: u32, threads: usize) -> (RunStats, String) {
+    let mut replayer = Replayer::from_merged(trace, pes);
+    let mut engine = ParallelEngine::new(
+        PimSystem::new(SystemConfig {
+            pes,
+            ..SystemConfig::default()
+        }),
+        pes,
+    );
+    engine.set_threads(threads);
+    let stats = engine.run(&mut replayer, 10_000_000);
+    assert_eq!(replayer.remaining(), 0, "parallel run left stream residue");
+    (stats, fingerprint(engine.system()))
+}
+
+/// Every PE's cycle account must decompose its clock exactly.
+fn assert_accounts_sum(stats: &RunStats) {
+    for (pe, (cycles, &clock)) in stats.pe_cycles.iter().zip(&stats.pe_clocks).enumerate() {
+        assert_eq!(
+            cycles.busy + cycles.bus_wait + cycles.lock_wait + cycles.idle,
+            clock,
+            "PE{pe} cycle account does not sum to its clock"
+        );
+    }
+    assert_eq!(
+        stats.makespan,
+        stats.pe_clocks.iter().copied().max().unwrap_or(0),
+        "makespan must be the maximum PE clock"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_equals_sequential(
+        pes in 2u32..9,
+        items in proptest::collection::vec((0u32..8, 0u8..13, 0u64..256), 1..300),
+    ) {
+        let items: Vec<(u32, u8, u64)> =
+            items.into_iter().map(|(pe, k, w)| (pe % pes, k, w)).collect();
+        let trace = disciplined_trace(pes, items);
+        let (seq_stats, seq_fp) = run_sequential(&trace, pes);
+        prop_assert!(seq_stats.finished, "sequential replay must terminate");
+        assert_accounts_sum(&seq_stats);
+        for threads in [1usize, 2, 4] {
+            let (par_stats, par_fp) = run_parallel(&trace, pes, threads);
+            prop_assert_eq!(&par_stats, &seq_stats, "stats diverged at {} threads", threads);
+            prop_assert_eq!(&par_fp, &seq_fp, "system stats diverged at {} threads", threads);
+            assert_accounts_sum(&par_stats);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_invisible(
+        items in proptest::collection::vec((0u32..4, 0u8..13, 0u64..64), 1..150),
+    ) {
+        // Even without the sequential reference: any two thread counts
+        // must agree with each other exactly.
+        let trace = disciplined_trace(4, items);
+        let (base_stats, base_fp) = run_parallel(&trace, 4, 2);
+        for threads in [3usize, 8] {
+            let (stats, fp) = run_parallel(&trace, 4, threads);
+            prop_assert_eq!(&stats, &base_stats);
+            prop_assert_eq!(&fp, &base_fp);
+        }
+    }
+}

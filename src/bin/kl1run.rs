@@ -4,7 +4,12 @@
 //! kl1run [options] <program.fghc> [goal]
 //!
 //! options:
-//!   --pes N           processing elements (default 8)
+//!   --pes N           processing elements (default 8, must be >= 1)
+//!   --threads N       accepted for symmetry with tracesim; the KL1
+//!                     abstract machine steps its PEs through shared
+//!                     state, so the simulation always runs on the
+//!                     sequential engine (results are identical at any
+//!                     thread count by the engines' determinism contract)
 //!   --flat            skip the cache simulation (functional run)
 //!   --illinois        use the Illinois baseline protocol
 //!   --no-opt          disable the DW/ER/RP/RI optimized commands
@@ -42,8 +47,9 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: kl1run [--pes N] [--flat] [--illinois] [--no-opt] [--gc WORDS] \
-         [--indexed] [--stats] [--code] [--profile FILE] <program.fghc> [goal]"
+        "usage: kl1run [--pes N] [--threads N] [--flat] [--illinois] [--no-opt] \
+         [--gc WORDS] [--indexed] [--stats] [--code] [--profile FILE] \
+         <program.fghc> [goal]"
     );
     std::process::exit(2);
 }
@@ -80,6 +86,13 @@ fn parse_args() -> Options {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--pes" => opts.pes = numeric_flag("--pes", args.next()),
+            "--threads" => {
+                let threads: usize = numeric_flag("--threads", args.next());
+                if threads == 0 {
+                    eprintln!("kl1run: --threads must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--flat" => opts.flat = true,
             "--illinois" => opts.illinois = true,
             "--no-opt" => opts.no_opt = true,
@@ -109,6 +122,10 @@ fn parse_args() -> Options {
             opts.goal = positional.remove(0);
         }
         _ => usage(),
+    }
+    if opts.pes == 0 {
+        eprintln!("kl1run: --pes must be at least 1");
+        std::process::exit(2);
     }
     opts
 }

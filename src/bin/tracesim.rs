@@ -14,6 +14,10 @@
 //!   --bus-width W    bus width in words (default 1)
 //!   --gen NAME       ignore the file; generate a built-in synthetic trace
 //!                    (producer-consumer | heap-mix | lock-churn | aurora)
+//!   --threads N      worker threads for the PIM replay (default: available
+//!                    parallelism; 1 selects the sequential engine). Results
+//!                    are bit-identical at every thread count. The Illinois
+//!                    baseline always replays sequentially.
 //!   --report FILE    write a JSON report (traffic, cycle accounts,
 //!                    latency histograms, coherence transitions) to FILE
 //! ```
@@ -29,14 +33,14 @@ use pim_bus::BusTiming;
 use pim_cache::{CacheGeometry, OptMask, PimSystem, SystemConfig};
 use pim_obs::{Json, SharedMetrics};
 use pim_repro::report;
-use pim_sim::{Engine, IllinoisSystem, MemorySystem, Replayer};
+use pim_sim::{Engine, IllinoisSystem, MemorySystem, ParallelEngine, Replayer};
 use pim_trace::{Access, StorageArea};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tracesim [--pes N] [--illinois] [--no-opt] [--block W] \
-         [--capacity W] [--ways N] [--bus-width W] [--report FILE] \
-         (<trace.txt> | --gen NAME)"
+        "usage: tracesim [--pes N] [--threads N] [--illinois] [--no-opt] \
+         [--block W] [--capacity W] [--ways N] [--bus-width W] \
+         [--report FILE] (<trace.txt> | --gen NAME)"
     );
     std::process::exit(2);
 }
@@ -49,6 +53,7 @@ fn main() {
     let mut capacity = 4096u64;
     let mut ways = 4u64;
     let mut bus_width = 1u64;
+    let mut threads: Option<usize> = None;
     let mut generator: Option<String> = None;
     let mut report_path: Option<String> = None;
     let mut file: Option<String> = None;
@@ -74,6 +79,7 @@ fn main() {
             "--capacity" => capacity = next_u64("capacity"),
             "--ways" => ways = next_u64("ways"),
             "--bus-width" => bus_width = next_u64("bus-width"),
+            "--threads" => threads = Some(next_u64("threads") as usize),
             "--gen" => generator = Some(args.next().unwrap_or_else(|| usage())),
             "--report" => match args.next() {
                 Some(path) => report_path = Some(path),
@@ -90,6 +96,19 @@ fn main() {
             other => file = Some(other.to_string()),
         }
     }
+
+    if pes == Some(0) {
+        eprintln!("tracesim: --pes must be at least 1");
+        std::process::exit(2);
+    }
+    let threads = match threads {
+        Some(0) => {
+            eprintln!("tracesim: --threads must be at least 1");
+            std::process::exit(2);
+        }
+        Some(n) => n,
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    };
 
     let trace: Vec<Access> = if let Some(name) = generator {
         let workers = pes.unwrap_or(4);
@@ -126,7 +145,20 @@ fn main() {
     }
 
     let needed = 1 + trace.iter().map(|a| a.pe.0).max().unwrap_or(0);
-    let pes = pes.unwrap_or(needed).max(needed);
+    // An explicit --pes that cannot hold the trace is an error, not a
+    // silent clamp: the user asked for a specific machine size.
+    let pes = match pes {
+        Some(n) if n < needed => {
+            eprintln!(
+                "tracesim: --pes {n} is too small: the trace references PE {} \
+                 (need --pes >= {needed})",
+                needed - 1
+            );
+            std::process::exit(2);
+        }
+        Some(n) => n,
+        None => needed,
+    };
     let config = SystemConfig {
         pes,
         geometry: CacheGeometry::with_shape(capacity, block, ways),
@@ -187,12 +219,28 @@ fn main() {
             "Illinois",
             summarize(engine.system(), run.makespan, trace.len()),
         )
-    } else {
+    } else if threads == 1 {
         let mut system = PimSystem::new(config);
         if let Some(s) = &shared {
             system.set_observer(s.observer());
         }
         let mut engine = Engine::new(system, pes);
+        if let Some(s) = &shared {
+            engine.set_observer(s.observer());
+        }
+        let run = engine.run(&mut replayer, u64::MAX);
+        write_report("PIM", engine.system(), run.makespan, &run.pe_cycles);
+        ("PIM", summarize(engine.system(), run.makespan, trace.len()))
+    } else {
+        // The parallel engine is bit-identical to the sequential one at
+        // every thread count (tests/cross_system_props.rs pins this), so
+        // the reports are byte-for-byte the same either way.
+        let mut system = PimSystem::new(config);
+        if let Some(s) = &shared {
+            system.set_observer(s.observer());
+        }
+        let mut engine = ParallelEngine::new(system, pes);
+        engine.set_threads(threads);
         if let Some(s) = &shared {
             engine.set_observer(s.observer());
         }

@@ -130,6 +130,98 @@ fn tracesim_replays_a_trace_file() {
 }
 
 #[test]
+fn kl1run_rejects_zero_pes_with_named_flag() {
+    let out = kl1run()
+        .args(["--pes", "0", "examples/fghc/hanoi.fghc"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--pes"), "{stderr}");
+}
+
+#[test]
+fn kl1run_rejects_zero_threads_with_named_flag() {
+    let out = kl1run()
+        .args(["--threads", "0", "examples/fghc/hanoi.fghc"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--threads"), "{stderr}");
+}
+
+#[test]
+fn tracesim_rejects_too_small_pes_instead_of_clamping() {
+    // The trace references PE 3; an explicit --pes 2 must be an error
+    // naming the flag and the needed minimum, not a silent clamp.
+    let dir = std::env::temp_dir().join("tracesim_cli_test3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wide.txt");
+    let map = pim_trace::AreaMap::standard();
+    let h = map.base(pim_trace::StorageArea::Heap);
+    std::fs::write(&path, format!("0 R {h:#x} heap\n3 R {h:#x} heap\n")).unwrap();
+    let out = tracesim()
+        .args(["--pes", "2", path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--pes"), "{stderr}");
+    assert!(stderr.contains("PE 3"), "{stderr}");
+    assert!(stderr.contains(">= 4"), "{stderr}");
+    // Without the flag the trace still replays (PE count inferred).
+    let out = tracesim()
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+}
+
+#[test]
+fn tracesim_rejects_zero_pes_and_threads() {
+    for flag in ["--pes", "--threads"] {
+        let out = tracesim()
+            .args(["--gen", "aurora", flag, "0"])
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(2), "{flag}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(flag), "{stderr}");
+    }
+}
+
+#[test]
+fn tracesim_reports_are_identical_across_thread_counts() {
+    let dir = std::env::temp_dir().join("tracesim_cli_test4");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = |threads: &str| {
+        let path = dir.join(format!("report-{threads}.json"));
+        let out = tracesim()
+            .args(["--gen", "lock-churn", "--pes", "4", "--threads", threads])
+            .args(["--report", path.to_str().unwrap()])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            std::fs::read_to_string(&path).unwrap(),
+        )
+    };
+    let (out1, rep1) = report("1");
+    for threads in ["2", "8"] {
+        let (out_n, rep_n) = report(threads);
+        assert_eq!(out_n, out1, "stdout diverged at {threads} threads");
+        assert_eq!(rep_n, rep1, "report diverged at {threads} threads");
+    }
+    assert!(rep1.contains("\"schema\": \"pim-repro/v1\""), "{rep1}");
+}
+
+#[test]
 fn tracesim_rejects_malformed_traces() {
     let dir = std::env::temp_dir().join("tracesim_cli_test2");
     std::fs::create_dir_all(&dir).unwrap();

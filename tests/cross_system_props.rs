@@ -5,9 +5,11 @@
 
 use kl1_machine::{Cluster, ClusterConfig};
 use pim_cache::{OptMask, PimSystem, SystemConfig};
-use pim_sim::{Engine, IllinoisSystem, MemorySystem};
-use pim_trace::PeId;
+use pim_repro::report;
+use pim_sim::{Engine, IllinoisSystem, MemorySystem, ParallelEngine, Replayer};
+use pim_trace::{Access, PeId};
 use proptest::prelude::*;
+use workloads::{Bench, Scale};
 
 const LIST_OPS: &str = "
     main(Xs, Ys, R) :- true |
@@ -67,6 +69,130 @@ fn run_sys_answer<S: MemorySystem + 'static>(
     assert!(stats.finished);
     assert!(c.failure().is_none(), "{:?}", c.failure());
     engine.with_port(PeId(0), |p| c.extract(p, "R").unwrap())
+}
+
+// ---------------------------------------------------------------------
+// Differential testing: the parallel engine against the sequential one.
+//
+// Each workload trace is replayed through both engines; the resulting
+// `pim-repro/v1` report documents must be *byte-identical* at every
+// thread count — determinism down to the serialized artifact, not just
+// the headline numbers.
+// ---------------------------------------------------------------------
+
+/// Captures the memory-access trace of a Table-1 benchmark run at smoke
+/// scale on the sequential engine.
+fn capture_bench_trace(bench: Bench, pes: u32) -> Vec<Access> {
+    let program = fghc::compile(bench.source()).unwrap();
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes,
+            block_words: 4,
+            ..Default::default()
+        },
+    );
+    let (proc, args) = bench.query(Scale::smoke());
+    cluster.set_query(proc, args);
+    let mut engine = Engine::new(
+        PimSystem::new(SystemConfig {
+            pes,
+            ..Default::default()
+        }),
+        pes,
+    );
+    engine.record_trace();
+    let stats = engine.run(&mut cluster, 500_000_000);
+    assert!(stats.finished, "{} did not finish", bench.name());
+    assert!(cluster.failure().is_none(), "{:?}", cluster.failure());
+    engine.take_trace()
+}
+
+/// The full serialized `pim-repro/v1` report of one replay: envelope,
+/// memory statistics, and per-PE cycle accounts, in the stable pretty
+/// form the CLI tools write to disk.
+fn replay_report(sys: &PimSystem, stats: &pim_sim::RunStats) -> String {
+    let mut doc = report::envelope("differential");
+    doc.push("memory", report::memory_json(sys, stats.makespan));
+    doc.push("pe_cycles", pim_obs::pe_cycles_json(&stats.pe_cycles));
+    doc.to_string_pretty()
+}
+
+fn replay_sequential(trace: &[Access], pes: u32) -> String {
+    let mut replayer = Replayer::from_merged(trace, pes);
+    let mut engine = Engine::new(
+        PimSystem::new(SystemConfig {
+            pes,
+            ..Default::default()
+        }),
+        pes,
+    );
+    let stats = engine.run(&mut replayer, u64::MAX);
+    assert!(stats.finished);
+    replay_report(engine.system(), &stats)
+}
+
+fn replay_parallel(trace: &[Access], pes: u32, threads: usize) -> String {
+    let mut replayer = Replayer::from_merged(trace, pes);
+    let mut engine = ParallelEngine::new(
+        PimSystem::new(SystemConfig {
+            pes,
+            ..Default::default()
+        }),
+        pes,
+    );
+    engine.set_threads(threads);
+    let stats = engine.run(&mut replayer, u64::MAX);
+    assert!(stats.finished);
+    replay_report(engine.system(), &stats)
+}
+
+fn assert_replay_identical(label: &str, trace: &[Access], pes: u32) {
+    let reference = replay_sequential(trace, pes);
+    for threads in [1usize, 2, 4, 8] {
+        let parallel = replay_parallel(trace, pes, threads);
+        assert_eq!(
+            parallel, reference,
+            "{label}: report diverged from sequential at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn table1_smoke_workloads_replay_identically_at_any_thread_count() {
+    for bench in Bench::ALL {
+        let pes = 4;
+        let trace = capture_bench_trace(bench, pes);
+        assert!(trace.len() > 1_000, "{} trace too small", bench.name());
+        assert_replay_identical(bench.name(), &trace, pes);
+    }
+}
+
+#[test]
+fn synthetic_traces_replay_identically_at_any_thread_count() {
+    let pes = 8;
+    let traces: Vec<(&str, Vec<Access>)> = vec![
+        (
+            "producer-consumer",
+            workloads::synthetic::producer_consumer(512, 8, 4),
+        ),
+        (
+            "heap-mix",
+            workloads::synthetic::shared_heap_mix(pes, 20_000, 30, 1 << 14, 7),
+        ),
+        (
+            "lock-churn",
+            workloads::synthetic::lock_churn(pes, 2_000, 10, 7),
+        ),
+        (
+            "aurora",
+            workloads::synthetic::aurora_like(pes, 5_000, 1989),
+        ),
+    ];
+    for (name, trace) in traces {
+        let pes = 1 + trace.iter().map(|a| a.pe.0).max().unwrap_or(0);
+        assert_replay_identical(name, &trace, pes);
+    }
 }
 
 proptest! {
