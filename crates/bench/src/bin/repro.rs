@@ -1,9 +1,9 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|small|paper] [--threads N] [--json DIR] <experiment>...
+//! repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] <experiment>...
 //! experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5
-//!              buswidth assoc ablation indexing aurora gc all
+//!              buswidth assoc ablation indexing aurora gc faults all
 //! ```
 //!
 //! `--threads N` caps the worker budget of the experiment fan-out
@@ -22,6 +22,7 @@ use workloads::Scale;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::paper();
+    let mut seed = 7u64;
     let mut json_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
@@ -49,6 +50,16 @@ fn main() {
                     }
                 }
             }
+            "--seed" => {
+                let v = iter.next().unwrap_or_default();
+                match v.parse::<u64>() {
+                    Ok(n) => seed = n,
+                    Err(_) => {
+                        eprintln!("repro: invalid value `{v}` for --seed (expected a number)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--json" => match iter.next() {
                 Some(dir) => json_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -58,9 +69,9 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale smoke|small|paper] [--threads N] [--json DIR] <experiment>...\n\
+                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] <experiment>...\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5\n\
-                     \x20            buswidth assoc ablation indexing aurora gc all"
+                     \x20            buswidth assoc ablation indexing aurora gc faults all"
                 );
                 return;
             }
@@ -178,5 +189,12 @@ fn main() {
     run("gc", &|| {
         let rows = bench::gc_pressure(scale);
         (bench::render_gc(&rows), bench::gc_json(scale, &rows))
+    });
+    run("faults", &|| {
+        let rows = bench::faults(scale, seed);
+        (
+            bench::render_faults(&rows, seed),
+            bench::faults_json(scale, seed, &rows),
+        )
     });
 }

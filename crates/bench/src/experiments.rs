@@ -76,7 +76,9 @@ pub fn table1(scale: Scale) -> Vec<Table1Row> {
     par_map(Bench::ALL.to_vec(), |bench| {
         let mut r8 = run_pim_profiled(bench, scale, base_config(8, OptMask::all()));
         let r1 = run_pim(bench, scale, base_config(1, OptMask::all()));
-        let metrics = r8.metrics.take().expect("profiled run collects metrics");
+        let Some(metrics) = r8.metrics.take() else {
+            unreachable!("profiled run collects metrics")
+        };
         Table1Row {
             bench,
             lines: bench.source_lines(),
@@ -380,10 +382,9 @@ fn render_series(
         let mut row1 = vec![x.clone()];
         let mut row2 = vec![x.clone()];
         for &bench in &Bench::ALL {
-            let p = pts
-                .iter()
-                .find(|(b, px, _, _)| *b == bench && px == x)
-                .expect("complete grid");
+            let Some(p) = pts.iter().find(|(b, px, _, _)| *b == bench && px == x) else {
+                unreachable!("sweep grid is complete by construction")
+            };
             row1.push(f3(p.2));
             row2.push(p.3.to_string());
         }
@@ -523,10 +524,9 @@ pub fn render_fig3(points: &[Fig3Point]) -> String {
     for &pes in &[1u32, 2, 4, 8, 16] {
         let mut row = vec![pes.to_string()];
         for &bench in &Bench::ALL {
-            let p = points
-                .iter()
-                .find(|p| p.bench == bench && p.pes == pes)
-                .expect("grid");
+            let Some(p) = points.iter().find(|p| p.bench == bench && p.pes == pes) else {
+                unreachable!("sweep grid is complete by construction")
+            };
             row.push(p.bus_cycles.to_string());
         }
         t.row(row);
@@ -792,10 +792,9 @@ pub fn render_assoc(points: &[AssocPoint]) -> String {
     for &ways in &[1u64, 2, 4, 8] {
         let mut row = vec![ways.to_string()];
         for &bench in &Bench::EXTENDED {
-            let p = points
-                .iter()
-                .find(|p| p.bench == bench && p.ways == ways)
-                .expect("grid");
+            let Some(p) = points.iter().find(|p| p.bench == bench && p.ways == ways) else {
+                unreachable!("sweep grid is complete by construction")
+            };
             row.push(p.bus_cycles.to_string());
         }
         t.row(row);
@@ -957,7 +956,9 @@ pub fn aurora(scale: Scale) -> Vec<AuroraRow> {
     fn run_replay<S: MemorySystem>(trace: &[pim_trace::Access], system: S) -> S {
         let mut replayer = Replayer::from_merged(trace, 8);
         let mut engine = Engine::new(system, 8);
-        let stats = engine.run(&mut replayer, u64::MAX);
+        let stats = engine
+            .run(&mut replayer, u64::MAX)
+            .unwrap_or_else(|e| panic!("aurora replay failed: {e}"));
         assert!(stats.finished, "aurora replay did not finish");
         engine.into_system()
     }
@@ -1109,6 +1110,148 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
             r.illinois_mem_busy.to_string(),
             f3(r.pim_lr_free),
             f3(r.pim_ul_free),
+        ]);
+    }
+    t.render()
+}
+
+// ----------------------------------------------------------------------
+// Fault sweep — deterministic fault injection and recovery overhead
+// ----------------------------------------------------------------------
+
+/// Recovery overhead at one fault rate.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Per-attempt fault probability, in parts per million.
+    pub rate_ppm: u32,
+    /// Faults injected over the whole replay.
+    pub injected: u64,
+    /// Faults recovered (equal to `injected` on every completed run).
+    pub recovered: u64,
+    /// Retry attempts consumed by recovery.
+    pub retries: u64,
+    /// Completion-delay cycles attributed to faults.
+    pub penalty_cycles: u64,
+    /// Simulated makespan.
+    pub makespan: u64,
+    /// Makespan overhead versus the fault-free run, in percent.
+    pub overhead_pct: f64,
+}
+
+/// Sweeps deterministic fault rates over the lock-churn workload — the
+/// trace with the most bus arbitration per access, hence the worst case
+/// for NACK/stall recovery. Every rate replays sequentially and at 2
+/// and 8 worker threads and must produce byte-identical system
+/// statistics: the fault schedule is a pure function of
+/// `(seed, cycle, pe, attempt)`, never of the host's thread count.
+pub fn faults(scale: Scale, seed: u64) -> Vec<FaultRow> {
+    use pim_cache::PimSystem;
+    use pim_fault::{FaultConfig, FaultPlan};
+    use pim_sim::{Engine, ParallelEngine, Replayer};
+
+    let pes = 8;
+    let pairs = if scale == Scale::smoke() { 500 } else { 5_000 };
+    let trace = workloads::synthetic::lock_churn(pes, pairs, 10, 7);
+
+    let fingerprint = |sys: &PimSystem| {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            sys.ref_stats(),
+            sys.access_stats(),
+            sys.lock_stats(),
+            sys.bus_stats()
+        )
+    };
+
+    let mut rows = Vec::new();
+    let mut base_makespan = 0u64;
+    for rate_ppm in [0u32, 1_000, 10_000, 50_000] {
+        let fc = FaultConfig::new(seed, rate_ppm);
+
+        let mut replayer = Replayer::from_merged(&trace, pes);
+        let mut engine = Engine::new(PimSystem::new(base_config(pes, OptMask::all())), pes);
+        engine.set_fault_plan(FaultPlan::new(fc.clone()));
+        let stats = engine
+            .run(&mut replayer, u64::MAX)
+            .unwrap_or_else(|e| panic!("fault sweep replay failed at {rate_ppm} ppm: {e}"));
+        assert!(stats.finished, "fault sweep replay did not finish");
+        let fs = engine.fault_stats().clone();
+        let seq_fp = fingerprint(engine.system());
+
+        for threads in [2usize, 8] {
+            let mut replayer = Replayer::from_merged(&trace, pes);
+            let mut par =
+                ParallelEngine::new(PimSystem::new(base_config(pes, OptMask::all())), pes);
+            par.set_threads(threads);
+            par.set_fault_plan(FaultPlan::new(fc.clone()));
+            let pstats = par
+                .run(&mut replayer, u64::MAX)
+                .unwrap_or_else(|e| panic!("parallel fault sweep failed at {rate_ppm} ppm: {e}"));
+            assert_eq!(
+                pstats, stats,
+                "fault sweep diverged at {threads} threads, {rate_ppm} ppm"
+            );
+            assert_eq!(
+                fingerprint(par.system()),
+                seq_fp,
+                "system state diverged at {threads} threads, {rate_ppm} ppm"
+            );
+            assert_eq!(
+                par.fault_stats(),
+                &fs,
+                "fault schedule diverged at {threads} threads, {rate_ppm} ppm"
+            );
+        }
+
+        assert_eq!(
+            fs.injected, fs.recovered,
+            "unrecovered fault at {rate_ppm} ppm"
+        );
+        if rate_ppm == 0 {
+            base_makespan = stats.makespan;
+            assert_eq!(fs.total_injected(), 0, "rate 0 must inject nothing");
+        }
+        let overhead_pct = if base_makespan == 0 {
+            0.0
+        } else {
+            100.0 * (stats.makespan as f64 - base_makespan as f64) / base_makespan as f64
+        };
+        rows.push(FaultRow {
+            rate_ppm,
+            injected: fs.total_injected(),
+            recovered: fs.total_recovered(),
+            retries: fs.retries,
+            penalty_cycles: fs.penalty_cycles,
+            makespan: stats.makespan,
+            overhead_pct,
+        });
+    }
+    rows
+}
+
+/// Renders the fault sweep.
+pub fn render_faults(rows: &[FaultRow], seed: u64) -> String {
+    let mut t = Table::new(
+        format!("Deterministic fault injection (lock-churn, 8 PEs, seed {seed})"),
+        &[
+            "rate",
+            "injected",
+            "recovered",
+            "retries",
+            "penalty",
+            "makespan",
+            "overhead",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.2}%", r.rate_ppm as f64 / 10_000.0),
+            r.injected.to_string(),
+            r.recovered.to_string(),
+            r.retries.to_string(),
+            r.penalty_cycles.to_string(),
+            r.makespan.to_string(),
+            format!("{:+.2}%", r.overhead_pct),
         ]);
     }
     t.render()

@@ -8,8 +8,8 @@
 //! produce byte-identical files.
 
 use crate::experiments::{
-    AblationRow, AssocPoint, AuroraRow, BaseRuns, BusWidthRow, Fig1Point, Fig2Point, Fig3Point,
-    GcRow, IndexingRow, Table1Row, Table4Row, Table5Col,
+    AblationRow, AssocPoint, AuroraRow, BaseRuns, BusWidthRow, FaultRow, Fig1Point, Fig2Point,
+    Fig3Point, GcRow, IndexingRow, Table1Row, Table4Row, Table5Col,
 };
 use pim_obs::{histogram_json, pe_cycles_json, Json};
 use pim_trace::{OpClass, StorageArea};
@@ -311,6 +311,27 @@ pub fn aurora_json(scale: Scale, rows: &[AuroraRow]) -> Json {
                 ("bus_cycles", Json::from(r.bus_cycles)),
                 ("memory_busy_cycles", Json::from(r.mem_busy)),
                 ("lr_bus_free", Json::from(r.lr_free)),
+            ])
+        })),
+    );
+    doc
+}
+
+/// Fault-sweep document.
+pub fn faults_json(scale: Scale, seed: u64, rows: &[FaultRow]) -> Json {
+    let mut doc = envelope("faults", scale);
+    doc.push("seed", Json::from(seed));
+    doc.push(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("rate_ppm", Json::from(u64::from(r.rate_ppm))),
+                ("injected", Json::from(r.injected)),
+                ("recovered", Json::from(r.recovered)),
+                ("retries", Json::from(r.retries)),
+                ("penalty_cycles", Json::from(r.penalty_cycles)),
+                ("makespan", Json::from(r.makespan)),
+                ("overhead_pct", Json::from(r.overhead_pct)),
             ])
         })),
     );

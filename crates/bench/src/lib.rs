@@ -8,6 +8,7 @@
 //! a reconstruction, not the original ICOT emulator).
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod experiments;

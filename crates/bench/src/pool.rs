@@ -56,19 +56,43 @@ where
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    let item = cell.lock().unwrap().take().expect("cell claimed twice");
-                    *results[i].lock().unwrap() = Some(f(item));
+                    // The atomic counter hands each index to exactly one
+                    // worker, so the cell is always full and unpoisoned.
+                    let Some(item) = lock_clean(cell).take() else {
+                        unreachable!("cell {i} claimed twice")
+                    };
+                    *lock_clean(&results[i]) = Some(f(item));
                 })
             })
             .collect();
         for h in handles {
-            h.join().expect("experiment cell panicked");
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
         }
     });
     results
         .into_iter()
-        .map(|r| r.into_inner().unwrap().expect("cell never ran"))
+        .map(|r| {
+            let cell = match r.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match cell {
+                Some(v) => v,
+                None => unreachable!("every cell runs before the scope ends"),
+            }
+        })
         .collect()
+}
+
+/// Locks a mutex, ignoring poisoning: cells hold plain data and a
+/// panicked worker aborts the whole map via `resume_unwind` anyway.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,23 @@ const RUN_REPORT_PATHS: &[&str] = &[
     "metrics.lock_wait_cycles.p90",
     "metrics.lock_wait_cycles.p99",
     "metrics.lock_wait_cycles.log2_buckets",
+    "metrics.faults",
+    "metrics.faults.injected_by_kind",
+    "metrics.faults.injected_total",
+    "metrics.faults.recovered_total",
+    "metrics.faults.recovered_operations",
+    "metrics.faults.penalty_cycles",
+    "metrics.faults.penalty_cycles.count",
+    "metrics.faults.penalty_cycles.sum",
+    "metrics.faults.penalty_cycles.min",
+    "metrics.faults.penalty_cycles.max",
+    "metrics.faults.penalty_cycles.mean",
+    "metrics.faults.penalty_cycles.p50",
+    "metrics.faults.penalty_cycles.p90",
+    "metrics.faults.penalty_cycles.p99",
+    "metrics.faults.penalty_cycles.log2_buckets",
+    "metrics.faults.deadlocks",
+    "metrics.faults.watchdog_expirations",
     "metrics.kl1",
     "metrics.kl1.reductions_by_pe",
     "metrics.kl1.suspensions_by_pe",

@@ -325,7 +325,9 @@ impl ClauseCtx {
                 Ok(())
             }
             Term::Int(_) | Term::Atom(_) | Term::Nil => {
-                let val = self.const_of(term, symbols).expect("constant term");
+                let Some(val) = self.const_of(term, symbols) else {
+                    unreachable!("Int/Atom/Nil always encode as a constant")
+                };
                 code.push(Instr::WaitConst { reg, val });
                 Ok(())
             }
@@ -552,7 +554,9 @@ impl ClauseCtx {
                 }
             },
             Term::Int(_) | Term::Atom(_) | Term::Nil => {
-                let val = self.const_of(term, symbols).expect("constant");
+                let Some(val) = self.const_of(term, symbols) else {
+                    unreachable!("Int/Atom/Nil always encode as a constant")
+                };
                 let r = self.alloc()?;
                 code.push(Instr::PutConst { dst: r, val });
                 Ok(r)
@@ -596,9 +600,10 @@ impl ClauseCtx {
                     Ok(SetOp::Fresh(r))
                 }
             },
-            Term::Int(_) | Term::Atom(_) | Term::Nil => Ok(SetOp::Const(
-                self.const_of(term, symbols).expect("constant"),
-            )),
+            Term::Int(_) | Term::Atom(_) | Term::Nil => match self.const_of(term, symbols) {
+                Some(val) => Ok(SetOp::Const(val)),
+                None => unreachable!("Int/Atom/Nil always encode as a constant"),
+            },
             nested => {
                 let r = self.build_term(nested, symbols, code)?;
                 Ok(SetOp::Reg(r))

@@ -1,0 +1,106 @@
+//! Structured machine errors: conditions the abstract machine used to
+//! panic on — an undefined query procedure, a corrupt goal record, a
+//! malformed load-balancer message — surface as [`MachineError`] values
+//! so harnesses can print a diagnostic and exit instead of unwinding.
+
+use pim_trace::{Addr, Word};
+
+/// A fatal abstract-machine failure.
+///
+/// Unlike a program *failure* (unification failure, no applicable
+/// clause — an FGHC-level outcome reported by
+/// [`crate::Cluster::failure`]), these indicate the machine state
+/// itself is unusable: the query never existed, or in-memory records
+/// the machine wrote were not found where its invariants say they must
+/// be (which a fault-injection harness can legitimately provoke).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// [`crate::Cluster::set_query`] named a procedure the compiled
+    /// program does not define.
+    UndefinedQuery {
+        /// The requested procedure name.
+        name: String,
+        /// The requested arity.
+        arity: u8,
+    },
+    /// The machine was stepped before any query was set.
+    QueryNotSet,
+    /// A load-balancer reply slot held a word that does not decode to a
+    /// goal-record address.
+    BadReplyMessage {
+        /// The PE that read the reply.
+        pe: u32,
+        /// The undecodable word.
+        word: Word,
+    },
+    /// A reply arrived on a PE with no outstanding work request.
+    ReplyWithoutRequest {
+        /// The PE with the spurious reply.
+        pe: u32,
+    },
+    /// An address that must lie in some PE's slice of `area` does not.
+    AddressOutsideSlices {
+        /// The stray address.
+        addr: Addr,
+        /// The storage area searched ("goal" or "suspension").
+        area: &'static str,
+    },
+    /// A goal record's header word does not decode to a functor.
+    CorruptGoalRecord {
+        /// The record address.
+        rec: Addr,
+        /// The bad header word.
+        word: Word,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::UndefinedQuery { name, arity } => {
+                write!(f, "query procedure {name}/{arity} undefined")
+            }
+            MachineError::QueryNotSet => {
+                write!(f, "no query set before running (call set_query first)")
+            }
+            MachineError::BadReplyMessage { pe, word } => {
+                write!(f, "PE{pe} read a bad reply message word {word:#x}")
+            }
+            MachineError::ReplyWithoutRequest { pe } => {
+                write!(f, "PE{pe} received a reply without an outstanding request")
+            }
+            MachineError::AddressOutsideSlices { addr, area } => {
+                write!(f, "address {addr:#x} is not in any {area} slice")
+            }
+            MachineError::CorruptGoalRecord { rec, word } => {
+                write!(f, "goal record {rec:#x} is corrupt (header word {word:#x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_readably() {
+        let e = MachineError::UndefinedQuery {
+            name: "main".into(),
+            arity: 2,
+        };
+        assert_eq!(e.to_string(), "query procedure main/2 undefined");
+        let e = MachineError::AddressOutsideSlices {
+            addr: 0x1000,
+            area: "goal",
+        };
+        assert_eq!(e.to_string(), "address 0x1000 is not in any goal slice");
+        let e = MachineError::CorruptGoalRecord {
+            rec: 0x40,
+            word: 0x7,
+        };
+        assert!(e.to_string().contains("0x40"));
+    }
+}

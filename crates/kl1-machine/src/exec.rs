@@ -161,7 +161,9 @@ impl Cluster {
             }
             Instr::NoMoreClauses => {
                 if self.pes[pe].susp_vars.is_empty() {
-                    let (proc, _) = self.pes[pe].current.expect("failing without a goal");
+                    let Some((proc, _)) = self.pes[pe].current else {
+                        unreachable!("failing without a goal")
+                    };
                     let (name, arity) = &self.program.proc_names[proc as usize];
                     return Err(Abort::Fail(format!(
                         "goal failed: no clause of {name}/{arity} applies"

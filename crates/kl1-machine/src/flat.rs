@@ -106,7 +106,9 @@ impl MemoryPort for FlatPort {
         let area = self.map.area(addr);
         self.per_pe[self.current_pe.index()].record(Access::new(self.current_pe, op, addr, area));
         if op.is_write() {
-            let value = data.expect("write needs data");
+            let Some(value) = data else {
+                unreachable!("write operations always carry a data word")
+            };
             *self.slot(addr) = value;
             PortValue::Value(value)
         } else {

@@ -206,12 +206,10 @@ impl Cluster {
             bump: Addr,
             to_limit: Addr,
         }
-        let semi = self
-            .config
-            .heap_semispace_words
-            .expect("collector runs only with semispaces enabled")
-            .div_ceil(self.config.block_words)
-            * self.config.block_words;
+        let Some(semi_words) = self.config.heap_semispace_words else {
+            unreachable!("collector runs only with semispaces enabled")
+        };
+        let semi = semi_words.div_ceil(self.config.block_words) * self.config.block_words;
         let mut cursors: Vec<Cursor> = Vec::new();
         for i in 0..self.pes.len() {
             let (lo, hi) = self.layout.slice(StorageArea::Heap, PeId(i as u32));
@@ -225,10 +223,12 @@ impl Cluster {
         }
         for (a, len) in merged {
             live_before += len;
-            let c = cursors
+            let Some(c) = cursors
                 .iter_mut()
                 .find(|c| a >= c.slice_lo && a < c.slice_hi)
-                .expect("heap interval inside some PE slice");
+            else {
+                unreachable!("live heap interval {a:#x} outside every PE slice")
+            };
             let to = c.bump;
             c.bump += len;
             if c.bump > c.to_limit {

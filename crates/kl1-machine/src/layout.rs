@@ -253,7 +253,9 @@ impl PeAllocators {
     ///
     /// Panics if semispaces are not enabled.
     pub fn heap_other_semispace(&self) -> Addr {
-        let (lo, n, active_low) = self.semi.expect("semispaces not enabled");
+        let Some((lo, n, active_low)) = self.semi else {
+            panic!("semispaces not enabled")
+        };
         if active_low {
             lo + n
         } else {
@@ -267,7 +269,9 @@ impl PeAllocators {
     ///
     /// Panics if semispaces are not enabled.
     pub fn heap_semispace_used(&self) -> u64 {
-        let (lo, n, active_low) = self.semi.expect("semispaces not enabled");
+        let Some((lo, n, active_low)) = self.semi else {
+            panic!("semispaces not enabled")
+        };
         let base = if active_low { lo } else { lo + n };
         self.heap_next - base
     }
@@ -280,7 +284,9 @@ impl PeAllocators {
     /// Panics if semispaces are not enabled or `bump` lies outside the
     /// new active semispace.
     pub fn flip_semispace(&mut self, bump: Addr) {
-        let (lo, n, active_low) = self.semi.expect("semispaces not enabled");
+        let Some((lo, n, active_low)) = self.semi else {
+            panic!("semispaces not enabled")
+        };
         let new_base = if active_low { lo + n } else { lo };
         assert!(
             bump >= new_base && bump <= new_base + n,

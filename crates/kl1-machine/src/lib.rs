@@ -30,7 +30,7 @@
 //!      app([H|T], Y, Z) :- true | Z = [H|W], app(T, Y, W).",
 //! )?;
 //! let mut cluster = Cluster::new(program, ClusterConfig { pes: 1, ..Default::default() });
-//! cluster.set_query("main", vec![fghc::Term::Var("X".into())]);
+//! cluster.set_query("main", vec![fghc::Term::Var("X".into())]).expect("main/1 exists");
 //!
 //! let mut port = FlatPort::new(1);
 //! loop {
@@ -45,8 +45,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod exec;
 pub mod flat;
 pub mod gc;
@@ -56,6 +58,7 @@ pub mod term_io;
 pub mod unify;
 pub mod words;
 
+pub use error::MachineError;
 pub use flat::FlatPort;
 pub use gc::GcStats;
 pub use machine::{Cluster, ClusterConfig, MachineStats};
@@ -70,7 +73,23 @@ use pim_trace::{PeId, Process, StepOutcome};
 /// # Panics
 ///
 /// Panics if the program does not finish within `max_steps` or fails.
+/// Use [`try_run_flat`] for a diagnostic instead of a panic.
 pub fn run_flat(cluster: &mut Cluster, max_steps: u64) -> FlatPort {
+    match try_run_flat(cluster, max_steps) {
+        Ok(port) => port,
+        Err(msg) => panic!("program failed: {msg}"),
+    }
+}
+
+/// Runs a cluster to completion on a flat port, reporting failure (a
+/// program failure, a fatal machine error, or a blown step budget) as a
+/// diagnostic string instead of panicking.
+///
+/// # Errors
+///
+/// The program's failure message, the machine error's rendering, or a
+/// step-budget diagnostic.
+pub fn try_run_flat(cluster: &mut Cluster, max_steps: u64) -> Result<FlatPort, String> {
     let pes = cluster.pe_count();
     let mut port = FlatPort::new(pes);
     let mut steps = 0u64;
@@ -85,14 +104,13 @@ pub fn run_flat(cluster: &mut Cluster, max_steps: u64) -> FlatPort {
                 StepOutcome::Ran | StepOutcome::Idle => {}
             }
             steps += 1;
-            assert!(
-                steps < max_steps,
-                "program did not finish in {max_steps} steps"
-            );
+            if steps >= max_steps {
+                return Err(format!("program did not finish in {max_steps} steps"));
+            }
         }
     }
     if let Some(msg) = cluster.failure() {
-        panic!("program failed: {msg}");
+        return Err(msg.to_string());
     }
-    port
+    Ok(port)
 }

@@ -14,6 +14,7 @@
 //! `RI`) and the stolen record is read out of the donor's goal area with
 //! `ER`, exactly the cache-to-cache pattern the PIM commands optimize.
 
+use crate::error::MachineError;
 use crate::layout::{Layout, PeAllocators};
 use crate::words::Tagged;
 use fghc::instr::{CodeAddr, CompiledProgram, ProcId};
@@ -30,6 +31,9 @@ pub(crate) enum Abort {
     /// The program failed (unification failure, no applicable clause,
     /// arithmetic on unbound data).
     Fail(String),
+    /// The machine state is unusable (corrupt record, stray address,
+    /// malformed message): halt with a structured diagnostic.
+    Fatal(MachineError),
 }
 
 pub(crate) type Mres<T> = Result<T, Abort>;
@@ -150,6 +154,8 @@ pub struct Cluster {
     pub(crate) inst_base: Addr,
     pub(crate) halted: bool,
     pub(crate) failed: Option<String>,
+    /// A fatal machine error, if one halted the run ([`Cluster::machine_error`]).
+    pub(crate) fatal: Option<MachineError>,
     pub(crate) booted: bool,
     pub(crate) live_goals: u64,
     // BTreeSet, not HashSet: the GC seeds its root worklist from this set,
@@ -217,6 +223,7 @@ impl Cluster {
             inst_base,
             halted: false,
             failed: None,
+            fatal: None,
             booted: false,
             live_goals: 0,
             floating: BTreeSet::new(),
@@ -240,15 +247,18 @@ impl Cluster {
     /// `args` become fresh heap cells whose bindings can be read back with
     /// [`Cluster::extract`] after the run.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the procedure does not exist.
-    pub fn set_query(&mut self, name: &str, args: Vec<Term>) {
-        let proc = self
-            .program
-            .lookup(name, args.len() as u8)
-            .unwrap_or_else(|| panic!("query procedure {name}/{} undefined", args.len()));
+    /// [`MachineError::UndefinedQuery`] if the procedure does not exist.
+    pub fn set_query(&mut self, name: &str, args: Vec<Term>) -> Result<(), MachineError> {
+        let Some(proc) = self.program.lookup(name, args.len() as u8) else {
+            return Err(MachineError::UndefinedQuery {
+                name: name.to_string(),
+                arity: args.len() as u8,
+            });
+        };
         self.query = Some((proc, args));
+        Ok(())
     }
 
     /// The compiled program.
@@ -259,6 +269,14 @@ impl Cluster {
     /// Whether the program failed, and why.
     pub fn failure(&self) -> Option<&str> {
         self.failed.as_deref()
+    }
+
+    /// The fatal machine error that halted the run, if any. Always
+    /// accompanied by a [`Cluster::failure`] message carrying the same
+    /// diagnostic; present only for machine-integrity failures, not
+    /// FGHC-level program failures.
+    pub fn machine_error(&self) -> Option<&MachineError> {
+        self.fatal.as_ref()
     }
 
     /// Aggregate statistics across PEs.
@@ -300,11 +318,10 @@ impl Cluster {
     // Booting
     // ------------------------------------------------------------------
 
-    fn boot(&mut self, port: &mut dyn MemoryPort) {
-        let (proc, args) = self
-            .query
-            .clone()
-            .expect("set_query must be called before running");
+    fn boot(&mut self, port: &mut dyn MemoryPort) -> Mres<()> {
+        let Some((proc, args)) = self.query.clone() else {
+            return Err(Abort::Fatal(MachineError::QueryNotSet));
+        };
         let argc = args.len() as u8;
         let mut vars = Vec::new();
         for (i, arg) in args.iter().enumerate() {
@@ -323,6 +340,7 @@ impl Cluster {
         self.pes[0].phase = Phase::Run;
         self.live_goals = 1;
         self.booted = true;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -373,29 +391,35 @@ impl Cluster {
     }
 
     /// Which PE's suspension slice contains `addr`.
-    pub(crate) fn susp_owner(&self, addr: Addr) -> usize {
+    pub(crate) fn susp_owner(&self, addr: Addr) -> Mres<usize> {
         for i in 0..self.pes.len() {
             let (lo, hi) = self
                 .layout
                 .slice(pim_trace::StorageArea::Suspension, PeId(i as u32));
             if addr >= lo && addr < hi {
-                return i;
+                return Ok(i);
             }
         }
-        panic!("address {addr:#x} is not in any suspension slice");
+        Err(Abort::Fatal(MachineError::AddressOutsideSlices {
+            addr,
+            area: "suspension",
+        }))
     }
 
     /// Which PE's goal slice contains `addr`.
-    pub(crate) fn goal_owner(&self, addr: Addr) -> usize {
+    pub(crate) fn goal_owner(&self, addr: Addr) -> Mres<usize> {
         for i in 0..self.pes.len() {
             let (lo, hi) = self
                 .layout
                 .slice(pim_trace::StorageArea::Goal, PeId(i as u32));
             if addr >= lo && addr < hi {
-                return i;
+                return Ok(i);
             }
         }
-        panic!("address {addr:#x} is not in any goal slice");
+        Err(Abort::Fatal(MachineError::AddressOutsideSlices {
+            addr,
+            area: "goal",
+        }))
     }
 
     // ------------------------------------------------------------------
@@ -435,19 +459,24 @@ impl Cluster {
         let header = pv(port.read(rec))?;
         let (proc, argc) = match Tagged::decode(header) {
             Tagged::Functor(p, n) => (p, n),
-            other => panic!("goal record {rec:#x} has header {other:?}"),
+            _ => {
+                return Err(Abort::Fatal(MachineError::CorruptGoalRecord {
+                    rec,
+                    word: header,
+                }))
+            }
         };
         if argc > 0 {
             let args = self.read_record(port, rec + 1, u64::from(argc))?;
-            for (i, &w) in args.iter().enumerate() {
-                assert!(
-                    w != 0,
-                    "goal record {rec:#x} arg {i} reads zero (record corrupted)"
-                );
+            if let Some(&w) = args.iter().find(|&&w| w == 0) {
+                return Err(Abort::Fatal(MachineError::CorruptGoalRecord {
+                    rec,
+                    word: w,
+                }));
             }
             self.pes[pe].regs[..argc as usize].copy_from_slice(&args);
         }
-        let owner = self.goal_owner(rec);
+        let owner = self.goal_owner(rec)?;
         self.pes[owner].alloc.free_goal_record(rec);
         Ok((proc, argc))
     }
@@ -487,7 +516,9 @@ impl Cluster {
         let q = self.pes[pe].incoming_requests[0] as usize;
         // Steal from the back: the oldest goal, usually the largest
         // remaining subtree.
-        let rec = *self.pes[pe].deque.back().expect("non-empty");
+        let Some(&rec) = self.pes[pe].deque.back() else {
+            unreachable!("work-request reply path checked the deque is non-empty")
+        };
         let slot = self.layout.pair_slot(PeId(q as u32), PeId(pe as u32));
         // Read the request message with RI — we are about to rewrite the
         // buffer in place with the reply.
@@ -518,9 +549,11 @@ impl Cluster {
         }
         // A donated goal arrived?
         if self.pes[pe].reply_ready {
-            let donor = self.pes[pe]
-                .outstanding_target
-                .expect("reply without request");
+            let Some(donor) = self.pes[pe].outstanding_target else {
+                return Err(Abort::Fatal(MachineError::ReplyWithoutRequest {
+                    pe: pe as u32,
+                }));
+            };
             let slot = self.layout.pair_slot(PeId(pe as u32), PeId(donor));
             // Read the reply with RI — this buffer is rewritten in place
             // by our next request to the same donor.
@@ -528,7 +561,12 @@ impl Cluster {
             let _donor_id = pv(port.op(MemOp::ReadInvalidate, slot + 1, None))?;
             let rec = match Tagged::decode(w0) {
                 Tagged::Int(a) => a as Addr,
-                other => panic!("bad reply message {other:?}"),
+                _ => {
+                    return Err(Abort::Fatal(MachineError::BadReplyMessage {
+                        pe: pe as u32,
+                        word: w0,
+                    }))
+                }
             };
             self.pes[pe].reply_ready = false;
             self.pes[pe].outstanding_target = None;
@@ -671,7 +709,9 @@ impl Cluster {
     /// Enters the suspension phase from `NoMoreClauses` (same step):
     /// writes the floating goal record and queues the variable hooks.
     pub(crate) fn start_suspension(&mut self, pe: usize, port: &mut dyn MemoryPort) -> Mres<()> {
-        let (proc, argc) = self.pes[pe].current.expect("suspending without a goal");
+        let Some((proc, argc)) = self.pes[pe].current else {
+            unreachable!("suspending without a goal");
+        };
         let mut vars = std::mem::take(&mut self.pes[pe].susp_vars);
         vars.sort_unstable();
         vars.dedup();
@@ -739,13 +779,13 @@ impl Process for Cluster {
         if self.halted {
             return StepOutcome::Finished;
         }
-        if !self.booted {
-            self.boot(port);
-        }
         let pe = pe.index();
         let undo = self.snapshot(pe);
 
         let result = (|| -> Mres<StepOutcome> {
+            if !self.booted {
+                self.boot(port)?;
+            }
             // Stop-and-copy GC runs between micro-steps, when no PE holds
             // a cross-step variable lock.
             if self.gc_due() {
@@ -784,6 +824,12 @@ impl Process for Cluster {
             }
             Err(Abort::Fail(msg)) => {
                 self.failed = Some(msg);
+                self.halted = true;
+                StepOutcome::Finished
+            }
+            Err(Abort::Fatal(err)) => {
+                self.failed = Some(err.to_string());
+                self.fatal = Some(err);
                 self.halted = true;
                 StepOutcome::Finished
             }

@@ -225,7 +225,7 @@ impl Cluster {
                     obs.resumption(pim_trace::PeId(pe as u32), port.now());
                 }
             }
-            let owner = self.susp_owner(c);
+            let owner = self.susp_owner(c)?;
             self.pes[owner].alloc.free_susp_record(c);
         }
         Ok(())

@@ -35,14 +35,18 @@ fn run_on_pim(src: &str, pes: u32, mask: OptMask) -> (Cluster, Engine<PimSystem>
             ..ClusterConfig::default()
         },
     );
-    cluster.set_query("main", vec![Term::Var("R".into())]);
+    cluster
+        .set_query("main", vec![Term::Var("R".into())])
+        .expect("query procedure exists");
     let system = PimSystem::new(SystemConfig {
         pes,
         opt_mask: mask,
         ..SystemConfig::default()
     });
     let mut engine = Engine::new(system, pes);
-    let stats = engine.run(&mut cluster, 500_000_000);
+    let stats = engine
+        .run(&mut cluster, 500_000_000)
+        .expect("fault-free run");
     assert!(stats.finished, "program did not finish");
     assert!(cluster.failure().is_none(), "{:?}", cluster.failure());
     (cluster, engine)
@@ -77,7 +81,9 @@ fn answers_agree_between_flat_and_cached_and_across_masks() {
             ..Default::default()
         },
     );
-    flat_cluster.set_query("main", vec![Term::Var("R".into())]);
+    flat_cluster
+        .set_query("main", vec![Term::Var("R".into())])
+        .expect("query procedure exists");
     let flat_port = kl1_machine::run_flat(&mut flat_cluster, 50_000_000);
     let flat_answer = flat_cluster.extract(&flat_port, "R").unwrap();
 
@@ -135,13 +141,17 @@ fn illinois_baseline_runs_the_same_program() {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![Term::Var("R".into())]);
+    cluster
+        .set_query("main", vec![Term::Var("R".into())])
+        .expect("query procedure exists");
     let system = IllinoisSystem::new(SystemConfig {
         pes: 4,
         ..Default::default()
     });
     let mut engine = Engine::new(system, 4);
-    let stats = engine.run(&mut cluster, 500_000_000);
+    let stats = engine
+        .run(&mut cluster, 500_000_000)
+        .expect("fault-free run");
     assert!(stats.finished);
     assert!(cluster.failure().is_none(), "{:?}", cluster.failure());
     let answer = engine.with_port(PeId(0), |port| cluster.extract(port, "R").unwrap());
@@ -161,7 +171,8 @@ fn pim_touches_memory_less_than_illinois() {
             ..Default::default()
         },
     );
-    c1.set_query("main", vec![Term::Var("R".into())]);
+    c1.set_query("main", vec![Term::Var("R".into())])
+        .expect("query procedure exists");
     let mut pim_engine = Engine::new(
         PimSystem::new(SystemConfig {
             pes: 4,
@@ -169,7 +180,12 @@ fn pim_touches_memory_less_than_illinois() {
         }),
         4,
     );
-    assert!(pim_engine.run(&mut c1, 500_000_000).finished);
+    assert!(
+        pim_engine
+            .run(&mut c1, 500_000_000)
+            .expect("fault-free run")
+            .finished
+    );
 
     let mut c2 = Cluster::new(
         program,
@@ -178,7 +194,8 @@ fn pim_touches_memory_less_than_illinois() {
             ..Default::default()
         },
     );
-    c2.set_query("main", vec![Term::Var("R".into())]);
+    c2.set_query("main", vec![Term::Var("R".into())])
+        .expect("query procedure exists");
     let mut ill_engine = Engine::new(
         IllinoisSystem::new(SystemConfig {
             pes: 4,
@@ -186,7 +203,12 @@ fn pim_touches_memory_less_than_illinois() {
         }),
         4,
     );
-    assert!(ill_engine.run(&mut c2, 500_000_000).finished);
+    assert!(
+        ill_engine
+            .run(&mut c2, 500_000_000)
+            .expect("fault-free run")
+            .finished
+    );
 
     let pim_busy = pim_engine.system().bus_stats().memory_busy_cycles();
     let ill_busy = ill_engine.system().bus_stats().memory_busy_cycles();
@@ -212,7 +234,9 @@ fn one_or_two_lock_entries_suffice_as_the_paper_claims() {
                     ..Default::default()
                 },
             );
-            cluster.set_query("main", vec![Term::Var("R".into())]);
+            cluster
+                .set_query("main", vec![Term::Var("R".into())])
+                .expect("query procedure exists");
             let mut engine = Engine::new(
                 PimSystem::new(SystemConfig {
                     pes: 4,
@@ -220,7 +244,9 @@ fn one_or_two_lock_entries_suffice_as_the_paper_claims() {
                 }),
                 4,
             );
-            let stats = engine.run(&mut cluster, 500_000_000);
+            let stats = engine
+                .run(&mut cluster, 500_000_000)
+                .expect("fault-free run");
             assert!(stats.finished);
             (cluster, engine)
         };

@@ -49,7 +49,9 @@ fn cluster(src: &str, pes: u32, semispace: u64) -> Cluster {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![Term::Var("X".into())]);
+    cluster
+        .set_query("main", vec![Term::Var("X".into())])
+        .expect("query procedure exists");
     cluster
 }
 
@@ -83,7 +85,7 @@ fn gc_works_under_the_full_cache_simulation() {
         ..Default::default()
     });
     let mut engine = Engine::new(system, 2);
-    let stats = engine.run(&mut c, 1_000_000_000);
+    let stats = engine.run(&mut c, 1_000_000_000).expect("fault-free run");
     assert!(stats.finished, "did not finish");
     assert!(c.failure().is_none(), "{:?}", c.failure());
     let answer = engine.with_port(PeId(0), |p| c.extract(p, "X").unwrap());
@@ -102,7 +104,7 @@ fn gc_with_multiple_pes_and_migration() {
         ..Default::default()
     });
     let mut engine = Engine::new(system, 4);
-    let stats = engine.run(&mut c, 1_000_000_000);
+    let stats = engine.run(&mut c, 1_000_000_000).expect("fault-free run");
     assert!(stats.finished && c.failure().is_none(), "{:?}", c.failure());
     let answer = engine.with_port(PeId(0), |p| c.extract(p, "X").unwrap());
     assert_eq!(answer, Term::Int(1275));
@@ -129,7 +131,8 @@ fn disabled_gc_never_collects() {
             ..Default::default()
         },
     );
-    c.set_query("main", vec![Term::Var("X".into())]);
+    c.set_query("main", vec![Term::Var("X".into())])
+        .expect("query procedure exists");
     let port = run_flat(&mut c, 100_000_000);
     assert_eq!(c.extract(&port, "X").unwrap(), Term::Atom("done".into()));
     assert_eq!(c.stats().gc.collections, 0);
@@ -151,7 +154,7 @@ fn benchmarks_compute_correct_answers_under_gc_pressure() {
             },
         );
         let (proc, args) = bench.query(Scale::smoke());
-        c.set_query(proc, args);
+        c.set_query(proc, args).expect("query procedure exists");
         let port = run_flat(&mut c, 500_000_000);
         let answer = c.extract(&port, "R").unwrap();
         assert_eq!(

@@ -13,7 +13,9 @@ fn run(src: &str, pes: u32, query: &str, args: Vec<Term>) -> (Cluster, kl1_machi
             ..ClusterConfig::default()
         },
     );
-    cluster.set_query(query, args);
+    cluster
+        .set_query(query, args)
+        .expect("query procedure exists");
     let port = run_flat(&mut cluster, 50_000_000);
     (cluster, port)
 }
@@ -186,7 +188,9 @@ fn failing_program_reports_failure() {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![var("X")]);
+    cluster
+        .set_query("main", vec![var("X")])
+        .expect("query procedure exists");
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 1_000_000)
     }));
@@ -204,7 +208,9 @@ fn division_by_zero_is_a_program_failure() {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![var("X")]);
+    cluster
+        .set_query("main", vec![var("X")])
+        .expect("query procedure exists");
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 1_000_000)
     }));
@@ -225,7 +231,9 @@ fn arithmetic_overflow_is_a_program_failure() {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![var("X")]);
+    cluster
+        .set_query("main", vec![var("X")])
+        .expect("query procedure exists");
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 10_000_000)
     }));
@@ -246,7 +254,9 @@ fn body_unification_mismatch_fails_the_program() {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![var("X")]);
+    cluster
+        .set_query("main", vec![var("X")])
+        .expect("query procedure exists");
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 1_000_000)
     }));
@@ -280,7 +290,9 @@ fn perpetual_suspension_is_detected() {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![var("X")]);
+    cluster
+        .set_query("main", vec![var("X")])
+        .expect("query procedure exists");
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_flat(&mut cluster, 1_000_000)
     }));

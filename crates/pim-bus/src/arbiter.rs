@@ -114,6 +114,43 @@ pub fn arbitrate_queue(
     (grants, bus_free)
 }
 
+/// One denied bus attempt in a retry chain: the arbiter grants the bus
+/// and the transaction occupies it for `hold` cycles before being
+/// NACKed (or timing out), after which the requester may not re-issue
+/// for another `backoff` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nack {
+    /// Bus cycles the failed attempt occupies.
+    pub hold: u64,
+    /// Cycles the requester waits before re-arbitrating.
+    pub backoff: u64,
+}
+
+/// Grants a request whose first `nacks.len()` attempts are denied: each
+/// denied attempt arbitrates normally, occupies the bus for its
+/// [`Nack::hold`], then forces the requester to back off before
+/// re-issuing; the final attempt holds the bus for `hold` and succeeds.
+///
+/// The returned [`Grant`] describes the *successful* attempt, with
+/// `wait` re-anchored to the original `issue` cycle so the requester's
+/// clock/stall accounting covers the whole chain, exactly as a single
+/// [`arbitrate`] call would. With an empty `nacks` this *is*
+/// [`arbitrate`].
+pub fn arbitrate_with_retries(mut bus_free: u64, issue: u64, nacks: &[Nack], hold: u64) -> Grant {
+    let mut reissue = issue;
+    for nack in nacks {
+        let denied = arbitrate(bus_free, reissue, nack.hold);
+        bus_free = denied.bus_free;
+        reissue = denied.bus_free + nack.backoff;
+    }
+    let granted = arbitrate(bus_free, reissue, hold);
+    Grant {
+        start: granted.start,
+        wait: granted.bus_free - issue,
+        bus_free: granted.bus_free,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +227,47 @@ mod tests {
         assert_eq!(grants[1], second);
         assert_eq!(grants[0], third);
         assert_eq!(final_free, third.bus_free);
+    }
+
+    #[test]
+    fn no_nacks_is_plain_arbitration() {
+        assert_eq!(arbitrate_with_retries(18, 6, &[], 7), arbitrate(18, 6, 7));
+    }
+
+    #[test]
+    fn nack_chain_replays_by_hand() {
+        let nacks = [
+            Nack {
+                hold: 2,
+                backoff: 4,
+            },
+            Nack {
+                hold: 7,
+                backoff: 16,
+            },
+        ];
+        let g = arbitrate_with_retries(1, 3, &nacks, 7);
+        let first = arbitrate(1, 3, 2); // denied: bus busy until 5
+        let second = arbitrate(first.bus_free, first.bus_free + 4, 7); // denied
+        let third = arbitrate(second.bus_free, second.bus_free + 16, 7);
+        assert_eq!(g.start, third.start);
+        assert_eq!(g.bus_free, third.bus_free);
+        // wait is re-anchored to the original issue cycle 3.
+        assert_eq!(g.wait, third.bus_free - 3);
+    }
+
+    #[test]
+    fn retry_chains_keep_the_bus_monotonic() {
+        let mut bus_free = 0;
+        for i in 0..100u64 {
+            let nacks = [Nack {
+                hold: 1 + i % 3,
+                backoff: i % 5,
+            }];
+            let g = arbitrate_with_retries(bus_free, i * 2, &nacks, 5);
+            assert!(g.bus_free > bus_free);
+            assert_eq!(g.wait, g.bus_free - i * 2);
+            bus_free = g.bus_free;
+        }
     }
 }

@@ -29,6 +29,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod arbiter;
@@ -36,7 +37,9 @@ pub mod memory;
 pub mod stats;
 pub mod timing;
 
-pub use arbiter::{arbitrate, arbitrate_queue, grant_order, BusRequest, Grant};
+pub use arbiter::{
+    arbitrate, arbitrate_queue, arbitrate_with_retries, grant_order, BusRequest, Grant, Nack,
+};
 pub use memory::SharedMemory;
 pub use stats::{BusCommand, BusStats};
 pub use timing::{BusTiming, Transaction};

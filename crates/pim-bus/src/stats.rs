@@ -59,10 +59,10 @@ impl fmt::Display for BusCommand {
 }
 
 fn tx_index(tx: Transaction) -> usize {
-    Transaction::ALL
-        .iter()
-        .position(|&t| t == tx)
-        .expect("tx in ALL")
+    let Some(i) = Transaction::ALL.iter().position(|&t| t == tx) else {
+        unreachable!("every Transaction appears in ALL")
+    };
+    i
 }
 
 /// Accumulated bus traffic: raw cycles by storage area (the paper's primary

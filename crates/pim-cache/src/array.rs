@@ -108,7 +108,10 @@ impl CacheArray {
     /// newest first, restoring the array bit-exactly.
     pub fn rollback_to(&mut self, len: usize) {
         while self.log.len() > len {
-            match self.log.pop().expect("len checked") {
+            let Some(rec) = self.log.pop() else {
+                unreachable!("len checked by the loop condition")
+            };
+            match rec {
                 UndoRec::Touch {
                     line,
                     last_used,
@@ -272,10 +275,12 @@ impl CacheArray {
 
         let (tag, set, _) = self.geometry.decompose(base);
         // Prefer an invalid way; otherwise evict the least recently used.
-        let victim = self
+        let Some(victim) = self
             .set_range(set)
             .min_by_key(|&i| (self.lines[i].state.is_valid(), self.lines[i].last_used))
-            .expect("ways >= 1");
+        else {
+            unreachable!("a set always has at least one way")
+        };
 
         let evicted = if self.lines[victim].state.is_valid() {
             let old = &self.lines[victim];

@@ -142,11 +142,9 @@ impl LockDirectory {
     /// Panics if `addr` is not held — the snooper only routes waiters to
     /// the directory that refused them.
     pub fn register_waiter(&mut self, addr: Addr, waiter: PeId) {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.addr == addr)
-            .expect("waiter registered on unheld lock");
+        let Some(e) = self.entries.iter_mut().find(|e| e.addr == addr) else {
+            panic!("waiter registered on unheld lock {addr:#x}")
+        };
         e.state = LockState::Lwait;
         if !e.waiters.contains(&waiter) {
             e.waiters.push(waiter);

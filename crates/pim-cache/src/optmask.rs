@@ -131,7 +131,9 @@ impl OptMask {
     ///
     /// Panics if `op` is not an optimized command.
     pub fn enable(&mut self, area: StorageArea, op: MemOp) {
-        let i = opt_index(op).expect("not an optimized command");
+        let Some(i) = opt_index(op) else {
+            panic!("{op:?} is not an optimized command")
+        };
         self.enabled[area.index()][i] = true;
     }
 
@@ -141,7 +143,9 @@ impl OptMask {
     ///
     /// Panics if `op` is not an optimized command.
     pub fn disable(&mut self, area: StorageArea, op: MemOp) {
-        let i = opt_index(op).expect("not an optimized command");
+        let Some(i) = opt_index(op) else {
+            panic!("{op:?} is not an optimized command")
+        };
         self.enabled[area.index()][i] = false;
     }
 

@@ -275,7 +275,9 @@ impl PeShard {
         let from = self.cache.state_of(addr);
         match from {
             BlockState::Em | BlockState::Ec => {
-                let value = data.expect("write requires a data word");
+                let Some(value) = data else {
+                    unreachable!("write operations always carry a data word")
+                };
                 self.cache.write(addr, value, BlockState::Em);
                 if from == BlockState::Ec {
                     *transition = Some((BlockState::Ec, BlockState::Em));
@@ -635,6 +637,16 @@ impl PimSystem {
         wrote
     }
 
+    /// Reads a word the protocol has just verified (or made) resident
+    /// in `pe`'s cache. Residency is an invariant at every call site,
+    /// so a miss here is a protocol bug, not a recoverable condition.
+    fn read_resident(&mut self, pe: PeId, addr: Addr) -> Word {
+        let Some(value) = self.shards[pe.index()].cache.read(addr) else {
+            unreachable!("word {addr:#x} verified resident on PE{}", pe.0)
+        };
+        value
+    }
+
     fn cache_set_state(&mut self, pe: PeId, addr: Addr, state: BlockState) -> bool {
         if self.observer.is_none() {
             return self.shards[pe.index()].cache.set_state(addr, state);
@@ -795,15 +807,17 @@ impl PimSystem {
                             }
                         }
                     }
-                    data.expect("supplier had the block")
+                    match data {
+                        Some(d) => d,
+                        None => unreachable!("supplier had the block"),
+                    }
                 } else {
                     // F: the supplier keeps the data; a dirty supplier
                     // becomes the SM owner, a clean exclusive one drops
                     // to S. Memory is not updated (unlike Illinois).
-                    let data = self.shards[sup.index()]
-                        .cache
-                        .snapshot(base)
-                        .expect("supplier had the block");
+                    let Some(data) = self.shards[sup.index()].cache.snapshot(base) else {
+                        unreachable!("supplier had the block")
+                    };
                     let new_state = if dirty {
                         BlockState::Sm
                     } else {
@@ -922,10 +936,7 @@ impl PimSystem {
         match self.fill(pe, addr, false, true, false, area) {
             FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
             FillOutcome::Filled(f) => {
-                let value = self.shards[pe.index()]
-                    .cache
-                    .read(addr)
-                    .expect("just installed");
+                let value = self.read_resident(pe, addr);
                 done(value, f.cycles, false)
             }
         }
@@ -1037,7 +1048,7 @@ impl PimSystem {
                 // dead data is discarded without a swap-out.
                 self.access_stats.lookups += 1;
                 self.access_stats.hits += 1;
-                let value = self.shards[pe.index()].cache.read(addr).expect("resident");
+                let value = self.read_resident(pe, addr);
                 self.purge_local(pe, addr);
                 return done(value, 0, true);
             }
@@ -1049,7 +1060,7 @@ impl PimSystem {
             return match self.fill(pe, addr, true, true, false, area) {
                 FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
                 FillOutcome::Filled(f) => {
-                    let value = self.shards[pe.index()].cache.read(addr).expect("installed");
+                    let value = self.read_resident(pe, addr);
                     done(value, f.cycles, false)
                 }
             };
@@ -1065,7 +1076,7 @@ impl PimSystem {
         self.access_stats.lookups += 1;
         if self.shards[pe.index()].cache.contains(addr) {
             self.access_stats.hits += 1;
-            let value = self.shards[pe.index()].cache.read(addr).expect("resident");
+            let value = self.read_resident(pe, addr);
             self.purge_local(pe, addr);
             return done(value, 0, true);
         }
@@ -1092,7 +1103,7 @@ impl PimSystem {
         match self.fill(pe, addr, true, true, false, area) {
             FillOutcome::Refused { holder } => Outcome::LockBusy { holder },
             FillOutcome::Filled(f) => {
-                let value = self.shards[pe.index()].cache.read(addr).expect("installed");
+                let value = self.read_resident(pe, addr);
                 done(value, f.cycles, false)
             }
         }
@@ -1140,7 +1151,7 @@ impl PimSystem {
                 self.lock_stats.lr_hits += 1;
                 self.lock_stats.lr_hits_exclusive += 1;
                 self.access_stats.hits += 1;
-                let value = self.shards[pe.index()].cache.read(addr).expect("resident");
+                let value = self.read_resident(pe, addr);
                 done(value, 0, true)
             }
             BlockState::Sm | BlockState::Shared => {
@@ -1161,7 +1172,7 @@ impl PimSystem {
                 self.lock_stats.lr_total += 1;
                 self.lock_stats.lr_hits += 1;
                 self.access_stats.hits += 1;
-                let value = self.shards[pe.index()].cache.read(addr).expect("resident");
+                let value = self.read_resident(pe, addr);
                 done(value, cycles, true)
             }
             BlockState::Inv => match self.fill(pe, addr, true, true, true, area) {
@@ -1170,7 +1181,7 @@ impl PimSystem {
                     self.shards[pe.index()].lockdir.lock(addr)?;
                     self.note_lock_depth(pe);
                     self.lock_stats.lr_total += 1;
-                    let value = self.shards[pe.index()].cache.read(addr).expect("installed");
+                    let value = self.read_resident(pe, addr);
                     done(value, f.cycles, false)
                 }
             },

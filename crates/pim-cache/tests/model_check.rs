@@ -267,6 +267,97 @@ fn three_caches_plain_ops_memory_current() {
     assert!(states > 200, "suspiciously small space: {states}");
 }
 
+/// NACK/retry fault transitions leave the protocol state space intact.
+///
+/// Fault injection lives at the bus-arbitration layer: a NACKed or
+/// stalled transaction is delayed and reissued, but the protocol access
+/// itself runs exactly once, so the reachable (cache × lock × memory)
+/// space under a fault plan is *identical* to the fault-free space.
+/// This re-runs the exhaustive BFS, and for every accepted transition
+/// additionally replays its bus grant through a high-rate fault plan,
+/// asserting the retry algebra: bounded chains, non-negative penalty
+/// equal to the grant delay, and byte-identical grants when no fault
+/// fires.
+#[test]
+fn nack_retry_transitions_preserve_the_state_space() {
+    use pim_fault::{arbitrate_with_faults, FaultConfig, FaultPlan};
+
+    let pes = 2;
+    let root = tiny_system(pes);
+    let words = block_words(&root);
+    // 20% per-attempt rate: chains of several retries are common.
+    let plan = FaultPlan::new(FaultConfig::new(0xC0FFEE, 200_000));
+    let max_chain = plan.config().max_retries as usize;
+
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut queue: VecDeque<PimSystem> = VecDeque::new();
+    seen.insert(fingerprint(&root, &words), ());
+    queue.push_back(root);
+    let mut transitions = 0u64;
+    let mut faulted = 0u64;
+
+    while let Some(sys) = queue.pop_front() {
+        for pe in 0..pes {
+            for op in ALL_OPS {
+                for &addr in &words {
+                    if matches!(op, MemOp::WriteUnlock | MemOp::Unlock)
+                        && sys.lock_view(PeId(pe), addr).is_none()
+                    {
+                        continue;
+                    }
+                    let data = op.is_write().then_some(WRITTEN);
+                    let mut next = sys.clone();
+                    let Ok(outcome) = next.access(PeId(pe), op, addr, data) else {
+                        continue;
+                    };
+                    transitions += 1;
+                    if let pim_cache::Outcome::Done { bus_cycles, .. } = outcome {
+                        // Sample the plan at a transition-dependent cycle
+                        // so many (cycle, pe) points are exercised.
+                        let issue = transitions * 3 % 4096;
+                        let bus_free = issue.saturating_sub(transitions % 5);
+                        let clean = pim_bus::arbitrate(bus_free, issue, bus_cycles);
+                        let fg =
+                            arbitrate_with_faults(&plan, bus_free, issue, bus_cycles, PeId(pe));
+                        assert!(
+                            fg.events.len() <= max_chain,
+                            "retry chain exceeded max_retries"
+                        );
+                        assert!(fg.grant.bus_free >= clean.bus_free, "fault sped up the bus");
+                        assert_eq!(
+                            fg.penalty,
+                            fg.grant.bus_free - clean.bus_free,
+                            "penalty must equal the completion delay"
+                        );
+                        if fg.events.is_empty() {
+                            assert_eq!(fg.grant, clean, "no-fault grant must be exact");
+                        } else {
+                            faulted += 1;
+                        }
+                    }
+                    let key = fingerprint(&next, &words);
+                    if seen.contains_key(&key) {
+                        continue;
+                    }
+                    assert_state_invariants(&next, &words, false, &key);
+                    seen.insert(key, ());
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+
+    // Same space as the fault-free exploration, and the plan actually
+    // fired (a silent zero-injection run would prove nothing).
+    let (clean_states, _) = explore(pes, &ALL_OPS, false, 50_000);
+    assert_eq!(
+        seen.len(),
+        clean_states,
+        "fault layer perturbed the protocol space"
+    );
+    assert!(faulted > 100, "fault plan barely fired: {faulted}");
+}
+
 /// Every one of the five paper states is actually exercised by the
 /// exploration driver (guards against a driver that never leaves S/INV).
 #[test]

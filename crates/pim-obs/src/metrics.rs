@@ -53,6 +53,20 @@ pub struct Metrics {
     pub gc_words: Histogram,
     /// Goal-queue depth over simulated time.
     pub goal_depth: TimeSeries,
+    /// Injected faults per kind label (sorted for stable JSON output).
+    pub faults_injected: std::collections::BTreeMap<&'static str, u64>,
+    /// Fault events recovered (equals the injected total after any
+    /// completed run — injection is bounded per operation).
+    pub faults_recovered: u64,
+    /// Bus operations that recovered from at least one fault.
+    pub fault_recoveries: u64,
+    /// Extra completion-delay cycles per recovered operation.
+    pub fault_penalty: Histogram,
+    /// Lock-directory deadlocks detected (wait-for cycles reported
+    /// instead of hanging).
+    pub deadlocks: u64,
+    /// Livelock/starvation watchdog expirations.
+    pub watchdog_expirations: u64,
 }
 
 fn bump(counts: &mut Vec<u64>, pe: PeId) {
@@ -80,7 +94,18 @@ impl Metrics {
             gc_collections: 0,
             gc_words: Histogram::new(),
             goal_depth: TimeSeries::new(GOAL_DEPTH_INTERVAL),
+            faults_injected: std::collections::BTreeMap::new(),
+            faults_recovered: 0,
+            fault_recoveries: 0,
+            fault_penalty: Histogram::new(),
+            deadlocks: 0,
+            watchdog_expirations: 0,
         }
+    }
+
+    /// Total faults injected across all kinds.
+    pub fn faults_injected_total(&self) -> u64 {
+        self.faults_injected.values().sum()
     }
 
     /// The transition matrix summed over all five areas.
@@ -127,6 +152,14 @@ impl Metrics {
         self.gc_collections += other.gc_collections;
         self.gc_words.merge(&other.gc_words);
         self.goal_depth.merge(&other.goal_depth);
+        for (&kind, &n) in &other.faults_injected {
+            *self.faults_injected.entry(kind).or_insert(0) += n;
+        }
+        self.faults_recovered += other.faults_recovered;
+        self.fault_recoveries += other.fault_recoveries;
+        self.fault_penalty.merge(&other.fault_penalty);
+        self.deadlocks += other.deadlocks;
+        self.watchdog_expirations += other.watchdog_expirations;
     }
 
     /// The stable JSON form used inside the report files.
@@ -181,6 +214,29 @@ impl Metrics {
             ),
             ("lock_wait_cycles", histogram_json(&self.lock_wait)),
             (
+                "faults",
+                Json::obj([
+                    (
+                        "injected_by_kind",
+                        Json::obj(
+                            self.faults_injected
+                                .iter()
+                                .map(|(&kind, &n)| (kind, Json::from(n)))
+                                .collect::<Vec<_>>(),
+                        ),
+                    ),
+                    ("injected_total", Json::from(self.faults_injected_total())),
+                    ("recovered_total", Json::from(self.faults_recovered)),
+                    ("recovered_operations", Json::from(self.fault_recoveries)),
+                    ("penalty_cycles", histogram_json(&self.fault_penalty)),
+                    ("deadlocks", Json::from(self.deadlocks)),
+                    (
+                        "watchdog_expirations",
+                        Json::from(self.watchdog_expirations),
+                    ),
+                ]),
+            ),
+            (
                 "kl1",
                 Json::obj([
                     ("reductions_by_pe", counts_json(&self.reductions_by_pe)),
@@ -216,7 +272,10 @@ fn merge_counts(into: &mut Vec<u64>, from: &[u64]) {
 }
 
 fn op_index(op: MemOp) -> usize {
-    MemOp::ALL.iter().position(|&o| o == op).expect("op in ALL")
+    let Some(i) = MemOp::ALL.iter().position(|&o| o == op) else {
+        unreachable!("every MemOp appears in ALL")
+    };
+    i
 }
 
 fn counts_json(counts: &[u64]) -> Json {
@@ -329,6 +388,24 @@ impl Observer for Metrics {
     fn goal_queue_depth(&mut self, _pe: PeId, cycle: u64, depth: u64) {
         self.goal_depth.record(cycle, depth);
     }
+
+    fn fault_injected(&mut self, _pe: PeId, kind: &'static str, _cycle: u64) {
+        *self.faults_injected.entry(kind).or_insert(0) += 1;
+    }
+
+    fn fault_recovered(&mut self, _pe: PeId, faults: u32, penalty: u64) {
+        self.faults_recovered += faults as u64;
+        self.fault_recoveries += 1;
+        self.fault_penalty.record(penalty);
+    }
+
+    fn deadlock(&mut self, _pes: &[PeId], _cycle: u64) {
+        self.deadlocks += 1;
+    }
+
+    fn watchdog(&mut self, _pe: PeId, _clock: u64, _budget: u64) {
+        self.watchdog_expirations += 1;
+    }
 }
 
 /// A shared handle to one [`Metrics`] aggregate.
@@ -408,6 +485,22 @@ impl Observer for SharedMetrics {
     fn goal_queue_depth(&mut self, pe: PeId, cycle: u64, depth: u64) {
         self.0.borrow_mut().goal_queue_depth(pe, cycle, depth);
     }
+
+    fn fault_injected(&mut self, pe: PeId, kind: &'static str, cycle: u64) {
+        self.0.borrow_mut().fault_injected(pe, kind, cycle);
+    }
+
+    fn fault_recovered(&mut self, pe: PeId, faults: u32, penalty: u64) {
+        self.0.borrow_mut().fault_recovered(pe, faults, penalty);
+    }
+
+    fn deadlock(&mut self, pes: &[PeId], cycle: u64) {
+        self.0.borrow_mut().deadlock(pes, cycle);
+    }
+
+    fn watchdog(&mut self, pe: PeId, clock: u64, budget: u64) {
+        self.0.borrow_mut().watchdog(pe, clock, budget);
+    }
 }
 
 #[cfg(test)]
@@ -457,7 +550,37 @@ mod tests {
         let keys: Vec<_> = pairs.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(
             keys,
-            ["state_transitions", "bus", "lock_wait_cycles", "kl1"]
+            [
+                "state_transitions",
+                "bus",
+                "lock_wait_cycles",
+                "faults",
+                "kl1"
+            ]
         );
+    }
+
+    #[test]
+    fn fault_events_aggregate_and_merge() {
+        let mut a = Metrics::new();
+        a.fault_injected(PeId(0), "bus_nack", 10);
+        a.fault_injected(PeId(0), "bus_nack", 11);
+        a.fault_injected(PeId(1), "pe_stall", 12);
+        a.fault_recovered(PeId(0), 2, 9);
+        a.fault_recovered(PeId(1), 1, 8);
+        a.deadlock(&[PeId(0), PeId(1)], 99);
+        a.watchdog(PeId(0), 1000, 500);
+        let mut b = Metrics::new();
+        b.fault_injected(PeId(2), "bus_nack", 1);
+        b.fault_recovered(PeId(2), 1, 3);
+        a.merge(&b);
+        assert_eq!(a.faults_injected["bus_nack"], 3);
+        assert_eq!(a.faults_injected["pe_stall"], 1);
+        assert_eq!(a.faults_injected_total(), 4);
+        assert_eq!(a.faults_recovered, 4);
+        assert_eq!(a.fault_recoveries, 3);
+        assert_eq!(a.fault_penalty.sum(), 20);
+        assert_eq!(a.deadlocks, 1);
+        assert_eq!(a.watchdog_expirations, 1);
     }
 }

@@ -197,6 +197,31 @@ pub trait Observer: std::fmt::Debug {
     fn goal_queue_depth(&mut self, pe: PeId, cycle: u64, depth: u64) {
         let _ = (pe, cycle, depth);
     }
+
+    /// A fault of the named kind (a `pim-fault` [`FaultKind`] label) was
+    /// injected against `pe`'s bus operation issued at `cycle`.
+    fn fault_injected(&mut self, pe: PeId, kind: &'static str, cycle: u64) {
+        let _ = (pe, kind, cycle);
+    }
+
+    /// Every fault injected against one bus operation of `pe` has been
+    /// recovered: the chain carried `faults` injections and cost
+    /// `penalty` extra cycles over the fault-free schedule.
+    fn fault_recovered(&mut self, pe: PeId, faults: u32, penalty: u64) {
+        let _ = (pe, faults, penalty);
+    }
+
+    /// The lock-directory deadlock detector found a wait-for cycle
+    /// among `pes` (waiter → holder order) at `cycle`.
+    fn deadlock(&mut self, pes: &[PeId], cycle: u64) {
+        let _ = (pes, cycle);
+    }
+
+    /// The livelock/starvation watchdog expired: `pe` reached `clock`
+    /// cycles against a budget of `budget`.
+    fn watchdog(&mut self, pe: PeId, clock: u64, budget: u64) {
+        let _ = (pe, clock, budget);
+    }
 }
 
 /// The zero-cost default observer: every hook is the inherited no-op.
@@ -263,6 +288,10 @@ mod tests {
         obs.resumption(pe, 3);
         obs.gc(pe, 4, 100);
         obs.goal_queue_depth(pe, 5, 7);
+        obs.fault_injected(pe, "bus_nack", 6);
+        obs.fault_recovered(pe, 1, 9);
+        obs.deadlock(&[pe, PeId(1)], 10);
+        obs.watchdog(pe, 11, 8);
     }
 
     #[test]

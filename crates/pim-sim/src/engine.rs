@@ -15,8 +15,9 @@
 //! * `LH` refusal: the PE blocks (bus-free busy wait) until the holder's
 //!   `UL` broadcast, then retries the whole micro-step.
 
-use crate::MemorySystem;
+use crate::{MemorySystem, SimError};
 use pim_cache::Outcome;
+use pim_fault::{arbitrate_with_faults, find_cycle, FaultPlan, FaultStats};
 use pim_obs::{Observer, PeCycles};
 use pim_trace::{Access, Addr, AreaMap, MemOp, MemoryPort, PeId, PortValue, Word};
 pub use pim_trace::{Process, StepOutcome};
@@ -60,7 +61,7 @@ pub struct RunStats {
 ///     PimSystem::new(SystemConfig { pes: 2, ..Default::default() }),
 ///     2,
 /// );
-/// let stats = engine.run(&mut replayer, 1_000);
+/// let stats = engine.run(&mut replayer, 1_000).expect("fault-free run");
 /// assert!(stats.finished);
 /// assert_eq!(engine.system().ref_stats().total(), 2);
 /// ```
@@ -70,12 +71,20 @@ pub struct Engine<S> {
     clocks: Vec<u64>,
     bus_free: u64,
     blocked: Vec<bool>,
+    // For each blocked PE, the holder of the lock it waits on — the
+    // out-edges of the LWAIT wait-for graph the deadlock detector
+    // searches.
+    blocked_on: Vec<Option<PeId>>,
     idle_poll_cycles: u64,
     // Per-PE bus-wait/lock-wait/idle accumulators; `busy` stays zero
     // here and is derived from the clocks when stats are reported.
     accounts: Vec<PeCycles>,
     observer: Option<Box<dyn Observer>>,
     trace: Option<Vec<Access>>,
+    fault_plan: Option<FaultPlan>,
+    fault_stats: FaultStats,
+    watchdog: Option<u64>,
+    pending_error: Option<SimError>,
 }
 
 impl<S: MemorySystem> Engine<S> {
@@ -86,11 +95,37 @@ impl<S: MemorySystem> Engine<S> {
             clocks: vec![0; pes as usize],
             bus_free: 0,
             blocked: vec![false; pes as usize],
+            blocked_on: vec![None; pes as usize],
             idle_poll_cycles: 16,
             accounts: vec![PeCycles::default(); pes as usize],
             observer: None,
             trace: None,
+            fault_plan: None,
+            fault_stats: FaultStats::new(),
+            watchdog: None,
+            pending_error: None,
         }
+    }
+
+    /// Attaches a deterministic fault plan: every bus operation is
+    /// tested against the plan and may suffer NACKs, parity retries,
+    /// snoop-ack timeouts, or stall windows before completing. Faults
+    /// are timing-only, so the final machine state matches a fault-free
+    /// run.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan.is_active().then_some(plan);
+    }
+
+    /// Counters for the faults injected and recovered so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Arms the livelock/starvation watchdog: if any PE's clock passes
+    /// `budget` cycles before the process finishes, the run stops with
+    /// [`SimError::WatchdogExpired`] instead of spinning.
+    pub fn set_watchdog(&mut self, budget: u64) {
+        self.watchdog = Some(budget);
     }
 
     /// Starts recording every *completed* memory operation as a replayable
@@ -152,6 +187,11 @@ impl<S: MemorySystem> Engine<S> {
     /// Runs `f` with a port for `pe` outside the scheduling loop — for
     /// bootstrap pokes and post-run inspection. Counted operations issued
     /// here still advance `pe`'s clock and the bus normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol misuse — a harness bug, unlike the in-run
+    /// path, which reports [`SimError::Protocol`] instead.
     pub fn with_port<R>(&mut self, pe: PeId, f: impl FnOnce(&mut dyn MemoryPort) -> R) -> R {
         let mut port = EnginePort {
             system: &mut self.system,
@@ -163,17 +203,42 @@ impl<S: MemorySystem> Engine<S> {
             account: &mut self.accounts[pe.index()],
             observer: &mut self.observer,
             trace: &mut self.trace,
+            fault_plan: self.fault_plan.as_ref(),
+            fault_stats: &mut self.fault_stats,
+            lock_holder: None,
+            error: &mut self.pending_error,
         };
-        f(&mut port)
+        let out = f(&mut port);
+        if let Some(err) = self.pending_error.take() {
+            panic!("{err}");
+        }
+        out
+    }
+
+    /// The wait-for edges of the currently blocked PEs (waiter → lock
+    /// holder).
+    fn wait_edges(&self) -> Vec<(PeId, PeId)> {
+        self.blocked_on
+            .iter()
+            .enumerate()
+            .filter_map(|(i, holder)| holder.map(|h| (PeId(i as u32), h)))
+            .collect()
     }
 
     /// Runs `process` to completion (or until `max_steps`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a protocol error (lock misuse — a bug in the process) or
-    /// on deadlock (every PE blocked on a lock).
-    pub fn run(&mut self, process: &mut impl Process, max_steps: u64) -> RunStats {
+    /// Returns [`SimError::Deadlock`] when the lock wait-for graph
+    /// closes a cycle, [`SimError::Protocol`] when the process misuses
+    /// the lock protocol, and [`SimError::WatchdogExpired`] when a
+    /// watchdog budget set via [`Engine::set_watchdog`] is exceeded.
+    /// Each is also reported to the attached observer.
+    pub fn run(
+        &mut self,
+        process: &mut impl Process,
+        max_steps: u64,
+    ) -> Result<RunStats, SimError> {
         assert_eq!(
             process.pe_count() as usize,
             self.clocks.len(),
@@ -183,6 +248,8 @@ impl<S: MemorySystem> Engine<S> {
         let mut finished = false;
         while steps < max_steps {
             // The runnable PE with the lowest clock, ties to lowest id.
+            // With on-block cycle detection below, "every PE blocked" is
+            // unreachable — but keep a structured fallback.
             let Some(pe) = self
                 .clocks
                 .iter()
@@ -191,7 +258,7 @@ impl<S: MemorySystem> Engine<S> {
                 .min_by_key(|&(i, &c)| (c, i))
                 .map(|(i, _)| PeId(i as u32))
             else {
-                panic!("deadlock: every PE is blocked on a lock");
+                return Err(self.deadlock_error());
             };
 
             let mut port = EnginePort {
@@ -204,14 +271,23 @@ impl<S: MemorySystem> Engine<S> {
                 account: &mut self.accounts[pe.index()],
                 observer: &mut self.observer,
                 trace: &mut self.trace,
+                fault_plan: self.fault_plan.as_ref(),
+                fault_stats: &mut self.fault_stats,
+                lock_holder: None,
+                error: &mut self.pending_error,
             };
             let outcome = process.step(pe, &mut port);
             let stalled = port.stalled;
+            let lock_holder = port.lock_holder;
             let woken = std::mem::take(&mut port.woken);
+            if let Some(err) = self.pending_error.take() {
+                return Err(err);
+            }
             let pe_clock_now = self.clocks[pe.index()];
             for w in woken {
                 if w != pe {
                     self.blocked[w.index()] = false;
+                    self.blocked_on[w.index()] = None;
                     // The waiter busy-waited until the UL broadcast. Its
                     // clock stood still while blocked, so the bump is
                     // exactly the stall duration.
@@ -236,20 +312,54 @@ impl<S: MemorySystem> Engine<S> {
                 StepOutcome::Stalled => {
                     assert!(stalled, "process reported a stall the port did not see");
                     self.blocked[pe.index()] = true;
+                    self.blocked_on[pe.index()] = lock_holder;
+                    // A new wait-for edge can only close a cycle through
+                    // itself — check the moment it appears, instead of
+                    // hanging until every PE blocks.
+                    if let Some(cycle) = find_cycle(&self.wait_edges()) {
+                        let clock = self.clocks[pe.index()];
+                        if let Some(obs) = self.observer.as_deref_mut() {
+                            obs.deadlock(&cycle, clock);
+                        }
+                        return Err(SimError::Deadlock { cycle, clock });
+                    }
                 }
                 StepOutcome::Finished => {
                     finished = true;
                     break;
                 }
             }
+            if let Some(budget) = self.watchdog {
+                let clock = self.clocks[pe.index()];
+                if clock > budget {
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.watchdog(pe, clock, budget);
+                    }
+                    return Err(SimError::WatchdogExpired { pe, clock, budget });
+                }
+            }
         }
-        RunStats {
+        Ok(RunStats {
             steps,
             pe_clocks: self.clocks.clone(),
             pe_cycles: self.pe_cycles(),
             makespan: self.clocks.iter().copied().max().unwrap_or(0),
             finished,
+        })
+    }
+
+    /// Builds the deadlock error for the all-blocked fallback.
+    fn deadlock_error(&mut self) -> SimError {
+        let clock = self.clocks.iter().copied().max().unwrap_or(0);
+        let cycle = find_cycle(&self.wait_edges()).unwrap_or_else(|| {
+            // No recorded cycle (possible only if holder bookkeeping is
+            // incomplete): report every blocked PE.
+            (0..self.clocks.len() as u32).map(PeId).collect()
+        });
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.deadlock(&cycle, clock);
         }
+        SimError::Deadlock { cycle, clock }
     }
 }
 
@@ -264,6 +374,12 @@ struct EnginePort<'a, S> {
     account: &'a mut PeCycles,
     observer: &'a mut Option<Box<dyn Observer>>,
     trace: &'a mut Option<Vec<Access>>,
+    fault_plan: Option<&'a FaultPlan>,
+    fault_stats: &'a mut FaultStats,
+    // Holder of the lock whose `LH` refusal stalled this step — the
+    // wait-for edge the deadlock detector records.
+    lock_holder: Option<PeId>,
+    error: &'a mut Option<SimError>,
 }
 
 impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
@@ -274,11 +390,22 @@ impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
             return PortValue::Stall;
         }
         *self.clock += 1;
-        match self
-            .system
-            .access(self.pe, op, addr, data)
-            .unwrap_or_else(|e| panic!("{} protocol misuse at {addr:#x}: {e}", self.pe))
-        {
+        let outcome = match self.system.access(self.pe, op, addr, data) {
+            Ok(outcome) => outcome,
+            Err(error) => {
+                // Protocol misuse is a process bug, but not a reason to
+                // kill the host: poison the step and surface a
+                // structured diagnostic through the engine.
+                *self.error = Some(SimError::Protocol {
+                    pe: self.pe,
+                    addr,
+                    error,
+                });
+                self.stalled = true;
+                return PortValue::Stall;
+            }
+        };
+        match outcome {
             Outcome::Done {
                 value,
                 bus_cycles,
@@ -288,8 +415,35 @@ impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
                 if bus_cycles > 0 {
                     // The same pure arbitration the parallel engine applies
                     // at its epoch barriers — sharing it is what makes the
-                    // two engines bit-identical.
-                    let grant = pim_bus::arbitrate(*self.bus_free, *self.clock, bus_cycles);
+                    // two engines bit-identical. Fault decisions key on the
+                    // issue cycle and PE id, which are engine-independent,
+                    // so the injected schedule is bit-identical too.
+                    let grant = match self.fault_plan {
+                        Some(plan) => {
+                            let fg = arbitrate_with_faults(
+                                plan,
+                                *self.bus_free,
+                                *self.clock,
+                                bus_cycles,
+                                self.pe,
+                            );
+                            if !fg.events.is_empty() {
+                                self.fault_stats.absorb(&fg);
+                                if let Some(obs) = self.observer.as_deref_mut() {
+                                    for ev in &fg.events {
+                                        obs.fault_injected(self.pe, ev.kind.label(), ev.cycle);
+                                    }
+                                    obs.fault_recovered(
+                                        self.pe,
+                                        fg.events.len() as u32,
+                                        fg.penalty,
+                                    );
+                                }
+                            }
+                            fg.grant
+                        }
+                        None => pim_bus::arbitrate(*self.bus_free, *self.clock, bus_cycles),
+                    };
                     *self.clock = grant.bus_free;
                     *self.bus_free = grant.bus_free;
                     self.account.bus_wait += grant.wait;
@@ -309,8 +463,9 @@ impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
                 }
                 PortValue::Value(value)
             }
-            Outcome::LockBusy { .. } => {
+            Outcome::LockBusy { holder } => {
                 self.stalled = true;
+                self.lock_holder = Some(holder);
                 PortValue::Stall
             }
         }
@@ -391,7 +546,7 @@ mod tests {
             limit: 50,
             holding: [false, false],
         };
-        let stats = engine.run(&mut proc, 100_000);
+        let stats = engine.run(&mut proc, 100_000).unwrap();
         assert!(stats.finished, "ping-pong must terminate");
         let sys = engine.system();
         assert_eq!(sys.peek(addr), 50);
@@ -436,13 +591,15 @@ mod tests {
         let flag = system.area_map().base(StorageArea::Communication);
         let mut engine = Engine::new(system, 1);
         engine.set_idle_poll_cycles(10);
-        let stats = engine.run(
-            &mut Idler {
-                flag_addr: flag,
-                polls: 0,
-            },
-            1_000,
-        );
+        let stats = engine
+            .run(
+                &mut Idler {
+                    flag_addr: flag,
+                    polls: 0,
+                },
+                1_000,
+            )
+            .unwrap();
         assert!(stats.finished);
         assert_eq!(stats.makespan, 40, "four idle polls × 10 cycles");
     }
@@ -479,14 +636,16 @@ mod tests {
         });
         let h = system.area_map().base(StorageArea::Heap);
         let mut engine = Engine::new(system, 2);
-        let stats = engine.run(
-            &mut TwoMisses {
-                a: h,
-                b: h + 64,
-                done: [false, false],
-            },
-            100,
-        );
+        let stats = engine
+            .run(
+                &mut TwoMisses {
+                    a: h,
+                    b: h + 64,
+                    done: [false, false],
+                },
+                100,
+            )
+            .unwrap();
         assert!(stats.finished);
         // Each miss is 13 bus cycles; serialized they end at ≥ 26.
         assert!(
@@ -512,7 +671,7 @@ mod tests {
             ..SystemConfig::default()
         });
         let mut engine = Engine::new(system, 1);
-        let stats = engine.run(&mut Forever, 10);
+        let stats = engine.run(&mut Forever, 10).unwrap();
         assert!(!stats.finished);
         assert_eq!(stats.steps, 10);
     }

@@ -207,15 +207,16 @@ impl IllinoisSystem {
         let (data, state, from_cache) = match supplier {
             Some((sup, sup_state)) => {
                 let dirty = sup_state.is_dirty();
+                let Some(data) = self.caches[sup.index()].snapshot(base) else {
+                    unreachable!("find_supplier returned a PE without the block")
+                };
                 if dirty {
                     // Illinois: the memory controller captures the data as
                     // it crosses the bus — the block becomes clean.
-                    let block = self.caches[sup.index()].snapshot(base).expect("supplier");
-                    self.memory.write_block(base, &block);
+                    self.memory.write_block(base, &data);
                     self.bus
                         .record_reflective_copyback(area, &self.config.timing);
                 }
-                let data = self.caches[sup.index()].snapshot(base).expect("supplier");
                 if exclusive {
                     for i in 0..self.caches.len() {
                         if i != pe.index() {
@@ -292,7 +293,9 @@ impl IllinoisSystem {
         match self.fill(pe, addr, false, area) {
             Err(holder) => Outcome::LockBusy { holder },
             Ok(cycles) => {
-                let value = self.caches[pe.index()].read(addr).expect("installed");
+                let Some(value) = self.caches[pe.index()].read(addr) else {
+                    unreachable!("fill installed the block")
+                };
                 done(value, cycles, false)
             }
         }
@@ -380,7 +383,9 @@ impl IllinoisSystem {
             self.access_stats.hits += 1;
             self.lock_stats.lr_hits += 1;
         }
-        let value = self.caches[pe.index()].read(addr).expect("resident");
+        let Some(value) = self.caches[pe.index()].read(addr) else {
+            unreachable!("lock fill left the block resident")
+        };
         Ok(done(value, fetch_cycles + lock_cycles, hit))
     }
 
@@ -425,13 +430,20 @@ impl MemorySystem for IllinoisSystem {
         };
         let outcome = match eff {
             MemOp::Read => self.read(pe, addr, area),
-            MemOp::Write => self.write(pe, addr, data.expect("write data"), area),
+            MemOp::Write => {
+                let Some(value) = data else {
+                    unreachable!("write operations always carry a data word")
+                };
+                self.write(pe, addr, value, area)
+            }
             MemOp::LockRead => self.lock_read(pe, addr, area)?,
             MemOp::WriteUnlock => {
                 if !self.lockdirs[pe.index()].holds(addr) {
                     return Err(ProtocolError::NotLocked { addr });
                 }
-                let value = data.expect("uw data");
+                let Some(value) = data else {
+                    unreachable!("write operations always carry a data word")
+                };
                 let w = self.write(pe, addr, value, area);
                 let (mut cycles, hit) = match w {
                     Outcome::Done {

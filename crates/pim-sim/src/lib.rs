@@ -18,15 +18,18 @@
 //! abstract machine in `kl1-machine`, or the synthetic [`replay::Replayer`].
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod illinois;
 pub mod parallel;
 pub mod replay;
 pub mod system;
 
 pub use engine::{Engine, Process, RunStats, StepOutcome};
+pub use error::SimError;
 pub use illinois::IllinoisSystem;
 pub use parallel::{ParallelEngine, ProcessShard, ShardableProcess};
 pub use replay::{ReplayShard, Replayer};

@@ -55,11 +55,14 @@
 //!   `finished == false`, but its partial clocks are not comparable to
 //!   the sequential engine's partial state (completed runs are).
 //! * A replay in which blocked PEs can never be woken (a lock held by an
-//!   exhausted stream) panics instead of idling up to the step budget.
+//!   exhausted stream) returns [`SimError::ReplayStuck`] instead of
+//!   idling up to the step budget; a closed lock wait-for cycle returns
+//!   [`SimError::Deadlock`] the moment the deadlock detector sees it.
 
 use crate::system::{ShardedSystem, SystemShard};
-use crate::{Process, RunStats};
+use crate::{Process, RunStats, SimError};
 use pim_cache::Outcome;
+use pim_fault::{arbitrate_with_faults, find_cycle, FaultPlan, FaultStats};
 use pim_obs::{Observer, PeCycles};
 use pim_trace::{Addr, MemOp, PeId, Word};
 use std::collections::HashMap;
@@ -142,6 +145,19 @@ struct Lane<SS, PS> {
     account: PeCycles,
     /// Per-phase journal cap (raised for the frontier-minimum lane).
     cap: usize,
+    /// While `status == Blocked`: the holder of the refusing lock —
+    /// this lane's out-edge in the deadlock detector's wait-for graph.
+    blocked_on: Option<PeId>,
+}
+
+/// Unwraps a lane slot (`shard`/`proc`/scheduler slot) that is `None`
+/// only while the lane is parked in the scheduler's slot table — never
+/// while the lane is being driven.
+fn live<T>(slot: Option<T>) -> T {
+    match slot {
+        Some(v) => v,
+        None => unreachable!("lane slot empty while the lane is running"),
+    }
 }
 
 impl<SS: SystemShard, PS: ProcessShard> Lane<SS, PS> {
@@ -152,12 +168,12 @@ impl<SS: SystemShard, PS: ProcessShard> Lane<SS, PS> {
 
     /// Commits the whole journal into the shard-local stats.
     fn commit(&mut self, committed_steps: &mut u64) {
-        self.shard.as_mut().unwrap().commit_speculation();
+        live(self.shard.as_mut()).commit_speculation();
         *committed_steps += self.journal.len() as u64;
         self.journal.clear();
         self.touched.clear();
         self.start_clock = self.clock;
-        self.proc_base = self.proc.as_ref().unwrap().position();
+        self.proc_base = live(self.proc.as_ref()).position();
         self.base_issue = self.last_issue;
     }
 
@@ -176,8 +192,8 @@ impl<SS: SystemShard, PS: ProcessShard> Lane<SS, PS> {
                 }
             }
         }
-        self.shard.as_mut().unwrap().rollback_to(k);
-        self.proc.as_mut().unwrap().rewind(self.proc_base + k);
+        live(self.shard.as_mut()).rollback_to(k);
+        live(self.proc.as_mut()).rewind(self.proc_base + k);
         self.journal.truncate(k);
         self.clock = self.start_clock + k as u64;
         self.last_issue = if k > 0 {
@@ -203,14 +219,14 @@ impl<SS: SystemShard, PS: ProcessShard> Lane<SS, PS> {
 /// Runs one lane forward through purely local operations. Worker-side:
 /// touches nothing but the lane.
 fn speculate<SS: SystemShard, PS: ProcessShard>(lane: &mut Lane<SS, PS>, epoch_ops: usize) {
-    let shard = lane.shard.as_mut().unwrap();
+    let shard = live(lane.shard.as_mut());
     let mut done = 0;
     loop {
         if lane.journal.len() >= lane.cap || done >= epoch_ops {
             lane.status = Status::Capped;
             return;
         }
-        match lane.proc.as_ref().unwrap().peek() {
+        match live(lane.proc.as_ref()).peek() {
             None => {
                 lane.status = Status::Exhausted;
                 lane.exhausted_at = lane.clock;
@@ -224,7 +240,7 @@ fn speculate<SS: SystemShard, PS: ProcessShard>(lane: &mut Lane<SS, PS>, epoch_o
                     lane.touched.entry(b).or_default().push(i);
                     lane.last_issue = Some((lane.clock, lane.pe as u32));
                     lane.clock += 1;
-                    lane.proc.as_mut().unwrap().advance();
+                    live(lane.proc.as_mut()).advance();
                     done += 1;
                 }
                 None => {
@@ -260,7 +276,7 @@ fn speculate<SS: SystemShard, PS: ProcessShard>(lane: &mut Lane<SS, PS>, epoch_o
 ///     2,
 /// );
 /// engine.set_threads(2);
-/// let stats = engine.run(&mut replayer, 1_000);
+/// let stats = engine.run(&mut replayer, 1_000).expect("fault-free run");
 /// assert!(stats.finished);
 /// assert_eq!(engine.system().ref_stats().total(), 2);
 /// ```
@@ -273,6 +289,9 @@ pub struct ParallelEngine<S> {
     observer: Option<Box<dyn Observer>>,
     threads: usize,
     epoch_ops: usize,
+    fault_plan: Option<FaultPlan>,
+    fault_stats: FaultStats,
+    watchdog: Option<u64>,
 }
 
 impl<S: ShardedSystem> ParallelEngine<S> {
@@ -289,7 +308,35 @@ impl<S: ShardedSystem> ParallelEngine<S> {
             observer: None,
             threads,
             epoch_ops: DEFAULT_EPOCH_OPS,
+            fault_plan: None,
+            fault_stats: FaultStats::new(),
+            watchdog: None,
         }
+    }
+
+    /// Attaches a deterministic fault plan — the same plan, seed for
+    /// seed, as [`crate::Engine::set_fault_plan`]. Fault decisions key
+    /// on `(seed, issue cycle, pe)`, all engine-independent, so a
+    /// faulted parallel run stays bit-identical to the faulted
+    /// sequential run at any thread count. Speculated local work that
+    /// raced ahead of a fault-delayed global is rolled back through the
+    /// speculation undo journals, exactly like any other conflict.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan.is_active().then_some(plan);
+    }
+
+    /// Counters for the faults injected and recovered so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Arms the livelock/starvation watchdog: if any PE's clock passes
+    /// `budget` cycles before the process finishes, the run stops with
+    /// [`SimError::WatchdogExpired`]. Thread-count independent: the
+    /// check runs at the deterministic coordinator loop, not on worker
+    /// threads.
+    pub fn set_watchdog(&mut self, budget: u64) {
+        self.watchdog = Some(budget);
     }
 
     /// Sets the worker-thread count (clamped to at least 1). With one
@@ -343,11 +390,19 @@ impl<S: ShardedSystem> ParallelEngine<S> {
     /// Runs `process` to completion (or until `max_steps`), bit-identical
     /// to [`crate::Engine::run`] on the same system and process.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a protocol error, on deadlock (every PE blocked on a
-    /// lock), or if a blocked PE can never be woken.
-    pub fn run<P: ShardableProcess>(&mut self, process: &mut P, max_steps: u64) -> RunStats {
+    /// Returns [`SimError::Deadlock`] on a lock wait-for cycle,
+    /// [`SimError::Protocol`] on lock misuse, [`SimError::ReplayStuck`]
+    /// when blocked PEs can never be woken, and
+    /// [`SimError::WatchdogExpired`] past a configured watchdog budget.
+    /// Shards are reassembled before returning, so the process and
+    /// system stay inspectable after a failure.
+    pub fn run<P: ShardableProcess>(
+        &mut self,
+        process: &mut P,
+        max_steps: u64,
+    ) -> Result<RunStats, SimError> {
         assert_eq!(
             process.pe_count() as usize,
             self.clocks.len(),
@@ -379,30 +434,37 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                 base_issue: None,
                 account: self.accounts[pe],
                 cap: MAX_JOURNAL,
+                blocked_on: None,
             })
             .collect();
 
-        let (steps, finished) = self.drive(&mut lanes, max_steps);
+        let outcome = self.drive(&mut lanes, max_steps);
 
         let mut sys_back = Vec::with_capacity(pes);
         let mut proc_back = Vec::with_capacity(pes);
-        for lane in lanes {
+        for mut lane in lanes {
             self.clocks[lane.pe] = lane.clock;
             self.accounts[lane.pe] = lane.account;
-            sys_back.push(lane.shard.unwrap());
-            proc_back.push(lane.proc.unwrap());
+            match (lane.shard.take(), lane.proc.take()) {
+                (Some(shard), Some(proc)) => {
+                    sys_back.push(shard);
+                    proc_back.push(proc);
+                }
+                _ => unreachable!("lane shards are home outside worker phases"),
+            }
         }
         self.system.put_shards(sys_back);
         self.system.fold_shard_stats();
         process.put_shards(proc_back);
 
-        RunStats {
+        let (steps, finished) = outcome?;
+        Ok(RunStats {
             steps,
             pe_clocks: self.clocks.clone(),
             pe_cycles: self.pe_cycles(),
             makespan: self.clocks.iter().copied().max().unwrap_or(0),
             finished,
-        }
+        })
     }
 
     /// The coordinator loop, with the worker pool in scope.
@@ -410,7 +472,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
         &mut self,
         lanes: &mut [Lane<S::Shard, PS>],
         max_steps: u64,
-    ) -> (u64, bool) {
+    ) -> Result<(u64, bool), SimError> {
         let epoch_ops = self.epoch_ops;
         let workers = if self.threads > 1 {
             self.threads.min(lanes.len())
@@ -428,7 +490,11 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                 scope.spawn(move || loop {
                     // Workers block in recv (holding the mutex only while
                     // idle — no spinning); a closed channel ends them.
-                    let job = rx.lock().unwrap().recv();
+                    let job = match rx.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    }
+                    .recv();
                     let Ok(mut lane) = job else { break };
                     speculate(&mut lane, epoch_ops);
                     if tx.send(lane).is_err() {
@@ -441,7 +507,8 @@ impl<S: ShardedSystem> ParallelEngine<S> {
             let mut steps_ops = 0u64;
             let mut steps_stalls = 0u64;
             let mut steps_locals = 0u64;
-            let finished;
+            let mut finished = false;
+            let mut error: Option<SimError> = None;
 
             // Lanes are moved out for worker phases; `slots` tracks them.
             let mut slots: Vec<Option<Lane<S::Shard, PS>>> =
@@ -482,6 +549,26 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                     break;
                 }
 
+                // Livelock/starvation watchdog. The coordinator loop's
+                // iteration sequence is a pure function of the simulated
+                // state, so the check fires identically at any thread
+                // count.
+                if let Some(budget) = self.watchdog {
+                    let over = lanes
+                        .iter()
+                        .filter(|l| l.clock > budget)
+                        .map(Lane::frontier)
+                        .min();
+                    if let Some((clock, pe)) = over {
+                        let pe = PeId(pe);
+                        if let Some(obs) = self.observer.as_deref_mut() {
+                            obs.watchdog(pe, clock, budget);
+                        }
+                        error = Some(SimError::WatchdogExpired { pe, clock, budget });
+                        break;
+                    }
+                }
+
                 // The actionable minimum: the lowest-position pending
                 // global, or the lowest extendable lane if it is lower.
                 let next_global = lanes
@@ -497,19 +584,23 @@ impl<S: ShardedSystem> ParallelEngine<S> {
 
                 match (next_ext, next_global) {
                     (None, None) => {
-                        let blocked = lanes
+                        let blocked: Vec<PeId> = lanes
                             .iter()
                             .filter(|l| matches!(l.status, Status::Blocked(..)))
-                            .count();
-                        if blocked == lanes.len() {
-                            panic!("deadlock: every PE is blocked on a lock");
+                            .map(|l| PeId(l.pe as u32))
+                            .collect();
+                        if blocked.is_empty() {
+                            finished = true;
+                        } else if blocked.len() == lanes.len() {
+                            // All blocked: with on-block cycle detection
+                            // this fallback should be unreachable, but
+                            // report it structurally rather than hang.
+                            error = Some(deadlock_error(lanes, self.observer.as_deref_mut()));
+                        } else {
+                            // Blocked PEs whose holders' streams are
+                            // exhausted can never be woken.
+                            error = Some(SimError::ReplayStuck { pes: blocked });
                         }
-                        assert!(
-                            blocked == 0,
-                            "replay stuck: {blocked} PE(s) blocked on locks that are \
-                             never released"
-                        );
-                        finished = true;
                         break;
                     }
                     (Some(e), g) if g.is_none_or(|g| e < g) => {
@@ -558,36 +649,50 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                                         exhausted_at: 0,
                                         last_issue: None,
                                         base_issue: None,
+                                        blocked_on: None,
                                         account: PeCycles::default(),
                                         cap: 0,
                                     },
                                 );
-                                job_tx.send(lane).unwrap();
+                                if job_tx.send(lane).is_err() {
+                                    unreachable!("worker pool hung up mid-phase");
+                                }
                             }
                             for _ in 0..spec.len() {
-                                let lane = done_rx.recv().unwrap();
+                                let Ok(lane) = done_rx.recv() else {
+                                    unreachable!("worker pool hung up mid-phase");
+                                };
                                 let pe = lane.pe;
                                 slots[pe] = Some(lane);
                             }
                             for &i in &spec {
-                                lanes[i] = slots[i].take().unwrap();
+                                lanes[i] = live(slots[i].take());
                             }
                         }
                     }
                     (_, Some((g, p))) => {
-                        self.process_global(
+                        if let Err(e) = self.process_global(
                             lanes,
                             p as usize,
                             g,
                             &mut steps_ops,
                             &mut steps_stalls,
-                        );
+                        ) {
+                            error = Some(e);
+                            break;
+                        }
                     }
                     (Some(_), None) => unreachable!("guard covers this arm"),
                 }
             }
 
+            // Unblock the workers before any return: they hold no lanes
+            // (every speculation phase drains fully), so dropping the
+            // job channel ends them cleanly even on the error path.
             drop(job_tx);
+            if let Some(e) = error {
+                return Err(e);
+            }
             let mut steps = steps_ops + steps_stalls + steps_locals;
             if finished {
                 steps += self.settle_idle(lanes);
@@ -595,7 +700,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
             } else {
                 steps = steps.min(max_steps);
             }
-            (steps, finished)
+            Ok((steps, finished))
         })
     }
 
@@ -608,7 +713,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
         g: u64,
         steps_ops: &mut u64,
         steps_stalls: &mut u64,
-    ) {
+    ) -> Result<(), SimError> {
         let Status::Global(op, addr, data) = lanes[p].status else {
             unreachable!("process_global on a non-global lane");
         };
@@ -616,7 +721,10 @@ impl<S: ShardedSystem> ParallelEngine<S> {
             lanes[p].journal.is_empty(),
             "requester journal must be committed before its global"
         );
-        let block = lanes[p].shard.as_ref().unwrap().block_base(addr);
+        let block = lanes[p].shard.as_ref().map(|s| s.block_base(addr));
+        let Some(block) = block else {
+            unreachable!("lane shards are home outside worker phases");
+        };
 
         // Roll back any speculation the global would have reordered with:
         // journal entries on the same block issued after (g, p).
@@ -631,26 +739,67 @@ impl<S: ShardedSystem> ParallelEngine<S> {
 
         // Execute through the shared system with all shards home and the
         // undo logs paused: a committed global must never roll back.
-        let shards: Vec<S::Shard> = lanes.iter_mut().map(|l| l.shard.take().unwrap()).collect();
+        let shards: Vec<S::Shard> = lanes.iter_mut().filter_map(|l| l.shard.take()).collect();
         self.system.put_shards(shards);
         self.system.pause_speculation();
         lanes[p].clock += 1;
-        let outcome = self
-            .system
-            .access(PeId(p as u32), op, addr, data)
-            .unwrap_or_else(|e| panic!("{} protocol misuse at {addr:#x}: {e}", PeId(p as u32)));
+        let access_result = self.system.access(PeId(p as u32), op, addr, data);
         let area = self.system.area_map().area(addr);
         self.system.resume_speculation();
         for (lane, shard) in lanes.iter_mut().zip(self.system.take_shards()) {
             lane.shard = Some(shard);
         }
+        let outcome = match access_result {
+            Ok(outcome) => outcome,
+            // Shards are already home, so the caller can reassemble the
+            // process and system around this diagnostic.
+            Err(error) => {
+                return Err(SimError::Protocol {
+                    pe: PeId(p as u32),
+                    addr,
+                    error,
+                })
+            }
+        };
 
         match outcome {
             Outcome::Done {
                 bus_cycles, woken, ..
             } => {
                 if bus_cycles > 0 {
-                    let grant = pim_bus::arbitrate(self.bus_free, lanes[p].clock, bus_cycles);
+                    // Same arbitration and same fault plan as the
+                    // sequential engine's port, keyed on the identical
+                    // issue cycle — the faulted schedule is bit-identical.
+                    let grant = match self.fault_plan.as_ref() {
+                        Some(plan) => {
+                            let fg = arbitrate_with_faults(
+                                plan,
+                                self.bus_free,
+                                lanes[p].clock,
+                                bus_cycles,
+                                PeId(p as u32),
+                            );
+                            if !fg.events.is_empty() {
+                                self.fault_stats.absorb(&fg);
+                                if let Some(obs) = self.observer.as_deref_mut() {
+                                    for ev in &fg.events {
+                                        obs.fault_injected(
+                                            PeId(p as u32),
+                                            ev.kind.label(),
+                                            ev.cycle,
+                                        );
+                                    }
+                                    obs.fault_recovered(
+                                        PeId(p as u32),
+                                        fg.events.len() as u32,
+                                        fg.penalty,
+                                    );
+                                }
+                            }
+                            fg.grant
+                        }
+                        None => pim_bus::arbitrate(self.bus_free, lanes[p].clock, bus_cycles),
+                    };
                     lanes[p].clock = grant.bus_free;
                     self.bus_free = grant.bus_free;
                     lanes[p].account.bus_wait += grant.wait;
@@ -664,7 +813,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                         );
                     }
                 }
-                lanes[p].proc.as_mut().unwrap().advance();
+                live(lanes[p].proc.as_mut()).advance();
                 lanes[p].last_issue = Some((g, p as u32));
                 *steps_ops += 1;
 
@@ -688,29 +837,46 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                         obs.lock_wait(PeId(w as u32), waited);
                     }
                     lane.status = Status::Global(rop, raddr, rdata);
+                    lane.blocked_on = None;
                     lane.start_clock = lane.clock;
                     lane.base_issue = lane.last_issue;
                 }
 
                 let lane = &mut lanes[p];
-                lane.status = if lane.proc.as_ref().unwrap().peek().is_none() {
+                lane.status = if live(lane.proc.as_ref()).peek().is_none() {
                     lane.exhausted_at = lane.clock;
                     Status::Exhausted
                 } else {
                     Status::Ready
                 };
                 lane.start_clock = lane.clock;
-                lane.proc_base = lane.proc.as_ref().unwrap().position();
+                lane.proc_base = live(lane.proc.as_ref()).position();
                 lane.base_issue = lane.last_issue;
             }
-            Outcome::LockBusy { .. } => {
+            Outcome::LockBusy { holder } => {
                 *steps_stalls += 1;
                 let lane = &mut lanes[p];
                 lane.status = Status::Blocked(op, addr, data);
+                lane.blocked_on = Some(holder);
                 lane.start_clock = lane.clock;
                 lane.base_issue = lane.last_issue;
+                let clock = lane.clock;
+                // A new wait-for edge can close a lock cycle; detect it
+                // the moment it appears instead of spinning forever.
+                let edges: Vec<(PeId, PeId)> = lanes
+                    .iter()
+                    .filter(|l| matches!(l.status, Status::Blocked(..)))
+                    .filter_map(|l| l.blocked_on.map(|h| (PeId(l.pe as u32), h)))
+                    .collect();
+                if let Some(cycle) = find_cycle(&edges) {
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.deadlock(&cycle, clock);
+                    }
+                    return Err(SimError::Deadlock { cycle, clock });
+                }
             }
         }
+        Ok(())
     }
 
     /// Closed-form replay of the idle polls the sequential scheduler
@@ -743,6 +909,27 @@ impl<S: ShardedSystem> ParallelEngine<S> {
         }
         steps
     }
+}
+
+/// Builds the structured deadlock report for an all-blocked lane set:
+/// the wait-for cycle if one exists (it always should — a full block
+/// with no cycle would mean a lost `UL` wakeup), otherwise every
+/// blocked PE, so the failure is never silent.
+fn deadlock_error<SS, PS>(
+    lanes: &[Lane<SS, PS>],
+    observer: Option<&mut (dyn Observer + 'static)>,
+) -> SimError {
+    let edges: Vec<(PeId, PeId)> = lanes
+        .iter()
+        .filter_map(|l| l.blocked_on.map(|h| (PeId(l.pe as u32), h)))
+        .collect();
+    let clock = lanes.iter().map(|l| l.clock).max().unwrap_or(0);
+    let cycle =
+        find_cycle(&edges).unwrap_or_else(|| lanes.iter().map(|l| PeId(l.pe as u32)).collect());
+    if let Some(obs) = observer {
+        obs.deadlock(&cycle, clock);
+    }
+    SimError::Deadlock { cycle, clock }
 }
 
 #[cfg(test)]
@@ -800,7 +987,9 @@ mod tests {
             }),
             pes,
         );
-        let stats = engine.run(&mut replayer, 1_000_000);
+        let stats = engine
+            .run(&mut replayer, 1_000_000)
+            .expect("fault-free run");
         let sys = engine.system();
         let fingerprint = format!(
             "{:?}|{:?}|{:?}|{:?}",
@@ -822,7 +1011,9 @@ mod tests {
             pes,
         );
         engine.set_threads(threads);
-        let stats = engine.run(&mut replayer, 1_000_000);
+        let stats = engine
+            .run(&mut replayer, 1_000_000)
+            .expect("fault-free run");
         assert_eq!(replayer.remaining(), 0);
         let sys = engine.system();
         let fingerprint = format!(
@@ -909,7 +1100,9 @@ mod tests {
         );
         engine.set_threads(2);
         engine.set_epoch_ops(3); // pathological epoch length
-        let stats = engine.run(&mut replayer, 1_000_000);
+        let stats = engine
+            .run(&mut replayer, 1_000_000)
+            .expect("fault-free run");
         let sys = engine.system();
         let fp = format!(
             "{:?}|{:?}|{:?}|{:?}",
@@ -934,7 +1127,7 @@ mod tests {
             2,
         );
         engine.set_threads(1);
-        let stats = engine.run(&mut replayer, 10);
+        let stats = engine.run(&mut replayer, 10).expect("fault-free run");
         assert!(!stats.finished);
         assert!(stats.steps <= 10);
     }

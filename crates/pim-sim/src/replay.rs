@@ -177,7 +177,7 @@ mod tests {
             ..SystemConfig::default()
         });
         let mut engine = Engine::new(system, 2);
-        let stats = engine.run(&mut replayer, 1_000);
+        let stats = engine.run(&mut replayer, 1_000).expect("fault-free run");
         assert!(stats.finished);
         assert_eq!(replayer.remaining(), 0);
         assert_eq!(engine.system().ref_stats().total(), 4);
@@ -196,7 +196,7 @@ mod tests {
             ..SystemConfig::default()
         });
         let mut engine = Engine::new(system, 2);
-        let stats = engine.run(&mut replayer, 1_000);
+        let stats = engine.run(&mut replayer, 1_000).expect("fault-free run");
         assert!(stats.finished);
         assert_eq!(engine.system().ref_stats().total(), 3);
     }

@@ -81,7 +81,9 @@ fn run_sequential(trace: &[Access], pes: u32) -> (RunStats, String) {
         }),
         pes,
     );
-    let stats = engine.run(&mut replayer, 10_000_000);
+    let stats = engine
+        .run(&mut replayer, 10_000_000)
+        .expect("fault-free run");
     (stats, fingerprint(engine.system()))
 }
 
@@ -95,7 +97,9 @@ fn run_parallel(trace: &[Access], pes: u32, threads: usize) -> (RunStats, String
         pes,
     );
     engine.set_threads(threads);
-    let stats = engine.run(&mut replayer, 10_000_000);
+    let stats = engine
+        .run(&mut replayer, 10_000_000)
+        .expect("fault-free run");
     assert_eq!(replayer.remaining(), 0, "parallel run left stream residue");
     (stats, fingerprint(engine.system()))
 }

@@ -105,7 +105,10 @@ impl AreaMap {
         for (i, &sz) in sizes.iter().enumerate() {
             assert!(sz > 0, "storage area {i} must be non-empty");
             bases[i] = cursor;
-            cursor = cursor.checked_add(sz).expect("address space overflow");
+            cursor = match cursor.checked_add(sz) {
+                Some(c) => c,
+                None => panic!("address space overflow"),
+            };
         }
         AreaMap { bases, end: cursor }
     }

@@ -25,6 +25,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod access;
@@ -43,7 +44,7 @@ pub use port::{MemoryPort, PortValue};
 pub use process::{Process, StepOutcome};
 pub use sink::{CountingSink, NullSink, TraceSink, VecSink};
 pub use stats::RefStats;
-pub use textio::{read_trace, write_trace, ParseTraceError};
+pub use textio::{read_trace, read_trace_file, write_trace, ParseTraceError};
 
 /// A machine word: the unit of both data transfer and addressing.
 ///

@@ -24,7 +24,10 @@ pub struct RefStats {
 }
 
 fn op_index(op: MemOp) -> usize {
-    MemOp::ALL.iter().position(|&o| o == op).expect("op in ALL")
+    let Some(i) = MemOp::ALL.iter().position(|&o| o == op) else {
+        unreachable!("every MemOp appears in ALL")
+    };
+    i
 }
 
 impl RefStats {

@@ -25,15 +25,29 @@ use std::io::{BufRead, Write};
 /// An error while parsing a trace line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTraceError {
+    /// The trace file, when parsing came from [`read_trace_file`].
+    pub file: Option<String>,
     /// 1-based line number.
     pub line: usize,
     /// Description of the problem.
     pub message: String,
 }
 
+impl ParseTraceError {
+    /// Attaches the source file name to the diagnostic.
+    #[must_use]
+    pub fn in_file(mut self, file: &str) -> Self {
+        self.file = Some(file.to_string());
+        self
+    }
+}
+
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.message)
+        match &self.file {
+            Some(file) => write!(f, "{file}:{}: {}", self.line, self.message),
+            None => write!(f, "trace line {}: {}", self.line, self.message),
+        }
     }
 }
 
@@ -74,6 +88,7 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<Access>, ParseTraceError> 
     for (i, line) in input.lines().enumerate() {
         let lineno = i + 1;
         let line = line.map_err(|e| ParseTraceError {
+            file: None,
             line: lineno,
             message: e.to_string(),
         })?;
@@ -83,6 +98,7 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<Access>, ParseTraceError> 
         }
         let mut parts = line.split_whitespace();
         let err = |message: &str| ParseTraceError {
+            file: None,
             line: lineno,
             message: message.to_string(),
         };
@@ -110,6 +126,22 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<Access>, ParseTraceError> 
         out.push(Access::new(PeId(pe), op, addr, area));
     }
     Ok(out)
+}
+
+/// Opens and parses a trace file, attaching the file name to every
+/// diagnostic (`path:line: message`). I/O errors (including failure to
+/// open the file) are wrapped the same way with line 0.
+///
+/// # Errors
+///
+/// A [`ParseTraceError`] naming the file and the offending line.
+pub fn read_trace_file(path: &str) -> Result<Vec<Access>, ParseTraceError> {
+    let f = std::fs::File::open(path).map_err(|e| ParseTraceError {
+        file: Some(path.to_string()),
+        line: 0,
+        message: format!("cannot open: {e}"),
+    })?;
+    read_trace(std::io::BufReader::new(f)).map_err(|e| e.in_file(path))
 }
 
 #[cfg(test)]
@@ -155,6 +187,34 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).unwrap();
         assert_eq!(read_trace(Cursor::new(buf)).unwrap(), trace);
+    }
+
+    #[test]
+    fn truncated_traces_name_the_file_and_line() {
+        // A trace cut off mid-line (e.g. a partial download or an
+        // interrupted capture) must fail with the file and line, not
+        // silently drop the tail or panic.
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let cut = text.len() - 8; // chops the last line's address + area
+        let truncated = &text[..cut];
+        let err = read_trace(Cursor::new(truncated)).unwrap_err();
+        assert_eq!(err.line, sample().len());
+        let named = err.clone().in_file("capture.trace");
+        assert_eq!(
+            named.to_string(),
+            format!("capture.trace:{}: {}", err.line, err.message)
+        );
+
+        let dir = std::env::temp_dir().join("pim-trace-textio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.trace");
+        std::fs::write(&path, truncated).unwrap();
+        let err = read_trace_file(path.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.file.as_deref(), path.to_str());
+        assert_eq!(err.line, sample().len());
+        assert!(read_trace_file("/nonexistent/x.trace").is_err());
     }
 
     #[test]

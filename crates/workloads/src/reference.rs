@@ -264,8 +264,8 @@ pub fn pascal_row(n: i64) -> Vec<i64> {
         for pair in row.windows(2) {
             next.push((pair[0] + pair[1]) % 9973);
         }
-        if !row.is_empty() {
-            next.push(*row.last().unwrap());
+        if let Some(&last) = row.last() {
+            next.push(last);
         }
         row = next;
     }

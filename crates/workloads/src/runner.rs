@@ -72,7 +72,9 @@ fn build_cluster_with(
         },
     );
     let (proc, args) = bench.query(scale);
-    cluster.set_query(proc, args);
+    cluster
+        .set_query(proc, args)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
     cluster
 }
 
@@ -98,15 +100,21 @@ pub fn run_pim_gc(
         },
     );
     let (proc, args) = bench.query(scale);
-    cluster.set_query(proc, args);
+    cluster
+        .set_query(proc, args)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
     let mut engine = Engine::new(PimSystem::new(config), pes);
-    let stats = engine.run(&mut cluster, MAX_STEPS);
+    let stats = engine
+        .run(&mut cluster, MAX_STEPS)
+        .unwrap_or_else(|e| panic!("{} simulation failed: {e}", bench.name()));
     assert!(stats.finished, "{} exceeded the step budget", bench.name());
     if let Some(msg) = cluster.failure() {
         panic!("{} failed: {msg}", bench.name());
     }
     let answer = engine.with_port(PeId(0), |port| {
-        cluster.extract(port, "R").expect("query var R")
+        cluster
+            .extract(port, "R")
+            .unwrap_or_else(|| panic!("{}: query var R unbound", bench.name()))
     });
     validate(bench, scale, &answer);
     let system = engine.into_system();
@@ -140,13 +148,17 @@ pub fn run_pim_compiled(
     let block = config.geometry.block_words;
     let mut cluster = build_cluster_with(bench, scale, pes, block, options);
     let mut engine = Engine::new(PimSystem::new(config), pes);
-    let stats = engine.run(&mut cluster, MAX_STEPS);
+    let stats = engine
+        .run(&mut cluster, MAX_STEPS)
+        .unwrap_or_else(|e| panic!("{} simulation failed: {e}", bench.name()));
     assert!(stats.finished, "{} exceeded the step budget", bench.name());
     if let Some(msg) = cluster.failure() {
         panic!("{} failed: {msg}", bench.name());
     }
     let answer = engine.with_port(PeId(0), |port| {
-        cluster.extract(port, "R").expect("query var R")
+        cluster
+            .extract(port, "R")
+            .unwrap_or_else(|| panic!("{}: query var R unbound", bench.name()))
     });
     validate(bench, scale, &answer);
     let system = engine.into_system();
@@ -185,7 +197,9 @@ fn validate(bench: Bench, scale: Scale, answer: &Term) {
 pub fn run_flat(bench: Bench, scale: Scale, pes: u32) -> RunReport {
     let mut cluster = build_cluster(bench, scale, pes, 4);
     let port = kl1_machine::run_flat(&mut cluster, MAX_STEPS);
-    let answer = cluster.extract(&port, "R").expect("query var R");
+    let answer = cluster
+        .extract(&port, "R")
+        .unwrap_or_else(|| panic!("{}: query var R unbound", bench.name()));
     validate(bench, scale, &answer);
     RunReport {
         bench,
@@ -261,13 +275,17 @@ fn run_on_observed<S: MemorySystem>(
     if let Some(shared) = profile {
         engine.set_observer(shared.observer());
     }
-    let stats = engine.run(&mut cluster, MAX_STEPS);
+    let stats = engine
+        .run(&mut cluster, MAX_STEPS)
+        .unwrap_or_else(|e| panic!("{} simulation failed: {e}", bench.name()));
     assert!(stats.finished, "{} exceeded the step budget", bench.name());
     if let Some(msg) = cluster.failure() {
         panic!("{} failed: {msg}", bench.name());
     }
     let answer = engine.with_port(PeId(0), |port| {
-        cluster.extract(port, "R").expect("query var R")
+        cluster
+            .extract(port, "R")
+            .unwrap_or_else(|| panic!("{}: query var R unbound", bench.name()))
     });
     validate(bench, scale, &answer);
     let system = engine.into_system();
@@ -296,7 +314,7 @@ pub fn run_pim(bench: Bench, scale: Scale, config: SystemConfig) -> RunReport {
     let (report, system) = run_on_aligned(bench, scale, pes, system, block);
     system
         .check_coherence_invariants()
-        .expect("coherence invariants after run");
+        .unwrap_or_else(|e| panic!("coherence invariants after run: {e}"));
     report
 }
 
@@ -310,7 +328,7 @@ pub fn run_pim_profiled(bench: Bench, scale: Scale, config: SystemConfig) -> Run
     let (report, system) = run_on_profiled(bench, scale, pes, system, block);
     system
         .check_coherence_invariants()
-        .expect("coherence invariants after run");
+        .unwrap_or_else(|e| panic!("coherence invariants after run: {e}"));
     report
 }
 

@@ -304,7 +304,9 @@ mod tests {
             ..SystemConfig::default()
         });
         let mut engine = Engine::new(system, pes);
-        let stats = engine.run(&mut replayer, 10_000_000);
+        let stats = engine
+            .run(&mut replayer, 10_000_000)
+            .expect("fault-free run");
         assert!(stats.finished);
         engine.into_system()
     }

@@ -40,7 +40,9 @@ fn main() {
             ..ClusterConfig::default()
         },
     );
-    cluster.set_query("main", vec![fghc::Term::Var("X".into())]);
+    cluster
+        .set_query("main", vec![fghc::Term::Var("X".into())])
+        .expect("query procedure exists");
 
     // 3. Build the PIM cache system (8 PEs by default; match the machine)
     //    and run the machine through the timing engine.
@@ -49,7 +51,9 @@ fn main() {
         ..SystemConfig::default()
     });
     let mut engine = Engine::new(system, 4);
-    let stats = engine.run(&mut cluster, 1_000_000_000);
+    let stats = engine
+        .run(&mut cluster, 1_000_000_000)
+        .expect("fault-free run");
     assert!(stats.finished, "program should terminate");
     assert!(cluster.failure().is_none(), "{:?}", cluster.failure());
 

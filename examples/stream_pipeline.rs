@@ -39,14 +39,18 @@ fn run(mask: OptMask, label: &str) {
             ..ClusterConfig::default()
         },
     );
-    cluster.set_query("main", vec![fghc::Term::Var("S".into())]);
+    cluster
+        .set_query("main", vec![fghc::Term::Var("S".into())])
+        .expect("query procedure exists");
     let system = PimSystem::new(SystemConfig {
         pes: 3,
         opt_mask: mask,
         ..SystemConfig::default()
     });
     let mut engine = Engine::new(system, 3);
-    let stats = engine.run(&mut cluster, 1_000_000_000);
+    let stats = engine
+        .run(&mut cluster, 1_000_000_000)
+        .expect("fault-free run");
     assert!(stats.finished && cluster.failure().is_none());
 
     let answer = engine.with_port(PeId(0), |port| cluster.extract(port, "S").unwrap());

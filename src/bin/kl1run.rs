@@ -15,6 +15,8 @@
 //!   --no-opt          disable the DW/ER/RP/RI optimized commands
 //!   --gc WORDS        enable stop-and-copy GC with WORDS-word semispaces
 //!   --indexed         compile with first-argument clause indexing
+//!   --faults SPEC     inject deterministic faults into the cache
+//!                     simulation, e.g. `seed=7,rate=0.01` (see tracesim)
 //!   --stats           print machine and memory statistics
 //!   --code            dump the compiled abstract code and exit
 //!   --profile FILE    write a JSON profile (cycle accounts, latency
@@ -26,6 +28,7 @@
 
 use kl1_machine::{Cluster, ClusterConfig};
 use pim_cache::{OptMask, PimSystem, SystemConfig};
+use pim_fault::{FaultConfig, FaultPlan, FaultStats};
 use pim_obs::{Json, SharedMetrics};
 use pim_repro::report;
 use pim_sim::{Engine, IllinoisSystem, MemorySystem};
@@ -40,6 +43,7 @@ struct Options {
     indexed: bool,
     stats: bool,
     code: bool,
+    faults: Option<FaultConfig>,
     profile: Option<String>,
     file: String,
     goal: String,
@@ -48,8 +52,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: kl1run [--pes N] [--threads N] [--flat] [--illinois] [--no-opt] \
-         [--gc WORDS] [--indexed] [--stats] [--code] [--profile FILE] \
-         <program.fghc> [goal]"
+         [--gc WORDS] [--indexed] [--stats] [--code] [--faults SPEC] \
+         [--profile FILE] <program.fghc> [goal]"
     );
     std::process::exit(2);
 }
@@ -77,6 +81,7 @@ fn parse_args() -> Options {
         indexed: false,
         stats: false,
         code: false,
+        faults: None,
         profile: None,
         file: String::new(),
         goal: "main".into(),
@@ -100,6 +105,19 @@ fn parse_args() -> Options {
             "--indexed" => opts.indexed = true,
             "--stats" => opts.stats = true,
             "--code" => opts.code = true,
+            "--faults" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("kl1run: --faults needs a spec like seed=7,rate=0.01");
+                    std::process::exit(2);
+                };
+                match FaultConfig::parse_spec(&spec) {
+                    Ok(c) => opts.faults = Some(c),
+                    Err(e) => {
+                        eprintln!("kl1run: bad --faults spec: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--profile" => match args.next() {
                 Some(path) => opts.profile = Some(path),
                 None => {
@@ -148,7 +166,7 @@ fn main() {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{}: {e}", opts.file);
-            std::process::exit(1);
+            std::process::exit(2);
         }
     };
     if opts.code {
@@ -166,15 +184,13 @@ fn main() {
     );
     // Prefer goal/1 with a result variable; fall back to goal/0.
     let arity1 = cluster.program().lookup(&opts.goal, 1).is_some();
-    if arity1 {
-        cluster.set_query(&opts.goal, vec![fghc::Term::Var("X".into())]);
-    } else if cluster.program().lookup(&opts.goal, 0).is_some() {
-        cluster.set_query(&opts.goal, vec![]);
+    let query = if arity1 {
+        cluster.set_query(&opts.goal, vec![fghc::Term::Var("X".into())])
     } else {
-        eprintln!(
-            "kl1run: no {}/1 or {}/0 in {}",
-            opts.goal, opts.goal, opts.file
-        );
+        cluster.set_query(&opts.goal, vec![])
+    };
+    if let Err(e) = query {
+        eprintln!("kl1run: {e} in {}", opts.file);
         std::process::exit(1);
     }
 
@@ -201,7 +217,10 @@ fn main() {
         }
     };
 
-    let print_stats = |cluster: &Cluster, sys: Option<&dyn MemorySystem>, makespan: u64| {
+    let print_stats = |cluster: &Cluster,
+                       sys: Option<&dyn MemorySystem>,
+                       makespan: u64,
+                       fstats: Option<&FaultStats>| {
         if !opts.stats {
             return;
         }
@@ -237,6 +256,17 @@ fn main() {
                 100.0 * sys.lock_stats().unlock_no_waiter_ratio(),
             );
             eprintln!("simulated time: {makespan} cycles");
+        }
+        if let Some(fs) = fstats {
+            if fs.total_injected() > 0 {
+                eprintln!(
+                    "faults:         {} injected, {} recovered, {} retries, {} penalty cycles",
+                    fs.total_injected(),
+                    fs.total_recovered(),
+                    fs.retries,
+                    fs.penalty_cycles
+                );
+            }
         }
         eprintln!("wall time:      {:.2?}", started.elapsed());
     };
@@ -275,7 +305,7 @@ fn main() {
             None
         };
         print_result(&cluster, result);
-        print_stats(&cluster, None, 0);
+        print_stats(&cluster, None, 0, None);
         write_profile("flat", &cluster, Json::Null, &[]);
     } else if opts.illinois {
         let mut system = IllinoisSystem::new(config);
@@ -286,14 +316,28 @@ fn main() {
         if let Some(s) = &shared {
             engine.set_observer(s.observer());
         }
-        let run = engine.run(&mut cluster, MAX_STEPS);
+        if let Some(fc) = &opts.faults {
+            engine.set_fault_plan(FaultPlan::new(fc.clone()));
+        }
+        let run = match engine.run(&mut cluster, MAX_STEPS) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("kl1run: simulation failed: {e}");
+                std::process::exit(1);
+            }
+        };
         let result = if arity1 {
             engine.with_port(PeId(0), |p| cluster.extract(p, "X"))
         } else {
             None
         };
         print_result(&cluster, result);
-        print_stats(&cluster, Some(engine.system()), run.makespan);
+        print_stats(
+            &cluster,
+            Some(engine.system()),
+            run.makespan,
+            Some(engine.fault_stats()),
+        );
         let memory = report::memory_json(engine.system(), run.makespan);
         write_profile("illinois", &cluster, memory, &run.pe_cycles);
     } else {
@@ -305,14 +349,28 @@ fn main() {
         if let Some(s) = &shared {
             engine.set_observer(s.observer());
         }
-        let run = engine.run(&mut cluster, MAX_STEPS);
+        if let Some(fc) = &opts.faults {
+            engine.set_fault_plan(FaultPlan::new(fc.clone()));
+        }
+        let run = match engine.run(&mut cluster, MAX_STEPS) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("kl1run: simulation failed: {e}");
+                std::process::exit(1);
+            }
+        };
         let result = if arity1 {
             engine.with_port(PeId(0), |p| cluster.extract(p, "X"))
         } else {
             None
         };
         print_result(&cluster, result);
-        print_stats(&cluster, Some(engine.system()), run.makespan);
+        print_stats(
+            &cluster,
+            Some(engine.system()),
+            run.makespan,
+            Some(engine.fault_stats()),
+        );
         let memory = report::memory_json(engine.system(), run.makespan);
         write_profile("pim", &cluster, memory, &run.pe_cycles);
     }

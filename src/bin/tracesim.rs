@@ -18,8 +18,13 @@
 //!                    parallelism; 1 selects the sequential engine). Results
 //!                    are bit-identical at every thread count. The Illinois
 //!                    baseline always replays sequentially.
+//!   --faults SPEC    inject deterministic faults, e.g. `seed=7,rate=0.01`
+//!                    (also `rate_ppm=N`, `retries=N`). Every injected
+//!                    fault is recovered; the same seed produces the same
+//!                    fault schedule at every thread count.
 //!   --report FILE    write a JSON report (traffic, cycle accounts,
-//!                    latency histograms, coherence transitions) to FILE
+//!                    latency histograms, coherence transitions, fault
+//!                    recovery counters) to FILE
 //! ```
 //!
 //! Trace lines are `PE OP ADDR AREA`, e.g. `0 DW 0x11000000 goal` — see
@@ -31,18 +36,31 @@
 
 use pim_bus::BusTiming;
 use pim_cache::{CacheGeometry, OptMask, PimSystem, SystemConfig};
+use pim_fault::{FaultConfig, FaultPlan, FaultStats};
 use pim_obs::{Json, SharedMetrics};
 use pim_repro::report;
-use pim_sim::{Engine, IllinoisSystem, MemorySystem, ParallelEngine, Replayer};
+use pim_sim::{Engine, IllinoisSystem, MemorySystem, ParallelEngine, Replayer, RunStats};
 use pim_trace::{Access, StorageArea};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tracesim [--pes N] [--threads N] [--illinois] [--no-opt] \
          [--block W] [--capacity W] [--ways N] [--bus-width W] \
-         [--report FILE] (<trace.txt> | --gen NAME)"
+         [--faults SPEC] [--report FILE] (<trace.txt> | --gen NAME)"
     );
     std::process::exit(2);
+}
+
+/// Unwraps a finished run or exits 1 with the engine's diagnostic
+/// (deadlock cycle, protocol misuse, watchdog expiry).
+fn check_run(run: Result<RunStats, pim_sim::SimError>) -> RunStats {
+    match run {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("tracesim: simulation failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -56,6 +74,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut generator: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut faults: Option<FaultConfig> = None;
     let mut file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -81,6 +100,19 @@ fn main() {
             "--bus-width" => bus_width = next_u64("bus-width"),
             "--threads" => threads = Some(next_u64("threads") as usize),
             "--gen" => generator = Some(args.next().unwrap_or_else(|| usage())),
+            "--faults" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("tracesim: --faults needs a spec like seed=7,rate=0.01");
+                    std::process::exit(2);
+                };
+                match FaultConfig::parse_spec(&spec) {
+                    Ok(c) => faults = Some(c),
+                    Err(e) => {
+                        eprintln!("tracesim: bad --faults spec: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--report" => match args.next() {
                 Some(path) => report_path = Some(path),
                 None => {
@@ -124,17 +156,11 @@ fn main() {
         }
     } else {
         let Some(path) = file else { usage() };
-        let f = match std::fs::File::open(&path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("tracesim: cannot open {path}: {e}");
-                std::process::exit(1);
-            }
-        };
-        match pim_trace::read_trace(std::io::BufReader::new(f)) {
+        match pim_trace::read_trace_file(&path) {
             Ok(t) => t,
+            // The diagnostic already names the file and line.
             Err(e) => {
-                eprintln!("tracesim: {path}: {e}");
+                eprintln!("tracesim: {e}");
                 std::process::exit(1);
             }
         }
@@ -177,31 +203,48 @@ fn main() {
     let shared = report_path.as_ref().map(|_| SharedMetrics::new());
 
     // Builds and writes the JSON report; a no-op without `--report`.
-    let write_report =
-        |label: &str, sys: &dyn MemorySystem, makespan: u64, pe_cycles: &[pim_obs::PeCycles]| {
-            let (Some(path), Some(s)) = (&report_path, &shared) else {
-                return;
-            };
-            let mut doc = report::envelope("tracesim");
-            doc.push("protocol", Json::from(label));
+    let write_report = |label: &str,
+                        sys: &dyn MemorySystem,
+                        makespan: u64,
+                        pe_cycles: &[pim_obs::PeCycles],
+                        fstats: &FaultStats| {
+        let (Some(path), Some(s)) = (&report_path, &shared) else {
+            return;
+        };
+        let mut doc = report::envelope("tracesim");
+        doc.push("protocol", Json::from(label));
+        doc.push(
+            "config",
+            Json::obj([
+                ("pes", Json::from(pes)),
+                ("capacity_words", Json::from(capacity)),
+                ("ways", Json::from(ways)),
+                ("block_words", Json::from(block)),
+                ("bus_width_words", Json::from(bus_width)),
+            ]),
+        );
+        if let Some(fc) = &faults {
             doc.push(
-                "config",
+                "fault_plan",
                 Json::obj([
-                    ("pes", Json::from(pes)),
-                    ("capacity_words", Json::from(capacity)),
-                    ("ways", Json::from(ways)),
-                    ("block_words", Json::from(block)),
-                    ("bus_width_words", Json::from(bus_width)),
+                    ("seed", Json::from(fc.seed)),
+                    ("rate_ppm", Json::from(fc.rate_ppm)),
+                    ("max_retries", Json::from(fc.max_retries)),
+                    ("injected", Json::from(fstats.total_injected())),
+                    ("recovered", Json::from(fstats.total_recovered())),
+                    ("retries", Json::from(fstats.retries)),
+                    ("penalty_cycles", Json::from(fstats.penalty_cycles)),
                 ]),
             );
-            doc.push("accesses", Json::from(trace.len()));
-            doc.push("memory", report::memory_json(sys, makespan));
-            report::push_instrumentation(&mut doc, pe_cycles, &s.take());
-            if let Err(e) = report::write_report(path, &doc) {
-                eprintln!("tracesim: cannot write {path}: {e}");
-                std::process::exit(1);
-            }
-        };
+        }
+        doc.push("accesses", Json::from(trace.len()));
+        doc.push("memory", report::memory_json(sys, makespan));
+        report::push_instrumentation(&mut doc, pe_cycles, &s.take());
+        if let Err(e) = report::write_report(path, &doc) {
+            eprintln!("tracesim: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let mut replayer = Replayer::from_merged(&trace, pes);
     let (label, report) = if illinois {
@@ -213,11 +256,21 @@ fn main() {
         if let Some(s) = &shared {
             engine.set_observer(s.observer());
         }
-        let run = engine.run(&mut replayer, u64::MAX);
-        write_report("Illinois", engine.system(), run.makespan, &run.pe_cycles);
+        if let Some(fc) = &faults {
+            engine.set_fault_plan(FaultPlan::new(fc.clone()));
+        }
+        let run = check_run(engine.run(&mut replayer, u64::MAX));
+        let fstats = engine.fault_stats().clone();
+        write_report(
+            "Illinois",
+            engine.system(),
+            run.makespan,
+            &run.pe_cycles,
+            &fstats,
+        );
         (
             "Illinois",
-            summarize(engine.system(), run.makespan, trace.len()),
+            summarize(engine.system(), run.makespan, trace.len(), &fstats),
         )
     } else if threads == 1 {
         let mut system = PimSystem::new(config);
@@ -228,13 +281,27 @@ fn main() {
         if let Some(s) = &shared {
             engine.set_observer(s.observer());
         }
-        let run = engine.run(&mut replayer, u64::MAX);
-        write_report("PIM", engine.system(), run.makespan, &run.pe_cycles);
-        ("PIM", summarize(engine.system(), run.makespan, trace.len()))
+        if let Some(fc) = &faults {
+            engine.set_fault_plan(FaultPlan::new(fc.clone()));
+        }
+        let run = check_run(engine.run(&mut replayer, u64::MAX));
+        let fstats = engine.fault_stats().clone();
+        write_report(
+            "PIM",
+            engine.system(),
+            run.makespan,
+            &run.pe_cycles,
+            &fstats,
+        );
+        (
+            "PIM",
+            summarize(engine.system(), run.makespan, trace.len(), &fstats),
+        )
     } else {
         // The parallel engine is bit-identical to the sequential one at
         // every thread count (tests/cross_system_props.rs pins this), so
-        // the reports are byte-for-byte the same either way.
+        // the reports are byte-for-byte the same either way — including
+        // the fault schedule, which is keyed on simulated cycles only.
         let mut system = PimSystem::new(config);
         if let Some(s) = &shared {
             system.set_observer(s.observer());
@@ -244,15 +311,33 @@ fn main() {
         if let Some(s) = &shared {
             engine.set_observer(s.observer());
         }
-        let run = engine.run(&mut replayer, u64::MAX);
-        write_report("PIM", engine.system(), run.makespan, &run.pe_cycles);
-        ("PIM", summarize(engine.system(), run.makespan, trace.len()))
+        if let Some(fc) = &faults {
+            engine.set_fault_plan(FaultPlan::new(fc.clone()));
+        }
+        let run = check_run(engine.run(&mut replayer, u64::MAX));
+        let fstats = engine.fault_stats().clone();
+        write_report(
+            "PIM",
+            engine.system(),
+            run.makespan,
+            &run.pe_cycles,
+            &fstats,
+        );
+        (
+            "PIM",
+            summarize(engine.system(), run.makespan, trace.len(), &fstats),
+        )
     };
     println!("protocol: {label}  ({pes} PEs, {capacity}w {ways}-way, {block}-word blocks, {bus_width}-word bus)");
     print!("{report}");
 }
 
-fn summarize(sys: &dyn MemorySystem, makespan: u64, accesses: usize) -> String {
+fn summarize(
+    sys: &dyn MemorySystem,
+    makespan: u64,
+    accesses: usize,
+    fstats: &FaultStats,
+) -> String {
     let mut out = String::new();
     let bus = sys.bus_stats();
     out += &format!("accesses:       {accesses}\n");
@@ -277,6 +362,15 @@ fn summarize(sys: &dyn MemorySystem, makespan: u64, accesses: usize) -> String {
             locks.lr_total,
             100.0 * locks.lr_hit_exclusive_ratio(),
             100.0 * locks.unlock_no_waiter_ratio()
+        );
+    }
+    if fstats.total_injected() > 0 {
+        out += &format!(
+            "faults:         {} injected, {} recovered, {} retries, {} penalty cycles\n",
+            fstats.total_injected(),
+            fstats.total_recovered(),
+            fstats.retries,
+            fstats.penalty_cycles
         );
     }
     out += &format!("simulated time: {makespan} cycles\n");

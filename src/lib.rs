@@ -28,6 +28,7 @@
 //! table and figure.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod report;
 

@@ -81,9 +81,17 @@ fn kl1run_reports_compile_errors_with_position() {
     let bad = dir.join("bad.fghc");
     std::fs::write(&bad, "main :- true | nope(1).\n").unwrap();
     let out = kl1run().arg(bad.to_str().unwrap()).output().expect("runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("undefined procedure nope/1"), "{stderr}");
+
+    // A syntax error exits 2 naming the file plus line:column.
+    let bad = dir.join("syntax.fghc");
+    std::fs::write(&bad, "main :- true | X = .\n").unwrap();
+    let out = kl1run().arg(bad.to_str().unwrap()).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("syntax.fghc: 1:20:"), "{stderr}");
 }
 
 #[test]
@@ -232,5 +240,83 @@ fn tracesim_rejects_malformed_traces() {
         .output()
         .expect("runs");
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("bad operation"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad operation"), "{stderr}");
+    // The diagnostic names the file and the offending line.
+    assert!(stderr.contains("bad.txt:1:"), "{stderr}");
+}
+
+#[test]
+fn tracesim_fault_injection_is_deterministic_across_threads() {
+    let dir = std::env::temp_dir().join("tracesim_cli_faults");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = |threads: &str| {
+        let path = dir.join(format!("report-{threads}.json"));
+        let out = tracesim()
+            .args(["--gen", "lock-churn", "--pes", "4", "--threads", threads])
+            .args(["--faults", "seed=7,rate=0.01"])
+            .args(["--report", path.to_str().unwrap()])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            std::fs::read_to_string(&path).unwrap(),
+        )
+    };
+    let (out1, rep1) = report("1");
+    assert!(out1.contains("faults:"), "{out1}");
+    assert!(rep1.contains("\"fault_plan\""), "{rep1}");
+    for threads in ["2", "8"] {
+        let (out_n, rep_n) = report(threads);
+        assert_eq!(out_n, out1, "stdout diverged at {threads} threads");
+        assert_eq!(rep_n, rep1, "report diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn tracesim_rejects_bad_fault_specs() {
+    let out = tracesim()
+        .args(["--gen", "aurora", "--faults", "seed=7,rate=banana"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--faults"));
+}
+
+#[test]
+fn kl1run_completes_under_fault_injection() {
+    // Faults are timing-only: the answer must match the fault-free run
+    // at every thread count and the stats line must account for them.
+    let run = |args: &[&str]| {
+        let mut cmd = kl1run();
+        cmd.args(args).arg("examples/fghc/hanoi.fghc");
+        let out = cmd.output().expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).trim().to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+    let (clean, _) = run(&["--pes", "2"]);
+    let (faulty, stderr) = run(&["--pes", "2", "--stats", "--faults", "seed=7,rate=0.02"]);
+    assert_eq!(faulty, clean);
+    assert!(stderr.contains("faults:"), "{stderr}");
+    let (par, _) = run(&[
+        "--pes",
+        "2",
+        "--threads",
+        "2",
+        "--faults",
+        "seed=7,rate=0.02",
+    ]);
+    assert_eq!(par, clean);
 }

@@ -41,7 +41,8 @@ fn run_flat_answer(xs: &[i64], ys: &[i64], pes: u32) -> fghc::Term {
     c.set_query(
         "main",
         vec![int_list(xs), int_list(ys), fghc::Term::Var("R".into())],
-    );
+    )
+    .expect("query procedure exists");
     let port = kl1_machine::run_flat(&mut c, 500_000_000);
     c.extract(&port, "R").unwrap()
 }
@@ -63,9 +64,10 @@ fn run_sys_answer<S: MemorySystem + 'static>(
     c.set_query(
         "main",
         vec![int_list(xs), int_list(ys), fghc::Term::Var("R".into())],
-    );
+    )
+    .expect("query procedure exists");
     let mut engine = Engine::new(system, pes);
-    let stats = engine.run(&mut c, 500_000_000);
+    let stats = engine.run(&mut c, 500_000_000).expect("fault-free run");
     assert!(stats.finished);
     assert!(c.failure().is_none(), "{:?}", c.failure());
     engine.with_port(PeId(0), |p| c.extract(p, "R").unwrap())
@@ -93,7 +95,9 @@ fn capture_bench_trace(bench: Bench, pes: u32) -> Vec<Access> {
         },
     );
     let (proc, args) = bench.query(Scale::smoke());
-    cluster.set_query(proc, args);
+    cluster
+        .set_query(proc, args)
+        .expect("query procedure exists");
     let mut engine = Engine::new(
         PimSystem::new(SystemConfig {
             pes,
@@ -102,7 +106,9 @@ fn capture_bench_trace(bench: Bench, pes: u32) -> Vec<Access> {
         pes,
     );
     engine.record_trace();
-    let stats = engine.run(&mut cluster, 500_000_000);
+    let stats = engine
+        .run(&mut cluster, 500_000_000)
+        .expect("fault-free run");
     assert!(stats.finished, "{} did not finish", bench.name());
     assert!(cluster.failure().is_none(), "{:?}", cluster.failure());
     engine.take_trace()
@@ -127,7 +133,7 @@ fn replay_sequential(trace: &[Access], pes: u32) -> String {
         }),
         pes,
     );
-    let stats = engine.run(&mut replayer, u64::MAX);
+    let stats = engine.run(&mut replayer, u64::MAX).expect("fault-free run");
     assert!(stats.finished);
     replay_report(engine.system(), &stats)
 }
@@ -142,7 +148,7 @@ fn replay_parallel(trace: &[Access], pes: u32, threads: usize) -> String {
         pes,
     );
     engine.set_threads(threads);
-    let stats = engine.run(&mut replayer, u64::MAX);
+    let stats = engine.run(&mut replayer, u64::MAX).expect("fault-free run");
     assert!(stats.finished);
     replay_report(engine.system(), &stats)
 }
@@ -269,7 +275,7 @@ proptest! {
         c.set_query(
             "main",
             vec![int_list(&xs), int_list(&ys), fghc::Term::Var("R".into())],
-        );
+        ).expect("query procedure exists");
         let port = kl1_machine::run_flat(&mut c, 500_000_000);
         let got = c.extract(&port, "R").unwrap();
         let baseline = run_flat_answer(&xs, &ys, 2);

@@ -22,13 +22,17 @@ fn readme_quickstart_flow_works() {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![fghc::Term::Var("X".into())]);
+    cluster
+        .set_query("main", vec![fghc::Term::Var("X".into())])
+        .expect("query procedure exists");
     let system = PimSystem::new(SystemConfig {
         pes: 2,
         ..Default::default()
     });
     let mut engine = Engine::new(system, 2);
-    let stats = engine.run(&mut cluster, 10_000_000);
+    let stats = engine
+        .run(&mut cluster, 10_000_000)
+        .expect("fault-free run");
     assert!(stats.finished);
     let answer = engine.with_port(PeId(0), |p| cluster.extract(p, "X").unwrap());
     assert_eq!(answer.to_string(), "[1,2,3,4]");
@@ -129,13 +133,15 @@ fn illinois_system_is_also_a_memory_system_for_the_engine() {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![]);
+    cluster
+        .set_query("main", vec![])
+        .expect("query procedure exists");
     let system = IllinoisSystem::new(SystemConfig {
         pes: 1,
         ..Default::default()
     });
     let mut engine = Engine::new(system, 1);
-    let stats = engine.run(&mut cluster, 100_000);
+    let stats = engine.run(&mut cluster, 100_000).expect("fault-free run");
     assert!(stats.finished);
     assert!(engine.system().ref_stats().total() > 0);
 }

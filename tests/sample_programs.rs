@@ -15,13 +15,17 @@ fn run(source: &str, pes: u32) -> (Cluster, fghc::Term) {
             ..Default::default()
         },
     );
-    cluster.set_query("main", vec![fghc::Term::Var("X".into())]);
+    cluster
+        .set_query("main", vec![fghc::Term::Var("X".into())])
+        .expect("query procedure exists");
     let system = PimSystem::new(SystemConfig {
         pes,
         ..Default::default()
     });
     let mut engine = Engine::new(system, pes);
-    let stats = engine.run(&mut cluster, 500_000_000);
+    let stats = engine
+        .run(&mut cluster, 500_000_000)
+        .expect("fault-free run");
     assert!(stats.finished, "sample did not finish");
     assert!(cluster.failure().is_none(), "{:?}", cluster.failure());
     let answer = engine.with_port(PeId(0), |p| cluster.extract(p, "X").unwrap());
