@@ -1,10 +1,16 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] <experiment>...
+//! repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR]
+//!       [--trace FILE[:cap=N]] <experiment>...
 //! experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5
 //!              buswidth assoc ablation indexing aurora gc faults all
 //! ```
+//!
+//! `--trace FILE[:cap=N]` additionally traces one representative
+//! Table-1 run (`tri` on the paper's 8-PE base system) and writes
+//! Chrome trace_event JSON to FILE — load it in Perfetto or analyze it
+//! with `pimtrace`.
 //!
 //! `--threads N` caps the worker budget of the experiment fan-out
 //! (default: the host's available parallelism). Every simulation is
@@ -24,6 +30,7 @@ fn main() {
     let mut scale = Scale::paper();
     let mut seed = 7u64;
     let mut json_dir: Option<PathBuf> = None;
+    let mut trace_spec: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -67,9 +74,16 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace" => match iter.next() {
+                Some(spec) => trace_spec = Some(spec),
+                None => {
+                    eprintln!("repro: --trace needs a file argument (FILE[:cap=N])");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] <experiment>...\n\
+                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] [--trace FILE[:cap=N]] <experiment>...\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5\n\
                      \x20            buswidth assoc ablation indexing aurora gc faults all"
                 );
@@ -81,6 +95,20 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".into());
     }
+    // Validate the trace destination before any experiment runs: parse
+    // the spec and create/truncate the file now, so a bad path fails
+    // immediately with the flag named.
+    let traced: Option<(String, usize)> = trace_spec.as_ref().map(|spec| {
+        let (path, cap) = pim_tracer::parse_trace_spec(spec).unwrap_or_else(|e| {
+            eprintln!("repro: --trace: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = std::fs::File::create(&path) {
+            eprintln!("repro: --trace: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        (path, cap)
+    });
     if let Some(dir) = &json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("repro: cannot create {}: {e}", dir.display());
@@ -197,4 +225,21 @@ fn main() {
             bench::faults_json(scale, seed, &rows),
         )
     });
+
+    if let Some((path, cap)) = &traced {
+        let t = std::time::Instant::now();
+        match bench::trace_table1_run(scale, path, *cap) {
+            Ok((makespan, emitted, dropped)) => {
+                eprintln!(
+                    "[trace: tri @ 8 PEs, {makespan} cycles, {emitted} events \
+                     ({dropped} dropped) -> {path}, {:.1?}]",
+                    t.elapsed()
+                );
+            }
+            Err(e) => {
+                eprintln!("repro: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -5,7 +5,7 @@ use pim_bus::{BusCommand, BusTiming};
 use pim_cache::{CacheGeometry, OptColumn, OptMask, SystemConfig};
 use pim_obs::{Histogram, PeCycles};
 use pim_trace::{OpClass, StorageArea};
-use workloads::runner::{run_illinois, run_pim, run_pim_profiled, RunReport};
+use workloads::runner::{run_illinois, run_pim, run_pim_observed, run_pim_profiled, RunReport};
 use workloads::{Bench, Scale};
 
 /// The paper's base system: 8 PEs, 4-Kword 4-way caches with 4-word
@@ -18,6 +18,34 @@ pub fn base_config(pes: u32, mask: OptMask) -> SystemConfig {
         opt_mask: mask,
         ..SystemConfig::default()
     }
+}
+
+/// Traces one representative Table-1 run — `tri` on the paper's base
+/// 8-PE system — through the sequential engine and writes the Chrome
+/// `trace_event` file for `repro --trace`. Returns
+/// `(makespan, emitted, dropped)` for the caller's summary line.
+pub fn trace_table1_run(scale: Scale, path: &str, cap: usize) -> std::io::Result<(u64, u64, u64)> {
+    let tracer = pim_tracer::SharedTracer::with_capacity(cap);
+    let report = run_pim_observed(
+        Bench::Tri,
+        scale,
+        base_config(8, OptMask::all()),
+        &mut || tracer.observer(),
+    );
+    let (emitted, recorded, dropped) =
+        (tracer.emitted(), tracer.recorded() as u64, tracer.dropped());
+    let text = pim_tracer::export_chrome(
+        &tracer.take_sorted(),
+        &pim_tracer::TraceMeta {
+            makespan: report.makespan,
+            pes: report.pes as usize,
+            emitted,
+            recorded,
+            dropped,
+        },
+    );
+    std::fs::write(path, text)?;
+    Ok((report.makespan, emitted, dropped))
 }
 
 fn pct(num: u64, den: u64) -> f64 {

@@ -697,7 +697,7 @@ impl Cluster {
                 if self.floating.remove(&st.rec) {
                     self.pes[pe].deque.push_front(st.rec);
                     if let Some(obs) = self.observer.as_deref_mut() {
-                        obs.resumption(PeId(pe as u32), port.now());
+                        obs.resumption(PeId(pe as u32), port.now(), st.rec);
                     }
                 }
                 self.pes[pe].phase = Phase::Fetch;
@@ -721,7 +721,7 @@ impl Cluster {
         self.floating.insert(rec);
         self.pes[pe].suspensions += 1;
         if let Some(obs) = self.observer.as_deref_mut() {
-            obs.suspension(PeId(pe as u32), port.now());
+            obs.suspension(PeId(pe as u32), port.now(), rec);
         }
         self.pes[pe].current = None;
         self.pes[pe].phase = Phase::Suspend(SuspendState {

@@ -222,7 +222,7 @@ impl Cluster {
             if self.floating.remove(&goal_rec) {
                 self.pes[pe].deque.push_front(goal_rec);
                 if let Some(obs) = self.observer.as_deref_mut() {
-                    obs.resumption(pim_trace::PeId(pe as u32), port.now());
+                    obs.resumption(pim_trace::PeId(pe as u32), port.now(), goal_rec);
                 }
             }
             let owner = self.susp_owner(c)?;

@@ -156,7 +156,7 @@ pub struct PeShard {
     // engine records straight into the PimSystem totals).
     refs: RefStats,
     access: AccessStats,
-    transitions: Vec<(StorageArea, BlockState, BlockState)>,
+    transitions: Vec<(u64, StorageArea, BlockState, BlockState)>,
     record_transitions: bool,
     // Stat/transition effects of each uncommitted speculative operation,
     // index-aligned with the parallel engine's journal for this shard.
@@ -177,6 +177,9 @@ struct LocalEffect {
     /// `Some(dirty)` if the operation purged the local block.
     purged: Option<bool>,
     transition: Option<(BlockState, BlockState)>,
+    /// The issue cycle of the speculative operation, for cycle-stamped
+    /// transition events.
+    now: u64,
 }
 
 impl PeShard {
@@ -213,9 +216,19 @@ impl PeShard {
     /// remote shards, or the lock protocol — the caller must then route it
     /// through [`PimSystem::access`] at a barrier.
     ///
+    /// `now` is the simulated cycle the operation issues at (the PE clock
+    /// after charging the access), used to cycle-stamp buffered state
+    /// transitions for the event tracer.
+    ///
     /// Mirrors the corresponding hit arms of the `PimSystem` operation
     /// methods exactly; `tests/` pins the equivalence differentially.
-    pub fn try_local(&mut self, op: MemOp, addr: Addr, data: Option<Word>) -> Option<Word> {
+    pub fn try_local(
+        &mut self,
+        op: MemOp,
+        addr: Addr,
+        data: Option<Word>,
+        now: u64,
+    ) -> Option<Word> {
         let area = self.area_map.area(addr);
         let eff = self.opt_mask.effective(area, op);
         let cache_mark = self.cache.log_len() as u32;
@@ -260,6 +273,7 @@ impl PeShard {
             area,
             purged,
             transition,
+            now,
         });
         Some(value)
     }
@@ -331,7 +345,7 @@ impl PeShard {
             self.refs.record(Access::new(self.pe, e.op, e.addr, e.area));
             if self.record_transitions {
                 if let Some((from, to)) = e.transition {
-                    self.transitions.push((e.area, from, to));
+                    self.transitions.push((e.now, e.area, from, to));
                 }
             }
         }
@@ -356,6 +370,9 @@ pub struct PimSystem {
     access_stats: AccessStats,
     lock_stats: LockStats,
     observer: Option<Box<dyn Observer>>,
+    /// The engine-supplied current cycle, stamped onto observer events
+    /// emitted from inside the protocol (state transitions).
+    now: u64,
 }
 
 impl Clone for PimSystem {
@@ -372,6 +389,7 @@ impl Clone for PimSystem {
             access_stats: self.access_stats,
             lock_stats: self.lock_stats,
             observer: None,
+            now: self.now,
         }
     }
 }
@@ -396,6 +414,7 @@ impl PimSystem {
             access_stats: AccessStats::new(),
             lock_stats: LockStats::new(),
             observer: None,
+            now: 0,
         }
     }
 
@@ -463,8 +482,8 @@ impl PimSystem {
             let transitions = std::mem::take(&mut self.shards[i].transitions);
             if let Some(obs) = self.observer.as_deref_mut() {
                 let pe = PeId(i as u32);
-                for (area, from, to) in transitions {
-                    obs.state_transition(pe, area, from.into(), to.into());
+                for (cycle, area, from, to) in transitions {
+                    obs.state_transition(pe, area, from.into(), to.into(), cycle);
                 }
             }
             self.shards[i].record_transitions = false;
@@ -512,6 +531,13 @@ impl PimSystem {
     /// observer attached (the default) the protocol does no extra work.
     pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
         self.observer = Some(observer);
+    }
+
+    /// Sets the simulated cycle stamped onto observer events emitted by
+    /// the protocol. The driving engine calls this before each
+    /// [`PimSystem::access`] with the operation's issue cycle.
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
     }
 
     /// The configured area map.
@@ -621,7 +647,7 @@ impl PimSystem {
     fn emit_transition(&mut self, pe: PeId, addr: Addr, from: BlockState, to: BlockState) {
         if let Some(obs) = self.observer.as_deref_mut() {
             let area = self.config.area_map.area(addr);
-            obs.state_transition(pe, area, from.into(), to.into());
+            obs.state_transition(pe, area, from.into(), to.into(), self.now);
         }
     }
 

@@ -31,7 +31,7 @@
 //!
 //! let metrics = SharedMetrics::new();
 //! let mut bus_view = metrics.clone();
-//! bus_view.bus_grant(PeId(0), MemOp::Read, StorageArea::Heap, 3, 13);
+//! bus_view.bus_grant(PeId(0), MemOp::Read, StorageArea::Heap, 1, 3, 13);
 //! let snapshot = metrics.snapshot();
 //! assert_eq!(snapshot.bus_wait.percentile(50.0), 3);
 //! ```
@@ -51,5 +51,5 @@ pub use json::Json;
 pub use metrics::{
     histogram_json, matrix_json, pe_cycles_json, series_json, Metrics, SharedMetrics,
 };
-pub use observe::{CohState, NullObserver, Observer, PeCycles, TransitionMatrix};
+pub use observe::{CohState, Fanout, NullObserver, Observer, PeCycles, TransitionMatrix};
 pub use series::{SeriesWindow, TimeSeries};

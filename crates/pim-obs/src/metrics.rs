@@ -352,11 +352,26 @@ pub fn series_json(ts: &TimeSeries) -> Json {
 }
 
 impl Observer for Metrics {
-    fn state_transition(&mut self, _pe: PeId, area: StorageArea, from: CohState, to: CohState) {
+    fn state_transition(
+        &mut self,
+        _pe: PeId,
+        area: StorageArea,
+        from: CohState,
+        to: CohState,
+        _cycle: u64,
+    ) {
         self.transitions[area.index()].record(from, to);
     }
 
-    fn bus_grant(&mut self, _pe: PeId, op: MemOp, area: StorageArea, wait: u64, tx_cycles: u64) {
+    fn bus_grant(
+        &mut self,
+        _pe: PeId,
+        op: MemOp,
+        area: StorageArea,
+        _issue: u64,
+        wait: u64,
+        tx_cycles: u64,
+    ) {
         self.bus_wait.record(wait);
         self.bus_hold.record(tx_cycles);
         self.bus_wait_by_area[area.index()] += wait;
@@ -364,7 +379,14 @@ impl Observer for Metrics {
         self.bus_grants_by_op[op_index(op)] += 1;
     }
 
-    fn lock_wait(&mut self, _pe: PeId, wait: u64) {
+    fn lock_wait(
+        &mut self,
+        _pe: PeId,
+        _addr: pim_trace::Addr,
+        _area: StorageArea,
+        wait: u64,
+        _resume_cycle: u64,
+    ) {
         self.lock_wait.record(wait);
     }
 
@@ -372,11 +394,11 @@ impl Observer for Metrics {
         bump(&mut self.reductions_by_pe, pe);
     }
 
-    fn suspension(&mut self, pe: PeId, _cycle: u64) {
+    fn suspension(&mut self, pe: PeId, _cycle: u64, _goal: pim_trace::Addr) {
         bump(&mut self.suspensions_by_pe, pe);
     }
 
-    fn resumption(&mut self, pe: PeId, _cycle: u64) {
+    fn resumption(&mut self, pe: PeId, _cycle: u64, _goal: pim_trace::Addr) {
         bump(&mut self.resumptions_by_pe, pe);
     }
 
@@ -393,7 +415,7 @@ impl Observer for Metrics {
         *self.faults_injected.entry(kind).or_insert(0) += 1;
     }
 
-    fn fault_recovered(&mut self, _pe: PeId, faults: u32, penalty: u64) {
+    fn fault_recovered(&mut self, _pe: PeId, faults: u32, penalty: u64, _cycle: u64) {
         self.faults_recovered += faults as u64;
         self.fault_recoveries += 1;
         self.fault_penalty.record(penalty);
@@ -454,28 +476,73 @@ impl SharedMetrics {
 }
 
 impl Observer for SharedMetrics {
-    fn state_transition(&mut self, pe: PeId, area: StorageArea, from: CohState, to: CohState) {
-        self.0.borrow_mut().state_transition(pe, area, from, to);
+    fn state_transition(
+        &mut self,
+        pe: PeId,
+        area: StorageArea,
+        from: CohState,
+        to: CohState,
+        cycle: u64,
+    ) {
+        self.0
+            .borrow_mut()
+            .state_transition(pe, area, from, to, cycle);
     }
 
-    fn bus_grant(&mut self, pe: PeId, op: MemOp, area: StorageArea, wait: u64, tx_cycles: u64) {
-        self.0.borrow_mut().bus_grant(pe, op, area, wait, tx_cycles);
+    fn bus_grant(
+        &mut self,
+        pe: PeId,
+        op: MemOp,
+        area: StorageArea,
+        issue: u64,
+        wait: u64,
+        tx_cycles: u64,
+    ) {
+        self.0
+            .borrow_mut()
+            .bus_grant(pe, op, area, issue, wait, tx_cycles);
     }
 
-    fn lock_wait(&mut self, pe: PeId, wait: u64) {
-        self.0.borrow_mut().lock_wait(pe, wait);
+    fn lock_wait(
+        &mut self,
+        pe: PeId,
+        addr: pim_trace::Addr,
+        area: StorageArea,
+        wait: u64,
+        resume_cycle: u64,
+    ) {
+        self.0
+            .borrow_mut()
+            .lock_wait(pe, addr, area, wait, resume_cycle);
+    }
+
+    fn lock_acquired(&mut self, pe: PeId, addr: pim_trace::Addr, area: StorageArea, cycle: u64) {
+        self.0.borrow_mut().lock_acquired(pe, addr, area, cycle);
+    }
+
+    fn lock_released(
+        &mut self,
+        pe: PeId,
+        addr: pim_trace::Addr,
+        area: StorageArea,
+        cycle: u64,
+        woken: &[PeId],
+    ) {
+        self.0
+            .borrow_mut()
+            .lock_released(pe, addr, area, cycle, woken);
     }
 
     fn reduction(&mut self, pe: PeId, cycle: u64) {
         self.0.borrow_mut().reduction(pe, cycle);
     }
 
-    fn suspension(&mut self, pe: PeId, cycle: u64) {
-        self.0.borrow_mut().suspension(pe, cycle);
+    fn suspension(&mut self, pe: PeId, cycle: u64, goal: pim_trace::Addr) {
+        self.0.borrow_mut().suspension(pe, cycle, goal);
     }
 
-    fn resumption(&mut self, pe: PeId, cycle: u64) {
-        self.0.borrow_mut().resumption(pe, cycle);
+    fn resumption(&mut self, pe: PeId, cycle: u64, goal: pim_trace::Addr) {
+        self.0.borrow_mut().resumption(pe, cycle, goal);
     }
 
     fn gc(&mut self, pe: PeId, cycle: u64, words_copied: u64) {
@@ -490,8 +557,10 @@ impl Observer for SharedMetrics {
         self.0.borrow_mut().fault_injected(pe, kind, cycle);
     }
 
-    fn fault_recovered(&mut self, pe: PeId, faults: u32, penalty: u64) {
-        self.0.borrow_mut().fault_recovered(pe, faults, penalty);
+    fn fault_recovered(&mut self, pe: PeId, faults: u32, penalty: u64, cycle: u64) {
+        self.0
+            .borrow_mut()
+            .fault_recovered(pe, faults, penalty, cycle);
     }
 
     fn deadlock(&mut self, pes: &[PeId], cycle: u64) {
@@ -512,8 +581,8 @@ mod tests {
         let shared = SharedMetrics::new();
         let mut engine_view = shared.clone();
         let mut cache_view = shared.clone();
-        engine_view.bus_grant(PeId(0), MemOp::Read, StorageArea::Heap, 3, 13);
-        cache_view.state_transition(PeId(0), StorageArea::Heap, CohState::Inv, CohState::Ec);
+        engine_view.bus_grant(PeId(0), MemOp::Read, StorageArea::Heap, 1, 3, 13);
+        cache_view.state_transition(PeId(0), StorageArea::Heap, CohState::Inv, CohState::Ec, 1);
         let m = shared.snapshot();
         assert_eq!(m.bus_wait.count(), 1);
         assert_eq!(m.transitions_total().total(), 1);
@@ -523,10 +592,10 @@ mod tests {
     fn merge_combines_disjoint_runs() {
         let mut a = Metrics::new();
         a.reduction(PeId(0), 5);
-        a.bus_grant(PeId(0), MemOp::Write, StorageArea::Goal, 0, 7);
+        a.bus_grant(PeId(0), MemOp::Write, StorageArea::Goal, 2, 0, 7);
         let mut b = Metrics::new();
         b.reduction(PeId(2), 9);
-        b.lock_wait(PeId(1), 40);
+        b.lock_wait(PeId(1), 0x40, StorageArea::Goal, 40, 90);
         a.merge(&b);
         assert_eq!(a.reductions_by_pe, vec![1, 0, 1]);
         assert_eq!(a.bus_hold.sum(), 7);
@@ -566,13 +635,13 @@ mod tests {
         a.fault_injected(PeId(0), "bus_nack", 10);
         a.fault_injected(PeId(0), "bus_nack", 11);
         a.fault_injected(PeId(1), "pe_stall", 12);
-        a.fault_recovered(PeId(0), 2, 9);
-        a.fault_recovered(PeId(1), 1, 8);
+        a.fault_recovered(PeId(0), 2, 9, 20);
+        a.fault_recovered(PeId(1), 1, 8, 21);
         a.deadlock(&[PeId(0), PeId(1)], 99);
         a.watchdog(PeId(0), 1000, 500);
         let mut b = Metrics::new();
         b.fault_injected(PeId(2), "bus_nack", 1);
-        b.fault_recovered(PeId(2), 1, 3);
+        b.fault_recovered(PeId(2), 1, 3, 5);
         a.merge(&b);
         assert_eq!(a.faults_injected["bus_nack"], 3);
         assert_eq!(a.faults_injected["pe_stall"], 1);

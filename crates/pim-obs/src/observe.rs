@@ -6,7 +6,7 @@
 //! already-loaded option and emit nothing; with an observer attached they
 //! deliver structured events carrying simulated-cycle timestamps.
 
-use pim_trace::{MemOp, PeId, StorageArea};
+use pim_trace::{Addr, MemOp, PeId, StorageArea};
 
 /// Cache-block coherence state, mirrored from `pim-cache`'s `BlockState`
 /// so that observers need no dependency on the protocol crate.
@@ -154,21 +154,60 @@ impl PeCycles {
 /// can keep deriving `Debug`.
 pub trait Observer: std::fmt::Debug {
     /// A cache block in `pe`'s cache moved `from → to` for an access in
-    /// `area`. Self-transitions are reported too.
-    fn state_transition(&mut self, pe: PeId, area: StorageArea, from: CohState, to: CohState) {
-        let _ = (pe, area, from, to);
+    /// `area` issued at `cycle`. Self-transitions are reported too.
+    fn state_transition(
+        &mut self,
+        pe: PeId,
+        area: StorageArea,
+        from: CohState,
+        to: CohState,
+        cycle: u64,
+    ) {
+        let _ = (pe, area, from, to, cycle);
     }
 
-    /// `pe` won bus arbitration for `op` in `area` after waiting `wait`
-    /// cycles, then held the bus for `tx_cycles`.
-    fn bus_grant(&mut self, pe: PeId, op: MemOp, area: StorageArea, wait: u64, tx_cycles: u64) {
-        let _ = (pe, op, area, wait, tx_cycles);
+    /// `pe` issued a bus request for `op` in `area` at cycle `issue`,
+    /// won arbitration after waiting `wait` cycles, then held the bus
+    /// for `tx_cycles`. The full bus span is therefore
+    /// `[issue, issue + wait + tx_cycles)`, with the hold occupying its
+    /// last `tx_cycles` cycles.
+    fn bus_grant(
+        &mut self,
+        pe: PeId,
+        op: MemOp,
+        area: StorageArea,
+        issue: u64,
+        wait: u64,
+        tx_cycles: u64,
+    ) {
+        let _ = (pe, op, area, issue, wait, tx_cycles);
     }
 
-    /// `pe` resumed after `wait` cycles stalled on a remotely locked
-    /// word (an `LWAIT` entry in the lock directory).
-    fn lock_wait(&mut self, pe: PeId, wait: u64) {
-        let _ = (pe, wait);
+    /// `pe` resumed at `resume_cycle` after `wait` cycles stalled on the
+    /// remotely locked word `addr` in `area` (an `LWAIT` entry in the
+    /// lock directory). The stall span is
+    /// `[resume_cycle - wait, resume_cycle)`.
+    fn lock_wait(&mut self, pe: PeId, addr: Addr, area: StorageArea, wait: u64, resume_cycle: u64) {
+        let _ = (pe, addr, area, wait, resume_cycle);
+    }
+
+    /// `pe` acquired the lock on word `addr` in `area` at `cycle` (a
+    /// successful `LR` lock-read).
+    fn lock_acquired(&mut self, pe: PeId, addr: Addr, area: StorageArea, cycle: u64) {
+        let _ = (pe, addr, area, cycle);
+    }
+
+    /// `pe` released the lock on word `addr` in `area` at `cycle` (a
+    /// `UL`/`UW` unlock), waking `woken` stalled PEs (waiter order).
+    fn lock_released(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        area: StorageArea,
+        cycle: u64,
+        woken: &[PeId],
+    ) {
+        let _ = (pe, addr, area, cycle, woken);
     }
 
     /// `pe` committed one goal reduction at `cycle`.
@@ -176,14 +215,18 @@ pub trait Observer: std::fmt::Debug {
         let _ = (pe, cycle);
     }
 
-    /// `pe` suspended a goal on an unbound variable at `cycle`.
-    fn suspension(&mut self, pe: PeId, cycle: u64) {
-        let _ = (pe, cycle);
+    /// `pe` suspended the goal whose record lives at `goal` on an
+    /// unbound variable at `cycle`. The goal-record address is the
+    /// causal link: the `resumption` event that reschedules the same
+    /// goal carries the same `goal`.
+    fn suspension(&mut self, pe: PeId, cycle: u64, goal: Addr) {
+        let _ = (pe, cycle, goal);
     }
 
-    /// `pe` resumed a previously suspended goal at `cycle`.
-    fn resumption(&mut self, pe: PeId, cycle: u64) {
-        let _ = (pe, cycle);
+    /// `pe` resumed the previously suspended goal whose record lives at
+    /// `goal` at `cycle` (the binding that woke it happened on `pe`).
+    fn resumption(&mut self, pe: PeId, cycle: u64, goal: Addr) {
+        let _ = (pe, cycle, goal);
     }
 
     /// `pe` finished a garbage collection at `cycle`, having copied
@@ -205,10 +248,10 @@ pub trait Observer: std::fmt::Debug {
     }
 
     /// Every fault injected against one bus operation of `pe` has been
-    /// recovered: the chain carried `faults` injections and cost
-    /// `penalty` extra cycles over the fault-free schedule.
-    fn fault_recovered(&mut self, pe: PeId, faults: u32, penalty: u64) {
-        let _ = (pe, faults, penalty);
+    /// recovered at `cycle`: the chain carried `faults` injections and
+    /// cost `penalty` extra cycles over the fault-free schedule.
+    fn fault_recovered(&mut self, pe: PeId, faults: u32, penalty: u64, cycle: u64) {
+        let _ = (pe, faults, penalty, cycle);
     }
 
     /// The lock-directory deadlock detector found a wait-for cycle
@@ -231,6 +274,139 @@ pub trait Observer: std::fmt::Debug {
 pub struct NullObserver;
 
 impl Observer for NullObserver {}
+
+/// Forwards every event to each of a set of observers, so one component
+/// slot (an `Option<Box<dyn Observer>>`) can feed several sinks at once
+/// — e.g. the metrics aggregate and the event tracer in the same run.
+#[derive(Debug, Default)]
+pub struct Fanout {
+    sinks: Vec<Box<dyn Observer>>,
+}
+
+impl Fanout {
+    /// An empty fanout (behaves like [`NullObserver`]).
+    pub fn new() -> Fanout {
+        Fanout::default()
+    }
+
+    /// Adds one sink; events are delivered in insertion order.
+    pub fn push(&mut self, sink: Box<dyn Observer>) {
+        self.sinks.push(sink);
+    }
+
+    /// Builds a fanout from its sinks.
+    pub fn from_sinks(sinks: Vec<Box<dyn Observer>>) -> Fanout {
+        Fanout { sinks }
+    }
+}
+
+impl Observer for Fanout {
+    fn state_transition(
+        &mut self,
+        pe: PeId,
+        area: StorageArea,
+        from: CohState,
+        to: CohState,
+        cycle: u64,
+    ) {
+        for s in &mut self.sinks {
+            s.state_transition(pe, area, from, to, cycle);
+        }
+    }
+
+    fn bus_grant(
+        &mut self,
+        pe: PeId,
+        op: MemOp,
+        area: StorageArea,
+        issue: u64,
+        wait: u64,
+        tx_cycles: u64,
+    ) {
+        for s in &mut self.sinks {
+            s.bus_grant(pe, op, area, issue, wait, tx_cycles);
+        }
+    }
+
+    fn lock_wait(&mut self, pe: PeId, addr: Addr, area: StorageArea, wait: u64, resume_cycle: u64) {
+        for s in &mut self.sinks {
+            s.lock_wait(pe, addr, area, wait, resume_cycle);
+        }
+    }
+
+    fn lock_acquired(&mut self, pe: PeId, addr: Addr, area: StorageArea, cycle: u64) {
+        for s in &mut self.sinks {
+            s.lock_acquired(pe, addr, area, cycle);
+        }
+    }
+
+    fn lock_released(
+        &mut self,
+        pe: PeId,
+        addr: Addr,
+        area: StorageArea,
+        cycle: u64,
+        woken: &[PeId],
+    ) {
+        for s in &mut self.sinks {
+            s.lock_released(pe, addr, area, cycle, woken);
+        }
+    }
+
+    fn reduction(&mut self, pe: PeId, cycle: u64) {
+        for s in &mut self.sinks {
+            s.reduction(pe, cycle);
+        }
+    }
+
+    fn suspension(&mut self, pe: PeId, cycle: u64, goal: Addr) {
+        for s in &mut self.sinks {
+            s.suspension(pe, cycle, goal);
+        }
+    }
+
+    fn resumption(&mut self, pe: PeId, cycle: u64, goal: Addr) {
+        for s in &mut self.sinks {
+            s.resumption(pe, cycle, goal);
+        }
+    }
+
+    fn gc(&mut self, pe: PeId, cycle: u64, words_copied: u64) {
+        for s in &mut self.sinks {
+            s.gc(pe, cycle, words_copied);
+        }
+    }
+
+    fn goal_queue_depth(&mut self, pe: PeId, cycle: u64, depth: u64) {
+        for s in &mut self.sinks {
+            s.goal_queue_depth(pe, cycle, depth);
+        }
+    }
+
+    fn fault_injected(&mut self, pe: PeId, kind: &'static str, cycle: u64) {
+        for s in &mut self.sinks {
+            s.fault_injected(pe, kind, cycle);
+        }
+    }
+
+    fn fault_recovered(&mut self, pe: PeId, faults: u32, penalty: u64, cycle: u64) {
+        for s in &mut self.sinks {
+            s.fault_recovered(pe, faults, penalty, cycle);
+        }
+    }
+
+    fn deadlock(&mut self, pes: &[PeId], cycle: u64) {
+        for s in &mut self.sinks {
+            s.deadlock(pes, cycle);
+        }
+    }
+
+    fn watchdog(&mut self, pe: PeId, clock: u64, budget: u64) {
+        for s in &mut self.sinks {
+            s.watchdog(pe, clock, budget);
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -280,18 +456,55 @@ mod tests {
     fn null_observer_accepts_every_event() {
         let mut obs = NullObserver;
         let pe = PeId(0);
-        obs.state_transition(pe, StorageArea::Heap, CohState::Inv, CohState::Ec);
-        obs.bus_grant(pe, MemOp::Read, StorageArea::Heap, 3, 13);
-        obs.lock_wait(pe, 40);
+        obs.state_transition(pe, StorageArea::Heap, CohState::Inv, CohState::Ec, 1);
+        obs.bus_grant(pe, MemOp::Read, StorageArea::Heap, 1, 3, 13);
+        obs.lock_wait(pe, 0x80, StorageArea::Goal, 40, 50);
+        obs.lock_acquired(pe, 0x80, StorageArea::Goal, 10);
+        obs.lock_released(pe, 0x80, StorageArea::Goal, 12, &[PeId(1)]);
         obs.reduction(pe, 1);
-        obs.suspension(pe, 2);
-        obs.resumption(pe, 3);
+        obs.suspension(pe, 2, 0x100);
+        obs.resumption(pe, 3, 0x100);
         obs.gc(pe, 4, 100);
         obs.goal_queue_depth(pe, 5, 7);
         obs.fault_injected(pe, "bus_nack", 6);
-        obs.fault_recovered(pe, 1, 9);
+        obs.fault_recovered(pe, 1, 9, 15);
         obs.deadlock(&[pe, PeId(1)], 10);
         obs.watchdog(pe, 11, 8);
+    }
+
+    /// A tiny sink that counts the events it receives, for fanout tests.
+    #[derive(Debug, Default)]
+    struct Counter(std::rc::Rc<std::cell::Cell<u64>>);
+
+    impl Observer for Counter {
+        fn reduction(&mut self, _pe: PeId, _cycle: u64) {
+            self.0.set(self.0.get() + 1);
+        }
+
+        fn bus_grant(
+            &mut self,
+            _pe: PeId,
+            _op: MemOp,
+            _area: StorageArea,
+            _issue: u64,
+            _wait: u64,
+            _tx: u64,
+        ) {
+            self.0.set(self.0.get() + 1);
+        }
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink() {
+        let a = std::rc::Rc::new(std::cell::Cell::new(0));
+        let b = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut fan = Fanout::new();
+        fan.push(Box::new(Counter(a.clone())));
+        fan.push(Box::new(Counter(b.clone())));
+        fan.reduction(PeId(0), 1);
+        fan.bus_grant(PeId(1), MemOp::Read, StorageArea::Heap, 5, 2, 13);
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 2);
     }
 
     #[test]

@@ -284,7 +284,7 @@ impl<S: MemorySystem> Engine<S> {
                 return Err(err);
             }
             let pe_clock_now = self.clocks[pe.index()];
-            for w in woken {
+            for (w, addr, area) in woken {
                 if w != pe {
                     self.blocked[w.index()] = false;
                     self.blocked_on[w.index()] = None;
@@ -296,7 +296,7 @@ impl<S: MemorySystem> Engine<S> {
                     *c = (*c).max(pe_clock_now);
                     self.accounts[w.index()].lock_wait += waited;
                     if let Some(obs) = self.observer.as_deref_mut() {
-                        obs.lock_wait(w, waited);
+                        obs.lock_wait(w, addr, area, waited, pe_clock_now);
                     }
                 }
             }
@@ -370,7 +370,9 @@ struct EnginePort<'a, S> {
     bus_free: &'a mut u64,
     pe: PeId,
     stalled: bool,
-    woken: Vec<PeId>,
+    // Each woken waiter with the lock word that released it, so the
+    // scheduler can stamp the lock-wait span with its address and area.
+    woken: Vec<(PeId, Addr, pim_trace::StorageArea)>,
     account: &'a mut PeCycles,
     observer: &'a mut Option<Box<dyn Observer>>,
     trace: &'a mut Option<Vec<Access>>,
@@ -390,6 +392,8 @@ impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
             return PortValue::Stall;
         }
         *self.clock += 1;
+        let issue = *self.clock;
+        self.system.set_now(issue);
         let outcome = match self.system.access(self.pe, op, addr, data) {
             Ok(outcome) => outcome,
             Err(error) => {
@@ -437,6 +441,7 @@ impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
                                         self.pe,
                                         fg.events.len() as u32,
                                         fg.penalty,
+                                        fg.grant.bus_free,
                                     );
                                 }
                             }
@@ -449,10 +454,35 @@ impl<S: MemorySystem> MemoryPort for EnginePort<'_, S> {
                     self.account.bus_wait += grant.wait;
                     if let Some(obs) = self.observer.as_deref_mut() {
                         let area = self.system.area_map().area(addr);
-                        obs.bus_grant(self.pe, op, area, grant.wait - bus_cycles, bus_cycles);
+                        obs.bus_grant(
+                            self.pe,
+                            op,
+                            area,
+                            issue,
+                            grant.wait - bus_cycles,
+                            bus_cycles,
+                        );
                     }
                 }
-                self.woken.extend(woken);
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    let done = *self.clock;
+                    match op {
+                        MemOp::LockRead => {
+                            let area = self.system.area_map().area(addr);
+                            obs.lock_acquired(self.pe, addr, area, done);
+                        }
+                        MemOp::WriteUnlock | MemOp::Unlock => {
+                            let area = self.system.area_map().area(addr);
+                            obs.lock_released(self.pe, addr, area, done, &woken);
+                        }
+                        _ => {}
+                    }
+                }
+                if !woken.is_empty() {
+                    let area = self.system.area_map().area(addr);
+                    self.woken
+                        .extend(woken.into_iter().map(|w| (w, addr, area)));
+                }
                 if let Some(trace) = self.trace.as_mut() {
                     trace.push(Access::new(
                         self.pe,

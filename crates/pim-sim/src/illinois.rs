@@ -45,6 +45,8 @@ pub struct IllinoisSystem {
     access_stats: AccessStats,
     lock_stats: LockStats,
     observer: Option<Box<dyn Observer>>,
+    /// The engine-supplied current cycle, stamped onto observer events.
+    now: u64,
 }
 
 impl IllinoisSystem {
@@ -71,6 +73,7 @@ impl IllinoisSystem {
             access_stats: AccessStats::new(),
             lock_stats: LockStats::new(),
             observer: None,
+            now: 0,
         }
     }
 
@@ -85,7 +88,7 @@ impl IllinoisSystem {
     fn emit_transition(&mut self, pe: PeId, addr: Addr, from: BlockState, to: BlockState) {
         if let Some(obs) = self.observer.as_deref_mut() {
             let area = self.config.area_map.area(addr);
-            obs.state_transition(pe, area, from.into(), to.into());
+            obs.state_transition(pe, area, from.into(), to.into(), self.now);
         }
     }
 
@@ -515,6 +518,10 @@ impl MemorySystem for IllinoisSystem {
 
     fn set_observer(&mut self, observer: Box<dyn Observer>) {
         self.observer = Some(observer);
+    }
+
+    fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
     }
 }
 

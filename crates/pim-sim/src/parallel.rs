@@ -232,7 +232,10 @@ fn speculate<SS: SystemShard, PS: ProcessShard>(lane: &mut Lane<SS, PS>, epoch_o
                 lane.exhausted_at = lane.clock;
                 return;
             }
-            Some((op, addr, data)) => match shard.try_local(op, addr, data) {
+            // The op issues at `lane.clock + 1`: the sequential engine
+            // charges the access cycle before the system sees it, so the
+            // stamp on buffered events must match that convention.
+            Some((op, addr, data)) => match shard.try_local(op, addr, data, lane.clock + 1) {
                 Some(_) => {
                     let b = shard.block_base(addr);
                     let i = lane.journal.len() as u32;
@@ -743,6 +746,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
         self.system.put_shards(shards);
         self.system.pause_speculation();
         lanes[p].clock += 1;
+        self.system.set_now(lanes[p].clock);
         let access_result = self.system.access(PeId(p as u32), op, addr, data);
         let area = self.system.area_map().area(addr);
         self.system.resume_speculation();
@@ -766,6 +770,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
             Outcome::Done {
                 bus_cycles, woken, ..
             } => {
+                let issue = lanes[p].clock;
                 if bus_cycles > 0 {
                     // Same arbitration and same fault plan as the
                     // sequential engine's port, keyed on the identical
@@ -793,6 +798,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                                         PeId(p as u32),
                                         fg.events.len() as u32,
                                         fg.penalty,
+                                        fg.grant.bus_free,
                                     );
                                 }
                             }
@@ -808,9 +814,20 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                             PeId(p as u32),
                             op,
                             area,
+                            issue,
                             grant.wait - bus_cycles,
                             bus_cycles,
                         );
+                    }
+                }
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    let done = lanes[p].clock;
+                    match op {
+                        MemOp::LockRead => obs.lock_acquired(PeId(p as u32), addr, area, done),
+                        MemOp::WriteUnlock | MemOp::Unlock => {
+                            obs.lock_released(PeId(p as u32), addr, area, done, &woken);
+                        }
+                        _ => {}
                     }
                 }
                 live(lanes[p].proc.as_mut()).advance();
@@ -834,7 +851,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                     lane.clock = lane.clock.max(now);
                     lane.account.lock_wait += waited;
                     if let Some(obs) = self.observer.as_deref_mut() {
-                        obs.lock_wait(PeId(w as u32), waited);
+                        obs.lock_wait(PeId(w as u32), addr, area, waited, now);
                     }
                     lane.status = Status::Global(rop, raddr, rdata);
                     lane.blocked_on = None;

@@ -51,6 +51,14 @@ pub trait MemorySystem {
     fn set_observer(&mut self, observer: Box<dyn Observer>) {
         let _ = observer;
     }
+
+    /// Tells the system the current simulated cycle, so events emitted
+    /// from inside it (state transitions) carry issue-cycle stamps. The
+    /// engine calls this before each [`MemorySystem::access`]; the
+    /// default ignores it.
+    fn set_now(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
 }
 
 /// One PE's private slice of a sharded memory system: its cache and lock
@@ -60,8 +68,9 @@ pub trait SystemShard: Send {
     /// Speculatively executes `op` if it is provably local to this shard
     /// (a resident hit, no bus transaction). Returns the value, or `None`
     /// when the operation is global and must go through the shared system
-    /// at a barrier.
-    fn try_local(&mut self, op: MemOp, addr: Addr, data: Option<Word>) -> Option<Word>;
+    /// at a barrier. `now` is the cycle the operation issues at, used to
+    /// stamp buffered observer events.
+    fn try_local(&mut self, op: MemOp, addr: Addr, data: Option<Word>, now: u64) -> Option<Word>;
 
     /// Number of uncommitted speculative operations.
     fn spec_len(&self) -> usize;
@@ -80,8 +89,8 @@ pub trait SystemShard: Send {
 }
 
 impl SystemShard for PeShard {
-    fn try_local(&mut self, op: MemOp, addr: Addr, data: Option<Word>) -> Option<Word> {
-        PeShard::try_local(self, op, addr, data)
+    fn try_local(&mut self, op: MemOp, addr: Addr, data: Option<Word>, now: u64) -> Option<Word> {
+        PeShard::try_local(self, op, addr, data, now)
     }
 
     fn spec_len(&self) -> usize {
@@ -201,6 +210,10 @@ impl MemorySystem for PimSystem {
 
     fn set_observer(&mut self, observer: Box<dyn Observer>) {
         PimSystem::set_observer(self, observer)
+    }
+
+    fn set_now(&mut self, cycle: u64) {
+        PimSystem::set_now(self, cycle)
     }
 }
 

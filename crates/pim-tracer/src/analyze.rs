@@ -1,0 +1,479 @@
+//! Offline trace analyses behind the `pimtrace` binary: critical-path
+//! extraction, lock-contention hotspots, bus-occupancy timeline, and
+//! event-by-event diffing.
+
+use crate::read::{ChromeEvent, JsonExt, Trace};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One critical-path segment `[start, end)` attributed to a track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment start cycle.
+    pub start: u64,
+    /// Segment end cycle (exclusive).
+    pub end: u64,
+    /// Track the cycles are charged to (0 = bus, *i* + 1 = PE *i*).
+    pub tid: u64,
+    /// What the track was doing: `compute`, `bus …`, or `lock wait …`.
+    pub label: String,
+}
+
+impl Segment {
+    /// Segment length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+fn is_lock_wait(e: &ChromeEvent) -> bool {
+    e.name.starts_with("lock wait")
+}
+
+/// Walks the makespan backward into a gapless chain of segments.
+///
+/// Starting from the finish line at `makespan` on the PE whose recorded
+/// activity ends last, each step charges the cycles back to whatever
+/// that PE was doing: a recorded span (`bus …` / `lock wait …`) ending
+/// at the cursor, or `compute` for the gap back to the previous span.
+/// A lock-wait span additionally *jumps* the walk to the PE that
+/// released the lock (found via the `lock release` instant at the same
+/// address and cycle) — the classic critical-path chase through
+/// contention. The segments partition `[0, makespan)` exactly, so
+/// their cycle sum always equals the makespan.
+pub fn critical_path(trace: &Trace) -> Vec<Segment> {
+    if trace.makespan == 0 {
+        return Vec::new();
+    }
+    // Per-PE X spans sorted by end cycle; zero-length spans are useless
+    // to the walk and would not terminate it.
+    let mut spans: HashMap<u64, Vec<&ChromeEvent>> = HashMap::new();
+    for e in &trace.events {
+        if e.ph == "X" && e.dur > 0 && e.tid > 0 {
+            spans.entry(e.tid).or_default().push(e);
+        }
+    }
+    for list in spans.values_mut() {
+        list.sort_by_key(|e| (e.ts + e.dur, e.ts, &e.name));
+    }
+    // Lock releases indexed by (addr, cycle) -> releasing track.
+    let mut releases: HashMap<(u64, u64), u64> = HashMap::new();
+    for e in &trace.events {
+        if e.ph == "i" && e.name == "lock release" {
+            if let Some(addr) = e.args.get("addr").and_then(JsonExt::as_u64) {
+                releases.insert((addr, e.ts), e.tid);
+            }
+        }
+    }
+
+    // Start on the PE whose last span ends latest; ties and span-free
+    // traces resolve to the lowest PE track.
+    let mut tid = spans
+        .iter()
+        .map(|(tid, list)| {
+            let last = list.last().map(|e| e.ts + e.dur).unwrap_or(0);
+            (last, std::cmp::Reverse(*tid))
+        })
+        .max()
+        .map(|(_, std::cmp::Reverse(t))| t)
+        .unwrap_or(1);
+
+    let mut segments = Vec::new();
+    let mut t = trace.makespan;
+    while t > 0 {
+        let latest = spans.get(&tid).and_then(|list| {
+            // Latest span ending at or before the cursor (lists are
+            // sorted by end cycle).
+            let i = list.partition_point(|e| e.ts + e.dur <= t);
+            (i > 0).then(|| list[i - 1])
+        });
+        match latest {
+            None => {
+                segments.push(Segment {
+                    start: 0,
+                    end: t,
+                    tid,
+                    label: "compute".into(),
+                });
+                t = 0;
+            }
+            Some(s) if s.ts + s.dur < t => {
+                segments.push(Segment {
+                    start: s.ts + s.dur,
+                    end: t,
+                    tid,
+                    label: "compute".into(),
+                });
+                t = s.ts + s.dur;
+            }
+            Some(s) => {
+                // Span ends exactly at the cursor: it is on the path.
+                segments.push(Segment {
+                    start: s.ts,
+                    end: t,
+                    tid,
+                    label: s.name.clone(),
+                });
+                if is_lock_wait(s) {
+                    if let Some(addr) = s.args.get("addr").and_then(JsonExt::as_u64) {
+                        if let Some(&holder) = releases.get(&(addr, t)) {
+                            tid = holder;
+                        }
+                    }
+                }
+                t = s.ts;
+            }
+        }
+    }
+    segments.reverse();
+    // Merge adjacent same-work segments for readability; the partition
+    // property is preserved.
+    let mut merged: Vec<Segment> = Vec::with_capacity(segments.len());
+    for seg in segments {
+        match merged.last_mut() {
+            Some(prev)
+                if prev.tid == seg.tid && prev.label == seg.label && prev.end == seg.start =>
+            {
+                prev.end = seg.end;
+            }
+            _ => merged.push(seg),
+        }
+    }
+    merged
+}
+
+/// Renders the critical-path report: the top-N longest segments plus a
+/// by-label cycle breakdown whose total equals the makespan.
+pub fn critical_path_report(trace: &Trace, top: usize) -> String {
+    let segments = critical_path(trace);
+    let total: u64 = segments.iter().map(Segment::cycles).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical path: {} segments, {} cycles (makespan {})",
+        segments.len(),
+        total,
+        trace.makespan
+    );
+
+    let mut by_label: HashMap<&str, u64> = HashMap::new();
+    for s in &segments {
+        *by_label.entry(s.label.as_str()).or_default() += s.cycles();
+    }
+    let mut breakdown: Vec<(&str, u64)> = by_label.into_iter().collect();
+    breakdown.sort_by_key(|&(label, cycles)| (std::cmp::Reverse(cycles), label));
+    let _ = writeln!(out, "\nby activity:");
+    for (label, cycles) in &breakdown {
+        let pct = 100.0 * *cycles as f64 / total.max(1) as f64;
+        let _ = writeln!(out, "  {cycles:>12}  {pct:5.1}%  {label}");
+    }
+
+    let mut ranked: Vec<&Segment> = segments.iter().collect();
+    ranked.sort_by_key(|s| (std::cmp::Reverse(s.cycles()), s.start));
+    let _ = writeln!(out, "\ntop {} segments:", top.min(ranked.len()));
+    for s in ranked.iter().take(top) {
+        let track = if s.tid == 0 {
+            "bus".to_string()
+        } else {
+            format!("PE {}", s.tid - 1)
+        };
+        let _ = writeln!(
+            out,
+            "  [{:>10}, {:>10})  {:>10} cy  {:<6} {}",
+            s.start,
+            s.end,
+            s.cycles(),
+            track,
+            s.label
+        );
+    }
+    out
+}
+
+/// Renders lock-contention hotspots: lock-wait spans aggregated by
+/// address, sorted by total stall cycles.
+pub fn lock_hotspots_report(trace: &Trace, top: usize) -> String {
+    struct Spot {
+        area: String,
+        count: u64,
+        total: u64,
+        max: u64,
+    }
+    let mut spots: HashMap<u64, Spot> = HashMap::new();
+    for e in &trace.events {
+        if e.ph == "X" && is_lock_wait(e) {
+            let addr = e.args.get("addr").and_then(JsonExt::as_u64).unwrap_or(0);
+            let area = e
+                .args
+                .get("area")
+                .and_then(JsonExt::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let spot = spots.entry(addr).or_insert(Spot {
+                area,
+                count: 0,
+                total: 0,
+                max: 0,
+            });
+            spot.count += 1;
+            spot.total += e.dur;
+            spot.max = spot.max.max(e.dur);
+        }
+    }
+    let mut ranked: Vec<(u64, Spot)> = spots.into_iter().collect();
+    ranked.sort_by_key(|&(addr, ref s)| (std::cmp::Reverse(s.total), addr));
+
+    let mut out = String::new();
+    let grand: u64 = ranked.iter().map(|(_, s)| s.total).sum();
+    let waits: u64 = ranked.iter().map(|(_, s)| s.count).sum();
+    let _ = writeln!(
+        out,
+        "lock contention: {} addresses, {} waits, {} stall cycles",
+        ranked.len(),
+        waits,
+        grand
+    );
+    let _ = writeln!(
+        out,
+        "\n  {:>12}  {:<5} {:>7} {:>12} {:>8}",
+        "addr", "area", "waits", "cycles", "max"
+    );
+    for (addr, s) in ranked.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  {:#12x}  {:<5} {:>7} {:>12} {:>8}",
+            addr, s.area, s.count, s.total, s.max
+        );
+    }
+    out
+}
+
+/// Renders the bus-occupancy timeline: hold cycles per fixed window
+/// across the makespan, from the balanced `B`/`E` pairs on the bus
+/// track, plus overall utilization.
+pub fn bus_occupancy_report(trace: &Trace, windows: usize) -> String {
+    let windows = windows.max(1);
+    let span = trace.makespan.max(1);
+    let win = span.div_ceil(windows as u64).max(1);
+    let mut held = vec![0u64; windows];
+    let mut total_held = 0u64;
+    let mut open: Option<u64> = None;
+    for e in trace.events.iter().filter(|e| e.tid == 0) {
+        match e.ph.as_str() {
+            "B" => open = Some(e.ts),
+            "E" => {
+                if let Some(start) = open.take() {
+                    total_held += e.ts - start;
+                    // Spread the hold over the windows it crosses.
+                    let mut t = start;
+                    while t < e.ts {
+                        let idx = ((t / win) as usize).min(windows - 1);
+                        let wend = ((t / win) + 1) * win;
+                        let step = wend.min(e.ts) - t;
+                        held[idx] += step;
+                        t += step;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    let util = 100.0 * total_held as f64 / span as f64;
+    let _ = writeln!(
+        out,
+        "bus occupancy: {total_held} of {span} cycles held ({util:.1}%)"
+    );
+    let _ = writeln!(out, "\n  window ({win} cycles each):");
+    for (i, h) in held.iter().enumerate() {
+        let lo = i as u64 * win;
+        if lo >= span {
+            break;
+        }
+        let hi = (lo + win).min(span);
+        let width = hi - lo;
+        let pct = 100.0 * *h as f64 / width.max(1) as f64;
+        let bars = (pct / 2.5).round() as usize;
+        let _ = writeln!(
+            out,
+            "  [{lo:>10}, {hi:>10})  {pct:5.1}%  {}",
+            "#".repeat(bars.min(40))
+        );
+    }
+    out
+}
+
+/// The result of comparing two traces event-by-event.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Number of differing positions (including length mismatch tail).
+    pub differences: usize,
+    /// Human-readable report text.
+    pub text: String,
+}
+
+/// Compares two traces event-by-event (canonical renderings), plus the
+/// envelope counters. `max_shown` bounds the listed differences.
+pub fn diff(a: &Trace, b: &Trace, max_shown: usize) -> DiffReport {
+    let mut text = String::new();
+    let mut differences = 0usize;
+    for (field, va, vb) in [
+        ("makespan", a.makespan, b.makespan),
+        ("pes", a.pes, b.pes),
+        ("emitted", a.emitted, b.emitted),
+        ("recorded", a.recorded, b.recorded),
+        ("dropped", a.dropped, b.dropped),
+    ] {
+        if va != vb {
+            differences += 1;
+            let _ = writeln!(text, "otherData.{field}: {va} != {vb}");
+        }
+    }
+    let n = a.events.len().max(b.events.len());
+    for i in 0..n {
+        let ea = a.events.get(i).map(|e| e.raw.as_str());
+        let eb = b.events.get(i).map(|e| e.raw.as_str());
+        if ea != eb {
+            differences += 1;
+            if differences <= max_shown {
+                let _ = writeln!(text, "event {i}:");
+                let _ = writeln!(text, "  A: {}", ea.unwrap_or("<absent>"));
+                let _ = writeln!(text, "  B: {}", eb.unwrap_or("<absent>"));
+            }
+        }
+    }
+    if differences == 0 {
+        let _ = writeln!(
+            text,
+            "identical: {} events, makespan {}",
+            a.events.len(),
+            a.makespan
+        );
+    } else {
+        let _ = writeln!(text, "{differences} difference(s)");
+    }
+    DiffReport { differences, text }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{export_chrome, TraceMeta};
+    use crate::event::{Event, EventKind};
+    use pim_trace::{MemOp, PeId, StorageArea};
+
+    fn bus(ts: u64, pe: u32, wait: u64, hold: u64) -> Event {
+        Event {
+            ts,
+            pe: PeId(pe),
+            kind: EventKind::Bus {
+                op: MemOp::Read,
+                area: StorageArea::Heap,
+                wait,
+                hold,
+            },
+        }
+    }
+
+    fn trace_of(events: Vec<Event>, makespan: u64, pes: usize) -> Trace {
+        let n = events.len() as u64;
+        let text = export_chrome(
+            &events,
+            &TraceMeta {
+                makespan,
+                pes,
+                emitted: n,
+                recorded: n,
+                dropped: 0,
+            },
+        );
+        Trace::parse(&text).expect("reparse")
+    }
+
+    #[test]
+    fn critical_path_partitions_the_makespan() {
+        // PE0: bus [10,20); PE1: lock wait [5,30) on 0x40 released by
+        // PE0 at 30, bus [40,50).
+        let events = vec![
+            bus(10, 0, 3, 7),
+            Event {
+                ts: 5,
+                pe: PeId(1),
+                kind: EventKind::LockWait {
+                    addr: 0x40,
+                    area: StorageArea::Goal,
+                    dur: 25,
+                },
+            },
+            Event {
+                ts: 30,
+                pe: PeId(0),
+                kind: EventKind::LockReleased {
+                    addr: 0x40,
+                    area: StorageArea::Goal,
+                    woken: 1,
+                },
+            },
+            bus(40, 1, 0, 10),
+        ];
+        let trace = trace_of(events, 64, 2);
+        let segs = critical_path(&trace);
+        assert_eq!(segs.first().map(|s| s.start), Some(0));
+        assert_eq!(segs.last().map(|s| s.end), Some(64));
+        let total: u64 = segs.iter().map(Segment::cycles).sum();
+        assert_eq!(total, 64);
+        for pair in segs.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "gapless chain");
+        }
+        // The walk crosses the lock wait and lands on PE0's track.
+        assert!(segs.iter().any(|s| s.label.starts_with("lock wait")));
+        assert!(segs.iter().any(|s| s.tid == 1));
+    }
+
+    #[test]
+    fn critical_path_of_empty_trace_is_one_compute_segment() {
+        let trace = trace_of(vec![], 100, 1);
+        let segs = critical_path(&trace);
+        assert_eq!(segs.len(), 1);
+        assert_eq!((segs[0].start, segs[0].end), (0, 100));
+        assert_eq!(segs[0].label, "compute");
+    }
+
+    #[test]
+    fn lock_hotspots_rank_by_total_stall() {
+        let mk = |addr: u64, dur: u64| Event {
+            ts: 0,
+            pe: PeId(0),
+            kind: EventKind::LockWait {
+                addr,
+                area: StorageArea::Goal,
+                dur,
+            },
+        };
+        let trace = trace_of(vec![mk(0x10, 5), mk(0x20, 50), mk(0x10, 6)], 100, 1);
+        let report = lock_hotspots_report(&trace, 10);
+        let pos20 = report.find("0x20").expect("0x20 listed");
+        let pos10 = report.find("0x10").expect("0x10 listed");
+        assert!(pos20 < pos10, "larger total first");
+        assert!(report.contains("3 waits"));
+    }
+
+    #[test]
+    fn bus_occupancy_accounts_every_hold_cycle() {
+        let trace = trace_of(vec![bus(0, 0, 0, 25), bus(50, 0, 0, 25)], 100, 1);
+        let report = bus_occupancy_report(&trace, 4);
+        assert!(report.contains("50 of 100 cycles held (50.0%)"), "{report}");
+    }
+
+    #[test]
+    fn diff_reports_identity_and_differences() {
+        let a = trace_of(vec![bus(0, 0, 0, 5)], 10, 1);
+        let b = trace_of(vec![bus(0, 0, 0, 6)], 10, 1);
+        let same = diff(&a, &a, 5);
+        assert_eq!(same.differences, 0);
+        assert!(same.text.contains("identical"));
+        let diffm = diff(&a, &b, 5);
+        assert!(diffm.differences > 0);
+        assert!(diffm.text.contains("event "));
+    }
+}

@@ -1,0 +1,133 @@
+//! `pimtrace` — offline analysis of saved simulator traces.
+//!
+//! ```text
+//! pimtrace critical-path FILE [--top N]    top-N critical-path segments
+//! pimtrace locks FILE [--top N]            lock-contention hotspots
+//! pimtrace bus FILE [--windows N]          bus-occupancy timeline
+//! pimtrace diff A B [--max N]              event-by-event comparison
+//! ```
+//!
+//! Exit status: 0 on success (for `diff`: traces identical), 1 when
+//! `diff` finds differences, 2 on usage or I/O errors.
+
+use pim_tracer::{bus_occupancy_report, critical_path_report, diff, lock_hotspots_report, Trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pimtrace <critical-path|locks|bus|diff> FILE... [options]
+  critical-path FILE [--top N]   top-N critical-path segments of the makespan
+  locks FILE [--top N]           lock-contention hotspots by address
+  bus FILE [--windows N]         bus-occupancy timeline
+  diff A B [--max N]             compare two traces event-by-event";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("pimtrace: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Trace::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Splits argv into positional arguments and one optional numeric flag.
+fn split_args(args: &[String], flag: &str, default: usize) -> Result<(Vec<String>, usize), String> {
+    let mut positional = Vec::new();
+    let mut value = default;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == flag {
+            i += 1;
+            let v = args.get(i).ok_or_else(|| format!("{flag} needs a value"))?;
+            value = v
+                .parse()
+                .map_err(|_| format!("bad value for {flag}: {v:?}"))?;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a:?}"));
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok((positional, value))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return fail("missing subcommand");
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "critical-path" => {
+            let (files, top) = match split_args(rest, "--top", 10) {
+                Ok(v) => v,
+                Err(e) => return fail(&e),
+            };
+            let [file] = files.as_slice() else {
+                return fail("critical-path takes exactly one FILE");
+            };
+            match load(file) {
+                Ok(trace) => {
+                    print!("{}", critical_path_report(&trace, top));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "locks" => {
+            let (files, top) = match split_args(rest, "--top", 20) {
+                Ok(v) => v,
+                Err(e) => return fail(&e),
+            };
+            let [file] = files.as_slice() else {
+                return fail("locks takes exactly one FILE");
+            };
+            match load(file) {
+                Ok(trace) => {
+                    print!("{}", lock_hotspots_report(&trace, top));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "bus" => {
+            let (files, windows) = match split_args(rest, "--windows", 40) {
+                Ok(v) => v,
+                Err(e) => return fail(&e),
+            };
+            let [file] = files.as_slice() else {
+                return fail("bus takes exactly one FILE");
+            };
+            match load(file) {
+                Ok(trace) => {
+                    print!("{}", bus_occupancy_report(&trace, windows));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "diff" => {
+            let (files, max) = match split_args(rest, "--max", 20) {
+                Ok(v) => v,
+                Err(e) => return fail(&e),
+            };
+            let [a, b] = files.as_slice() else {
+                return fail("diff takes exactly two FILEs");
+            };
+            let (ta, tb) = match (load(a), load(b)) {
+                (Ok(ta), Ok(tb)) => (ta, tb),
+                (Err(e), _) | (_, Err(e)) => return fail(&e),
+            };
+            let report = diff(&ta, &tb, max);
+            print!("{}", report.text);
+            if report.differences == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        other => fail(&format!("unknown subcommand {other:?}")),
+    }
+}

@@ -7,7 +7,7 @@ use fghc::Term;
 use kl1_machine::{Cluster, ClusterConfig, FlatPort};
 use pim_bus::BusStats;
 use pim_cache::{AccessStats, LockStats, PimSystem, SystemConfig};
-use pim_obs::{Metrics, PeCycles, SharedMetrics};
+use pim_obs::{Fanout, Metrics, Observer, PeCycles, SharedMetrics};
 use pim_sim::{Engine, IllinoisSystem, MemorySystem};
 use pim_trace::{PeId, RefStats};
 
@@ -262,18 +262,42 @@ fn run_on_observed<S: MemorySystem>(
     bench: Bench,
     scale: Scale,
     pes: u32,
-    mut system: S,
+    system: S,
     block_words: u64,
     profile: Option<&SharedMetrics>,
 ) -> (RunReport, S) {
+    run_on_sourced(bench, scale, pes, system, block_words, profile, None)
+}
+
+fn run_on_sourced<S: MemorySystem>(
+    bench: Bench,
+    scale: Scale,
+    pes: u32,
+    mut system: S,
+    block_words: u64,
+    profile: Option<&SharedMetrics>,
+    mut extra: Option<&mut dyn FnMut() -> Box<dyn Observer>>,
+) -> (RunReport, S) {
+    // One observer per component slot: the metrics sink, the caller's
+    // extra sink (e.g. an event tracer), or both fanned out.
+    let mut make = |profile: Option<&SharedMetrics>| -> Option<Box<dyn Observer>> {
+        match (profile, extra.as_mut()) {
+            (Some(s), Some(f)) => Some(Box::new(Fanout::from_sinks(vec![s.observer(), f()]))),
+            (Some(s), None) => Some(s.observer()),
+            (None, Some(f)) => Some(f()),
+            (None, None) => None,
+        }
+    };
     let mut cluster = build_cluster(bench, scale, pes, block_words);
-    if let Some(shared) = profile {
-        cluster.set_observer(shared.observer());
-        system.set_observer(shared.observer());
+    if let Some(obs) = make(profile) {
+        cluster.set_observer(obs);
+    }
+    if let Some(obs) = make(profile) {
+        system.set_observer(obs);
     }
     let mut engine = Engine::new(system, pes);
-    if let Some(shared) = profile {
-        engine.set_observer(shared.observer());
+    if let Some(obs) = make(profile) {
+        engine.set_observer(obs);
     }
     let stats = engine
         .run(&mut cluster, MAX_STEPS)
@@ -326,6 +350,27 @@ pub fn run_pim_profiled(bench: Bench, scale: Scale, config: SystemConfig) -> Run
     let block = config.geometry.block_words;
     let system = PimSystem::new(config);
     let (report, system) = run_on_profiled(bench, scale, pes, system, block);
+    system
+        .check_coherence_invariants()
+        .unwrap_or_else(|e| panic!("coherence invariants after run: {e}"));
+    report
+}
+
+/// Runs `bench` on the PIM cache with a caller-supplied observer
+/// attached to the machine, the memory system, and the engine — one
+/// fresh sink per component from `make` (clones of an event tracer,
+/// say). Observation is passive: results are identical to
+/// [`run_pim`]'s.
+pub fn run_pim_observed(
+    bench: Bench,
+    scale: Scale,
+    config: SystemConfig,
+    make: &mut dyn FnMut() -> Box<dyn Observer>,
+) -> RunReport {
+    let pes = config.pes;
+    let block = config.geometry.block_words;
+    let system = PimSystem::new(config);
+    let (report, system) = run_on_sourced(bench, scale, pes, system, block, None, Some(make));
     system
         .check_coherence_invariants()
         .unwrap_or_else(|e| panic!("coherence invariants after run: {e}"));

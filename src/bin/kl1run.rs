@@ -21,6 +21,13 @@
 //!   --code            dump the compiled abstract code and exit
 //!   --profile FILE    write a JSON profile (cycle accounts, latency
 //!                     histograms, coherence transitions) to FILE
+//!   --trace FILE[:cap=N]
+//!                     record cycle-stamped events (reductions,
+//!                     suspensions/resumptions, GC, coherence and bus
+//!                     activity, lock waits) to FILE as Chrome
+//!                     trace_event JSON — load in Perfetto or analyze
+//!                     with `pimtrace`. Not available with --flat
+//!                     (there is no simulated time to stamp)
 //!
 //! The goal defaults to `main/1` called as `main(X)`; pass a name to call
 //! `<name>(X)` instead. The binding of X is printed as the result.
@@ -29,10 +36,11 @@
 use kl1_machine::{Cluster, ClusterConfig};
 use pim_cache::{OptMask, PimSystem, SystemConfig};
 use pim_fault::{FaultConfig, FaultPlan, FaultStats};
-use pim_obs::{Json, SharedMetrics};
+use pim_obs::{Fanout, Json, Observer, SharedMetrics};
 use pim_repro::report;
 use pim_sim::{Engine, IllinoisSystem, MemorySystem};
 use pim_trace::{PeId, StorageArea};
+use pim_tracer::SharedTracer;
 
 struct Options {
     pes: u32,
@@ -45,6 +53,7 @@ struct Options {
     code: bool,
     faults: Option<FaultConfig>,
     profile: Option<String>,
+    trace: Option<String>,
     file: String,
     goal: String,
 }
@@ -53,7 +62,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: kl1run [--pes N] [--threads N] [--flat] [--illinois] [--no-opt] \
          [--gc WORDS] [--indexed] [--stats] [--code] [--faults SPEC] \
-         [--profile FILE] <program.fghc> [goal]"
+         [--profile FILE] [--trace FILE[:cap=N]] <program.fghc> [goal]"
     );
     std::process::exit(2);
 }
@@ -83,6 +92,7 @@ fn parse_args() -> Options {
         code: false,
         faults: None,
         profile: None,
+        trace: None,
         file: String::new(),
         goal: "main".into(),
     };
@@ -122,6 +132,13 @@ fn parse_args() -> Options {
                 Some(path) => opts.profile = Some(path),
                 None => {
                     eprintln!("kl1run: --profile needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => match args.next() {
+                Some(spec) => opts.trace = Some(spec),
+                None => {
+                    eprintln!("kl1run: --trace needs a file argument (FILE[:cap=N])");
                     std::process::exit(2);
                 }
             },
@@ -273,9 +290,71 @@ fn main() {
 
     const MAX_STEPS: u64 = u64::MAX;
     let shared = opts.profile.as_ref().map(|_| SharedMetrics::new());
-    if let Some(s) = &shared {
-        cluster.set_observer(s.observer());
+
+    if opts.flat && opts.trace.is_some() {
+        eprintln!("kl1run: --trace is not available with --flat (no simulated cycles to stamp)");
+        std::process::exit(2);
     }
+    // Validate the trace destination before the (possibly long) run:
+    // parse the spec and create/truncate the file now, so a bad path
+    // fails in milliseconds with the flag named, not after the sim.
+    let traced: Option<(String, SharedTracer)> = opts.trace.as_ref().map(|spec| {
+        let (path, cap) = pim_tracer::parse_trace_spec(spec).unwrap_or_else(|e| {
+            eprintln!("kl1run: --trace: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = std::fs::File::create(&path) {
+            eprintln!("kl1run: --trace: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        (path, SharedTracer::with_capacity(cap))
+    });
+
+    // One observer per component slot: metrics, tracer, or both fanned
+    // out. `None` keeps the zero-overhead un-observed path.
+    let make_observer = || -> Option<Box<dyn Observer>> {
+        match (&shared, &traced) {
+            (Some(s), Some((_, t))) => Some(Box::new(Fanout::from_sinks(vec![
+                s.observer(),
+                t.observer(),
+            ]))),
+            (Some(s), None) => Some(s.observer()),
+            (None, Some((_, t))) => Some(t.observer()),
+            (None, None) => None,
+        }
+    };
+    if let Some(obs) = make_observer() {
+        cluster.set_observer(obs);
+    }
+
+    // Exports and writes the trace file; a no-op without `--trace`.
+    let write_trace = |makespan: u64| {
+        let Some((path, tracer)) = &traced else {
+            return;
+        };
+        let (emitted, recorded, dropped) =
+            (tracer.emitted(), tracer.recorded() as u64, tracer.dropped());
+        let text = pim_tracer::export_chrome(
+            &tracer.take_sorted(),
+            &pim_tracer::TraceMeta {
+                makespan,
+                pes: opts.pes as usize,
+                emitted,
+                recorded,
+                dropped,
+            },
+        );
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("kl1run: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        if dropped > 0 {
+            eprintln!(
+                "kl1run: trace ring full: kept {recorded} of {emitted} events \
+                 ({dropped} dropped; raise with --trace {path}:cap=N)"
+            );
+        }
+    };
 
     // Builds and writes the JSON profile; a no-op without `--profile`.
     let write_profile =
@@ -309,12 +388,12 @@ fn main() {
         write_profile("flat", &cluster, Json::Null, &[]);
     } else if opts.illinois {
         let mut system = IllinoisSystem::new(config);
-        if let Some(s) = &shared {
-            system.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            system.set_observer(obs);
         }
         let mut engine = Engine::new(system, opts.pes);
-        if let Some(s) = &shared {
-            engine.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            engine.set_observer(obs);
         }
         if let Some(fc) = &opts.faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
@@ -340,14 +419,15 @@ fn main() {
         );
         let memory = report::memory_json(engine.system(), run.makespan);
         write_profile("illinois", &cluster, memory, &run.pe_cycles);
+        write_trace(run.makespan);
     } else {
         let mut system = PimSystem::new(config);
-        if let Some(s) = &shared {
-            system.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            system.set_observer(obs);
         }
         let mut engine = Engine::new(system, opts.pes);
-        if let Some(s) = &shared {
-            engine.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            engine.set_observer(obs);
         }
         if let Some(fc) = &opts.faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
@@ -373,5 +453,6 @@ fn main() {
         );
         let memory = report::memory_json(engine.system(), run.makespan);
         write_profile("pim", &cluster, memory, &run.pe_cycles);
+        write_trace(run.makespan);
     }
 }

@@ -25,6 +25,14 @@
 //!   --report FILE    write a JSON report (traffic, cycle accounts,
 //!                    latency histograms, coherence transitions, fault
 //!                    recovery counters) to FILE
+//!   --trace FILE[:cap=N]
+//!                    record cycle-stamped events (coherence transitions,
+//!                    bus spans, lock waits, fault chains) to FILE as
+//!                    Chrome trace_event JSON, loadable in Perfetto and
+//!                    analyzable with `pimtrace`. The ring keeps at most
+//!                    N events (default 2^20); drops are counted in the
+//!                    file, never silent. Byte-identical at every
+//!                    --threads setting.
 //! ```
 //!
 //! Trace lines are `PE OP ADDR AREA`, e.g. `0 DW 0x11000000 goal` — see
@@ -37,16 +45,18 @@
 use pim_bus::BusTiming;
 use pim_cache::{CacheGeometry, OptMask, PimSystem, SystemConfig};
 use pim_fault::{FaultConfig, FaultPlan, FaultStats};
-use pim_obs::{Json, SharedMetrics};
+use pim_obs::{Fanout, Json, Observer, SharedMetrics};
 use pim_repro::report;
 use pim_sim::{Engine, IllinoisSystem, MemorySystem, ParallelEngine, Replayer, RunStats};
 use pim_trace::{Access, StorageArea};
+use pim_tracer::SharedTracer;
 
 fn usage() -> ! {
     eprintln!(
         "usage: tracesim [--pes N] [--threads N] [--illinois] [--no-opt] \
          [--block W] [--capacity W] [--ways N] [--bus-width W] \
-         [--faults SPEC] [--report FILE] (<trace.txt> | --gen NAME)"
+         [--faults SPEC] [--report FILE] [--trace FILE[:cap=N]] \
+         (<trace.txt> | --gen NAME)"
     );
     std::process::exit(2);
 }
@@ -74,6 +84,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut generator: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut trace_spec: Option<String> = None;
     let mut faults: Option<FaultConfig> = None;
     let mut file: Option<String> = None;
 
@@ -117,6 +128,13 @@ fn main() {
                 Some(path) => report_path = Some(path),
                 None => {
                     eprintln!("tracesim: --report needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => match args.next() {
+                Some(spec) => trace_spec = Some(spec),
+                None => {
+                    eprintln!("tracesim: --trace needs a file argument (FILE[:cap=N])");
                     std::process::exit(2);
                 }
             },
@@ -202,6 +220,64 @@ fn main() {
 
     let shared = report_path.as_ref().map(|_| SharedMetrics::new());
 
+    // Validate the trace destination before the (possibly long) run:
+    // parse the spec and create/truncate the file now, so a bad path
+    // fails in milliseconds with the flag named, not after the sim.
+    let traced: Option<(String, SharedTracer)> = trace_spec.as_ref().map(|spec| {
+        let (path, cap) = pim_tracer::parse_trace_spec(spec).unwrap_or_else(|e| {
+            eprintln!("tracesim: --trace: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = std::fs::File::create(&path) {
+            eprintln!("tracesim: --trace: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        (path, SharedTracer::with_capacity(cap))
+    });
+
+    // One observer per component slot: metrics, tracer, or both fanned
+    // out. `None` keeps the zero-overhead un-observed path.
+    let make_observer = || -> Option<Box<dyn Observer>> {
+        match (&shared, &traced) {
+            (Some(s), Some((_, t))) => Some(Box::new(Fanout::from_sinks(vec![
+                s.observer(),
+                t.observer(),
+            ]))),
+            (Some(s), None) => Some(s.observer()),
+            (None, Some((_, t))) => Some(t.observer()),
+            (None, None) => None,
+        }
+    };
+
+    // Exports and writes the trace file; a no-op without `--trace`.
+    let write_trace = |makespan: u64, pes: u32| {
+        let Some((path, tracer)) = &traced else {
+            return;
+        };
+        let (emitted, recorded, dropped) =
+            (tracer.emitted(), tracer.recorded() as u64, tracer.dropped());
+        let text = pim_tracer::export_chrome(
+            &tracer.take_sorted(),
+            &pim_tracer::TraceMeta {
+                makespan,
+                pes: pes as usize,
+                emitted,
+                recorded,
+                dropped,
+            },
+        );
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("tracesim: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        if dropped > 0 {
+            eprintln!(
+                "tracesim: trace ring full: kept {recorded} of {emitted} events \
+                 ({dropped} dropped; raise with --trace {path}:cap=N)"
+            );
+        }
+    };
+
     // Builds and writes the JSON report; a no-op without `--report`.
     let write_report = |label: &str,
                         sys: &dyn MemorySystem,
@@ -249,18 +325,19 @@ fn main() {
     let mut replayer = Replayer::from_merged(&trace, pes);
     let (label, report) = if illinois {
         let mut system = IllinoisSystem::new(config);
-        if let Some(s) = &shared {
-            system.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            system.set_observer(obs);
         }
         let mut engine = Engine::new(system, pes);
-        if let Some(s) = &shared {
-            engine.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            engine.set_observer(obs);
         }
         if let Some(fc) = &faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
         }
         let run = check_run(engine.run(&mut replayer, u64::MAX));
         let fstats = engine.fault_stats().clone();
+        write_trace(run.makespan, pes);
         write_report(
             "Illinois",
             engine.system(),
@@ -274,18 +351,19 @@ fn main() {
         )
     } else if threads == 1 {
         let mut system = PimSystem::new(config);
-        if let Some(s) = &shared {
-            system.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            system.set_observer(obs);
         }
         let mut engine = Engine::new(system, pes);
-        if let Some(s) = &shared {
-            engine.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            engine.set_observer(obs);
         }
         if let Some(fc) = &faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
         }
         let run = check_run(engine.run(&mut replayer, u64::MAX));
         let fstats = engine.fault_stats().clone();
+        write_trace(run.makespan, pes);
         write_report(
             "PIM",
             engine.system(),
@@ -303,19 +381,20 @@ fn main() {
         // the reports are byte-for-byte the same either way — including
         // the fault schedule, which is keyed on simulated cycles only.
         let mut system = PimSystem::new(config);
-        if let Some(s) = &shared {
-            system.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            system.set_observer(obs);
         }
         let mut engine = ParallelEngine::new(system, pes);
         engine.set_threads(threads);
-        if let Some(s) = &shared {
-            engine.set_observer(s.observer());
+        if let Some(obs) = make_observer() {
+            engine.set_observer(obs);
         }
         if let Some(fc) = &faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
         }
         let run = check_run(engine.run(&mut replayer, u64::MAX));
         let fstats = engine.fault_stats().clone();
+        write_trace(run.makespan, pes);
         write_report(
             "PIM",
             engine.system(),

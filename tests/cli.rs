@@ -320,3 +320,148 @@ fn kl1run_completes_under_fault_injection() {
     ]);
     assert_eq!(par, clean);
 }
+
+#[test]
+fn tracesim_trace_files_are_byte_identical_across_threads() {
+    let dir = std::env::temp_dir().join("tracesim_cli_trace1");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = |threads: &str| {
+        let path = dir.join(format!("trace-{threads}.json"));
+        let out = tracesim()
+            .args(["--gen", "aurora", "--pes", "4", "--threads", threads])
+            .args(["--trace", path.to_str().unwrap()])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&path).unwrap()
+    };
+    let t1 = trace("1");
+    let t4 = trace("4");
+    assert_eq!(t1, t4, "trace bytes diverged between --threads 1 and 4");
+    assert!(t1.contains("\"schema\":\"pim-trace/v1\""));
+}
+
+#[test]
+fn kl1run_trace_is_schema_valid_perfetto_json() {
+    let dir = std::env::temp_dir().join("kl1run_cli_trace1");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hanoi.json");
+    let out = kl1run()
+        .args(["--pes", "4", "--trace", path.to_str().unwrap()])
+        .arg("examples/fghc/hanoi.fghc")
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    // Trace::parse rejects any event missing ph/ts/pid/tid.
+    let trace = pim_tracer::Trace::parse(&text).expect("schema-valid trace_event JSON");
+    assert!(trace.makespan > 0);
+    assert_eq!(trace.dropped, trace.emitted - trace.recorded);
+    assert!(trace.events.len() as u64 >= trace.recorded);
+    // B/E spans are balanced on every track and never dip negative.
+    let mut depth = std::collections::HashMap::new();
+    for e in &trace.events {
+        let d: &mut i64 = depth.entry(e.tid).or_default();
+        match e.ph.as_str() {
+            "B" => *d += 1,
+            "E" => {
+                *d -= 1;
+                assert!(*d >= 0, "E before B on track {}", e.tid);
+            }
+            _ => {}
+        }
+    }
+    for (tid, d) in depth {
+        assert_eq!(d, 0, "unbalanced B/E on track {tid}");
+    }
+    // KL1 events made it into the trace alongside the memory system's.
+    assert!(
+        trace.events.iter().any(|e| e.name == "reduce"),
+        "no reductions"
+    );
+    assert!(trace.events.iter().any(|e| e.ph == "X"), "no spans");
+}
+
+#[test]
+fn tracesim_rejects_bad_trace_destination_before_running() {
+    // Unwritable path: fails up front, exit 2, flag named.
+    let out = tracesim()
+        .args(["--gen", "lock-churn", "--pes", "2"])
+        .args(["--trace", "/nonexistent-dir-pim/x.json"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--trace"), "{stderr}");
+
+    // Malformed capacity suffix: same contract.
+    let out = tracesim()
+        .args(["--gen", "lock-churn", "--pes", "2"])
+        .args(["--trace", "/tmp/x.json:cap=banana"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--trace"), "{stderr}");
+}
+
+#[test]
+fn kl1run_rejects_bad_trace_destination_before_running() {
+    let out = kl1run()
+        .args(["--pes", "2", "--trace", "/nonexistent-dir-pim/x.json"])
+        .arg("examples/fghc/hanoi.fghc")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--trace"), "{stderr}");
+
+    // --flat has no simulated cycles to stamp; refuse the combination.
+    let out = kl1run()
+        .args(["--pes", "2", "--flat", "--trace", "/tmp/x.json"])
+        .arg("examples/fghc/hanoi.fghc")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--trace"), "{stderr}");
+}
+
+#[test]
+fn tracesim_trace_ring_cap_drops_loudly_and_stays_deterministic() {
+    let dir = std::env::temp_dir().join("tracesim_cli_trace2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = |threads: &str| {
+        let path = dir.join(format!("capped-{threads}.json"));
+        let spec = format!("{}:cap=200", path.to_str().unwrap());
+        let out = tracesim()
+            .args(["--gen", "lock-churn", "--pes", "4", "--threads", threads])
+            .args(["--trace", &spec])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        // Dropping is never silent: the run says what was kept.
+        assert!(stderr.contains("trace ring full"), "{stderr}");
+        std::fs::read_to_string(&path).unwrap()
+    };
+    let t1 = trace("1");
+    let t4 = trace("4");
+    assert_eq!(t1, t4, "capped trace diverged between thread counts");
+    let parsed = pim_tracer::Trace::parse(&t1).expect("parses");
+    assert_eq!(parsed.recorded, 200);
+    assert!(parsed.dropped > 0);
+    assert_eq!(parsed.dropped, parsed.emitted - parsed.recorded);
+}
