@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR]
-//!       [--trace FILE[:cap=N]] <experiment>...
+//!       [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE]
+//!       <experiment>...
 //! experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5
 //!              buswidth assoc ablation indexing aurora gc faults all
 //! ```
+//!
+//! `--checkpoint FILE[:every=N]` records progress after every N
+//! completed experiments (default 1); Ctrl-C drains a final snapshot at
+//! the next experiment boundary and exits 130. `--resume FILE` skips
+//! the experiments a previous interrupted invocation already finished —
+//! every experiment is a deterministic unit, so the union of outputs is
+//! byte-identical to an uninterrupted run.
 //!
 //! `--trace FILE[:cap=N]` additionally traces one representative
 //! Table-1 run (`tri` on the paper's 8-PE base system) and writes
@@ -28,9 +36,12 @@ use workloads::Scale;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::paper();
+    let mut scale_name = "paper".to_string();
     let mut seed = 7u64;
     let mut json_dir: Option<PathBuf> = None;
     let mut trace_spec: Option<String> = None;
+    let mut checkpoint_spec: Option<String> = None;
+    let mut resume_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -46,6 +57,7 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
+                scale_name = v;
             }
             "--threads" => {
                 let v = iter.next().unwrap_or_default();
@@ -81,9 +93,23 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--checkpoint" => match iter.next() {
+                Some(spec) => checkpoint_spec = Some(spec),
+                None => {
+                    eprintln!("repro: --checkpoint needs a file argument (FILE[:every=N])");
+                    std::process::exit(2);
+                }
+            },
+            "--resume" => match iter.next() {
+                Some(path) => resume_path = Some(path),
+                None => {
+                    eprintln!("repro: --resume needs a checkpoint file argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] [--trace FILE[:cap=N]] <experiment>...\n\
+                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] <experiment>...\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5\n\
                      \x20            buswidth assoc ablation indexing aurora gc faults all"
                 );
@@ -96,18 +122,38 @@ fn main() {
         wanted.push("all".into());
     }
     // Validate the trace destination before any experiment runs: parse
-    // the spec and create/truncate the file now, so a bad path fails
-    // immediately with the flag named.
+    // the spec and probe the path now (without truncating an existing
+    // file), so a bad path fails immediately with the flag named.
     let traced: Option<(String, usize)> = trace_spec.as_ref().map(|spec| {
         let (path, cap) = pim_tracer::parse_trace_spec(spec).unwrap_or_else(|e| {
             eprintln!("repro: --trace: {e}");
             std::process::exit(2);
         });
-        if let Err(e) = std::fs::File::create(&path) {
+        if let Err(e) = pim_ckpt::validate_destination(std::path::Path::new(&path)) {
             eprintln!("repro: --trace: cannot write `{path}`: {e}");
             std::process::exit(2);
         }
         (path, cap)
+    });
+    // Validate --checkpoint and load --resume before any experiment
+    // runs. A refused resume file exits 1 with the reason named; a bad
+    // checkpoint destination is a flag error (exit 2).
+    let checkpoint: Option<(String, Option<u64>)> = checkpoint_spec.as_ref().map(|spec| {
+        let (path, every) = pim_ckpt::parse_checkpoint_spec(spec).unwrap_or_else(|e| {
+            eprintln!("repro: --checkpoint: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = pim_ckpt::validate_destination(std::path::Path::new(&path)) {
+            eprintln!("repro: --checkpoint: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        (path, every)
+    });
+    let resume_payload: Option<Vec<u8>> = resume_path.as_ref().map(|path| {
+        pim_ckpt::load_from_path(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("repro: --resume: refused checkpoint: {e}");
+            std::process::exit(1);
+        })
     });
     if let Some(dir) = &json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -115,13 +161,123 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Everything that changes experiment results participates in the
+    // digest; --threads and file paths deliberately do not.
+    let config_digest = pim_ckpt::fnv1a64(
+        format!(
+            "repro|scale={scale_name}|seed={seed}|json={}|trace_cap={:?}|",
+            json_dir.is_some(),
+            traced.as_ref().map(|(_, cap)| *cap),
+        )
+        .as_bytes(),
+    );
+    let sigint = checkpoint.as_ref().map(|_| pim_ckpt::install_sigint_flag());
+
+    // Experiments a previous interrupted invocation already completed.
+    let done: std::cell::RefCell<Vec<String>> =
+        std::cell::RefCell::new(match resume_payload.as_deref() {
+            None => Vec::new(),
+            Some(payload) => {
+                let refused = |e: pim_ckpt::CkptError| -> ! {
+                    eprintln!("repro: --resume: refused checkpoint: {e}");
+                    std::process::exit(1)
+                };
+                let mut r = pim_ckpt::Reader::new(payload);
+                r.section("meta", |r| {
+                    let tool = r.get_str()?.to_string();
+                    if tool != "repro" {
+                        return Err(pim_ckpt::CkptError::Mismatch {
+                            detail: format!("checkpoint was written by `{tool}`, not repro"),
+                        });
+                    }
+                    let digest = r.get_u64()?;
+                    if digest != config_digest {
+                        return Err(pim_ckpt::CkptError::Mismatch {
+                            detail: "run configuration (scale, seed, or output flags) \
+                                     differs from the checkpointed run"
+                                .into(),
+                        });
+                    }
+                    let _completed = r.get_u64()?;
+                    let _snapshots = r.get_u64()?;
+                    Ok(())
+                })
+                .unwrap_or_else(|e| refused(e));
+                let names = r
+                    .section("done", |r| {
+                        let n = r.get_len()?;
+                        let mut names = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            names.push(r.get_str()?.to_string());
+                        }
+                        Ok(names)
+                    })
+                    .unwrap_or_else(|e| refused(e));
+                r.expect_end().unwrap_or_else(|e| refused(e));
+                eprintln!(
+                    "[resume: skipping {} completed experiment(s): {}]",
+                    names.len(),
+                    names.join(" ")
+                );
+                names
+            }
+        });
+    let snapshots_written = std::cell::Cell::new(0u64);
+    let since_snapshot = std::cell::Cell::new(0u64);
+
+    let save_checkpoint = |path: &str| {
+        snapshots_written.set(snapshots_written.get() + 1);
+        let done = done.borrow();
+        let mut w = pim_ckpt::Writer::new();
+        w.section("meta", |w| {
+            w.put_str("repro");
+            w.put_u64(config_digest);
+            w.put_u64(done.len() as u64);
+            w.put_u64(snapshots_written.get());
+        });
+        w.section("done", |w| {
+            w.put_len(done.len());
+            for name in done.iter() {
+                w.put_str(name);
+            }
+        });
+        if let Err(e) = pim_ckpt::save_to_path(std::path::Path::new(path), w) {
+            eprintln!("repro: --checkpoint: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Called after each experiment finishes: records it, snapshots every
+    // `every` completions, and drains + exits 130 if Ctrl-C arrived
+    // while the experiment was running.
+    let completed = |name: &str| {
+        done.borrow_mut().push(name.to_string());
+        if let Some((path, every)) = &checkpoint {
+            since_snapshot.set(since_snapshot.get() + 1);
+            let interrupted = sigint.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst));
+            if interrupted || since_snapshot.get() >= every.unwrap_or(1) {
+                save_checkpoint(path);
+                since_snapshot.set(0);
+            }
+            if interrupted {
+                eprintln!(
+                    "repro: interrupted: progress drained to `{path}` after {} experiment(s) \
+                     (continue with --resume {path})",
+                    done.borrow().len()
+                );
+                std::process::exit(130);
+            }
+        }
+    };
+
     let all = wanted.iter().any(|w| w == "all");
-    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+    let is_done = |name: &str| done.borrow().iter().any(|d| d == name);
+    let want = |name: &str| (all || wanted.iter().any(|w| w == name)) && !is_done(name);
 
     let write_json = |name: &str, doc: &Json| {
         if let Some(dir) = &json_dir {
             let path = dir.join(format!("{name}.json"));
-            if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
+            if let Err(e) = pim_ckpt::atomic_write(&path, doc.to_string_pretty().as_bytes()) {
                 eprintln!("repro: cannot write {}: {e}", path.display());
                 std::process::exit(1);
             }
@@ -135,6 +291,7 @@ fn main() {
             println!("{rendered}");
             write_json(name, &doc);
             eprintln!("[{name}: {:.1?}]", t.elapsed());
+            completed(name);
         }
     };
 
@@ -150,10 +307,12 @@ fn main() {
         if want("table2") {
             println!("{}", bench::render_table2(&runs));
             write_json("table2", &bench::table2_json(scale, &runs));
+            completed("table2");
         }
         if want("table3") {
             println!("{}", bench::render_table3(&runs));
             write_json("table3", &bench::table3_json(scale, &runs));
+            completed("table3");
         }
     }
     run("fig1", &|| {

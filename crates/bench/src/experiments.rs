@@ -44,7 +44,7 @@ pub fn trace_table1_run(scale: Scale, path: &str, cap: usize) -> std::io::Result
             dropped,
         },
     );
-    std::fs::write(path, text)?;
+    pim_ckpt::atomic_write(std::path::Path::new(path), text.as_bytes())?;
     Ok((report.makespan, emitted, dropped))
 }
 

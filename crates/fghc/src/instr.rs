@@ -331,6 +331,17 @@ impl SymbolTable {
     pub fn atom_id(&self, name: &str) -> Option<AtomId> {
         self.atom_ids.get(name).copied()
     }
+
+    /// Number of interned atoms (ids are `0..count`, in interning order).
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of interned functors (ids are `0..count`, in interning
+    /// order).
+    pub fn functor_count(&self) -> usize {
+        self.functors.len()
+    }
 }
 
 /// A compiled program: the code vector, the procedure table, and symbols.

@@ -297,6 +297,101 @@ impl PeAllocators {
         self.semi = Some((lo, n, !active_low));
     }
 
+    /// Checkpoint hook: serializes bump pointers, the semispace flag, and
+    /// both free lists. Slice limits and strides ride along so a resume
+    /// against a different layout is caught.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        w.put_u64(self.heap_next);
+        w.put_u64(self.heap_limit);
+        match self.semi {
+            Some((lo, n, active_low)) => {
+                w.put_bool(true);
+                w.put_u64(lo);
+                w.put_u64(n);
+                w.put_bool(active_low);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.goal_next);
+        w.put_u64(self.goal_limit);
+        w.put_u64(self.goal_stride);
+        w.put_u64s(&self.goal_free);
+        w.put_u64(self.susp_next);
+        w.put_u64(self.susp_limit);
+        w.put_u64(self.susp_stride);
+        w.put_u64s(&self.susp_free);
+    }
+
+    /// Checkpoint hook: restores state saved by
+    /// [`PeAllocators::save_ckpt`] into allocators built over the same
+    /// layout and GC configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError::Mismatch`] when the slice geometry or
+    /// semispace configuration disagrees; [`pim_ckpt::CkptError::Corrupt`]
+    /// when a bump pointer lies outside its slice.
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        let heap_next = r.get_u64()?;
+        let heap_limit = r.get_u64()?;
+        let semi = if r.get_bool()? {
+            Some((r.get_u64()?, r.get_u64()?, r.get_bool()?))
+        } else {
+            None
+        };
+        match (self.semi, semi) {
+            (None, None) => {
+                if heap_limit != self.heap_limit {
+                    return Err(pim_ckpt::CkptError::Mismatch {
+                        detail: format!(
+                            "heap limit {heap_limit:#x}, allocator has {:#x}",
+                            self.heap_limit
+                        ),
+                    });
+                }
+            }
+            (Some((lo, n, _)), Some((clo, cn, _))) if lo == clo && n == cn => {}
+            _ => {
+                return Err(pim_ckpt::CkptError::Mismatch {
+                    detail: "semispace configuration disagrees with checkpoint".to_string(),
+                })
+            }
+        }
+        let goal_next = r.get_u64()?;
+        let goal_limit = r.get_u64()?;
+        let goal_stride = r.get_u64()?;
+        let goal_free = r.get_u64s()?;
+        let susp_next = r.get_u64()?;
+        let susp_limit = r.get_u64()?;
+        let susp_stride = r.get_u64()?;
+        let susp_free = r.get_u64s()?;
+        if goal_limit != self.goal_limit
+            || goal_stride != self.goal_stride
+            || susp_limit != self.susp_limit
+            || susp_stride != self.susp_stride
+        {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: "allocator slice geometry disagrees with checkpoint".to_string(),
+            });
+        }
+        if heap_next > heap_limit || goal_next > goal_limit || susp_next > susp_limit {
+            return Err(pim_ckpt::CkptError::Corrupt {
+                detail: "allocator bump pointer beyond its slice limit".to_string(),
+            });
+        }
+        self.heap_next = heap_next;
+        self.heap_limit = heap_limit;
+        self.semi = semi;
+        self.goal_next = goal_next;
+        self.goal_free = goal_free;
+        self.susp_next = susp_next;
+        self.susp_free = susp_free;
+        Ok(())
+    }
+
     /// Marks the current allocation state.
     pub fn mark(&self) -> AllocMark {
         AllocMark {

@@ -315,6 +315,267 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// A digest of the compiled program (instruction listing), pinned into
+    /// checkpoints so a resume against different code is refused.
+    fn program_digest(&self) -> u64 {
+        pim_ckpt::fnv1a64(format!("{}", self.program).as_bytes())
+    }
+
+    fn save_phase(phase: &Phase, w: &mut pim_ckpt::Writer) {
+        match phase {
+            Phase::Fetch => w.put_u8(0),
+            Phase::Run => w.put_u8(1),
+            Phase::Suspend(s) => {
+                w.put_u8(2);
+                w.put_u64(s.rec);
+                w.put_u64s(&s.vars);
+                w.put_u64(s.idx as u64);
+                w.put_bool(s.locked);
+                w.put_u64(s.srec);
+            }
+        }
+    }
+
+    fn read_phase(r: &mut pim_ckpt::Reader<'_>) -> Result<Phase, pim_ckpt::CkptError> {
+        match r.get_u8()? {
+            0 => Ok(Phase::Fetch),
+            1 => Ok(Phase::Run),
+            2 => {
+                let rec = r.get_u64()?;
+                let vars = r.get_u64s()?;
+                let idx = r.get_u64()? as usize;
+                let locked = r.get_bool()?;
+                let srec = r.get_u64()?;
+                if idx > vars.len() {
+                    return Err(pim_ckpt::CkptError::Corrupt {
+                        detail: format!("suspension index {idx} beyond {} vars", vars.len()),
+                    });
+                }
+                Ok(Phase::Suspend(SuspendState {
+                    rec,
+                    vars,
+                    idx,
+                    locked,
+                    srec,
+                }))
+            }
+            tag => Err(pim_ckpt::CkptError::Corrupt {
+                detail: format!("unknown PE phase tag {tag}"),
+            }),
+        }
+    }
+
+    /// Checkpoint hook: serializes the complete machine state — every
+    /// PE's registers, phase, goal deque, allocators and counters, plus
+    /// cluster-wide bookkeeping (floating-goal set, query variables,
+    /// runtime symbol-table growth) and a digest of the compiled program.
+    /// Term *contents* live in simulated shared memory and travel with the
+    /// memory system's own checkpoint, not this one.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        w.put_u64(self.program_digest());
+        w.put_u32(self.config.pes);
+        w.put_u64(self.config.block_words);
+        w.put_opt_u64(self.config.heap_semispace_words);
+        // Runtime symbol growth: atoms/functors interned after compile
+        // (query arguments) must exist again for result extraction.
+        let symbols = &self.program.symbols;
+        w.put_len(symbols.atom_count());
+        for id in 0..symbols.atom_count() {
+            w.put_str(symbols.atom_name(id as u32));
+        }
+        w.put_len(symbols.functor_count());
+        for id in 0..symbols.functor_count() {
+            let (name, arity) = symbols.functor(id as u32);
+            w.put_str(name);
+            w.put_u8(arity);
+        }
+        for pe in &self.pes {
+            w.put_u64s(&pe.regs);
+            w.put_u64(pe.pc as u64);
+            w.put_u64(pe.clause_fail as u64);
+            w.put_u64s(&pe.susp_vars);
+            Cluster::save_phase(&pe.phase, w);
+            match pe.current {
+                Some((proc, argc)) => {
+                    w.put_bool(true);
+                    w.put_u32(proc);
+                    w.put_u8(argc);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_len(pe.deque.len());
+            for &rec in &pe.deque {
+                w.put_u64(rec);
+            }
+            pe.alloc.save_ckpt(w);
+            w.put_opt_u64(pe.outstanding_target.map(u64::from));
+            w.put_len(pe.incoming_requests.len());
+            for &q in &pe.incoming_requests {
+                w.put_u32(q);
+            }
+            w.put_bool(pe.reply_ready);
+            w.put_u32(pe.next_target);
+            w.put_u64(pe.reductions);
+            w.put_u64(pe.suspensions);
+            w.put_u64(pe.instructions);
+        }
+        w.put_bool(self.halted);
+        match &self.failed {
+            Some(msg) => {
+                w.put_bool(true);
+                w.put_str(msg);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_bool(self.booted);
+        w.put_u64(self.live_goals);
+        let floating: Vec<Addr> = self.floating.iter().copied().collect();
+        w.put_u64s(&floating);
+        w.put_u64(self.goals_migrated);
+        w.put_u64(self.gc_stats.collections);
+        w.put_u64(self.gc_stats.words_copied);
+        w.put_u64(self.gc_stats.words_reclaimed);
+        w.put_len(self.query_vars.len());
+        for (name, addr) in &self.query_vars {
+            w.put_str(name);
+            w.put_u64(*addr);
+        }
+    }
+
+    /// Checkpoint hook: restores state saved by [`Cluster::save_ckpt`]
+    /// into a cluster freshly built from the *same* compiled program and
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError::Mismatch`] when the program digest or
+    /// configuration disagrees with the checkpoint;
+    /// [`pim_ckpt::CkptError::Corrupt`] on impossible machine state.
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        let digest = r.get_u64()?;
+        if digest != self.program_digest() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!(
+                    "program digest {digest:#018x} disagrees with compiled program \
+                     {:#018x} — resume needs the identical source",
+                    self.program_digest()
+                ),
+            });
+        }
+        let pes = r.get_u32()?;
+        if pes != self.config.pes {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!("checkpoint has {pes} PEs, cluster has {}", self.config.pes),
+            });
+        }
+        let block_words = r.get_u64()?;
+        let semispace = r.get_opt_u64()?;
+        if block_words != self.config.block_words || semispace != self.config.heap_semispace_words {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: "block size or GC configuration disagrees with checkpoint".to_string(),
+            });
+        }
+        // Re-intern runtime symbol growth. Interning is append-only and
+        // order-stable, so replaying the table reproduces identical ids —
+        // anything else means the program changed underneath us.
+        let atom_count = r.get_len()?;
+        if atom_count < self.program.symbols.atom_count() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: "checkpoint symbol table smaller than compiled program's".to_string(),
+            });
+        }
+        for id in 0..atom_count {
+            let name = r.get_str()?;
+            if self.program.symbols.intern_atom(name) as usize != id {
+                return Err(pim_ckpt::CkptError::Mismatch {
+                    detail: format!("atom {name:?} interned out of order"),
+                });
+            }
+        }
+        let functor_count = r.get_len()?;
+        for id in 0..functor_count {
+            let name = r.get_str()?.to_string();
+            let arity = r.get_u8()?;
+            if self.program.symbols.intern_functor(&name, arity) as usize != id {
+                return Err(pim_ckpt::CkptError::Mismatch {
+                    detail: format!("functor {name}/{arity} interned out of order"),
+                });
+            }
+        }
+        for pe in self.pes.iter_mut() {
+            let regs = r.get_u64s()?;
+            if regs.len() != pe.regs.len() {
+                return Err(pim_ckpt::CkptError::Mismatch {
+                    detail: format!(
+                        "PE register file has {} words, checkpoint {}",
+                        pe.regs.len(),
+                        regs.len()
+                    ),
+                });
+            }
+            pe.regs = regs;
+            pe.pc = r.get_u64()? as CodeAddr;
+            pe.clause_fail = r.get_u64()? as CodeAddr;
+            pe.susp_vars = r.get_u64s()?;
+            pe.phase = Cluster::read_phase(r)?;
+            pe.current = if r.get_bool()? {
+                let proc = r.get_u32()?;
+                if proc as usize >= self.program.proc_names.len() {
+                    return Err(pim_ckpt::CkptError::Corrupt {
+                        detail: format!("current goal references unknown procedure {proc}"),
+                    });
+                }
+                Some((proc, r.get_u8()?))
+            } else {
+                None
+            };
+            if pe.pc >= self.program.code.len() && !matches!(pe.phase, Phase::Fetch) {
+                return Err(pim_ckpt::CkptError::Corrupt {
+                    detail: format!("PE pc {} beyond program end", pe.pc),
+                });
+            }
+            pe.deque = (0..r.get_len()?)
+                .map(|_| r.get_u64())
+                .collect::<Result<VecDeque<_>, _>>()?;
+            pe.alloc.restore_ckpt(r)?;
+            pe.outstanding_target = r.get_opt_u64()?.map(|v| v as u32);
+            pe.incoming_requests = (0..r.get_len()?)
+                .map(|_| r.get_u32())
+                .collect::<Result<VecDeque<_>, _>>()?;
+            pe.reply_ready = r.get_bool()?;
+            pe.next_target = r.get_u32()?;
+            pe.reductions = r.get_u64()?;
+            pe.suspensions = r.get_u64()?;
+            pe.instructions = r.get_u64()?;
+        }
+        self.halted = r.get_bool()?;
+        self.failed = if r.get_bool()? {
+            Some(r.get_str()?.to_string())
+        } else {
+            None
+        };
+        self.fatal = None;
+        self.booted = r.get_bool()?;
+        self.live_goals = r.get_u64()?;
+        self.floating = r.get_u64s()?.into_iter().collect();
+        self.goals_migrated = r.get_u64()?;
+        self.gc_stats.collections = r.get_u64()?;
+        self.gc_stats.words_copied = r.get_u64()?;
+        self.gc_stats.words_reclaimed = r.get_u64()?;
+        let n = r.get_len()?;
+        self.query_vars = (0..n)
+            .map(|_| Ok((r.get_str()?.to_string(), r.get_u64()?)))
+            .collect::<Result<Vec<_>, pim_ckpt::CkptError>>()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Booting
     // ------------------------------------------------------------------
 

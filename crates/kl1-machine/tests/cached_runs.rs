@@ -259,6 +259,121 @@ fn one_or_two_lock_entries_suffice_as_the_paper_claims() {
 }
 
 #[test]
+fn checkpoint_round_trip_reproduces_the_run() {
+    // Uninterrupted reference run.
+    let (cluster_ref, mut engine_ref) = run_on_pim(FIB, 4, OptMask::all());
+    let answer_ref = result_of(&cluster_ref, &mut engine_ref);
+    let machine_ref = cluster_ref.stats();
+    let fp_ref = format!(
+        "{:?}|{:?}|{:?}|{:?}",
+        engine_ref.system().ref_stats(),
+        engine_ref.system().access_stats(),
+        engine_ref.system().lock_stats(),
+        engine_ref.system().bus_stats()
+    );
+
+    let build = || {
+        let program = fghc::compile(FIB).expect("compiles");
+        let mut cluster = Cluster::new(
+            program,
+            ClusterConfig {
+                pes: 4,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster
+            .set_query("main", vec![Term::Var("R".into())])
+            .expect("query procedure exists");
+        let engine = Engine::new(
+            PimSystem::new(SystemConfig {
+                pes: 4,
+                ..SystemConfig::default()
+            }),
+            4,
+        );
+        (cluster, engine)
+    };
+
+    for pause_at in [100u64, 5_000, 50_000] {
+        // Run up to the pause, snapshot engine + machine.
+        let (mut cluster, mut engine) = build();
+        let paused = engine.run(&mut cluster, pause_at).expect("fault-free run");
+        if paused.finished {
+            // Budget outlived the program; nothing left to resume.
+            continue;
+        }
+        let mut w = pim_ckpt::Writer::new();
+        engine.save_ckpt(&mut w);
+        cluster.save_ckpt(&mut w);
+        let payload = w.payload().to_vec();
+
+        // Restore into freshly built objects and finish.
+        let (mut cluster2, mut engine2) = build();
+        let mut r = pim_ckpt::Reader::new(&payload);
+        engine2.restore_ckpt(&mut r).expect("engine restores");
+        cluster2.restore_ckpt(&mut r).expect("cluster restores");
+        r.expect_end().expect("no trailing bytes");
+        let stats = engine2
+            .run(&mut cluster2, 500_000_000)
+            .expect("fault-free run");
+        assert!(stats.finished, "pause_at={pause_at}");
+        assert!(cluster2.failure().is_none(), "{:?}", cluster2.failure());
+
+        assert_eq!(
+            result_of(&cluster2, &mut engine2),
+            answer_ref,
+            "pause_at={pause_at}"
+        );
+        assert_eq!(cluster2.stats(), machine_ref, "pause_at={pause_at}");
+        let fp = format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            engine2.system().ref_stats(),
+            engine2.system().access_stats(),
+            engine2.system().lock_stats(),
+            engine2.system().bus_stats()
+        );
+        assert_eq!(fp, fp_ref, "pause_at={pause_at}");
+    }
+}
+
+#[test]
+fn checkpoint_refuses_a_different_program() {
+    let (mut cluster, mut engine) = run_on_pim(STREAM, 2, OptMask::all());
+    let mut w = pim_ckpt::Writer::new();
+    engine.save_ckpt(&mut w);
+    cluster.save_ckpt(&mut w);
+    let payload = w.payload().to_vec();
+    let _ = (&mut cluster, &mut engine);
+
+    let program = fghc::compile(FIB).expect("compiles");
+    let mut other = Cluster::new(
+        program,
+        ClusterConfig {
+            pes: 2,
+            ..ClusterConfig::default()
+        },
+    );
+    let mut engine2 = Engine::new(
+        PimSystem::new(SystemConfig {
+            pes: 2,
+            ..SystemConfig::default()
+        }),
+        2,
+    );
+    let mut r = pim_ckpt::Reader::new(&payload);
+    engine2
+        .restore_ckpt(&mut r)
+        .expect("engine state is program-agnostic");
+    let err = other
+        .restore_ckpt(&mut r)
+        .expect_err("digest must catch the program swap");
+    assert!(
+        matches!(err, pim_ckpt::CkptError::Mismatch { .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
 fn makespan_improves_with_more_pes_for_parallel_work() {
     let (_c1, e1) = run_on_pim(FIB, 1, OptMask::all());
     let (_c8, e8) = run_on_pim(FIB, 8, OptMask::all());

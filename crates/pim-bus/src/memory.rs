@@ -64,6 +64,42 @@ impl SharedMemory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Checkpoint hook: serializes the resident pages in sorted page
+    /// order, so the same memory image always produces the same bytes
+    /// regardless of `HashMap` iteration order.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_len(keys.len());
+        for k in keys {
+            w.put_u64(k);
+            if let Some(page) = self.pages.get(&k) {
+                for &word in page.iter() {
+                    w.put_u64(word);
+                }
+            }
+        }
+    }
+
+    /// Checkpoint hook: replaces the memory image with the one saved by
+    /// [`SharedMemory::save_ckpt`].
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        self.pages.clear();
+        let n = r.get_len()?;
+        for _ in 0..n {
+            let k = r.get_u64()?;
+            let mut page = Box::new([0 as Word; PAGE_WORDS]);
+            for slot in page.iter_mut() {
+                *slot = r.get_u64()?;
+            }
+            self.pages.insert(k, page);
+        }
+        Ok(())
+    }
 }
 
 fn split(addr: Addr) -> (u64, usize) {

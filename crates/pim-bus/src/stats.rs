@@ -133,6 +133,50 @@ impl BusStats {
         self.cmd_counts[cmd.index()] += 1;
     }
 
+    /// Checkpoint hook: serializes every accumulator field.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        for arr in [
+            &self.cycles_by_area,
+            &self.cmd_counts,
+            &self.swap_ins_by_area,
+            &self.swap_outs_by_area,
+            &self.c2c_by_area,
+        ] {
+            for &v in arr {
+                w.put_u64(v);
+            }
+        }
+        for &v in &self.tx_counts {
+            w.put_u64(v);
+        }
+        w.put_u64(self.memory_busy_cycles);
+        w.put_u64(self.refusals);
+    }
+
+    /// Checkpoint hook: restores counters saved by [`BusStats::save_ckpt`].
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        for arr in [
+            &mut self.cycles_by_area,
+            &mut self.cmd_counts,
+            &mut self.swap_ins_by_area,
+            &mut self.swap_outs_by_area,
+            &mut self.c2c_by_area,
+        ] {
+            for v in arr.iter_mut() {
+                *v = r.get_u64()?;
+            }
+        }
+        for v in self.tx_counts.iter_mut() {
+            *v = r.get_u64()?;
+        }
+        self.memory_busy_cycles = r.get_u64()?;
+        self.refusals = r.get_u64()?;
+        Ok(())
+    }
+
     /// Records a bus request that was refused with an `LH` (lock hit)
     /// response: the command and its snoop resolution occupied the bus
     /// briefly, then the requester entered a bus-free busy wait.

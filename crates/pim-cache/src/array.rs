@@ -334,6 +334,88 @@ impl CacheArray {
         self.clock += 1;
         self.lines[i].last_used = self.clock;
     }
+
+    /// Checkpoint hook: serializes the LRU clock and every line.
+    ///
+    /// Checkpoints are only cut between committed engine chunks, so the
+    /// array must be quiescent: not speculating and with an empty undo
+    /// log. Both are debug-asserted; the log is not serialized.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        debug_assert!(!self.speculative, "checkpoint during speculation");
+        debug_assert!(self.log.is_empty(), "checkpoint with a live undo log");
+        w.put_u64(self.clock);
+        w.put_len(self.lines.len());
+        for line in &self.lines {
+            w.put_u64(line.tag);
+            w.put_u8(state_tag(line.state));
+            w.put_u64(line.last_used);
+            for &word in line.data.iter() {
+                w.put_u64(word);
+            }
+        }
+    }
+
+    /// Checkpoint hook: restores an array saved by
+    /// [`CacheArray::save_ckpt`] into a freshly constructed array of the
+    /// same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError::Mismatch`] when the line count disagrees
+    /// with this array's geometry; [`pim_ckpt::CkptError::Corrupt`] on an
+    /// unknown state tag.
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        self.clock = r.get_u64()?;
+        let n = r.get_len()?;
+        if n != self.lines.len() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!(
+                    "cache array has {} lines, checkpoint has {n}",
+                    self.lines.len()
+                ),
+            });
+        }
+        for line in self.lines.iter_mut() {
+            line.tag = r.get_u64()?;
+            line.state = state_from_tag(r.get_u8()?)?;
+            line.last_used = r.get_u64()?;
+            for word in line.data.iter_mut() {
+                *word = r.get_u64()?;
+            }
+        }
+        self.speculative = false;
+        self.log.clear();
+        Ok(())
+    }
+}
+
+/// Stable wire encoding of a [`BlockState`] for checkpoints.
+fn state_tag(state: BlockState) -> u8 {
+    match state {
+        BlockState::Em => 0,
+        BlockState::Ec => 1,
+        BlockState::Sm => 2,
+        BlockState::Shared => 3,
+        BlockState::Inv => 4,
+    }
+}
+
+fn state_from_tag(tag: u8) -> Result<BlockState, pim_ckpt::CkptError> {
+    Ok(match tag {
+        0 => BlockState::Em,
+        1 => BlockState::Ec,
+        2 => BlockState::Sm,
+        3 => BlockState::Shared,
+        4 => BlockState::Inv,
+        other => {
+            return Err(pim_ckpt::CkptError::Corrupt {
+                detail: format!("unknown cache block state tag {other}"),
+            })
+        }
+    })
 }
 
 #[cfg(test)]

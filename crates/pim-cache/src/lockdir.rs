@@ -175,6 +175,75 @@ impl LockDirectory {
             .map(|e| e.waiters.clone())
             .unwrap_or_default()
     }
+
+    /// Checkpoint hook: serializes the capacity and every live entry with
+    /// its waiter queue in order.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        w.put_len(self.capacity);
+        w.put_len(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.addr);
+            w.put_u8(match e.state {
+                LockState::Lck => 0,
+                LockState::Lwait => 1,
+            });
+            w.put_len(e.waiters.len());
+            for &pe in &e.waiters {
+                w.put_u64(pe.0 as u64);
+            }
+        }
+    }
+
+    /// Checkpoint hook: restores a directory saved by
+    /// [`LockDirectory::save_ckpt`].
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError::Mismatch`] when the capacity disagrees;
+    /// [`pim_ckpt::CkptError::Corrupt`] on an unknown lock-state tag or
+    /// more entries than the capacity admits.
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        let capacity = r.get_len()?;
+        if capacity != self.capacity {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!(
+                    "lock directory capacity {} vs checkpoint {capacity}",
+                    self.capacity
+                ),
+            });
+        }
+        let n = r.get_len()?;
+        if n > capacity {
+            return Err(pim_ckpt::CkptError::Corrupt {
+                detail: format!("lock directory holds {n} entries but capacity is {capacity}"),
+            });
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let addr = r.get_u64()?;
+            let state = match r.get_u8()? {
+                0 => LockState::Lck,
+                1 => LockState::Lwait,
+                other => {
+                    return Err(pim_ckpt::CkptError::Corrupt {
+                        detail: format!("unknown lock state tag {other}"),
+                    })
+                }
+            };
+            let waiters = (0..r.get_len()?)
+                .map(|_| r.get_u64().map(|v| PeId(v as u32)))
+                .collect::<Result<Vec<_>, _>>()?;
+            self.entries.push(Entry {
+                addr,
+                state,
+                waiters,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -491,6 +491,103 @@ impl PimSystem {
         }
     }
 
+    /// Checkpoint hook: serializes the complete coherence state — every
+    /// shard's cache array and lock directory, the shared memory, and the
+    /// system-level statistics accumulators.
+    ///
+    /// Must be called at a quiesced point: all speculation committed and
+    /// shard-local accumulators folded (see
+    /// [`PimSystem::fold_shard_stats`]). This holds between engine run
+    /// chunks, which is the only place checkpoints are cut.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        w.put_len(self.shards.len());
+        for shard in &self.shards {
+            debug_assert!(shard.pending.is_empty(), "checkpoint with uncommitted ops");
+            debug_assert!(shard.refs.total() == 0, "checkpoint with unfolded refs");
+            shard.cache.save_ckpt(w);
+            shard.lockdir.save_ckpt(w);
+        }
+        self.memory.save_ckpt(w);
+        self.bus.save_ckpt(w);
+        self.refs.save_ckpt(w);
+        let a = &self.access_stats;
+        for v in [
+            a.lookups,
+            a.hits,
+            a.dw_allocations,
+            a.dw_contract_violations,
+            a.purges,
+            a.dirty_purges,
+        ] {
+            w.put_u64(v);
+        }
+        let l = &self.lock_stats;
+        for v in [
+            l.lr_total,
+            l.lr_hits,
+            l.lr_hits_exclusive,
+            l.unlock_total,
+            l.unlock_no_waiter,
+            l.lr_refused,
+            l.max_simultaneous_locks,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u64(self.now);
+    }
+
+    /// Checkpoint hook: restores a system saved by
+    /// [`PimSystem::save_ckpt`] into a freshly built system of the same
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError::Mismatch`] when the PE count (or any nested
+    /// geometry) disagrees with this system's configuration.
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        let n = r.get_len()?;
+        if n != self.shards.len() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!("system has {} PEs, checkpoint has {n}", self.shards.len()),
+            });
+        }
+        for shard in self.shards.iter_mut() {
+            shard.cache.restore_ckpt(r)?;
+            shard.lockdir.restore_ckpt(r)?;
+        }
+        self.memory.restore_ckpt(r)?;
+        self.bus.restore_ckpt(r)?;
+        self.refs.restore_ckpt(r)?;
+        let a = &mut self.access_stats;
+        for v in [
+            &mut a.lookups,
+            &mut a.hits,
+            &mut a.dw_allocations,
+            &mut a.dw_contract_violations,
+            &mut a.purges,
+            &mut a.dirty_purges,
+        ] {
+            *v = r.get_u64()?;
+        }
+        let l = &mut self.lock_stats;
+        for v in [
+            &mut l.lr_total,
+            &mut l.lr_hits,
+            &mut l.lr_hits_exclusive,
+            &mut l.unlock_total,
+            &mut l.unlock_no_waiter,
+            &mut l.lr_refused,
+            &mut l.max_simultaneous_locks,
+        ] {
+            *v = r.get_u64()?;
+        }
+        self.now = r.get_u64()?;
+        Ok(())
+    }
+
     /// Reads a word from shared memory itself, ignoring caches — exposes
     /// the "is memory current?" side of the coherence invariants to tests.
     pub fn memory_word(&self, addr: Addr) -> Word {

@@ -180,6 +180,34 @@ impl FaultConfig {
     }
 }
 
+impl FaultConfig {
+    /// Checkpoint hook: serializes the full configuration, so a resumed
+    /// run can verify its `--faults` spec matches the interrupted one.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        w.put_u64(self.seed);
+        w.put_u32(self.rate_ppm);
+        w.put_u32(self.max_retries);
+        w.put_u64(self.nack_cycles);
+        w.put_u64(self.snoop_timeout);
+        w.put_u64(self.stall_window);
+        w.put_u64(self.backoff_base);
+    }
+
+    /// Checkpoint hook: reads a configuration saved by
+    /// [`FaultConfig::save_ckpt`].
+    pub fn restore_ckpt(r: &mut pim_ckpt::Reader<'_>) -> Result<FaultConfig, pim_ckpt::CkptError> {
+        Ok(FaultConfig {
+            seed: r.get_u64()?,
+            rate_ppm: r.get_u32()?,
+            max_retries: r.get_u32()?,
+            nack_cycles: r.get_u64()?,
+            snoop_timeout: r.get_u64()?,
+            stall_window: r.get_u64()?,
+            backoff_base: r.get_u64()?,
+        })
+    }
+}
+
 /// The canonical 64-bit finalizer (splitmix64). Full avalanche: every
 /// input bit affects every output bit.
 fn splitmix64(mut x: u64) -> u64 {
@@ -300,6 +328,35 @@ impl FaultStats {
             }
         }
         self.penalty_cycles += fg.penalty;
+    }
+
+    /// Checkpoint hook: serializes every counter.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        for &v in &self.injected {
+            w.put_u64(v);
+        }
+        for &v in &self.recovered {
+            w.put_u64(v);
+        }
+        w.put_u64(self.retries);
+        w.put_u64(self.penalty_cycles);
+    }
+
+    /// Checkpoint hook: restores counters saved by
+    /// [`FaultStats::save_ckpt`].
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        for v in self.injected.iter_mut() {
+            *v = r.get_u64()?;
+        }
+        for v in self.recovered.iter_mut() {
+            *v = r.get_u64()?;
+        }
+        self.retries = r.get_u64()?;
+        self.penalty_cycles = r.get_u64()?;
+        Ok(())
     }
 
     /// `(kind, injected, recovered)` rows in stable order.

@@ -61,6 +61,33 @@ impl Histogram {
         }
     }
 
+    /// Checkpoint hook: serializes the buckets and summary fields.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+    }
+
+    /// Checkpoint hook: restores a histogram saved by
+    /// [`Histogram::save_ckpt`].
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        for b in self.buckets.iter_mut() {
+            *b = r.get_u64()?;
+        }
+        self.count = r.get_u64()?;
+        self.sum = r.get_u64()?;
+        self.min = r.get_u64()?;
+        self.max = r.get_u64()?;
+        Ok(())
+    }
+
     /// Adds one sample.
     pub fn record(&mut self, value: u64) {
         self.buckets[bucket_of(value)] += 1;

@@ -69,6 +69,87 @@ pub struct Metrics {
     pub watchdog_expirations: u64,
 }
 
+impl Metrics {
+    /// Checkpoint hook: serializes every accumulator, in declaration
+    /// order. Fault-kind labels are written as strings and re-interned
+    /// on restore.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        for m in &self.transitions {
+            m.save_ckpt(w);
+        }
+        self.bus_wait.save_ckpt(w);
+        self.bus_hold.save_ckpt(w);
+        for &v in &self.bus_wait_by_area {
+            w.put_u64(v);
+        }
+        for &v in &self.bus_hold_by_area {
+            w.put_u64(v);
+        }
+        for &v in &self.bus_grants_by_op {
+            w.put_u64(v);
+        }
+        self.lock_wait.save_ckpt(w);
+        w.put_u64s(&self.reductions_by_pe);
+        w.put_u64s(&self.suspensions_by_pe);
+        w.put_u64s(&self.resumptions_by_pe);
+        w.put_u64(self.gc_collections);
+        self.gc_words.save_ckpt(w);
+        self.goal_depth.save_ckpt(w);
+        w.put_len(self.faults_injected.len());
+        for (label, &count) in &self.faults_injected {
+            w.put_str(label);
+            w.put_u64(count);
+        }
+        w.put_u64(self.faults_recovered);
+        w.put_u64(self.fault_recoveries);
+        self.fault_penalty.save_ckpt(w);
+        w.put_u64(self.deadlocks);
+        w.put_u64(self.watchdog_expirations);
+    }
+
+    /// Checkpoint hook: restores an aggregate saved by
+    /// [`Metrics::save_ckpt`].
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        for m in &mut self.transitions {
+            m.restore_ckpt(r)?;
+        }
+        self.bus_wait.restore_ckpt(r)?;
+        self.bus_hold.restore_ckpt(r)?;
+        for v in self.bus_wait_by_area.iter_mut() {
+            *v = r.get_u64()?;
+        }
+        for v in self.bus_hold_by_area.iter_mut() {
+            *v = r.get_u64()?;
+        }
+        for v in self.bus_grants_by_op.iter_mut() {
+            *v = r.get_u64()?;
+        }
+        self.lock_wait.restore_ckpt(r)?;
+        self.reductions_by_pe = r.get_u64s()?;
+        self.suspensions_by_pe = r.get_u64s()?;
+        self.resumptions_by_pe = r.get_u64s()?;
+        self.gc_collections = r.get_u64()?;
+        self.gc_words.restore_ckpt(r)?;
+        self.goal_depth.restore_ckpt(r)?;
+        self.faults_injected.clear();
+        let n = r.get_len()?;
+        for _ in 0..n {
+            let label = pim_ckpt::intern(r.get_str()?);
+            let count = r.get_u64()?;
+            self.faults_injected.insert(label, count);
+        }
+        self.faults_recovered = r.get_u64()?;
+        self.fault_recoveries = r.get_u64()?;
+        self.fault_penalty.restore_ckpt(r)?;
+        self.deadlocks = r.get_u64()?;
+        self.watchdog_expirations = r.get_u64()?;
+        Ok(())
+    }
+}
+
 fn bump(counts: &mut Vec<u64>, pe: PeId) {
     let i = pe.index();
     if i >= counts.len() {
@@ -472,6 +553,18 @@ impl SharedMetrics {
     /// Extracts the aggregate, leaving an empty one behind.
     pub fn take(&self) -> Metrics {
         self.0.replace(Metrics::new())
+    }
+
+    /// Checkpoint hook: serializes the current aggregate.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        self.0.borrow().save_ckpt(w);
+    }
+
+    /// Checkpoint hook: replaces the shared aggregate with one saved by
+    /// [`SharedMetrics::save_ckpt`]. Every clone of this handle sees the
+    /// restored state.
+    pub fn restore_ckpt(&self, r: &mut pim_ckpt::Reader<'_>) -> Result<(), pim_ckpt::CkptError> {
+        self.0.borrow_mut().restore_ckpt(r)
     }
 }
 

@@ -104,6 +104,29 @@ impl TransitionMatrix {
         }
     }
 
+    /// Checkpoint hook: serializes the 5x5 count matrix.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        for row in &self.counts {
+            for &c in row {
+                w.put_u64(c);
+            }
+        }
+    }
+
+    /// Checkpoint hook: restores a matrix saved by
+    /// [`TransitionMatrix::save_ckpt`].
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        for row in &mut self.counts {
+            for c in row {
+                *c = r.get_u64()?;
+            }
+        }
+        Ok(())
+    }
+
     /// All cells in row-major `ALL` order as `(from, to, count)`.
     pub fn cells(&self) -> impl Iterator<Item = (CohState, CohState, u64)> + '_ {
         CohState::ALL.into_iter().flat_map(move |from| {

@@ -72,6 +72,44 @@ impl TimeSeries {
         self.interval
     }
 
+    /// Checkpoint hook: serializes the interval and every window.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        w.put_u64(self.interval);
+        w.put_len(self.windows.len());
+        for win in &self.windows {
+            w.put_u64(win.count);
+            w.put_u64(win.sum);
+            w.put_u64(win.min);
+            w.put_u64(win.max);
+        }
+    }
+
+    /// Checkpoint hook: restores a series saved by
+    /// [`TimeSeries::save_ckpt`].
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        let interval = r.get_u64()?;
+        if interval == 0 {
+            return Err(pim_ckpt::CkptError::Corrupt {
+                detail: "time series interval of zero".into(),
+            });
+        }
+        self.interval = interval;
+        let n = r.get_len()?;
+        self.windows.clear();
+        for _ in 0..n {
+            self.windows.push(SeriesWindow {
+                count: r.get_u64()?,
+                sum: r.get_u64()?,
+                min: r.get_u64()?,
+                max: r.get_u64()?,
+            });
+        }
+        Ok(())
+    }
+
     /// Records `value` at simulated time `cycle`.
     pub fn record(&mut self, cycle: u64, value: u64) {
         let idx = (cycle / self.interval) as usize;

@@ -348,6 +348,106 @@ impl<S: MemorySystem> Engine<S> {
         })
     }
 
+    /// Checkpoint hook: serializes the wrapped system and the engine's
+    /// scheduling state — PE clocks, bus clock, blocked flags and
+    /// wait-for edges, cycle accounts, fault counters, and the recorded
+    /// trace if recording is on. The observer, fault plan, and watchdog
+    /// are configuration, not state: the resuming process re-attaches
+    /// them from its own flags.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        self.system.save_ckpt(w);
+        w.put_u64s(&self.clocks);
+        w.put_u64(self.bus_free);
+        w.put_len(self.blocked.len());
+        for &b in &self.blocked {
+            w.put_bool(b);
+        }
+        for holder in &self.blocked_on {
+            w.put_opt_u64(holder.map(|pe| pe.0 as u64));
+        }
+        w.put_u64(self.idle_poll_cycles);
+        for acct in &self.accounts {
+            w.put_u64(acct.busy);
+            w.put_u64(acct.bus_wait);
+            w.put_u64(acct.lock_wait);
+            w.put_u64(acct.idle);
+        }
+        self.fault_stats.save_ckpt(w);
+        w.put_bool(self.trace.is_some());
+        if let Some(trace) = &self.trace {
+            w.put_len(trace.len());
+            for a in trace {
+                w.put_u32(a.pe.0);
+                w.put_u8(mem_op_tag(a.op));
+                w.put_u64(a.addr);
+                w.put_u8(a.area.index() as u8);
+            }
+        }
+    }
+
+    /// Checkpoint hook: restores an engine saved by
+    /// [`Engine::save_ckpt`] into an engine built over a system of
+    /// identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError::Mismatch`] when the PE count disagrees, or
+    /// any nested restore fails.
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        self.system.restore_ckpt(r)?;
+        let clocks = r.get_u64s()?;
+        if clocks.len() != self.clocks.len() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!(
+                    "engine has {} PEs, checkpoint has {}",
+                    self.clocks.len(),
+                    clocks.len()
+                ),
+            });
+        }
+        self.clocks = clocks;
+        self.bus_free = r.get_u64()?;
+        let n = r.get_len()?;
+        if n != self.blocked.len() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!("blocked set for {n} PEs, engine has {}", self.blocked.len()),
+            });
+        }
+        for b in self.blocked.iter_mut() {
+            *b = r.get_bool()?;
+        }
+        for holder in self.blocked_on.iter_mut() {
+            *holder = r.get_opt_u64()?.map(|v| PeId(v as u32));
+        }
+        self.idle_poll_cycles = r.get_u64()?.max(1);
+        for acct in self.accounts.iter_mut() {
+            acct.busy = r.get_u64()?;
+            acct.bus_wait = r.get_u64()?;
+            acct.lock_wait = r.get_u64()?;
+            acct.idle = r.get_u64()?;
+        }
+        self.fault_stats.restore_ckpt(r)?;
+        self.trace = if r.get_bool()? {
+            let len = r.get_len()?;
+            let mut trace = Vec::with_capacity(len);
+            for _ in 0..len {
+                let pe = PeId(r.get_u32()?);
+                let op = mem_op_from_tag(r.get_u8()?)?;
+                let addr = r.get_u64()?;
+                let area = area_from_tag(r.get_u8()?)?;
+                trace.push(Access::new(pe, op, addr, area));
+            }
+            Some(trace)
+        } else {
+            None
+        };
+        self.pending_error = None;
+        Ok(())
+    }
+
     /// Builds the deadlock error for the all-blocked fallback.
     fn deadlock_error(&mut self) -> SimError {
         let clock = self.clocks.iter().copied().max().unwrap_or(0);
@@ -361,6 +461,34 @@ impl<S: MemorySystem> Engine<S> {
         }
         SimError::Deadlock { cycle, clock }
     }
+}
+
+/// Stable checkpoint tag of a [`MemOp`]: its index in [`MemOp::ALL`].
+pub(crate) fn mem_op_tag(op: MemOp) -> u8 {
+    match MemOp::ALL.iter().position(|&o| o == op) {
+        Some(i) => i as u8,
+        None => unreachable!("MemOp::ALL covers every variant"),
+    }
+}
+
+/// Decodes a [`MemOp`] checkpoint tag.
+pub(crate) fn mem_op_from_tag(tag: u8) -> Result<MemOp, pim_ckpt::CkptError> {
+    MemOp::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| pim_ckpt::CkptError::Corrupt {
+            detail: format!("unknown memory op tag {tag}"),
+        })
+}
+
+/// Decodes a [`pim_trace::StorageArea`] checkpoint tag.
+pub(crate) fn area_from_tag(tag: u8) -> Result<pim_trace::StorageArea, pim_ckpt::CkptError> {
+    pim_trace::StorageArea::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| pim_ckpt::CkptError::Corrupt {
+            detail: format!("unknown storage area tag {tag}"),
+        })
 }
 
 /// The engine-backed [`MemoryPort`] handed to a process step.

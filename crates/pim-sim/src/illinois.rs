@@ -523,6 +523,86 @@ impl MemorySystem for IllinoisSystem {
     fn set_now(&mut self, cycle: u64) {
         self.now = cycle;
     }
+
+    fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        w.put_len(self.caches.len());
+        for cache in &self.caches {
+            cache.save_ckpt(w);
+        }
+        for dir in &self.lockdirs {
+            dir.save_ckpt(w);
+        }
+        self.memory.save_ckpt(w);
+        self.bus.save_ckpt(w);
+        self.refs.save_ckpt(w);
+        let a = &self.access_stats;
+        for v in [
+            a.lookups,
+            a.hits,
+            a.dw_allocations,
+            a.dw_contract_violations,
+            a.purges,
+            a.dirty_purges,
+        ] {
+            w.put_u64(v);
+        }
+        let l = &self.lock_stats;
+        for v in [
+            l.lr_total,
+            l.lr_hits,
+            l.lr_hits_exclusive,
+            l.unlock_total,
+            l.unlock_no_waiter,
+            l.lr_refused,
+            l.max_simultaneous_locks,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u64(self.now);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut pim_ckpt::Reader<'_>) -> Result<(), pim_ckpt::CkptError> {
+        let n = r.get_len()?;
+        if n != self.caches.len() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!("system has {} PEs, checkpoint has {n}", self.caches.len()),
+            });
+        }
+        for cache in self.caches.iter_mut() {
+            cache.restore_ckpt(r)?;
+        }
+        for dir in self.lockdirs.iter_mut() {
+            dir.restore_ckpt(r)?;
+        }
+        self.memory.restore_ckpt(r)?;
+        self.bus.restore_ckpt(r)?;
+        self.refs.restore_ckpt(r)?;
+        let a = &mut self.access_stats;
+        for v in [
+            &mut a.lookups,
+            &mut a.hits,
+            &mut a.dw_allocations,
+            &mut a.dw_contract_violations,
+            &mut a.purges,
+            &mut a.dirty_purges,
+        ] {
+            *v = r.get_u64()?;
+        }
+        let l = &mut self.lock_stats;
+        for v in [
+            &mut l.lr_total,
+            &mut l.lr_hits,
+            &mut l.lr_hits_exclusive,
+            &mut l.unlock_total,
+            &mut l.unlock_no_waiter,
+            &mut l.lr_refused,
+            &mut l.max_simultaneous_locks,
+        ] {
+            *v = r.get_u64()?;
+        }
+        self.now = r.get_u64()?;
+        Ok(())
+    }
 }
 
 fn done(value: Word, bus_cycles: u64, hit: bool) -> Outcome {

@@ -295,6 +295,14 @@ pub struct ParallelEngine<S> {
     fault_plan: Option<FaultPlan>,
     fault_stats: FaultStats,
     watchdog: Option<u64>,
+    /// For each PE blocked on a refused lock when the last `run` call
+    /// paused: the holder it waits on. Re-entering `run` reconstructs the
+    /// lane as `Blocked` from this instead of re-issuing (and
+    /// re-counting) the refused operation.
+    parked: Vec<Option<PeId>>,
+    /// Issue position of each PE's latest committed operation, carried
+    /// across `run` calls for the closed-form idle-poll replay.
+    last_issues: Vec<Option<(u64, u32)>>,
 }
 
 impl<S: ShardedSystem> ParallelEngine<S> {
@@ -314,6 +322,8 @@ impl<S: ShardedSystem> ParallelEngine<S> {
             fault_plan: None,
             fault_stats: FaultStats::new(),
             watchdog: None,
+            parked: vec![None; pes as usize],
+            last_issues: vec![None; pes as usize],
         }
     }
 
@@ -390,6 +400,93 @@ impl<S: ShardedSystem> ParallelEngine<S> {
             .collect()
     }
 
+    /// Checkpoint hook: serializes the wrapped system and the engine's
+    /// scheduling state — PE clocks, bus clock, cycle accounts, fault
+    /// counters, parked (lock-blocked) PEs, and last-issue positions.
+    /// Valid between `run` calls only: a paused engine holds no
+    /// uncommitted speculation (the budget break rolls it back), so this
+    /// state plus the process cursors is the complete machine.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        self.system.save_ckpt(w);
+        w.put_u64s(&self.clocks);
+        w.put_u64(self.bus_free);
+        w.put_u64(self.idle_poll_cycles);
+        for acct in &self.accounts {
+            w.put_u64(acct.busy);
+            w.put_u64(acct.bus_wait);
+            w.put_u64(acct.lock_wait);
+            w.put_u64(acct.idle);
+        }
+        self.fault_stats.save_ckpt(w);
+        w.put_len(self.parked.len());
+        for holder in &self.parked {
+            w.put_opt_u64(holder.map(|pe| pe.0 as u64));
+        }
+        for issue in &self.last_issues {
+            match issue {
+                Some((cycle, pe)) => {
+                    w.put_bool(true);
+                    w.put_u64(*cycle);
+                    w.put_u32(*pe);
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+
+    /// Checkpoint hook: restores an engine saved by
+    /// [`ParallelEngine::save_ckpt`] (or by [`crate::Engine::save_ckpt`]
+    /// — the formats differ; use matching engine kinds) into an engine
+    /// built over a system of identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError::Mismatch`] when the PE count disagrees, or
+    /// any nested restore fails.
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        self.system.restore_ckpt(r)?;
+        let clocks = r.get_u64s()?;
+        if clocks.len() != self.clocks.len() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!(
+                    "engine has {} PEs, checkpoint has {}",
+                    self.clocks.len(),
+                    clocks.len()
+                ),
+            });
+        }
+        self.clocks = clocks;
+        self.bus_free = r.get_u64()?;
+        self.idle_poll_cycles = r.get_u64()?.max(1);
+        for acct in self.accounts.iter_mut() {
+            acct.busy = r.get_u64()?;
+            acct.bus_wait = r.get_u64()?;
+            acct.lock_wait = r.get_u64()?;
+            acct.idle = r.get_u64()?;
+        }
+        self.fault_stats.restore_ckpt(r)?;
+        let n = r.get_len()?;
+        if n != self.parked.len() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!("parked set for {n} PEs, engine has {}", self.parked.len()),
+            });
+        }
+        for holder in self.parked.iter_mut() {
+            *holder = r.get_opt_u64()?.map(|v| PeId(v as u32));
+        }
+        for issue in self.last_issues.iter_mut() {
+            *issue = if r.get_bool()? {
+                Some((r.get_u64()?, r.get_u32()?))
+            } else {
+                None
+            };
+        }
+        Ok(())
+    }
+
     /// Runs `process` to completion (or until `max_steps`), bit-identical
     /// to [`crate::Engine::run`] on the same system and process.
     ///
@@ -422,22 +519,33 @@ impl<S: ShardedSystem> ParallelEngine<S> {
             .into_iter()
             .zip(proc_shards)
             .enumerate()
-            .map(|(pe, (shard, proc))| Lane {
-                pe,
-                shard: Some(shard),
-                proc_base: proc.position(),
-                proc: Some(proc),
-                journal: Vec::new(),
-                touched: HashMap::new(),
-                start_clock: self.clocks[pe],
-                clock: self.clocks[pe],
-                status: Status::Ready,
-                exhausted_at: 0,
-                last_issue: None,
-                base_issue: None,
-                account: self.accounts[pe],
-                cap: MAX_JOURNAL,
-                blocked_on: None,
+            .map(|(pe, (shard, proc))| {
+                // A lane parked on a refused lock by an earlier `run`
+                // call resumes as Blocked on the same (still pending)
+                // operation — its refusal was already counted, and its
+                // waiter entry is already registered in the holder's
+                // lock directory.
+                let status = match (self.parked[pe], proc.peek()) {
+                    (Some(_), Some((op, addr, data))) => Status::Blocked(op, addr, data),
+                    _ => Status::Ready,
+                };
+                Lane {
+                    pe,
+                    shard: Some(shard),
+                    proc_base: proc.position(),
+                    proc: Some(proc),
+                    journal: Vec::new(),
+                    touched: HashMap::new(),
+                    start_clock: self.clocks[pe],
+                    clock: self.clocks[pe],
+                    status,
+                    exhausted_at: 0,
+                    last_issue: self.last_issues[pe],
+                    base_issue: self.last_issues[pe],
+                    account: self.accounts[pe],
+                    cap: MAX_JOURNAL,
+                    blocked_on: self.parked[pe],
+                }
             })
             .collect();
 
@@ -448,6 +556,11 @@ impl<S: ShardedSystem> ParallelEngine<S> {
         for mut lane in lanes {
             self.clocks[lane.pe] = lane.clock;
             self.accounts[lane.pe] = lane.account;
+            self.parked[lane.pe] = match lane.status {
+                Status::Blocked(..) => lane.blocked_on,
+                _ => None,
+            };
+            self.last_issues[lane.pe] = lane.last_issue;
             match (lane.shard.take(), lane.proc.take()) {
                 (Some(shard), Some(proc)) => {
                     sys_back.push(shard);
@@ -544,10 +657,21 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                     }
                 }
 
-                // Safety budget (approximate while speculation is in
-                // flight; exact on completed runs).
-                let in_flight: u64 = lanes.iter().map(|l| l.journal.len() as u64).sum();
-                if steps_ops + steps_stalls + steps_locals + in_flight >= max_steps {
+                // Safety budget, checked on *committed* steps only. On a
+                // break, every uncommitted journal is rolled back
+                // bit-exactly, so the engine pauses at the committed
+                // prefix — a legal serialization prefix the uninterrupted
+                // run also passes through — and a later `run` call
+                // re-speculates the rolled-back work identically (the
+                // same invariance that makes epoch length a pure
+                // scheduling knob). Speculation may overshoot the budget
+                // before the check fires; the overshoot is rolled back.
+                if steps_ops + steps_stalls + steps_locals >= max_steps {
+                    for lane in lanes.iter_mut() {
+                        if !lane.journal.is_empty() {
+                            lane.truncate(0);
+                        }
+                    }
                     finished = false;
                     break;
                 }
@@ -1147,5 +1271,120 @@ mod tests {
         let stats = engine.run(&mut replayer, 10).expect("fault-free run");
         assert!(!stats.finished);
         assert!(stats.steps <= 10);
+    }
+
+    #[test]
+    fn chunked_runs_match_one_shot() {
+        // A paused engine must hold the exact committed-prefix state, so
+        // resuming in arbitrary-size chunks reproduces the one-shot run —
+        // including lock contention parked across the pause boundary.
+        let mut trace = mixed_trace(4, 300, 17);
+        for round in 0..20u64 {
+            for pe in 0..4u32 {
+                trace.push(heap(pe, MemOp::LockRead, 0));
+                trace.push(heap(pe, MemOp::Write, 4 + ((round + pe as u64) % 8) * 4));
+                trace.push(heap(pe, MemOp::WriteUnlock, 0));
+            }
+        }
+        let (seq_stats, seq_fp) = run_sequential(&trace, 4);
+        assert!(seq_stats.finished);
+        for chunk in [1u64, 7, 64] {
+            let mut replayer = Replayer::from_merged(&trace, 4);
+            let mut engine = ParallelEngine::new(
+                PimSystem::new(SystemConfig {
+                    pes: 4,
+                    ..SystemConfig::default()
+                }),
+                4,
+            );
+            engine.set_threads(2);
+            let mut stats = engine.run(&mut replayer, chunk).expect("fault-free run");
+            let mut rounds = 0u64;
+            while !stats.finished {
+                stats = engine.run(&mut replayer, chunk).expect("fault-free run");
+                rounds += 1;
+                assert!(rounds < 1_000_000, "chunked run diverged: chunk={chunk}");
+            }
+            let sys = engine.system();
+            let fp = format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                sys.ref_stats(),
+                sys.access_stats(),
+                sys.lock_stats(),
+                sys.bus_stats()
+            );
+            assert_eq!(fp, seq_fp, "chunk={chunk}");
+            assert_eq!(stats.pe_clocks, seq_stats.pe_clocks, "chunk={chunk}");
+            assert_eq!(stats.pe_cycles, seq_stats.pe_cycles, "chunk={chunk}");
+            assert_eq!(stats.makespan, seq_stats.makespan, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip_matches_uninterrupted() {
+        // Pause mid-run, serialize engine + replayer, restore into freshly
+        // built objects, finish — everything must match the one-shot run.
+        let mut trace = mixed_trace(4, 300, 23);
+        for round in 0..15u64 {
+            for pe in 0..4u32 {
+                trace.push(heap(pe, MemOp::LockRead, 0));
+                trace.push(heap(pe, MemOp::Write, 4 + ((round + pe as u64) % 8) * 4));
+                trace.push(heap(pe, MemOp::WriteUnlock, 0));
+            }
+        }
+        let (seq_stats, seq_fp) = run_sequential(&trace, 4);
+        assert!(seq_stats.finished);
+        for pause_at in [1u64, 50, 200, 700] {
+            let mut replayer = Replayer::from_merged(&trace, 4);
+            let mut engine = ParallelEngine::new(
+                PimSystem::new(SystemConfig {
+                    pes: 4,
+                    ..SystemConfig::default()
+                }),
+                4,
+            );
+            engine.set_threads(2);
+            let paused = engine.run(&mut replayer, pause_at).expect("fault-free run");
+            if paused.finished {
+                // Budget outlived the trace; nothing left to resume.
+                continue;
+            }
+
+            let mut w = pim_ckpt::Writer::new();
+            engine.save_ckpt(&mut w);
+            replayer.save_ckpt(&mut w);
+            let payload = w.payload();
+
+            let mut replayer2 = Replayer::from_merged(&trace, 4);
+            let mut engine2 = ParallelEngine::new(
+                PimSystem::new(SystemConfig {
+                    pes: 4,
+                    ..SystemConfig::default()
+                }),
+                4,
+            );
+            engine2.set_threads(4); // resume at a different thread count
+            let mut r = pim_ckpt::Reader::new(payload);
+            engine2.restore_ckpt(&mut r).expect("engine restores");
+            replayer2.restore_ckpt(&mut r).expect("replayer restores");
+            r.expect_end().expect("no trailing bytes");
+
+            let stats = engine2
+                .run(&mut replayer2, 1_000_000)
+                .expect("fault-free run");
+            assert!(stats.finished, "pause_at={pause_at}");
+            let sys = engine2.system();
+            let fp = format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                sys.ref_stats(),
+                sys.access_stats(),
+                sys.lock_stats(),
+                sys.bus_stats()
+            );
+            assert_eq!(fp, seq_fp, "pause_at={pause_at}");
+            assert_eq!(stats.pe_clocks, seq_stats.pe_clocks, "pause_at={pause_at}");
+            assert_eq!(stats.pe_cycles, seq_stats.pe_cycles, "pause_at={pause_at}");
+            assert_eq!(stats.makespan, seq_stats.makespan, "pause_at={pause_at}");
+        }
     }
 }

@@ -39,6 +39,60 @@ impl Replayer {
         Replayer::new(streams)
     }
 
+    /// Checkpoint hook: serializes the replay cursors. The streams
+    /// themselves are rebuilt from the trace file on resume, so only the
+    /// positions travel.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        w.put_len(self.cursors.len());
+        for (stream, &cursor) in self.streams.iter().zip(&self.cursors) {
+            w.put_u64(cursor as u64);
+            // Stream length rides along so a resume against a different
+            // trace file is caught instead of silently replaying garbage.
+            w.put_u64(stream.len() as u64);
+        }
+    }
+
+    /// Checkpoint hook: restores cursors saved by [`Replayer::save_ckpt`]
+    /// into a replayer rebuilt from the same trace.
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError::Mismatch`] when the PE count or any stream
+    /// length disagrees with the checkpoint.
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        let n = r.get_len()?;
+        if n != self.streams.len() {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint has {n} PE streams, trace has {}",
+                    self.streams.len()
+                ),
+            });
+        }
+        for (i, stream) in self.streams.iter().enumerate() {
+            let cursor = r.get_u64()? as usize;
+            let len = r.get_u64()? as usize;
+            if len != stream.len() {
+                return Err(pim_ckpt::CkptError::Mismatch {
+                    detail: format!(
+                        "PE {i} stream has {} accesses, checkpoint recorded {len}",
+                        stream.len()
+                    ),
+                });
+            }
+            if cursor > len {
+                return Err(pim_ckpt::CkptError::Corrupt {
+                    detail: format!("PE {i} cursor {cursor} beyond stream length {len}"),
+                });
+            }
+            self.cursors[i] = cursor;
+        }
+        Ok(())
+    }
+
     /// Accesses remaining to replay.
     pub fn remaining(&self) -> usize {
         self.streams

@@ -59,6 +59,20 @@ pub trait MemorySystem {
     fn set_now(&mut self, cycle: u64) {
         let _ = cycle;
     }
+
+    /// Checkpoint hook: serializes the complete system state (caches,
+    /// lock directories, shared memory, statistics).
+    fn save_ckpt(&self, w: &mut pim_ckpt::Writer);
+
+    /// Checkpoint hook: restores state saved by
+    /// [`MemorySystem::save_ckpt`] into a system built with an identical
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError`] when the checkpoint disagrees with this
+    /// system's shape or is corrupt.
+    fn restore_ckpt(&mut self, r: &mut pim_ckpt::Reader<'_>) -> Result<(), pim_ckpt::CkptError>;
 }
 
 /// One PE's private slice of a sharded memory system: its cache and lock
@@ -214,6 +228,14 @@ impl MemorySystem for PimSystem {
 
     fn set_now(&mut self, cycle: u64) {
         PimSystem::set_now(self, cycle)
+    }
+
+    fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        PimSystem::save_ckpt(self, w)
+    }
+
+    fn restore_ckpt(&mut self, r: &mut pim_ckpt::Reader<'_>) -> Result<(), pim_ckpt::CkptError> {
+        PimSystem::restore_ckpt(self, r)
     }
 }
 

@@ -115,6 +115,28 @@ impl RefStats {
             }
         }
     }
+
+    /// Checkpoint hook: serializes the 5x10 counter matrix.
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        for row in &self.counts {
+            for &c in row {
+                w.put_u64(c);
+            }
+        }
+    }
+
+    /// Checkpoint hook: restores a matrix saved by [`RefStats::save_ckpt`].
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        for row in &mut self.counts {
+            for c in row {
+                *c = r.get_u64()?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// `100 * num / den`, or 0 when the denominator is zero.

@@ -355,6 +355,66 @@ pub fn diff(a: &Trace, b: &Trace, max_shown: usize) -> DiffReport {
     DiffReport { differences, text }
 }
 
+/// True when `text` looks like a `pim-repro/v1` report document rather
+/// than a Chrome trace: the report envelope carries the shared schema
+/// identifier.
+pub fn is_report(text: &str) -> bool {
+    text.contains("\"schema\": \"pim-repro/v1\"") || text.contains("\"schema\":\"pim-repro/v1\"")
+}
+
+/// Drops the `"checkpoint"` provenance block from a pretty-printed
+/// report, returning the remaining lines. Brace-counting keeps the
+/// strip correct even if the block grows nested members later.
+fn strip_checkpoint_block(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut lines = text.lines();
+    while let Some(line) = lines.next() {
+        if line.trim_start().starts_with("\"checkpoint\":") {
+            let mut depth = line.matches('{').count() as i64 - line.matches('}').count() as i64;
+            while depth > 0 {
+                let Some(inner) = lines.next() else { break };
+                depth += inner.matches('{').count() as i64 - inner.matches('}').count() as i64;
+            }
+            continue;
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Compares two `pim-repro/v1` report documents line-by-line, ignoring
+/// the `checkpoint` provenance block — the one section allowed to
+/// differ between a resumed run and its uninterrupted twin. `max_shown`
+/// bounds the listed differences.
+pub fn report_diff(a: &str, b: &str, max_shown: usize) -> DiffReport {
+    let (la, lb) = (strip_checkpoint_block(a), strip_checkpoint_block(b));
+    let mut text = String::new();
+    let mut differences = 0usize;
+    let n = la.len().max(lb.len());
+    for i in 0..n {
+        let va = la.get(i).copied();
+        let vb = lb.get(i).copied();
+        if va != vb {
+            differences += 1;
+            if differences <= max_shown {
+                let _ = writeln!(text, "line {}:", i + 1);
+                let _ = writeln!(text, "  A: {}", va.unwrap_or("<absent>").trim_end());
+                let _ = writeln!(text, "  B: {}", vb.unwrap_or("<absent>").trim_end());
+            }
+        }
+    }
+    if differences == 0 {
+        let _ = writeln!(
+            text,
+            "identical modulo checkpoint block: {} lines",
+            la.len()
+        );
+    } else {
+        let _ = writeln!(text, "{differences} difference(s)");
+    }
+    DiffReport { differences, text }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,5 +535,39 @@ mod tests {
         let diffm = diff(&a, &b, 5);
         assert!(diffm.differences > 0);
         assert!(diffm.text.contains("event "));
+    }
+
+    #[test]
+    fn report_diff_ignores_the_checkpoint_block() {
+        let full = "{\n  \"schema\": \"pim-repro/v1\",\n  \"checkpoint\": {\n    \
+                    \"resumed_from_cycle\": null,\n    \"snapshots\": 0\n  },\n  \
+                    \"makespan_cycles\": 100\n}\n";
+        let resumed = "{\n  \"schema\": \"pim-repro/v1\",\n  \"checkpoint\": {\n    \
+                       \"resumed_from_cycle\": 42,\n    \"snapshots\": 3\n  },\n  \
+                       \"makespan_cycles\": 100\n}\n";
+        assert!(is_report(full) && is_report(resumed));
+        let same = report_diff(full, resumed, 5);
+        assert_eq!(same.differences, 0, "{}", same.text);
+        assert!(same.text.contains("modulo checkpoint block"));
+
+        let drifted = resumed.replace("\"makespan_cycles\": 100", "\"makespan_cycles\": 101");
+        let diffm = report_diff(full, &drifted, 5);
+        assert_eq!(diffm.differences, 1);
+        assert!(diffm.text.contains("makespan_cycles"));
+    }
+
+    #[test]
+    fn chrome_traces_are_not_mistaken_for_reports() {
+        let a = trace_of(vec![bus(0, 0, 0, 5)], 10, 1);
+        assert!(!is_report(&export_chrome(
+            &a.events.iter().map(|_| bus(0, 0, 0, 5)).collect::<Vec<_>>(),
+            &TraceMeta {
+                makespan: 10,
+                pes: 1,
+                emitted: 1,
+                recorded: 1,
+                dropped: 0,
+            },
+        )));
     }
 }

@@ -7,17 +7,27 @@
 //! pimtrace diff A B [--max N]              event-by-event comparison
 //! ```
 //!
-//! Exit status: 0 on success (for `diff`: traces identical), 1 when
+//! `diff` accepts either two Chrome trace files or two `pim-repro/v1`
+//! report documents (as written by `kl1run --profile`, `tracesim
+//! --report`, and `repro --json`). Reports are compared modulo the
+//! `checkpoint` provenance block, so a resumed run and its
+//! uninterrupted twin diff clean.
+//!
+//! Exit status: 0 on success (for `diff`: inputs identical), 1 when
 //! `diff` finds differences, 2 on usage or I/O errors.
 
-use pim_tracer::{bus_occupancy_report, critical_path_report, diff, lock_hotspots_report, Trace};
+use pim_tracer::{
+    bus_occupancy_report, critical_path_report, diff, is_report, lock_hotspots_report, report_diff,
+    Trace,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: pimtrace <critical-path|locks|bus|diff> FILE... [options]
   critical-path FILE [--top N]   top-N critical-path segments of the makespan
   locks FILE [--top N]           lock-contention hotspots by address
   bus FILE [--windows N]         bus-occupancy timeline
-  diff A B [--max N]             compare two traces event-by-event";
+  diff A B [--max N]             compare two traces event-by-event, or two
+                                 pim-repro/v1 reports modulo the checkpoint block";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("pimtrace: {msg}");
@@ -116,11 +126,24 @@ fn main() -> ExitCode {
             let [a, b] = files.as_slice() else {
                 return fail("diff takes exactly two FILEs");
             };
-            let (ta, tb) = match (load(a), load(b)) {
+            let read = |path: &str| {
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+            };
+            let (text_a, text_b) = match (read(a), read(b)) {
                 (Ok(ta), Ok(tb)) => (ta, tb),
                 (Err(e), _) | (_, Err(e)) => return fail(&e),
             };
-            let report = diff(&ta, &tb, max);
+            let report = if is_report(&text_a) && is_report(&text_b) {
+                report_diff(&text_a, &text_b, max)
+            } else {
+                let parse =
+                    |path: &str, text: &str| Trace::parse(text).map_err(|e| format!("{path}: {e}"));
+                let (ta, tb) = match (parse(a, &text_a), parse(b, &text_b)) {
+                    (Ok(ta), Ok(tb)) => (ta, tb),
+                    (Err(e), _) | (_, Err(e)) => return fail(&e),
+                };
+                diff(&ta, &tb, max)
+            };
             print!("{}", report.text);
             if report.differences == 0 {
                 ExitCode::SUCCESS

@@ -204,6 +204,233 @@ impl TraceBuffer {
     pub fn into_sorted(self) -> Vec<Event> {
         self.heap.into_sorted_vec()
     }
+
+    /// Checkpoint hook: serializes the capacity, the emitted count, and
+    /// the retained events in ascending order (sorting makes the wire
+    /// form independent of heap layout, hence of arrival order).
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        w.put_u64(self.cap as u64);
+        w.put_u64(self.emitted);
+        let mut events: Vec<Event> = self.heap.iter().cloned().collect();
+        events.sort();
+        w.put_len(events.len());
+        for ev in &events {
+            save_event(ev, w);
+        }
+    }
+
+    /// Checkpoint hook: restores a buffer saved by
+    /// [`TraceBuffer::save_ckpt`].
+    ///
+    /// # Errors
+    ///
+    /// [`pim_ckpt::CkptError::Mismatch`] when the ring capacity disagrees
+    /// (the capacity comes from the `--trace` spec and must match across
+    /// resume); [`pim_ckpt::CkptError::Corrupt`] on impossible counts or
+    /// unknown event encodings.
+    pub fn restore_ckpt(
+        &mut self,
+        r: &mut pim_ckpt::Reader<'_>,
+    ) -> Result<(), pim_ckpt::CkptError> {
+        let cap = r.get_u64()? as usize;
+        if cap != self.cap {
+            return Err(pim_ckpt::CkptError::Mismatch {
+                detail: format!("trace ring capacity {} vs checkpoint {cap}", self.cap),
+            });
+        }
+        self.emitted = r.get_u64()?;
+        let n = r.get_len()?;
+        if n > cap || (n as u64) > self.emitted {
+            return Err(pim_ckpt::CkptError::Corrupt {
+                detail: format!(
+                    "trace ring retains {n} events with cap {cap}, emitted {}",
+                    self.emitted
+                ),
+            });
+        }
+        self.heap.clear();
+        for _ in 0..n {
+            self.heap.push(read_event(r)?);
+        }
+        Ok(())
+    }
+}
+
+fn save_event(ev: &Event, w: &mut pim_ckpt::Writer) {
+    w.put_u64(ev.ts);
+    w.put_u32(ev.pe.0);
+    match &ev.kind {
+        EventKind::Transition { area, from, to } => {
+            w.put_u8(0);
+            w.put_u8(area.index() as u8);
+            w.put_u8(from.index() as u8);
+            w.put_u8(to.index() as u8);
+        }
+        EventKind::Bus {
+            op,
+            area,
+            wait,
+            hold,
+        } => {
+            w.put_u8(1);
+            w.put_u8(op_tag(*op));
+            w.put_u8(area.index() as u8);
+            w.put_u64(*wait);
+            w.put_u64(*hold);
+        }
+        EventKind::LockWait { addr, area, dur } => {
+            w.put_u8(2);
+            w.put_u64(*addr);
+            w.put_u8(area.index() as u8);
+            w.put_u64(*dur);
+        }
+        EventKind::LockAcquired { addr, area } => {
+            w.put_u8(3);
+            w.put_u64(*addr);
+            w.put_u8(area.index() as u8);
+        }
+        EventKind::LockReleased { addr, area, woken } => {
+            w.put_u8(4);
+            w.put_u64(*addr);
+            w.put_u8(area.index() as u8);
+            w.put_u32(*woken);
+        }
+        EventKind::Reduction => w.put_u8(5),
+        EventKind::Suspension { goal } => {
+            w.put_u8(6);
+            w.put_u64(*goal);
+        }
+        EventKind::Resumption { goal } => {
+            w.put_u8(7);
+            w.put_u64(*goal);
+        }
+        EventKind::Gc { words } => {
+            w.put_u8(8);
+            w.put_u64(*words);
+        }
+        EventKind::GoalDepth { depth } => {
+            w.put_u8(9);
+            w.put_u64(*depth);
+        }
+        EventKind::FaultInjected { kind } => {
+            w.put_u8(10);
+            w.put_str(kind);
+        }
+        EventKind::FaultRecovered { faults, penalty } => {
+            w.put_u8(11);
+            w.put_u32(*faults);
+            w.put_u64(*penalty);
+        }
+        EventKind::Watchdog { budget } => {
+            w.put_u8(12);
+            w.put_u64(*budget);
+        }
+        EventKind::Deadlock { pes } => {
+            w.put_u8(13);
+            w.put_len(pes.len());
+            for pe in pes {
+                w.put_u32(pe.0);
+            }
+        }
+    }
+}
+
+fn read_event(r: &mut pim_ckpt::Reader<'_>) -> Result<Event, pim_ckpt::CkptError> {
+    let ts = r.get_u64()?;
+    let pe = PeId(r.get_u32()?);
+    let kind = match r.get_u8()? {
+        0 => EventKind::Transition {
+            area: area_from_tag(r.get_u8()?)?,
+            from: coh_from_tag(r.get_u8()?)?,
+            to: coh_from_tag(r.get_u8()?)?,
+        },
+        1 => EventKind::Bus {
+            op: op_from_tag(r.get_u8()?)?,
+            area: area_from_tag(r.get_u8()?)?,
+            wait: r.get_u64()?,
+            hold: r.get_u64()?,
+        },
+        2 => EventKind::LockWait {
+            addr: r.get_u64()?,
+            area: area_from_tag(r.get_u8()?)?,
+            dur: r.get_u64()?,
+        },
+        3 => EventKind::LockAcquired {
+            addr: r.get_u64()?,
+            area: area_from_tag(r.get_u8()?)?,
+        },
+        4 => EventKind::LockReleased {
+            addr: r.get_u64()?,
+            area: area_from_tag(r.get_u8()?)?,
+            woken: r.get_u32()?,
+        },
+        5 => EventKind::Reduction,
+        6 => EventKind::Suspension { goal: r.get_u64()? },
+        7 => EventKind::Resumption { goal: r.get_u64()? },
+        8 => EventKind::Gc {
+            words: r.get_u64()?,
+        },
+        9 => EventKind::GoalDepth {
+            depth: r.get_u64()?,
+        },
+        10 => EventKind::FaultInjected {
+            kind: pim_ckpt::intern(r.get_str()?),
+        },
+        11 => EventKind::FaultRecovered {
+            faults: r.get_u32()?,
+            penalty: r.get_u64()?,
+        },
+        12 => EventKind::Watchdog {
+            budget: r.get_u64()?,
+        },
+        13 => {
+            let n = r.get_len()?;
+            let pes = (0..n)
+                .map(|_| r.get_u32().map(PeId))
+                .collect::<Result<Vec<_>, _>>()?;
+            EventKind::Deadlock { pes }
+        }
+        other => {
+            return Err(pim_ckpt::CkptError::Corrupt {
+                detail: format!("unknown trace event tag {other}"),
+            })
+        }
+    };
+    Ok(Event { ts, pe, kind })
+}
+
+fn op_tag(op: MemOp) -> u8 {
+    match MemOp::ALL.iter().position(|&o| o == op) {
+        Some(i) => i as u8,
+        None => unreachable!("MemOp::ALL covers every variant"),
+    }
+}
+
+fn op_from_tag(tag: u8) -> Result<MemOp, pim_ckpt::CkptError> {
+    MemOp::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| pim_ckpt::CkptError::Corrupt {
+            detail: format!("unknown memory op tag {tag}"),
+        })
+}
+
+fn area_from_tag(tag: u8) -> Result<StorageArea, pim_ckpt::CkptError> {
+    StorageArea::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| pim_ckpt::CkptError::Corrupt {
+            detail: format!("unknown storage area tag {tag}"),
+        })
+}
+
+fn coh_from_tag(tag: u8) -> Result<CohState, pim_ckpt::CkptError> {
+    CohState::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| pim_ckpt::CkptError::Corrupt {
+            detail: format!("unknown coherence state tag {tag}"),
+        })
 }
 
 /// Clonable handle to one shared [`TraceBuffer`], in the same style as
@@ -253,6 +480,22 @@ impl SharedTracer {
 
     fn push(&mut self, ts: u64, pe: PeId, kind: EventKind) {
         self.buf.borrow_mut().record(Event { ts, pe, kind });
+    }
+
+    /// Checkpoint hook: serializes the shared ring. See
+    /// [`TraceBuffer::save_ckpt`].
+    pub fn save_ckpt(&self, w: &mut pim_ckpt::Writer) {
+        self.buf.borrow().save_ckpt(w);
+    }
+
+    /// Checkpoint hook: restores the shared ring in place, so every
+    /// existing observer clone keeps feeding the restored buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceBuffer::restore_ckpt`] errors.
+    pub fn restore_ckpt(&self, r: &mut pim_ckpt::Reader<'_>) -> Result<(), pim_ckpt::CkptError> {
+        self.buf.borrow_mut().restore_ckpt(r)
     }
 }
 

@@ -36,8 +36,8 @@ pub mod event;
 pub mod read;
 
 pub use analyze::{
-    bus_occupancy_report, critical_path, critical_path_report, diff, lock_hotspots_report,
-    DiffReport, Segment,
+    bus_occupancy_report, critical_path, critical_path_report, diff, is_report,
+    lock_hotspots_report, report_diff, DiffReport, Segment,
 };
 pub use chrome::{export_chrome, TraceMeta, SCHEMA};
 pub use event::{Event, EventKind, SharedTracer, TraceBuffer, DEFAULT_CAP};

@@ -28,6 +28,19 @@
 //!                     trace_event JSON — load in Perfetto or analyze
 //!                     with `pimtrace`. Not available with --flat
 //!                     (there is no simulated time to stamp)
+//!   --checkpoint FILE[:every=N]
+//!                     write crash-safe `pim-ckpt/v1` snapshots of the
+//!                     whole machine + cache state to FILE: every N
+//!                     committed steps when `:every=N` is given, and
+//!                     always on SIGINT (drain + exit 130). Not
+//!                     available with --flat (nothing to snapshot
+//!                     beyond the functional heap)
+//!   --resume FILE     restore a `--checkpoint` snapshot and continue.
+//!                     Needs the identical program source and flags
+//!                     (except --threads, --checkpoint, --resume);
+//!                     results and output files match an uninterrupted
+//!                     run byte for byte (modulo the profile's
+//!                     `checkpoint` block)
 //!
 //! The goal defaults to `main/1` called as `main(X)`; pass a name to call
 //! `<name>(X)` instead. The binding of X is printed as the result.
@@ -54,6 +67,8 @@ struct Options {
     faults: Option<FaultConfig>,
     profile: Option<String>,
     trace: Option<String>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
     file: String,
     goal: String,
 }
@@ -62,7 +77,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: kl1run [--pes N] [--threads N] [--flat] [--illinois] [--no-opt] \
          [--gc WORDS] [--indexed] [--stats] [--code] [--faults SPEC] \
-         [--profile FILE] [--trace FILE[:cap=N]] <program.fghc> [goal]"
+         [--profile FILE] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] \
+         [--resume FILE] <program.fghc> [goal]"
     );
     std::process::exit(2);
 }
@@ -93,6 +109,8 @@ fn parse_args() -> Options {
         faults: None,
         profile: None,
         trace: None,
+        checkpoint: None,
+        resume: None,
         file: String::new(),
         goal: "main".into(),
     };
@@ -139,6 +157,20 @@ fn parse_args() -> Options {
                 Some(spec) => opts.trace = Some(spec),
                 None => {
                     eprintln!("kl1run: --trace needs a file argument (FILE[:cap=N])");
+                    std::process::exit(2);
+                }
+            },
+            "--checkpoint" => match args.next() {
+                Some(spec) => opts.checkpoint = Some(spec),
+                None => {
+                    eprintln!("kl1run: --checkpoint needs a file argument (FILE[:every=N])");
+                    std::process::exit(2);
+                }
+            },
+            "--resume" => match args.next() {
+                Some(path) => opts.resume = Some(path),
+                None => {
+                    eprintln!("kl1run: --resume needs a checkpoint file argument");
                     std::process::exit(2);
                 }
             },
@@ -289,21 +321,85 @@ fn main() {
     };
 
     const MAX_STEPS: u64 = u64::MAX;
-    let shared = opts.profile.as_ref().map(|_| SharedMetrics::new());
 
     if opts.flat && opts.trace.is_some() {
         eprintln!("kl1run: --trace is not available with --flat (no simulated cycles to stamp)");
         std::process::exit(2);
     }
+    if opts.flat && (opts.checkpoint.is_some() || opts.resume.is_some()) {
+        eprintln!("kl1run: --checkpoint/--resume are not available with --flat");
+        std::process::exit(2);
+    }
+    // Validate checkpoint plumbing before the (possibly long) run: a bad
+    // --checkpoint destination is a flag error (exit 2); a missing or
+    // corrupt --resume file is a refused checkpoint (exit 1, named
+    // diagnostic from pim-ckpt).
+    let checkpoint: Option<(String, Option<u64>)> = opts.checkpoint.as_ref().map(|spec| {
+        let parsed = pim_ckpt::parse_checkpoint_spec(spec).unwrap_or_else(|e| {
+            eprintln!("kl1run: --checkpoint: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = pim_ckpt::validate_destination(std::path::Path::new(&parsed.0)) {
+            eprintln!("kl1run: --checkpoint: cannot write `{}`: {e}", parsed.0);
+            std::process::exit(2);
+        }
+        parsed
+    });
+    let resume_payload: Option<Vec<u8>> = opts.resume.as_ref().map(|path| {
+        pim_ckpt::load_from_path(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("kl1run: --resume: refused checkpoint `{path}`: {e}");
+            std::process::exit(1);
+        })
+    });
+    // Pins the run configuration (flags + program source, minus
+    // --threads and the checkpoint flags) into every snapshot, so a
+    // resume under different conditions is refused instead of silently
+    // diverging. The program text itself is digested again by the
+    // machine's own checkpoint hook.
+    let config_digest = {
+        let mut bytes = format!(
+            "kl1run|pes={}|illinois={}|no_opt={}|gc={:?}|indexed={}|goal={}|faults={:?}\
+             |profile={}|trace_cap={:?}|",
+            opts.pes,
+            opts.illinois,
+            opts.no_opt,
+            opts.gc,
+            opts.indexed,
+            opts.goal,
+            opts.faults,
+            opts.profile.is_some(),
+            opts.trace
+                .as_deref()
+                .map(|s| pim_tracer::parse_trace_spec(s).ok().map(|(_, cap)| cap))
+        )
+        .into_bytes();
+        bytes.extend_from_slice(source.as_bytes());
+        pim_ckpt::fnv1a64(&bytes)
+    };
+    let resumed_from_cycle: std::cell::Cell<Option<u64>> = std::cell::Cell::new(None);
+    let snapshots_written: std::cell::Cell<u64> = std::cell::Cell::new(0);
+    let sigint = checkpoint.as_ref().map(|_| pim_ckpt::install_sigint_flag());
+
+    let shared = opts.profile.as_ref().map(|path| {
+        // Validate the profile destination now, so a bad path fails in
+        // milliseconds with the flag named, not after the run.
+        if let Err(e) = pim_ckpt::validate_destination(std::path::Path::new(path)) {
+            eprintln!("kl1run: --profile: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        SharedMetrics::new()
+    });
+
     // Validate the trace destination before the (possibly long) run:
-    // parse the spec and create/truncate the file now, so a bad path
-    // fails in milliseconds with the flag named, not after the sim.
+    // parse the spec and probe the path now — without creating or
+    // truncating anything, so a failed run never leaves a zero-byte
+    // trace file behind.
     let traced: Option<(String, SharedTracer)> = opts.trace.as_ref().map(|spec| {
         let (path, cap) = pim_tracer::parse_trace_spec(spec).unwrap_or_else(|e| {
             eprintln!("kl1run: --trace: {e}");
             std::process::exit(2);
         });
-        if let Err(e) = std::fs::File::create(&path) {
+        if let Err(e) = pim_ckpt::validate_destination(std::path::Path::new(&path)) {
             eprintln!("kl1run: --trace: cannot write `{path}`: {e}");
             std::process::exit(2);
         }
@@ -344,7 +440,7 @@ fn main() {
                 dropped,
             },
         );
-        if let Err(e) = std::fs::write(path, text) {
+        if let Err(e) = pim_ckpt::atomic_write(std::path::Path::new(path), text.as_bytes()) {
             eprintln!("kl1run: cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -367,6 +463,10 @@ fn main() {
             doc.push("goal", Json::from(opts.goal.as_str()));
             doc.push("pes", Json::from(opts.pes));
             doc.push("protocol", Json::from(protocol));
+            doc.push(
+                "checkpoint",
+                report::checkpoint_json(resumed_from_cycle.get(), snapshots_written.get()),
+            );
             doc.push("machine", report::machine_json(&cluster.stats()));
             doc.push("memory", memory);
             report::push_instrumentation(&mut doc, pe_cycles, &s.take());
@@ -375,6 +475,140 @@ fn main() {
                 std::process::exit(1);
             }
         };
+
+    // Serializes one full snapshot (engine + system, machine state,
+    // metrics, tracer ring) and writes it atomically to the checkpoint
+    // path.
+    macro_rules! snapshot {
+        ($engine:expr, $cluster:expr, $path:expr, $cycle:expr) => {{
+            snapshots_written.set(snapshots_written.get() + 1);
+            let mut w = pim_ckpt::Writer::new();
+            w.section("meta", |w| {
+                w.put_str("kl1run");
+                w.put_u64(config_digest);
+                w.put_u64($cycle);
+                w.put_u64(snapshots_written.get());
+            });
+            w.section("engine", |w| $engine.save_ckpt(w));
+            w.section("process", |w| $cluster.save_ckpt(w));
+            w.section("obs", |w| match &shared {
+                Some(s) => {
+                    w.put_bool(true);
+                    s.save_ckpt(w);
+                }
+                None => w.put_bool(false),
+            });
+            w.section("tracer", |w| match &traced {
+                Some((_, t)) => {
+                    w.put_bool(true);
+                    t.save_ckpt(w);
+                }
+                None => w.put_bool(false),
+            });
+            if let Err(e) = pim_ckpt::save_to_path(std::path::Path::new($path), w) {
+                eprintln!("kl1run: --checkpoint: {e}");
+                std::process::exit(1);
+            }
+        }};
+    }
+
+    // Restores `--resume` state into the freshly built engine and
+    // cluster. Every refusal names the reason and exits 1.
+    macro_rules! resume_into {
+        ($engine:expr, $cluster:expr) => {
+            if let Some(payload) = resume_payload.as_deref() {
+                let refused = |e: pim_ckpt::CkptError| -> ! {
+                    eprintln!("kl1run: --resume: refused checkpoint: {e}");
+                    std::process::exit(1)
+                };
+                let mut r = pim_ckpt::Reader::new(payload);
+                let (cycle, _snaps) = r
+                    .section("meta", |r| {
+                        let tool = r.get_str()?.to_string();
+                        if tool != "kl1run" {
+                            return Err(pim_ckpt::CkptError::Mismatch {
+                                detail: format!("checkpoint was written by `{tool}`, not kl1run"),
+                            });
+                        }
+                        let digest = r.get_u64()?;
+                        if digest != config_digest {
+                            return Err(pim_ckpt::CkptError::Mismatch {
+                                detail: "run configuration (flags or program source) differs \
+                                         from the checkpointed run"
+                                    .into(),
+                            });
+                        }
+                        Ok((r.get_u64()?, r.get_u64()?))
+                    })
+                    .unwrap_or_else(|e| refused(e));
+                r.section("engine", |r| $engine.restore_ckpt(r))
+                    .unwrap_or_else(|e| refused(e));
+                r.section("process", |r| $cluster.restore_ckpt(r))
+                    .unwrap_or_else(|e| refused(e));
+                r.section("obs", |r| match (&shared, r.get_bool()?) {
+                    (Some(s), true) => s.restore_ckpt(r),
+                    (None, false) => Ok(()),
+                    _ => Err(pim_ckpt::CkptError::Mismatch {
+                        detail: "--profile presence differs from the checkpointed run".into(),
+                    }),
+                })
+                .unwrap_or_else(|e| refused(e));
+                r.section("tracer", |r| match (&traced, r.get_bool()?) {
+                    (Some((_, t)), true) => t.restore_ckpt(r),
+                    (None, false) => Ok(()),
+                    _ => Err(pim_ckpt::CkptError::Mismatch {
+                        detail: "--trace presence differs from the checkpointed run".into(),
+                    }),
+                })
+                .unwrap_or_else(|e| refused(e));
+                r.expect_end().unwrap_or_else(|e| refused(e));
+                resumed_from_cycle.set(Some(cycle));
+            }
+        };
+    }
+
+    // Runs the engine to completion. With --checkpoint, runs in chunks:
+    // snapshots every `every` committed steps (when given), polls SIGINT
+    // between chunks, and on interrupt drains a final snapshot and exits
+    // 130. Chunking is invisible in the results: the engine composes
+    // across run() calls bit-identically.
+    macro_rules! drive {
+        ($engine:expr, $cluster:expr) => {{
+            resume_into!($engine, $cluster);
+            let check = |run: Result<pim_sim::RunStats, pim_sim::SimError>| match run {
+                Ok(stats) => stats,
+                Err(e) => {
+                    eprintln!("kl1run: simulation failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match &checkpoint {
+                None => check($engine.run(&mut $cluster, MAX_STEPS)),
+                Some((path, every)) => {
+                    let chunk = every.unwrap_or(1 << 16);
+                    loop {
+                        let stats = check($engine.run(&mut $cluster, chunk));
+                        if stats.finished {
+                            break stats;
+                        }
+                        let interrupted =
+                            sigint.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst));
+                        if interrupted || every.is_some() {
+                            snapshot!($engine, $cluster, path, stats.makespan);
+                        }
+                        if interrupted {
+                            eprintln!(
+                                "kl1run: interrupted: state drained to `{path}` at cycle {} \
+                                 (continue with --resume {path})",
+                                stats.makespan
+                            );
+                            std::process::exit(130);
+                        }
+                    }
+                }
+            }
+        }};
+    }
 
     if opts.flat {
         let port = kl1_machine::run_flat(&mut cluster, MAX_STEPS);
@@ -398,13 +632,7 @@ fn main() {
         if let Some(fc) = &opts.faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
         }
-        let run = match engine.run(&mut cluster, MAX_STEPS) {
-            Ok(run) => run,
-            Err(e) => {
-                eprintln!("kl1run: simulation failed: {e}");
-                std::process::exit(1);
-            }
-        };
+        let run = drive!(engine, cluster);
         let result = if arity1 {
             engine.with_port(PeId(0), |p| cluster.extract(p, "X"))
         } else {
@@ -432,13 +660,7 @@ fn main() {
         if let Some(fc) = &opts.faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
         }
-        let run = match engine.run(&mut cluster, MAX_STEPS) {
-            Ok(run) => run,
-            Err(e) => {
-                eprintln!("kl1run: simulation failed: {e}");
-                std::process::exit(1);
-            }
-        };
+        let run = drive!(engine, cluster);
         let result = if arity1 {
             engine.with_port(PeId(0), |p| cluster.extract(p, "X"))
         } else {

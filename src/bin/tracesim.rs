@@ -33,6 +33,19 @@
 //!                    N events (default 2^20); drops are counted in the
 //!                    file, never silent. Byte-identical at every
 //!                    --threads setting.
+//!   --checkpoint FILE[:every=N]
+//!                    write crash-safe `pim-ckpt/v1` snapshots of the
+//!                    whole simulator state to FILE: every N committed
+//!                    steps when `:every=N` is given, and always on
+//!                    SIGINT (the run drains to a final snapshot and
+//!                    exits 130). Snapshot writes are atomic; a crash
+//!                    mid-write leaves the previous snapshot intact.
+//!   --resume FILE    restore a `--checkpoint` snapshot and continue.
+//!                    The remaining flags (except --threads, --checkpoint
+//!                    and --resume) and the trace must match the
+//!                    checkpointed run; the resumed run's report and
+//!                    trace file are byte-identical to an uninterrupted
+//!                    run's (modulo the report's `checkpoint` block).
 //! ```
 //!
 //! Trace lines are `PE OP ADDR AREA`, e.g. `0 DW 0x11000000 goal` — see
@@ -56,6 +69,7 @@ fn usage() -> ! {
         "usage: tracesim [--pes N] [--threads N] [--illinois] [--no-opt] \
          [--block W] [--capacity W] [--ways N] [--bus-width W] \
          [--faults SPEC] [--report FILE] [--trace FILE[:cap=N]] \
+         [--checkpoint FILE[:every=N]] [--resume FILE] \
          (<trace.txt> | --gen NAME)"
     );
     std::process::exit(2);
@@ -86,6 +100,8 @@ fn main() {
     let mut report_path: Option<String> = None;
     let mut trace_spec: Option<String> = None;
     let mut faults: Option<FaultConfig> = None;
+    let mut ckpt_spec: Option<String> = None;
+    let mut resume_path: Option<String> = None;
     let mut file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -138,6 +154,20 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--checkpoint" => match args.next() {
+                Some(spec) => ckpt_spec = Some(spec),
+                None => {
+                    eprintln!("tracesim: --checkpoint needs a file argument (FILE[:every=N])");
+                    std::process::exit(2);
+                }
+            },
+            "--resume" => match args.next() {
+                Some(path) => resume_path = Some(path),
+                None => {
+                    eprintln!("tracesim: --resume needs a checkpoint file argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("tracesim: unknown flag `{other}`");
@@ -159,6 +189,28 @@ fn main() {
         Some(n) => n,
         None => std::thread::available_parallelism().map_or(1, usize::from),
     };
+
+    // Validate checkpoint plumbing before the (possibly long) run: a bad
+    // --checkpoint destination is a flag error (exit 2); a missing or
+    // corrupt --resume file is a refused checkpoint (exit 1, named
+    // diagnostic from pim-ckpt).
+    let checkpoint: Option<(String, Option<u64>)> = ckpt_spec.map(|spec| {
+        let parsed = pim_ckpt::parse_checkpoint_spec(&spec).unwrap_or_else(|e| {
+            eprintln!("tracesim: --checkpoint: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = pim_ckpt::validate_destination(std::path::Path::new(&parsed.0)) {
+            eprintln!("tracesim: --checkpoint: cannot write `{}`: {e}", parsed.0);
+            std::process::exit(2);
+        }
+        parsed
+    });
+    let resume_payload: Option<Vec<u8>> = resume_path.as_ref().map(|path| {
+        pim_ckpt::load_from_path(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("tracesim: --resume: refused checkpoint `{path}`: {e}");
+            std::process::exit(1);
+        })
+    });
 
     let trace: Vec<Access> = if let Some(name) = generator {
         let workers = pes.unwrap_or(4);
@@ -218,17 +270,60 @@ fn main() {
         ..SystemConfig::default()
     };
 
-    let shared = report_path.as_ref().map(|_| SharedMetrics::new());
+    // Pins the run configuration (flags + input trace, minus --threads
+    // and the checkpoint flags themselves) into every snapshot, so a
+    // resume under different conditions is refused instead of silently
+    // diverging.
+    let config_digest = {
+        let mut bytes = Vec::with_capacity(trace.len() * 24 + 128);
+        bytes.extend_from_slice(
+            format!(
+                "tracesim|pes={pes}|illinois={illinois}|no_opt={no_opt}|block={block}\
+                 |capacity={capacity}|ways={ways}|bus_width={bus_width}|faults={faults:?}\
+                 |report={}|trace_cap={:?}|",
+                report_path.is_some(),
+                // Ring capacity shapes the recorded events; the output
+                // path does not, so it stays out of the digest.
+                trace_spec
+                    .as_deref()
+                    .map(|s| pim_tracer::parse_trace_spec(s).ok().map(|(_, cap)| cap))
+            )
+            .as_bytes(),
+        );
+        for a in &trace {
+            bytes.extend_from_slice(&a.pe.0.to_le_bytes());
+            bytes.extend_from_slice(&a.addr.to_le_bytes());
+            bytes.extend_from_slice(format!("{:?}/{:?};", a.op, a.area).as_bytes());
+        }
+        pim_ckpt::fnv1a64(&bytes)
+    };
+    // Checkpoint provenance for the report's `checkpoint` block. Cells,
+    // because the writer closures below capture them before the run
+    // mutates them.
+    let resumed_from_cycle: std::cell::Cell<Option<u64>> = std::cell::Cell::new(None);
+    let snapshots_written: std::cell::Cell<u64> = std::cell::Cell::new(0);
+    let sigint = checkpoint.as_ref().map(|_| pim_ckpt::install_sigint_flag());
+
+    let shared = report_path.as_ref().map(|path| {
+        // Validate the report destination now, so a bad path fails in
+        // milliseconds with the flag named, not after the sim.
+        if let Err(e) = pim_ckpt::validate_destination(std::path::Path::new(path)) {
+            eprintln!("tracesim: --report: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        SharedMetrics::new()
+    });
 
     // Validate the trace destination before the (possibly long) run:
-    // parse the spec and create/truncate the file now, so a bad path
-    // fails in milliseconds with the flag named, not after the sim.
+    // parse the spec and probe the path now — without creating or
+    // truncating anything, so a failed run never leaves a zero-byte
+    // trace file behind.
     let traced: Option<(String, SharedTracer)> = trace_spec.as_ref().map(|spec| {
         let (path, cap) = pim_tracer::parse_trace_spec(spec).unwrap_or_else(|e| {
             eprintln!("tracesim: --trace: {e}");
             std::process::exit(2);
         });
-        if let Err(e) = std::fs::File::create(&path) {
+        if let Err(e) = pim_ckpt::validate_destination(std::path::Path::new(&path)) {
             eprintln!("tracesim: --trace: cannot write `{path}`: {e}");
             std::process::exit(2);
         }
@@ -266,7 +361,7 @@ fn main() {
                 dropped,
             },
         );
-        if let Err(e) = std::fs::write(path, text) {
+        if let Err(e) = pim_ckpt::atomic_write(std::path::Path::new(path), text.as_bytes()) {
             eprintln!("tracesim: cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -299,6 +394,10 @@ fn main() {
                 ("bus_width_words", Json::from(bus_width)),
             ]),
         );
+        doc.push(
+            "checkpoint",
+            report::checkpoint_json(resumed_from_cycle.get(), snapshots_written.get()),
+        );
         if let Some(fc) = &faults {
             doc.push(
                 "fault_plan",
@@ -322,6 +421,134 @@ fn main() {
         }
     };
 
+    // Serializes one full snapshot (engine + system, process cursors,
+    // metrics, tracer ring) and writes it atomically to the checkpoint
+    // path. A macro, not a function, because the two engine types share
+    // only inherent method names.
+    macro_rules! snapshot {
+        ($engine:expr, $replayer:expr, $path:expr, $cycle:expr) => {{
+            snapshots_written.set(snapshots_written.get() + 1);
+            let mut w = pim_ckpt::Writer::new();
+            w.section("meta", |w| {
+                w.put_str("tracesim");
+                w.put_u64(config_digest);
+                w.put_u64($cycle);
+                w.put_u64(snapshots_written.get());
+            });
+            w.section("engine", |w| $engine.save_ckpt(w));
+            w.section("process", |w| $replayer.save_ckpt(w));
+            w.section("obs", |w| match &shared {
+                Some(s) => {
+                    w.put_bool(true);
+                    s.save_ckpt(w);
+                }
+                None => w.put_bool(false),
+            });
+            w.section("tracer", |w| match &traced {
+                Some((_, t)) => {
+                    w.put_bool(true);
+                    t.save_ckpt(w);
+                }
+                None => w.put_bool(false),
+            });
+            if let Err(e) = pim_ckpt::save_to_path(std::path::Path::new($path), w) {
+                eprintln!("tracesim: --checkpoint: {e}");
+                std::process::exit(1);
+            }
+        }};
+    }
+
+    // Restores `--resume` state into the freshly built engine and
+    // replayer. Every refusal names the reason and exits 1.
+    macro_rules! resume_into {
+        ($engine:expr, $replayer:expr) => {
+            if let Some(payload) = resume_payload.as_deref() {
+                let refused = |e: pim_ckpt::CkptError| -> ! {
+                    eprintln!("tracesim: --resume: refused checkpoint: {e}");
+                    std::process::exit(1)
+                };
+                let mut r = pim_ckpt::Reader::new(payload);
+                let (cycle, _snaps) = r
+                    .section("meta", |r| {
+                        let tool = r.get_str()?.to_string();
+                        if tool != "tracesim" {
+                            return Err(pim_ckpt::CkptError::Mismatch {
+                                detail: format!("checkpoint was written by `{tool}`, not tracesim"),
+                            });
+                        }
+                        let digest = r.get_u64()?;
+                        if digest != config_digest {
+                            return Err(pim_ckpt::CkptError::Mismatch {
+                                detail: "run configuration (flags or input trace) differs \
+                                         from the checkpointed run"
+                                    .into(),
+                            });
+                        }
+                        Ok((r.get_u64()?, r.get_u64()?))
+                    })
+                    .unwrap_or_else(|e| refused(e));
+                r.section("engine", |r| $engine.restore_ckpt(r))
+                    .unwrap_or_else(|e| refused(e));
+                r.section("process", |r| $replayer.restore_ckpt(r))
+                    .unwrap_or_else(|e| refused(e));
+                r.section("obs", |r| match (&shared, r.get_bool()?) {
+                    (Some(s), true) => s.restore_ckpt(r),
+                    (None, false) => Ok(()),
+                    _ => Err(pim_ckpt::CkptError::Mismatch {
+                        detail: "--report presence differs from the checkpointed run".into(),
+                    }),
+                })
+                .unwrap_or_else(|e| refused(e));
+                r.section("tracer", |r| match (&traced, r.get_bool()?) {
+                    (Some((_, t)), true) => t.restore_ckpt(r),
+                    (None, false) => Ok(()),
+                    _ => Err(pim_ckpt::CkptError::Mismatch {
+                        detail: "--trace presence differs from the checkpointed run".into(),
+                    }),
+                })
+                .unwrap_or_else(|e| refused(e));
+                r.expect_end().unwrap_or_else(|e| refused(e));
+                resumed_from_cycle.set(Some(cycle));
+            }
+        };
+    }
+
+    // Runs the engine to completion. With --checkpoint, runs in chunks:
+    // snapshots every `every` committed steps (when given), polls SIGINT
+    // between chunks, and on interrupt drains a final snapshot and exits
+    // 130. Chunking is invisible in the results: both engines compose
+    // across run() calls bit-identically.
+    macro_rules! drive {
+        ($engine:expr, $replayer:expr) => {{
+            resume_into!($engine, $replayer);
+            match &checkpoint {
+                None => check_run($engine.run(&mut $replayer, u64::MAX)),
+                Some((path, every)) => {
+                    let chunk = every.unwrap_or(1 << 16);
+                    loop {
+                        let stats = check_run($engine.run(&mut $replayer, chunk));
+                        if stats.finished {
+                            break stats;
+                        }
+                        let interrupted =
+                            sigint.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst));
+                        if interrupted || every.is_some() {
+                            snapshot!($engine, $replayer, path, stats.makespan);
+                        }
+                        if interrupted {
+                            eprintln!(
+                                "tracesim: interrupted: state drained to `{path}` at cycle {} \
+                                 (continue with --resume {path})",
+                                stats.makespan
+                            );
+                            std::process::exit(130);
+                        }
+                    }
+                }
+            }
+        }};
+    }
+
     let mut replayer = Replayer::from_merged(&trace, pes);
     let (label, report) = if illinois {
         let mut system = IllinoisSystem::new(config);
@@ -335,7 +562,7 @@ fn main() {
         if let Some(fc) = &faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
         }
-        let run = check_run(engine.run(&mut replayer, u64::MAX));
+        let run = drive!(engine, replayer);
         let fstats = engine.fault_stats().clone();
         write_trace(run.makespan, pes);
         write_report(
@@ -349,7 +576,10 @@ fn main() {
             "Illinois",
             summarize(engine.system(), run.makespan, trace.len(), &fstats),
         )
-    } else if threads == 1 {
+    } else if threads == 1 && checkpoint.is_none() && resume_payload.is_none() {
+        // Checkpointed runs always go through the parallel engine (below,
+        // bit-identical at every thread count including 1), so a snapshot
+        // written at any --threads value resumes at any other.
         let mut system = PimSystem::new(config);
         if let Some(obs) = make_observer() {
             system.set_observer(obs);
@@ -361,7 +591,7 @@ fn main() {
         if let Some(fc) = &faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
         }
-        let run = check_run(engine.run(&mut replayer, u64::MAX));
+        let run = drive!(engine, replayer);
         let fstats = engine.fault_stats().clone();
         write_trace(run.makespan, pes);
         write_report(
@@ -392,7 +622,7 @@ fn main() {
         if let Some(fc) = &faults {
             engine.set_fault_plan(FaultPlan::new(fc.clone()));
         }
-        let run = check_run(engine.run(&mut replayer, u64::MAX));
+        let run = drive!(engine, replayer);
         let fstats = engine.fault_stats().clone();
         write_trace(run.makespan, pes);
         write_report(

@@ -80,9 +80,29 @@ pub fn push_instrumentation(doc: &mut Json, pe_cycles: &[PeCycles], metrics: &Me
     doc.push("metrics", metrics.to_json());
 }
 
-/// Writes a report document to `path` in the stable pretty form.
+/// The checkpoint-provenance block: which cycle this run resumed from
+/// (`null` for an uninterrupted run) and how many snapshots it wrote.
+/// This is the one report section allowed to differ between a resumed
+/// run and its uninterrupted twin; `pimtrace diff` compares reports
+/// modulo this block.
+pub fn checkpoint_json(resumed_from_cycle: Option<u64>, snapshots: u64) -> Json {
+    Json::obj([
+        (
+            "resumed_from_cycle",
+            resumed_from_cycle.map_or(Json::Null, Json::from),
+        ),
+        ("snapshots", Json::from(snapshots)),
+    ])
+}
+
+/// Writes a report document to `path` in the stable pretty form. The
+/// write is atomic (temp file + fsync + rename), so a crash mid-write
+/// never leaves a truncated report behind.
 pub fn write_report(path: &str, doc: &Json) -> std::io::Result<()> {
-    std::fs::write(path, doc.to_string_pretty())
+    pim_ckpt::atomic_write(
+        std::path::Path::new(path),
+        doc.to_string_pretty().as_bytes(),
+    )
 }
 
 #[cfg(test)]
@@ -95,6 +115,18 @@ mod tests {
         assert_eq!(
             doc.to_string_compact(),
             r#"{"schema":"pim-repro/v1","tool":"kl1run"}"#
+        );
+    }
+
+    #[test]
+    fn checkpoint_json_wire_form_is_pinned() {
+        assert_eq!(
+            checkpoint_json(None, 0).to_string_compact(),
+            r#"{"resumed_from_cycle":null,"snapshots":0}"#
+        );
+        assert_eq!(
+            checkpoint_json(Some(42), 3).to_string_compact(),
+            r#"{"resumed_from_cycle":42,"snapshots":3}"#
         );
     }
 
