@@ -15,8 +15,10 @@ fn run_trace(trace: &[Access], pes: u32, mask: OptMask) -> PimSystem {
         ..SystemConfig::default()
     });
     let mut engine = Engine::new(system, pes);
-    let stats = engine.run(&mut replayer, u64::MAX);
-    assert!(stats.finished);
+    match engine.run(&mut replayer, u64::MAX) {
+        Ok(stats) => assert!(stats.finished),
+        Err(e) => panic!("bench trace replay failed: {e}"),
+    }
     engine.into_system()
 }
 

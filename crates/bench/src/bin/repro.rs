@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR]
-//!       [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE]
-//!       <experiment>...
+//!       [--perf] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]]
+//!       [--resume FILE] <experiment>...
 //! experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5
 //!              buswidth assoc ablation indexing aurora gc faults all
 //! ```
+//!
+//! `--perf` profiles the host-side run: a per-phase wall-time breakdown
+//! (experiments, report writes, checkpoints) on stderr, and — together
+//! with `--json DIR` — a `DIR/host_perf.json` document with host and
+//! commit provenance. The experiment JSON files themselves are never
+//! touched by `--perf`, so they stay byte-identical with and without it.
 //!
 //! `--checkpoint FILE[:every=N]` records progress after every N
 //! completed experiments (default 1); Ctrl-C drains a final snapshot at
@@ -34,10 +40,12 @@ use std::path::PathBuf;
 use workloads::Scale;
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::paper();
     let mut scale_name = "paper".to_string();
     let mut seed = 7u64;
+    let mut perf = false;
     let mut json_dir: Option<PathBuf> = None;
     let mut trace_spec: Option<String> = None;
     let mut checkpoint_spec: Option<String> = None;
@@ -79,6 +87,7 @@ fn main() {
                     }
                 }
             }
+            "--perf" => perf = true,
             "--json" => match iter.next() {
                 Some(dir) => json_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -109,7 +118,7 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] <experiment>...\n\
+                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] [--perf] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] <experiment>...\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5\n\
                      \x20            buswidth assoc ablation indexing aurora gc faults all"
                 );
@@ -120,6 +129,9 @@ fn main() {
     }
     if wanted.is_empty() {
         wanted.push("all".into());
+    }
+    if perf {
+        pim_perf::enable();
     }
     // Validate the trace destination before any experiment runs: parse
     // the spec and probe the path now (without truncating an existing
@@ -226,6 +238,7 @@ fn main() {
     let since_snapshot = std::cell::Cell::new(0u64);
 
     let save_checkpoint = |path: &str| {
+        let _perf = pim_perf::span(pim_perf::phase::CHECKPOINT);
         snapshots_written.set(snapshots_written.get() + 1);
         let done = done.borrow();
         let mut w = pim_ckpt::Writer::new();
@@ -276,6 +289,7 @@ fn main() {
 
     let write_json = |name: &str, doc: &Json| {
         if let Some(dir) = &json_dir {
+            let _perf = pim_perf::span(pim_perf::phase::REPORT_WRITE);
             let path = dir.join(format!("{name}.json"));
             if let Err(e) = pim_ckpt::atomic_write(&path, doc.to_string_pretty().as_bytes()) {
                 eprintln!("repro: cannot write {}: {e}", path.display());
@@ -284,13 +298,18 @@ fn main() {
         }
     };
 
+    let ran = std::cell::Cell::new(0u64);
     let run = |name: &str, f: &dyn Fn() -> (String, Json)| {
         if want(name) {
             let t = std::time::Instant::now();
-            let (rendered, doc) = f();
+            let (rendered, doc) = {
+                let _perf = pim_perf::span(pim_perf::phase::EXPERIMENT);
+                f()
+            };
             println!("{rendered}");
             write_json(name, &doc);
             eprintln!("[{name}: {:.1?}]", t.elapsed());
+            ran.set(ran.get() + 1);
             completed(name);
         }
     };
@@ -303,15 +322,20 @@ fn main() {
         )
     });
     if want("table2") || want("table3") {
-        let runs = bench::base_runs(scale);
+        let runs = {
+            let _perf = pim_perf::span(pim_perf::phase::EXPERIMENT);
+            bench::base_runs(scale)
+        };
         if want("table2") {
             println!("{}", bench::render_table2(&runs));
             write_json("table2", &bench::table2_json(scale, &runs));
+            ran.set(ran.get() + 1);
             completed("table2");
         }
         if want("table3") {
             println!("{}", bench::render_table3(&runs));
             write_json("table3", &bench::table3_json(scale, &runs));
+            ran.set(ran.get() + 1);
             completed("table3");
         }
     }
@@ -400,5 +424,36 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    // Stderr only: stdout carries the rendered tables, which the
+    // determinism suites diff byte-for-byte.
+    eprintln!(
+        "{}",
+        pim_perf::throughput_line("repro", wall_start.elapsed(), &[(ran.get(), "experiments")],)
+    );
+    if pim_perf::is_enabled() {
+        let report = pim_perf::take_report();
+        if let Some(dir) = &json_dir {
+            // The host-side profile gets its own file, never the
+            // experiment documents: those stay byte-identical under
+            // --perf.
+            let mut doc = Json::obj([
+                ("schema", Json::from("pim-repro/v1")),
+                ("tool", Json::from("repro-host-perf")),
+            ]);
+            doc.push("provenance", pim_perf::provenance().to_json());
+            if let Json::Obj(pairs) = report.to_json() {
+                for (k, v) in pairs {
+                    doc.push(k, v);
+                }
+            }
+            let path = dir.join("host_perf.json");
+            if let Err(e) = pim_ckpt::atomic_write(&path, doc.to_string_pretty().as_bytes()) {
+                eprintln!("repro: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        eprint!("{}", report.render());
     }
 }

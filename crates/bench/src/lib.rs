@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod format;
 pub mod json;
 pub mod pool;
+pub mod suite;
 
 pub use experiments::*;
 pub use json::*;

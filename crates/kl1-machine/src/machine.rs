@@ -1050,6 +1050,7 @@ impl Process for Cluster {
             // Stop-and-copy GC runs between micro-steps, when no PE holds
             // a cross-step variable lock.
             if self.gc_due() {
+                let _perf = pim_perf::span(pim_perf::phase::GC);
                 let copied_before = self.gc_stats.words_copied;
                 self.collect_garbage(port)?;
                 if let Some(obs) = self.observer.as_deref_mut() {

@@ -1,0 +1,75 @@
+//! Counting global allocator (behind the `count-alloc` feature).
+//!
+//! Wraps [`std::alloc::System`] and counts allocations and bytes in
+//! thread-local cells, which the span machinery snapshots on enter/exit
+//! to attribute allocation traffic per phase. Binaries opt in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pim_perf::CountingAlloc = pim_perf::CountingAlloc;
+//! ```
+//!
+//! Counting is a pair of thread-local `Cell` bumps per allocation —
+//! no atomics on the hot path, no locks, and the cells are const-
+//! initialized so the accounting itself never allocates or recurses.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+thread_local! {
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static TL_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Set once the allocator observes its first allocation — i.e. the
+/// binary actually installed [`CountingAlloc`]. Lets reports distinguish
+/// "0 allocations" from "not counting".
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// This thread's (allocation count, byte count) counters.
+pub(crate) fn thread_counters() -> (u64, u64) {
+    let allocs = TL_ALLOCS.try_with(Cell::get).unwrap_or(0);
+    let bytes = TL_BYTES.try_with(Cell::get).unwrap_or(0);
+    (allocs, bytes)
+}
+
+/// Whether a [`CountingAlloc`] is live in this process.
+pub(crate) fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+fn count(size: usize) {
+    INSTALLED.store(true, Ordering::Relaxed);
+    // `try_with`: the TLS slot may already be torn down during thread
+    // exit; losing those few counts is fine.
+    let _ = TL_ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = TL_BYTES.try_with(|c| c.set(c.get().wrapping_add(size as u64)));
+}
+
+/// A [`std::alloc::GlobalAlloc`] that counts allocations per thread and
+/// delegates to the system allocator.
+pub struct CountingAlloc;
+
+#[allow(unsafe_code)]
+// SAFETY: pure delegation to `System`; the added counting touches only
+// const-initialized thread-locals and never allocates.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        count(layout.size());
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        count(layout.size());
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        count(new_size);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}

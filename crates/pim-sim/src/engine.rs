@@ -244,6 +244,7 @@ impl<S: MemorySystem> Engine<S> {
             self.clocks.len(),
             "process/engine PE count mismatch"
         );
+        let _perf = pim_perf::span(pim_perf::phase::ENGINE_RUN);
         let mut steps = 0;
         let mut finished = false;
         while steps < max_steps {

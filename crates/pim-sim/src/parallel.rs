@@ -508,6 +508,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
             self.clocks.len(),
             "process/engine PE count mismatch"
         );
+        let _perf = pim_perf::span(pim_perf::phase::ENGINE_RUN);
         let pes = self.clocks.len();
         self.system.begin_sharded_run();
         let sys_shards = self.system.take_shards();
@@ -757,6 +758,11 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                                 speculate(&mut lanes[i], epoch_ops);
                             }
                         } else {
+                            // The whole fan-out/drain is the epoch
+                            // barrier: coordinator time spent parked on
+                            // the worker pool, the parallel engine's
+                            // dominant overhead on few-core hosts.
+                            let _barrier = pim_perf::span(pim_perf::phase::EPOCH_BARRIER);
                             for &i in &spec {
                                 let lane = std::mem::replace(
                                     &mut lanes[i],
@@ -798,6 +804,7 @@ impl<S: ShardedSystem> ParallelEngine<S> {
                         }
                     }
                     (_, Some((g, p))) => {
+                        let _replay = pim_perf::span(pim_perf::phase::COORD_REPLAY);
                         if let Err(e) = self.process_global(
                             lanes,
                             p as usize,

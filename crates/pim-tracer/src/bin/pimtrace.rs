@@ -27,7 +27,14 @@ const USAGE: &str = "usage: pimtrace <critical-path|locks|bus|diff> FILE... [opt
   locks FILE [--top N]           lock-contention hotspots by address
   bus FILE [--windows N]         bus-occupancy timeline
   diff A B [--max N]             compare two traces event-by-event, or two
-                                 pim-repro/v1 reports modulo the checkpoint block";
+                                 pim-repro/v1 reports modulo the checkpoint block
+
+exit codes:
+  0  success; for diff: the inputs are identical (modulo the checkpoint
+     block for reports), stated in the one-line summary on stdout
+  1  diff found differences (first --max are listed), or a file could
+     not be read or parsed
+  2  bad flags or usage, with the flag named on stderr";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("pimtrace: {msg}");

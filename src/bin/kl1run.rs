@@ -18,6 +18,12 @@
 //!   --faults SPEC     inject deterministic faults into the cache
 //!                     simulation, e.g. `seed=7,rate=0.01` (see tracesim)
 //!   --stats           print machine and memory statistics
+//!   --perf            profile the host-side run: per-phase wall-time
+//!                     breakdown (parse, engine run, GC, report write)
+//!                     on stderr, plus a `host_perf` block with host and
+//!                     commit provenance in the `--profile` document.
+//!                     Purely observational: simulation results are
+//!                     byte-identical with and without it
 //!   --code            dump the compiled abstract code and exit
 //!   --profile FILE    write a JSON profile (cycle accounts, latency
 //!                     histograms, coherence transitions) to FILE
@@ -64,6 +70,7 @@ struct Options {
     indexed: bool,
     stats: bool,
     code: bool,
+    perf: bool,
     faults: Option<FaultConfig>,
     profile: Option<String>,
     trace: Option<String>,
@@ -76,7 +83,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: kl1run [--pes N] [--threads N] [--flat] [--illinois] [--no-opt] \
-         [--gc WORDS] [--indexed] [--stats] [--code] [--faults SPEC] \
+         [--gc WORDS] [--indexed] [--stats] [--code] [--perf] [--faults SPEC] \
          [--profile FILE] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] \
          [--resume FILE] <program.fghc> [goal]"
     );
@@ -106,6 +113,7 @@ fn parse_args() -> Options {
         indexed: false,
         stats: false,
         code: false,
+        perf: false,
         faults: None,
         profile: None,
         trace: None,
@@ -133,6 +141,7 @@ fn parse_args() -> Options {
             "--indexed" => opts.indexed = true,
             "--stats" => opts.stats = true,
             "--code" => opts.code = true,
+            "--perf" => opts.perf = true,
             "--faults" => {
                 let Some(spec) = args.next() else {
                     eprintln!("kl1run: --faults needs a spec like seed=7,rate=0.01");
@@ -198,7 +207,11 @@ fn parse_args() -> Options {
 }
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let opts = parse_args();
+    if opts.perf {
+        pim_perf::enable();
+    }
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
@@ -206,6 +219,7 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let parse_span = pim_perf::span(pim_perf::phase::TRACE_PARSE);
     let program = match fghc::compile_with(
         &source,
         fghc::CompileOptions {
@@ -218,6 +232,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    drop(parse_span);
     if opts.code {
         print!("{program}");
         return;
@@ -428,6 +443,7 @@ fn main() {
         let Some((path, tracer)) = &traced else {
             return;
         };
+        let _perf = pim_perf::span(pim_perf::phase::REPORT_WRITE);
         let (emitted, recorded, dropped) =
             (tracer.emitted(), tracer.recorded() as u64, tracer.dropped());
         let text = pim_tracer::export_chrome(
@@ -458,6 +474,7 @@ fn main() {
             let (Some(path), Some(s)) = (&opts.profile, &shared) else {
                 return;
             };
+            let _perf = pim_perf::span(pim_perf::phase::REPORT_WRITE);
             let mut doc = report::envelope("kl1run");
             doc.push("program", Json::from(opts.file.as_str()));
             doc.push("goal", Json::from(opts.goal.as_str()));
@@ -470,6 +487,12 @@ fn main() {
             doc.push("machine", report::machine_json(&cluster.stats()));
             doc.push("memory", memory);
             report::push_instrumentation(&mut doc, pe_cycles, &s.take());
+            if pim_perf::is_enabled() {
+                doc.push(
+                    "host_perf",
+                    report::host_perf_json(&pim_perf::snapshot(), &pim_perf::provenance()),
+                );
+            }
             if let Err(e) = report::write_report(path, &doc) {
                 eprintln!("kl1run: cannot write {path}: {e}");
                 std::process::exit(1);
@@ -481,6 +504,7 @@ fn main() {
     // path.
     macro_rules! snapshot {
         ($engine:expr, $cluster:expr, $path:expr, $cycle:expr) => {{
+            let _perf = pim_perf::span(pim_perf::phase::CHECKPOINT);
             snapshots_written.set(snapshots_written.get() + 1);
             let mut w = pim_ckpt::Writer::new();
             w.section("meta", |w| {
@@ -610,7 +634,7 @@ fn main() {
         }};
     }
 
-    if opts.flat {
+    let makespan = if opts.flat {
         let port = kl1_machine::run_flat(&mut cluster, MAX_STEPS);
         let result = if arity1 {
             cluster.extract(&port, "X")
@@ -620,6 +644,7 @@ fn main() {
         print_result(&cluster, result);
         print_stats(&cluster, None, 0, None);
         write_profile("flat", &cluster, Json::Null, &[]);
+        0
     } else if opts.illinois {
         let mut system = IllinoisSystem::new(config);
         if let Some(obs) = make_observer() {
@@ -648,6 +673,7 @@ fn main() {
         let memory = report::memory_json(engine.system(), run.makespan);
         write_profile("illinois", &cluster, memory, &run.pe_cycles);
         write_trace(run.makespan);
+        run.makespan
     } else {
         let mut system = PimSystem::new(config);
         if let Some(obs) = make_observer() {
@@ -676,5 +702,20 @@ fn main() {
         let memory = report::memory_json(engine.system(), run.makespan);
         write_profile("pim", &cluster, memory, &run.pe_cycles);
         write_trace(run.makespan);
+        run.makespan
+    };
+    // Stderr only: stdout carries the program result, which the
+    // determinism suites diff byte-for-byte.
+    let m = cluster.stats();
+    eprintln!(
+        "{}",
+        pim_perf::throughput_line(
+            "kl1run",
+            wall_start.elapsed(),
+            &[(m.reductions, "reductions"), (makespan, "sim-cycles")],
+        )
+    );
+    if pim_perf::is_enabled() {
+        eprint!("{}", pim_perf::take_report().render());
     }
 }

@@ -22,6 +22,15 @@
 //!                    (also `rate_ppm=N`, `retries=N`). Every injected
 //!                    fault is recovered; the same seed produces the same
 //!                    fault schedule at every thread count.
+//!   --perf           profile the simulator itself: per-phase wall-time
+//!                    breakdown (trace parse, engine run, epoch barrier,
+//!                    coordinator replay, report write) on stderr, plus
+//!                    a `host_perf` block (host/commit provenance and
+//!                    the same breakdown) in the --report JSON. Without
+//!                    --perf the report bytes are unchanged. Build with
+//!                    `--features perf-alloc` to add per-phase
+//!                    allocation counts. Every run prints a one-line
+//!                    throughput summary on stderr regardless.
 //!   --report FILE    write a JSON report (traffic, cycle accounts,
 //!                    latency histograms, coherence transitions, fault
 //!                    recovery counters) to FILE
@@ -68,7 +77,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: tracesim [--pes N] [--threads N] [--illinois] [--no-opt] \
          [--block W] [--capacity W] [--ways N] [--bus-width W] \
-         [--faults SPEC] [--report FILE] [--trace FILE[:cap=N]] \
+         [--faults SPEC] [--perf] [--report FILE] [--trace FILE[:cap=N]] \
          [--checkpoint FILE[:every=N]] [--resume FILE] \
          (<trace.txt> | --gen NAME)"
     );
@@ -88,8 +97,10 @@ fn check_run(run: Result<RunStats, pim_sim::SimError>) -> RunStats {
 }
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let mut pes: Option<u32> = None;
     let mut illinois = false;
+    let mut perf = false;
     let mut no_opt = false;
     let mut block = 4u64;
     let mut capacity = 4096u64;
@@ -120,6 +131,7 @@ fn main() {
         match a.as_str() {
             "--pes" => pes = Some(next_u64("pes") as u32),
             "--illinois" => illinois = true,
+            "--perf" => perf = true,
             "--no-opt" => no_opt = true,
             "--block" => block = next_u64("block"),
             "--capacity" => capacity = next_u64("capacity"),
@@ -181,6 +193,9 @@ fn main() {
         eprintln!("tracesim: --pes must be at least 1");
         std::process::exit(2);
     }
+    if perf {
+        pim_perf::enable();
+    }
     let threads = match threads {
         Some(0) => {
             eprintln!("tracesim: --threads must be at least 1");
@@ -212,6 +227,7 @@ fn main() {
         })
     });
 
+    let parse_span = pim_perf::span(pim_perf::phase::TRACE_PARSE);
     let trace: Vec<Access> = if let Some(name) = generator {
         let workers = pes.unwrap_or(4);
         match name.as_str() {
@@ -235,6 +251,7 @@ fn main() {
             }
         }
     };
+    drop(parse_span);
     if trace.is_empty() {
         eprintln!("tracesim: empty trace");
         std::process::exit(1);
@@ -349,6 +366,7 @@ fn main() {
         let Some((path, tracer)) = &traced else {
             return;
         };
+        let _perf = pim_perf::span(pim_perf::phase::REPORT_WRITE);
         let (emitted, recorded, dropped) =
             (tracer.emitted(), tracer.recorded() as u64, tracer.dropped());
         let text = pim_tracer::export_chrome(
@@ -382,6 +400,7 @@ fn main() {
         let (Some(path), Some(s)) = (&report_path, &shared) else {
             return;
         };
+        let _perf = pim_perf::span(pim_perf::phase::REPORT_WRITE);
         let mut doc = report::envelope("tracesim");
         doc.push("protocol", Json::from(label));
         doc.push(
@@ -415,6 +434,12 @@ fn main() {
         doc.push("accesses", Json::from(trace.len()));
         doc.push("memory", report::memory_json(sys, makespan));
         report::push_instrumentation(&mut doc, pe_cycles, &s.take());
+        if pim_perf::is_enabled() {
+            doc.push(
+                "host_perf",
+                report::host_perf_json(&pim_perf::snapshot(), &pim_perf::provenance()),
+            );
+        }
         if let Err(e) = report::write_report(path, &doc) {
             eprintln!("tracesim: cannot write {path}: {e}");
             std::process::exit(1);
@@ -427,6 +452,7 @@ fn main() {
     // only inherent method names.
     macro_rules! snapshot {
         ($engine:expr, $replayer:expr, $path:expr, $cycle:expr) => {{
+            let _perf = pim_perf::span(pim_perf::phase::CHECKPOINT);
             snapshots_written.set(snapshots_written.get() + 1);
             let mut w = pim_ckpt::Writer::new();
             w.section("meta", |w| {
@@ -550,7 +576,7 @@ fn main() {
     }
 
     let mut replayer = Replayer::from_merged(&trace, pes);
-    let (label, report) = if illinois {
+    let (label, report, makespan) = if illinois {
         let mut system = IllinoisSystem::new(config);
         if let Some(obs) = make_observer() {
             system.set_observer(obs);
@@ -575,6 +601,7 @@ fn main() {
         (
             "Illinois",
             summarize(engine.system(), run.makespan, trace.len(), &fstats),
+            run.makespan,
         )
     } else if threads == 1 && checkpoint.is_none() && resume_payload.is_none() {
         // Checkpointed runs always go through the parallel engine (below,
@@ -604,6 +631,7 @@ fn main() {
         (
             "PIM",
             summarize(engine.system(), run.makespan, trace.len(), &fstats),
+            run.makespan,
         )
     } else {
         // The parallel engine is bit-identical to the sequential one at
@@ -635,10 +663,24 @@ fn main() {
         (
             "PIM",
             summarize(engine.system(), run.makespan, trace.len(), &fstats),
+            run.makespan,
         )
     };
     println!("protocol: {label}  ({pes} PEs, {capacity}w {ways}-way, {block}-word blocks, {bus_width}-word bus)");
     print!("{report}");
+    // The throughput summary goes to stderr so stdout (which the
+    // determinism suites diff) stays byte-identical across hosts.
+    eprintln!(
+        "{}",
+        pim_perf::throughput_line(
+            "tracesim",
+            wall_start.elapsed(),
+            &[(trace.len() as u64, "accesses"), (makespan, "sim-cycles"),],
+        )
+    );
+    if pim_perf::is_enabled() {
+        eprint!("{}", pim_perf::take_report().render());
+    }
 }
 
 fn summarize(

@@ -95,6 +95,21 @@ pub fn checkpoint_json(resumed_from_cycle: Option<u64>, snapshots: u64) -> Json 
     ])
 }
 
+/// The `host_perf` block appended to reports when `--perf` is on: host
+/// and commit provenance plus the per-phase wall-time (and, with the
+/// `perf-alloc` feature, allocation) breakdown captured so far. The
+/// block only exists under `--perf`, so default reports stay
+/// byte-identical and the determinism suites never see host timings.
+pub fn host_perf_json(perf: &pim_perf::Report, prov: &pim_perf::Provenance) -> Json {
+    let mut doc = Json::obj([("provenance", prov.to_json())]);
+    if let Json::Obj(pairs) = perf.to_json() {
+        for (k, v) in pairs {
+            doc.push(k, v);
+        }
+    }
+    doc
+}
+
 /// Writes a report document to `path` in the stable pretty form. The
 /// write is atomic (temp file + fsync + rename), so a crash mid-write
 /// never leaves a truncated report behind.
@@ -128,6 +143,21 @@ mod tests {
             checkpoint_json(Some(42), 3).to_string_compact(),
             r#"{"resumed_from_cycle":42,"snapshots":3}"#
         );
+    }
+
+    #[test]
+    fn host_perf_json_merges_provenance_and_breakdown() {
+        let perf = pim_perf::Report::default();
+        let prov = pim_perf::Provenance {
+            host: "ci".into(),
+            os: "linux",
+            arch: "x86_64",
+            commit: None,
+        };
+        let s = host_perf_json(&perf, &prov).to_string_compact();
+        assert!(s.contains(r#""provenance":{"host":"ci""#), "{s}");
+        assert!(s.contains(r#""wall_ns":0"#), "{s}");
+        assert!(s.contains(r#""phases":[]"#), "{s}");
     }
 
     #[test]

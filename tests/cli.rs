@@ -465,3 +465,100 @@ fn tracesim_trace_ring_cap_drops_loudly_and_stays_deterministic() {
     assert!(parsed.dropped > 0);
     assert_eq!(parsed.dropped, parsed.emitted - parsed.recorded);
 }
+
+#[test]
+fn throughput_summary_is_stderr_only() {
+    let out = tracesim()
+        .args(["--gen", "producer-consumer", "--pes", "2"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[throughput] tracesim:"), "{stderr}");
+    assert!(stderr.contains("accesses"), "{stderr}");
+    assert!(stderr.contains("sim-cycles"), "{stderr}");
+    // stdout is what the determinism suites diff; host timings must
+    // never leak into it.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("throughput"), "{stdout}");
+
+    let out = kl1run()
+        .args(["--pes", "2", "examples/fghc/hanoi.fghc"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[throughput] kl1run:"), "{stderr}");
+    assert!(stderr.contains("reductions"), "{stderr}");
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("throughput"));
+}
+
+#[test]
+fn perf_off_leaves_reports_byte_identical_and_perf_on_only_adds_host_perf() {
+    let dir = std::env::temp_dir().join("tracesim_cli_perf");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = |name: &str, perf: bool| {
+        let path = dir.join(name);
+        let mut cmd = tracesim();
+        cmd.args(["--gen", "heap-mix", "--pes", "4"]);
+        if perf {
+            cmd.arg("--perf");
+        }
+        cmd.args(["--report", path.to_str().unwrap()]);
+        let out = cmd.output().expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read_to_string(&path).unwrap(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+    let (plain_a, stdout_a, stderr_a) = report("plain-a.json", false);
+    let (plain_b, _, _) = report("plain-b.json", false);
+    assert_eq!(plain_a, plain_b, "default reports must be byte-identical");
+    assert!(!plain_a.contains("host_perf"));
+    assert!(!stderr_a.contains("[perf]"), "{stderr_a}");
+
+    let (perf_report, stdout_p, stderr_p) = report("perf.json", true);
+    // Same simulation, same stdout; the report gains exactly the
+    // host_perf block and stderr gains the phase breakdown.
+    assert_eq!(stdout_a, stdout_p);
+    assert!(perf_report.contains("\"host_perf\""), "{perf_report}");
+    assert!(perf_report.contains("\"provenance\""), "{perf_report}");
+    assert!(perf_report.contains("\"engine run\""), "{perf_report}");
+    assert!(stderr_p.contains("[perf] phase"), "{stderr_p}");
+    let doc = pim_tracer::parse_json(&perf_report).expect("report parses");
+    use pim_tracer::JsonExt;
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("pim-repro/v1"),
+        "--perf must not change the report schema"
+    );
+}
+
+#[test]
+fn kl1run_perf_adds_host_perf_to_the_profile() {
+    let dir = std::env::temp_dir().join("kl1run_cli_perf");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profile.json");
+    let out = kl1run()
+        .args(["--pes", "2", "--perf", "--profile", path.to_str().unwrap()])
+        .arg("examples/fghc/hanoi.fghc")
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let profile = std::fs::read_to_string(&path).unwrap();
+    assert!(profile.contains("\"host_perf\""), "{profile}");
+    assert!(profile.contains("\"wall_ns\""), "{profile}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[perf] phase"), "{stderr}");
+    assert!(stderr.contains("engine run"), "{stderr}");
+}
