@@ -34,6 +34,11 @@
 //! With `--json DIR`, each experiment additionally writes
 //! `DIR/<experiment>.json` — the same cells in the stable
 //! machine-readable schema, byte-identical across invocations.
+//!
+//! Experiments run under the sweep executor's unwind containment
+//! (`pim_sweep::exec::contained`): a panicking experiment is recorded
+//! as a failure while the rest of the run completes, and `repro` exits
+//! 1 naming every failed experiment instead of dying on the first one.
 
 use pim_obs::Json;
 use std::path::PathBuf;
@@ -298,19 +303,32 @@ fn main() {
         }
     };
 
+    // Experiments run under the sweep executor's unwind containment: a
+    // panicking experiment is recorded as a failure and the rest of the
+    // run proceeds, instead of one bad cell killing the whole
+    // regeneration. Failures are named at the end and exit 1.
+    let failures: std::cell::RefCell<Vec<(String, String)>> = std::cell::RefCell::new(Vec::new());
     let ran = std::cell::Cell::new(0u64);
     let run = |name: &str, f: &dyn Fn() -> (String, Json)| {
         if want(name) {
             let t = std::time::Instant::now();
-            let (rendered, doc) = {
+            let outcome = {
                 let _perf = pim_perf::span(pim_perf::phase::EXPERIMENT);
-                f()
+                pim_sweep::exec::contained(f)
             };
-            println!("{rendered}");
-            write_json(name, &doc);
-            eprintln!("[{name}: {:.1?}]", t.elapsed());
-            ran.set(ran.get() + 1);
-            completed(name);
+            match outcome {
+                Ok((rendered, doc)) => {
+                    println!("{rendered}");
+                    write_json(name, &doc);
+                    eprintln!("[{name}: {:.1?}]", t.elapsed());
+                    ran.set(ran.get() + 1);
+                    completed(name);
+                }
+                Err(msg) => {
+                    eprintln!("[{name}: FAILED after {:.1?}]", t.elapsed());
+                    failures.borrow_mut().push((name.to_string(), msg));
+                }
+            }
         }
     };
 
@@ -324,19 +342,31 @@ fn main() {
     if want("table2") || want("table3") {
         let runs = {
             let _perf = pim_perf::span(pim_perf::phase::EXPERIMENT);
-            bench::base_runs(scale)
+            pim_sweep::exec::contained(|| bench::base_runs(scale))
         };
-        if want("table2") {
-            println!("{}", bench::render_table2(&runs));
-            write_json("table2", &bench::table2_json(scale, &runs));
-            ran.set(ran.get() + 1);
-            completed("table2");
-        }
-        if want("table3") {
-            println!("{}", bench::render_table3(&runs));
-            write_json("table3", &bench::table3_json(scale, &runs));
-            ran.set(ran.get() + 1);
-            completed("table3");
+        match runs {
+            Ok(runs) => {
+                if want("table2") {
+                    println!("{}", bench::render_table2(&runs));
+                    write_json("table2", &bench::table2_json(scale, &runs));
+                    ran.set(ran.get() + 1);
+                    completed("table2");
+                }
+                if want("table3") {
+                    println!("{}", bench::render_table3(&runs));
+                    write_json("table3", &bench::table3_json(scale, &runs));
+                    ran.set(ran.get() + 1);
+                    completed("table3");
+                }
+            }
+            Err(msg) => {
+                for name in ["table2", "table3"] {
+                    if want(name) {
+                        eprintln!("[{name}: FAILED]");
+                        failures.borrow_mut().push((name.to_string(), msg.clone()));
+                    }
+                }
+            }
         }
     }
     run("fig1", &|| {
@@ -455,5 +485,21 @@ fn main() {
             }
         }
         eprint!("{}", report.render());
+    }
+
+    // Degraded exit: everything that could run ran, but the failures
+    // are named and the exit code says the output set is incomplete.
+    let failed = failures.borrow();
+    if !failed.is_empty() {
+        for (name, msg) in failed.iter() {
+            let first_line = msg.lines().next().unwrap_or(msg);
+            eprintln!("repro: experiment `{name}` failed: {first_line}");
+        }
+        eprintln!(
+            "repro: {} experiment(s) failed, {} completed",
+            failed.len(),
+            ran.get()
+        );
+        std::process::exit(1);
     }
 }

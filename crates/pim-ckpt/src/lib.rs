@@ -526,24 +526,126 @@ pub fn validate_destination(path: &Path) -> io::Result<()> {
     }
 }
 
+pub mod spec {
+    //! The one parser behind every `FILE[:key=value...]` flag in the
+    //! workspace (`--checkpoint FILE[:every=N]`, `--trace FILE[:cap=N]`,
+    //! `--sweep FILE`, `--journal FILE`) and every bare `key=value,...`
+    //! flag (`--faults`, `--chaos`). Each flag used to hand-roll its own
+    //! splitting with its own diagnostics; this module makes every flag
+    //! emit the same named-flag messages, so a bad spec always exits 2
+    //! with the flag and the offending key/value spelled out.
+
+    /// A parsed `FILE[:key=value...]` flag value: the path plus the
+    /// trailing options in source order.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct FileSpec {
+        /// Everything before the first recognized `:key=value` suffix.
+        pub path: String,
+        /// The recognized trailing options, in the order written.
+        pub opts: Vec<(String, String)>,
+    }
+
+    impl FileSpec {
+        /// The last value given for `key`, if any.
+        pub fn get(&self, key: &str) -> Option<&str> {
+            self.opts
+                .iter()
+                .rev()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+        }
+
+        /// Parses `key`'s value as a `u64`, with the flag and key named
+        /// in the diagnostic.
+        pub fn get_u64(&self, flag: &str, key: &str) -> Result<Option<u64>, String> {
+            match self.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .parse()
+                    .map(Some)
+                    .map_err(|_| format!("bad value `{v}` for `{key}` in --{flag}")),
+            }
+        }
+    }
+
+    /// True when `seg` has the shape of an option (`identifier=value`)
+    /// rather than a path fragment — used to flag typos like
+    /// `out.ck:evry=5` instead of silently treating them as the path.
+    fn looks_like_option(seg: &str) -> bool {
+        match seg.split_once('=') {
+            None => false,
+            Some((key, _)) => {
+                !key.is_empty()
+                    && key
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            }
+        }
+    }
+
+    /// Parses `FILE[:key=value...]` where each trailing `:key=value`
+    /// segment's key is one of `keys`. Unrecognized option-shaped
+    /// suffixes are an error (naming the flag, the key, and the accepted
+    /// keys); colons that are plainly part of the path (`C:/out.json`)
+    /// pass through untouched.
+    pub fn parse_file_spec(flag: &str, spec: &str, keys: &[&str]) -> Result<FileSpec, String> {
+        let mut rest = spec;
+        let mut opts: Vec<(String, String)> = Vec::new();
+        while let Some((head, seg)) = rest.rsplit_once(':') {
+            let Some((key, value)) = seg.split_once('=') else {
+                break;
+            };
+            if keys.contains(&key) {
+                if value.is_empty() {
+                    return Err(format!("empty value for `{key}` in --{flag}"));
+                }
+                opts.push((key.to_string(), value.to_string()));
+                rest = head;
+            } else if looks_like_option(seg) {
+                return Err(format!(
+                    "unknown key `{key}` in --{flag} (accepted: {})",
+                    keys.join(", ")
+                ));
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            return Err(format!("empty path in --{flag}"));
+        }
+        opts.reverse();
+        Ok(FileSpec {
+            path: rest.to_string(),
+            opts,
+        })
+    }
+
+    /// Splits a bare `key=value[,key=value...]` spec (no file path) into
+    /// pairs, with the flag named in every diagnostic. Empty segments
+    /// (trailing commas) are ignored.
+    pub fn parse_kv_spec(flag: &str, spec: &str) -> Result<Vec<(String, String)>, String> {
+        let mut out = Vec::new();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(format!("field `{part}` in --{flag} is not key=value"));
+            };
+            out.push((key.to_string(), value.to_string()));
+        }
+        Ok(out)
+    }
+}
+
 /// Parses the `--checkpoint FILE[:every=N]` argument form shared by the
 /// simulator binaries: an optional trailing `:every=N` sets the snapshot
 /// interval in engine steps, everything before it is the file path.
-pub fn parse_checkpoint_spec(spec: &str) -> Result<(String, Option<u64>), String> {
-    if let Some((path, every)) = spec.rsplit_once(":every=") {
-        if path.is_empty() {
-            return Err("empty path in --checkpoint".into());
-        }
-        let every: u64 = every
-            .parse()
-            .map_err(|_| format!("bad snapshot interval in --checkpoint: {every:?}"))?;
-        if every == 0 {
-            return Err("snapshot interval in --checkpoint must be >= 1".into());
-        }
-        Ok((path.to_string(), Some(every)))
-    } else {
-        Ok((spec.to_string(), None))
+/// A thin wrapper over [`spec::parse_file_spec`].
+pub fn parse_checkpoint_spec(spec_str: &str) -> Result<(String, Option<u64>), String> {
+    let parsed = spec::parse_file_spec("checkpoint", spec_str, &["every"])?;
+    let every = parsed.get_u64("checkpoint", "every")?;
+    if every == Some(0) {
+        return Err("snapshot interval in --checkpoint must be >= 1".into());
     }
+    Ok((parsed.path, every))
 }
 
 /// Interns `s`, returning a `&'static str` with the same contents.
@@ -772,6 +874,52 @@ mod tests {
         assert!(parse_checkpoint_spec("ck.bin:every=0").is_err());
         assert!(parse_checkpoint_spec("ck.bin:every=x").is_err());
         assert!(parse_checkpoint_spec(":every=5").is_err());
+    }
+
+    #[test]
+    fn file_specs_parse_with_named_flag_diagnostics() {
+        use super::spec::parse_file_spec;
+        let s = parse_file_spec("journal", "sweep.wal", &["fsync"]).unwrap();
+        assert_eq!(s.path, "sweep.wal");
+        assert!(s.opts.is_empty());
+        // Multiple trailing options, in source order; the last wins on get.
+        let s = parse_file_spec("trace", "out.json:cap=5:cap=9", &["cap"]).unwrap();
+        assert_eq!(s.path, "out.json");
+        assert_eq!(s.get("cap"), Some("9"));
+        assert_eq!(s.get_u64("trace", "cap"), Ok(Some(9)));
+        // Windows-style drive colons are path, not options.
+        let s = parse_file_spec("trace", "C:/t/out.json:cap=1", &["cap"]).unwrap();
+        assert_eq!(s.path, "C:/t/out.json");
+        // Typos are named, not silently folded into the path.
+        let e = parse_file_spec("checkpoint", "ck.bin:evry=5", &["every"]).unwrap_err();
+        assert!(e.contains("unknown key `evry` in --checkpoint"), "{e}");
+        let e = parse_file_spec("trace", "out.json:cap=", &["cap"]).unwrap_err();
+        assert!(e.contains("empty value for `cap` in --trace"), "{e}");
+        let e = parse_file_spec("sweep", "", &["x"]).unwrap_err();
+        assert!(e.contains("empty path in --sweep"), "{e}");
+        let e = parse_file_spec("trace", "out.json:cap=zz", &["cap"])
+            .unwrap()
+            .get_u64("trace", "cap")
+            .unwrap_err();
+        assert!(e.contains("bad value `zz` for `cap` in --trace"), "{e}");
+    }
+
+    #[test]
+    fn kv_specs_parse_with_named_flag_diagnostics() {
+        use super::spec::parse_kv_spec;
+        assert_eq!(
+            parse_kv_spec("faults", "seed=7,rate=0.01"),
+            Ok(vec![
+                ("seed".into(), "7".into()),
+                ("rate".into(), "0.01".into())
+            ])
+        );
+        assert_eq!(parse_kv_spec("chaos", ""), Ok(vec![]));
+        let e = parse_kv_spec("faults", "seed").unwrap_err();
+        assert!(
+            e.contains("field `seed` in --faults is not key=value"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -139,10 +139,8 @@ impl FaultConfig {
     /// per million). Unknown keys are errors.
     pub fn parse_spec(spec: &str) -> Result<FaultConfig, String> {
         let mut config = FaultConfig::default();
-        for part in spec.split(',').filter(|p| !p.is_empty()) {
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| format!("fault spec field `{part}` is not key=value"))?;
+        for (key, value) in pim_ckpt::spec::parse_kv_spec("faults", spec)? {
+            let (key, value) = (key.as_str(), value.as_str());
             match key {
                 "seed" => {
                     config.seed = value
@@ -472,6 +470,135 @@ pub fn find_cycle(edges: &[(PeId, PeId)]) -> Option<Vec<PeId>> {
     None
 }
 
+pub mod chaos {
+    //! Deterministic chaos injection for the sweep supervisor.
+    //!
+    //! Where [`FaultPlan`](super::FaultPlan) perturbs the *simulated*
+    //! machine, a [`ChaosPlan`] perturbs the *host-side executor*: it
+    //! kills or delays sweep workers mid-cell so `sweeprun --chaos` can
+    //! prove the supervisor converges to the same results as an
+    //! undisturbed run. The plan is the same pure-function shape as the
+    //! fault plan — splitmix64 over `(seed, cell digest, attempt)`, no
+    //! mutable PRNG state — so two runs with equal seeds (at any worker
+    //! thread count) draw identical chaos schedules, and a retried cell
+    //! re-draws exactly the event that killed it the first time.
+
+    use super::{splitmix64, PPM};
+
+    /// One host-side chaos event against a sweep worker.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ChaosEvent {
+        /// Kill the worker mid-cell (a deliberate panic at a
+        /// deterministic point, standing in for an OOM kill or crash).
+        Kill,
+        /// Delay the worker by this many milliseconds before it starts
+        /// the cell (perturbs scheduling without changing results).
+        Delay(u64),
+    }
+
+    /// Static chaos parameters, parsed from `--chaos seed=N[,...]`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ChaosConfig {
+        /// PRNG seed; equal seeds draw equal chaos schedules.
+        pub seed: u64,
+        /// Worker-kill probability per cell attempt, in parts per
+        /// million.
+        pub kill_ppm: u32,
+        /// Worker-delay probability per cell attempt, in ppm.
+        pub delay_ppm: u32,
+        /// Longest injected delay, in milliseconds.
+        pub max_delay_ms: u64,
+    }
+
+    impl Default for ChaosConfig {
+        fn default() -> Self {
+            ChaosConfig {
+                seed: 0,
+                // Aggressive by default: chaos mode exists to stress the
+                // supervisor, so roughly every third attempt is killed
+                // and every fifth delayed.
+                kill_ppm: 300_000,
+                delay_ppm: 200_000,
+                max_delay_ms: 20,
+            }
+        }
+    }
+
+    impl ChaosConfig {
+        /// Parses `seed=N[,kill=PPM][,delay=PPM][,max_delay_ms=N]`
+        /// via the shared kv-spec parser, so `--chaos` emits the same
+        /// named-flag diagnostics as every other spec flag.
+        pub fn parse_spec(spec: &str) -> Result<ChaosConfig, String> {
+            let mut config = ChaosConfig::default();
+            for (key, value) in pim_ckpt::spec::parse_kv_spec("chaos", spec)? {
+                let parse_ppm = |v: &str, what: &str| -> Result<u32, String> {
+                    let n: u32 = v.parse().map_err(|e| format!("chaos {what} `{v}`: {e}"))?;
+                    if n as u64 > PPM {
+                        return Err(format!("chaos {what} `{v}` exceeds {PPM}"));
+                    }
+                    Ok(n)
+                };
+                match key.as_str() {
+                    "seed" => {
+                        config.seed = value
+                            .parse()
+                            .map_err(|e| format!("chaos seed `{value}`: {e}"))?;
+                    }
+                    "kill" => config.kill_ppm = parse_ppm(&value, "kill ppm")?,
+                    "delay" => config.delay_ppm = parse_ppm(&value, "delay ppm")?,
+                    "max_delay_ms" => {
+                        config.max_delay_ms = value
+                            .parse()
+                            .map_err(|e| format!("chaos max_delay_ms `{value}`: {e}"))?;
+                    }
+                    other => return Err(format!("unknown chaos spec key `{other}`")),
+                }
+            }
+            Ok(config)
+        }
+    }
+
+    /// A seeded chaos plan: a pure decision function over cell attempts.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ChaosPlan {
+        config: ChaosConfig,
+    }
+
+    impl ChaosPlan {
+        /// Builds the plan for `config`.
+        pub fn new(config: ChaosConfig) -> ChaosPlan {
+            ChaosPlan { config }
+        }
+
+        /// The plan's configuration.
+        pub fn config(&self) -> &ChaosConfig {
+            &self.config
+        }
+
+        /// Decides what (if anything) happens to the worker running
+        /// attempt `attempt` of the cell identified by `digest`. Pure:
+        /// equal arguments give equal answers in any call order, so the
+        /// schedule is identical at every worker-thread count. The
+        /// *supervisor* bounds recovery by construction: it stops
+        /// consulting the plan on a cell's final permitted attempt, so
+        /// chaos alone can never quarantine a cell.
+        pub fn decide(&self, digest: u64, attempt: u32) -> Option<ChaosEvent> {
+            let key = splitmix64(
+                self.config.seed ^ splitmix64(digest ^ ((attempt as u64) << 48 | 0xC4A0)),
+            );
+            if key % PPM < self.config.kill_ppm as u64 {
+                return Some(ChaosEvent::Kill);
+            }
+            let key2 = splitmix64(key);
+            if key2 % PPM < self.config.delay_ppm as u64 {
+                let ms = splitmix64(key2) % (self.config.max_delay_ms.max(1));
+                return Some(ChaosEvent::Delay(ms));
+            }
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +631,48 @@ mod tests {
             }
         }
         assert!(diverged, "seeds 7 and 8 drew identical plans");
+    }
+
+    #[test]
+    fn chaos_plan_is_pure_seed_sensitive_and_parses() {
+        use chaos::{ChaosConfig, ChaosEvent, ChaosPlan};
+        let a = ChaosPlan::new(ChaosConfig {
+            seed: 7,
+            ..ChaosConfig::default()
+        });
+        let b = ChaosPlan::new(ChaosConfig {
+            seed: 8,
+            ..ChaosConfig::default()
+        });
+        let (mut kills, mut delays, mut diverged) = (0u32, 0u32, false);
+        for digest in 0..4096u64 {
+            for attempt in 0..3u32 {
+                let d = a.decide(digest, attempt);
+                assert_eq!(d, a.decide(digest, attempt), "not pure");
+                match d {
+                    Some(ChaosEvent::Kill) => kills += 1,
+                    Some(ChaosEvent::Delay(ms)) => {
+                        assert!(ms < a.config().max_delay_ms);
+                        delays += 1;
+                    }
+                    None => {}
+                }
+                if d != b.decide(digest, attempt) {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(kills > 0 && delays > 0, "default rates injected nothing");
+        assert!(diverged, "seeds 7 and 8 drew identical chaos plans");
+
+        let c = ChaosConfig::parse_spec("seed=42,kill=1000,delay=0,max_delay_ms=5").unwrap();
+        assert_eq!(
+            (c.seed, c.kill_ppm, c.delay_ppm, c.max_delay_ms),
+            (42, 1000, 0, 5)
+        );
+        assert!(ChaosConfig::parse_spec("kill=2000000").is_err());
+        assert!(ChaosConfig::parse_spec("bogus=1").is_err());
+        assert!(ChaosConfig::parse_spec("seed").is_err());
     }
 
     #[test]

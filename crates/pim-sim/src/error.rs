@@ -53,6 +53,21 @@ pub enum SimError {
         /// The PEs whose lanes were stuck.
         pes: Vec<PeId>,
     },
+    /// The host-side wall-clock deadline (`--timeout SECS`) expired
+    /// before the simulation finished. Unlike [`WatchdogExpired`]
+    /// (a *simulated*-cycle budget), this bounds real time: a
+    /// pathological trace or workload stops after the deadline with its
+    /// partial statistics intact instead of running forever.
+    ///
+    /// [`WatchdogExpired`]: SimError::WatchdogExpired
+    WallClockExpired {
+        /// The configured deadline, in seconds.
+        budget_secs: u64,
+        /// Simulated cycle reached when the deadline fired.
+        cycle: u64,
+        /// Micro-steps executed when the deadline fired.
+        steps: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -89,6 +104,17 @@ impl std::fmt::Display for SimError {
                     write!(f, "{pe}")?;
                 }
                 Ok(())
+            }
+            SimError::WallClockExpired {
+                budget_secs,
+                cycle,
+                steps,
+            } => {
+                write!(
+                    f,
+                    "wall-clock timeout: --timeout {budget_secs} expired at simulated \
+                     cycle {cycle} ({steps} steps executed; partial stats are valid)"
+                )
             }
         }
     }
@@ -127,5 +153,12 @@ mod tests {
             pes: vec![PeId(0), PeId(1)],
         };
         assert_eq!(e.to_string(), "speculative replay stuck on PE0, PE1");
+        let e = SimError::WallClockExpired {
+            budget_secs: 30,
+            cycle: 12345,
+            steps: 99,
+        };
+        assert!(e.to_string().contains("--timeout 30"), "{e}");
+        assert!(e.to_string().contains("cycle 12345"), "{e}");
     }
 }

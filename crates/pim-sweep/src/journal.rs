@@ -1,0 +1,514 @@
+//! The crash-safe sweep journal: an append-only write-ahead log of cell
+//! outcomes.
+//!
+//! # File format (`pim-swl/v1`)
+//!
+//! ```text
+//! header:  "pim-swl/v1\n"  (11 bytes)
+//!          spec digest     (u64 LE — the grid digest of the sweep spec)
+//! record:  payload length  (u32 LE)
+//!          payload         (length bytes)
+//!          checksum        (u64 LE — FNV-1a of the payload)
+//! ```
+//!
+//! The payload is a [`pim_ckpt`] field stream: a one-byte outcome tag,
+//! the cell's content digest, then the outcome body (the result row for
+//! a completed cell, the attempt count and final error for a
+//! quarantined one).
+//!
+//! # Durability contract
+//!
+//! Appends are flushed and fsync'd before the executor considers a cell
+//! recorded, so a `kill -9` loses at most the record being written.
+//! Replay is *torn-tail tolerant*: the reader accepts the longest valid
+//! prefix of records and silently discards a trailing partial or
+//! corrupt record (resume truncates it before appending). A journal
+//! whose *header* is wrong is a different matter — a bad magic or a
+//! spec-digest mismatch means the file is not a journal for this sweep,
+//! and the reader refuses it with a named error instead of guessing.
+//!
+//! Duplicate records for one cell are legal (a crash can land between
+//! the append and the executor's bookkeeping); replay keeps the last
+//! record per cell, so nothing is ever double-counted.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use pim_ckpt::{fnv1a64, Reader, Writer};
+
+/// Magic + version prefix of every sweep journal.
+pub const MAGIC: &[u8; 11] = b"pim-swl/v1\n";
+
+/// Guard against absurd lengths from corrupt records: no legitimate
+/// payload (a stats row or an error string) approaches this.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+const TAG_DONE: u8 = 1;
+const TAG_QUARANTINED: u8 = 2;
+
+/// The deterministic result row of one completed cell — everything the
+/// report renders for it. Stored in the journal so resumed sweeps can
+/// serve the cell without re-running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRow {
+    /// KL1 reductions.
+    pub reductions: u64,
+    /// Goal suspensions.
+    pub suspensions: u64,
+    /// Memory references.
+    pub references: u64,
+    /// Total bus cycles.
+    pub bus_cycles: u64,
+    /// Cache lookups.
+    pub lookups: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Completed lock reads.
+    pub lr_total: u64,
+    /// Simulated completion time in cycles.
+    pub makespan: u64,
+}
+
+/// The journaled fate of one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// The cell completed and validated; its result row is durable.
+    Done(CellRow),
+    /// The cell failed every permitted attempt and was quarantined so
+    /// the rest of the sweep could proceed.
+    Quarantined {
+        /// Attempts consumed (the spec's retry budget).
+        attempts: u32,
+        /// The final attempt's failure, rendered for the report.
+        error: String,
+    },
+}
+
+/// Why a journal could not be opened or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The file exists but does not start with the `pim-swl/v1` magic —
+    /// it is not a sweep journal (or its header was corrupted).
+    BadMagic,
+    /// The journal belongs to a different sweep grid.
+    SpecMismatch {
+        /// The digest recorded in the journal header.
+        found: u64,
+        /// The digest of the spec being run.
+        want: u64,
+    },
+    /// An I/O failure reading, writing, or syncing the journal.
+    Io(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::BadMagic => {
+                write!(f, "not a pim-swl/v1 sweep journal (bad magic)")
+            }
+            JournalError::SpecMismatch { found, want } => write!(
+                f,
+                "journal belongs to a different sweep \
+                 (spec digest {found:#018x}, this sweep is {want:#018x})"
+            ),
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(e: std::io::Error) -> JournalError {
+    JournalError::Io(e.to_string())
+}
+
+fn encode_record(cell_digest: u64, outcome: &CellOutcome) -> Vec<u8> {
+    let mut w = Writer::new();
+    match outcome {
+        CellOutcome::Done(row) => {
+            w.put_u8(TAG_DONE);
+            w.put_u64(cell_digest);
+            w.put_u64(row.reductions);
+            w.put_u64(row.suspensions);
+            w.put_u64(row.references);
+            w.put_u64(row.bus_cycles);
+            w.put_u64(row.lookups);
+            w.put_u64(row.hits);
+            w.put_u64(row.lr_total);
+            w.put_u64(row.makespan);
+        }
+        CellOutcome::Quarantined { attempts, error } => {
+            w.put_u8(TAG_QUARANTINED);
+            w.put_u64(cell_digest);
+            w.put_u32(*attempts);
+            w.put_str(error);
+        }
+    }
+    let payload = w.payload();
+    let mut rec = Vec::with_capacity(payload.len() + 12);
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    rec
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(u64, CellOutcome)> {
+    let mut r = Reader::new(payload);
+    let tag = r.get_u8().ok()?;
+    let digest = r.get_u64().ok()?;
+    let outcome = match tag {
+        TAG_DONE => CellOutcome::Done(CellRow {
+            reductions: r.get_u64().ok()?,
+            suspensions: r.get_u64().ok()?,
+            references: r.get_u64().ok()?,
+            bus_cycles: r.get_u64().ok()?,
+            lookups: r.get_u64().ok()?,
+            hits: r.get_u64().ok()?,
+            lr_total: r.get_u64().ok()?,
+            makespan: r.get_u64().ok()?,
+        }),
+        TAG_QUARANTINED => CellOutcome::Quarantined {
+            attempts: r.get_u32().ok()?,
+            error: r.get_str().ok()?.to_string(),
+        },
+        _ => return None,
+    };
+    r.expect_end().ok()?;
+    Some((digest, outcome))
+}
+
+/// What a replay recovered from journal bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Last-wins outcome per cell digest.
+    pub outcomes: BTreeMap<u64, CellOutcome>,
+    /// Raw records accepted (counts duplicates).
+    pub records: u64,
+    /// Length of the valid prefix, including the header. Anything past
+    /// this is a torn or corrupt tail to be truncated before appending.
+    pub valid_len: u64,
+    /// Whether a torn/corrupt tail was discarded.
+    pub torn: bool,
+}
+
+const HEADER_LEN: usize = MAGIC.len() + 8;
+
+/// Replays journal bytes without touching the filesystem.
+///
+/// Header problems (bad magic, wrong spec digest) are refused with a
+/// named error — with one deliberate exception: bytes that are a strict
+/// *prefix* of a valid header are what a crash during journal creation
+/// leaves behind, and replay treats them as an empty journal to be
+/// rewritten. Record-level problems (truncation, a flipped bit, a torn
+/// final record, a bogus length) end the valid prefix: everything
+/// before them is kept, everything after is reported torn.
+pub fn replay_bytes(bytes: &[u8], spec_digest: u64) -> Result<Replay, JournalError> {
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&spec_digest.to_le_bytes());
+    if bytes.len() < HEADER_LEN {
+        // A crash between create and header fsync leaves a prefix of
+        // the header; anything else this short is not a journal.
+        if header.starts_with(bytes) {
+            return Ok(Replay {
+                outcomes: BTreeMap::new(),
+                records: 0,
+                valid_len: 0,
+                torn: !bytes.is_empty(),
+            });
+        }
+        return Err(JournalError::BadMagic);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let mut digest_bytes = [0u8; 8];
+    digest_bytes.copy_from_slice(&bytes[MAGIC.len()..HEADER_LEN]);
+    let found = u64::from_le_bytes(digest_bytes);
+    if found != spec_digest {
+        return Err(JournalError::SpecMismatch {
+            found,
+            want: spec_digest,
+        });
+    }
+    let mut outcomes = BTreeMap::new();
+    let mut records = 0u64;
+    let mut pos = HEADER_LEN;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            return Ok(Replay {
+                outcomes,
+                records,
+                valid_len: pos as u64,
+                torn: false,
+            });
+        }
+        let torn = |outcomes, records| {
+            Ok(Replay {
+                outcomes,
+                records,
+                valid_len: pos as u64,
+                torn: true,
+            })
+        };
+        if rest.len() < 4 {
+            return torn(outcomes, records);
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&rest[..4]);
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_PAYLOAD || rest.len() < 4 + len as usize + 8 {
+            return torn(outcomes, records);
+        }
+        let payload = &rest[4..4 + len as usize];
+        let mut sum_bytes = [0u8; 8];
+        sum_bytes.copy_from_slice(&rest[4 + len as usize..4 + len as usize + 8]);
+        if u64::from_le_bytes(sum_bytes) != fnv1a64(payload) {
+            return torn(outcomes, records);
+        }
+        let Some((digest, outcome)) = decode_payload(payload) else {
+            return torn(outcomes, records);
+        };
+        outcomes.insert(digest, outcome);
+        records += 1;
+        pos += 4 + len as usize + 8;
+    }
+}
+
+/// An open sweep journal, positioned for appends.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal for the sweep with grid digest
+    /// `spec_digest`, replaying whatever a previous run recorded.
+    ///
+    /// A torn tail — including a half-written header from a crash
+    /// during creation — is truncated away; a journal for a *different*
+    /// sweep, or a file that is not a journal at all, is refused with a
+    /// named error rather than overwritten.
+    pub fn open(path: &Path, spec_digest: u64) -> Result<(Journal, Replay), JournalError> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes).map_err(io_err)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(e)),
+        }
+        let replay = replay_bytes(&bytes, spec_digest)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io_err)?;
+        file.set_len(replay.valid_len).map_err(io_err)?;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0)).map_err(io_err)?;
+        if replay.valid_len == 0 {
+            file.write_all(MAGIC).map_err(io_err)?;
+            file.write_all(&spec_digest.to_le_bytes()).map_err(io_err)?;
+        }
+        file.sync_data().map_err(io_err)?;
+        Ok((Journal { file }, replay))
+    }
+
+    /// Durably appends one cell outcome: the record is written, flushed,
+    /// and fsync'd before this returns, so a subsequent `kill -9`
+    /// cannot lose it.
+    pub fn append(&mut self, cell_digest: u64, outcome: &CellOutcome) -> Result<(), JournalError> {
+        let rec = encode_record(cell_digest, outcome);
+        self.file.write_all(&rec).map_err(io_err)?;
+        self.file.sync_data().map_err(io_err)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(seed: u64) -> CellRow {
+        CellRow {
+            reductions: seed,
+            suspensions: seed + 1,
+            references: seed + 2,
+            bus_cycles: seed + 3,
+            lookups: seed + 4,
+            hits: seed + 5,
+            lr_total: seed + 6,
+            makespan: seed + 7,
+        }
+    }
+
+    fn journal_bytes(spec: u64, recs: &[(u64, CellOutcome)]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&spec.to_le_bytes());
+        for (digest, outcome) in recs {
+            bytes.extend_from_slice(&encode_record(*digest, outcome));
+        }
+        bytes
+    }
+
+    #[test]
+    fn outcomes_round_trip_through_records() {
+        let recs = vec![
+            (1, CellOutcome::Done(row(100))),
+            (
+                2,
+                CellOutcome::Quarantined {
+                    attempts: 3,
+                    error: "program failed: poison".into(),
+                },
+            ),
+        ];
+        let bytes = journal_bytes(7, &recs);
+        let replay = replay_bytes(&bytes, 7).unwrap();
+        assert!(!replay.torn);
+        assert_eq!(replay.records, 2);
+        assert_eq!(replay.valid_len, bytes.len() as u64);
+        assert_eq!(replay.outcomes[&1], recs[0].1);
+        assert_eq!(replay.outcomes[&2], recs[1].1);
+    }
+
+    #[test]
+    fn duplicate_cells_keep_the_last_record_and_never_double_count() {
+        let bytes = journal_bytes(
+            7,
+            &[
+                (1, CellOutcome::Done(row(100))),
+                (1, CellOutcome::Done(row(200))),
+            ],
+        );
+        let replay = replay_bytes(&bytes, 7).unwrap();
+        assert_eq!(replay.records, 2);
+        assert_eq!(replay.outcomes.len(), 1);
+        assert_eq!(replay.outcomes[&1], CellOutcome::Done(row(200)));
+    }
+
+    #[test]
+    fn header_problems_are_refused_not_recovered() {
+        assert_eq!(
+            replay_bytes(b"not a journal at all", 7),
+            Err(JournalError::BadMagic)
+        );
+        let bytes = journal_bytes(8, &[]);
+        assert_eq!(
+            replay_bytes(&bytes, 7),
+            Err(JournalError::SpecMismatch { found: 8, want: 7 })
+        );
+        // A flipped bit in the magic is corruption, not a torn tail.
+        let mut bytes = journal_bytes(7, &[(1, CellOutcome::Done(row(1)))]);
+        bytes[0] ^= 0x20;
+        assert_eq!(replay_bytes(&bytes, 7), Err(JournalError::BadMagic));
+    }
+
+    #[test]
+    fn header_prefix_from_a_creation_crash_reads_as_empty() {
+        let full = journal_bytes(7, &[]);
+        for cut in 0..full.len() {
+            let replay = replay_bytes(&full[..cut], 7).unwrap();
+            assert_eq!(replay.outcomes.len(), 0, "cut={cut}");
+            assert_eq!(replay.valid_len, 0, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_recovers_the_longest_valid_prefix() {
+        let recs: Vec<(u64, CellOutcome)> = (0..4u64)
+            .map(|i| (i, CellOutcome::Done(row(i * 10))))
+            .collect();
+        let full = journal_bytes(7, &recs);
+        let full_replay = replay_bytes(&full, 7).unwrap();
+        let rec_len = (full.len() - HEADER_LEN) / 4;
+        for cut in HEADER_LEN..full.len() {
+            let replay = replay_bytes(&full[..cut], 7).unwrap();
+            let whole_records = (cut - HEADER_LEN) / rec_len;
+            assert_eq!(replay.records, whole_records as u64, "cut={cut}");
+            assert_eq!(
+                replay.valid_len as usize,
+                HEADER_LEN + whole_records * rec_len,
+                "cut={cut}"
+            );
+            assert_eq!(replay.torn, cut != HEADER_LEN + whole_records * rec_len);
+            for (digest, outcome) in &replay.outcomes {
+                assert_eq!(outcome, &full_replay.outcomes[digest]);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_records_never_panic_and_keep_the_prefix() {
+        let recs: Vec<(u64, CellOutcome)> = (0..3u64)
+            .map(|i| {
+                (
+                    i,
+                    if i == 1 {
+                        CellOutcome::Quarantined {
+                            attempts: 2,
+                            error: "boom".into(),
+                        }
+                    } else {
+                        CellOutcome::Done(row(i))
+                    },
+                )
+            })
+            .collect();
+        let full = journal_bytes(7, &recs);
+        for byte in HEADER_LEN..full.len() {
+            for bit in 0..8 {
+                let mut bytes = full.clone();
+                bytes[byte] ^= 1 << bit;
+                let replay = replay_bytes(&bytes, 7)
+                    .unwrap_or_else(|e| panic!("byte {byte} bit {bit}: refused: {e}"));
+                // The flip can only shorten the valid prefix, never
+                // invent outcomes that were not written.
+                assert!(replay.records <= 3, "byte {byte} bit {bit}");
+                for (digest, outcome) in &replay.outcomes {
+                    if !replay.torn && replay.records == 3 {
+                        assert_eq!(outcome, &replay_bytes(&full, 7).unwrap().outcomes[digest]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_truncates_torn_tails_and_appends_after_them() {
+        let dir = std::env::temp_dir().join(format!("pim-swl-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.swl");
+        let (mut j, replay) = Journal::open(&path, 7).unwrap();
+        assert_eq!(replay.records, 0);
+        j.append(1, &CellOutcome::Done(row(10))).unwrap();
+        j.append(2, &CellOutcome::Done(row(20))).unwrap();
+        drop(j);
+        // Tear the final record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut j, replay) = Journal::open(&path, 7).unwrap();
+        assert!(replay.torn);
+        assert_eq!(replay.outcomes.len(), 1);
+        j.append(3, &CellOutcome::Done(row(30))).unwrap();
+        drop(j);
+        let (_, replay) = Journal::open(&path, 7).unwrap();
+        assert!(!replay.torn);
+        assert_eq!(replay.outcomes.len(), 2);
+        assert_eq!(replay.outcomes[&3], CellOutcome::Done(row(30)));
+        // A different spec digest refuses the same file.
+        let err = Journal::open(&path, 8).unwrap_err();
+        assert!(matches!(
+            err,
+            JournalError::SpecMismatch { found: 7, want: 8 }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,42 @@
+//! Supervised sweep execution for the PIM cache evaluation.
+//!
+//! A *sweep* is a declarative grid of experiment cells — protocol ×
+//! benchmark × scale × PE count × block size — executed under
+//! supervision: each cell runs with a wall-clock timeout, panics and
+//! simulation errors become structured per-cell failures, failed cells
+//! are retried with bounded deterministic backoff and quarantined after
+//! the attempt budget, and every completion is durably recorded in a
+//! crash-safe write-ahead journal so a killed sweep resumes exactly
+//! where it stopped (completed cells are served from the journal, never
+//! re-run).
+//!
+//! The module split mirrors the cell lifecycle:
+//!
+//! * [`spec`] — parse a sweep spec and expand it into the cell grid;
+//!   every cell has a canonical key string and a content digest;
+//! * [`journal`] — the append-only WAL (`pim-swl/v1`): checksummed
+//!   length-prefixed records, fsync'd per append, torn-tail tolerant on
+//!   replay, refused (never silently reinterpreted) on header or
+//!   spec-digest mismatch;
+//! * [`exec`] — the supervised worker pool: retry/backoff/quarantine,
+//!   cooperative SIGINT drain, and the deterministic `--chaos` fault
+//!   injector for self-tests;
+//! * [`report`] — the `pim-sweep/v1` report document, byte-identical
+//!   across thread counts, resume, and chaos, with all nondeterministic
+//!   host data confined to its `provenance` block.
+//!
+//! Every sweep — even one interrupted or degraded by quarantined cells
+//! — produces a valid report enumerating the fate of every cell.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod journal;
+pub mod report;
+pub mod spec;
+
+pub use exec::{run_sweep, CellFate, ExecConfig, SweepResult};
+pub use journal::{CellOutcome, CellRow, Journal, JournalError};
+pub use spec::{Cell, CellBench, SweepSpec};

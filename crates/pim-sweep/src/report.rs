@@ -1,0 +1,160 @@
+//! The `pim-sweep/v1` report document.
+//!
+//! One JSON document enumerating the fate of every cell in grid order.
+//! Everything outside the `provenance` block is a pure function of the
+//! sweep spec and the (deterministic) simulations, so reports are
+//! byte-identical across thread counts, journal resume, and `--chaos`
+//! runs. All host-dependent accounting — cells executed vs served from
+//! the journal, retries consumed, wall time, worker count — lives in
+//! `provenance`, the one block `pimtrace diff` ignores.
+
+use pim_obs::Json;
+
+use crate::exec::{CellFate, SweepResult};
+use crate::journal::CellRow;
+use crate::spec::Cell;
+
+/// The schema identifier of sweep reports.
+pub const SCHEMA: &str = "pim-sweep/v1";
+
+/// Host-side accounting for the `provenance` block: legitimately
+/// different between an undisturbed run and its resumed or chaos-tested
+/// twin. Reports are compared modulo this block.
+#[derive(Debug, Clone, Default)]
+pub struct Provenance {
+    /// Cells executed by this invocation.
+    pub executed: u64,
+    /// Cells served from the journal.
+    pub reused: u64,
+    /// Extra attempts consumed beyond each cell's first.
+    pub retries: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Whether a chaos plan was active.
+    pub chaos: bool,
+    /// Whether the run resumed from a non-empty journal.
+    pub resumed: bool,
+    /// Whether the run was interrupted (SIGINT drain).
+    pub interrupted: bool,
+    /// Wall-clock time of this invocation, milliseconds.
+    pub wall_ms: u64,
+}
+
+fn row_json(row: &CellRow) -> [(&'static str, Json); 8] {
+    [
+        ("reductions", Json::from(row.reductions)),
+        ("suspensions", Json::from(row.suspensions)),
+        ("references", Json::from(row.references)),
+        ("bus_cycles_total", Json::from(row.bus_cycles)),
+        ("lookups", Json::from(row.lookups)),
+        ("hits", Json::from(row.hits)),
+        ("lr_total", Json::from(row.lr_total)),
+        ("makespan_cycles", Json::from(row.makespan)),
+    ]
+}
+
+fn cell_json(cell: &Cell, fate: &CellFate) -> Json {
+    let mut doc = Json::obj([
+        ("protocol", Json::from(cell.protocol.name())),
+        ("bench", Json::from(cell.bench.name())),
+        ("scale", Json::from(cell.scale.name())),
+        ("pes", Json::from(u64::from(cell.pes))),
+        ("block_words", Json::from(cell.block_words)),
+        ("digest", Json::from(format!("{:#018x}", cell.digest()))),
+    ]);
+    match fate {
+        CellFate::Done(row) => {
+            doc.push("status", Json::from("done"));
+            for (k, v) in row_json(row) {
+                doc.push(k, v);
+            }
+        }
+        CellFate::Quarantined { attempts, error } => {
+            doc.push("status", Json::from("quarantined"));
+            doc.push("attempts", Json::from(u64::from(*attempts)));
+            doc.push("error", Json::from(error.as_str()));
+        }
+        CellFate::Skipped => doc.push("status", Json::from("skipped")),
+    }
+    doc
+}
+
+/// Renders the full report document.
+pub fn render(spec_digest: u64, result: &SweepResult, prov: &Provenance) -> Json {
+    let mut done = 0u64;
+    let mut quarantined = 0u64;
+    let mut skipped = 0u64;
+    for (_, fate) in &result.cells {
+        match fate {
+            CellFate::Done(_) => done += 1,
+            CellFate::Quarantined { .. } => quarantined += 1,
+            CellFate::Skipped => skipped += 1,
+        }
+    }
+    let mut doc = Json::obj([
+        ("schema", Json::from(SCHEMA)),
+        ("tool", Json::from("sweeprun")),
+        ("spec_digest", Json::from(format!("{spec_digest:#018x}"))),
+        (
+            "cells",
+            Json::arr(result.cells.iter().map(|(c, f)| cell_json(c, f))),
+        ),
+        (
+            "summary",
+            Json::obj([
+                ("total", Json::from(result.cells.len())),
+                ("done", Json::from(done)),
+                ("quarantined", Json::from(quarantined)),
+                ("skipped", Json::from(skipped)),
+            ]),
+        ),
+    ]);
+    doc.push(
+        "provenance",
+        Json::obj([
+            ("executed", Json::from(prov.executed)),
+            ("reused", Json::from(prov.reused)),
+            ("retries", Json::from(prov.retries)),
+            ("threads", Json::from(prov.threads)),
+            ("chaos", Json::from(prov.chaos)),
+            ("resumed", Json::from(prov.resumed)),
+            ("interrupted", Json::from(prov.interrupted)),
+            ("wall_ms", Json::from(prov.wall_ms)),
+        ]),
+    );
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    #[test]
+    fn report_shape_is_pinned_and_provenance_is_last() {
+        let spec = SweepSpec::parse("protocols=pim\nbenches=tri\nscales=smoke\npes=1\n").unwrap();
+        let cells = spec.cells();
+        let result = SweepResult {
+            cells: vec![(
+                cells[0],
+                CellFate::Quarantined {
+                    attempts: 3,
+                    error: "boom".into(),
+                },
+            )],
+            executed: 1,
+            reused: 0,
+            retries: 2,
+            journal_error: None,
+            worker_deaths: 0,
+        };
+        let s = render(spec.digest(), &result, &Provenance::default()).to_string_pretty();
+        assert!(s.contains(r#""schema": "pim-sweep/v1""#), "{s}");
+        assert!(s.contains(r#""status": "quarantined""#), "{s}");
+        assert!(s.contains(r#""quarantined": 1"#), "{s}");
+        // Provenance is the final block so diff tooling can strip it.
+        let prov_at = s.find(r#""provenance""#).unwrap();
+        let cells_at = s.find(r#""cells""#).unwrap();
+        assert!(prov_at > cells_at);
+    }
+}

@@ -355,21 +355,27 @@ pub fn diff(a: &Trace, b: &Trace, max_shown: usize) -> DiffReport {
     DiffReport { differences, text }
 }
 
-/// True when `text` looks like a `pim-repro/v1` report document rather
-/// than a Chrome trace: the report envelope carries the shared schema
-/// identifier.
+/// True when `text` looks like a `pim-repro/v1` or `pim-sweep/v1`
+/// report document rather than a Chrome trace: the report envelopes
+/// carry their schema identifiers.
 pub fn is_report(text: &str) -> bool {
-    text.contains("\"schema\": \"pim-repro/v1\"") || text.contains("\"schema\":\"pim-repro/v1\"")
+    ["pim-repro/v1", "pim-sweep/v1"].iter().any(|schema| {
+        text.contains(&format!("\"schema\": \"{schema}\""))
+            || text.contains(&format!("\"schema\":\"{schema}\""))
+    })
 }
 
-/// Drops the `"checkpoint"` provenance block from a pretty-printed
-/// report, returning the remaining lines. Brace-counting keeps the
-/// strip correct even if the block grows nested members later.
+/// Drops the `"checkpoint"` and `"provenance"` blocks — the run-local
+/// provenance sections of `pim-repro/v1` and `pim-sweep/v1` reports —
+/// from a pretty-printed report, returning the remaining lines.
+/// Brace-counting keeps the strip correct even if a block grows nested
+/// members later.
 fn strip_checkpoint_block(text: &str) -> Vec<&str> {
     let mut out = Vec::new();
     let mut lines = text.lines();
     while let Some(line) = lines.next() {
-        if line.trim_start().starts_with("\"checkpoint\":") {
+        let head = line.trim_start();
+        if head.starts_with("\"checkpoint\":") || head.starts_with("\"provenance\":") {
             let mut depth = line.matches('{').count() as i64 - line.matches('}').count() as i64;
             while depth > 0 {
                 let Some(inner) = lines.next() else { break };

@@ -45,19 +45,15 @@ pub use read::{parse_json, ChromeEvent, JsonExt, Trace};
 
 /// Parses the `--trace FILE[:cap=N]` argument form shared by the
 /// simulator binaries: an optional trailing `:cap=N` sets the ring
-/// capacity, everything before it is the output path.
+/// capacity, everything before it is the output path. A thin wrapper
+/// over [`pim_ckpt::spec::parse_file_spec`], so every file-spec flag in
+/// the workspace emits the same named-flag diagnostics.
 pub fn parse_trace_spec(spec: &str) -> Result<(String, usize), String> {
-    if let Some((path, cap)) = spec.rsplit_once(":cap=") {
-        if path.is_empty() {
-            return Err("empty path in --trace".into());
-        }
-        let cap: usize = cap
-            .parse()
-            .map_err(|_| format!("bad ring capacity in --trace: {cap:?}"))?;
-        Ok((path.to_string(), cap))
-    } else {
-        Ok((spec.to_string(), DEFAULT_CAP))
-    }
+    let parsed = pim_ckpt::spec::parse_file_spec("trace", spec, &["cap"])?;
+    let cap = parsed
+        .get_u64("trace", "cap")?
+        .map_or(DEFAULT_CAP, |n| n as usize);
+    Ok((parsed.path, cap))
 }
 
 #[cfg(test)]

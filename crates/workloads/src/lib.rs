@@ -89,6 +89,14 @@ impl Bench {
         }
     }
 
+    /// Parses a benchmark name (case-insensitive), the inverse of
+    /// [`Bench::name`].
+    pub fn from_name(name: &str) -> Option<Bench> {
+        Bench::EXTENDED
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
     /// Lines of FGHC source (the paper's Table 1 "lines" column).
     pub fn source_lines(self) -> usize {
         self.source()
@@ -174,6 +182,14 @@ impl Scale {
             pascal_rows: 500,
             bup_tokens: 24,
         }
+    }
+
+    /// Parses a preset name (case-insensitive), the inverse of
+    /// [`Scale::name`] for the three presets.
+    pub fn from_name(name: &str) -> Option<Scale> {
+        [Scale::smoke(), Scale::small(), Scale::paper()]
+            .into_iter()
+            .find(|&scale| scale.name().eq_ignore_ascii_case(name))
     }
 
     /// The scale's name in reports: one of the three presets, or

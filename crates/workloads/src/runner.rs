@@ -44,6 +44,218 @@ pub struct RunReport {
 
 const MAX_STEPS: u64 = 4_000_000_000;
 
+/// Which cache protocol a supervised cell runs under ([`run_cell`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// The paper's PIM lock-directory cache.
+    Pim,
+    /// The Illinois (MESI) baseline.
+    Illinois,
+}
+
+impl Protocol {
+    /// The protocol's name in sweep specs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Pim => "pim",
+            Protocol::Illinois => "illinois",
+        }
+    }
+
+    /// Parses a protocol name (case-insensitive), the inverse of
+    /// [`Protocol::name`].
+    pub fn from_name(name: &str) -> Option<Protocol> {
+        [Protocol::Pim, Protocol::Illinois]
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+}
+
+/// Why a supervised cell run ([`run_cell`]) produced no report.
+///
+/// Unlike the panic-on-failure harness entry points, the cell runner
+/// returns every failure as data so a sweep supervisor can retry,
+/// quarantine, or record it without unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// The benchmark source failed to compile.
+    Compile(String),
+    /// The query could not be posed against the compiled program.
+    Query(String),
+    /// The engine refused to continue (deadlock, protocol misuse,
+    /// watchdog or wall-clock expiry, stuck replay).
+    Sim(pim_sim::SimError),
+    /// The run exceeded the harness step budget without finishing.
+    StepBudget {
+        /// Micro-steps executed when the budget ran out.
+        steps: u64,
+    },
+    /// The program itself signalled failure.
+    Failed(String),
+    /// The run finished but the query variable `R` was never bound.
+    Unbound,
+    /// The answer disagrees with the reference oracle.
+    WrongAnswer {
+        /// The computed answer.
+        got: String,
+        /// The oracle's answer.
+        want: String,
+    },
+    /// The supervisor's cancel flag was raised between chunks (SIGINT
+    /// drain or shutdown); the run stopped at a chunk boundary.
+    Cancelled {
+        /// Micro-steps executed before the stop.
+        steps: u64,
+    },
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Compile(e) => write!(f, "compile error: {e}"),
+            CellError::Query(e) => write!(f, "query error: {e}"),
+            CellError::Sim(e) => write!(f, "{e}"),
+            CellError::StepBudget { steps } => {
+                write!(f, "step budget exhausted after {steps} steps")
+            }
+            CellError::Failed(msg) => write!(f, "program failed: {msg}"),
+            CellError::Unbound => write!(f, "query var R unbound"),
+            CellError::WrongAnswer { got, want } => {
+                write!(f, "wrong answer (got {got}, want {want})")
+            }
+            CellError::Cancelled { steps } => {
+                write!(f, "cancelled after {steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Supervision controls for [`run_cell`]: a wall-clock deadline and a
+/// cooperative cancel flag, both checked between engine chunks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellControl<'a> {
+    /// Stop with [`SimError::WallClockExpired`] once this instant passes.
+    ///
+    /// [`SimError::WallClockExpired`]: pim_sim::SimError::WallClockExpired
+    pub deadline: Option<std::time::Instant>,
+    /// Stop with [`CellError::Cancelled`] once this flag is raised.
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
+    /// The configured deadline in whole seconds, echoed into the
+    /// [`SimError::WallClockExpired`] diagnostic.
+    ///
+    /// [`SimError::WallClockExpired`]: pim_sim::SimError::WallClockExpired
+    pub budget_secs: u64,
+}
+
+/// Steps per engine chunk in [`run_cell`]: small enough that deadline
+/// and cancel checks land within tens of milliseconds, large enough
+/// that chunking cost is noise.
+const CELL_CHUNK: u64 = 1 << 16;
+
+/// Runs one sweep cell — `bench` at `scale` under `protocol` with
+/// `config` — without panicking: every failure comes back as a
+/// [`CellError`], and the engine loop is chunked so the supervisor's
+/// deadline and cancel flag are honored mid-run. Chunked execution is
+/// bit-identical to a single uninterrupted run, so cell results are
+/// reproducible regardless of supervision.
+pub fn run_cell(
+    protocol: Protocol,
+    bench: Bench,
+    scale: Scale,
+    config: SystemConfig,
+    ctl: &CellControl<'_>,
+) -> Result<RunReport, CellError> {
+    match protocol {
+        Protocol::Pim => {
+            let system = PimSystem::new(config.clone());
+            run_cell_on(bench, scale, config, system, ctl)
+        }
+        Protocol::Illinois => {
+            let system = IllinoisSystem::new(config.clone());
+            run_cell_on(bench, scale, config, system, ctl)
+        }
+    }
+}
+
+fn run_cell_on<S: MemorySystem>(
+    bench: Bench,
+    scale: Scale,
+    config: SystemConfig,
+    system: S,
+    ctl: &CellControl<'_>,
+) -> Result<RunReport, CellError> {
+    use std::sync::atomic::Ordering;
+    let pes = config.pes;
+    let block = config.geometry.block_words;
+    let program = fghc::compile(bench.source()).map_err(|e| CellError::Compile(e.to_string()))?;
+    let mut cluster = Cluster::new(
+        program,
+        ClusterConfig {
+            pes,
+            block_words: block,
+            ..ClusterConfig::default()
+        },
+    );
+    let (proc, args) = bench.query(scale);
+    cluster
+        .set_query(proc, args)
+        .map_err(|e| CellError::Query(e.to_string()))?;
+    let mut engine = Engine::new(system, pes);
+    let mut total_steps = 0u64;
+    let stats = loop {
+        let chunk = CELL_CHUNK.min(MAX_STEPS - total_steps);
+        let stats = engine.run(&mut cluster, chunk).map_err(CellError::Sim)?;
+        total_steps += stats.steps;
+        if stats.finished {
+            break stats;
+        }
+        if total_steps >= MAX_STEPS {
+            return Err(CellError::StepBudget { steps: total_steps });
+        }
+        if ctl.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return Err(CellError::Cancelled { steps: total_steps });
+        }
+        if ctl.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            return Err(CellError::Sim(pim_sim::SimError::WallClockExpired {
+                budget_secs: ctl.budget_secs,
+                cycle: stats.makespan,
+                steps: total_steps,
+            }));
+        }
+    };
+    if let Some(msg) = cluster.failure() {
+        return Err(CellError::Failed(msg.to_string()));
+    }
+    let answer = engine.with_port(PeId(0), |port| cluster.extract(port, "R"));
+    let Some(answer) = answer else {
+        return Err(CellError::Unbound);
+    };
+    let want = reference::expected(bench, scale);
+    if answer != want {
+        return Err(CellError::WrongAnswer {
+            got: answer.to_string(),
+            want: want.to_string(),
+        });
+    }
+    let system = engine.into_system();
+    Ok(RunReport {
+        bench,
+        scale,
+        pes,
+        machine: cluster.stats(),
+        refs: system.ref_stats().clone(),
+        bus: system.bus_stats().clone(),
+        access: *system.access_stats(),
+        locks: *system.lock_stats(),
+        makespan: stats.makespan,
+        pe_cycles: stats.pe_cycles,
+        metrics: None,
+        answer,
+    })
+}
+
 fn build_cluster(bench: Bench, scale: Scale, pes: u32, block_words: u64) -> Cluster {
     build_cluster_with(
         bench,
@@ -473,5 +685,94 @@ mod tests {
     fn tri_migrates_goals_under_parallelism() {
         let report = run_flat(Bench::Tri, Scale::smoke(), 4);
         assert!(report.machine.goals_migrated > 0);
+    }
+
+    #[test]
+    fn supervised_cell_matches_the_panicking_harness() {
+        let config = SystemConfig {
+            pes: 2,
+            ..SystemConfig::default()
+        };
+        let plain = run_pim(Bench::Semi, Scale::smoke(), config.clone());
+        let cell = run_cell(
+            Protocol::Pim,
+            Bench::Semi,
+            Scale::smoke(),
+            config.clone(),
+            &CellControl::default(),
+        )
+        .expect("supervised cell runs clean");
+        // Chunked supervised execution is bit-identical to the
+        // uninterrupted harness run.
+        assert_eq!(cell.makespan, plain.makespan);
+        assert_eq!(cell.refs, plain.refs);
+        assert_eq!(cell.bus.total_cycles(), plain.bus.total_cycles());
+        assert_eq!(cell.answer, plain.answer);
+        let illinois = run_cell(
+            Protocol::Illinois,
+            Bench::Semi,
+            Scale::smoke(),
+            config,
+            &CellControl::default(),
+        )
+        .expect("illinois cell runs clean");
+        assert!(illinois.makespan > 0);
+    }
+
+    #[test]
+    fn supervised_cell_honors_cancel_and_deadline() {
+        use std::sync::atomic::AtomicBool;
+        let config = SystemConfig {
+            pes: 2,
+            ..SystemConfig::default()
+        };
+        let cancel = AtomicBool::new(true);
+        let err = run_cell(
+            Protocol::Pim,
+            Bench::Puzzle,
+            Scale::small(),
+            config.clone(),
+            &CellControl {
+                cancel: Some(&cancel),
+                ..CellControl::default()
+            },
+        )
+        .expect_err("pre-raised cancel flag stops the run");
+        assert!(matches!(err, CellError::Cancelled { .. }), "{err}");
+        let err = run_cell(
+            Protocol::Pim,
+            Bench::Puzzle,
+            Scale::small(),
+            config,
+            &CellControl {
+                deadline: Some(std::time::Instant::now()),
+                budget_secs: 1,
+                ..CellControl::default()
+            },
+        )
+        .expect_err("expired deadline stops the run");
+        assert!(
+            matches!(
+                err,
+                CellError::Sim(pim_sim::SimError::WallClockExpired { budget_secs: 1, .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn protocol_and_preset_names_round_trip() {
+        for p in [Protocol::Pim, Protocol::Illinois] {
+            assert_eq!(Protocol::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Protocol::from_name("MESI"), None);
+        for b in Bench::EXTENDED {
+            assert_eq!(Bench::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Bench::from_name("tri"), Some(Bench::Tri));
+        for s in [Scale::smoke(), Scale::small(), Scale::paper()] {
+            assert_eq!(Scale::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Scale::from_name("huge"), None);
     }
 }

@@ -17,6 +17,13 @@
 //!   --indexed         compile with first-argument clause indexing
 //!   --faults SPEC     inject deterministic faults into the cache
 //!                     simulation, e.g. `seed=7,rate=0.01` (see tracesim)
+//!   --timeout SECS    wall-clock deadline on the simulation: a
+//!                     pathological program stops with a structured
+//!                     wall-clock-expired diagnostic (simulated cycle
+//!                     and step count reached) and exit 1 instead of
+//!                     running forever. With --checkpoint, a final
+//!                     snapshot is drained first so the run can resume
+//!                     with a larger budget. Not available with --flat
 //!   --stats           print machine and memory statistics
 //!   --perf            profile the host-side run: per-phase wall-time
 //!                     breakdown (parse, engine run, GC, report write)
@@ -72,6 +79,7 @@ struct Options {
     code: bool,
     perf: bool,
     faults: Option<FaultConfig>,
+    timeout_secs: Option<u64>,
     profile: Option<String>,
     trace: Option<String>,
     checkpoint: Option<String>,
@@ -84,8 +92,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: kl1run [--pes N] [--threads N] [--flat] [--illinois] [--no-opt] \
          [--gc WORDS] [--indexed] [--stats] [--code] [--perf] [--faults SPEC] \
-         [--profile FILE] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] \
-         [--resume FILE] <program.fghc> [goal]"
+         [--timeout SECS] [--profile FILE] [--trace FILE[:cap=N]] \
+         [--checkpoint FILE[:every=N]] [--resume FILE] <program.fghc> [goal]"
     );
     std::process::exit(2);
 }
@@ -115,6 +123,7 @@ fn parse_args() -> Options {
         code: false,
         perf: false,
         faults: None,
+        timeout_secs: None,
         profile: None,
         trace: None,
         checkpoint: None,
@@ -136,6 +145,13 @@ fn parse_args() -> Options {
             }
             "--flat" => opts.flat = true,
             "--illinois" => opts.illinois = true,
+            "--timeout" => {
+                opts.timeout_secs = Some(numeric_flag("--timeout", args.next()));
+                if opts.timeout_secs == Some(0) {
+                    eprintln!("kl1run: --timeout must be at least 1 second");
+                    std::process::exit(2);
+                }
+            }
             "--no-opt" => opts.no_opt = true,
             "--gc" => opts.gc = Some(numeric_flag("--gc", args.next())),
             "--indexed" => opts.indexed = true,
@@ -343,6 +359,10 @@ fn main() {
     }
     if opts.flat && (opts.checkpoint.is_some() || opts.resume.is_some()) {
         eprintln!("kl1run: --checkpoint/--resume are not available with --flat");
+        std::process::exit(2);
+    }
+    if opts.flat && opts.timeout_secs.is_some() {
+        eprintln!("kl1run: --timeout is not available with --flat (no chunked engine loop)");
         std::process::exit(2);
     }
     // Validate checkpoint plumbing before the (possibly long) run: a bad
@@ -591,11 +611,19 @@ fn main() {
         };
     }
 
-    // Runs the engine to completion. With --checkpoint, runs in chunks:
-    // snapshots every `every` committed steps (when given), polls SIGINT
-    // between chunks, and on interrupt drains a final snapshot and exits
-    // 130. Chunking is invisible in the results: the engine composes
-    // across run() calls bit-identically.
+    // Wall-clock deadline for --timeout: armed when the engine starts
+    // driving, checked between run chunks.
+    let deadline = opts
+        .timeout_secs
+        .map(|secs| std::time::Instant::now() + std::time::Duration::from_secs(secs));
+
+    // Runs the engine to completion. With --checkpoint or --timeout,
+    // runs in chunks: snapshots every `every` committed steps (when
+    // given), polls SIGINT and the wall-clock deadline between chunks,
+    // and on interrupt drains a final snapshot and exits 130 (timeout:
+    // drains, then reports a structured wall-clock-expired error at
+    // exit 1). Chunking is invisible in the results: the engine
+    // composes across run() calls bit-identically.
     macro_rules! drive {
         ($engine:expr, $cluster:expr) => {{
             resume_into!($engine, $cluster);
@@ -606,18 +634,21 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            match &checkpoint {
-                None => check($engine.run(&mut $cluster, MAX_STEPS)),
-                Some((path, every)) => {
-                    let chunk = every.unwrap_or(1 << 16);
-                    loop {
-                        let stats = check($engine.run(&mut $cluster, chunk));
-                        if stats.finished {
-                            break stats;
-                        }
-                        let interrupted =
-                            sigint.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst));
-                        if interrupted || every.is_some() {
+            if checkpoint.is_none() && deadline.is_none() {
+                check($engine.run(&mut $cluster, MAX_STEPS))
+            } else {
+                let every = checkpoint.as_ref().and_then(|(_, e)| *e);
+                let chunk = every.unwrap_or(1 << 16);
+                loop {
+                    let stats = check($engine.run(&mut $cluster, chunk));
+                    if stats.finished {
+                        break stats;
+                    }
+                    let interrupted =
+                        sigint.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst));
+                    let expired = deadline.is_some_and(|d| std::time::Instant::now() >= d);
+                    if let Some((path, _)) = &checkpoint {
+                        if interrupted || expired || every.is_some() {
                             snapshot!($engine, $cluster, path, stats.makespan);
                         }
                         if interrupted {
@@ -628,6 +659,22 @@ fn main() {
                             );
                             std::process::exit(130);
                         }
+                        if expired {
+                            eprintln!(
+                                "kl1run: timeout: state drained to `{path}` at cycle {} \
+                                 (continue with --resume {path})",
+                                stats.makespan
+                            );
+                        }
+                    } else if interrupted {
+                        std::process::exit(130);
+                    }
+                    if expired {
+                        check(Err(pim_sim::SimError::WallClockExpired {
+                            budget_secs: opts.timeout_secs.unwrap_or(0),
+                            cycle: stats.makespan,
+                            steps: stats.steps,
+                        }));
                     }
                 }
             }

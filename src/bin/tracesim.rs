@@ -22,6 +22,12 @@
 //!                    (also `rate_ppm=N`, `retries=N`). Every injected
 //!                    fault is recovered; the same seed produces the same
 //!                    fault schedule at every thread count.
+//!   --timeout SECS   wall-clock deadline on the replay: a pathological
+//!                    trace stops with a structured wall-clock-expired
+//!                    diagnostic (simulated cycle and step count reached)
+//!                    and exit 1 instead of running forever. With
+//!                    --checkpoint, a final snapshot is drained first so
+//!                    the run can be resumed with a larger budget.
 //!   --perf           profile the simulator itself: per-phase wall-time
 //!                    breakdown (trace parse, engine run, epoch barrier,
 //!                    coordinator replay, report write) on stderr, plus
@@ -77,8 +83,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: tracesim [--pes N] [--threads N] [--illinois] [--no-opt] \
          [--block W] [--capacity W] [--ways N] [--bus-width W] \
-         [--faults SPEC] [--perf] [--report FILE] [--trace FILE[:cap=N]] \
-         [--checkpoint FILE[:every=N]] [--resume FILE] \
+         [--faults SPEC] [--timeout SECS] [--perf] [--report FILE] \
+         [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] \
          (<trace.txt> | --gen NAME)"
     );
     std::process::exit(2);
@@ -111,6 +117,7 @@ fn main() {
     let mut report_path: Option<String> = None;
     let mut trace_spec: Option<String> = None;
     let mut faults: Option<FaultConfig> = None;
+    let mut timeout_secs: Option<u64> = None;
     let mut ckpt_spec: Option<String> = None;
     let mut resume_path: Option<String> = None;
     let mut file: Option<String> = None;
@@ -138,6 +145,7 @@ fn main() {
             "--ways" => ways = next_u64("ways"),
             "--bus-width" => bus_width = next_u64("bus-width"),
             "--threads" => threads = Some(next_u64("threads") as usize),
+            "--timeout" => timeout_secs = Some(next_u64("timeout")),
             "--gen" => generator = Some(args.next().unwrap_or_else(|| usage())),
             "--faults" => {
                 let Some(spec) = args.next() else {
@@ -191,6 +199,10 @@ fn main() {
 
     if pes == Some(0) {
         eprintln!("tracesim: --pes must be at least 1");
+        std::process::exit(2);
+    }
+    if timeout_secs == Some(0) {
+        eprintln!("tracesim: --timeout must be at least 1 second");
         std::process::exit(2);
     }
     if perf {
@@ -539,26 +551,36 @@ fn main() {
         };
     }
 
-    // Runs the engine to completion. With --checkpoint, runs in chunks:
-    // snapshots every `every` committed steps (when given), polls SIGINT
-    // between chunks, and on interrupt drains a final snapshot and exits
-    // 130. Chunking is invisible in the results: both engines compose
-    // across run() calls bit-identically.
+    // Wall-clock deadline for --timeout: armed when the engine starts
+    // driving, checked between run chunks.
+    let deadline =
+        timeout_secs.map(|secs| std::time::Instant::now() + std::time::Duration::from_secs(secs));
+
+    // Runs the engine to completion. With --checkpoint or --timeout,
+    // runs in chunks: snapshots every `every` committed steps (when
+    // given), polls SIGINT and the wall-clock deadline between chunks,
+    // and on interrupt drains a final snapshot and exits 130 (timeout:
+    // drains, then reports a structured wall-clock-expired error at
+    // exit 1). Chunking is invisible in the results: both engines
+    // compose across run() calls bit-identically.
     macro_rules! drive {
         ($engine:expr, $replayer:expr) => {{
             resume_into!($engine, $replayer);
-            match &checkpoint {
-                None => check_run($engine.run(&mut $replayer, u64::MAX)),
-                Some((path, every)) => {
-                    let chunk = every.unwrap_or(1 << 16);
-                    loop {
-                        let stats = check_run($engine.run(&mut $replayer, chunk));
-                        if stats.finished {
-                            break stats;
-                        }
-                        let interrupted =
-                            sigint.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst));
-                        if interrupted || every.is_some() {
+            if checkpoint.is_none() && deadline.is_none() {
+                check_run($engine.run(&mut $replayer, u64::MAX))
+            } else {
+                let every = checkpoint.as_ref().and_then(|(_, e)| *e);
+                let chunk = every.unwrap_or(1 << 16);
+                loop {
+                    let stats = check_run($engine.run(&mut $replayer, chunk));
+                    if stats.finished {
+                        break stats;
+                    }
+                    let interrupted =
+                        sigint.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst));
+                    let expired = deadline.is_some_and(|d| std::time::Instant::now() >= d);
+                    if let Some((path, _)) = &checkpoint {
+                        if interrupted || expired || every.is_some() {
                             snapshot!($engine, $replayer, path, stats.makespan);
                         }
                         if interrupted {
@@ -569,6 +591,24 @@ fn main() {
                             );
                             std::process::exit(130);
                         }
+                        if expired {
+                            eprintln!(
+                                "tracesim: timeout: state drained to `{path}` at cycle {} \
+                                 (continue with --resume {path})",
+                                stats.makespan
+                            );
+                        }
+                    } else if interrupted {
+                        // No checkpoint configured: SIGINT falls back to
+                        // the default die-on-interrupt behaviour.
+                        std::process::exit(130);
+                    }
+                    if expired {
+                        check_run(Err(pim_sim::SimError::WallClockExpired {
+                            budget_secs: timeout_secs.unwrap_or(0),
+                            cycle: stats.makespan,
+                            steps: stats.steps,
+                        }));
                     }
                 }
             }

@@ -541,6 +541,92 @@ fn perf_off_leaves_reports_byte_identical_and_perf_on_only_adds_host_perf() {
 }
 
 #[test]
+fn timeout_zero_is_rejected_up_front_by_both_tools() {
+    let out = tracesim()
+        .args(["--gen", "aurora", "--timeout", "0"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--timeout must be at least 1 second"),
+        "{stderr}"
+    );
+
+    let out = kl1run()
+        .args(["--timeout", "0", "examples/fghc/hanoi.fghc"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--timeout must be at least 1 second"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn kl1run_refuses_timeout_with_flat_mode() {
+    // --flat bypasses the chunked engine loop the deadline hangs off.
+    let out = kl1run()
+        .args(["--flat", "--timeout", "5", "examples/fghc/hanoi.fghc"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--timeout is not available with --flat"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn generous_timeout_leaves_results_untouched() {
+    // A deadline that never fires must not perturb the simulation: the
+    // chunked drive loop is bit-compatible with the unbounded one.
+    let run = |extra: &[&str]| {
+        let mut cmd = kl1run();
+        cmd.args(["--pes", "2"]).args(extra);
+        cmd.arg("examples/fghc/hanoi.fghc");
+        let out = cmd.output().expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).trim().to_string()
+    };
+    assert_eq!(run(&["--timeout", "300"]), run(&[]));
+}
+
+#[test]
+fn kl1run_expired_timeout_is_a_structured_error() {
+    // A divergent workload the deadline must cut short: a counting loop
+    // far past what one wall-clock second of simulation can retire.
+    let dir = std::env::temp_dir().join("kl1run_cli_timeout");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spin.fghc");
+    std::fs::write(
+        &path,
+        "main(R) :- true | loop(100000000, R).\n\
+         loop(0, R) :- true | R = 0.\n\
+         loop(N, R) :- N > 0 | N1 := N - 1, loop(N1, R).\n",
+    )
+    .unwrap();
+    let out = kl1run()
+        .args(["--pes", "2", "--timeout", "1"])
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wall-clock timeout"), "{stderr}");
+    assert!(stderr.contains("--timeout 1"), "{stderr}");
+    // The structured error carries where the simulation got to.
+    assert!(stderr.contains("cycle"), "{stderr}");
+}
+
+#[test]
 fn kl1run_perf_adds_host_perf_to_the_profile() {
     let dir = std::env::temp_dir().join("kl1run_cli_perf");
     std::fs::create_dir_all(&dir).unwrap();
