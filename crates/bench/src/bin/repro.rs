@@ -3,10 +3,17 @@
 //! ```text
 //! repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR]
 //!       [--perf] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]]
-//!       [--resume FILE] <experiment>...
+//!       [--resume FILE] [--status FILE[:every=SECS]] [--metrics FILE]
+//!       <experiment>...
 //! experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5
 //!              buswidth assoc ablation indexing aurora gc faults all
 //! ```
+//!
+//! `--status` mirrors the experiment lifecycle into a crash-safe
+//! `pim-status/v1` snapshot (watch it with `sweepwatch`), `--metrics`
+//! into a Prometheus text file. Both are side files only: rendered
+//! tables and `--json` documents are byte-identical with telemetry on
+//! or off.
 //!
 //! `--perf` profiles the host-side run: a per-phase wall-time breakdown
 //! (experiments, report writes, checkpoints) on stderr, and — together
@@ -55,6 +62,8 @@ fn main() {
     let mut trace_spec: Option<String> = None;
     let mut checkpoint_spec: Option<String> = None;
     let mut resume_path: Option<String> = None;
+    let mut status_spec: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -121,9 +130,23 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--status" => match iter.next() {
+                Some(spec) => status_spec = Some(spec),
+                None => {
+                    eprintln!("repro: --status needs a file argument (FILE[:every=SECS])");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics" => match iter.next() {
+                Some(path) => metrics_path = Some(path),
+                None => {
+                    eprintln!("repro: --metrics needs a file argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] [--perf] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] <experiment>...\n\
+                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] [--perf] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] [--status FILE[:every=SECS]] [--metrics FILE] <experiment>...\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5\n\
                      \x20            buswidth assoc ablation indexing aurora gc faults all"
                 );
@@ -292,6 +315,53 @@ fn main() {
     let is_done = |name: &str| done.borrow().iter().any(|d| d == name);
     let want = |name: &str| (all || wanted.iter().any(|w| w == name)) && !is_done(name);
 
+    // Live telemetry mirrors the experiment lifecycle into --status /
+    // --metrics side files. repro already prints its own per-experiment
+    // lines, so the telemetry progress lines stay off.
+    const EXPERIMENTS: [&str; 15] = [
+        "table1", "table2", "table3", "fig1", "fig2", "fig3", "table4", "table5", "buswidth",
+        "assoc", "ablation", "indexing", "aurora", "gc", "faults",
+    ];
+    let telemetry: Option<pim_telemetry::RunStatus> =
+        (status_spec.is_some() || metrics_path.is_some()).then(|| {
+            let t = pim_telemetry::RunStatus::new("repro");
+            t.set_progress_stderr(false);
+            t.set_workers(1);
+            for name in EXPERIMENTS {
+                if all || wanted.iter().any(|w| w == name) {
+                    t.register_cell(name);
+                    if is_done(name) {
+                        t.reuse_cell(name, false);
+                    }
+                }
+            }
+            if let Some(spec) = &status_spec {
+                let parsed = pim_ckpt::spec::parse_file_spec("status", spec, &["every"])
+                    .unwrap_or_else(|e| {
+                        eprintln!("repro: {e}");
+                        std::process::exit(2);
+                    });
+                let every = parsed.get_u64("status", "every").unwrap_or_else(|e| {
+                    eprintln!("repro: {e}");
+                    std::process::exit(2);
+                });
+                if let Err(e) = t.attach_status_file(
+                    &parsed.path,
+                    every.unwrap_or(pim_telemetry::DEFAULT_EVERY_SECS),
+                ) {
+                    eprintln!("repro: --status: cannot write `{}`: {e}", parsed.path);
+                    std::process::exit(2);
+                }
+            }
+            if let Some(path) = &metrics_path {
+                if let Err(e) = t.attach_metrics_file(path) {
+                    eprintln!("repro: --metrics: cannot write `{path}`: {e}");
+                    std::process::exit(2);
+                }
+            }
+            t
+        });
+
     let write_json = |name: &str, doc: &Json| {
         if let Some(dir) = &json_dir {
             let _perf = pim_perf::span(pim_perf::phase::REPORT_WRITE);
@@ -311,6 +381,9 @@ fn main() {
     let ran = std::cell::Cell::new(0u64);
     let run = |name: &str, f: &dyn Fn() -> (String, Json)| {
         if want(name) {
+            if let Some(tm) = &telemetry {
+                tm.cell_running(name);
+            }
             let t = std::time::Instant::now();
             let outcome = {
                 let _perf = pim_perf::span(pim_perf::phase::EXPERIMENT);
@@ -323,9 +396,15 @@ fn main() {
                     eprintln!("[{name}: {:.1?}]", t.elapsed());
                     ran.set(ran.get() + 1);
                     completed(name);
+                    if let Some(tm) = &telemetry {
+                        tm.cell_done(name);
+                    }
                 }
                 Err(msg) => {
                     eprintln!("[{name}: FAILED after {:.1?}]", t.elapsed());
+                    if let Some(tm) = &telemetry {
+                        tm.cell_quarantined(name, 1, &msg);
+                    }
                     failures.borrow_mut().push((name.to_string(), msg));
                 }
             }
@@ -340,6 +419,13 @@ fn main() {
         )
     });
     if want("table2") || want("table3") {
+        for name in ["table2", "table3"] {
+            if want(name) {
+                if let Some(tm) = &telemetry {
+                    tm.cell_running(name);
+                }
+            }
+        }
         let runs = {
             let _perf = pim_perf::span(pim_perf::phase::EXPERIMENT);
             pim_sweep::exec::contained(|| bench::base_runs(scale))
@@ -351,18 +437,27 @@ fn main() {
                     write_json("table2", &bench::table2_json(scale, &runs));
                     ran.set(ran.get() + 1);
                     completed("table2");
+                    if let Some(tm) = &telemetry {
+                        tm.cell_done("table2");
+                    }
                 }
                 if want("table3") {
                     println!("{}", bench::render_table3(&runs));
                     write_json("table3", &bench::table3_json(scale, &runs));
                     ran.set(ran.get() + 1);
                     completed("table3");
+                    if let Some(tm) = &telemetry {
+                        tm.cell_done("table3");
+                    }
                 }
             }
             Err(msg) => {
                 for name in ["table2", "table3"] {
                     if want(name) {
                         eprintln!("[{name}: FAILED]");
+                        if let Some(tm) = &telemetry {
+                            tm.cell_quarantined(name, 1, &msg);
+                        }
                         failures.borrow_mut().push((name.to_string(), msg.clone()));
                     }
                 }
@@ -456,6 +551,9 @@ fn main() {
         }
     }
 
+    if let Some(tm) = &telemetry {
+        tm.finish();
+    }
     // Stderr only: stdout carries the rendered tables, which the
     // determinism suites diff byte-for-byte.
     eprintln!(

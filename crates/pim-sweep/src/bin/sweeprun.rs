@@ -3,7 +3,7 @@
 //! ```text
 //! sweeprun --sweep FILE[:retries=N][:timeout=SECS] [--journal FILE]
 //!          [--threads N] [--chaos seed=N[,kill=PPM][,delay=PPM][,max_delay_ms=MS]]
-//!          [--report FILE]
+//!          [--report FILE] [--status FILE[:every=SECS]] [--metrics FILE] [--quiet]
 //! ```
 //!
 //! The spec file declares a grid of cells (see `pim_sweep::spec`); the
@@ -12,6 +12,12 @@
 //! sweep resumes exactly. The report (stdout, or `--report FILE`) is
 //! byte-identical across thread counts, resume, and chaos, modulo its
 //! `provenance` block.
+//!
+//! `--status` writes a crash-safe `pim-status/v1` snapshot (watch it
+//! live with `sweepwatch`), `--metrics` a Prometheus text file;
+//! `--quiet` drops the per-cell progress lines but never quarantine or
+//! error lines. All telemetry is stderr/side-file only: report,
+//! journal, and stdout bytes are identical with telemetry on or off.
 //!
 //! Exit codes: 0 — every cell done; 1 — degraded (quarantined or
 //! skipped cells, journal trouble) or a refused journal; 2 — bad
@@ -29,7 +35,8 @@ use pim_sweep::report::Provenance;
 use pim_sweep::{run_sweep, CellFate, ExecConfig, Journal, SweepSpec};
 
 const USAGE: &str = "usage: sweeprun --sweep FILE[:retries=N][:timeout=SECS] \
-                     [--journal FILE] [--threads N] [--chaos SPEC] [--report FILE]";
+                     [--journal FILE] [--threads N] [--chaos SPEC] [--report FILE] \
+                     [--status FILE[:every=SECS]] [--metrics FILE] [--quiet]";
 
 fn fail2(msg: &str) -> ! {
     eprintln!("sweeprun: {msg}");
@@ -41,6 +48,9 @@ fn main() {
     let mut sweep_arg: Option<String> = None;
     let mut journal_arg: Option<String> = None;
     let mut report_arg: Option<String> = None;
+    let mut status_arg: Option<String> = None;
+    let mut metrics_arg: Option<String> = None;
+    let mut quiet = false;
     let mut threads: usize = 0;
     let mut chaos: Option<ChaosPlan> = None;
     let mut args = std::env::args().skip(1);
@@ -53,6 +63,9 @@ fn main() {
             "--sweep" => sweep_arg = Some(next("sweep")),
             "--journal" => journal_arg = Some(next("journal")),
             "--report" => report_arg = Some(next("report")),
+            "--status" => status_arg = Some(next("status")),
+            "--metrics" => metrics_arg = Some(next("metrics")),
+            "--quiet" => quiet = true,
             "--threads" => {
                 let v = next("threads");
                 threads = v
@@ -128,6 +141,29 @@ fn main() {
         }
     }
 
+    // Live telemetry is always collected (it is cheap and drives the
+    // progress lines); side files are only written when asked for.
+    let telemetry = pim_telemetry::RunStatus::new("sweeprun");
+    telemetry.set_progress_stderr(!quiet);
+    if let Some(a) = &status_arg {
+        let status_spec =
+            pim_ckpt::spec::parse_file_spec("status", a, &["every"]).unwrap_or_else(|e| fail2(&e));
+        let every = status_spec
+            .get_u64("status", "every")
+            .unwrap_or_else(|e| fail2(&e))
+            .unwrap_or(pim_telemetry::DEFAULT_EVERY_SECS);
+        if let Err(e) = telemetry.attach_status_file(&status_spec.path, every) {
+            eprintln!("sweeprun: cannot write status {}: {e}", status_spec.path);
+            exit(1);
+        }
+    }
+    if let Some(path) = &metrics_arg {
+        if let Err(e) = telemetry.attach_metrics_file(path) {
+            eprintln!("sweeprun: cannot write metrics {path}: {e}");
+            exit(1);
+        }
+    }
+
     let sigint = pim_ckpt::install_sigint_flag();
     pim_sweep::exec::silence_panic_output();
     let chaos_on = chaos.is_some();
@@ -138,7 +174,15 @@ fn main() {
         backoff_ms: spec.backoff_ms,
         chaos,
     };
-    let result = run_sweep(&cells, &prior, &cfg, journal.as_mut(), Some(sigint));
+    let result = run_sweep(
+        &cells,
+        &prior,
+        &cfg,
+        journal.as_mut(),
+        Some(sigint),
+        Some(&telemetry),
+    );
+    telemetry.finish();
 
     let interrupted = sigint.load(Ordering::Relaxed);
     let prov = Provenance {
@@ -150,6 +194,7 @@ fn main() {
         resumed,
         interrupted,
         wall_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        cell_wall_ms: result.wall_hist.clone(),
     };
     let doc = pim_sweep::report::render(spec_digest, &result, &prov);
     match &report_arg {
@@ -192,11 +237,25 @@ fn main() {
         result.executed,
         prov.wall_ms
     );
+    if quarantined > 0 {
+        if let Some(path) = &journal_path {
+            eprintln!(
+                "sweeprun: quarantines are recorded in the journal at {path}; retry them with: \
+                 rm {path} && sweeprun --sweep {sweep_arg} --journal {path}"
+            );
+        }
+    }
     if interrupted {
-        eprintln!(
-            "sweeprun: interrupted: completed cells are safe in the journal; \
-             rerun with the same --sweep and --journal to resume"
-        );
+        match &journal_path {
+            Some(path) => eprintln!(
+                "sweeprun: interrupted: completed cells are safe in the journal at {path}; \
+                 resume with: sweeprun --sweep {sweep_arg} --journal {path}"
+            ),
+            None => eprintln!(
+                "sweeprun: interrupted: no journal was configured, so completed work is lost; \
+                 rerun with --journal FILE to make the sweep resumable"
+            ),
+        }
         exit(130);
     }
     if result.degraded() {

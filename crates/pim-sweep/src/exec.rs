@@ -33,6 +33,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pim_fault::chaos::{ChaosEvent, ChaosPlan};
+use pim_obs::Histogram;
+use pim_telemetry::RunStatus;
 use workloads::runner::{run_cell, CellControl, CellError, RunReport};
 
 use crate::journal::{CellOutcome, CellRow, Journal, JournalError};
@@ -87,6 +89,10 @@ pub struct SweepResult {
     pub journal_error: Option<JournalError>,
     /// Worker threads that died outside the per-attempt unwind guard.
     pub worker_deaths: u64,
+    /// Wall milliseconds per executed cell (done and quarantined),
+    /// merged across workers. Host-dependent — reports may only place
+    /// it in the provenance block.
+    pub wall_hist: Histogram,
 }
 
 impl SweepResult {
@@ -144,12 +150,19 @@ fn run_attempt(
     cfg: &ExecConfig,
     cancel: Option<&AtomicBool>,
     chaos: Option<ChaosEvent>,
+    telemetry: Option<&RunStatus>,
 ) -> Result<CellRow, CellError> {
     match chaos {
         Some(ChaosEvent::Kill) => {
+            if let Some(t) = telemetry {
+                t.chaos_kill();
+            }
             panic!("chaos: worker killed mid-cell (`{}`)", cell.key())
         }
         Some(ChaosEvent::Delay(ms)) => {
+            if let Some(t) = telemetry {
+                t.chaos_delay();
+            }
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
         None => {}
@@ -160,12 +173,24 @@ fn run_attempt(
             cell.key()
         ),
         CellBench::Real(bench) => {
+            // The telemetry tick lives on this frame so the control
+            // block can borrow it; it feeds chunk-boundary progress
+            // without touching the run itself.
+            let tick;
+            let progress: Option<&(dyn Fn(u64) + Sync)> = match telemetry {
+                Some(t) => {
+                    tick = move |steps: u64| t.engine_chunk(steps);
+                    Some(&tick)
+                }
+                None => None,
+            };
             let ctl = CellControl {
                 deadline: cfg
                     .timeout_secs
                     .map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s)),
                 cancel,
                 budget_secs: cfg.timeout_secs.unwrap_or(0),
+                progress,
             };
             run_cell(cell.protocol, bench, cell.scale, cell.config(), &ctl).map(|r| row_of(&r))
         }
@@ -174,10 +199,22 @@ fn run_attempt(
 
 /// Runs the attempt loop for one cell. Returns the fate plus the number
 /// of attempts consumed.
-fn supervise_cell(cell: &Cell, cfg: &ExecConfig, cancel: Option<&AtomicBool>) -> (CellFate, u32) {
+fn supervise_cell(
+    cell: &Cell,
+    cfg: &ExecConfig,
+    cancel: Option<&AtomicBool>,
+    telemetry: Option<&RunStatus>,
+) -> (CellFate, u32) {
     let digest = cell.digest();
     let mut last_error = String::new();
     for attempt in 0..cfg.max_attempts.max(1) {
+        if let Some(t) = telemetry {
+            if attempt == 0 {
+                t.cell_running(&cell.key());
+            } else {
+                t.cell_retrying(&cell.key(), attempt + 1);
+            }
+        }
         let final_attempt = attempt + 1 >= cfg.max_attempts.max(1);
         // The final permitted attempt is always chaos-free: chaos may
         // consume the retry budget's slack, never the budget itself.
@@ -186,7 +223,9 @@ fn supervise_cell(cell: &Cell, cfg: &ExecConfig, cancel: Option<&AtomicBool>) ->
         } else {
             cfg.chaos.as_ref().and_then(|p| p.decide(digest, attempt))
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_attempt(cell, cfg, cancel, chaos)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_attempt(cell, cfg, cancel, chaos, telemetry)
+        }));
         match outcome {
             Ok(Ok(row)) => return (CellFate::Done(row), attempt + 1),
             Ok(Err(CellError::Cancelled { .. })) => return (CellFate::Skipped, attempt + 1),
@@ -249,13 +288,24 @@ fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// per-cell fates come back in grid order regardless of scheduling, so
 /// a deterministic grid yields a byte-identical report at any thread
 /// count.
+///
+/// `telemetry`, when present, receives the full cell lifecycle feed
+/// (registration, running/retrying, terminal states, chaos hits, engine
+/// chunks). The feed is strictly passive: fates, rows, journal bytes,
+/// and report bytes are identical with telemetry on or off.
 pub fn run_sweep(
     cells: &[Cell],
     prior: &BTreeMap<u64, CellOutcome>,
     cfg: &ExecConfig,
     journal: Option<&mut Journal>,
     cancel: Option<&AtomicBool>,
+    telemetry: Option<&RunStatus>,
 ) -> SweepResult {
+    if let Some(t) = telemetry {
+        for cell in cells {
+            t.register_cell(&cell.key());
+        }
+    }
     let fates: Vec<Mutex<Option<CellFate>>> = cells.iter().map(|_| Mutex::new(None)).collect();
     let mut reused = 0u64;
     let mut pending = Vec::new();
@@ -264,6 +314,9 @@ pub fn run_sweep(
             Some(CellOutcome::Done(row)) => {
                 *lock_clean(&fates[i]) = Some(CellFate::Done(*row));
                 reused += 1;
+                if let Some(t) = telemetry {
+                    t.reuse_cell(&cell.key(), false);
+                }
             }
             Some(CellOutcome::Quarantined { attempts, error }) => {
                 *lock_clean(&fates[i]) = Some(CellFate::Quarantined {
@@ -271,6 +324,9 @@ pub fn run_sweep(
                     error: error.clone(),
                 });
                 reused += 1;
+                if let Some(t) = telemetry {
+                    t.reuse_cell(&cell.key(), true);
+                }
             }
             None => pending.push(i),
         }
@@ -285,39 +341,65 @@ pub fn run_sweep(
         n => n,
     }
     .min(pending.len().max(1));
+    if let Some(t) = telemetry {
+        t.set_workers(workers as u64);
+    }
     let mut worker_deaths = 0u64;
+    let wall_hist = Mutex::new(Histogram::new());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let slot = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = pending.get(slot) else { break };
-                    if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
-                        *lock_clean(&fates[i]) = Some(CellFate::Skipped);
-                        continue;
-                    }
-                    let cell = &cells[i];
-                    let (fate, attempts) = supervise_cell(cell, cfg, cancel);
-                    retries.fetch_add(u64::from(attempts.saturating_sub(1)), Ordering::Relaxed);
-                    let record = match &fate {
-                        CellFate::Done(row) => Some(CellOutcome::Done(*row)),
-                        CellFate::Quarantined { attempts, error } => {
-                            Some(CellOutcome::Quarantined {
-                                attempts: *attempts,
-                                error: error.clone(),
-                            })
+                scope.spawn(|| {
+                    // Per-worker wall-time histogram, merged once at
+                    // worker exit so the hot loop stays lock-free.
+                    let mut local_hist = Histogram::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending.get(slot) else { break };
+                        let cell = &cells[i];
+                        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                            *lock_clean(&fates[i]) = Some(CellFate::Skipped);
+                            if let Some(t) = telemetry {
+                                t.cell_skipped(&cell.key());
+                            }
+                            continue;
                         }
-                        CellFate::Skipped => None,
-                    };
-                    if let Some(outcome) = record {
-                        executed.fetch_add(1, Ordering::Relaxed);
-                        if let Some(j) = lock_clean(&journal).as_deref_mut() {
-                            if let Err(e) = j.append(cell.digest(), &outcome) {
-                                lock_clean(&journal_error).get_or_insert(e);
+                        let started = std::time::Instant::now();
+                        let (fate, attempts) = supervise_cell(cell, cfg, cancel, telemetry);
+                        retries.fetch_add(u64::from(attempts.saturating_sub(1)), Ordering::Relaxed);
+                        let record = match &fate {
+                            CellFate::Done(row) => Some(CellOutcome::Done(*row)),
+                            CellFate::Quarantined { attempts, error } => {
+                                Some(CellOutcome::Quarantined {
+                                    attempts: *attempts,
+                                    error: error.clone(),
+                                })
+                            }
+                            CellFate::Skipped => None,
+                        };
+                        if let Some(outcome) = record {
+                            let wall_ms =
+                                u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+                            local_hist.record(wall_ms);
+                            executed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(j) = lock_clean(&journal).as_deref_mut() {
+                                if let Err(e) = j.append(cell.digest(), &outcome) {
+                                    lock_clean(&journal_error).get_or_insert(e);
+                                }
                             }
                         }
+                        if let Some(t) = telemetry {
+                            match &fate {
+                                CellFate::Done(_) => t.cell_done(&cell.key()),
+                                CellFate::Quarantined { attempts, error } => {
+                                    t.cell_quarantined(&cell.key(), *attempts, error);
+                                }
+                                CellFate::Skipped => t.cell_skipped(&cell.key()),
+                            }
+                        }
+                        *lock_clean(&fates[i]) = Some(fate);
                     }
-                    *lock_clean(&fates[i]) = Some(fate);
+                    lock_clean(&wall_hist).merge(&local_hist);
                 })
             })
             .collect();
@@ -349,6 +431,7 @@ pub fn run_sweep(
             .into_inner()
             .unwrap_or_else(|p| p.into_inner()),
         worker_deaths,
+        wall_hist: wall_hist.into_inner().unwrap_or_else(|p| p.into_inner()),
     }
 }
 
@@ -378,7 +461,7 @@ mod tests {
     #[test]
     fn clean_cells_complete_and_count_as_executed() {
         let cells = smoke_spec("tri,semi").cells();
-        let result = run_sweep(&cells, &BTreeMap::new(), &cfg(2), None, None);
+        let result = run_sweep(&cells, &BTreeMap::new(), &cfg(2), None, None, None);
         assert_eq!(result.executed, 2);
         assert_eq!(result.reused, 0);
         assert_eq!(result.retries, 0);
@@ -394,7 +477,7 @@ mod tests {
     #[test]
     fn poison_cells_quarantine_while_the_rest_complete() {
         let cells = smoke_spec("tri,poison,semi").cells();
-        let result = run_sweep(&cells, &BTreeMap::new(), &cfg(3), None, None);
+        let result = run_sweep(&cells, &BTreeMap::new(), &cfg(3), None, None, None);
         assert!(result.degraded());
         assert_eq!(result.retries, 2); // poison consumed its whole budget
         let fates: Vec<&CellFate> = result.cells.iter().map(|(_, f)| f).collect();
@@ -412,7 +495,7 @@ mod tests {
     #[test]
     fn prior_outcomes_are_served_without_execution() {
         let cells = smoke_spec("tri,semi").cells();
-        let first = run_sweep(&cells, &BTreeMap::new(), &cfg(2), None, None);
+        let first = run_sweep(&cells, &BTreeMap::new(), &cfg(2), None, None, None);
         let prior: BTreeMap<u64, CellOutcome> = first
             .cells
             .iter()
@@ -421,7 +504,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        let second = run_sweep(&cells, &prior, &cfg(2), None, None);
+        let second = run_sweep(&cells, &prior, &cfg(2), None, None, None);
         assert_eq!(second.executed, 0);
         assert_eq!(second.reused, 2);
         assert_eq!(
@@ -433,7 +516,7 @@ mod tests {
     #[test]
     fn chaos_converges_to_the_undisturbed_result() {
         let cells = smoke_spec("tri,semi,poison").cells();
-        let clean = run_sweep(&cells, &BTreeMap::new(), &cfg(3), None, None);
+        let clean = run_sweep(&cells, &BTreeMap::new(), &cfg(3), None, None, None);
         for seed in [1u64, 2] {
             let chaos = ChaosPlan::new(ChaosConfig {
                 seed,
@@ -450,6 +533,7 @@ mod tests {
                 },
                 None,
                 None,
+                None,
             );
             // Fates are identical; only retry/wall accounting may differ.
             assert_eq!(
@@ -464,7 +548,7 @@ mod tests {
     fn raised_cancel_flag_skips_pending_cells() {
         let cells = smoke_spec("tri,semi").cells();
         let cancel = AtomicBool::new(true);
-        let result = run_sweep(&cells, &BTreeMap::new(), &cfg(2), None, Some(&cancel));
+        let result = run_sweep(&cells, &BTreeMap::new(), &cfg(2), None, Some(&cancel), None);
         assert_eq!(result.executed, 0);
         assert!(result
             .cells

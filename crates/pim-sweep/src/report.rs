@@ -8,7 +8,7 @@
 //! the journal, retries consumed, wall time, worker count — lives in
 //! `provenance`, the one block `pimtrace diff` ignores.
 
-use pim_obs::Json;
+use pim_obs::{Histogram, Json};
 
 use crate::exec::{CellFate, SweepResult};
 use crate::journal::CellRow;
@@ -38,6 +38,29 @@ pub struct Provenance {
     pub interrupted: bool,
     /// Wall-clock time of this invocation, milliseconds.
     pub wall_ms: u64,
+    /// Wall milliseconds per executed cell, merged across workers —
+    /// host timing, so provenance-only.
+    pub cell_wall_ms: Histogram,
+}
+
+/// The provenance rendering of a wall-time histogram: summary stats
+/// plus the nonzero log2 buckets as `[upper_bound_ms, count]` pairs.
+fn hist_json(h: &Histogram) -> Json {
+    Json::obj([
+        ("count", Json::from(h.count())),
+        ("sum_ms", Json::from(h.sum())),
+        ("min_ms", h.min().map_or(Json::Null, Json::from)),
+        ("max_ms", h.max().map_or(Json::Null, Json::from)),
+        ("p50_ms", Json::from(h.percentile(50.0))),
+        ("p99_ms", Json::from(h.percentile(99.0))),
+        (
+            "buckets",
+            Json::arr(
+                h.nonzero_buckets()
+                    .map(|(upper, count)| Json::arr([Json::from(upper), Json::from(count)])),
+            ),
+        ),
+    ])
 }
 
 fn row_json(row: &CellRow) -> [(&'static str, Json); 8] {
@@ -120,6 +143,7 @@ pub fn render(spec_digest: u64, result: &SweepResult, prov: &Provenance) -> Json
             ("resumed", Json::from(prov.resumed)),
             ("interrupted", Json::from(prov.interrupted)),
             ("wall_ms", Json::from(prov.wall_ms)),
+            ("cell_wall_ms", hist_json(&prov.cell_wall_ms)),
         ]),
     );
     doc
@@ -147,6 +171,7 @@ mod tests {
             retries: 2,
             journal_error: None,
             worker_deaths: 0,
+            wall_hist: Histogram::new(),
         };
         let s = render(spec.digest(), &result, &Provenance::default()).to_string_pretty();
         assert!(s.contains(r#""schema": "pim-sweep/v1""#), "{s}");
@@ -156,5 +181,33 @@ mod tests {
         let prov_at = s.find(r#""provenance""#).unwrap();
         let cells_at = s.find(r#""cells""#).unwrap();
         assert!(prov_at > cells_at);
+    }
+
+    #[test]
+    fn provenance_carries_the_cell_wall_time_histogram() {
+        let mut hist = Histogram::new();
+        hist.record(12);
+        hist.record(700);
+        let prov = Provenance {
+            cell_wall_ms: hist,
+            ..Provenance::default()
+        };
+        let spec = SweepSpec::parse("protocols=pim\nbenches=tri\nscales=smoke\npes=1\n").unwrap();
+        let result = SweepResult {
+            cells: Vec::new(),
+            executed: 0,
+            reused: 0,
+            retries: 0,
+            journal_error: None,
+            worker_deaths: 0,
+            wall_hist: Histogram::new(),
+        };
+        let s = render(spec.digest(), &result, &prov).to_string_pretty();
+        assert!(s.contains(r#""cell_wall_ms""#), "{s}");
+        assert!(s.contains(r#""count": 2"#), "{s}");
+        assert!(s.contains(r#""sum_ms": 712"#), "{s}");
+        // The histogram stays inside the provenance block.
+        let prov_at = s.find(r#""provenance""#).unwrap();
+        assert!(s.find(r#""cell_wall_ms""#).unwrap() > prov_at);
     }
 }

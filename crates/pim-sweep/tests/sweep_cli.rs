@@ -345,24 +345,48 @@ fn sigint_drains_to_the_journal_and_exits_130_with_a_resume_hint() {
     let spec = write_spec(&dir, "s.sweep", spec_body);
     let journal = dir.join("j.swl");
     let report = dir.join("r.json");
-    let child = sweeprun()
+    let mut child = sweeprun()
         .args(["--sweep", spec.to_str().unwrap(), "--threads", "1"])
         .args(["--journal", journal.to_str().unwrap()])
         .args(["--report", report.to_str().unwrap()])
         .stderr(std::process::Stdio::piped())
         .spawn()
         .expect("sweeprun spawns");
-    std::thread::sleep(std::time::Duration::from_millis(300));
+    // Interrupt as soon as the first cell completes — a fixed sleep
+    // races a release-mode sweep that finishes in a few hundred ms.
+    use std::io::Read;
+    let mut pipe = child.stderr.take().expect("stderr piped");
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 256];
+    while !String::from_utf8_lossy(&raw).contains("done `") {
+        let n = pipe.read(&mut chunk).expect("stderr readable");
+        if n == 0 {
+            break;
+        }
+        raw.extend_from_slice(&chunk[..n]);
+    }
     let kill = Command::new("kill")
         .args(["-INT", &child.id().to_string()])
         .status()
         .expect("kill runs");
     assert!(kill.success());
-    let out = child.wait_with_output().expect("sweeprun exits");
-    let stderr = String::from_utf8_lossy(&out.stderr);
-    assert_eq!(out.status.code(), Some(130), "{stderr}");
+    pipe.read_to_end(&mut raw).expect("stderr drains");
+    let status = child.wait().expect("sweeprun exits");
+    let stderr = String::from_utf8_lossy(&raw);
+    assert_eq!(status.code(), Some(130), "{stderr}");
     assert!(stderr.contains("interrupted"), "{stderr}");
     assert!(stderr.contains("resume"), "{stderr}");
+    // The hint names the journal path and spells out the exact resume
+    // command, ready to paste.
+    assert!(stderr.contains(journal.to_str().unwrap()), "{stderr}");
+    assert!(
+        stderr.contains(&format!(
+            "resume with: sweeprun --sweep {} --journal {}",
+            spec.to_str().unwrap(),
+            journal.to_str().unwrap()
+        )),
+        "{stderr}"
+    );
     // Even the interrupted invocation wrote a valid report enumerating
     // every cell (done + skipped).
     let body = std::fs::read_to_string(&report).unwrap();

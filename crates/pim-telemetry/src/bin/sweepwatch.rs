@@ -1,0 +1,149 @@
+//! `sweepwatch` — live one-screen view of a `pim-status/v1` file.
+//!
+//! ```text
+//! sweepwatch [--once] [--every SECS] [--stale SECS] STATUS_FILE
+//! ```
+//!
+//! Watch mode (default) redraws every `--every` seconds until the
+//! snapshot reports `finished`. `--once` renders the current snapshot
+//! and exits immediately — the scripting mode the crash-safety suite
+//! drives.
+//!
+//! Exit codes: 0 = rendered a healthy snapshot; 1 = missing/unreadable/
+//! unparseable snapshot, snapshot older than `--stale`, or a finished
+//! run that quarantined or skipped cells; 2 = bad flags.
+
+use std::time::{Duration, SystemTime};
+
+use pim_telemetry::Snapshot;
+
+const USAGE: &str = "usage: sweepwatch [--once] [--every SECS] [--stale SECS] STATUS_FILE";
+
+struct Options {
+    path: String,
+    once: bool,
+    every_secs: u64,
+    stale_secs: Option<u64>,
+}
+
+fn fail2(msg: &str) -> ! {
+    eprintln!("sweepwatch: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_secs(flag: &str, value: Option<String>) -> u64 {
+    let Some(value) = value else {
+        fail2(&format!("{flag} needs a value"));
+    };
+    match value.parse() {
+        Ok(n) => n,
+        Err(_) => fail2(&format!("bad value `{value}` for {flag}")),
+    }
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut once = false;
+    let mut every_secs = 2;
+    let mut stale_secs = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--every" => every_secs = parse_secs("--every", args.next()),
+            "--stale" => stale_secs = Some(parse_secs("--stale", args.next())),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => fail2(&format!("unknown flag `{other}`")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    fail2("more than one STATUS_FILE");
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        fail2("missing STATUS_FILE");
+    };
+    if every_secs == 0 {
+        fail2("--every must be at least 1");
+    }
+    Options {
+        path,
+        once,
+        every_secs,
+        stale_secs,
+    }
+}
+
+/// Reads, checks, and renders one snapshot; `Err` carries the reason
+/// the snapshot is unusable (maps to exit 1).
+fn observe(opts: &Options) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(&opts.path)
+        .map_err(|e| format!("cannot read {}: {e}", opts.path))?;
+    let snap = Snapshot::parse(&text).map_err(|e| format!("bad snapshot {}: {e}", opts.path))?;
+    if let Some(stale_secs) = opts.stale_secs {
+        let age = std::fs::metadata(&opts.path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|m| SystemTime::now().duration_since(m).ok());
+        match age {
+            Some(age) if age.as_secs() > stale_secs && !snap.finished => {
+                return Err(format!(
+                    "stale snapshot {}: written {}s ago (--stale {})",
+                    opts.path,
+                    age.as_secs(),
+                    stale_secs
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(snap)
+}
+
+fn main() {
+    let opts = parse_args();
+    if opts.once {
+        match observe(&opts) {
+            Ok(snap) => {
+                print!("{}", snap.render());
+                let code = i32::from(snap.finished && snap.degraded());
+                std::process::exit(code);
+            }
+            Err(e) => {
+                eprintln!("sweepwatch: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // Watch mode: redraw until the producer reports finished. A
+    // not-yet-existing file is tolerated at startup (the run may still
+    // be warming up); any later failure is terminal.
+    let mut seen_any = false;
+    loop {
+        match observe(&opts) {
+            Ok(snap) => {
+                seen_any = true;
+                // ANSI clear-screen + home keeps the view one stable screen.
+                print!("\x1b[2J\x1b[H{}", snap.render());
+                use std::io::Write as _;
+                std::io::stdout().flush().ok();
+                if snap.finished {
+                    std::process::exit(i32::from(snap.degraded()));
+                }
+            }
+            Err(e) => {
+                if seen_any {
+                    eprintln!("sweepwatch: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("sweepwatch: waiting: {e}");
+            }
+        }
+        std::thread::sleep(Duration::from_secs(opts.every_secs));
+    }
+}

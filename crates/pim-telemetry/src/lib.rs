@@ -1,0 +1,776 @@
+//! Live run telemetry: what a long-running binary is doing *right now*.
+//!
+//! The other observability crates are post-mortem — pim-obs aggregates
+//! event metrics, pim-tracer records event logs, pim-perf profiles the
+//! host — but none of them is readable while the run is still going. A
+//! sweep of thousands of cells is a black box until exit. This crate
+//! closes that gap with three pieces:
+//!
+//! - [`RunStatus`] — a lock-cheap registry of per-cell run state
+//!   (pending → running → retrying → done/quarantined/skipped), worker
+//!   occupancy, attempt/retry/chaos counters, and engine-chunk
+//!   progress. Hot-path updates are atomic increments; the per-cell
+//!   state map is only locked at attempt boundaries.
+//! - Crash-safe status snapshots — a schema-versioned `pim-status/v1`
+//!   JSON document written through pim-ckpt's atomic
+//!   temp+fsync+rename, so a `kill -9` at any instant leaves either no
+//!   snapshot or a complete, parseable one — never a torn file.
+//!   [`Snapshot::parse`] reads them back.
+//! - Prometheus text-format exposition (node_exporter
+//!   textfile-collector compatible) of the same counters, plus
+//!   pim-perf's per-phase profile when enabled.
+//!
+//! The determinism contract: telemetry writes **only** to stderr and
+//! its own side files. Reports, traces, journals, and stdout are
+//! byte-identical with telemetry on or off, at any thread count — the
+//! differential suites pin this.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use pim_obs::Json;
+
+mod snapshot;
+
+pub use snapshot::{QuarantinedCell, Snapshot};
+
+/// The schema identifier of status snapshots.
+pub const STATUS_SCHEMA: &str = "pim-status/v1";
+
+/// Default seconds between periodic snapshot writes.
+pub const DEFAULT_EVERY_SECS: u64 = 2;
+
+/// One cell's position in the run lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellState {
+    /// Registered, not yet claimed by a worker.
+    Pending,
+    /// A worker is executing its current attempt.
+    Running,
+    /// A failed attempt is being retried (the worker stays occupied
+    /// through the backoff).
+    Retrying,
+    /// Completed and validated.
+    Done,
+    /// Failed every permitted attempt.
+    Quarantined,
+    /// Never ran to completion this invocation (cancel raised first).
+    Skipped,
+}
+
+impl CellState {
+    /// Whether a worker currently holds the cell.
+    fn occupies(self) -> bool {
+        matches!(self, CellState::Running | CellState::Retrying)
+    }
+
+    /// Whether the cell has reached a terminal state.
+    fn terminal(self) -> bool {
+        matches!(
+            self,
+            CellState::Done | CellState::Quarantined | CellState::Skipped
+        )
+    }
+}
+
+#[derive(Debug)]
+struct CellEntry {
+    state: CellState,
+    attempts: u32,
+    error: String,
+}
+
+/// Where periodic snapshots and metrics go. Paths are set once by the
+/// binary; writes are rate-limited by `every_ms` and always atomic.
+#[derive(Debug, Default)]
+struct Sinks {
+    active: AtomicBool,
+    status_path: Mutex<Option<String>>,
+    metrics_path: Mutex<Option<String>>,
+    every_ms: AtomicU64,
+    last_flush_ms: AtomicU64,
+    warned: AtomicBool,
+}
+
+/// The live registry one run feeds and one snapshot file mirrors.
+///
+/// Cheap enough to update from engine chunk boundaries: counter updates
+/// are single atomic adds, and the per-cell map is locked only on
+/// attempt transitions (a handful per cell, not per step).
+#[derive(Debug)]
+pub struct RunStatus {
+    tool: &'static str,
+    started: Instant,
+    workers: AtomicU64,
+    finished: AtomicBool,
+    total: AtomicU64,
+    running: AtomicU64,
+    done: AtomicU64,
+    quarantined: AtomicU64,
+    skipped: AtomicU64,
+    reused: AtomicU64,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    chaos_kills: AtomicU64,
+    chaos_delays: AtomicU64,
+    engine_steps: AtomicU64,
+    engine_chunks: AtomicU64,
+    progress_stderr: AtomicBool,
+    cells: Mutex<BTreeMap<String, CellEntry>>,
+    sinks: Sinks,
+}
+
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl RunStatus {
+    /// A fresh registry for `tool` (the name lands in snapshots, metric
+    /// labels, and progress lines).
+    pub fn new(tool: &'static str) -> RunStatus {
+        RunStatus {
+            tool,
+            started: Instant::now(),
+            workers: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+            total: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            chaos_kills: AtomicU64::new(0),
+            chaos_delays: AtomicU64::new(0),
+            engine_steps: AtomicU64::new(0),
+            engine_chunks: AtomicU64::new(0),
+            progress_stderr: AtomicBool::new(false),
+            cells: Mutex::new(BTreeMap::new()),
+            sinks: Sinks::default(),
+        }
+    }
+
+    /// Enables per-cell progress lines on stderr (`done`/`retry`, never
+    /// errors — those belong to the binary). Off by default.
+    pub fn set_progress_stderr(&self, on: bool) {
+        self.progress_stderr.store(on, Ordering::Relaxed);
+    }
+
+    /// Records the worker-pool size for the occupancy gauge.
+    pub fn set_workers(&self, n: u64) {
+        self.workers.store(n, Ordering::Relaxed);
+    }
+
+    /// Attaches the crash-safe snapshot file: an immediate first write
+    /// proves the destination is writable (and gives watchers a file to
+    /// tail from second zero), then one write at most every
+    /// `every_secs` seconds (0 = every update) and always on
+    /// [`RunStatus::finish`].
+    pub fn attach_status_file(&self, path: &str, every_secs: u64) -> std::io::Result<()> {
+        *lock_clean(&self.sinks.status_path) = Some(path.to_string());
+        self.sinks
+            .every_ms
+            .store(every_secs.saturating_mul(1_000), Ordering::Relaxed);
+        self.sinks.active.store(true, Ordering::Relaxed);
+        pim_ckpt::atomic_write(
+            std::path::Path::new(path),
+            self.snapshot_json().to_string_pretty().as_bytes(),
+        )
+    }
+
+    /// Attaches the Prometheus text-format exposition file, rewritten
+    /// atomically on the same cadence as the status snapshot.
+    pub fn attach_metrics_file(&self, path: &str) -> std::io::Result<()> {
+        *lock_clean(&self.sinks.metrics_path) = Some(path.to_string());
+        self.sinks.active.store(true, Ordering::Relaxed);
+        pim_ckpt::atomic_write(std::path::Path::new(path), self.metrics_text().as_bytes())
+    }
+
+    /// Registers a pending cell. Idempotent per key: re-registering a
+    /// known cell never resets its state.
+    pub fn register_cell(&self, key: &str) {
+        let mut cells = lock_clean(&self.cells);
+        if let std::collections::btree_map::Entry::Vacant(slot) = cells.entry(key.to_string()) {
+            slot.insert(CellEntry {
+                state: CellState::Pending,
+                attempts: 0,
+                error: String::new(),
+            });
+            self.total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks a cell as served from a prior journal/checkpoint without
+    /// running: terminal immediately, counted as `reused`.
+    pub fn reuse_cell(&self, key: &str, quarantined: bool) {
+        self.reused.fetch_add(1, Ordering::Relaxed);
+        let state = if quarantined {
+            CellState::Quarantined
+        } else {
+            CellState::Done
+        };
+        self.transition(key, state, 0, "served from journal");
+        self.maybe_flush();
+    }
+
+    /// A worker claimed the cell and started its first attempt.
+    pub fn cell_running(&self, key: &str) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        self.transition(key, CellState::Running, 1, "");
+        self.maybe_flush();
+    }
+
+    /// A failed attempt is being retried (`attempt` is 1-based: the
+    /// attempt about to run).
+    pub fn cell_retrying(&self, key: &str, attempt: u32) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.transition(key, CellState::Retrying, 1, "");
+        if self.progress_stderr.load(Ordering::Relaxed) {
+            eprintln!("{}: retry `{key}` (attempt {attempt})", self.tool);
+        }
+        self.maybe_flush();
+    }
+
+    /// The chaos plan killed a worker mid-attempt.
+    pub fn chaos_kill(&self) {
+        self.chaos_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The chaos plan delayed an attempt.
+    pub fn chaos_delay(&self) {
+        self.chaos_delays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The cell completed and validated.
+    pub fn cell_done(&self, key: &str) {
+        self.transition(key, CellState::Done, 0, "");
+        if self.progress_stderr.load(Ordering::Relaxed) {
+            let done = self.done.load(Ordering::Relaxed);
+            let total = self.total.load(Ordering::Relaxed);
+            eprintln!("{}: done `{key}` ({done}/{total})", self.tool);
+        }
+        self.maybe_flush();
+    }
+
+    /// The cell failed every permitted attempt.
+    pub fn cell_quarantined(&self, key: &str, attempts: u32, error: &str) {
+        self.transition(key, CellState::Quarantined, 0, error);
+        if let Some(entry) = lock_clean(&self.cells).get_mut(key) {
+            entry.attempts = attempts;
+        }
+        self.maybe_flush();
+    }
+
+    /// The cell never ran to completion this invocation.
+    pub fn cell_skipped(&self, key: &str) {
+        self.transition(key, CellState::Skipped, 0, "");
+        self.maybe_flush();
+    }
+
+    /// One engine chunk finished: `steps` micro-steps executed. The
+    /// hot-path feed — two atomic adds plus a rate-limited flush probe.
+    pub fn engine_chunk(&self, steps: u64) {
+        self.engine_steps.fetch_add(steps, Ordering::Relaxed);
+        self.engine_chunks.fetch_add(1, Ordering::Relaxed);
+        self.maybe_flush();
+    }
+
+    /// Marks the run finished and forces a final write of both sinks —
+    /// the one write that ignores the rate limit.
+    pub fn finish(&self) {
+        self.finished.store(true, Ordering::Relaxed);
+        if self.sinks.active.load(Ordering::Relaxed) {
+            self.flush();
+        }
+    }
+
+    fn transition(&self, key: &str, to: CellState, attempts_delta: u32, error: &str) {
+        let mut cells = lock_clean(&self.cells);
+        let entry = cells.entry(key.to_string()).or_insert_with(|| {
+            // Unregistered keys self-register so a partial feed still
+            // yields a coherent snapshot.
+            self.total.fetch_add(1, Ordering::Relaxed);
+            CellEntry {
+                state: CellState::Pending,
+                attempts: 0,
+                error: String::new(),
+            }
+        });
+        let from = entry.state;
+        if from.terminal() {
+            return; // terminal states never regress
+        }
+        entry.state = to;
+        entry.attempts += attempts_delta;
+        if !error.is_empty() {
+            entry.error = error.to_string();
+        }
+        drop(cells);
+        match (from.occupies(), to.occupies()) {
+            (false, true) => {
+                self.running.fetch_add(1, Ordering::Relaxed);
+            }
+            (true, false) => {
+                self.running.fetch_sub(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        match to {
+            CellState::Done => {
+                self.done.fetch_add(1, Ordering::Relaxed);
+            }
+            CellState::Quarantined => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+            }
+            CellState::Skipped => {
+                self.skipped.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Writes both sinks if the rate limit allows; called from every
+    /// feed point. Without attached sinks this is one atomic load.
+    fn maybe_flush(&self) {
+        if !self.sinks.active.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = self.elapsed_ms();
+        let last = self.sinks.last_flush_ms.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < self.sinks.every_ms.load(Ordering::Relaxed) {
+            return;
+        }
+        // One writer per interval: losing the race means someone else
+        // is already writing an equally fresh snapshot.
+        if self
+            .sinks
+            .last_flush_ms
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.flush();
+    }
+
+    /// Writes the snapshot and metrics files atomically, right now.
+    /// Write failures degrade to a single stderr warning — telemetry
+    /// must never kill the run it watches.
+    pub fn flush(&self) {
+        let status_path = lock_clean(&self.sinks.status_path).clone();
+        if let Some(path) = status_path {
+            let text = self.snapshot_json().to_string_pretty();
+            self.write_sink(&path, text.as_bytes());
+        }
+        let metrics_path = lock_clean(&self.sinks.metrics_path).clone();
+        if let Some(path) = metrics_path {
+            let text = self.metrics_text();
+            self.write_sink(&path, text.as_bytes());
+        }
+    }
+
+    fn write_sink(&self, path: &str, bytes: &[u8]) {
+        if let Err(e) = pim_ckpt::atomic_write(std::path::Path::new(path), bytes) {
+            if !self.sinks.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "{}: telemetry degraded: cannot write {path}: {e}",
+                    self.tool
+                );
+            }
+        }
+    }
+
+    /// The current `pim-status/v1` snapshot document.
+    pub fn snapshot_json(&self) -> Json {
+        let total = self.total.load(Ordering::Relaxed);
+        let running = self.running.load(Ordering::Relaxed);
+        let done = self.done.load(Ordering::Relaxed);
+        let quarantined = self.quarantined.load(Ordering::Relaxed);
+        let skipped = self.skipped.load(Ordering::Relaxed);
+        let reused = self.reused.load(Ordering::Relaxed);
+        let pending = total
+            .saturating_sub(done)
+            .saturating_sub(quarantined)
+            .saturating_sub(skipped)
+            .saturating_sub(running);
+        let elapsed_ms = self.elapsed_ms();
+        // Throughput counts cells this invocation actually executed:
+        // journal-served cells complete in microseconds and would make
+        // the ETA a lie.
+        let executed = (done + quarantined).saturating_sub(reused);
+        let cells_per_sec = if elapsed_ms > 0 {
+            executed as f64 * 1_000.0 / elapsed_ms as f64
+        } else {
+            0.0
+        };
+        let remaining = pending + running;
+        let eta_ms = if cells_per_sec > 0.0 && remaining > 0 {
+            Some((remaining as f64 * 1_000.0 / cells_per_sec) as u64)
+        } else {
+            None
+        };
+        let cells = lock_clean(&self.cells);
+        let running_cells: Vec<Json> = cells
+            .iter()
+            .filter(|(_, e)| e.state.occupies())
+            .map(|(k, _)| Json::from(k.as_str()))
+            .collect();
+        let quarantined_cells: Vec<Json> = cells
+            .iter()
+            .filter(|(_, e)| e.state == CellState::Quarantined)
+            .map(|(k, e)| {
+                Json::obj([
+                    ("cell", Json::from(k.as_str())),
+                    ("attempts", Json::from(u64::from(e.attempts))),
+                    ("error", Json::from(e.error.as_str())),
+                ])
+            })
+            .collect();
+        drop(cells);
+        Json::obj([
+            ("schema", Json::from(STATUS_SCHEMA)),
+            ("tool", Json::from(self.tool)),
+            (
+                "finished",
+                Json::from(self.finished.load(Ordering::Relaxed)),
+            ),
+            ("elapsed_ms", Json::from(elapsed_ms)),
+            ("workers", Json::from(self.workers.load(Ordering::Relaxed))),
+            (
+                "cells",
+                Json::obj([
+                    ("total", Json::from(total)),
+                    ("pending", Json::from(pending)),
+                    ("running", Json::from(running)),
+                    ("done", Json::from(done)),
+                    ("quarantined", Json::from(quarantined)),
+                    ("skipped", Json::from(skipped)),
+                    ("reused", Json::from(reused)),
+                ]),
+            ),
+            (
+                "attempts",
+                Json::from(self.attempts.load(Ordering::Relaxed)),
+            ),
+            ("retries", Json::from(self.retries.load(Ordering::Relaxed))),
+            (
+                "chaos",
+                Json::obj([
+                    (
+                        "kills",
+                        Json::from(self.chaos_kills.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "delays",
+                        Json::from(self.chaos_delays.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "engine",
+                Json::obj([
+                    (
+                        "steps",
+                        Json::from(self.engine_steps.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "chunks",
+                        Json::from(self.engine_chunks.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            ("cells_per_sec", Json::from(cells_per_sec)),
+            ("eta_ms", eta_ms.map_or(Json::Null, Json::from)),
+            ("running_cells", Json::Arr(running_cells)),
+            ("quarantined_cells", Json::Arr(quarantined_cells)),
+        ])
+    }
+
+    /// The Prometheus text-format exposition of the same counters
+    /// (node_exporter textfile-collector compatible): `# HELP`/`# TYPE`
+    /// headers plus one sample per metric, all labeled with the tool.
+    /// When the pim-perf profiler is enabled, its per-phase breakdown
+    /// is exported too. Every metric name here appears in the DESIGN
+    /// "Live telemetry" table — a lint test pins that.
+    pub fn metrics_text(&self) -> String {
+        let tool = prom_label(self.tool);
+        let mut out = String::new();
+        let total = self.total.load(Ordering::Relaxed);
+        let done = self.done.load(Ordering::Relaxed);
+        let quarantined = self.quarantined.load(Ordering::Relaxed);
+        let skipped = self.skipped.load(Ordering::Relaxed);
+        let running = self.running.load(Ordering::Relaxed);
+        let pending = total
+            .saturating_sub(done)
+            .saturating_sub(quarantined)
+            .saturating_sub(skipped)
+            .saturating_sub(running);
+        let gauges: [(&str, &str, u64); 5] = [
+            ("pim_cells_total", "Cells in the run grid.", total),
+            ("pim_cells_pending", "Cells not yet claimed.", pending),
+            (
+                "pim_cells_running",
+                "Cells currently held by a worker (occupancy).",
+                running,
+            ),
+            (
+                "pim_workers",
+                "Worker threads in the pool.",
+                self.workers.load(Ordering::Relaxed),
+            ),
+            (
+                "pim_run_finished",
+                "1 once the run has completed.",
+                u64::from(self.finished.load(Ordering::Relaxed)),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            prom_sample(&mut out, name, help, "gauge", &tool, &value.to_string());
+        }
+        let counters: [(&str, &str, u64); 9] = [
+            (
+                "pim_cells_done_total",
+                "Cells completed and validated.",
+                done,
+            ),
+            (
+                "pim_cells_quarantined_total",
+                "Cells that failed every permitted attempt.",
+                quarantined,
+            ),
+            (
+                "pim_cells_skipped_total",
+                "Cells skipped by a raised cancel flag.",
+                skipped,
+            ),
+            (
+                "pim_cells_reused_total",
+                "Cells served from a journal or checkpoint.",
+                self.reused.load(Ordering::Relaxed),
+            ),
+            (
+                "pim_cell_attempts_total",
+                "Cell attempts started.",
+                self.attempts.load(Ordering::Relaxed),
+            ),
+            (
+                "pim_cell_retries_total",
+                "Extra attempts beyond each cell's first.",
+                self.retries.load(Ordering::Relaxed),
+            ),
+            (
+                "pim_chaos_kills_total",
+                "Chaos-injected worker kills.",
+                self.chaos_kills.load(Ordering::Relaxed),
+            ),
+            (
+                "pim_chaos_delays_total",
+                "Chaos-injected attempt delays.",
+                self.chaos_delays.load(Ordering::Relaxed),
+            ),
+            (
+                "pim_engine_steps_total",
+                "Engine micro-steps executed.",
+                self.engine_steps.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in counters {
+            prom_sample(&mut out, name, help, "counter", &tool, &value.to_string());
+        }
+        prom_sample(
+            &mut out,
+            "pim_engine_chunks_total",
+            "Engine chunks completed (telemetry heartbeats).",
+            "counter",
+            &tool,
+            &self.engine_chunks.load(Ordering::Relaxed).to_string(),
+        );
+        prom_sample(
+            &mut out,
+            "pim_run_elapsed_seconds",
+            "Wall-clock seconds since the run started.",
+            "gauge",
+            &tool,
+            &format!("{:.3}", self.elapsed_ms() as f64 / 1_000.0),
+        );
+        if pim_perf::is_enabled() {
+            let report = pim_perf::snapshot();
+            out.push_str(
+                "# HELP pim_perf_phase_seconds_total Host wall time per profiled phase.\n\
+                 # TYPE pim_perf_phase_seconds_total counter\n",
+            );
+            for p in &report.phases {
+                out.push_str(&format!(
+                    "pim_perf_phase_seconds_total{{tool=\"{tool}\",phase=\"{}\"}} {:.6}\n",
+                    prom_label(p.name),
+                    p.total_ns as f64 / 1e9
+                ));
+            }
+            out.push_str(
+                "# HELP pim_perf_phase_calls_total Closed spans per profiled phase.\n\
+                 # TYPE pim_perf_phase_calls_total counter\n",
+            );
+            for p in &report.phases {
+                out.push_str(&format!(
+                    "pim_perf_phase_calls_total{{tool=\"{tool}\",phase=\"{}\"}} {}\n",
+                    prom_label(p.name),
+                    p.count
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn prom_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_sample(out: &mut String, name: &str, help: &str, kind: &str, tool: &str, value: &str) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name}{{tool=\"{tool}\"}} {value}\n"
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counters_track_the_state_machine() {
+        let s = RunStatus::new("test");
+        for key in ["a", "b", "c", "d"] {
+            s.register_cell(key);
+        }
+        s.set_workers(2);
+        s.reuse_cell("d", false);
+        s.cell_running("a");
+        s.cell_retrying("a", 2);
+        s.cell_done("a");
+        s.cell_running("b");
+        s.cell_quarantined("b", 3, "boom");
+        s.cell_skipped("c");
+        assert_eq!(s.total.load(Ordering::Relaxed), 4);
+        assert_eq!(s.done.load(Ordering::Relaxed), 2); // a + reused d
+        assert_eq!(s.quarantined.load(Ordering::Relaxed), 1);
+        assert_eq!(s.skipped.load(Ordering::Relaxed), 1);
+        assert_eq!(s.reused.load(Ordering::Relaxed), 1);
+        assert_eq!(s.running.load(Ordering::Relaxed), 0);
+        assert_eq!(s.attempts.load(Ordering::Relaxed), 3);
+        assert_eq!(s.retries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn occupancy_rises_while_running_and_through_retries() {
+        let s = RunStatus::new("test");
+        s.register_cell("x");
+        s.cell_running("x");
+        assert_eq!(s.running.load(Ordering::Relaxed), 1);
+        s.cell_retrying("x", 2);
+        assert_eq!(s.running.load(Ordering::Relaxed), 1);
+        s.cell_done("x");
+        assert_eq!(s.running.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn terminal_states_never_regress() {
+        let s = RunStatus::new("test");
+        s.register_cell("x");
+        s.cell_running("x");
+        s.cell_done("x");
+        s.cell_skipped("x"); // ignored
+        assert_eq!(s.done.load(Ordering::Relaxed), 1);
+        assert_eq!(s.skipped.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_the_parser() {
+        let s = RunStatus::new("test");
+        for key in ["a", "b", "c"] {
+            s.register_cell(key);
+        }
+        s.set_workers(2);
+        s.cell_running("a");
+        s.cell_done("a");
+        s.cell_running("b");
+        s.cell_quarantined("b", 3, "panicked: poison");
+        s.cell_running("c");
+        s.chaos_kill();
+        s.engine_chunk(65_536);
+        let text = s.snapshot_json().to_string_pretty();
+        let snap = Snapshot::parse(&text).expect("snapshot parses");
+        assert_eq!(snap.tool, "test");
+        assert!(!snap.finished);
+        assert_eq!(snap.total, 3);
+        assert_eq!(snap.done, 1);
+        assert_eq!(snap.quarantined, 1);
+        assert_eq!(snap.running, 1);
+        assert_eq!(snap.chaos_kills, 1);
+        assert_eq!(snap.engine_steps, 65_536);
+        assert_eq!(snap.running_cells, vec!["c".to_string()]);
+        assert_eq!(snap.quarantined_cells.len(), 1);
+        assert_eq!(snap.quarantined_cells[0].cell, "b");
+        assert_eq!(snap.quarantined_cells[0].error, "panicked: poison");
+    }
+
+    #[test]
+    fn metrics_text_is_textfile_collector_shaped() {
+        let s = RunStatus::new("test");
+        s.register_cell("a");
+        s.cell_running("a");
+        s.cell_done("a");
+        let text = s.metrics_text();
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE ") || line.contains("} "),
+                "unexpected line: {line}"
+            );
+        }
+        assert!(
+            text.contains("pim_cells_done_total{tool=\"test\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE pim_cells_total gauge"), "{text}");
+    }
+
+    #[test]
+    fn status_file_writes_are_complete_documents() {
+        let dir = std::env::temp_dir().join(format!("pim-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.json");
+        let s = RunStatus::new("test");
+        s.register_cell("a");
+        s.attach_status_file(path.to_str().unwrap(), 0).unwrap();
+        s.cell_running("a");
+        s.cell_done("a");
+        s.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snap = Snapshot::parse(&text).expect("parses");
+        assert!(snap.finished);
+        assert_eq!(snap.done, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

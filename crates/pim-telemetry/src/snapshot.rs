@@ -1,0 +1,591 @@
+//! Reading `pim-status/v1` snapshots back: a strict, dependency-free
+//! JSON parser, the typed [`Snapshot`] view, and the one-screen render
+//! `sweepwatch` draws.
+//!
+//! The parser is deliberately strict — any truncation, trailing bytes,
+//! or malformed token is an error, never a best-effort partial value —
+//! because its whole job is to distinguish "a complete snapshot the
+//! atomic writer published" from "garbage". Numbers keep their raw
+//! token text so `u64::MAX` round-trips exactly instead of sagging
+//! through an `f64`.
+
+/// A parsed JSON value with numbers kept as raw token text.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected `{lit}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|()| Value::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return self.err("expected digits");
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return self.err("expected fraction digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return self.err("expected exponent digits");
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        Ok(Value::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-utf8 \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            // Surrogates would need pairing; the writer
+                            // never emits them, so reject rather than
+                            // guess.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "bad \\u codepoint".to_string())?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return self.err("raw control char in string"),
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn document(&mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return self.err("trailing bytes after document");
+        }
+        Ok(v)
+    }
+}
+
+/// One quarantined cell as recorded in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedCell {
+    /// The cell's grid key.
+    pub cell: String,
+    /// Attempts consumed before quarantine.
+    pub attempts: u64,
+    /// The final attempt's error.
+    pub error: String,
+}
+
+/// A parsed `pim-status/v1` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The producing binary ("sweeprun", "tracesim", ...).
+    pub tool: String,
+    /// Whether the run had completed when this was written.
+    pub finished: bool,
+    /// Wall milliseconds since the run started.
+    pub elapsed_ms: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Cells in the grid.
+    pub total: u64,
+    /// Cells not yet claimed.
+    pub pending: u64,
+    /// Cells currently held by workers.
+    pub running: u64,
+    /// Cells completed and validated.
+    pub done: u64,
+    /// Cells that failed every permitted attempt.
+    pub quarantined: u64,
+    /// Cells skipped by a raised cancel flag.
+    pub skipped: u64,
+    /// Cells served from a journal or checkpoint.
+    pub reused: u64,
+    /// Attempts started.
+    pub attempts: u64,
+    /// Extra attempts beyond each cell's first.
+    pub retries: u64,
+    /// Chaos-injected worker kills.
+    pub chaos_kills: u64,
+    /// Chaos-injected delays.
+    pub chaos_delays: u64,
+    /// Engine micro-steps executed.
+    pub engine_steps: u64,
+    /// Engine chunks completed.
+    pub engine_chunks: u64,
+    /// Executed-cell throughput.
+    pub cells_per_sec: f64,
+    /// Projected milliseconds to completion, when computable.
+    pub eta_ms: Option<u64>,
+    /// Keys of cells currently held by workers.
+    pub running_cells: Vec<String>,
+    /// Quarantined cells with their errors.
+    pub quarantined_cells: Vec<QuarantinedCell>,
+}
+
+fn field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer `{key}`"))
+}
+
+impl Snapshot {
+    /// Parses a snapshot document, rejecting anything that is not a
+    /// complete `pim-status/v1` object — a truncated prefix, trailing
+    /// garbage, or a wrong/missing schema all fail.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let doc = Parser::new(text).document()?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing `schema`".to_string())?;
+        if schema != crate::STATUS_SCHEMA {
+            return Err(format!(
+                "schema `{schema}` is not `{}`",
+                crate::STATUS_SCHEMA
+            ));
+        }
+        let cells = doc
+            .get("cells")
+            .ok_or_else(|| "missing `cells`".to_string())?;
+        let chaos = doc
+            .get("chaos")
+            .ok_or_else(|| "missing `chaos`".to_string())?;
+        let engine = doc
+            .get("engine")
+            .ok_or_else(|| "missing `engine`".to_string())?;
+        let running_cells = match doc.get("running_cells") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "non-string running cell".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing `running_cells`".to_string()),
+        };
+        let quarantined_cells = match doc.get("quarantined_cells") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(|v| {
+                    Ok(QuarantinedCell {
+                        cell: v
+                            .get("cell")
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| "quarantined cell missing `cell`".to_string())?
+                            .to_string(),
+                        attempts: field(v, "attempts")?,
+                        error: v
+                            .get("error")
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("missing `quarantined_cells`".to_string()),
+        };
+        Ok(Snapshot {
+            tool: doc
+                .get("tool")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "missing `tool`".to_string())?
+                .to_string(),
+            finished: doc
+                .get("finished")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| "missing `finished`".to_string())?,
+            elapsed_ms: field(&doc, "elapsed_ms")?,
+            workers: field(&doc, "workers")?,
+            total: field(cells, "total")?,
+            pending: field(cells, "pending")?,
+            running: field(cells, "running")?,
+            done: field(cells, "done")?,
+            quarantined: field(cells, "quarantined")?,
+            skipped: field(cells, "skipped")?,
+            reused: field(cells, "reused")?,
+            attempts: field(&doc, "attempts")?,
+            retries: field(&doc, "retries")?,
+            chaos_kills: field(chaos, "kills")?,
+            chaos_delays: field(chaos, "delays")?,
+            engine_steps: field(engine, "steps")?,
+            engine_chunks: field(engine, "chunks")?,
+            cells_per_sec: doc
+                .get("cells_per_sec")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            eta_ms: doc.get("eta_ms").and_then(Value::as_u64),
+            running_cells,
+            quarantined_cells,
+        })
+    }
+
+    /// Whether the run lost cells: anything quarantined or skipped.
+    pub fn degraded(&self) -> bool {
+        self.quarantined > 0 || self.skipped > 0
+    }
+
+    /// The one-screen progress view `sweepwatch` draws.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let settled = self.done + self.quarantined + self.skipped;
+        let state = if self.finished {
+            if self.degraded() {
+                "finished (degraded)"
+            } else {
+                "finished"
+            }
+        } else {
+            "running"
+        };
+        out.push_str(&format!(
+            "{} — {} — {}/{} cells settled\n",
+            self.tool, state, settled, self.total
+        ));
+        out.push_str(&format!("  [{}]\n", progress_bar(settled, self.total, 50)));
+        out.push_str(&format!(
+            "  done {}  quarantined {}  skipped {}  running {}  pending {}  (reused {})\n",
+            self.done, self.quarantined, self.skipped, self.running, self.pending, self.reused
+        ));
+        out.push_str(&format!(
+            "  attempts {}  retries {}  chaos kills {}  chaos delays {}\n",
+            self.attempts, self.retries, self.chaos_kills, self.chaos_delays
+        ));
+        out.push_str(&format!(
+            "  engine {} steps in {} chunks\n",
+            self.engine_steps, self.engine_chunks
+        ));
+        out.push_str(&format!(
+            "  workers {}  elapsed {}  {:.2} cells/sec  eta {}\n",
+            self.workers,
+            fmt_duration_ms(self.elapsed_ms),
+            self.cells_per_sec,
+            self.eta_ms.map_or("-".to_string(), fmt_duration_ms),
+        ));
+        if !self.running_cells.is_empty() {
+            out.push_str("  in flight:\n");
+            for cell in &self.running_cells {
+                out.push_str(&format!("    {cell}\n"));
+            }
+        }
+        if !self.quarantined_cells.is_empty() {
+            out.push_str("  quarantined:\n");
+            for q in &self.quarantined_cells {
+                out.push_str(&format!(
+                    "    {} ({} attempts): {}\n",
+                    q.cell, q.attempts, q.error
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn progress_bar(numer: u64, denom: u64, width: u64) -> String {
+    let filled = (numer.min(denom) * width).checked_div(denom).unwrap_or(0);
+    let mut bar = String::new();
+    for i in 0..width {
+        bar.push(if i < filled { '#' } else { '.' });
+    }
+    bar
+}
+
+fn fmt_duration_ms(ms: u64) -> String {
+    let secs = ms / 1_000;
+    if secs >= 3_600 {
+        format!("{}h{:02}m", secs / 3_600, (secs % 3_600) / 60)
+    } else if secs >= 60 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{}.{}s", secs, (ms % 1_000) / 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> String {
+        let s = crate::RunStatus::new("t");
+        s.register_cell("a");
+        s.snapshot_json().to_string_pretty()
+    }
+
+    #[test]
+    fn truncated_prefixes_never_parse() {
+        let text = minimal();
+        // Prefixes shorter than the closing `}` must fail; only
+        // trailing whitespace may be lost without detection (the
+        // document is still complete then, not torn).
+        for cut in 0..text.trim_end().len() {
+            assert!(
+                Snapshot::parse(&text[..cut]).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+        assert!(Snapshot::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let text = minimal();
+        assert!(Snapshot::parse(&format!("{text}x")).is_err());
+        assert!(Snapshot::parse(&format!("{text} {{}}")).is_err());
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = minimal().replace("pim-status/v1", "pim-status/v0");
+        assert!(Snapshot::parse(&text).is_err());
+    }
+
+    #[test]
+    fn exact_u64_values_survive() {
+        let text = minimal().replace(
+            "\"elapsed_ms\": 0",
+            &format!("\"elapsed_ms\": {}", u64::MAX),
+        );
+        let snap = Snapshot::parse(&text).unwrap();
+        assert_eq!(snap.elapsed_ms, u64::MAX);
+    }
+
+    #[test]
+    fn render_is_one_screen_and_names_quarantined_cells() {
+        let s = crate::RunStatus::new("sweeprun");
+        for key in ["a", "b"] {
+            s.register_cell(key);
+        }
+        s.cell_running("a");
+        s.cell_quarantined("a", 3, "panicked: poison");
+        s.cell_running("b");
+        s.cell_done("b");
+        s.finish();
+        let snap = Snapshot::parse(&s.snapshot_json().to_string_pretty()).unwrap();
+        let view = snap.render();
+        assert!(view.contains("finished (degraded)"), "{view}");
+        assert!(view.contains("a (3 attempts): panicked: poison"), "{view}");
+        assert!(view.lines().count() < 25, "{view}");
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let s = crate::RunStatus::new("t");
+        s.register_cell("weird \"cell\"\nname\tend");
+        s.cell_running("weird \"cell\"\nname\tend");
+        s.cell_quarantined("weird \"cell\"\nname\tend", 1, "err \\ \"quote\"");
+        let snap = Snapshot::parse(&s.snapshot_json().to_string_pretty()).unwrap();
+        assert_eq!(snap.quarantined_cells[0].cell, "weird \"cell\"\nname\tend");
+        assert_eq!(snap.quarantined_cells[0].error, "err \\ \"quote\"");
+    }
+}

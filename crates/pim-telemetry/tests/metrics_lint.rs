@@ -1,0 +1,50 @@
+//! Lint: every Prometheus metric this crate exports must be documented
+//! in the DESIGN "Live telemetry" metric table. Renaming or adding a
+//! metric without updating the docs fails here.
+
+use pim_telemetry::RunStatus;
+
+#[test]
+fn every_exported_metric_name_is_documented_in_design() {
+    // Enable the profiler with a real span so the conditional pim_perf
+    // metrics are exported and linted too.
+    pim_perf::enable();
+    {
+        let _span = pim_perf::span(pim_perf::phase::EXPERIMENT);
+    }
+    let status = RunStatus::new("lint");
+    status.register_cell("cell");
+    status.cell_running("cell");
+    status.cell_done("cell");
+    let text = status.metrics_text();
+
+    // Every exported metric carries a `# TYPE <name> <kind>` header.
+    let names: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    assert!(
+        names.len() >= 16,
+        "expected the full metric set, got {names:?}"
+    );
+
+    let design_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let design = std::fs::read_to_string(design_path).expect("DESIGN.md is readable");
+    let telemetry_section = design
+        .split("## Live telemetry")
+        .nth(1)
+        .expect("DESIGN.md has a `## Live telemetry` section");
+    let section_end = telemetry_section
+        .find("\n## ")
+        .unwrap_or(telemetry_section.len());
+    let section = &telemetry_section[..section_end];
+    let undocumented: Vec<&&str> = names
+        .iter()
+        .filter(|name| !section.contains(&format!("`{name}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "metrics missing from the DESIGN Live-telemetry table: {undocumented:?}"
+    );
+}

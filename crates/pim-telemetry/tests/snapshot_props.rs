@@ -1,0 +1,187 @@
+//! Property tests of the `pim-status/v1` snapshot cycle: whatever a
+//! run does to the registry, the rendered document parses back to
+//! exactly the rendered numbers; any torn prefix is rejected; and the
+//! parser never panics on arbitrary input.
+
+use proptest::prelude::*;
+
+use pim_obs::Json;
+use pim_telemetry::{RunStatus, Snapshot};
+
+/// One registry operation, proptest-generated. Keys index a small pool
+/// so operations collide on cells (exercising the terminal-state and
+/// occupancy rules), with one arbitrary string key for escaping.
+#[derive(Debug, Clone)]
+enum Op {
+    Register(u8),
+    Running(u8),
+    Retrying(u8, u32),
+    Done(u8),
+    Quarantined(u8, u32, String),
+    Skipped(u8),
+    Reuse(u8, bool),
+    ChaosKill,
+    ChaosDelay,
+    EngineChunk(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Register),
+        any::<u8>().prop_map(Op::Running),
+        (any::<u8>(), 1u32..100).prop_map(|(k, a)| Op::Retrying(k, a)),
+        any::<u8>().prop_map(Op::Done),
+        (any::<u8>(), 1u32..100, ".{0,40}").prop_map(|(k, a, e)| Op::Quarantined(k, a, e)),
+        any::<u8>().prop_map(Op::Skipped),
+        (any::<u8>(), any::<bool>()).prop_map(|(k, q)| Op::Reuse(k, q)),
+        Just(Op::ChaosKill),
+        Just(Op::ChaosDelay),
+        any::<u64>().prop_map(Op::EngineChunk),
+    ]
+}
+
+/// Cell keys cover the JSON-hostile characters: quotes, backslashes,
+/// newlines, non-ASCII.
+fn key(i: u8) -> String {
+    match i % 6 {
+        0 => "proto=pim bench=Tri scale=smoke pes=2 block=4".into(),
+        1 => "quote\"back\\slash".into(),
+        2 => "newline\nand\ttab".into(),
+        3 => "unicode-\u{203d}-\u{1f980}".into(),
+        4 => String::new(),
+        _ => format!("cell-{i}"),
+    }
+}
+
+fn drive(ops: &[Op]) -> RunStatus {
+    let status = RunStatus::new("fuzz");
+    status.set_progress_stderr(false);
+    for op in ops {
+        match op {
+            Op::Register(k) => status.register_cell(&key(*k)),
+            Op::Running(k) => status.cell_running(&key(*k)),
+            Op::Retrying(k, a) => status.cell_retrying(&key(*k), *a),
+            Op::Done(k) => status.cell_done(&key(*k)),
+            Op::Quarantined(k, a, e) => status.cell_quarantined(&key(*k), *a, e),
+            Op::Skipped(k) => status.cell_skipped(&key(*k)),
+            Op::Reuse(k, q) => status.reuse_cell(&key(*k), *q),
+            Op::ChaosKill => status.chaos_kill(),
+            Op::ChaosDelay => status.chaos_delay(),
+            Op::EngineChunk(steps) => status.engine_chunk(*steps),
+        }
+    }
+    status
+}
+
+fn field<'a>(doc: &'a Json, name: &str) -> &'a Json {
+    let Json::Obj(pairs) = doc else {
+        panic!("not an object")
+    };
+    &pairs
+        .iter()
+        .find(|(k, _)| *k == name)
+        .unwrap_or_else(|| panic!("missing field {name}"))
+        .1
+}
+
+fn as_u64(doc: &Json, name: &str) -> u64 {
+    match field(doc, name) {
+        Json::U64(v) => *v,
+        other => panic!("{name} is not u64: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parsed snapshot reproduces every counter the document
+    /// carries — including full-range u64s and hostile cell keys.
+    #[test]
+    fn rendered_snapshots_roundtrip_exactly(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let status = drive(&ops);
+        let doc = status.snapshot_json();
+        let text = doc.to_string_pretty();
+        let snap = Snapshot::parse(&text).expect("own snapshot parses");
+        let cells = field(&doc, "cells");
+        prop_assert_eq!(snap.total, as_u64(cells, "total"));
+        prop_assert_eq!(snap.pending, as_u64(cells, "pending"));
+        prop_assert_eq!(snap.running, as_u64(cells, "running"));
+        prop_assert_eq!(snap.done, as_u64(cells, "done"));
+        prop_assert_eq!(snap.quarantined, as_u64(cells, "quarantined"));
+        prop_assert_eq!(snap.skipped, as_u64(cells, "skipped"));
+        prop_assert_eq!(snap.reused, as_u64(cells, "reused"));
+        prop_assert_eq!(snap.attempts, as_u64(&doc, "attempts"));
+        prop_assert_eq!(snap.retries, as_u64(&doc, "retries"));
+        let chaos = field(&doc, "chaos");
+        prop_assert_eq!(snap.chaos_kills, as_u64(chaos, "kills"));
+        prop_assert_eq!(snap.chaos_delays, as_u64(chaos, "delays"));
+        let engine = field(&doc, "engine");
+        prop_assert_eq!(snap.engine_steps, as_u64(engine, "steps"));
+        prop_assert_eq!(snap.engine_chunks, as_u64(engine, "chunks"));
+        // The cell lists survive string escaping round trips.
+        let Json::Arr(running) = field(&doc, "running_cells") else {
+            panic!("running_cells is not an array")
+        };
+        prop_assert_eq!(snap.running_cells.len(), running.len());
+        for (parsed, original) in snap.running_cells.iter().zip(running) {
+            let Json::Str(s) = original else { panic!("not a string") };
+            prop_assert_eq!(parsed, s);
+        }
+        let Json::Arr(quarantined) = field(&doc, "quarantined_cells") else {
+            panic!("quarantined_cells is not an array")
+        };
+        prop_assert_eq!(snap.quarantined_cells.len(), quarantined.len());
+        for (parsed, original) in snap.quarantined_cells.iter().zip(quarantined) {
+            let Json::Str(cell) = field(original, "cell") else { panic!("not a string") };
+            let Json::Str(error) = field(original, "error") else { panic!("not a string") };
+            prop_assert_eq!(&parsed.cell, cell);
+            prop_assert_eq!(&parsed.error, error);
+            prop_assert_eq!(parsed.attempts, as_u64(original, "attempts"));
+        }
+        // Bookkeeping invariant: every registered cell is in exactly
+        // one bucket.
+        prop_assert_eq!(
+            snap.total,
+            snap.pending + snap.running + snap.done + snap.quarantined + snap.skipped
+        );
+    }
+
+    /// Crash safety: a torn snapshot — any strict prefix beyond
+    /// trailing whitespace — is an error, never a silently-wrong parse.
+    #[test]
+    fn truncated_snapshots_are_always_rejected(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        cut_seed in any::<u64>(),
+    ) {
+        let text = drive(&ops).snapshot_json().to_string_pretty();
+        let complete = text.trim_end().len();
+        let mut cut = (cut_seed % complete as u64) as usize;
+        while cut > 0 && !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if cut < complete {
+            prop_assert!(Snapshot::parse(&text[..cut]).is_err(), "prefix of {cut} bytes parsed");
+        }
+    }
+
+    /// The parser is total: arbitrary input returns Ok or Err, never
+    /// panics.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = Snapshot::parse(&input);
+    }
+
+    /// Arbitrary mutations of a valid snapshot never panic the parser
+    /// either (they may still parse if the mutation lands in a string).
+    #[test]
+    fn parser_never_panics_on_mutated_snapshots(
+        ops in proptest::collection::vec(op_strategy(), 0..20),
+        at in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = drive(&ops).snapshot_json().to_string_pretty().into_bytes();
+        let i = (at % bytes.len() as u64) as usize;
+        bytes[i] = byte;
+        let _ = Snapshot::parse(&String::from_utf8_lossy(&bytes));
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end tests of the `sweepwatch` viewer: the exit-code contract
+//! (0 healthy / 1 missing, torn, stale, or finished-degraded / 2 bad
+//! flags) and the `--once` rendering the crash-safety suite scripts
+//! against.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use pim_telemetry::RunStatus;
+
+fn sweepwatch() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweepwatch"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sweepwatch-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Writes a status file through the real registry, mid-run shape.
+fn write_live_snapshot(path: &Path) {
+    let status = RunStatus::new("testtool");
+    status.set_workers(2);
+    for key in ["alpha", "beta", "gamma", "delta"] {
+        status.register_cell(key);
+    }
+    status.cell_running("alpha");
+    status.cell_done("alpha");
+    status.cell_running("beta");
+    status
+        .attach_status_file(path.to_str().unwrap(), 1)
+        .unwrap();
+}
+
+#[test]
+fn once_renders_a_healthy_snapshot_and_exits_0() {
+    let dir = tempdir("healthy");
+    let path = dir.join("s.json");
+    write_live_snapshot(&path);
+    let out = sweepwatch()
+        .args(["--once", path.to_str().unwrap()])
+        .output()
+        .expect("sweepwatch runs");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    assert!(rendered.contains("testtool"), "{rendered}");
+    assert!(rendered.contains("1/4 cells settled"), "{rendered}");
+    assert!(rendered.contains("in flight:"), "{rendered}");
+    assert!(rendered.contains("beta"), "{rendered}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn finished_degraded_runs_exit_1_and_name_the_quarantine() {
+    let dir = tempdir("degraded");
+    let path = dir.join("s.json");
+    let status = RunStatus::new("testtool");
+    status.register_cell("good");
+    status.register_cell("bad");
+    status.cell_running("good");
+    status.cell_done("good");
+    status.cell_running("bad");
+    status.cell_quarantined("bad", 3, "boom");
+    status
+        .attach_status_file(path.to_str().unwrap(), 1)
+        .unwrap();
+    status.finish();
+    let out = sweepwatch()
+        .args(["--once", path.to_str().unwrap()])
+        .output()
+        .expect("sweepwatch runs");
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    assert!(rendered.contains("quarantined:"), "{rendered}");
+    assert!(rendered.contains("bad (3 attempts): boom"), "{rendered}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_or_torn_snapshots_exit_1_with_the_reason() {
+    let dir = tempdir("torn");
+    // Missing file.
+    let out = sweepwatch()
+        .args(["--once", dir.join("absent.json").to_str().unwrap()])
+        .output()
+        .expect("sweepwatch runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("cannot read"),
+        "{}",
+        stderr_of(&out)
+    );
+    // Torn JSON (a truncated prefix).
+    let torn = dir.join("torn.json");
+    std::fs::write(
+        &torn,
+        "{\n  \"schema\": \"pim-status/v1\",\n  \"tool\": \"x",
+    )
+    .unwrap();
+    let out = sweepwatch()
+        .args(["--once", torn.to_str().unwrap()])
+        .output()
+        .expect("sweepwatch runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("bad snapshot"),
+        "{}",
+        stderr_of(&out)
+    );
+    // Wrong schema.
+    let wrong = dir.join("wrong.json");
+    std::fs::write(&wrong, "{\"schema\": \"not-a-status/v9\"}").unwrap();
+    let out = sweepwatch()
+        .args(["--once", wrong.to_str().unwrap()])
+        .output()
+        .expect("sweepwatch runs");
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unfinished_snapshots_older_than_stale_exit_1() {
+    let dir = tempdir("stale");
+    let path = dir.join("s.json");
+    write_live_snapshot(&path);
+    std::thread::sleep(std::time::Duration::from_millis(1100));
+    // Unfinished + 1s old + --stale 0 → stale.
+    let out = sweepwatch()
+        .args(["--once", "--stale", "0", path.to_str().unwrap()])
+        .output()
+        .expect("sweepwatch runs");
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("stale"), "{}", stderr_of(&out));
+    // A generous window keeps it healthy.
+    let out = sweepwatch()
+        .args(["--once", "--stale", "3600", path.to_str().unwrap()])
+        .output()
+        .expect("sweepwatch runs");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    // A *finished* snapshot is never stale: the producer stopped
+    // writing because the run is over.
+    let finished = dir.join("f.json");
+    let status = RunStatus::new("testtool");
+    status.register_cell("only");
+    status.cell_running("only");
+    status.cell_done("only");
+    status
+        .attach_status_file(finished.to_str().unwrap(), 1)
+        .unwrap();
+    status.finish();
+    std::thread::sleep(std::time::Duration::from_millis(1100));
+    let out = sweepwatch()
+        .args(["--once", "--stale", "0", finished.to_str().unwrap()])
+        .output()
+        .expect("sweepwatch runs");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flags_exit_2_with_the_flag_named() {
+    for (args, needle) in [
+        (vec!["--bogus", "s.json"], "unknown flag `--bogus`"),
+        (vec!["--once"], "missing STATUS_FILE"),
+        (vec!["--once", "a.json", "b.json"], "more than one"),
+        (vec!["--every", "0", "s.json"], "--every must be at least 1"),
+        (vec!["--every", "xyz", "s.json"], "bad value `xyz`"),
+        (vec!["--stale"], "--stale needs a value"),
+    ] {
+        let out = sweepwatch().args(&args).output().expect("sweepwatch runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            stderr_of(&out).contains(needle),
+            "{args:?}: {}",
+            stderr_of(&out)
+        );
+        assert!(stderr_of(&out).contains("usage:"), "{args:?}");
+    }
+}
+
+#[test]
+fn watch_mode_follows_a_run_to_completion() {
+    let dir = tempdir("watch");
+    let path = dir.join("s.json");
+    write_live_snapshot(&path);
+    let child = sweepwatch()
+        .args(["--every", "1", path.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("sweepwatch spawns");
+    // Finish the run under the watcher's feet.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let status = RunStatus::new("testtool");
+    for key in ["alpha", "beta", "gamma", "delta"] {
+        status.register_cell(key);
+        status.cell_running(key);
+        status.cell_done(key);
+    }
+    status
+        .attach_status_file(path.to_str().unwrap(), 1)
+        .unwrap();
+    status.finish();
+    let out = child.wait_with_output().expect("sweepwatch exits");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    assert!(rendered.contains("4/4 cells settled"), "{rendered}");
+    std::fs::remove_dir_all(&dir).ok();
+}

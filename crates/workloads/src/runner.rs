@@ -133,8 +133,9 @@ impl std::fmt::Display for CellError {
 impl std::error::Error for CellError {}
 
 /// Supervision controls for [`run_cell`]: a wall-clock deadline and a
-/// cooperative cancel flag, both checked between engine chunks.
-#[derive(Debug, Clone, Copy, Default)]
+/// cooperative cancel flag, both checked between engine chunks, plus an
+/// optional progress tick fired at the same boundaries.
+#[derive(Clone, Copy, Default)]
 pub struct CellControl<'a> {
     /// Stop with [`SimError::WallClockExpired`] once this instant passes.
     ///
@@ -147,6 +148,21 @@ pub struct CellControl<'a> {
     ///
     /// [`SimError::WallClockExpired`]: pim_sim::SimError::WallClockExpired
     pub budget_secs: u64,
+    /// Called after every engine chunk with the chunk's step count — a
+    /// live-telemetry feed. Strictly passive: it must not affect the
+    /// run (chunked execution stays bit-identical with or without it).
+    pub progress: Option<&'a (dyn Fn(u64) + Sync)>,
+}
+
+impl std::fmt::Debug for CellControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellControl")
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel)
+            .field("budget_secs", &self.budget_secs)
+            .field("progress", &self.progress.map(|_| "fn"))
+            .finish()
+    }
 }
 
 /// Steps per engine chunk in [`run_cell`]: small enough that deadline
@@ -208,6 +224,9 @@ fn run_cell_on<S: MemorySystem>(
         let chunk = CELL_CHUNK.min(MAX_STEPS - total_steps);
         let stats = engine.run(&mut cluster, chunk).map_err(CellError::Sim)?;
         total_steps += stats.steps;
+        if let Some(tick) = ctl.progress {
+            tick(stats.steps);
+        }
         if stats.finished {
             break stats;
         }

@@ -54,6 +54,13 @@
 //!                     results and output files match an uninterrupted
 //!                     run byte for byte (modulo the profile's
 //!                     `checkpoint` block)
+//!   --status FILE[:every=SECS]
+//!                     write a crash-safe `pim-status/v1` live snapshot
+//!                     (watch with `sweepwatch FILE`), updated at engine
+//!                     chunk boundaries at most every SECS seconds
+//!                     (default 2); purely observational
+//!   --metrics FILE    write Prometheus text-format metrics (textfile-
+//!                     collector compatible) on the same cadence
 //!
 //! The goal defaults to `main/1` called as `main(X)`; pass a name to call
 //! `<name>(X)` instead. The binding of X is printed as the result.
@@ -84,6 +91,8 @@ struct Options {
     trace: Option<String>,
     checkpoint: Option<String>,
     resume: Option<String>,
+    status: Option<String>,
+    metrics: Option<String>,
     file: String,
     goal: String,
 }
@@ -93,7 +102,8 @@ fn usage() -> ! {
         "usage: kl1run [--pes N] [--threads N] [--flat] [--illinois] [--no-opt] \
          [--gc WORDS] [--indexed] [--stats] [--code] [--perf] [--faults SPEC] \
          [--timeout SECS] [--profile FILE] [--trace FILE[:cap=N]] \
-         [--checkpoint FILE[:every=N]] [--resume FILE] <program.fghc> [goal]"
+         [--checkpoint FILE[:every=N]] [--resume FILE] \
+         [--status FILE[:every=SECS]] [--metrics FILE] <program.fghc> [goal]"
     );
     std::process::exit(2);
 }
@@ -128,6 +138,8 @@ fn parse_args() -> Options {
         trace: None,
         checkpoint: None,
         resume: None,
+        status: None,
+        metrics: None,
         file: String::new(),
         goal: "main".into(),
     };
@@ -196,6 +208,20 @@ fn parse_args() -> Options {
                 Some(path) => opts.resume = Some(path),
                 None => {
                     eprintln!("kl1run: --resume needs a checkpoint file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--status" => match args.next() {
+                Some(spec) => opts.status = Some(spec),
+                None => {
+                    eprintln!("kl1run: --status needs a file argument (FILE[:every=SECS])");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics" => match args.next() {
+                Some(path) => opts.metrics = Some(path),
+                None => {
+                    eprintln!("kl1run: --metrics needs a file argument");
                     std::process::exit(2);
                 }
             },
@@ -441,6 +467,42 @@ fn main() {
         (path, SharedTracer::with_capacity(cap))
     });
 
+    // Live telemetry: side-file only, so stdout, the profile and the
+    // trace bytes are identical with or without it. The whole run is
+    // one "cell" keyed on program and goal.
+    let cell_key = format!("{} {}", opts.file, opts.goal);
+    let telemetry: Option<pim_telemetry::RunStatus> =
+        (opts.status.is_some() || opts.metrics.is_some()).then(|| {
+            let t = pim_telemetry::RunStatus::new("kl1run");
+            t.set_workers(1);
+            t.register_cell(&cell_key);
+            if let Some(spec) = &opts.status {
+                let parsed = pim_ckpt::spec::parse_file_spec("status", spec, &["every"])
+                    .unwrap_or_else(|e| {
+                        eprintln!("kl1run: {e}");
+                        std::process::exit(2);
+                    });
+                let every = parsed.get_u64("status", "every").unwrap_or_else(|e| {
+                    eprintln!("kl1run: {e}");
+                    std::process::exit(2);
+                });
+                if let Err(e) = t.attach_status_file(
+                    &parsed.path,
+                    every.unwrap_or(pim_telemetry::DEFAULT_EVERY_SECS),
+                ) {
+                    eprintln!("kl1run: --status: cannot write `{}`: {e}", parsed.path);
+                    std::process::exit(2);
+                }
+            }
+            if let Some(path) = &opts.metrics {
+                if let Err(e) = t.attach_metrics_file(path) {
+                    eprintln!("kl1run: --metrics: cannot write `{path}`: {e}");
+                    std::process::exit(2);
+                }
+            }
+            t
+        });
+
     // One observer per component slot: metrics, tracer, or both fanned
     // out. `None` keeps the zero-overhead un-observed path.
     let make_observer = || -> Option<Box<dyn Observer>> {
@@ -634,13 +696,16 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            if checkpoint.is_none() && deadline.is_none() {
+            if checkpoint.is_none() && deadline.is_none() && telemetry.is_none() {
                 check($engine.run(&mut $cluster, MAX_STEPS))
             } else {
                 let every = checkpoint.as_ref().and_then(|(_, e)| *e);
                 let chunk = every.unwrap_or(1 << 16);
                 loop {
                     let stats = check($engine.run(&mut $cluster, chunk));
+                    if let Some(t) = &telemetry {
+                        t.engine_chunk(stats.steps);
+                    }
                     if stats.finished {
                         break stats;
                     }
@@ -681,6 +746,9 @@ fn main() {
         }};
     }
 
+    if let Some(t) = &telemetry {
+        t.cell_running(&cell_key);
+    }
     let makespan = if opts.flat {
         let port = kl1_machine::run_flat(&mut cluster, MAX_STEPS);
         let result = if arity1 {
@@ -751,6 +819,10 @@ fn main() {
         write_trace(run.makespan);
         run.makespan
     };
+    if let Some(t) = &telemetry {
+        t.cell_done(&cell_key);
+        t.finish();
+    }
     // Stderr only: stdout carries the program result, which the
     // determinism suites diff byte-for-byte.
     let m = cluster.stats();

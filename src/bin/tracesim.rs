@@ -61,6 +61,15 @@
 //!                    checkpointed run; the resumed run's report and
 //!                    trace file are byte-identical to an uninterrupted
 //!                    run's (modulo the report's `checkpoint` block).
+//!   --status FILE[:every=SECS]
+//!                    write a crash-safe `pim-status/v1` live snapshot
+//!                    (watch with `sweepwatch FILE`), updated at engine
+//!                    chunk boundaries at most every SECS seconds
+//!                    (default 2). Atomic writes: kill -9 never leaves
+//!                    a torn file. Purely observational — stdout, the
+//!                    report and the trace bytes are unchanged.
+//!   --metrics FILE   write Prometheus text-format metrics (textfile-
+//!                    collector compatible) on the same cadence.
 //! ```
 //!
 //! Trace lines are `PE OP ADDR AREA`, e.g. `0 DW 0x11000000 goal` — see
@@ -85,6 +94,7 @@ fn usage() -> ! {
          [--block W] [--capacity W] [--ways N] [--bus-width W] \
          [--faults SPEC] [--timeout SECS] [--perf] [--report FILE] \
          [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] \
+         [--status FILE[:every=SECS]] [--metrics FILE] \
          (<trace.txt> | --gen NAME)"
     );
     std::process::exit(2);
@@ -120,6 +130,8 @@ fn main() {
     let mut timeout_secs: Option<u64> = None;
     let mut ckpt_spec: Option<String> = None;
     let mut resume_path: Option<String> = None;
+    let mut status_spec: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -188,6 +200,20 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--status" => match args.next() {
+                Some(spec) => status_spec = Some(spec),
+                None => {
+                    eprintln!("tracesim: --status needs a file argument (FILE[:every=SECS])");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics" => match args.next() {
+                Some(path) => metrics_path = Some(path),
+                None => {
+                    eprintln!("tracesim: --metrics needs a file argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("tracesim: unknown flag `{other}`");
@@ -240,7 +266,9 @@ fn main() {
     });
 
     let parse_span = pim_perf::span(pim_perf::phase::TRACE_PARSE);
+    let input_label;
     let trace: Vec<Access> = if let Some(name) = generator {
+        input_label = format!("gen:{name}");
         let workers = pes.unwrap_or(4);
         match name.as_str() {
             "producer-consumer" => workloads::synthetic::producer_consumer(512, 8, block),
@@ -254,6 +282,7 @@ fn main() {
         }
     } else {
         let Some(path) = file else { usage() };
+        input_label = path.clone();
         match pim_trace::read_trace_file(&path) {
             Ok(t) => t,
             // The diagnostic already names the file and line.
@@ -268,6 +297,41 @@ fn main() {
         eprintln!("tracesim: empty trace");
         std::process::exit(1);
     }
+
+    // Live telemetry: side-file only, so the report/trace/stdout bytes
+    // are identical with or without it. The whole replay is one "cell"
+    // keyed on the input; engine chunks feed the step counters.
+    let telemetry: Option<pim_telemetry::RunStatus> =
+        (status_spec.is_some() || metrics_path.is_some()).then(|| {
+            let t = pim_telemetry::RunStatus::new("tracesim");
+            t.set_workers(if illinois { 1 } else { threads as u64 });
+            t.register_cell(&input_label);
+            if let Some(spec) = &status_spec {
+                let parsed = pim_ckpt::spec::parse_file_spec("status", spec, &["every"])
+                    .unwrap_or_else(|e| {
+                        eprintln!("tracesim: {e}");
+                        std::process::exit(2);
+                    });
+                let every = parsed.get_u64("status", "every").unwrap_or_else(|e| {
+                    eprintln!("tracesim: {e}");
+                    std::process::exit(2);
+                });
+                if let Err(e) = t.attach_status_file(
+                    &parsed.path,
+                    every.unwrap_or(pim_telemetry::DEFAULT_EVERY_SECS),
+                ) {
+                    eprintln!("tracesim: --status: cannot write `{}`: {e}", parsed.path);
+                    std::process::exit(2);
+                }
+            }
+            if let Some(path) = &metrics_path {
+                if let Err(e) = t.attach_metrics_file(path) {
+                    eprintln!("tracesim: --metrics: cannot write `{path}`: {e}");
+                    std::process::exit(2);
+                }
+            }
+            t
+        });
 
     let needed = 1 + trace.iter().map(|a| a.pe.0).max().unwrap_or(0);
     // An explicit --pes that cannot hold the trace is an error, not a
@@ -566,13 +630,16 @@ fn main() {
     macro_rules! drive {
         ($engine:expr, $replayer:expr) => {{
             resume_into!($engine, $replayer);
-            if checkpoint.is_none() && deadline.is_none() {
+            if checkpoint.is_none() && deadline.is_none() && telemetry.is_none() {
                 check_run($engine.run(&mut $replayer, u64::MAX))
             } else {
                 let every = checkpoint.as_ref().and_then(|(_, e)| *e);
                 let chunk = every.unwrap_or(1 << 16);
                 loop {
                     let stats = check_run($engine.run(&mut $replayer, chunk));
+                    if let Some(t) = &telemetry {
+                        t.engine_chunk(stats.steps);
+                    }
                     if stats.finished {
                         break stats;
                     }
@@ -616,6 +683,9 @@ fn main() {
     }
 
     let mut replayer = Replayer::from_merged(&trace, pes);
+    if let Some(t) = &telemetry {
+        t.cell_running(&input_label);
+    }
     let (label, report, makespan) = if illinois {
         let mut system = IllinoisSystem::new(config);
         if let Some(obs) = make_observer() {
@@ -706,6 +776,10 @@ fn main() {
             run.makespan,
         )
     };
+    if let Some(t) = &telemetry {
+        t.cell_done(&input_label);
+        t.finish();
+    }
     println!("protocol: {label}  ({pes} PEs, {capacity}w {ways}-way, {block}-word blocks, {bus_width}-word bus)");
     print!("{report}");
     // The throughput summary goes to stderr so stdout (which the
