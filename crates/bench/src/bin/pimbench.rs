@@ -102,7 +102,8 @@ fn cmd_run(args: &[String]) {
         );
     }
     let doc = suite::document(mode, &entries);
-    if let Err(e) = pim_ckpt::atomic_write(
+    if let Err(e) = pim_ckpt::atomic_write_class(
+        pim_ckpt::vfs::PathClass::Bench,
         std::path::Path::new(&out),
         doc.to_string_pretty().as_bytes(),
     ) {

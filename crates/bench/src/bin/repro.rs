@@ -144,9 +144,24 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--io-chaos" => {
+                match iter.next() {
+                    Some(spec) => match pim_ckpt::vfs::IoChaosConfig::parse_spec(&spec) {
+                        Ok(cfg) => pim_ckpt::vfs::install(cfg),
+                        Err(e) => {
+                            eprintln!("repro: {e}");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("repro: --io-chaos needs a spec argument (seed=N[,rate=PPM][,kinds=...])");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] [--perf] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] [--status FILE[:every=SECS]] [--metrics FILE] <experiment>...\n\
+                    "usage: repro [--scale smoke|small|paper] [--threads N] [--seed N] [--json DIR] [--perf] [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] [--status FILE[:every=SECS]] [--metrics FILE] [--io-chaos seed=N[,rate=PPM][,kinds=...]] <experiment>...\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 table4 table5\n\
                      \x20            buswidth assoc ablation indexing aurora gc faults all"
                 );
@@ -366,7 +381,11 @@ fn main() {
         if let Some(dir) = &json_dir {
             let _perf = pim_perf::span(pim_perf::phase::REPORT_WRITE);
             let path = dir.join(format!("{name}.json"));
-            if let Err(e) = pim_ckpt::atomic_write(&path, doc.to_string_pretty().as_bytes()) {
+            if let Err(e) = pim_ckpt::atomic_write_class(
+                pim_ckpt::vfs::PathClass::Report,
+                &path,
+                doc.to_string_pretty().as_bytes(),
+            ) {
                 eprintln!("repro: cannot write {}: {e}", path.display());
                 std::process::exit(1);
             }
@@ -577,7 +596,11 @@ fn main() {
                 }
             }
             let path = dir.join("host_perf.json");
-            if let Err(e) = pim_ckpt::atomic_write(&path, doc.to_string_pretty().as_bytes()) {
+            if let Err(e) = pim_ckpt::atomic_write_class(
+                pim_ckpt::vfs::PathClass::Bench,
+                &path,
+                doc.to_string_pretty().as_bytes(),
+            ) {
                 eprintln!("repro: cannot write {}: {e}", path.display());
                 std::process::exit(1);
             }
@@ -585,6 +608,9 @@ fn main() {
         eprint!("{}", report.render());
     }
 
+    if let Some(line) = pim_ckpt::vfs::summary_line() {
+        eprintln!("{line}");
+    }
     // Degraded exit: everything that could run ran, but the failures
     // are named and the exit code says the output set is incomplete.
     let failed = failures.borrow();

@@ -44,7 +44,11 @@ pub fn trace_table1_run(scale: Scale, path: &str, cap: usize) -> std::io::Result
             dropped,
         },
     );
-    pim_ckpt::atomic_write(std::path::Path::new(path), text.as_bytes())?;
+    pim_ckpt::atomic_write_class(
+        pim_ckpt::vfs::PathClass::Trace,
+        std::path::Path::new(path),
+        text.as_bytes(),
+    )?;
     Ok((report.makespan, emitted, dropped))
 }
 

@@ -32,8 +32,10 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fmt;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
+
+pub mod vfs;
 
 /// The 12-byte file magic, including the format version.
 pub const MAGIC: &[u8; 12] = b"pim-ckpt/v1\n";
@@ -454,18 +456,18 @@ pub fn read_file_bytes(bytes: &[u8]) -> Result<&[u8], CkptError> {
 /// Writes `writer`'s payload to `path` as a framed `pim-ckpt/v1` file,
 /// atomically (see [`atomic_write`]).
 pub fn save_to_path(path: &Path, writer: Writer) -> Result<(), CkptError> {
-    atomic_write(path, &writer.into_file_bytes())
+    vfs::write_atomic(vfs::PathClass::Checkpoint, path, &writer.into_file_bytes())
         .map_err(|e| CkptError::Io(format!("cannot write {}: {e}", path.display())))
 }
 
 /// Reads and verifies the file at `path`, returning the owned payload.
 pub fn load_from_path(path: &Path) -> Result<Vec<u8>, CkptError> {
-    let bytes = std::fs::read(path)
+    let bytes = vfs::read_file(vfs::PathClass::Checkpoint, path)
         .map_err(|e| CkptError::Io(format!("cannot read {}: {e}", path.display())))?;
     Ok(read_file_bytes(&bytes)?.to_vec())
 }
 
-fn temp_sibling(path: &Path, tag: &str) -> (PathBuf, PathBuf) {
+pub(crate) fn temp_sibling(path: &Path, tag: &str) -> (PathBuf, PathBuf) {
     let dir = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
         _ => PathBuf::from("."),
@@ -480,29 +482,21 @@ fn temp_sibling(path: &Path, tag: &str) -> (PathBuf, PathBuf) {
 
 /// Durably replaces `path` with `bytes`: write to a temp file in the
 /// same directory, fsync it, then rename over the destination (and
-/// best-effort fsync the directory). Readers of `path` see either the
-/// old complete file or the new complete file, never a partial one.
+/// fsync the directory, warning once on stderr if that fails). Readers
+/// of `path` see either the old complete file or the new complete file,
+/// never a partial one; a failed write never strands its temp file.
+///
+/// Routed through [`vfs`] with [`vfs::PathClass::Other`]; callers that
+/// know their path class should prefer [`atomic_write_class`] so
+/// `--io-chaos` can target and account the path correctly.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let (dir, tmp) = temp_sibling(path, "tmp");
-    let write = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()
-    })();
-    if let Err(e) = write {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(e);
-    }
-    if let Err(e) = std::fs::rename(&tmp, path) {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(e);
-    }
-    // Make the rename itself durable. Failure here (e.g. a filesystem
-    // that refuses to fsync directories) does not invalidate the write.
-    if let Ok(d) = std::fs::File::open(&dir) {
-        let _ = d.sync_all();
-    }
-    Ok(())
+    vfs::write_atomic(vfs::PathClass::Other, path, bytes)
+}
+
+/// [`atomic_write`] with an explicit [`vfs::PathClass`], so the fault
+/// plan keys and the recovery policy table see the path for what it is.
+pub fn atomic_write_class(class: vfs::PathClass, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    vfs::write_atomic(class, path, bytes)
 }
 
 /// Probes that `path` will be writable later, *without* leaving a file

@@ -3,6 +3,7 @@
 //! ```text
 //! sweeprun --sweep FILE[:retries=N][:timeout=SECS] [--journal FILE]
 //!          [--threads N] [--chaos seed=N[,kill=PPM][,delay=PPM][,max_delay_ms=MS]]
+//!          [--io-chaos seed=N[,rate=PPM][,kinds=...]]
 //!          [--report FILE] [--status FILE[:every=SECS]] [--metrics FILE] [--quiet]
 //! ```
 //!
@@ -35,7 +36,8 @@ use pim_sweep::report::Provenance;
 use pim_sweep::{run_sweep, CellFate, ExecConfig, Journal, SweepSpec};
 
 const USAGE: &str = "usage: sweeprun --sweep FILE[:retries=N][:timeout=SECS] \
-                     [--journal FILE] [--threads N] [--chaos SPEC] [--report FILE] \
+                     [--journal FILE] [--threads N] [--chaos SPEC] [--io-chaos SPEC] \
+                     [--report FILE] \
                      [--status FILE[:every=SECS]] [--metrics FILE] [--quiet]";
 
 fn fail2(msg: &str) -> ! {
@@ -78,6 +80,12 @@ fn main() {
                 let v = next("chaos");
                 let config = ChaosConfig::parse_spec(&v).unwrap_or_else(|e| fail2(&e));
                 chaos = Some(ChaosPlan::new(config));
+            }
+            "--io-chaos" => {
+                let v = next("io-chaos");
+                let config =
+                    pim_ckpt::vfs::IoChaosConfig::parse_spec(&v).unwrap_or_else(|e| fail2(&e));
+                pim_ckpt::vfs::install(config);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -199,7 +207,8 @@ fn main() {
     let doc = pim_sweep::report::render(spec_digest, &result, &prov);
     match &report_arg {
         Some(path) => {
-            if let Err(e) = pim_ckpt::atomic_write(
+            if let Err(e) = pim_ckpt::atomic_write_class(
+                pim_ckpt::vfs::PathClass::Report,
                 std::path::Path::new(path),
                 doc.to_string_pretty().as_bytes(),
             ) {
@@ -227,7 +236,20 @@ fn main() {
         }
     }
     if let Some(e) = &result.journal_error {
+        // The journal disk failed mid-run: the sweep finished and every
+        // cell result is in the report above, but completions after the
+        // failure were not recorded — so resume is disabled (a rerun
+        // would trust an incomplete journal). Name the path and the
+        // failing syscall; the record of *which* run to redo is the
+        // resume command below.
         eprintln!("sweeprun: journal degraded: {e}");
+        if let Some(path) = &journal_path {
+            eprintln!(
+                "sweeprun: resume is disabled for this run: records appended before the \
+                 failure are durable, later completions are not; rerun in full with: \
+                 rm {path} && sweeprun --sweep {sweep_arg} --journal {path}"
+            );
+        }
     }
     eprintln!(
         "sweeprun: {} cells: {done} done, {quarantined} quarantined, {skipped} skipped \
@@ -244,6 +266,9 @@ fn main() {
                  rm {path} && sweeprun --sweep {sweep_arg} --journal {path}"
             );
         }
+    }
+    if let Some(line) = pim_ckpt::vfs::summary_line() {
+        eprintln!("{line}");
     }
     if interrupted {
         match &journal_path {

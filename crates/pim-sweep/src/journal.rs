@@ -33,10 +33,9 @@
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::Path;
 
-use pim_ckpt::{fnv1a64, Reader, Writer};
+use pim_ckpt::{fnv1a64, vfs, Reader, Writer};
 
 /// Magic + version prefix of every sweep journal.
 pub const MAGIC: &[u8; 11] = b"pim-swl/v1\n";
@@ -99,8 +98,20 @@ pub enum JournalError {
         /// The digest of the spec being run.
         want: u64,
     },
-    /// An I/O failure reading, writing, or syncing the journal.
-    Io(String),
+    /// An I/O failure reading, writing, or syncing the journal, with
+    /// the journal path and the failing syscall named — so a degraded
+    /// sweep's diagnostic says *which* file and *which* primitive
+    /// (open/append/fsync/truncate) the disk refused, not just "I/O
+    /// error".
+    Io {
+        /// The journal path the failure struck.
+        path: String,
+        /// The failing syscall, by name (`open`, `read`, `append`,
+        /// `fsync`, `truncate`, `seek`).
+        syscall: &'static str,
+        /// The underlying error text.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -114,15 +125,23 @@ impl std::fmt::Display for JournalError {
                 "journal belongs to a different sweep \
                  (spec digest {found:#018x}, this sweep is {want:#018x})"
             ),
-            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Io {
+                path,
+                syscall,
+                detail,
+            } => write!(f, "journal `{path}`: {syscall} failed: {detail}"),
         }
     }
 }
 
 impl std::error::Error for JournalError {}
 
-fn io_err(e: std::io::Error) -> JournalError {
-    JournalError::Io(e.to_string())
+fn io_err(path: &Path, syscall: &'static str, e: std::io::Error) -> JournalError {
+    JournalError::Io {
+        path: path.display().to_string(),
+        syscall,
+        detail: e.to_string(),
+    }
 }
 
 fn encode_record(cell_digest: u64, outcome: &CellOutcome) -> Vec<u8> {
@@ -283,6 +302,12 @@ pub fn replay_bytes(bytes: &[u8], spec_digest: u64) -> Result<Replay, JournalErr
 #[derive(Debug)]
 pub struct Journal {
     file: File,
+    path: std::path::PathBuf,
+    /// Length of the acknowledged prefix: header plus every record
+    /// whose append *and* fsync returned. A faulted append is rolled
+    /// back to this offset before being retried, so the file only ever
+    /// grows by whole acknowledged records.
+    len: u64,
 }
 
 impl Journal {
@@ -292,41 +317,58 @@ impl Journal {
     /// A torn tail — including a half-written header from a crash
     /// during creation — is truncated away; a journal for a *different*
     /// sweep, or a file that is not a journal at all, is refused with a
-    /// named error rather than overwritten.
+    /// named error rather than overwritten. All reads and writes flow
+    /// through [`pim_ckpt::vfs`] as [`vfs::PathClass::Journal`], so
+    /// `--io-chaos` can torture them.
     pub fn open(path: &Path, spec_digest: u64) -> Result<(Journal, Replay), JournalError> {
-        let mut bytes = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut bytes).map_err(io_err)?;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(io_err(e)),
-        }
+        let bytes = match vfs::read_file(vfs::PathClass::Journal, path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(path, "read", e)),
+        };
         let replay = replay_bytes(&bytes, spec_digest)?;
         let mut file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(false)
             .open(path)
-            .map_err(io_err)?;
-        file.set_len(replay.valid_len).map_err(io_err)?;
+            .map_err(|e| io_err(path, "open", e))?;
+        file.set_len(replay.valid_len)
+            .map_err(|e| io_err(path, "truncate", e))?;
         use std::io::Seek;
-        file.seek(std::io::SeekFrom::End(0)).map_err(io_err)?;
+        file.seek(std::io::SeekFrom::Start(replay.valid_len))
+            .map_err(|e| io_err(path, "seek", e))?;
+        file.sync_data().map_err(|e| io_err(path, "fsync", e))?;
+        let mut len = replay.valid_len;
         if replay.valid_len == 0 {
-            file.write_all(MAGIC).map_err(io_err)?;
-            file.write_all(&spec_digest.to_le_bytes()).map_err(io_err)?;
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(MAGIC);
+            header.extend_from_slice(&spec_digest.to_le_bytes());
+            vfs::append_sync(vfs::PathClass::Journal, &mut file, 0, &header)
+                .map_err(|e| io_err(path, e.syscall, e.error))?;
+            len = HEADER_LEN as u64;
         }
-        file.sync_data().map_err(io_err)?;
-        Ok((Journal { file }, replay))
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+                len,
+            },
+            replay,
+        ))
     }
 
     /// Durably appends one cell outcome: the record is written, flushed,
     /// and fsync'd before this returns, so a subsequent `kill -9`
-    /// cannot lose it.
+    /// cannot lose it. Under `--io-chaos`, a faulted attempt — even one
+    /// whose bytes landed before the fsync was refused — is truncated
+    /// back out and retried (bounded), so no torn or unacknowledged
+    /// record ever survives in the file.
     pub fn append(&mut self, cell_digest: u64, outcome: &CellOutcome) -> Result<(), JournalError> {
         let rec = encode_record(cell_digest, outcome);
-        self.file.write_all(&rec).map_err(io_err)?;
-        self.file.sync_data().map_err(io_err)?;
+        vfs::append_sync(vfs::PathClass::Journal, &mut self.file, self.len, &rec)
+            .map_err(|e| io_err(&self.path, e.syscall, e.error))?;
+        self.len += rec.len() as u64;
         Ok(())
     }
 }

@@ -1,0 +1,204 @@
+//! End-to-end `sweeprun --io-chaos`: heavy host-I/O fault injection —
+//! alone, combined with the `--chaos` worker killer, across resume,
+//! and with a dead journal disk — must either converge byte-identically
+//! (modulo provenance) to the undisturbed report, or degrade loudly by
+//! name with every completed cell still reported.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn sweeprun() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweeprun"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sweeprun-iochaos-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_spec(dir: &Path, name: &str, body: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Strips the `provenance` block — the one section legitimately
+/// different between an undisturbed run and its io-chaos twin.
+fn strip_provenance(report: &str) -> String {
+    let Some(start) = report.find(r#""provenance""#) else {
+        return report.to_string();
+    };
+    let bytes = report.as_bytes();
+    let mut depth = 0usize;
+    let mut end = start;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    format!("{}{}", &report[..start], &report[end..])
+}
+
+fn provenance_field(report: &str, key: &str) -> u64 {
+    let prov = &report[report.find(r#""provenance""#).expect("provenance block")..];
+    let at = prov.find(&format!("\"{key}\"")).expect("field");
+    let tail = &prov[at..];
+    let colon = tail.find(':').unwrap();
+    tail[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+const BASIC_SPEC: &str = "\
+protocols = pim, illinois\n\
+benches = tri, semi\n\
+scales = smoke\n\
+pes = 2\n\
+backoff = 1\n";
+
+/// Heavy enough that nearly every durable op draws faults, while the
+/// bounded-retry discipline still converges (the 5th attempt is clean).
+const HEAVY: &str = "seed=7,rate=900000,backoff_ms=0";
+
+#[test]
+fn io_chaos_with_worker_chaos_converges_to_the_undisturbed_report() {
+    let dir = tempdir("converge");
+    let spec = write_spec(&dir, "s.sweep", BASIC_SPEC);
+    let clean = dir.join("clean.json");
+    let out = sweeprun()
+        .args(["--sweep", spec.to_str().unwrap(), "--threads", "2"])
+        .args(["--report", clean.to_str().unwrap()])
+        .output()
+        .expect("sweeprun runs");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    let tortured = dir.join("tortured.json");
+    let journal = dir.join("j.swl");
+    let status = dir.join("status.json");
+    let out = sweeprun()
+        .args(["--sweep", spec.to_str().unwrap(), "--threads", "2"])
+        .args(["--journal", journal.to_str().unwrap()])
+        .args(["--report", tortured.to_str().unwrap()])
+        .args(["--status", &format!("{}:every=0", status.to_str().unwrap())])
+        .args(["--chaos", "seed=5", "--io-chaos", HEAVY])
+        .output()
+        .expect("sweeprun runs");
+    let err = stderr_of(&out);
+    assert!(out.status.success(), "{err}");
+    assert!(err.contains("[io-chaos]"), "missing summary line: {err}");
+
+    let clean_text = std::fs::read_to_string(&clean).unwrap();
+    let tortured_text = std::fs::read_to_string(&tortured).unwrap();
+    assert_eq!(
+        strip_provenance(&clean_text),
+        strip_provenance(&tortured_text),
+        "io-chaos perturbed the report"
+    );
+    assert!(tortured_text.contains(r#""done": 4"#));
+    // The telemetry side file survived the torture as valid JSON too.
+    let status_text = std::fs::read_to_string(&status).unwrap();
+    assert!(status_text.contains(r#""schema": "pim-status/v1""#));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_under_io_chaos_serves_all_cells_from_the_tortured_journal() {
+    let dir = tempdir("resume");
+    let spec = write_spec(&dir, "s.sweep", BASIC_SPEC);
+    let journal = dir.join("j.swl");
+    let run = |report: &str| {
+        let path = dir.join(report);
+        let out = sweeprun()
+            .args(["--sweep", spec.to_str().unwrap(), "--threads", "2"])
+            .args(["--journal", journal.to_str().unwrap()])
+            .args(["--report", path.to_str().unwrap()])
+            .args(["--io-chaos", HEAVY])
+            .output()
+            .expect("sweeprun runs");
+        assert!(out.status.success(), "{}", stderr_of(&out));
+        std::fs::read_to_string(&path).unwrap()
+    };
+    // Every append in the first run was fault-injected and recovered;
+    // the journal it leaves must serve the entire resume.
+    let first = run("r1.json");
+    assert_eq!(provenance_field(&first, "executed"), 4);
+    let second = run("r2.json");
+    assert_eq!(provenance_field(&second, "executed"), 0);
+    assert_eq!(provenance_field(&second, "reused"), 4);
+    assert_eq!(strip_provenance(&first), strip_provenance(&second));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dead_journal_disk_finishes_degraded_with_results_reported() {
+    let dir = tempdir("deaddisk");
+    let spec = write_spec(&dir, "s.sweep", BASIC_SPEC);
+    let journal = dir.join("j.swl");
+    let report = dir.join("r.json");
+    // Journal class ops: open read (1) + header append (2), then one
+    // append per cell. Dying from the 4th op kills the 2nd cell append
+    // and everything after — mid-run, after real records landed.
+    let out = sweeprun()
+        .args(["--sweep", spec.to_str().unwrap(), "--threads", "1"])
+        .args(["--journal", journal.to_str().unwrap()])
+        .args(["--report", report.to_str().unwrap()])
+        .args(["--io-chaos", "seed=3,rate=0,backoff_ms=0,kill=journal@3"])
+        .output()
+        .expect("sweeprun runs");
+    let err = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(1), "expected degraded exit: {err}");
+    // The diagnostic names the journal path, the failing syscall, and
+    // says resume is off — while every cell result is still reported.
+    assert!(err.contains("journal degraded"), "{err}");
+    assert!(err.contains("j.swl"), "{err}");
+    assert!(
+        err.contains("append failed") || err.contains("fsync failed"),
+        "syscall not named: {err}"
+    );
+    assert!(err.contains("resume is disabled"), "{err}");
+    assert!(err.contains("[io-chaos]"), "{err}");
+    let report_text = std::fs::read_to_string(&report).unwrap();
+    assert!(report_text.contains(r#""done": 4"#), "{report_text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_io_chaos_specs_exit_2_with_the_flag_named() {
+    for (spec, needle) in [
+        ("rate=5", "missing `seed` in --io-chaos"),
+        ("seed=x", "bad value `x` for `seed` in --io-chaos"),
+        (
+            "seed=1,kinds=quantum",
+            "unknown kind `quantum` in --io-chaos",
+        ),
+        ("seed=1,bogus=2", "unknown key `bogus` in --io-chaos"),
+        ("seed=1,kill=journal", "must be CLASS@N"),
+        ("seed=1,rate=1000001", "parts per million"),
+    ] {
+        let out = sweeprun()
+            .args(["--sweep", "s.sweep", "--io-chaos", spec])
+            .output()
+            .expect("sweeprun runs");
+        assert_eq!(out.status.code(), Some(2), "spec `{spec}`");
+        let err = stderr_of(&out);
+        assert!(err.contains(needle), "spec `{spec}`: {err}");
+    }
+}

@@ -107,7 +107,9 @@ proptest! {
             Err(JournalError::SpecMismatch { .. }) => {
                 prop_assert!((MAGIC.len()..HEADER_LEN).contains(&pos));
             }
-            Err(JournalError::Io(e)) => prop_assert!(false, "io error from pure replay: {e}"),
+            Err(e @ JournalError::Io { .. }) => {
+                prop_assert!(false, "io error from pure replay: {e}")
+            }
             Ok(replay) => {
                 prop_assert!(replay.records <= records.len() as u64);
                 // Whatever survives is a prefix of the true record

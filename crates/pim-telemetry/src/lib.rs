@@ -180,7 +180,8 @@ impl RunStatus {
             .every_ms
             .store(every_secs.saturating_mul(1_000), Ordering::Relaxed);
         self.sinks.active.store(true, Ordering::Relaxed);
-        pim_ckpt::atomic_write(
+        pim_ckpt::atomic_write_class(
+            pim_ckpt::vfs::PathClass::Telemetry,
             std::path::Path::new(path),
             self.snapshot_json().to_string_pretty().as_bytes(),
         )
@@ -191,7 +192,11 @@ impl RunStatus {
     pub fn attach_metrics_file(&self, path: &str) -> std::io::Result<()> {
         *lock_clean(&self.sinks.metrics_path) = Some(path.to_string());
         self.sinks.active.store(true, Ordering::Relaxed);
-        pim_ckpt::atomic_write(std::path::Path::new(path), self.metrics_text().as_bytes())
+        pim_ckpt::atomic_write_class(
+            pim_ckpt::vfs::PathClass::Telemetry,
+            std::path::Path::new(path),
+            self.metrics_text().as_bytes(),
+        )
     }
 
     /// Registers a pending cell. Idempotent per key: re-registering a
@@ -383,7 +388,11 @@ impl RunStatus {
     }
 
     fn write_sink(&self, path: &str, bytes: &[u8]) {
-        if let Err(e) = pim_ckpt::atomic_write(std::path::Path::new(path), bytes) {
+        if let Err(e) = pim_ckpt::atomic_write_class(
+            pim_ckpt::vfs::PathClass::Telemetry,
+            std::path::Path::new(path),
+            bytes,
+        ) {
             if !self.sinks.warned.swap(true, Ordering::Relaxed) {
                 eprintln!(
                     "{}: telemetry degraded: cannot write {path}: {e}",

@@ -61,6 +61,12 @@
 //!                     (default 2); purely observational
 //!   --metrics FILE    write Prometheus text-format metrics (textfile-
 //!                     collector compatible) on the same cadence
+//!   --io-chaos seed=N[,rate=PPM][,kinds=...]
+//!                     inject deterministic disk faults under every
+//!                     durable write (profile, trace, checkpoint,
+//!                     telemetry); all recovered with bounded retries,
+//!                     emitted files byte-identical to an undisturbed
+//!                     run (see pim_ckpt::vfs)
 //!
 //! The goal defaults to `main/1` called as `main(X)`; pass a name to call
 //! `<name>(X)` instead. The binding of X is printed as the result.
@@ -103,7 +109,8 @@ fn usage() -> ! {
          [--gc WORDS] [--indexed] [--stats] [--code] [--perf] [--faults SPEC] \
          [--timeout SECS] [--profile FILE] [--trace FILE[:cap=N]] \
          [--checkpoint FILE[:every=N]] [--resume FILE] \
-         [--status FILE[:every=SECS]] [--metrics FILE] <program.fghc> [goal]"
+         [--status FILE[:every=SECS]] [--metrics FILE] \
+         [--io-chaos seed=N[,rate=PPM][,kinds=...]] <program.fghc> [goal]"
     );
     std::process::exit(2);
 }
@@ -222,6 +229,21 @@ fn parse_args() -> Options {
                 Some(path) => opts.metrics = Some(path),
                 None => {
                     eprintln!("kl1run: --metrics needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--io-chaos" => match args.next() {
+                Some(spec) => match pim_ckpt::vfs::IoChaosConfig::parse_spec(&spec) {
+                    Ok(cfg) => pim_ckpt::vfs::install(cfg),
+                    Err(e) => {
+                        eprintln!("kl1run: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!(
+                        "kl1run: --io-chaos needs a spec argument (seed=N[,rate=PPM][,kinds=...])"
+                    );
                     std::process::exit(2);
                 }
             },
@@ -538,7 +560,11 @@ fn main() {
                 dropped,
             },
         );
-        if let Err(e) = pim_ckpt::atomic_write(std::path::Path::new(path), text.as_bytes()) {
+        if let Err(e) = pim_ckpt::atomic_write_class(
+            pim_ckpt::vfs::PathClass::Trace,
+            std::path::Path::new(path),
+            text.as_bytes(),
+        ) {
             eprintln!("kl1run: cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -836,5 +862,8 @@ fn main() {
     );
     if pim_perf::is_enabled() {
         eprint!("{}", pim_perf::take_report().render());
+    }
+    if let Some(line) = pim_ckpt::vfs::summary_line() {
+        eprintln!("{line}");
     }
 }

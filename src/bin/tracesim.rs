@@ -70,6 +70,15 @@
 //!                    report and the trace bytes are unchanged.
 //!   --metrics FILE   write Prometheus text-format metrics (textfile-
 //!                    collector compatible) on the same cadence.
+//!   --io-chaos seed=N[,rate=PPM][,kinds=...]
+//!                    torture the host-I/O layer: inject deterministic
+//!                    disk faults (ENOSPC, EIO, short writes, torn
+//!                    reads) under every durable write — report, trace,
+//!                    checkpoint, telemetry. All faults are recovered
+//!                    with bounded retries; the emitted files are
+//!                    byte-identical to an undisturbed run. Also
+//!                    `retries=N`, `backoff_ms=N`, `kill=CLASS@N`
+//!                    (see pim_ckpt::vfs).
 //! ```
 //!
 //! Trace lines are `PE OP ADDR AREA`, e.g. `0 DW 0x11000000 goal` — see
@@ -95,6 +104,7 @@ fn usage() -> ! {
          [--faults SPEC] [--timeout SECS] [--perf] [--report FILE] \
          [--trace FILE[:cap=N]] [--checkpoint FILE[:every=N]] [--resume FILE] \
          [--status FILE[:every=SECS]] [--metrics FILE] \
+         [--io-chaos seed=N[,rate=PPM][,kinds=...]] \
          (<trace.txt> | --gen NAME)"
     );
     std::process::exit(2);
@@ -211,6 +221,21 @@ fn main() {
                 Some(path) => metrics_path = Some(path),
                 None => {
                     eprintln!("tracesim: --metrics needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--io-chaos" => match args.next() {
+                Some(spec) => match pim_ckpt::vfs::IoChaosConfig::parse_spec(&spec) {
+                    Ok(cfg) => pim_ckpt::vfs::install(cfg),
+                    Err(e) => {
+                        eprintln!("tracesim: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!(
+                        "tracesim: --io-chaos needs a spec argument (seed=N[,rate=PPM][,kinds=...])"
+                    );
                     std::process::exit(2);
                 }
             },
@@ -455,7 +480,11 @@ fn main() {
                 dropped,
             },
         );
-        if let Err(e) = pim_ckpt::atomic_write(std::path::Path::new(path), text.as_bytes()) {
+        if let Err(e) = pim_ckpt::atomic_write_class(
+            pim_ckpt::vfs::PathClass::Trace,
+            std::path::Path::new(path),
+            text.as_bytes(),
+        ) {
             eprintln!("tracesim: cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -794,6 +823,9 @@ fn main() {
     );
     if pim_perf::is_enabled() {
         eprint!("{}", pim_perf::take_report().render());
+    }
+    if let Some(line) = pim_ckpt::vfs::summary_line() {
+        eprintln!("{line}");
     }
 }
 

@@ -114,7 +114,8 @@ pub fn host_perf_json(perf: &pim_perf::Report, prov: &pim_perf::Provenance) -> J
 /// write is atomic (temp file + fsync + rename), so a crash mid-write
 /// never leaves a truncated report behind.
 pub fn write_report(path: &str, doc: &Json) -> std::io::Result<()> {
-    pim_ckpt::atomic_write(
+    pim_ckpt::atomic_write_class(
+        pim_ckpt::vfs::PathClass::Report,
         std::path::Path::new(path),
         doc.to_string_pretty().as_bytes(),
     )

@@ -648,3 +648,144 @@ fn kl1run_perf_adds_host_perf_to_the_profile() {
     assert!(stderr.contains("[perf] phase"), "{stderr}");
     assert!(stderr.contains("engine run"), "{stderr}");
 }
+
+// ---------------------------------------------------------------------------
+// Hostile FILE[:key=value] spec inputs: every malformed checkpoint /
+// trace / status spec must exit 2 with the flag and the offending
+// key or value named (the shared parse_file_spec/parse_checkpoint_spec
+// contract), never start the run, and never create the file.
+
+#[test]
+fn hostile_checkpoint_specs_exit_2_with_named_diagnostics() {
+    for (spec, needle) in [
+        ("out.ck:evry=5", "unknown key `evry` in --checkpoint"),
+        ("out.ck:every=", "empty value for `every` in --checkpoint"),
+        (":every=5", "empty path in --checkpoint"),
+        (
+            "out.ck:every=banana",
+            "bad value `banana` for `every` in --checkpoint",
+        ),
+        (
+            "out.ck:every=0",
+            "snapshot interval in --checkpoint must be >= 1",
+        ),
+        // Duplicate keys are last-wins: the trailing every=0 is the one
+        // that gets rejected, pinning the precedence order.
+        ("out.ck:every=5:every=0", "must be >= 1"),
+    ] {
+        let out = tracesim()
+            .args(["--gen", "aurora", "--pes", "2", "--checkpoint", spec])
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(2), "spec `{spec}`");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "spec `{spec}`: {stderr}");
+
+        let out = kl1run()
+            .args(["--checkpoint", spec, "examples/fghc/hanoi.fghc"])
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(2), "kl1run spec `{spec}`");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "kl1run spec `{spec}`: {stderr}");
+    }
+    assert!(!std::path::Path::new("out.ck").exists());
+}
+
+#[test]
+fn hostile_status_and_trace_specs_exit_2_with_named_diagnostics() {
+    for (args, needle) in [
+        (
+            ["--status", "s.json:evry=2"],
+            "unknown key `evry` in --status",
+        ),
+        (
+            ["--status", "s.json:every="],
+            "empty value for `every` in --status",
+        ),
+        (["--status", ":every=2"], "empty path in --status"),
+        (
+            ["--trace", "t.json:cap="],
+            "empty value for `cap` in --trace",
+        ),
+        (["--trace", ":cap=8"], "empty path in --trace"),
+    ] {
+        let out = tracesim()
+            .args(["--gen", "aurora", "--pes", "2"])
+            .args(args)
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "args {args:?}: {stderr}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --io-chaos on the simulator binaries: heavy host-I/O fault injection
+// must leave every emitted artifact byte-identical to the undisturbed
+// run (all faults recovered below the writers), and bad specs must be
+// exit-2 flag errors.
+
+#[test]
+fn tracesim_io_chaos_leaves_all_artifacts_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("tracesim-iochaos-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |tag: &str, io_chaos: Option<&str>| {
+        let report = dir.join(format!("r-{tag}.json"));
+        let trace = dir.join(format!("t-{tag}.json"));
+        let ckpt = dir.join(format!("c-{tag}.ck"));
+        let mut cmd = tracesim();
+        cmd.args(["--gen", "lock-churn", "--pes", "2"])
+            .args(["--report", report.to_str().unwrap()])
+            .args(["--trace", trace.to_str().unwrap()])
+            .args([
+                "--checkpoint",
+                &format!("{}:every=64", ckpt.to_str().unwrap()),
+            ]);
+        if let Some(spec) = io_chaos {
+            cmd.args(["--io-chaos", spec]);
+        }
+        let out = cmd.output().expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            std::fs::read_to_string(&report).unwrap(),
+            std::fs::read_to_string(&trace).unwrap(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (clean_stdout, clean_report, clean_trace, _) = run("clean", None);
+    let (chaos_stdout, chaos_report, chaos_trace, chaos_stderr) =
+        run("chaos", Some("seed=11,rate=900000,backoff_ms=0"));
+    assert_eq!(clean_stdout, chaos_stdout);
+    assert_eq!(clean_report, chaos_report);
+    assert_eq!(clean_trace, chaos_trace);
+    assert!(
+        chaos_stderr.contains("[io-chaos]"),
+        "missing summary: {chaos_stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_io_chaos_specs_are_exit_2_flag_errors_on_both_tools() {
+    let out = tracesim()
+        .args(["--gen", "aurora", "--io-chaos", "seed=1,bogus=2"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key `bogus` in --io-chaos"));
+
+    let out = kl1run()
+        .args(["--io-chaos", "rate=5", "examples/fghc/hanoi.fghc"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing `seed` in --io-chaos"));
+}
